@@ -1,0 +1,41 @@
+//===- bench/apps/Apps.cpp ------------------------------------------------===//
+//
+// Part of the C4 serializability analyzer. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/Apps.h"
+
+#include <algorithm>
+
+namespace c4bench {
+std::vector<BenchApp> touchDevelopApps();
+std::vector<BenchApp> cassandraApps();
+} // namespace c4bench
+
+using namespace c4bench;
+
+const std::vector<BenchApp> &c4bench::benchApps() {
+  static const std::vector<BenchApp> Apps = [] {
+    std::vector<BenchApp> All = touchDevelopApps();
+    std::vector<BenchApp> Cass = cassandraApps();
+    All.insert(All.end(), std::make_move_iterator(Cass.begin()),
+               std::make_move_iterator(Cass.end()));
+    return All;
+  }();
+  return Apps;
+}
+
+ViolationClass c4bench::classify(const BenchApp &App,
+                                 const std::vector<std::string> &Txns) {
+  std::vector<std::string> Sorted = Txns;
+  std::sort(Sorted.begin(), Sorted.end());
+  for (const ClassRule &Rule : App.Rules) {
+    std::vector<std::string> Key = Rule.Txns;
+    std::sort(Key.begin(), Key.end());
+    // A rule matches when its transactions are all on the violation.
+    if (std::includes(Sorted.begin(), Sorted.end(), Key.begin(), Key.end()))
+      return Rule.Class;
+  }
+  return ViolationClass::Harmless;
+}

@@ -1,0 +1,351 @@
+//===- bench/apps/CassandraApps.cpp - 11 Cassandra/Java models ------------===//
+//
+// Part of the C4 serializability analyzer. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// C4L models of the 11 open-source Cassandra projects of Table 1. Harmful
+/// patterns modeled: username-uniqueness registration races
+/// (cassandra-twitter, cassatwitter), read-modify-write queue pointers
+/// (cassieq-core, dstax-queueing). killrchat contributes the paper's
+/// guarded-creation false alarms.
+///
+//===----------------------------------------------------------------------===//
+
+#include "apps/Apps.h"
+
+namespace c4bench {
+std::vector<BenchApp> cassandraApps();
+} // namespace c4bench
+
+using namespace c4bench;
+
+std::vector<BenchApp> c4bench::cassandraApps() {
+  std::vector<BenchApp> Apps;
+
+  Apps.push_back(
+      {"cassandra-lock", "Cassandra",
+       R"(
+// Lease-per-client locking: every client manages its own lease row, so all
+// conflicting accesses are session-local and the library is serializable.
+container table Leases;
+session me;
+txn acquire(t) { Leases.set(me, "until", t); }
+txn release() { Leases.set(me, "until", 0); }
+txn held() {
+  let e = Leases.get(me, "until");
+  display(e);
+}
+)",
+       {},
+       3, 3, {0, 0, 0}, {0, 0, 0}});
+
+  Apps.push_back(
+      {"cassandra-twitter", "Cassandra",
+       R"(
+container table Users;
+container table Tweets;
+session me;
+txn register(name, pw) {
+  let e = Users.contains(name);
+  if (!e) {
+    Users.set(name, "pw", pw);
+    Users.set(name, "created", 1);
+  }
+}
+txn tweet(text) {
+  let r = Tweets.add_row();
+  Tweets.set(r, "text", text);
+  Tweets.set(r, "by", me);
+  Users.add(me, "tweets", r);
+}
+txn follow(who) {
+  let e = Users.contains(who);
+  if (e) { Users.add(me, "follows", who); }
+}
+txn timeline(r) {
+  let t = Tweets.get(r, "text");
+  let b = Tweets.get(r, "by");
+  let n = Tweets.size();
+  display(t); display(b); display(n);
+}
+txn profile(u) {
+  let pw = Users.get(u, "pw");
+  let c = Users.get(u, "created");
+  if (c == 1) { display(pw); }
+}
+)",
+       {{{"register"}, ViolationClass::Harmful}},
+       5, 26, {1, 5, 0}, {1, 1, 0}});
+
+  Apps.push_back(
+      {"cassatwitter", "Cassandra",
+       R"(
+container table Users;
+container table Lines;
+session me;
+txn signup(name) {
+  let taken = Users.contains(name);
+  if (!taken) { Users.set(name, "active", 1); }
+}
+txn post(text) {
+  let r = Lines.add_row();
+  Lines.set(r, "text", text);
+  Lines.set(r, "by", me);
+}
+txn follow(who) { Users.add(me, "follows", who); }
+txn unfollow(who) { Users.sremove(me, "follows", who); }
+txn isFollowing(who) {
+  let f = Users.scontains(me, "follows", who);
+  display(f);
+}
+txn read(r) {
+  let t = Lines.get(r, "text");
+  let b = Lines.get(r, "by");
+  display(t); display(b);
+}
+)",
+       {{{"signup"}, ViolationClass::Harmful}},
+       6, 19, {1, 6, 0}, {1, 1, 0}});
+
+  Apps.push_back(
+      {"cassieq-core", "Cassandra",
+       R"(
+container map Ptr;
+container table Q;
+txn enqueue(v) {
+  let r = Q.add_row();
+  Q.set(r, "val", v);
+}
+txn dequeue(next) {
+  let h = Ptr.get("reader");   // h feeds the new pointer: business logic
+  Ptr.put("reader", next);
+  return h;
+}
+txn advanceInvis(next) {
+  let i = Ptr.get("invis");
+  Ptr.put("invis", next);
+  return i;
+}
+txn ack(r) { Q.del(r); }
+txn peek(r) {
+  let v = Q.get(r, "val");
+  display(v);
+}
+txn depth() {
+  let n = Q.size();
+  display(n);
+}
+txn initQueue() { Ptr.put("reader", 0); }
+)",
+       {{{"dequeue"}, ViolationClass::Harmful},
+        {{"advanceInvis"}, ViolationClass::Harmful}},
+       7, 10, {2, 2, 0}, {2, 1, 0}});
+
+  Apps.push_back(
+      {"curr-exchange", "Cassandra",
+       R"(
+container map Rates;
+txn setRate(pair, rate) { Rates.put(pair, rate); }
+txn getRate(pair) {
+  let r = Rates.get(pair);
+  display(r);
+}
+)",
+       {},
+       2, 2, {0, 1, 0}, {0, 0, 0}});
+
+  Apps.push_back(
+      {"dstax-queueing", "Cassandra",
+       R"(
+container map Meta;
+container table Items;
+txn produce(v, tail) {
+  let t = Meta.get("tail");    // used to chain the new tail
+  Items.set(tail, "val", v);
+  Meta.put("tail", tail);
+  return t;
+}
+txn consume(next) {
+  let h = Meta.get("head");
+  let v = Items.get(h, "val"); // the dequeued value: business logic
+  Items.del(h);
+  Meta.put("head", next);
+  return v;
+}
+)",
+       {{{"consume"}, ViolationClass::Harmful},
+        {{"consume", "produce"}, ViolationClass::Harmful}},
+       2, 8, {2, 0, 0}, {2, 0, 0}});
+
+  Apps.push_back(
+      {"killrchat", "Cassandra",
+       R"(
+container table Rooms;
+container table Accounts;
+container table Msgs;
+session me;
+txn createAccount(login) {
+  let e = Accounts.contains(login);
+  if (!e) { Accounts.set(login, "owner", me); }
+}
+txn deleteAccount(login) { Accounts.del(login); }
+txn createRoom(name) {
+  let e = Rooms.contains(name);
+  if (!e) {
+    Rooms.set(name, "creator", me);
+    Rooms.add(name, "members", me);
+  }
+}
+txn deleteRoom(name) { Rooms.del(name); }
+txn joinRoom(name) {
+  let e = Rooms.contains(name);
+  if (e) { Rooms.add(name, "members", me); }
+}
+txn leaveRoom(name) { Rooms.sremove(name, "members", me); }
+txn postMessage(room, text) {
+  let r = Msgs.add_row();
+  Msgs.set(r, "room", room);
+  Msgs.set(r, "text", text);
+}
+txn fetchMessages(r) {
+  let t = Msgs.get(r, "text");
+  let ro = Msgs.get(r, "room");
+  display(t); display(ro);
+}
+txn listRooms() {
+  let n = Rooms.size();
+  display(n);
+}
+txn roomMembers(name) {
+  let m = Rooms.scontains(name, "members", me);
+  display(m);
+}
+txn renameRoom(name, c) { Rooms.set(name, "creator", c); }
+)",
+       {{{"createAccount"}, ViolationClass::FalseAlarm},
+        {{"createRoom"}, ViolationClass::FalseAlarm},
+        {{"createRoom", "joinRoom"}, ViolationClass::FalseAlarm},
+        {{"createAccount", "deleteAccount"}, ViolationClass::FalseAlarm}},
+       11, 20, {0, 31, 13}, {0, 0, 4}});
+
+  Apps.push_back(
+      {"playlist", "Cassandra",
+       R"(
+container table Lists;
+container table Songs;
+session me;
+txn createList(name) {
+  let r = Lists.add_row();
+  Lists.set(r, "name", name);
+  Lists.set(r, "owner", me);
+}
+txn deleteList(r) { Lists.del(r); }
+txn renameList(r, name) { Lists.set(r, "name", name); }
+txn addSong(r, s) { Lists.add(r, "songs", s); }
+txn removeSong(r, s) { Lists.sremove(r, "songs", s); }
+txn hasSong(r, s) {
+  let e = Lists.scontains(r, "songs", s);
+  display(e);
+}
+txn showList(r) {
+  let n = Lists.get(r, "name");
+  let o = Lists.get(r, "owner");
+  display(n); display(o);
+}
+txn addSongInfo(s, title, artist) {
+  Songs.set(s, "title", title);
+  Songs.set(s, "artist", artist);
+}
+txn songInfo(s) {
+  let t = Songs.get(s, "title");
+  let a = Songs.get(s, "artist");
+  display(t); display(a);
+}
+txn countLists() {
+  let n = Lists.size();
+  display(n);
+}
+txn shareList(r, u) { Lists.add(r, "shared", u); }
+)",
+       {},
+       11, 34, {0, 13, 0}, {0, 2, 0}});
+
+  Apps.push_back(
+      {"roomstore", "Cassandra",
+       R"(
+container table Log;
+container table Rooms;
+txn logMessage(room, text, who) {
+  let r = Log.add_row();
+  Log.set(r, "room", room);
+  Log.set(r, "text", text);
+  Log.set(r, "who", who);
+}
+txn getLog(r) {
+  let t = Log.get(r, "text");
+  let w = Log.get(r, "who");
+  display(t); display(w);
+}
+txn createRoom(name, topic) { Rooms.set(name, "topic", topic); }
+txn roomInfo(name) {
+  let t = Rooms.get(name, "topic");
+  display(t);
+}
+txn dropRoom(name) { Rooms.del(name); }
+)",
+       {},
+       5, 13, {0, 4, 0}, {0, 0, 0}});
+
+  Apps.push_back(
+      {"shopping-cart", "Cassandra",
+       R"(
+// Carts are keyed by the owning session: no cross-session conflicts.
+container table Carts;
+session me;
+// The cart service is write-only: reads are served by a separate,
+// strongly-consistent path, so the analyzed scope has no queries.
+txn addToCart(item) { Carts.add(me, "items", item); }
+txn removeFromCart(item) { Carts.sremove(me, "items", item); }
+txn updateQty(item, q) { Carts.set(me, item, q); }
+txn checkout() { Carts.set(me, "done", 1); }
+)",
+       {},
+       4, 5, {0, 0, 0}, {0, 0, 0}});
+
+  Apps.push_back(
+      {"twissandra", "Cassandra",
+       R"(
+container table Users;
+container table Tweets;
+session me;
+txn follow(who) { Users.add(me, "friends", who); }
+txn unfollow(who) { Users.sremove(me, "friends", who); }
+txn tweet(text) {
+  let r = Tweets.add_row();
+  Tweets.set(r, "text", text);
+  Tweets.set(r, "by", me);
+}
+txn timeline(r) {
+  let t = Tweets.get(r, "text");
+  let b = Tweets.get(r, "by");
+  display(t); display(b);
+}
+txn userline(r, u) {
+  let t = Tweets.get(r, "text");
+  let f = Users.scontains(me, "friends", u);
+  display(t); display(f);
+}
+txn setBio(bio) { Users.set(me, "bio", bio); }
+txn getBio(u) {
+  let b = Users.get(u, "bio");
+  let n = Tweets.size();
+  if (n == 0) { display(b); }
+}
+)",
+       {},
+       7, 20, {0, 7, 0}, {0, 1, 0}});
+
+  return Apps;
+}

@@ -1,0 +1,535 @@
+//===- bench/apps/TouchDevelopApps.cpp - 17 TouchDevelop models -----------===//
+//
+// Part of the C4 serializability analyzer. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// C4L models of the 17 TouchDevelop benchmarks of Table 1 (cloud-backed
+/// mobile apps synchronized through the global sequence protocol). Harmful
+/// patterns modeled: read-modify-write high scores (Tetris, Color Line),
+/// guarded-creation uniqueness (Sky Locale), additions racing deletions
+/// (Events, Cloud Card), and lost-update counters (Relatd).
+///
+//===----------------------------------------------------------------------===//
+
+#include "apps/Apps.h"
+
+namespace c4bench {
+std::vector<BenchApp> touchDevelopApps();
+} // namespace c4bench
+
+using namespace c4bench;
+
+std::vector<BenchApp> c4bench::touchDevelopApps() {
+  std::vector<BenchApp> Apps;
+
+  Apps.push_back(
+      {"Cloud List", "TouchDevelop",
+       R"(
+container table Items;
+atomicset list { Items }
+txn addItem(text) {
+  let r = Items.add_row();
+  Items.set(r, "text", text);
+}
+txn removeItem(r) { Items.del(r); }
+txn toggleItem(r, done) { Items.set(r, "done", done); }
+txn showList(r) {
+  let t = Items.get(r, "text");
+  let d = Items.get(r, "done");
+  let n = Items.size();
+  display(t); display(d); display(n);
+}
+)",
+       {},
+       4, 7, {0, 3, 0}, {0, 0, 0}});
+
+  Apps.push_back(
+      {"Super Chat", "TouchDevelop",
+       R"(
+container table Msgs;
+container table Profiles;
+atomicset messages { Msgs }
+atomicset profiles { Profiles }
+session me;
+txn postMessage(text, room) {
+  let r = Msgs.add_row();
+  Msgs.set(r, "text", text);
+  Msgs.set(r, "room", room);
+  Msgs.set(r, "author", me);
+}
+txn editMessage(r, text) {
+  let a = Msgs.get(r, "author");
+  if (a == 0) { skip; } else { Msgs.set(r, "text", text); }
+}
+txn deleteMessage(r) { Msgs.del(r); }
+txn loadChat(r) {
+  let t = Msgs.get(r, "text");
+  let ro = Msgs.get(r, "room");
+  let a = Msgs.get(r, "author");
+  let n = Msgs.size();
+  display(t); display(ro); display(a); display(n);
+}
+txn setNick(nick) { Profiles.set(me, "nick", nick); }
+txn setStatus(st) { Profiles.set(me, "status", st); }
+txn showProfile(u) {
+  let n = Profiles.get(u, "nick");
+  let s = Profiles.get(u, "status");
+  display(n); display(s);
+}
+txn joinRoom(room) {
+  let e = Msgs.contains(room);
+  Profiles.add(me, "rooms", room);
+  display(e);
+}
+)",
+       {},
+       8, 28, {0, 7, 0}, {0, 3, 0}});
+
+  Apps.push_back(
+      {"Save Passwords", "TouchDevelop",
+       R"(
+container table Vault;
+container map Master;
+atomicset vault { Vault }
+atomicset master { Master }
+txn savePassword(site, pw) {
+  Vault.set(site, "pw", pw);
+  Vault.set(site, "saved", 1);
+}
+txn getPassword(site) {
+  let p = Vault.get(site, "pw");
+  display(p);
+}
+txn deletePassword(site) { Vault.del(site); }
+txn listSites(site) {
+  let n = Vault.size();
+  let s = Vault.get(site, "saved");
+  display(n); display(s);
+}
+txn setMaster(m) { Master.put("key", m); }
+txn checkMaster(m) {
+  let k = Master.get("key");
+  if (k == 0) { Master.put("key", m); }
+}
+txn wipe(site) { Vault.del(site); Master.remove("key"); }
+)",
+       {},
+       7, 13, {0, 11, 2}, {0, 1, 0}});
+
+  Apps.push_back(
+      {"EC2 Demo Chat", "TouchDevelop",
+       R"(
+container table Chat;
+atomicset chat { Chat }
+txn post(text) {
+  let r = Chat.add_row();
+  Chat.set(r, "text", text);
+}
+txn show(r) {
+  let t = Chat.get(r, "text");
+  let n = Chat.size();
+  display(t); display(n);
+}
+)",
+       {},
+       2, 4, {0, 1, 0}, {0, 0, 0}});
+
+  Apps.push_back(
+      {"Contest Voting", "TouchDevelop",
+       R"(
+container counter Votes;
+atomicset votes { Votes }
+txn vote() { Votes.inc(1); }
+txn results() {
+  let n = Votes.read();
+  display(n);
+}
+)",
+       {},
+       2, 3, {0, 1, 0}, {0, 0, 0}});
+
+  Apps.push_back(
+      {"Chatter Box", "TouchDevelop",
+       R"(
+container table Posts;
+container table Users;
+atomicset posts { Posts }
+atomicset users { Users }
+session me;
+txn post(text, topic) {
+  let r = Posts.add_row();
+  Posts.set(r, "text", text);
+  Posts.set(r, "topic", topic);
+  Posts.set(r, "by", me);
+}
+txn readPosts(r) {
+  let t = Posts.get(r, "text");
+  let to = Posts.get(r, "topic");
+  let b = Posts.get(r, "by");
+  let n = Posts.size();
+  display(t); display(to); display(b); display(n);
+}
+txn setHandle(h) {
+  Users.set(me, "handle", h);
+  Users.set(me, "active", 1);
+}
+txn whois(u) {
+  let h = Users.get(u, "handle");
+  let a = Users.get(u, "active");
+  display(h); display(a);
+}
+txn purge(r) {
+  let old = Posts.get(r, "topic");
+  if (old == 0) { Posts.del(r); }
+}
+)",
+       {},
+       5, 19, {0, 5, 4}, {0, 0, 0}});
+
+  Apps.push_back(
+      {"Tetris", "TouchDevelop",
+       R"(
+container table Scores;
+atomicset scores { Scores }
+session me;
+txn saveScore(s) {
+  let hi = Scores.get(me, "hi");
+  if (hi < s) { Scores.set(me, "hi", s); }
+}
+txn syncBest(s) {
+  let b = Scores.get("global", "hi");
+  if (b < s) {
+    Scores.set("global", "hi", s);
+    Scores.set("global", "by", me);
+  }
+}
+txn leaderboard() {
+  let b = Scores.get("global", "hi");
+  let w = Scores.get("global", "by");
+  let mine = Scores.get(me, "hi");
+  display(b); display(w); display(mine);
+}
+)",
+       {{{"syncBest"}, ViolationClass::Harmful},
+        {{"saveScore"}, ViolationClass::Harmful}},
+       3, 12, {3, 0, 0}, {3, 0, 0}});
+
+  Apps.push_back(
+      {"NuvolaList 2", "TouchDevelop",
+       R"(
+container table Tasks;
+atomicset tasks { Tasks }
+txn addTask(text) {
+  let r = Tasks.add_row();
+  Tasks.set(r, "text", text);
+}
+txn completeTask(r) { Tasks.set(r, "done", 1); }
+txn renameTask(r, text) { Tasks.set(r, "text", text); }
+txn removeTask(r) { Tasks.del(r); }
+txn showTasks(r) {
+  let t = Tasks.get(r, "text");
+  let d = Tasks.get(r, "done");
+  let n = Tasks.size();
+  display(t); display(d); display(n);
+}
+)",
+       {},
+       5, 9, {0, 8, 0}, {0, 0, 0}});
+
+  Apps.push_back(
+      {"FieldGPS", "TouchDevelop",
+       R"(
+container table Fixes;
+atomicset fixes { Fixes }
+session dev;
+txn recordFix(lat, lon) {
+  Fixes.set(dev, "lat", lat);
+  Fixes.set(dev, "lon", lon);
+}
+txn showFix() {
+  let la = Fixes.get(dev, "lat");
+  let lo = Fixes.get(dev, "lon");
+  display(la); display(lo);
+}
+txn hasFix() {
+  let e = Fixes.contains(dev);
+  display(e);
+}
+txn exportFix() {
+  let la = Fixes.get(dev, "lat");
+  display(la);
+}
+)",
+       {},
+       4, 5, {0, 0, 0}, {0, 0, 0}});
+
+  Apps.push_back(
+      {"Instant Poll", "TouchDevelop",
+       R"(
+container counter Yes;
+container counter No;
+atomicset poll { Yes, No }
+txn voteYes() { Yes.inc(1); }
+txn voteNo() { No.inc(1); }
+txn results() {
+  let y = Yes.read();
+  let n = No.read();
+  display(y); display(n);
+}
+txn adjust(d) { Yes.inc(d); }
+)",
+       {},
+       4, 6, {0, 2, 0}, {0, 0, 0}});
+
+  Apps.push_back(
+      {"Expense Rec.", "TouchDevelop",
+       R"(
+container table Expenses;
+container map Budget;
+atomicset expenses { Expenses }
+atomicset budget { Budget }
+txn addExpense(amount, what) {
+  let r = Expenses.add_row();
+  Expenses.set(r, "amount", amount);
+  Expenses.set(r, "what", what);
+}
+txn removeExpense(r) { Expenses.del(r); }
+txn showExpenses(r) {
+  let a = Expenses.get(r, "amount");
+  let n = Expenses.size();
+  display(a); display(n);
+}
+txn setBudget(b) { Budget.put("limit", b); }
+txn checkBudget(spent) {
+  let l = Budget.get("limit");
+  if (l < spent) { Budget.put("over", 1); }
+}
+)",
+       {{{"checkBudget"}, ViolationClass::FalseAlarm}},
+       5, 9, {0, 1, 1}, {0, 0, 0}});
+
+  Apps.push_back(
+      {"Sky Locale", "TouchDevelop",
+       R"(
+container table Names;
+container table Strings;
+container table Ratings;
+atomicset names { Names }
+atomicset strings { Strings }
+atomicset ratings { Ratings }
+session me;
+txn claimName(n) {
+  let e = Names.contains(n);
+  if (!e) { Names.set(n, "owner", me); }
+}
+txn releaseName(n) { Names.del(n); }
+txn whoOwns(n) {
+  let o = Names.get(n, "owner");
+  display(o);
+}
+txn addString(lang, text) {
+  let r = Strings.add_row();
+  Strings.set(r, "lang", lang);
+  Strings.set(r, "text", text);
+}
+txn translate(r, text) { Strings.set(r, "text", text); }
+txn getString(r) {
+  let t = Strings.get(r, "text");
+  let l = Strings.get(r, "lang");
+  display(t); display(l);
+}
+txn removeString(r) { Strings.del(r); }
+txn countStrings() {
+  let n = Strings.size();
+  display(n);
+}
+txn rate(r, v) { Ratings.set(r, me, v); }
+txn showRating(r, u) {
+  let v = Ratings.get(r, u);
+  display(v);
+}
+txn clearRatings(r) { Ratings.del(r); }
+txn myName(n) {
+  let o = Names.get(n, "owner");
+  let mine = Names.contains(n);
+  display(o); display(mine);
+}
+)",
+       {{{"claimName"}, ViolationClass::Harmful}},
+       12, 32, {1, 34, 0}, {1, 4, 0}});
+
+  Apps.push_back(
+      {"Events", "TouchDevelop",
+       R"(
+container table Events;
+atomicset events { Events }
+session me;
+txn createEvent(title, when, where, cap) {
+  let r = Events.add_row();
+  Events.set(r, "title", title);
+  Events.set(r, "when", when);
+  Events.set(r, "where", where);
+  Events.set(r, "cap", cap);
+  Events.set(r, "open", 1);
+}
+txn rsvp(r) {
+  let open = Events.get(r, "open");
+  if (open == 1) { Events.add(r, "guests", me); }
+}
+txn cancelEvent(r) { Events.del(r); }
+txn showEvent(r) {
+  let t = Events.get(r, "title");
+  let w = Events.get(r, "when");
+  let wh = Events.get(r, "where");
+  let c = Events.get(r, "cap");
+  let o = Events.get(r, "open");
+  let going = Events.scontains(r, "guests", me);
+  let n = Events.size();
+  display(t); display(w); display(wh); display(c);
+  display(o); display(going); display(n);
+}
+)",
+       {{{"cancelEvent", "rsvp"}, ViolationClass::Harmful}},
+       4, 29, {1, 1, 0}, {1, 0, 0}});
+
+  Apps.push_back(
+      {"Cloud Card", "TouchDevelop",
+       R"(
+container table Cards;
+container table Shares;
+atomicset cards { Cards }
+atomicset shares { Shares }
+session me;
+txn createCard(name, phone) {
+  let r = Cards.add_row();
+  Cards.set(r, "name", name);
+  Cards.set(r, "phone", phone);
+}
+txn updateCard(r, phone) {
+  let e = Cards.contains(r);
+  if (e) { Cards.set(r, "phone", phone); }
+}
+txn deleteCard(r) { Cards.del(r); }
+txn showCard(r) {
+  let n = Cards.get(r, "name");
+  let p = Cards.get(r, "phone");
+  display(n); display(p);
+}
+txn shareCard(r, u) { Shares.add(r, "with", u); }
+txn unshareCard(r, u) { Shares.sremove(r, "with", u); }
+txn sharedWithMe(r) {
+  let s = Shares.scontains(r, "with", me);
+  display(s);
+}
+txn countCards() {
+  let n = Cards.size();
+  display(n);
+}
+txn setTheme(t) { Cards.set(me, "theme", t); }
+)",
+       {{{"deleteCard", "updateCard"}, ViolationClass::Harmful}},
+       9, 25, {1, 5, 0}, {1, 0, 0}});
+
+  Apps.push_back(
+      {"Relatd", "TouchDevelop",
+       R"(
+container table People;
+container table Posts;
+container map Karma;
+atomicset people { People }
+atomicset posts { Posts }
+atomicset karma { Karma }
+session me;
+txn addPerson(name) {
+  let r = People.add_row();
+  People.set(r, "name", name);
+}
+txn relate(p, q) { People.add(p, "rel", q); }
+txn unrelate(p, q) { People.sremove(p, "rel", q); }
+txn related(p, q) {
+  let e = People.scontains(p, "rel", q);
+  display(e);
+}
+txn renamePerson(p, name) { People.set(p, "name", name); }
+txn removePerson(p) { People.del(p); }
+txn showPerson(p) {
+  let n = People.get(p, "name");
+  let c = People.size();
+  display(n); display(c);
+}
+txn post(text) {
+  let r = Posts.add_row();
+  Posts.set(r, "text", text);
+  Posts.set(r, "by", me);
+}
+txn deletePost(r) { Posts.del(r); }
+txn feed(r) {
+  let t = Posts.get(r, "text");
+  let b = Posts.get(r, "by");
+  display(t); display(b);
+}
+txn bumpKarma(u, k) {
+  let c = Karma.get(u);
+  if (c < k) { Karma.put(u, k); }
+}
+txn showKarma(u) {
+  let k = Karma.get(u);
+  display(k);
+}
+txn resetKarma(u) { Karma.remove(u); }
+txn editPost(r, text) {
+  let b = Posts.get(r, "by");
+  if (b == 0) { skip; } else { Posts.set(r, "text", text); }
+}
+)",
+       {{{"bumpKarma"}, ViolationClass::Harmful}},
+       14, 69, {1, 18, 0}, {1, 3, 0}});
+
+  Apps.push_back(
+      {"Color Line", "TouchDevelop",
+       R"(
+container map Best;
+atomicset best { Best }
+session me;
+txn saveBest(s) {
+  let b = Best.get(me);
+  if (b < s) { Best.put(me, s); }
+}
+txn saveGlobal(s) {
+  let g = Best.get("global");
+  if (g < s) { Best.put("global", s); }
+}
+txn showBest() {
+  let g = Best.get("global");
+  let mine = Best.get(me);
+  display(g); display(mine);
+}
+)",
+       {{{"saveBest"}, ViolationClass::Harmful},
+        {{"saveGlobal"}, ViolationClass::Harmful}},
+       3, 10, {3, 0, 0}, {3, 0, 0}});
+
+  Apps.push_back(
+      {"Unique Poll", "TouchDevelop",
+       R"(
+container table Votes;
+atomicset votes { Votes }
+session me;
+txn vote(opt) { Votes.set(me, "choice", opt); }
+txn retract() { Votes.del(me); }
+txn hasVoted() {
+  let e = Votes.contains(me);
+  display(e);
+}
+txn tally() {
+  let n = Votes.size();
+  display(n);
+}
+)",
+       {},
+       4, 4, {0, 4, 0}, {0, 0, 0}});
+
+  return Apps;
+}

@@ -1,0 +1,128 @@
+//===- bench/bench_dynamic_compare.cpp - Static vs dynamic (§9.5) ---------===//
+//
+// Part of the C4 serializability analyzer. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reproduces the §9.5 comparison: the static analysis covers all timings,
+/// while a state-of-the-art dynamic analyzer only sees executed schedules.
+/// For a selection of benchmarks with seeded harmful violations we run many
+/// randomized executions on the causal-store simulator (random sessions,
+/// arguments, and delivery orders) and measure how often the dynamic DSG
+/// analysis observes any violation — versus the static analysis, which
+/// flags each app once and for all.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Analyzer.h"
+#include "apps/Apps.h"
+#include "frontend/Frontend.h"
+#include "store/DynamicAnalyzer.h"
+#include "store/Interpreter.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace c4;
+using namespace c4bench;
+
+namespace {
+
+/// Runs \p Rounds random transactions of \p P on a fresh 2-replica store
+/// with random delivery; returns whether the dynamic analyzer flags the
+/// resulting execution.
+bool randomExecutionFlags(const CompiledProgram &P, Rng &R,
+                          unsigned Rounds) {
+  CausalStore Store(*P.Sch, 2);
+  ProgramRunner Runner(P, Store);
+  std::vector<unsigned> Sessions = {Store.openSession(0),
+                                    Store.openSession(1)};
+  // Distinct session constants per session; shared small argument domain
+  // so keys collide often.
+  for (unsigned S : Sessions)
+    for (const std::string &Name : P.AST->SessionConsts)
+      Runner.setSessionConst(S, Name, 100 + S);
+  std::string Error;
+  for (unsigned Round = 0; Round != Rounds; ++Round) {
+    const TxnDecl &T =
+        P.AST->Txns[R.below(P.AST->Txns.size())];
+    std::vector<int64_t> Args;
+    for (size_t I = 0; I != T.Params.size(); ++I)
+      Args.push_back(R.range(1, 2));
+    unsigned S = Sessions[R.below(Sessions.size())];
+    if (!Runner.runTxn(S, T.Name, Args, Error))
+      return false;
+    while (R.chance(1, 2) && Store.deliverRandom(R)) {
+    }
+  }
+  Store.deliverAll();
+  return analyzeDynamic(Store.history(), Store.schedule())
+      .violationFound();
+}
+
+} // namespace
+
+static const int StdoutLineBuffered = []() {
+  std::setvbuf(stdout, nullptr, _IOLBF, 0);
+  return 0;
+}();
+
+int main(int Argc, char **Argv) {
+  unsigned Trials = 200, Rounds = 6;
+  for (int I = 1; I != Argc; ++I) {
+    if (!std::strcmp(Argv[I], "--trials") && I + 1 != Argc)
+      Trials = static_cast<unsigned>(std::atoi(Argv[++I]));
+    if (!std::strcmp(Argv[I], "--rounds") && I + 1 != Argc)
+      Rounds = static_cast<unsigned>(std::atoi(Argv[++I]));
+  }
+
+  std::printf("Static vs dynamic detection (§9.5): %u random executions "
+              "per app,\n%u transactions each, 2 replicas, random "
+              "delivery.\n\n",
+              Trials, Rounds);
+  std::printf("%-20s %-28s %s\n", "Program", "static (harmful found?)",
+              "dynamic detection rate");
+
+  const char *Selected[] = {"Tetris",          "Color Line",
+                            "cassandra-twitter", "cassieq-core",
+                            "dstax-queueing",  "Sky Locale"};
+  for (const BenchApp &App : benchApps()) {
+    bool Chosen = false;
+    for (const char *Name : Selected)
+      Chosen = Chosen || !std::strcmp(Name, App.Name);
+    if (!Chosen)
+      continue;
+    CompileResult Compiled = compileC4L(App.Source);
+    if (!Compiled.ok()) {
+      std::printf("%s: COMPILE ERROR: %s\n", App.Name,
+                  Compiled.Error.c_str());
+      continue;
+    }
+    const CompiledProgram &P = *Compiled.Program;
+
+    AnalysisResult Static = analyze(*P.History);
+    unsigned Harmful = 0;
+    for (const Violation &V : Static.Violations)
+      if (classify(App, V.TxnNames) == ViolationClass::Harmful)
+        ++Harmful;
+
+    Rng R(0xD15EA5E);
+    unsigned Detected = 0;
+    for (unsigned Trial = 0; Trial != Trials; ++Trial)
+      if (randomExecutionFlags(P, R, Rounds))
+        ++Detected;
+
+    std::printf("%-20s %-28s %u / %u (%.0f%%)\n", App.Name,
+                Harmful ? "yes (always: all timings)" : "no harmful found",
+                Detected, Trials, 100.0 * Detected / Trials);
+  }
+  std::printf("\nThe static analysis flags every app with a seeded bug "
+              "unconditionally; the\ndynamic analyzer needs the racy "
+              "timing to occur (paper: three TouchDevelop bugs\nwere "
+              "missed entirely by the dynamic analysis).\n");
+  return 0;
+}

@@ -1,0 +1,133 @@
+//===- bench/bench_fig13b.cpp - Reproduces Figure 13b ---------------------===//
+//
+// Part of the C4 serializability analyzer. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Regenerates Figure 13b: how the two §9.1 filtering heuristics (atomic
+/// sets, display code) relate to the harmful/harmless classification of the
+/// reported violations. For each benchmark we run unfiltered, with each
+/// filter alone, and with both, and attribute every unfiltered violation to
+/// the filters that remove it. The paper's headline properties are checked:
+/// no harmful violation is ever filtered, and most harmless ones are.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Analyzer.h"
+#include "apps/Apps.h"
+#include "frontend/Frontend.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <set>
+#include <string>
+
+using namespace c4;
+using namespace c4bench;
+
+namespace {
+
+std::set<std::string> violationKeys(const AnalysisResult &R) {
+  std::set<std::string> Keys;
+  for (const Violation &V : R.Violations) {
+    std::string Key;
+    for (const std::string &N : V.TxnNames)
+      Key += N + ",";
+    Keys.insert(Key);
+  }
+  return Keys;
+}
+
+struct DomainStats {
+  // [harmful=0 / harmless=1 / false alarm=2][by-atomic][by-display]
+  unsigned Count[3][2][2] = {};
+  unsigned HarmfulFiltered = 0;
+};
+
+} // namespace
+
+static const int StdoutLineBuffered = []() {
+  std::setvbuf(stdout, nullptr, _IOLBF, 0);
+  return 0;
+}();
+
+int main() {
+  std::map<std::string, DomainStats> Stats;
+
+  for (const BenchApp &App : benchApps()) {
+    CompileResult Compiled = compileC4L(App.Source);
+    if (!Compiled.ok()) {
+      std::printf("%s: COMPILE ERROR: %s\n", App.Name,
+                  Compiled.Error.c_str());
+      return 1;
+    }
+    const CompiledProgram &P = *Compiled.Program;
+
+    AnalyzerOptions None;
+    AnalysisResult RNone = analyze(*P.History, None);
+
+    AnalyzerOptions Display;
+    Display.DisplayFilter = true;
+    AnalysisResult RDisplay = analyze(*P.History, Display);
+
+    AnalyzerOptions Atomic;
+    Atomic.UseAtomicSets = !P.AtomicSets.empty();
+    Atomic.AtomicSets = P.AtomicSets;
+    AnalysisResult RAtomic = analyze(*P.History, Atomic);
+
+    std::set<std::string> DisplayKeys = violationKeys(RDisplay);
+    std::set<std::string> AtomicKeys = violationKeys(RAtomic);
+
+    DomainStats &D = Stats[App.Domain];
+    for (const Violation &V : RNone.Violations) {
+      std::string Key;
+      for (const std::string &N : V.TxnNames)
+        Key += N + ",";
+      bool ByDisplay = !DisplayKeys.count(Key);
+      bool ByAtomic = !AtomicKeys.count(Key);
+      unsigned Class = 1;
+      switch (classify(App, V.TxnNames)) {
+      case ViolationClass::Harmful:
+        Class = 0;
+        break;
+      case ViolationClass::Harmless:
+        Class = 1;
+        break;
+      case ViolationClass::FalseAlarm:
+        Class = 2;
+        break;
+      }
+      ++D.Count[Class][ByAtomic ? 1 : 0][ByDisplay ? 1 : 0];
+      if (Class == 0 && (ByDisplay || ByAtomic))
+        ++D.HarmfulFiltered;
+    }
+    std::printf("  %-18s analyzed (%zu unfiltered violations)\n", App.Name,
+                RNone.Violations.size());
+  }
+
+  for (const auto &[Domain, D] : Stats) {
+    std::printf("\n%s:\n", Domain.c_str());
+    const char *Classes[3] = {"harmful", "harmless", "false alarm"};
+    for (unsigned C = 0; C != 3; ++C) {
+      unsigned Neither = D.Count[C][0][0];
+      unsigned AtomicOnly = D.Count[C][1][0];
+      unsigned DisplayOnly = D.Count[C][0][1];
+      unsigned Both = D.Count[C][1][1];
+      unsigned Total = Neither + AtomicOnly + DisplayOnly + Both;
+      if (!Total)
+        continue;
+      std::printf("  %-12s total %2u | filtered by: atomic-sets only %u, "
+                  "display only %u, both %u, neither %u\n",
+                  Classes[C], Total, AtomicOnly, DisplayOnly, Both,
+                  Neither);
+    }
+    std::printf("  harmful violations filtered out: %u (paper: 0)\n",
+                D.HarmfulFiltered);
+  }
+  std::printf("\n(paper: the display-code heuristic alone filtered 91%% of "
+              "Cassandra's harmless\nviolations while preserving all "
+              "harmful ones)\n");
+  return 0;
+}

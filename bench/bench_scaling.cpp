@@ -1,0 +1,160 @@
+//===- bench/bench_scaling.cpp - Microbenchmarks (google-benchmark) -------===//
+//
+// Part of the C4 serializability analyzer. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Scaling microbenchmarks for the analyzer's stages (not a paper table;
+/// DESIGN.md's "scaling (ours)" experiment): SSG construction vs program
+/// size, unfolding enumeration vs session bound k, one SMT query, the full
+/// staged pipeline, and causal-store simulator throughput. These quantify
+/// the design choice behind the staged pipeline: the SSG stage is orders of
+/// magnitude cheaper than an SMT query, so pre-filtering pays off.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Analyzer.h"
+#include "frontend/Frontend.h"
+#include "smt/Encoding.h"
+#include "ssg/SSG.h"
+#include "support/Format.h"
+#include "store/CausalStore.h"
+#include "unfold/Unfolder.h"
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+using namespace c4;
+
+namespace {
+
+/// A synthetic program with N put/get transaction pairs on N containers.
+std::string syntheticSource(unsigned N) {
+  std::string Src;
+  for (unsigned I = 0; I != N; ++I)
+    Src += strf("container map M%u;\n", I);
+  for (unsigned I = 0; I != N; ++I) {
+    Src += strf("txn w%u(k, v) { M%u.put(k, v); }\n", I, I);
+    Src += strf("txn r%u(k) { let x = M%u.get(k); return x; }\n", I, I);
+  }
+  return Src;
+}
+
+/// Shared compiled Figure 1 program for the per-stage benchmarks.
+const CompiledProgram &fig1Program() {
+  static CompileResult R = compileC4L("container map M;\n"
+                                      "txn P(x, y) { M.put(x, y); }\n"
+                                      "txn G(z) { let v = M.get(z); }\n");
+  return *R.Program;
+}
+
+void BM_FrontendCompile(benchmark::State &State) {
+  std::string Src = syntheticSource(static_cast<unsigned>(State.range(0)));
+  for (auto _ : State) {
+    CompileResult R = compileC4L(Src);
+    benchmark::DoNotOptimize(R.ok());
+  }
+}
+BENCHMARK(BM_FrontendCompile)->Arg(1)->Arg(4)->Arg(16);
+
+void BM_GeneralSSG(benchmark::State &State) {
+  CompileResult R = compileC4L(
+      syntheticSource(static_cast<unsigned>(State.range(0))));
+  const AbstractHistory &A = *R.Program->History;
+  AnalysisFeatures F;
+  for (auto _ : State) {
+    SSG G(A, F);
+    G.analyze();
+    benchmark::DoNotOptimize(G.violations().size());
+  }
+}
+BENCHMARK(BM_GeneralSSG)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_EnumerateUnfoldings(benchmark::State &State) {
+  const CompiledProgram &P = fig1Program();
+  unsigned K = static_cast<unsigned>(State.range(0));
+  for (auto _ : State) {
+    bool Truncated = false;
+    auto Us = enumerateUnfoldings(*P.History, K, 1000000, Truncated);
+    benchmark::DoNotOptimize(Us.size());
+  }
+}
+BENCHMARK(BM_EnumerateUnfoldings)->Arg(2)->Arg(3)->Arg(4);
+
+void BM_InstantiatedSSG(benchmark::State &State) {
+  const CompiledProgram &P = fig1Program();
+  bool Truncated = false;
+  auto Us = enumerateUnfoldings(*P.History, 2, 1000, Truncated);
+  AnalysisFeatures F;
+  for (auto _ : State) {
+    for (const Unfolding &U : Us) {
+      SSG G(U.H, F, U.SessionTags);
+      G.analyze();
+      bool T = false;
+      benchmark::DoNotOptimize(G.candidateCycles(64, T).size());
+    }
+  }
+}
+BENCHMARK(BM_InstantiatedSSG);
+
+void BM_SmtQuery(benchmark::State &State) {
+  // One ϕ_cyclic query: the SC1-feasible unfolding of the Figure 1 program.
+  const CompiledProgram &P = fig1Program();
+  bool Truncated = false;
+  auto Us = enumerateUnfoldings(*P.History, 2, 1000, Truncated);
+  AnalysisFeatures F;
+  for (auto _ : State) {
+    unsigned Found = 0;
+    for (const Unfolding &U : Us) {
+      SSG G(U.H, F, U.SessionTags);
+      G.analyze();
+      bool T = false;
+      auto Cands = G.candidateCycles(64, T);
+      if (Cands.empty())
+        continue;
+      UnfoldingResult R = solveUnfolding(U, G, Cands, F);
+      Found += R.Status == UnfoldingResult::CycleFound;
+    }
+    benchmark::DoNotOptimize(Found);
+  }
+}
+BENCHMARK(BM_SmtQuery)->Unit(benchmark::kMillisecond);
+
+void BM_FullPipeline(benchmark::State &State) {
+  CompileResult R = compileC4L(
+      syntheticSource(static_cast<unsigned>(State.range(0))));
+  for (auto _ : State) {
+    AnalysisResult A = analyze(*R.Program->History);
+    benchmark::DoNotOptimize(A.Violations.size());
+  }
+}
+BENCHMARK(BM_FullPipeline)->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_StoreCommitThroughput(benchmark::State &State) {
+  TypeRegistry Reg;
+  Schema Sch;
+  unsigned M = Sch.addContainer("M", Reg.lookup("map"));
+  const DataTypeSpec *T = Sch.container(M).Type;
+  unsigned Put = T->opIndex(*T->findOp("put"));
+  for (auto _ : State) {
+    State.PauseTiming();
+    CausalStore Store(Sch, 3);
+    unsigned S = Store.openSession(0);
+    State.ResumeTiming();
+    for (int I = 0; I != 100; ++I) {
+      Store.begin(S);
+      Store.update(S, M, Put, {I % 7, I});
+      Store.commit(S);
+    }
+    benchmark::DoNotOptimize(Store.history().numEvents());
+  }
+  State.SetItemsProcessed(State.iterations() * 100);
+}
+BENCHMARK(BM_StoreCommitThroughput);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,100 @@
+//===- examples/bank_account.cpp - Static analysis meets simulation -------===//
+//
+// Part of the C4 serializability analyzer. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A bank account on a causally-consistent store: `withdraw` checks the
+/// balance and then writes the new one — the textbook read-modify-write
+/// race. The static analysis reports the violation; then we *run* the
+/// program on the causal store simulator with two replicas and actually
+/// produce the double spend, which the dynamic analyzer (§9.5) confirms on
+/// that execution — but only when the timing cooperates.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Analyzer.h"
+#include "frontend/Frontend.h"
+#include "store/DynamicAnalyzer.h"
+#include "store/Interpreter.h"
+
+#include <cstdio>
+
+using namespace c4;
+
+int main() {
+  const char *Source = R"(
+container map Accounts;
+txn deposit(acct, newBalance) { Accounts.put(acct, newBalance); }
+txn withdraw(acct, amount, rest) {
+  let bal = Accounts.get(acct);
+  if (bal >= 100) { Accounts.put(acct, rest); }
+}
+txn balance(acct) {
+  let b = Accounts.get(acct);
+  return b;
+}
+)";
+  CompileResult Compiled = compileC4L(Source);
+  if (!Compiled.ok()) {
+    std::fprintf(stderr, "compile error: %s\n", Compiled.Error.c_str());
+    return 1;
+  }
+  CompiledProgram &P = *Compiled.Program;
+
+  std::printf("--- static analysis ---\n");
+  AnalysisResult R = analyze(*P.History);
+  std::fputs(reportStr(*P.History, R).c_str(), stdout);
+
+  std::printf("\n--- executing the double spend on the simulator ---\n");
+  CausalStore Store(*P.Sch, /*NumReplicas=*/2);
+  ProgramRunner Runner(P, Store);
+  unsigned Alice = Store.openSession(0); // replica 0
+  unsigned Bob = Store.openSession(1);   // replica 1
+  std::string Error;
+
+  // Deposit 100, replicate everywhere.
+  Runner.runTxn(Alice, "deposit", {1, 100}, Error);
+  Store.deliverAll();
+
+  // Two concurrent withdrawals of 100 on different replicas: both see
+  // balance 100, both succeed.
+  Runner.runTxn(Alice, "withdraw", {1, 100, 0}, Error);
+  Runner.runTxn(Bob, "withdraw", {1, 100, 0}, Error);
+  Store.deliverAll();
+  Runner.runTxn(Alice, "balance", {1}, Error);
+
+  const History &H = Store.history();
+  for (unsigned T = 0; T != H.numTransactions(); ++T) {
+    std::printf("  txn %u (session %u):", T, H.txn(T).Session);
+    for (unsigned E : H.txn(T).Events)
+      std::printf(" %s", H.eventStr(E).c_str());
+    std::printf("\n");
+  }
+  std::printf("Both withdrawals read balance 100 and succeeded: 200 "
+              "withdrawn from a 100 account.\n");
+
+  DynamicReport Dyn = analyzeDynamic(H, Store.schedule());
+  std::printf("dynamic analyzer on this execution: %s\n",
+              Dyn.violationFound() ? "violation detected"
+                                   : "no violation (missed)");
+  std::printf("serializable (ground truth): %s\n",
+              isSerializable(H) ? "yes" : "no");
+
+  // The same workload with immediate replication: the dynamic analyzer
+  // sees nothing — only the static analysis covers all timings.
+  CausalStore Store2(*P.Sch, 2);
+  ProgramRunner Runner2(P, Store2);
+  unsigned A2 = Store2.openSession(0), B2 = Store2.openSession(1);
+  Runner2.runTxn(A2, "deposit", {1, 100}, Error);
+  Store2.deliverAll();
+  Runner2.runTxn(A2, "withdraw", {1, 100, 0}, Error);
+  Store2.deliverAll();
+  Runner2.runTxn(B2, "withdraw", {1, 100, 0}, Error);
+  Store2.deliverAll();
+  DynamicReport Dyn2 = analyzeDynamic(Store2.history(), Store2.schedule());
+  std::printf("\nwith lucky timing the dynamic analyzer reports: %s\n",
+              Dyn2.violationFound() ? "violation" : "nothing");
+  return 0;
+}

@@ -1,0 +1,92 @@
+//===- examples/fix_with_crdts.cpp - Repairing bugs with better types -----===//
+//
+// Part of the C4 serializability analyzer. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The constructive counterpart of the paper's bug classes: many harmful
+/// violations are read-modify-write on high-level data (class 2 of §9.5) —
+/// the fix is choosing a data type whose updates commute. This example
+/// contrasts the Tetris high-score pattern on a plain register (the
+/// analyzer reports the lost-update violation) with the same feature on a
+/// monotonic max-register (the analyzer *proves* it serializable for any
+/// number of sessions), and likewise a tally on a counter.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Analyzer.h"
+#include "frontend/Frontend.h"
+
+#include <cstdio>
+
+using namespace c4;
+
+static void run(const char *Label, const char *Source,
+                bool WithFilters = false) {
+  CompileResult Compiled = compileC4L(Source);
+  if (!Compiled.ok()) {
+    std::fprintf(stderr, "compile error: %s\n", Compiled.Error.c_str());
+    return;
+  }
+  AnalyzerOptions Options;
+  Options.DisplayFilter = WithFilters;
+  AnalysisResult R = analyze(*Compiled.Program->History, Options);
+  std::printf("=== %s ===\n%s\n", Label,
+              reportStr(*Compiled.Program->History, R).c_str());
+}
+
+int main() {
+  // The buggy pattern: read the high score, compare, write back. Two
+  // players can interleave and one score is lost.
+  run("high score, read-modify-write on a register (buggy)", R"(
+container register Best;
+txn saveScore(s) {
+  let hi = Best.get();
+  if (hi < s) { Best.put(s); }
+}
+txn showBest() {
+  let b = Best.get();
+  return b;
+}
+)");
+
+  // The fix: a monotonic max-register. put merges by maximum, so updates
+  // commute and a smaller put is absorbed by a larger one — the analyzer
+  // proves serializability outright.
+  run("high score on a max-register (proved correct)", R"(
+container maxreg Best;
+txn saveScore(s) { Best.put(s); }
+txn showBest() {
+  let b = Best.get();
+  return b;
+}
+)");
+
+  // Same story for tallies: incrementing a register loses updates ...
+  run("tally via get/put on a map (buggy)", R"(
+container map Votes;
+txn vote(n) {
+  let v = Votes.get("total");
+  Votes.put("total", n);
+}
+txn results() {
+  let v = Votes.get("total");
+  return v;
+}
+)");
+
+  // ... while a counter's increments commute. The remaining read-vs-read
+  // "violation" concerns only what the UI displays, which the §9.1
+  // display-code filter recognizes.
+  run("tally on a counter (display filter on: nothing to report)", R"(
+container counter Votes;
+txn vote() { Votes.inc(1); }
+txn results() {
+  let v = Votes.read();
+  display(v);
+}
+)",
+      /*WithFilters=*/true);
+  return 0;
+}

@@ -1,0 +1,65 @@
+//===- examples/quickstart.cpp - 5-minute tour of the C4 API --------------===//
+//
+// Part of the C4 serializability analyzer. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Quickstart: compile a small C4L program, run the analysis, inspect the
+/// result. This is the Figure 1 program of the paper — a put and a get on a
+/// replicated map — which is not serializable under causal consistency.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Analyzer.h"
+#include "frontend/Frontend.h"
+
+#include <cstdio>
+
+using namespace c4;
+
+int main() {
+  // 1. A client program of a causally-consistent store, in C4L.
+  const char *Source = R"(
+container map M;
+txn P(x, y) { M.put(x, y); }
+txn G(z)    { let v = M.get(z); return v; }
+)";
+
+  // 2. The front end produces the abstract history (paper §5): abstract
+  //    events per syntactic operation, inferred invariants, control flow.
+  CompileResult Compiled = compileC4L(Source);
+  if (!Compiled.ok()) {
+    std::fprintf(stderr, "compile error: %s\n", Compiled.Error.c_str());
+    return 1;
+  }
+  CompiledProgram &P = *Compiled.Program;
+  std::printf("compiled: %u transactions, %u store events\n",
+              P.History->numTxns(), P.History->numStoreEvents());
+
+  // 3. The back end runs the staged pipeline: the fast SSG analysis (§6),
+  //    then SMT-checked unfoldings (§7) with counter-example extraction.
+  AnalysisResult R = analyze(*P.History);
+  std::fputs(reportStr(*P.History, R).c_str(), stdout);
+
+  // 4. Violations carry concrete counter-examples: a non-serializable
+  //    execution of the program, rendered session by session.
+  if (!R.Violations.empty() && R.Violations.front().CE)
+    std::printf("\nThis is the classic 'long fork': each session misses "
+                "the other's write.\n");
+
+  // 5. Fixing the program: if every access within a session uses the same
+  //    key (a session-local constant), the program becomes serializable —
+  //    the paper's Figure 7.
+  const char *Fixed = R"(
+container map M;
+session u;
+txn P(y) { M.put(u, y); }
+txn G()  { let v = M.get(u); return v; }
+)";
+  CompileResult Compiled2 = compileC4L(Fixed);
+  AnalysisResult R2 = analyze(*Compiled2.Program->History);
+  std::printf("\nwith session-local keys: %s",
+              reportStr(*Compiled2.Program->History, R2).c_str());
+  return 0;
+}

@@ -1,0 +1,80 @@
+//===- examples/quiz_app.cpp - Precision features on the quiz app ---------===//
+//
+// Part of the C4 serializability analyzer. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's §8 quiz application (Figures 10 and 12): transactions update
+/// and read two fields of a quiz row, and new questions are created with
+/// fresh row identities. Demonstrates how inferred argument equalities and
+/// fresh-unique-value reasoning eliminate false alarms — and what the
+/// analysis reports when each feature is disabled.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Analyzer.h"
+#include "frontend/Frontend.h"
+
+#include <cstdio>
+
+using namespace c4;
+
+static void analyzeWith(const CompiledProgram &P, const char *Label,
+                        AnalysisFeatures Features) {
+  AnalyzerOptions O;
+  O.Features = Features;
+  AnalysisResult R = analyze(*P.History, O);
+  std::printf("=== %s ===\n%s\n", Label, reportStr(*P.History, R).c_str());
+}
+
+int main() {
+  const char *Source = R"(
+container table Quiz;
+session current;   // the quiz a session is working on
+
+txn addQuestion(q) {
+  let x = Quiz.add_row();          // guaranteed-fresh row identity
+  Quiz.set(x, "question", q);
+}
+txn updateQuestion(q, a) {
+  Quiz.set(current, "question", q);
+  Quiz.set(current, "answer", a);  // same row: inferred equality
+}
+txn getQuestion() {
+  let q = Quiz.get(current, "question");
+  let a = Quiz.get(current, "answer");
+  return q;
+}
+)";
+  CompileResult Compiled = compileC4L(Source);
+  if (!Compiled.ok()) {
+    std::fprintf(stderr, "compile error: %s\n", Compiled.Error.c_str());
+    return 1;
+  }
+  const CompiledProgram &P = *Compiled.Program;
+
+  // Full precision: every candidate cycle is refuted (absorption between
+  // same-row writes, fresh-identity reasoning for add_row).
+  analyzeWith(P, "all features (paper configuration)",
+              AnalysisFeatures::all());
+
+  // Figure 10: without the argument-equality constraints, the answer field
+  // may be attributed to a different row and a false alarm appears.
+  AnalysisFeatures NoConstraints;
+  NoConstraints.Constraints = false;
+  analyzeWith(P, "without constraints (Fig. 10 false alarm)", NoConstraints);
+
+  // Figure 12: without fresh-unique-value reasoning, a row can be updated
+  // "before" its creation and a false alarm appears.
+  AnalysisFeatures NoUnique;
+  NoUnique.UniqueValues = false;
+  analyzeWith(P, "without unique values (Fig. 12 false alarm)", NoUnique);
+
+  // Without absorption, overwritten writes keep their anti-dependencies
+  // (the Fig. 3 mechanism) and alarms reappear.
+  AnalysisFeatures NoAbsorption;
+  NoAbsorption.Absorption = false;
+  analyzeWith(P, "without absorption", NoAbsorption);
+  return 0;
+}

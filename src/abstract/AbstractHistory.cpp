@@ -1,0 +1,163 @@
+//===- abstract/AbstractHistory.cpp ---------------------------------------===//
+//
+// Part of the C4 serializability analyzer. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "abstract/AbstractHistory.h"
+
+#include "support/Format.h"
+
+#include <cassert>
+
+using namespace c4;
+
+unsigned AbstractHistory::addTransaction(const std::string &Name) {
+  unsigned Id = numTxns();
+  Txns_.push_back({Id, Name, {}, {}, {}});
+  for (std::vector<bool> &Row : MaySo_)
+    Row.push_back(false);
+  MaySo_.emplace_back(numTxns(), false);
+  addMarker(Id, "entry");
+  return Id;
+}
+
+unsigned AbstractHistory::addEvent(unsigned Txn, unsigned Container,
+                                   unsigned Op, AbsFacts Facts, bool Display) {
+  assert(Txn < numTxns() && "unknown transaction");
+  assert(Container < Sch->numContainers() && "unknown container");
+  const OpSig &Sig = Sch->op(Container, Op);
+  assert(Facts.size() <= Sig.numVals() && "too many facts");
+  Facts.resize(Sig.numVals());
+  unsigned Id = numEvents();
+  std::string Label = Sch->container(Container).Name + "." + Sig.Name;
+  Events_.push_back({Id, Txn, Container, Op, std::move(Facts), Display,
+                     std::move(Label)});
+  Txns_[Txn].Events.push_back(Id);
+  return Id;
+}
+
+unsigned AbstractHistory::addMarker(unsigned Txn, const std::string &Label) {
+  assert(Txn < numTxns() && "unknown transaction");
+  unsigned Id = numEvents();
+  Events_.push_back(
+      {Id, Txn, AbstractEvent::MarkerContainer, 0, {}, false, Label});
+  Txns_[Txn].Events.push_back(Id);
+  return Id;
+}
+
+void AbstractHistory::addEo(unsigned Src, unsigned Tgt, Cond Guard) {
+  assert(Events_[Src].Txn == Events_[Tgt].Txn && "eo edge must stay in txn");
+  Txns_[Events_[Src].Txn].Eo.push_back({Src, Tgt, std::move(Guard)});
+}
+
+void AbstractHistory::addInv(unsigned Src, unsigned Tgt, Cond C) {
+  assert(Events_[Src].Txn == Events_[Tgt].Txn && "invariant must stay in txn");
+  Txns_[Events_[Src].Txn].Invs.push_back({Src, Tgt, std::move(C)});
+}
+
+void AbstractHistory::setMaySo(unsigned S, unsigned T, bool May) {
+  MaySo_[S][T] = May;
+}
+
+void AbstractHistory::allowAllSo() {
+  for (std::vector<bool> &Row : MaySo_)
+    Row.assign(numTxns(), true);
+}
+
+bool AbstractHistory::maySo(unsigned S, unsigned T) const {
+  return MaySo_[S][T];
+}
+
+unsigned AbstractHistory::numStoreEvents() const {
+  unsigned N = 0;
+  for (const AbstractEvent &E : Events_)
+    if (!E.isMarker())
+      ++N;
+  return N;
+}
+
+const OpSig &AbstractHistory::op(unsigned EventId) const {
+  const AbstractEvent &E = Events_[EventId];
+  assert(!E.isMarker() && "markers have no operation");
+  return Sch->op(E.Container, E.Op);
+}
+
+bool AbstractHistory::isUpdate(unsigned EventId) const {
+  return !Events_[EventId].isMarker() && op(EventId).isUpdate();
+}
+
+bool AbstractHistory::isQuery(unsigned EventId) const {
+  return !Events_[EventId].isMarker() && op(EventId).isQuery();
+}
+
+bool AbstractHistory::eoReaches(unsigned A, unsigned B) const {
+  if (Events_[A].Txn != Events_[B].Txn)
+    return false;
+  const AbstractTxn &T = Txns_[Events_[A].Txn];
+  std::vector<unsigned> Work{A};
+  std::vector<bool> Seen(numEvents(), false);
+  Seen[A] = true;
+  while (!Work.empty()) {
+    unsigned V = Work.back();
+    Work.pop_back();
+    for (const AbstractConstraint &E : T.Eo) {
+      if (E.Src != V || Seen[E.Tgt])
+        continue;
+      if (E.Tgt == B)
+        return true;
+      Seen[E.Tgt] = true;
+      Work.push_back(E.Tgt);
+    }
+  }
+  return false;
+}
+
+std::vector<const AbstractConstraint *>
+AbstractHistory::eoSuccs(unsigned Event) const {
+  std::vector<const AbstractConstraint *> R;
+  for (const AbstractConstraint &E : Txns_[Events_[Event].Txn].Eo)
+    if (E.Src == Event)
+      R.push_back(&E);
+  return R;
+}
+
+std::vector<const AbstractConstraint *>
+AbstractHistory::eoPreds(unsigned Event) const {
+  std::vector<const AbstractConstraint *> R;
+  for (const AbstractConstraint &E : Txns_[Events_[Event].Txn].Eo)
+    if (E.Tgt == Event)
+      R.push_back(&E);
+  return R;
+}
+
+EventFacts AbstractHistory::resolveFacts(unsigned EventId,
+                                         unsigned SessionTag) const {
+  const AbstractEvent &E = Events_[EventId];
+  EventFacts R;
+  R.reserve(E.Facts.size());
+  for (const AbsFact &F : E.Facts) {
+    switch (F.Kind) {
+    case AbsFact::Free:
+      R.push_back(ArgFact::free());
+      break;
+    case AbsFact::Const:
+      R.push_back(ArgFact::constant(F.Value));
+      break;
+    case AbsFact::GlobalVar:
+      R.push_back(ArgFact::symbol(F.Var));
+      break;
+    case AbsFact::LocalVar:
+      R.push_back(
+          ArgFact::symbol(NumGlobal + SessionTag * NumLocal + F.Var));
+      break;
+    }
+  }
+  return R;
+}
+
+std::string AbstractHistory::eventStr(unsigned EventId) const {
+  const AbstractEvent &E = Events_[EventId];
+  return strf("e%u[%s]@%s", E.Id, E.Label.c_str(),
+              Txns_[E.Txn].Name.c_str());
+}

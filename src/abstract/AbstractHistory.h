@@ -1,0 +1,176 @@
+//===- abstract/AbstractHistory.h - Abstract histories (§5) -----*- C++ -*-===//
+//
+// Part of the C4 serializability analyzer. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The abstraction of all concrete histories of a program (paper Definition
+/// 1). An abstract history consists of
+///
+///  * abstract events — one per syntactic store operation, carrying
+///    *argument facts* (slot = constant / session-local variable / global
+///    variable) and a display-code mark (§9.1),
+///  * abstract transactions — syntactic transactions grouping the events,
+///    each with a unique *entry marker* and an intra-transaction *event
+///    order* `eo` whose edges carry guard/invariant conditions (the map Inv),
+///  * additional *pair invariants* between events of one transaction
+///    (inferred argument equalities, §8),
+///  * an abstract session order: which transactions may follow each other
+///    within one session, and
+///  * counts of session-local (VarL) and global (VarG) symbolic constants.
+///
+/// Markers (entry / join / exit) are pseudo-events without store semantics;
+/// they carry control flow only and are ignored by dependency reasoning.
+///
+/// A concrete history lies in the concretization γ(H) if its events map to
+/// abstract events such that transactions map into abstract transactions,
+/// consecutive events of a transaction follow eo edges (possibly through
+/// markers) with guards satisfied, consecutive transactions of a session are
+/// allowed by the abstract session order, and all facts and pair invariants
+/// hold under a per-session valuation of VarL and a single valuation of
+/// VarG (see Concretize.h).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef C4_ABSTRACT_ABSTRACTHISTORY_H
+#define C4_ABSTRACT_ABSTRACTHISTORY_H
+
+#include "spec/Cond.h"
+#include "spec/Registry.h"
+
+#include <string>
+#include <vector>
+
+namespace c4 {
+
+/// What is known about one argument slot of an abstract event.
+struct AbsFact {
+  enum KindTy : uint8_t { Free, Const, LocalVar, GlobalVar } Kind = Free;
+  int64_t Value = 0; ///< for Const
+  unsigned Var = 0;  ///< for LocalVar / GlobalVar
+
+  static AbsFact free() { return {}; }
+  static AbsFact constant(int64_t V) { return {Const, V, 0}; }
+  static AbsFact localVar(unsigned V) { return {LocalVar, 0, V}; }
+  static AbsFact globalVar(unsigned V) { return {GlobalVar, 0, V}; }
+};
+
+using AbsFacts = std::vector<AbsFact>;
+
+/// An abstract event: a syntactic store operation (or a control marker).
+struct AbstractEvent {
+  unsigned Id;
+  unsigned Txn;
+  /// Container id, or AbstractEvent::MarkerContainer for markers.
+  unsigned Container;
+  unsigned Op; ///< op index; unused for markers
+  AbsFacts Facts;
+  bool Display = false; ///< query used for display only (§9.1 filter)
+  std::string Label;    ///< diagnostic name (marker label or op rendering)
+
+  static constexpr unsigned MarkerContainer = ~0u;
+  bool isMarker() const { return Container == MarkerContainer; }
+};
+
+/// A guarded eo edge or a pair invariant between two events of one
+/// transaction. The condition's `argsrc` terms refer to \p Src's combined
+/// value slots and `argtgt` to \p Tgt's.
+struct AbstractConstraint {
+  unsigned Src;
+  unsigned Tgt;
+  Cond C;
+};
+
+/// An abstract transaction.
+struct AbstractTxn {
+  unsigned Id;
+  std::string Name;
+  std::vector<unsigned> Events; ///< including markers; Events[0] is entry
+  std::vector<AbstractConstraint> Eo;   ///< guarded event-order edges
+  std::vector<AbstractConstraint> Invs; ///< extra pair invariants
+};
+
+/// The abstract history of a program.
+class AbstractHistory {
+public:
+  explicit AbstractHistory(const Schema &S) : Sch(&S) {}
+
+  const Schema &schema() const { return *Sch; }
+
+  /// Creates a transaction with its entry marker. Returns the txn id.
+  unsigned addTransaction(const std::string &Name);
+
+  /// Adds a store-operation event to \p Txn. Facts may be shorter than the
+  /// op's slot count (missing slots are free).
+  unsigned addEvent(unsigned Txn, unsigned Container, unsigned Op,
+                    AbsFacts Facts = {}, bool Display = false);
+
+  /// Adds a control marker event (join/exit) to \p Txn.
+  unsigned addMarker(unsigned Txn, const std::string &Label);
+
+  /// Adds a guarded eo edge between two events of the same transaction.
+  void addEo(unsigned Src, unsigned Tgt, Cond Guard = Cond::t());
+
+  /// Adds a pair invariant between two events of the same transaction.
+  void addInv(unsigned Src, unsigned Tgt, Cond C);
+
+  /// Marks a query as display-only (the §9.1 display-code filter).
+  void setDisplay(unsigned EventId, bool Display = true) {
+    Events_[EventId].Display = Display;
+  }
+
+  /// Declares fresh symbolic constants; returns the variable id.
+  unsigned addLocalVar() { return NumLocal++; }
+  unsigned addGlobalVar() { return NumGlobal++; }
+  unsigned numLocalVars() const { return NumLocal; }
+  unsigned numGlobalVars() const { return NumGlobal; }
+
+  /// Abstract session order: may transaction \p T directly follow \p S in a
+  /// session? Defaults to false; use allowAllSo for unconstrained clients.
+  void setMaySo(unsigned S, unsigned T, bool May = true);
+  void allowAllSo();
+  bool maySo(unsigned S, unsigned T) const;
+
+  unsigned numEvents() const { return static_cast<unsigned>(Events_.size()); }
+  unsigned numTxns() const { return static_cast<unsigned>(Txns_.size()); }
+  const AbstractEvent &event(unsigned Id) const { return Events_[Id]; }
+  const AbstractTxn &txn(unsigned Id) const { return Txns_[Id]; }
+  /// Entry marker of a transaction.
+  unsigned entry(unsigned Txn) const { return Txns_[Txn].Events[0]; }
+
+  /// Number of non-marker events (the paper's E column counts these).
+  unsigned numStoreEvents() const;
+
+  /// The operation signature of a non-marker event.
+  const OpSig &op(unsigned EventId) const;
+  bool isUpdate(unsigned EventId) const;
+  bool isQuery(unsigned EventId) const;
+
+  /// True if \p A reaches \p B through one or more eo edges (same txn).
+  bool eoReaches(unsigned A, unsigned B) const;
+
+  /// eo successors/predecessors of an event (indices into the txn's Eo).
+  std::vector<const AbstractConstraint *> eoSuccs(unsigned Event) const;
+  std::vector<const AbstractConstraint *> eoPreds(unsigned Event) const;
+
+  /// Resolves an event's facts to congruence-closure symbols, placing the
+  /// event in the session identified by \p SessionTag: global variable g
+  /// becomes symbol g; local variable v becomes symbol
+  /// NumGlobal + SessionTag * NumLocal + v.
+  EventFacts resolveFacts(unsigned EventId, unsigned SessionTag) const;
+
+  /// Renders an event for diagnostics ("t1.put(?,?)" style).
+  std::string eventStr(unsigned EventId) const;
+
+private:
+  const Schema *Sch;
+  std::vector<AbstractEvent> Events_;
+  std::vector<AbstractTxn> Txns_;
+  std::vector<std::vector<bool>> MaySo_;
+  unsigned NumLocal = 0, NumGlobal = 0;
+};
+
+} // namespace c4
+
+#endif // C4_ABSTRACT_ABSTRACTHISTORY_H

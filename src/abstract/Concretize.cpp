@@ -1,0 +1,266 @@
+//===- abstract/Concretize.cpp --------------------------------------------===//
+//
+// Part of the C4 serializability analyzer. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "abstract/Concretize.h"
+
+#include <cassert>
+#include <functional>
+#include <map>
+
+using namespace c4;
+
+namespace {
+
+/// Evaluates an eo guard or invariant between two (possibly marker)
+/// endpoints, given the concrete value vectors of their instances. Marker
+/// endpoints contribute empty value vectors; guards must not reference
+/// their slots (the front end never emits such conditions).
+bool evalConstraint(const Cond &C, const std::vector<int64_t> &SrcVals,
+                    const std::vector<int64_t> &TgtVals) {
+  return C.eval(SrcVals, TgtVals);
+}
+
+/// Enumerates embeddings of the concrete event sequence \p Seq (of one
+/// concrete transaction) into the eo graph of abstract transaction \p T:
+/// walks from the entry marker, skipping markers, matching each concrete
+/// event to an abstract event with the same container/op whose guards hold.
+/// Calls \p Yield with the event map for the sequence; stops when Yield
+/// returns true.
+class TxnEmbedder {
+public:
+  TxnEmbedder(const History &H, const AbstractHistory &A, unsigned AbsTxn,
+              const std::vector<unsigned> &Seq,
+              std::function<bool(const std::vector<unsigned> &)> Yield)
+      : H(H), A(A), T(A.txn(AbsTxn)), Seq(Seq), Yield(std::move(Yield)) {}
+
+  bool run() {
+    Map.assign(Seq.size(), 0);
+    return walk(A.entry(T.Id), {}, 0, /*Steps=*/0);
+  }
+
+private:
+  /// \p Node is the current abstract event (already matched or a marker);
+  /// \p NodeVals its concrete values; \p NextIdx the next concrete event to
+  /// match. Marker-only chains are bounded by Steps to survive eo cycles.
+  bool walk(unsigned Node, const std::vector<int64_t> &NodeVals,
+            unsigned NextIdx, unsigned Steps) {
+    if (NextIdx == Seq.size())
+      return Yield(Map);
+    if (Steps > 4 * T.Events.size())
+      return false;
+    const Event &C = H.event(Seq[NextIdx]);
+    for (const AbstractConstraint *E : A.eoSuccs(Node)) {
+      const AbstractEvent &Tgt = A.event(E->Tgt);
+      if (Tgt.isMarker()) {
+        if (!evalConstraint(E->C, NodeVals, {}))
+          continue;
+        if (walk(E->Tgt, {}, NextIdx, Steps + 1))
+          return true;
+        continue;
+      }
+      if (Tgt.Container != C.Container || Tgt.Op != C.Op)
+        continue;
+      std::vector<int64_t> Vals = C.vals();
+      if (!evalConstraint(E->C, NodeVals, Vals))
+        continue;
+      Map[NextIdx] = E->Tgt;
+      if (walk(E->Tgt, Vals, NextIdx + 1, Steps + 1))
+        return true;
+    }
+    return false;
+  }
+
+  const History &H;
+  const AbstractHistory &A;
+  const AbstractTxn &T;
+  const std::vector<unsigned> &Seq;
+  std::function<bool(const std::vector<unsigned> &)> Yield;
+  std::vector<unsigned> Map;
+};
+
+/// Checks argument facts for one concrete event under partial valuations,
+/// extending them where slots are still unassigned.
+bool applyFacts(const AbstractHistory &A, const Event &C, unsigned AbsEvent,
+                std::map<unsigned, int64_t> &Globals,
+                std::map<std::pair<unsigned, unsigned>, int64_t> &Locals) {
+  const AbstractEvent &E = A.event(AbsEvent);
+  std::vector<int64_t> Vals = C.vals();
+  assert(Vals.size() == E.Facts.size() && "slot count mismatch");
+  for (unsigned I = 0; I != Vals.size(); ++I) {
+    const AbsFact &F = E.Facts[I];
+    switch (F.Kind) {
+    case AbsFact::Free:
+      break;
+    case AbsFact::Const:
+      if (Vals[I] != F.Value)
+        return false;
+      break;
+    case AbsFact::GlobalVar: {
+      auto [It, New] = Globals.emplace(F.Var, Vals[I]);
+      if (!New && It->second != Vals[I])
+        return false;
+      break;
+    }
+    case AbsFact::LocalVar: {
+      auto [It, New] = Locals.emplace(std::make_pair(C.Session, F.Var),
+                                      Vals[I]);
+      if (!New && It->second != Vals[I])
+        return false;
+      break;
+    }
+    }
+  }
+  return true;
+}
+
+/// Checks the pair invariants of abstract transaction \p AbsTxn against a
+/// fully mapped concrete transaction.
+bool checkInvs(const History &H, const AbstractHistory &A, unsigned AbsTxn,
+               const std::vector<unsigned> &Seq,
+               const std::vector<unsigned> &Map) {
+  for (const AbstractConstraint &Inv : A.txn(AbsTxn).Invs)
+    for (unsigned I = 0; I != Seq.size(); ++I) {
+      if (Map[I] != Inv.Src)
+        continue;
+      for (unsigned J = 0; J != Seq.size(); ++J) {
+        if (Map[J] != Inv.Tgt)
+          continue;
+        if (!evalConstraint(Inv.C, H.event(Seq[I]).vals(),
+                            H.event(Seq[J]).vals()))
+          return false;
+      }
+    }
+  return true;
+}
+
+} // namespace
+
+bool c4::isConcretization(const History &H, const AbstractHistory &A,
+                          const ConcretizationModel &M) {
+  if (M.EventMap.size() != H.numEvents() ||
+      M.TxnMap.size() != H.numTransactions())
+    return false;
+
+  // Session order between consecutive transactions.
+  for (unsigned S = 0; S != H.numSessions(); ++S) {
+    const std::vector<unsigned> &Txns = H.sessionTxns(S);
+    for (unsigned I = 0; I + 1 < Txns.size(); ++I)
+      if (!A.maySo(M.TxnMap[Txns[I]], M.TxnMap[Txns[I + 1]]))
+        return false;
+  }
+
+  std::map<unsigned, int64_t> Globals;
+  std::map<std::pair<unsigned, unsigned>, int64_t> Locals;
+
+  for (unsigned T = 0; T != H.numTransactions(); ++T) {
+    const std::vector<unsigned> &Seq = H.txn(T).Events;
+    unsigned AbsTxn = M.TxnMap[T];
+    // The claimed event map must itself be an embedding; re-run the walker
+    // constrained to it.
+    bool Found = false;
+    TxnEmbedder Embedder(H, A, AbsTxn, Seq,
+                         [&](const std::vector<unsigned> &Map) {
+                           for (unsigned I = 0; I != Seq.size(); ++I)
+                             if (Map[I] != M.EventMap[Seq[I]])
+                               return false;
+                           Found = true;
+                           return true;
+                         });
+    Embedder.run();
+    if (!Found)
+      return false;
+    for (unsigned E : Seq)
+      if (!applyFacts(A, H.event(E), M.EventMap[E], Globals, Locals))
+        return false;
+    std::vector<unsigned> Map;
+    for (unsigned E : Seq)
+      Map.push_back(M.EventMap[E]);
+    if (!checkInvs(H, A, AbsTxn, Seq, Map))
+      return false;
+  }
+
+  // The explicit valuations must agree with the inferred ones.
+  for (const auto &[Var, Val] : Globals)
+    if (Var >= M.GlobalVals.size() || M.GlobalVals[Var] != Val)
+      return false;
+  for (const auto &[Key, Val] : Locals) {
+    auto [Session, Var] = Key;
+    if (Session >= M.LocalVals.size() || Var >= M.LocalVals[Session].size() ||
+        M.LocalVals[Session][Var] != Val)
+      return false;
+  }
+  return true;
+}
+
+std::optional<ConcretizationModel>
+c4::findConcretization(const History &H, const AbstractHistory &A) {
+  ConcretizationModel M;
+  M.EventMap.assign(H.numEvents(), 0);
+  M.TxnMap.assign(H.numTransactions(), 0);
+
+  std::map<unsigned, int64_t> Globals;
+  std::map<std::pair<unsigned, unsigned>, int64_t> Locals;
+
+  // Assign abstract transactions one concrete transaction at a time.
+  std::function<bool(unsigned)> Assign = [&](unsigned T) -> bool {
+    if (T == H.numTransactions())
+      return true;
+    const std::vector<unsigned> &Seq = H.txn(T).Events;
+    // Session-order constraint against the previous txn of this session.
+    unsigned Session = H.txn(T).Session;
+    int Prev = -1;
+    for (unsigned X : H.sessionTxns(Session)) {
+      if (X == T)
+        break;
+      Prev = static_cast<int>(X);
+    }
+    for (unsigned AbsTxn = 0; AbsTxn != A.numTxns(); ++AbsTxn) {
+      if (Prev >= 0 && !A.maySo(M.TxnMap[Prev], AbsTxn))
+        continue;
+      bool Done = false;
+      TxnEmbedder Embedder(
+          H, A, AbsTxn, Seq, [&](const std::vector<unsigned> &Map) {
+            // Tentatively apply facts; roll back on failure.
+            std::map<unsigned, int64_t> SavedG = Globals;
+            auto SavedL = Locals;
+            bool Ok = true;
+            for (unsigned I = 0; I != Seq.size() && Ok; ++I)
+              Ok = applyFacts(A, H.event(Seq[I]), Map[I], Globals, Locals);
+            if (Ok)
+              Ok = checkInvs(H, A, AbsTxn, Seq, Map);
+            if (Ok) {
+              M.TxnMap[T] = AbsTxn;
+              for (unsigned I = 0; I != Seq.size(); ++I)
+                M.EventMap[Seq[I]] = Map[I];
+              if (Assign(T + 1)) {
+                Done = true;
+                return true;
+              }
+            }
+            Globals = std::move(SavedG);
+            Locals = std::move(SavedL);
+            return false;
+          });
+      Embedder.run();
+      if (Done)
+        return true;
+    }
+    return false;
+  };
+
+  if (!Assign(0))
+    return std::nullopt;
+
+  // Materialize valuations (unconstrained variables default to 0).
+  M.GlobalVals.assign(A.numGlobalVars(), 0);
+  for (const auto &[Var, Val] : Globals)
+    M.GlobalVals[Var] = Val;
+  M.LocalVals.assign(H.numSessions(),
+                     std::vector<int64_t>(A.numLocalVars(), 0));
+  for (const auto &[Key, Val] : Locals)
+    M.LocalVals[Key.first][Key.second] = Val;
+  return M;
+}

@@ -1,0 +1,51 @@
+//===- abstract/Concretize.h - Concretization membership (γ) ----*- C++ -*-===//
+//
+// Part of the C4 serializability analyzer. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Decides whether a concrete history belongs to the concretization γ(H) of
+/// an abstract history: checks a given concretization model, or searches for
+/// one by backtracking (small histories only — used by tests and to validate
+/// SMT counter-examples end to end).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef C4_ABSTRACT_CONCRETIZE_H
+#define C4_ABSTRACT_CONCRETIZE_H
+
+#include "abstract/AbstractHistory.h"
+#include "history/History.h"
+
+#include <optional>
+#include <vector>
+
+namespace c4 {
+
+/// A witness that a concrete history concretizes an abstract one.
+struct ConcretizationModel {
+  /// Concrete event id -> abstract event id.
+  std::vector<unsigned> EventMap;
+  /// Concrete transaction id -> abstract transaction id.
+  std::vector<unsigned> TxnMap;
+  /// Valuation of the global symbolic constants.
+  std::vector<int64_t> GlobalVals;
+  /// Per concrete session, valuation of the session-local constants.
+  std::vector<std::vector<int64_t>> LocalVals;
+};
+
+/// Verifies a concretization model: operation agreement, eo-path embedding
+/// of every transaction (markers are skipped; edge guards must hold),
+/// argument facts under the valuations, pair invariants, and the abstract
+/// session order between consecutive transactions.
+bool isConcretization(const History &H, const AbstractHistory &A,
+                      const ConcretizationModel &M);
+
+/// Searches for a concretization model by backtracking.
+std::optional<ConcretizationModel>
+findConcretization(const History &H, const AbstractHistory &A);
+
+} // namespace c4
+
+#endif // C4_ABSTRACT_CONCRETIZE_H

@@ -1,0 +1,47 @@
+//===- abstract/Features.h - Analysis feature toggles -----------*- C++ -*-===//
+//
+// Part of the C4 serializability analyzer. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Precision feature toggles, mirroring the ablation study of paper §9.3:
+///
+///  * Commutativity — when off, ¬com(e,f) is replaced by true if satisfiable
+///    and false otherwise (no symbolic argument reasoning),
+///  * Absorption — when off, abs(e,f) is replaced by false,
+///  * Constraints — when off, argument facts and pair invariants are
+///    dropped (Inv becomes the constant true),
+///  * ControlFlow — when off, the abstract event order relates all events of
+///    a transaction and edge guards are ignored,
+///
+/// plus the §8 extensions (asymmetric commutativity, fresh unique values),
+/// which are on by default.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef C4_ABSTRACT_FEATURES_H
+#define C4_ABSTRACT_FEATURES_H
+
+namespace c4 {
+
+/// Toggles for the precision features of the SSG and SMT stages.
+struct AnalysisFeatures {
+  bool Commutativity = true;
+  bool Absorption = true;
+  bool Constraints = true;
+  bool ControlFlow = true;
+  bool AsymmetricAntiDeps = true;
+  bool UniqueValues = true;
+
+  /// The configuration used throughout the paper's main evaluation.
+  static AnalysisFeatures all() { return {}; }
+  /// Everything off: the precision of a plain syntactic SSG.
+  static AnalysisFeatures none() {
+    return {false, false, false, false, false, false};
+  }
+};
+
+} // namespace c4
+
+#endif // C4_ABSTRACT_FEATURES_H

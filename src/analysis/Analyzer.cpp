@@ -1,0 +1,607 @@
+//===- analysis/Analyzer.cpp ----------------------------------------------===//
+//
+// Part of the C4 serializability analyzer. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Analyzer.h"
+
+#include "abstract/Concretize.h"
+#include "support/Format.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <functional>
+#include <set>
+
+using namespace c4;
+
+namespace {
+
+/// Shared state of one analysis run (one event mask).
+class Run {
+public:
+  Run(const AbstractHistory &A, const AnalyzerOptions &O,
+      std::vector<bool> Mask)
+      : A(A), O(O), Mask(std::move(Mask)) {}
+
+  void execute(AnalysisResult &R);
+
+private:
+  bool subsumed(const Unfolding &U, const std::vector<Violation> &V) const;
+  void checkBounded(unsigned K, AnalysisResult &R,
+                    const std::vector<unsigned> &Universe);
+  bool generalizes(unsigned K, const AnalysisResult &R,
+                   const std::vector<unsigned> &Universe);
+  std::vector<struct MergeCtx>
+  buildMerges(const Unfolding &U,
+              const std::vector<std::vector<bool>> &SoClosure);
+  std::vector<bool> maskForUnfolding(const Unfolding &U) const;
+  /// Returns true if a new violation was recorded (false on duplicates).
+  bool recordViolation(AnalysisResult &R, std::vector<unsigned> OrigTxns,
+                       std::optional<CounterExample> CE, bool Inconclusive);
+  bool validateCE(const CounterExample &CE) const;
+
+  /// Cheap pre-filter for session layouts: can the layout carry a
+  /// candidate cycle (Closed) or a §7.2 spanning segment (open)? Checked on
+  /// a mini-graph over the layout's transactions using the precomputed
+  /// general SSG edges (a sound over-approximation of every instantiated
+  /// SSG) plus intra-session order. Skipping a layout that fails avoids
+  /// building its abstract history entirely.
+  bool layoutViable(const std::vector<std::vector<unsigned>> &Layout,
+                    bool Closed, bool RequireAllNodes) const;
+  static bool layoutSubsumed(const std::vector<std::vector<unsigned>> &Layout,
+                             const std::vector<Violation> &V);
+  void precomputeGeneralEdges();
+
+  const AbstractHistory &A;
+  const AnalyzerOptions &O;
+  std::vector<bool> Mask; // original events included in this run
+  // General-SSG pairwise edges over original transactions (self-pairs
+  // describe two instances of the same transaction).
+  std::vector<std::vector<bool>> GenAny, GenAnti;
+};
+
+bool Run::layoutSubsumed(
+    const std::vector<std::vector<unsigned>> &Layout,
+    const std::vector<Violation> &V) {
+  std::vector<unsigned> Set;
+  for (const std::vector<unsigned> &Session : Layout)
+    Set.insert(Set.end(), Session.begin(), Session.end());
+  std::sort(Set.begin(), Set.end());
+  Set.erase(std::unique(Set.begin(), Set.end()), Set.end());
+  for (const Violation &Viol : V)
+    if (std::includes(Set.begin(), Set.end(), Viol.OrigTxns.begin(),
+                      Viol.OrigTxns.end()))
+      return true;
+  return false;
+}
+
+void Run::precomputeGeneralEdges() {
+  SSG G(A, O.Features);
+  G.setEventMask(Mask);
+  G.analyze();
+  unsigned N = A.numTxns();
+  GenAny.assign(N, std::vector<bool>(N, false));
+  GenAnti = GenAny;
+  for (const Digraph::Edge &E : G.graph().edges()) {
+    if (E.Label == DepSO)
+      continue; // session order is layout-dependent; added per layout
+    GenAny[E.From][E.To] = true;
+    if (E.Label == DepAntiDep)
+      GenAnti[E.From][E.To] = true;
+  }
+}
+
+bool Run::layoutViable(const std::vector<std::vector<unsigned>> &Layout,
+                       bool Closed, bool RequireAllNodes) const {
+  // Mini-graph nodes: the layout's transaction instances.
+  struct Node {
+    unsigned Orig;
+    unsigned Session;
+  };
+  std::vector<Node> Nodes;
+  for (unsigned S = 0; S != Layout.size(); ++S)
+    for (unsigned T : Layout[S])
+      Nodes.push_back({T, S});
+  unsigned N = static_cast<unsigned>(Nodes.size());
+  unsigned FullMask = (1u << Layout.size()) - 1;
+
+  auto HasEdge = [&](unsigned I, unsigned J, bool &Anti) {
+    Anti = GenAnti[Nodes[I].Orig][Nodes[J].Orig];
+    if (GenAny[Nodes[I].Orig][Nodes[J].Orig])
+      return true;
+    // Intra-session order: instances were listed in chain order.
+    return Nodes[I].Session == Nodes[J].Session && I < J;
+  };
+
+  // DFS over simple paths: cover every session, use >= 1 anti edge, and
+  // (for cycles) return to the start. The search is budgeted: on dense
+  // mini-graphs we give up and conservatively keep the layout (the precise
+  // machinery decides).
+  std::vector<bool> OnPath(N, false);
+  unsigned Covered = 0;
+  unsigned Budget = 20000;
+  std::function<bool(unsigned, unsigned, unsigned, bool)> Dfs =
+      [&](unsigned Start, unsigned Node2, unsigned SessMask,
+          bool Anti) -> bool {
+    if (Budget == 0)
+      return true; // budget exhausted: treat as viable
+    --Budget;
+    if (SessMask == FullMask && Anti &&
+        (!RequireAllNodes || Covered == N)) {
+      if (!Closed)
+        return true;
+      bool EdgeAnti = false;
+      if (HasEdge(Node2, Start, EdgeAnti))
+        return true;
+    }
+    for (unsigned Next = 0; Next != N; ++Next) {
+      if (OnPath[Next])
+        continue;
+      bool EdgeAnti = false;
+      if (!HasEdge(Node2, Next, EdgeAnti))
+        continue;
+      OnPath[Next] = true;
+      ++Covered;
+      if (Dfs(Start, Next, SessMask | (1u << Nodes[Next].Session),
+              Anti || EdgeAnti)) {
+        OnPath[Next] = false;
+        --Covered;
+        return true;
+      }
+      OnPath[Next] = false;
+      --Covered;
+    }
+    return false;
+  };
+  for (unsigned Start = 0; Start != N; ++Start) {
+    std::fill(OnPath.begin(), OnPath.end(), false);
+    OnPath[Start] = true;
+    Covered = 1;
+    if (Dfs(Start, Start, 1u << Nodes[Start].Session, false))
+      return true;
+  }
+  return false;
+}
+
+bool Run::subsumed(const Unfolding &U,
+                   const std::vector<Violation> &V) const {
+  std::vector<unsigned> Set = U.origTxnSet();
+  for (const Violation &Viol : V)
+    if (std::includes(Set.begin(), Set.end(), Viol.OrigTxns.begin(),
+                      Viol.OrigTxns.end()))
+      return true;
+  return false;
+}
+
+std::vector<bool> Run::maskForUnfolding(const Unfolding &U) const {
+  std::vector<bool> M(U.H.numEvents(), true);
+  for (unsigned E = 0; E != U.H.numEvents(); ++E)
+    M[E] = Mask[U.OrigEvent[E]];
+  return M;
+}
+
+bool Run::recordViolation(AnalysisResult &R, std::vector<unsigned> OrigTxns,
+                          std::optional<CounterExample> CE,
+                          bool Inconclusive) {
+  std::sort(OrigTxns.begin(), OrigTxns.end());
+  OrigTxns.erase(std::unique(OrigTxns.begin(), OrigTxns.end()),
+                 OrigTxns.end());
+  for (const Violation &V : R.Violations)
+    if (V.OrigTxns == OrigTxns)
+      return false;
+  Violation V;
+  V.OrigTxns = std::move(OrigTxns);
+  for (unsigned T : V.OrigTxns)
+    V.TxnNames.push_back(A.txn(T).Name);
+  V.CE = std::move(CE);
+  V.Inconclusive = Inconclusive;
+  R.Violations.push_back(std::move(V));
+  return true;
+}
+
+bool Run::validateCE(const CounterExample &CE) const {
+  // End-to-end check of the extracted witness: it must concretize the
+  // abstract history and its schedule's DSG must be cyclic (the criterion's
+  // definition of a violation). Validation can fail legitimately when the
+  // S1 return-value fix-up changed a guard-feeding query, leaving a
+  // pre-schedule witness (see DESIGN.md).
+  if (!findConcretization(CE.H, A).has_value())
+    return false;
+  EventRelations Rel(CE.H);
+  DependenceTriple T = computeDependencies(CE.H, CE.S, Rel);
+  return buildDSG(CE.H, T).hasCycle();
+}
+
+void Run::checkBounded(unsigned K, AnalysisResult &R,
+                       const std::vector<unsigned> &Universe) {
+  bool Truncated = false;
+  std::function<bool(const std::vector<std::vector<unsigned>> &)> Filter =
+      [&](const std::vector<std::vector<unsigned>> &Layout) {
+        if (layoutSubsumed(Layout, R.Violations)) {
+          ++R.UnfoldingsSubsumed;
+          return false;
+        }
+        return layoutViable(Layout, /*Closed=*/true,
+                            /*RequireAllNodes=*/false);
+      };
+  std::vector<Unfolding> Unfoldings = enumerateUnfoldings(
+      A, K, O.MaxUnfoldings, Truncated, &Universe, &Filter);
+  R.Truncated = R.Truncated || Truncated;
+  for (const Unfolding &U : Unfoldings) {
+    if (subsumed(U, R.Violations)) {
+      ++R.UnfoldingsSubsumed;
+      continue;
+    }
+    ++R.UnfoldingsChecked;
+    SSG G(U.H, O.Features, U.SessionTags);
+    G.setEventMask(maskForUnfolding(U));
+    G.analyze();
+    bool CandTruncated = false;
+    std::vector<CandidateCycle> Cands =
+        G.candidateCycles(O.MaxCandidateCycles, CandTruncated);
+    R.Truncated = R.Truncated || CandTruncated;
+    if (Cands.empty())
+      continue;
+    ++R.SSGFlagged;
+    UnfoldingResult Res =
+        solveUnfolding(U, G, Cands, O.Features, O.SmtTimeoutMs);
+    switch (Res.Status) {
+    case UnfoldingResult::NoCycle:
+      ++R.SMTRefuted;
+      break;
+    case UnfoldingResult::Unknown:
+      ++R.SMTUnknown;
+      // Sound default: report the unfolding's transactions as a potential
+      // violation.
+      recordViolation(R, U.origTxnSet(), std::nullopt,
+                      /*Inconclusive=*/true);
+      break;
+    case UnfoldingResult::CycleFound: {
+      // Copy the key first: the CE is moved into the violation.
+      std::vector<unsigned> Key = Res.CE->OrigTxns;
+      bool Valid = validateCE(*Res.CE);
+      if (recordViolation(R, std::move(Key), std::move(Res.CE),
+                          /*Inconclusive=*/false))
+        R.Violations.back().Validated = Valid;
+      break;
+    }
+    }
+  }
+}
+
+/// The session layout of an unfolding: per session, the original
+/// transaction ids in chain order.
+static std::vector<std::vector<unsigned>>
+sessionSpecs(const Unfolding &U) {
+  std::vector<std::vector<unsigned>> Specs(U.NumSessions);
+  // Transactions were instantiated session by session in chain order, so
+  // increasing transaction id preserves both.
+  for (unsigned T = 0; T != U.H.numTxns(); ++T)
+    Specs[U.SessionTags[T]].push_back(U.OrigTxn[T]);
+  return Specs;
+}
+
+/// A session merge of an unfolding: the transaction mapping into the merged
+/// unfolding plus the merged instantiated SSG.
+struct MergeCtx {
+  std::vector<unsigned> MapTxn;
+  Digraph Graph;
+};
+
+/// Builds all legal one-session merges of \p U (session J appended to
+/// session I when the abstract session order permits) with their SSGs.
+std::vector<MergeCtx>
+Run::buildMerges(const Unfolding &U,
+                 const std::vector<std::vector<bool>> &SoClosure) {
+  std::vector<MergeCtx> Result;
+  std::vector<std::vector<unsigned>> Specs = sessionSpecs(U);
+  std::vector<std::vector<unsigned>> OldIds(U.NumSessions);
+  for (unsigned T = 0; T != U.H.numTxns(); ++T)
+    OldIds[U.SessionTags[T]].push_back(T);
+  for (unsigned I = 0; I != U.NumSessions; ++I)
+    for (unsigned J = 0; J != U.NumSessions; ++J) {
+      if (I == J || Specs[I].empty() || Specs[J].empty())
+        continue;
+      if (!SoClosure[Specs[I].back()][Specs[J].front()])
+        continue;
+      std::vector<std::vector<unsigned>> Merged;
+      std::vector<unsigned> MapTxn(U.H.numTxns(), 0);
+      unsigned Next = 0;
+      for (unsigned S = 0; S != U.NumSessions; ++S) {
+        if (S == J)
+          continue;
+        std::vector<unsigned> Spec = Specs[S];
+        for (unsigned T : OldIds[S])
+          MapTxn[T] = Next++;
+        if (S == I) {
+          Spec.insert(Spec.end(), Specs[J].begin(), Specs[J].end());
+          for (unsigned T : OldIds[J])
+            MapTxn[T] = Next++;
+        }
+        Merged.push_back(std::move(Spec));
+      }
+      Unfolding MU = buildUnfolding(A, Merged);
+      SSG G(MU.H, O.Features, MU.SessionTags);
+      G.setEventMask(maskForUnfolding(MU));
+      G.analyze();
+      Result.push_back({std::move(MapTxn), G.graph()});
+    }
+  return Result;
+}
+
+/// §7.2 short-cut: can the segment pattern be reduced by one session? We
+/// merge the transactions of one spanned session onto the end of another
+/// (when the abstract session order permits) and check that every segment
+/// step still has an SSG edge with one of its labels in the merged
+/// unfolding. If so, any cycle containing the segment transforms into a
+/// cycle over fewer sessions with the same syntactic transactions, which
+/// the bounded check (or a further reduction) covers.
+static bool shortcutReducibleWith(const std::vector<MergeCtx> &Merges,
+                                  const CandidateCycle &Seg) {
+  for (const MergeCtx &M : Merges) {
+    bool AllSteps = true;
+    for (unsigned Step = 0; Step + 1 < Seg.Txns.size() && AllSteps;
+         ++Step) {
+      unsigned From = M.MapTxn[Seg.Txns[Step]];
+      unsigned To = M.MapTxn[Seg.Txns[Step + 1]];
+      bool Any = false;
+      for (unsigned EI : M.Graph.edgesBetween(From, To))
+        for (int L : Seg.StepLabels[Step])
+          Any = Any || M.Graph.edge(EI).Label == L;
+      AllSteps = Any;
+    }
+    if (AllSteps)
+      return true;
+  }
+  return false;
+}
+
+bool Run::generalizes(unsigned K, const AnalysisResult &R,
+                      const std::vector<unsigned> &Universe) {
+  // Any violation we could not conclusively analyze blocks generalization.
+  for (const Violation &V : R.Violations)
+    if (V.Inconclusive)
+      return false;
+  bool Truncated = false;
+  std::function<bool(const std::vector<std::vector<unsigned>> &)> Filter =
+      [&](const std::vector<std::vector<unsigned>> &Layout) {
+        // Segments are only examined on the layout holding exactly their
+        // transactions (any segment of a larger layout is covered by its
+        // exact one), so subsumption applies at layout granularity and the
+        // spanning path must cover every transaction.
+        if (layoutSubsumed(Layout, R.Violations))
+          return false;
+        return layoutViable(Layout, /*Closed=*/false,
+                            /*RequireAllNodes=*/true);
+      };
+  std::vector<Unfolding> Unfoldings = enumerateUnfoldings(
+      A, K, O.MaxUnfoldings, Truncated, &Universe, &Filter);
+  if (Truncated) {
+    if (std::getenv("C4_DEBUG_GEN"))
+      std::fputs("gen blocked: unfolding enumeration truncated\n", stderr);
+    return false;
+  }
+
+  // Transitive closure of the original may-follow relation (for merges).
+  unsigned N = A.numTxns();
+  std::vector<std::vector<bool>> SoClosure(N, std::vector<bool>(N, false));
+  for (unsigned S = 0; S != N; ++S)
+    for (unsigned T = 0; T != N; ++T)
+      SoClosure[S][T] = A.maySo(S, T);
+  for (unsigned M = 0; M != N; ++M)
+    for (unsigned I = 0; I != N; ++I) {
+      if (!SoClosure[I][M])
+        continue;
+      for (unsigned J = 0; J != N; ++J)
+        if (SoClosure[M][J])
+          SoClosure[I][J] = true;
+    }
+
+  for (const Unfolding &U : Unfoldings) {
+    SSG G(U.H, O.Features, U.SessionTags);
+    G.setEventMask(maskForUnfolding(U));
+    G.analyze();
+    // (a) Segments subsumed by known violations are dropped during
+    // enumeration; (b) the cheap SSG-level short-cut (session merging)
+    // handles most of the rest.
+    std::vector<MergeCtx> Merges;
+    bool MergesBuilt = false;
+    std::function<bool(const CandidateCycle &)> Unsubsumed =
+        [&](const CandidateCycle &Seg) {
+          std::vector<unsigned> SegSet;
+          for (unsigned T : Seg.Txns)
+            SegSet.push_back(U.OrigTxn[T]);
+          std::sort(SegSet.begin(), SegSet.end());
+          SegSet.erase(std::unique(SegSet.begin(), SegSet.end()),
+                       SegSet.end());
+          for (const Violation &V : R.Violations)
+            if (std::includes(SegSet.begin(), SegSet.end(),
+                              V.OrigTxns.begin(), V.OrigTxns.end()))
+              return false;
+          return true;
+        };
+    bool SegTruncated = false;
+    std::vector<CandidateCycle> Segments =
+        G.spanningSegments(U.NumSessions, /*MaxSegments=*/4096, SegTruncated,
+                           U.OrigTxn, &Unsubsumed,
+                           /*RequireAllTxns=*/true);
+    if (SegTruncated) {
+      if (std::getenv("C4_DEBUG_GEN"))
+        std::fputs("gen blocked: segment enumeration truncated\n", stderr);
+      return false;
+    }
+    if (Segments.empty())
+      continue;
+
+    std::vector<CandidateCycle> Remaining;
+    for (CandidateCycle &Seg : Segments) {
+      if (!MergesBuilt) {
+        Merges = buildMerges(U, SoClosure);
+        MergesBuilt = true;
+      }
+      if (!shortcutReducibleWith(Merges, Seg))
+        Remaining.push_back(std::move(Seg));
+    }
+    if (Remaining.empty())
+      continue;
+
+    // (c) SMT: the remaining segments must be infeasible. Query in chunks
+    // to keep individual encodings small.
+    UnfoldingResult Res;
+    Res.Status = UnfoldingResult::NoCycle;
+    for (size_t Begin = 0;
+         Begin < Remaining.size() && Res.Status == UnfoldingResult::NoCycle;
+         Begin += 64) {
+      std::vector<CandidateCycle> Chunk(
+          Remaining.begin() + Begin,
+          Remaining.begin() +
+              std::min(Remaining.size(), Begin + 64));
+      Res = solveUnfolding(U, G, Chunk, O.Features, O.SmtTimeoutMs);
+    }
+    if (Res.Status != UnfoldingResult::NoCycle) {
+      if (std::getenv("C4_DEBUG_GEN")) {
+        std::string Msg = "gen blocked in:";
+        for (unsigned T = 0; T != U.H.numTxns(); ++T)
+          Msg += strf(" %s/s%u", U.H.txn(T).Name.c_str(), U.SessionTags[T]);
+        Msg += strf(" (%zu segs, status %d); first:",
+                    Remaining.size(), static_cast<int>(Res.Status));
+        for (unsigned T : Remaining.front().Txns)
+          Msg += strf(" %u", T);
+        for (const auto &L : Remaining.front().StepLabels) {
+          Msg += " [";
+          for (int X : L)
+            Msg += strf("%d,", X);
+          Msg += "]";
+        }
+        Msg += "\n";
+        std::fputs(Msg.c_str(), stderr);
+      }
+      return false;
+    }
+  }
+  return true;
+}
+
+void Run::execute(AnalysisResult &R) {
+  precomputeGeneralEdges();
+  // Stage 1: the fast general SSG analysis.
+  SSG General(A, O.Features);
+  General.setEventMask(Mask);
+  General.analyze();
+  if (General.provesSerializable()) {
+    R.FastProvedSerializable = true;
+    R.Generalized = true;
+    return;
+  }
+
+  // Stage 2: per suspicious component (a minimal DSG cycle projects onto a
+  // cycle of the SSG, hence into one strongly connected component), run
+  // bounded checks with increasing k, then generalize (§7.2).
+  bool AllGeneralized = true;
+  for (const SSGViolation &Component : General.violations()) {
+    unsigned K = 2;
+    bool Generalized = false;
+    while (true) {
+      checkBounded(K, R, Component.Txns);
+      R.KChecked = std::max(R.KChecked, K);
+      ++K;
+      if (generalizes(K, R, Component.Txns)) {
+        Generalized = true;
+        break;
+      }
+      if (K > O.MaxK)
+        break;
+    }
+    AllGeneralized = AllGeneralized && Generalized;
+  }
+  R.Generalized = AllGeneralized;
+}
+
+} // namespace
+
+AnalysisResult c4::analyze(const AbstractHistory &A,
+                           const AnalyzerOptions &O) {
+  auto Start = std::chrono::steady_clock::now();
+  AnalysisResult R;
+
+  // Base mask: the display-code filter.
+  std::vector<bool> Base(A.numEvents(), true);
+  if (O.DisplayFilter)
+    for (unsigned E = 0; E != A.numEvents(); ++E)
+      if (A.event(E).Display)
+        Base[E] = false;
+
+  if (O.UseAtomicSets && !O.AtomicSets.empty()) {
+    // Analyze each atomic set independently and merge.
+    bool AllGeneralized = true, AnyFast = false;
+    for (const std::vector<unsigned> &Set : O.AtomicSets) {
+      std::vector<bool> Mask = Base;
+      for (unsigned E = 0; E != A.numEvents(); ++E) {
+        if (A.event(E).isMarker())
+          continue;
+        bool In = std::find(Set.begin(), Set.end(),
+                            A.event(E).Container) != Set.end();
+        Mask[E] = Mask[E] && In;
+      }
+      AnalysisResult Sub;
+      Run(A, O, std::move(Mask)).execute(Sub);
+      for (Violation &V : Sub.Violations) {
+        bool Dup = false;
+        for (const Violation &Old : R.Violations)
+          Dup = Dup || Old.OrigTxns == V.OrigTxns;
+        if (!Dup)
+          R.Violations.push_back(std::move(V));
+      }
+      AllGeneralized = AllGeneralized && Sub.Generalized;
+      AnyFast = AnyFast || Sub.FastProvedSerializable;
+      R.KChecked = std::max(R.KChecked, Sub.KChecked);
+      R.UnfoldingsChecked += Sub.UnfoldingsChecked;
+      R.UnfoldingsSubsumed += Sub.UnfoldingsSubsumed;
+      R.SSGFlagged += Sub.SSGFlagged;
+      R.SMTRefuted += Sub.SMTRefuted;
+      R.SMTUnknown += Sub.SMTUnknown;
+      R.Truncated = R.Truncated || Sub.Truncated;
+    }
+    R.Generalized = AllGeneralized;
+    R.FastProvedSerializable = AnyFast && R.Violations.empty();
+  } else {
+    Run(A, O, std::move(Base)).execute(R);
+  }
+
+  R.BackendSeconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - Start)
+          .count();
+  return R;
+}
+
+std::string c4::reportStr(const AbstractHistory &A, const AnalysisResult &R) {
+  std::string Out;
+  if (R.serializable()) {
+    Out += "result: serializable (for any number of sessions)\n";
+  } else if (R.Violations.empty()) {
+    Out += strf("result: no violations up to k=%u sessions "
+                "(generalization incomplete)\n",
+                R.KChecked);
+  } else {
+    Out += strf("result: %zu violation(s)\n", R.Violations.size());
+  }
+  for (const Violation &V : R.Violations) {
+    Out += "violation involving transactions: " + join(V.TxnNames, ", ");
+    if (V.Inconclusive)
+      Out += " (inconclusive: solver timeout)";
+    else if (V.Validated)
+      Out += " (validated counter-example)";
+    Out += "\n";
+    if (V.CE)
+      Out += V.CE->Text;
+  }
+  Out += strf("stats: unfoldings checked %u, subsumed %u, SSG-flagged %u, "
+              "SMT-refuted %u, unknown %u, backend %.3fs\n",
+              R.UnfoldingsChecked, R.UnfoldingsSubsumed, R.SSGFlagged,
+              R.SMTRefuted, R.SMTUnknown, R.BackendSeconds);
+  (void)A;
+  return Out;
+}

@@ -1,0 +1,100 @@
+//===- analysis/Analyzer.h - The C4 analysis driver (Alg. 1) ----*- C++ -*-===//
+//
+// Part of the C4 serializability analyzer. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The end-to-end C4 back end (paper Figure 2 and Algorithm 1). Given an
+/// abstract history, the analyzer
+///
+///  1. runs the fast general SSG analysis (§6); if it proves the program
+///     serializable, done;
+///  2. otherwise iterates k = 2, 3, ...: enumerates the k-unfoldings,
+///     skips those subsumed by known violations, pre-filters with the
+///     instantiated SSG, and asks the SMT stage (§7) for concrete DSG
+///     cycles, which become violations with counter-examples;
+///  3. after each round, attempts to generalize to an unbounded number of
+///     sessions (§7.2): every (k+1)-session segment pattern must be
+///     subsumed, infeasible, or short-cuttable.
+///
+/// Filters (§9.1): display-code queries can be excluded, and the analysis
+/// can be run per atomic set of containers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef C4_ANALYSIS_ANALYZER_H
+#define C4_ANALYSIS_ANALYZER_H
+
+#include "abstract/Features.h"
+#include "smt/Encoding.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace c4 {
+
+/// Tuning knobs and feature/filter configuration for one analysis run.
+struct AnalyzerOptions {
+  AnalysisFeatures Features;
+  /// Iteration limit for the session bound k.
+  unsigned MaxK = 3;
+  /// Caps for enumeration (a warning flag is set when hit).
+  unsigned MaxUnfoldings = 200000;
+  unsigned MaxCandidateCycles = 128;
+  unsigned SmtTimeoutMs = 10000;
+  /// §9.1 filters.
+  bool DisplayFilter = false;
+  bool UseAtomicSets = false;
+  /// Atomic sets: groups of container ids analyzed independently.
+  std::vector<std::vector<unsigned>> AtomicSets;
+};
+
+/// One detected serializability violation.
+struct Violation {
+  /// The sorted set of syntactic (original abstract) transactions on the
+  /// cycle — the subsumption key.
+  std::vector<unsigned> OrigTxns;
+  std::vector<std::string> TxnNames;
+  /// Concrete witness (absent if the solver returned unknown).
+  std::optional<CounterExample> CE;
+  /// True when recorded due to a solver timeout rather than a model.
+  bool Inconclusive = false;
+  /// True when the witness was checked end to end: it is a concretization
+  /// of the abstract history and its schedule's DSG is cyclic.
+  bool Validated = false;
+};
+
+/// Outcome and statistics of an analysis run.
+struct AnalysisResult {
+  std::vector<Violation> Violations;
+  /// True when the result covers any number of sessions: either the fast
+  /// analysis proved serializability, or the §7.2 generalization succeeded.
+  bool Generalized = false;
+  /// True when the general SSG analysis alone proved serializability.
+  bool FastProvedSerializable = false;
+  /// Largest session bound fully checked.
+  unsigned KChecked = 0;
+  // Statistics for the evaluation (§9.2).
+  unsigned UnfoldingsChecked = 0;
+  unsigned UnfoldingsSubsumed = 0;
+  unsigned SSGFlagged = 0;  ///< unfoldings whose SSG admitted cycles
+  unsigned SMTRefuted = 0;  ///< ... of which the SMT stage refuted
+  unsigned SMTUnknown = 0;
+  bool Truncated = false; ///< an enumeration cap was hit
+  double BackendSeconds = 0;
+
+  bool serializable() const { return Violations.empty() && Generalized; }
+};
+
+/// Runs the full pipeline on an abstract history.
+AnalysisResult analyze(const AbstractHistory &A,
+                       const AnalyzerOptions &O = {});
+
+/// Renders a short report.
+std::string reportStr(const AbstractHistory &A, const AnalysisResult &R);
+
+} // namespace c4
+
+#endif // C4_ANALYSIS_ANALYZER_H

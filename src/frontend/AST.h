@@ -1,0 +1,109 @@
+//===- frontend/AST.h - C4L abstract syntax ---------------------*- C++ -*-===//
+//
+// Part of the C4 serializability analyzer. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The abstract syntax of C4L programs.
+///
+/// \code
+///   container map M;               // schema
+///   session u;  global admin;      // symbolic constants (VarL / VarG)
+///   atomicset data { M }           // §9.1 atomic sets
+///   order produce -> consume;      // abstract session order (default: any)
+///
+///   txn produce(x, v) {
+///     M.put(x, v);
+///     let n = M.size();
+///     if (n < 10) { M.inc("count", 1); }
+///     display(n);
+///     return n;
+///   }
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef C4_FRONTEND_AST_H
+#define C4_FRONTEND_AST_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace c4 {
+
+/// An argument expression: literal, string, or a name (parameter, let
+/// variable, session/global constant).
+struct Expr {
+  enum KindTy : uint8_t { IntLit, StringLit, Name } Kind = IntLit;
+  int64_t Value = 0;
+  std::string Text;
+  unsigned Line = 1;
+};
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+/// A branch condition: `name`, `!name`, or `name <cmp> literal`.
+struct CondExpr {
+  enum CmpTy : uint8_t { Truthy, Falsy, Eq, Ne, Lt, Le, Gt, Ge } Cmp = Truthy;
+  std::string Name;
+  Expr Rhs; ///< literal side for the comparison forms
+  unsigned Line = 1;
+};
+
+struct Stmt {
+  enum KindTy : uint8_t { Call, Let, If, Display, Return, Skip } Kind = Call;
+  unsigned Line = 1;
+  // Call / Let.
+  std::string Container;
+  std::string Op;
+  std::vector<Expr> Args;
+  std::string LetName; ///< Let only
+  // If.
+  CondExpr Cond;
+  std::vector<StmtPtr> Then;
+  std::vector<StmtPtr> Else;
+  // Display / Return.
+  std::string ValueName; ///< display target / optional return name
+};
+
+struct TxnDecl {
+  std::string Name;
+  std::vector<std::string> Params;
+  std::vector<StmtPtr> Body;
+  unsigned Line = 1;
+};
+
+struct ContainerDeclAST {
+  std::string TypeName;
+  std::string Name;
+  unsigned Line = 1;
+};
+
+struct AtomicSetDecl {
+  std::string Name;
+  std::vector<std::string> Containers;
+  unsigned Line = 1;
+};
+
+struct OrderDecl {
+  bool Any = false;
+  std::string From, To;
+  unsigned Line = 1;
+};
+
+struct ProgramAST {
+  std::vector<ContainerDeclAST> Containers;
+  std::vector<std::string> SessionConsts;
+  std::vector<std::string> GlobalConsts;
+  std::vector<AtomicSetDecl> AtomicSets;
+  std::vector<OrderDecl> Orders;
+  std::vector<TxnDecl> Txns;
+};
+
+} // namespace c4
+
+#endif // C4_FRONTEND_AST_H

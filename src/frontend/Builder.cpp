@@ -1,0 +1,433 @@
+//===- frontend/Builder.cpp - AST -> abstract history ---------------------===//
+//
+// Part of the C4 serializability analyzer. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The abstract interpreter of the C4L front end. Each syntactic store
+/// operation becomes an abstract event. The builder tracks, per transaction,
+/// where every value comes from (parameter, let-bound query result, literal,
+/// session/global constant) and emits
+///
+///  * argument facts for literals and symbolic constants,
+///  * pair invariants chaining all argument slots fed by the same local
+///    value (Fig. 10's inferred equalities, including query-result flow
+///    into later arguments, which drives the fresh-value reasoning of
+///    Fig. 12),
+///  * guarded event-order edges for branches whose condition tests the
+///    immediately available query result (Fig. 11's control-flow
+///    constraints), with skip markers for empty branches,
+///  * display marks for query results that only feed display().
+///
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Frontend.h"
+
+#include "frontend/Lexer.h"
+#include "frontend/Parser.h"
+#include "support/Format.h"
+
+#include <chrono>
+#include <map>
+
+using namespace c4;
+
+namespace {
+
+/// Where a named value in a transaction comes from.
+struct ValueSource {
+  enum KindTy : uint8_t {
+    Param,        ///< transaction parameter (free, equality-tracked)
+    LetQuery,     ///< result of a let-bound operation (event + ret slot)
+    SessionConst, ///< VarL
+    GlobalConst   ///< VarG
+  } Kind = Param;
+  unsigned Class = 0; ///< equality class for Param/LetQuery
+  unsigned Var = 0;   ///< variable id for the constants
+  unsigned Event = 0; ///< producing event for LetQuery
+};
+
+class Builder {
+public:
+  Builder(const ProgramAST &AST, CompiledProgram &Out, std::string &Error)
+      : AST(AST), Out(Out), Error(Error) {}
+
+  bool run();
+
+private:
+  bool fail(unsigned Line, const std::string &Msg) {
+    Error = strf("line %u: %s", Line, Msg.c_str());
+    return false;
+  }
+
+  bool buildSchema();
+  bool buildTxn(const TxnDecl &Txn);
+  /// Builds a statement list; \p Entry is the incoming event. On success
+  /// sets \p Exit to the last event of the chain.
+  bool buildStmts(const std::vector<StmtPtr> &Stmts, unsigned Txn,
+                  unsigned Entry, unsigned &Exit);
+  bool buildCall(const Stmt &S, unsigned Txn, unsigned Prev, unsigned &Event);
+  /// Builds the guard condition over the ret slot of \p Query.
+  bool guardCond(const CondExpr &C, unsigned QueryRetSlot, bool Negate,
+                 Cond &Out);
+
+  const ProgramAST &AST;
+  CompiledProgram &Out;
+  std::string &Error;
+
+  // Global name tables.
+  std::map<std::string, unsigned> SessionVars, GlobalVars;
+  std::map<std::string, unsigned> TxnIds;
+
+  // Per-transaction state.
+  std::map<std::string, ValueSource> Env;
+  unsigned NextClass = 0;
+  /// Slots fed by each equality class: (event, slot).
+  std::map<unsigned, std::vector<std::pair<unsigned, unsigned>>> ClassSlots;
+  /// Per class: the producing (event, ret slot) for let-bound results.
+  std::map<unsigned, std::pair<unsigned, unsigned>> ClassProducer;
+};
+
+bool Builder::run() {
+  if (!buildSchema())
+    return false;
+  for (const std::string &Name : AST.SessionConsts) {
+    if (SessionVars.count(Name) || GlobalVars.count(Name))
+      return fail(1, "duplicate constant '" + Name + "'");
+    SessionVars.emplace(Name, Out.History->addLocalVar());
+  }
+  for (const std::string &Name : AST.GlobalConsts) {
+    if (SessionVars.count(Name) || GlobalVars.count(Name))
+      return fail(1, "duplicate constant '" + Name + "'");
+    GlobalVars.emplace(Name, Out.History->addGlobalVar());
+  }
+  for (const TxnDecl &Txn : AST.Txns) {
+    if (TxnIds.count(Txn.Name))
+      return fail(Txn.Line, "duplicate transaction '" + Txn.Name + "'");
+    if (!buildTxn(Txn))
+      return false;
+  }
+  // Atomic sets.
+  for (const AtomicSetDecl &Decl : AST.AtomicSets) {
+    std::vector<unsigned> Set;
+    for (const std::string &C : Decl.Containers) {
+      int Id = Out.Sch->lookup(C);
+      if (Id < 0)
+        return fail(Decl.Line, "unknown container '" + C + "'");
+      Set.push_back(static_cast<unsigned>(Id));
+    }
+    Out.AtomicSets.push_back(std::move(Set));
+  }
+  // Session order: default (or explicit 'order any') is unrestricted.
+  bool Any = AST.Orders.empty();
+  for (const OrderDecl &O : AST.Orders)
+    Any = Any || O.Any;
+  if (Any) {
+    Out.History->allowAllSo();
+    return true;
+  }
+  for (const OrderDecl &O : AST.Orders) {
+    auto From = TxnIds.find(O.From);
+    auto To = TxnIds.find(O.To);
+    if (From == TxnIds.end())
+      return fail(O.Line, "unknown transaction '" + O.From + "'");
+    if (To == TxnIds.end())
+      return fail(O.Line, "unknown transaction '" + O.To + "'");
+    Out.History->setMaySo(From->second, To->second);
+  }
+  return true;
+}
+
+bool Builder::buildSchema() {
+  for (const ContainerDeclAST &C : AST.Containers) {
+    const DataTypeSpec *Type = Out.Registry->lookup(C.TypeName);
+    if (!Type)
+      return fail(C.Line, "unknown data type '" + C.TypeName + "'");
+    if (Out.Sch->lookup(C.Name) >= 0)
+      return fail(C.Line, "duplicate container '" + C.Name + "'");
+    Out.Sch->addContainer(C.Name, Type);
+  }
+  return true;
+}
+
+bool Builder::buildTxn(const TxnDecl &Txn) {
+  Env.clear();
+  ClassSlots.clear();
+  ClassProducer.clear();
+  NextClass = 0;
+
+  unsigned Id = Out.History->addTransaction(Txn.Name);
+  TxnIds.emplace(Txn.Name, Id);
+  for (const std::string &P : Txn.Params) {
+    if (Env.count(P))
+      return fail(Txn.Line, "duplicate parameter '" + P + "'");
+    if (SessionVars.count(P) || GlobalVars.count(P))
+      return fail(Txn.Line, "parameter '" + P + "' shadows a constant");
+    Env[P] = {ValueSource::Param, NextClass++, 0, 0};
+  }
+
+  unsigned Exit = 0;
+  if (!buildStmts(Txn.Body, Id, Out.History->entry(Id), Exit))
+    return false;
+  unsigned ExitMarker = Out.History->addMarker(Id, "exit");
+  Out.History->addEo(Exit, ExitMarker);
+
+  // Emit the equality invariants: chain all slots of each class, starting
+  // from the producing ret slot for let-bound results.
+  for (const auto &[Class, Slots] : ClassSlots) {
+    std::vector<std::pair<unsigned, unsigned>> Chain;
+    auto Producer = ClassProducer.find(Class);
+    if (Producer != ClassProducer.end())
+      Chain.push_back(Producer->second);
+    Chain.insert(Chain.end(), Slots.begin(), Slots.end());
+    for (size_t I = 0; I + 1 < Chain.size(); ++I)
+      Out.History->addInv(
+          Chain[I].first, Chain[I + 1].first,
+          Cond::eq(Term::argSrc(Chain[I].second),
+                   Term::argTgt(Chain[I + 1].second)));
+  }
+  return true;
+}
+
+bool Builder::guardCond(const CondExpr &C, unsigned QueryRetSlot, bool Negate,
+                        Cond &Out) {
+  Term Ret = Term::argSrc(QueryRetSlot);
+  Cond Base;
+  switch (C.Cmp) {
+  case CondExpr::Truthy:
+    Base = Cond::ne(Ret, Term::constant(0));
+    break;
+  case CondExpr::Falsy:
+    Base = Cond::eq(Ret, Term::constant(0));
+    break;
+  default: {
+    if (C.Rhs.Kind == Expr::Name) {
+      // Comparison against a parameter or constant: the branch outcome is
+      // not expressible over the query's slots alone; treat the branch as
+      // nondeterministic (sound over-approximation).
+      Out = Cond::t();
+      return true;
+    }
+    int64_t V = C.Rhs.Kind == Expr::IntLit
+                    ? C.Rhs.Value
+                    : this->Out.Strings->intern(C.Rhs.Text);
+    Term Lit = Term::constant(V);
+    switch (C.Cmp) {
+    case CondExpr::Eq:
+      Base = Cond::eq(Ret, Lit);
+      break;
+    case CondExpr::Ne:
+      Base = Cond::ne(Ret, Lit);
+      break;
+    case CondExpr::Lt:
+      Base = Cond::lt(Ret, Lit);
+      break;
+    case CondExpr::Le:
+      Base = Cond::le(Ret, Lit);
+      break;
+    case CondExpr::Gt:
+      Base = !Cond::le(Ret, Lit);
+      break;
+    case CondExpr::Ge:
+      Base = !Cond::lt(Ret, Lit);
+      break;
+    default:
+      break;
+    }
+    break;
+  }
+  }
+  Out = Negate ? !Base : Base;
+  return true;
+}
+
+bool Builder::buildCall(const Stmt &S, unsigned Txn, unsigned Prev,
+                        unsigned &Event) {
+  int ContainerId = Out.Sch->lookup(S.Container);
+  if (ContainerId < 0)
+    return fail(S.Line, "unknown container '" + S.Container + "'");
+  const DataTypeSpec *Type =
+      Out.Sch->container(static_cast<unsigned>(ContainerId)).Type;
+  const OpSig *Op = Type->findOp(S.Op);
+  if (!Op)
+    return fail(S.Line, "container '" + S.Container + "' of type '" +
+                            Type->name() + "' has no operation '" + S.Op +
+                            "'");
+  if (S.Args.size() != Op->NumArgs)
+    return fail(S.Line, strf("operation '%s' expects %u argument(s), got "
+                             "%zu",
+                             S.Op.c_str(), Op->NumArgs, S.Args.size()));
+  if (S.Kind == Stmt::Let && !Op->HasRet)
+    return fail(S.Line, "operation '" + S.Op + "' returns nothing");
+
+  // Resolve arguments into facts and equality-class memberships.
+  AbsFacts Facts(Op->numVals());
+  std::vector<std::pair<unsigned, unsigned>> PendingClassSlots; // class,slot
+  for (unsigned I = 0; I != S.Args.size(); ++I) {
+    const Expr &E = S.Args[I];
+    switch (E.Kind) {
+    case Expr::IntLit:
+      Facts[I] = AbsFact::constant(E.Value);
+      break;
+    case Expr::StringLit:
+      Facts[I] = AbsFact::constant(Out.Strings->intern(E.Text));
+      break;
+    case Expr::Name: {
+      auto SV = SessionVars.find(E.Text);
+      if (SV != SessionVars.end()) {
+        Facts[I] = AbsFact::localVar(SV->second);
+        break;
+      }
+      auto GV = GlobalVars.find(E.Text);
+      if (GV != GlobalVars.end()) {
+        Facts[I] = AbsFact::globalVar(GV->second);
+        break;
+      }
+      auto It = Env.find(E.Text);
+      if (It == Env.end())
+        return fail(E.Line, "unknown name '" + E.Text + "'");
+      PendingClassSlots.push_back({It->second.Class, I});
+      break;
+    }
+    }
+  }
+
+  Event = Out.History->addEvent(Txn, static_cast<unsigned>(ContainerId),
+                                Type->opIndex(*Op), std::move(Facts));
+  Out.History->addEo(Prev, Event);
+  for (auto [Class, Slot] : PendingClassSlots)
+    ClassSlots[Class].push_back({Event, Slot});
+
+  if (S.Kind == Stmt::Let) {
+    unsigned Class = NextClass++;
+    Env[S.LetName] = {ValueSource::LetQuery, Class, 0, Event};
+    ClassProducer[Class] = {Event, Op->NumArgs};
+  }
+  return true;
+}
+
+bool Builder::buildStmts(const std::vector<StmtPtr> &Stmts, unsigned Txn,
+                         unsigned Entry, unsigned &Exit) {
+  AbstractHistory &H = *Out.History;
+  unsigned Prev = Entry;
+  for (const StmtPtr &SP : Stmts) {
+    const Stmt &S = *SP;
+    switch (S.Kind) {
+    case Stmt::Call:
+    case Stmt::Let: {
+      unsigned Event = 0;
+      if (!buildCall(S, Txn, Prev, Event))
+        return false;
+      Prev = Event;
+      break;
+    }
+    case Stmt::If: {
+      // Resolve the condition: if it tests a let-bound query result we
+      // emit symbolic guards; otherwise the branch is nondeterministic.
+      auto It = Env.find(S.Cond.Name);
+      if (It == Env.end() && !SessionVars.count(S.Cond.Name) &&
+          !GlobalVars.count(S.Cond.Name))
+        return fail(S.Cond.Line, "unknown name '" + S.Cond.Name + "'");
+      bool Symbolic =
+          It != Env.end() && It->second.Kind == ValueSource::LetQuery;
+      unsigned Query = Symbolic ? It->second.Event : 0;
+      unsigned RetSlot =
+          Symbolic ? H.op(Query).NumArgs : 0;
+      Cond ThenC = Cond::t(), ElseC = Cond::t();
+      if (Symbolic) {
+        if (!guardCond(S.Cond, RetSlot, /*Negate=*/false, ThenC) ||
+            !guardCond(S.Cond, RetSlot, /*Negate=*/true, ElseC))
+          return false;
+      }
+
+      // Build both arms with explicit skip markers for empty arms, then a
+      // join marker. The guard sits on the edge when the query is the
+      // immediate predecessor; otherwise it becomes a pair invariant
+      // between the query and the arm's first event.
+      auto BuildArm = [&](const std::vector<StmtPtr> &Body, Cond Guard,
+                          const char *SkipLabel,
+                          unsigned &ArmExit) -> bool {
+        unsigned Head;
+        unsigned BodyEntry;
+        if (Body.empty()) {
+          Head = H.addMarker(Txn, SkipLabel);
+          BodyEntry = Head;
+          ArmExit = Head;
+        } else {
+          // Temporarily route through a marker so the arm has a single
+          // head even if its first statement is a nested if.
+          Head = H.addMarker(Txn, std::string(SkipLabel) + ".head");
+          BodyEntry = Head;
+          if (!buildStmts(Body, Txn, Head, ArmExit))
+            return false;
+        }
+        if (Symbolic && Prev == Query) {
+          H.addEo(Prev, BodyEntry, Guard);
+        } else {
+          H.addEo(Prev, BodyEntry);
+          if (Symbolic)
+            H.addInv(Query, BodyEntry, Guard);
+        }
+        return true;
+      };
+      unsigned ThenExit = 0, ElseExit = 0;
+      if (!BuildArm(S.Then, ThenC, "then", ThenExit) ||
+          !BuildArm(S.Else, ElseC, "else", ElseExit))
+        return false;
+      unsigned Join = H.addMarker(Txn, "join");
+      H.addEo(ThenExit, Join);
+      H.addEo(ElseExit, Join);
+      Prev = Join;
+      break;
+    }
+    case Stmt::Display: {
+      auto It = Env.find(S.ValueName);
+      if (It == Env.end() || It->second.Kind != ValueSource::LetQuery)
+        return fail(S.Line,
+                    "display() expects a let-bound query result");
+      // Mark the producing query as display-only (§9.1).
+      H.setDisplay(It->second.Event, true);
+      break;
+    }
+    case Stmt::Return:
+    case Stmt::Skip:
+      break;
+    }
+  }
+  Exit = Prev;
+  return true;
+}
+
+} // namespace
+
+CompileResult c4::compileC4L(const std::string &Source) {
+  auto Start = std::chrono::steady_clock::now();
+  CompileResult Result;
+
+  std::vector<Token> Tokens;
+  if (!lexSource(Source, Tokens, Result.Error))
+    return Result;
+  auto AST = std::make_unique<ProgramAST>();
+  if (!parseProgram(Tokens, *AST, Result.Error))
+    return Result;
+
+  CompiledProgram P;
+  P.Registry = std::make_unique<TypeRegistry>();
+  P.Sch = std::make_unique<Schema>();
+  P.Strings = std::make_unique<Interner>();
+  // The history needs the schema to exist first; containers are added by
+  // the builder before any events reference them.
+  P.History = std::make_unique<AbstractHistory>(*P.Sch);
+
+  Builder B(*AST, P, Result.Error);
+  if (!B.run())
+    return Result;
+  P.AST = std::move(AST);
+
+  P.FrontendSeconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - Start)
+          .count();
+  Result.Program = std::move(P);
+  return Result;
+}

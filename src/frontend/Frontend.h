@@ -1,0 +1,57 @@
+//===- frontend/Frontend.h - C4L compilation entry point --------*- C++ -*-===//
+//
+// Part of the C4 serializability analyzer. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One-call front end: compiles C4L source into a schema plus abstract
+/// history (the analyzer's input), inferring argument facts, argument
+/// equalities (paper §8 / Fig. 10), control-flow guards (Fig. 11),
+/// display-code marks and atomic sets (§9.1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef C4_FRONTEND_FRONTEND_H
+#define C4_FRONTEND_FRONTEND_H
+
+#include "abstract/AbstractHistory.h"
+#include "frontend/AST.h"
+#include "support/Interner.h"
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace c4 {
+
+/// The compiled form of a C4L program. Sub-objects are heap-allocated so
+/// that internal cross-references survive moves.
+struct CompiledProgram {
+  std::unique_ptr<TypeRegistry> Registry;
+  std::unique_ptr<Schema> Sch;
+  std::unique_ptr<AbstractHistory> History;
+  std::unique_ptr<Interner> Strings;
+  /// The parsed syntax, retained so the store interpreter (src/store) can
+  /// execute the program concretely.
+  std::unique_ptr<ProgramAST> AST;
+  /// Atomic sets as groups of container ids (empty if none declared).
+  std::vector<std::vector<unsigned>> AtomicSets;
+  /// Front-end time in seconds (the FE column of Table 1).
+  double FrontendSeconds = 0;
+};
+
+/// Result of compilation: a program or an error message.
+struct CompileResult {
+  std::optional<CompiledProgram> Program;
+  std::string Error;
+  bool ok() const { return Program.has_value(); }
+};
+
+/// Compiles C4L source text.
+CompileResult compileC4L(const std::string &Source);
+
+} // namespace c4
+
+#endif // C4_FRONTEND_FRONTEND_H

@@ -1,0 +1,230 @@
+//===- frontend/Lexer.cpp -------------------------------------------------===//
+//
+// Part of the C4 serializability analyzer. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Lexer.h"
+
+#include "support/Format.h"
+
+#include <cctype>
+#include <map>
+
+using namespace c4;
+
+const char *c4::tokenKindName(TokenKind K) {
+  switch (K) {
+  case TokenKind::Eof:
+    return "end of input";
+  case TokenKind::Ident:
+    return "identifier";
+  case TokenKind::Int:
+    return "integer";
+  case TokenKind::String:
+    return "string";
+  case TokenKind::KwContainer:
+    return "'container'";
+  case TokenKind::KwGlobal:
+    return "'global'";
+  case TokenKind::KwSession:
+    return "'session'";
+  case TokenKind::KwAtomicSet:
+    return "'atomicset'";
+  case TokenKind::KwOrder:
+    return "'order'";
+  case TokenKind::KwAny:
+    return "'any'";
+  case TokenKind::KwTxn:
+    return "'txn'";
+  case TokenKind::KwLet:
+    return "'let'";
+  case TokenKind::KwIf:
+    return "'if'";
+  case TokenKind::KwElse:
+    return "'else'";
+  case TokenKind::KwDisplay:
+    return "'display'";
+  case TokenKind::KwReturn:
+    return "'return'";
+  case TokenKind::KwSkip:
+    return "'skip'";
+  case TokenKind::LParen:
+    return "'('";
+  case TokenKind::RParen:
+    return "')'";
+  case TokenKind::LBrace:
+    return "'{'";
+  case TokenKind::RBrace:
+    return "'}'";
+  case TokenKind::Comma:
+    return "','";
+  case TokenKind::Semi:
+    return "';'";
+  case TokenKind::Dot:
+    return "'.'";
+  case TokenKind::Arrow:
+    return "'->'";
+  case TokenKind::Assign:
+    return "'='";
+  case TokenKind::Bang:
+    return "'!'";
+  case TokenKind::EqEq:
+    return "'=='";
+  case TokenKind::BangEq:
+    return "'!='";
+  case TokenKind::Less:
+    return "'<'";
+  case TokenKind::LessEq:
+    return "'<='";
+  case TokenKind::Greater:
+    return "'>'";
+  case TokenKind::GreaterEq:
+    return "'>='";
+  }
+  return "?";
+}
+
+static TokenKind keywordKind(const std::string &S) {
+  static const std::map<std::string, TokenKind> Keywords = {
+      {"container", TokenKind::KwContainer},
+      {"global", TokenKind::KwGlobal},
+      {"session", TokenKind::KwSession},
+      {"atomicset", TokenKind::KwAtomicSet},
+      {"order", TokenKind::KwOrder},
+      {"any", TokenKind::KwAny},
+      {"txn", TokenKind::KwTxn},
+      {"let", TokenKind::KwLet},
+      {"if", TokenKind::KwIf},
+      {"else", TokenKind::KwElse},
+      {"display", TokenKind::KwDisplay},
+      {"return", TokenKind::KwReturn},
+      {"skip", TokenKind::KwSkip},
+  };
+  auto It = Keywords.find(S);
+  return It == Keywords.end() ? TokenKind::Ident : It->second;
+}
+
+bool c4::lexSource(const std::string &Source, std::vector<Token> &Tokens,
+                   std::string &Error) {
+  Tokens.clear();
+  unsigned Line = 1;
+  size_t I = 0, N = Source.size();
+  auto Push = [&](TokenKind K, std::string Text = "", int64_t V = 0) {
+    Tokens.push_back({K, std::move(Text), V, Line});
+  };
+  while (I < N) {
+    char C = Source[I];
+    if (C == '\n') {
+      ++Line;
+      ++I;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(C))) {
+      ++I;
+      continue;
+    }
+    if (C == '/' && I + 1 < N && Source[I + 1] == '/') {
+      while (I < N && Source[I] != '\n')
+        ++I;
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
+      size_t Start = I;
+      while (I < N && (std::isalnum(static_cast<unsigned char>(Source[I])) ||
+                       Source[I] == '_'))
+        ++I;
+      std::string Text = Source.substr(Start, I - Start);
+      TokenKind K = keywordKind(Text);
+      Push(K, K == TokenKind::Ident ? Text : "");
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(C)) ||
+        (C == '-' && I + 1 < N &&
+         std::isdigit(static_cast<unsigned char>(Source[I + 1])))) {
+      size_t Start = I;
+      if (C == '-')
+        ++I;
+      while (I < N && std::isdigit(static_cast<unsigned char>(Source[I])))
+        ++I;
+      Push(TokenKind::Int, "",
+           std::stoll(Source.substr(Start, I - Start)));
+      continue;
+    }
+    if (C == '"') {
+      size_t Start = ++I;
+      while (I < N && Source[I] != '"' && Source[I] != '\n')
+        ++I;
+      if (I == N || Source[I] != '"') {
+        Error = strf("line %u: unterminated string literal", Line);
+        return false;
+      }
+      Push(TokenKind::String, Source.substr(Start, I - Start));
+      ++I;
+      continue;
+    }
+    auto Two = [&](char Next, TokenKind IfTwo, TokenKind IfOne) {
+      if (I + 1 < N && Source[I + 1] == Next) {
+        Push(IfTwo);
+        I += 2;
+      } else {
+        Push(IfOne);
+        ++I;
+      }
+    };
+    switch (C) {
+    case '(':
+      Push(TokenKind::LParen);
+      ++I;
+      break;
+    case ')':
+      Push(TokenKind::RParen);
+      ++I;
+      break;
+    case '{':
+      Push(TokenKind::LBrace);
+      ++I;
+      break;
+    case '}':
+      Push(TokenKind::RBrace);
+      ++I;
+      break;
+    case ',':
+      Push(TokenKind::Comma);
+      ++I;
+      break;
+    case ';':
+      Push(TokenKind::Semi);
+      ++I;
+      break;
+    case '.':
+      Push(TokenKind::Dot);
+      ++I;
+      break;
+    case '-':
+      Two('>', TokenKind::Arrow, TokenKind::Eof);
+      if (Tokens.back().Kind == TokenKind::Eof) {
+        Error = strf("line %u: stray '-'", Line);
+        return false;
+      }
+      break;
+    case '=':
+      Two('=', TokenKind::EqEq, TokenKind::Assign);
+      break;
+    case '!':
+      Two('=', TokenKind::BangEq, TokenKind::Bang);
+      break;
+    case '<':
+      Two('=', TokenKind::LessEq, TokenKind::Less);
+      break;
+    case '>':
+      Two('=', TokenKind::GreaterEq, TokenKind::Greater);
+      break;
+    default:
+      Error = strf("line %u: unexpected character '%c'", Line, C);
+      return false;
+    }
+  }
+  Push(TokenKind::Eof);
+  return true;
+}

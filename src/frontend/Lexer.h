@@ -1,0 +1,30 @@
+//===- frontend/Lexer.h - C4L lexer -----------------------------*- C++ -*-===//
+//
+// Part of the C4 serializability analyzer. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hand-written lexer for C4L. Supports // line comments, decimal integer
+/// literals (with optional minus), double-quoted strings, identifiers and
+/// the keywords/punctuation of Token.h.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef C4_FRONTEND_LEXER_H
+#define C4_FRONTEND_LEXER_H
+
+#include "frontend/Token.h"
+
+#include <string>
+#include <vector>
+
+namespace c4 {
+
+/// Tokenizes \p Source. On error, returns false and sets \p Error.
+bool lexSource(const std::string &Source, std::vector<Token> &Tokens,
+               std::string &Error);
+
+} // namespace c4
+
+#endif // C4_FRONTEND_LEXER_H

@@ -1,0 +1,341 @@
+//===- frontend/Parser.cpp ------------------------------------------------===//
+//
+// Part of the C4 serializability analyzer. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Parser.h"
+
+#include "support/Format.h"
+
+using namespace c4;
+
+namespace {
+
+class Parser {
+public:
+  Parser(const std::vector<Token> &Tokens, ProgramAST &AST,
+         std::string &Error)
+      : Tokens(Tokens), AST(AST), Error(Error) {}
+
+  bool run() {
+    while (!at(TokenKind::Eof)) {
+      if (at(TokenKind::KwContainer)) {
+        if (!parseContainer())
+          return false;
+      } else if (at(TokenKind::KwGlobal) || at(TokenKind::KwSession)) {
+        if (!parseConsts())
+          return false;
+      } else if (at(TokenKind::KwAtomicSet)) {
+        if (!parseAtomicSet())
+          return false;
+      } else if (at(TokenKind::KwOrder)) {
+        if (!parseOrder())
+          return false;
+      } else if (at(TokenKind::KwTxn)) {
+        if (!parseTxn())
+          return false;
+      } else {
+        return fail("expected a declaration");
+      }
+    }
+    return true;
+  }
+
+private:
+  const Token &cur() const { return Tokens[Pos]; }
+  bool at(TokenKind K) const { return cur().Kind == K; }
+  Token take() { return Tokens[Pos++]; }
+
+  bool fail(const std::string &Msg) {
+    Error = strf("line %u: %s (found %s)", cur().Line, Msg.c_str(),
+                 tokenKindName(cur().Kind));
+    return false;
+  }
+
+  bool expect(TokenKind K, Token *Out = nullptr) {
+    if (!at(K))
+      return fail(strf("expected %s", tokenKindName(K)));
+    Token T = take();
+    if (Out)
+      *Out = std::move(T);
+    return true;
+  }
+
+  bool parseContainer() {
+    unsigned Line = cur().Line;
+    take(); // container
+    Token Type, Name;
+    if (!expect(TokenKind::Ident, &Type) || !expect(TokenKind::Ident, &Name))
+      return false;
+    if (!expect(TokenKind::Semi))
+      return false;
+    AST.Containers.push_back({Type.Text, Name.Text, Line});
+    return true;
+  }
+
+  bool parseConsts() {
+    bool Global = at(TokenKind::KwGlobal);
+    take();
+    while (true) {
+      Token Name;
+      if (!expect(TokenKind::Ident, &Name))
+        return false;
+      (Global ? AST.GlobalConsts : AST.SessionConsts).push_back(Name.Text);
+      if (at(TokenKind::Comma)) {
+        take();
+        continue;
+      }
+      break;
+    }
+    return expect(TokenKind::Semi);
+  }
+
+  bool parseAtomicSet() {
+    unsigned Line = cur().Line;
+    take(); // atomicset
+    Token Name;
+    if (!expect(TokenKind::Ident, &Name) || !expect(TokenKind::LBrace))
+      return false;
+    AtomicSetDecl Decl{Name.Text, {}, Line};
+    while (true) {
+      Token C;
+      if (!expect(TokenKind::Ident, &C))
+        return false;
+      Decl.Containers.push_back(C.Text);
+      if (at(TokenKind::Comma)) {
+        take();
+        continue;
+      }
+      break;
+    }
+    if (!expect(TokenKind::RBrace))
+      return false;
+    AST.AtomicSets.push_back(std::move(Decl));
+    return true;
+  }
+
+  bool parseOrder() {
+    unsigned Line = cur().Line;
+    take(); // order
+    if (at(TokenKind::KwAny)) {
+      take();
+      AST.Orders.push_back({true, "", "", Line});
+      return expect(TokenKind::Semi);
+    }
+    Token From, To;
+    if (!expect(TokenKind::Ident, &From) || !expect(TokenKind::Arrow) ||
+        !expect(TokenKind::Ident, &To))
+      return false;
+    AST.Orders.push_back({false, From.Text, To.Text, Line});
+    return expect(TokenKind::Semi);
+  }
+
+  bool parseTxn() {
+    unsigned Line = cur().Line;
+    take(); // txn
+    TxnDecl Txn;
+    Txn.Line = Line;
+    Token Name;
+    if (!expect(TokenKind::Ident, &Name) || !expect(TokenKind::LParen))
+      return false;
+    Txn.Name = Name.Text;
+    if (!at(TokenKind::RParen)) {
+      while (true) {
+        Token P;
+        if (!expect(TokenKind::Ident, &P))
+          return false;
+        Txn.Params.push_back(P.Text);
+        if (at(TokenKind::Comma)) {
+          take();
+          continue;
+        }
+        break;
+      }
+    }
+    if (!expect(TokenKind::RParen))
+      return false;
+    if (!parseBlock(Txn.Body))
+      return false;
+    AST.Txns.push_back(std::move(Txn));
+    return true;
+  }
+
+  bool parseBlock(std::vector<StmtPtr> &Out) {
+    if (!expect(TokenKind::LBrace))
+      return false;
+    while (!at(TokenKind::RBrace)) {
+      StmtPtr S;
+      if (!parseStmt(S))
+        return false;
+      Out.push_back(std::move(S));
+    }
+    take(); // }
+    return true;
+  }
+
+  bool parseExpr(Expr &E) {
+    E.Line = cur().Line;
+    if (at(TokenKind::Int)) {
+      E.Kind = Expr::IntLit;
+      E.Value = take().Value;
+      return true;
+    }
+    if (at(TokenKind::String)) {
+      E.Kind = Expr::StringLit;
+      E.Text = take().Text;
+      return true;
+    }
+    if (at(TokenKind::Ident)) {
+      E.Kind = Expr::Name;
+      E.Text = take().Text;
+      return true;
+    }
+    return fail("expected an argument expression");
+  }
+
+  bool parseArgs(std::vector<Expr> &Args) {
+    if (!expect(TokenKind::LParen))
+      return false;
+    if (!at(TokenKind::RParen)) {
+      while (true) {
+        Expr E;
+        if (!parseExpr(E))
+          return false;
+        Args.push_back(std::move(E));
+        if (at(TokenKind::Comma)) {
+          take();
+          continue;
+        }
+        break;
+      }
+    }
+    return expect(TokenKind::RParen);
+  }
+
+  /// Parses `Container.op(args)` into \p S.
+  bool parseCallInto(Stmt &S) {
+    Token C, Op;
+    if (!expect(TokenKind::Ident, &C) || !expect(TokenKind::Dot) ||
+        !expect(TokenKind::Ident, &Op))
+      return false;
+    S.Container = C.Text;
+    S.Op = Op.Text;
+    return parseArgs(S.Args);
+  }
+
+  bool parseCond(CondExpr &C) {
+    C.Line = cur().Line;
+    if (at(TokenKind::Bang)) {
+      take();
+      Token Name;
+      if (!expect(TokenKind::Ident, &Name))
+        return false;
+      C.Cmp = CondExpr::Falsy;
+      C.Name = Name.Text;
+      return true;
+    }
+    Token Name;
+    if (!expect(TokenKind::Ident, &Name))
+      return false;
+    C.Name = Name.Text;
+    switch (cur().Kind) {
+    case TokenKind::EqEq:
+      C.Cmp = CondExpr::Eq;
+      break;
+    case TokenKind::BangEq:
+      C.Cmp = CondExpr::Ne;
+      break;
+    case TokenKind::Less:
+      C.Cmp = CondExpr::Lt;
+      break;
+    case TokenKind::LessEq:
+      C.Cmp = CondExpr::Le;
+      break;
+    case TokenKind::Greater:
+      C.Cmp = CondExpr::Gt;
+      break;
+    case TokenKind::GreaterEq:
+      C.Cmp = CondExpr::Ge;
+      break;
+    default:
+      C.Cmp = CondExpr::Truthy;
+      return true;
+    }
+    take();
+    return parseExpr(C.Rhs);
+  }
+
+  bool parseStmt(StmtPtr &Out) {
+    Out = std::make_unique<Stmt>();
+    Stmt &S = *Out;
+    S.Line = cur().Line;
+    if (at(TokenKind::KwLet)) {
+      take();
+      Token Name;
+      if (!expect(TokenKind::Ident, &Name) || !expect(TokenKind::Assign))
+        return false;
+      S.Kind = Stmt::Let;
+      S.LetName = Name.Text;
+      if (!parseCallInto(S))
+        return false;
+      return expect(TokenKind::Semi);
+    }
+    if (at(TokenKind::KwIf)) {
+      take();
+      S.Kind = Stmt::If;
+      if (!expect(TokenKind::LParen) || !parseCond(S.Cond) ||
+          !expect(TokenKind::RParen))
+        return false;
+      if (!parseBlock(S.Then))
+        return false;
+      if (at(TokenKind::KwElse)) {
+        take();
+        if (!parseBlock(S.Else))
+          return false;
+      }
+      return true;
+    }
+    if (at(TokenKind::KwDisplay)) {
+      take();
+      S.Kind = Stmt::Display;
+      Token Name;
+      if (!expect(TokenKind::LParen) || !expect(TokenKind::Ident, &Name) ||
+          !expect(TokenKind::RParen))
+        return false;
+      S.ValueName = Name.Text;
+      return expect(TokenKind::Semi);
+    }
+    if (at(TokenKind::KwReturn)) {
+      take();
+      S.Kind = Stmt::Return;
+      if (at(TokenKind::Ident))
+        S.ValueName = take().Text;
+      else if (at(TokenKind::Int))
+        take();
+      return expect(TokenKind::Semi);
+    }
+    if (at(TokenKind::KwSkip)) {
+      take();
+      S.Kind = Stmt::Skip;
+      return expect(TokenKind::Semi);
+    }
+    S.Kind = Stmt::Call;
+    if (!parseCallInto(S))
+      return false;
+    return expect(TokenKind::Semi);
+  }
+
+  const std::vector<Token> &Tokens;
+  ProgramAST &AST;
+  std::string &Error;
+  size_t Pos = 0;
+};
+
+} // namespace
+
+bool c4::parseProgram(const std::vector<Token> &Tokens, ProgramAST &AST,
+                      std::string &Error) {
+  Parser P(Tokens, AST, Error);
+  return P.run();
+}

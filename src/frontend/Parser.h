@@ -1,0 +1,30 @@
+//===- frontend/Parser.h - C4L parser ---------------------------*- C++ -*-===//
+//
+// Part of the C4 serializability analyzer. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent parser for C4L (grammar in AST.h).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef C4_FRONTEND_PARSER_H
+#define C4_FRONTEND_PARSER_H
+
+#include "frontend/AST.h"
+#include "frontend/Token.h"
+
+#include <string>
+#include <vector>
+
+namespace c4 {
+
+/// Parses a token stream into a ProgramAST. On error, returns false and
+/// sets \p Error (message includes the line).
+bool parseProgram(const std::vector<Token> &Tokens, ProgramAST &AST,
+                  std::string &Error);
+
+} // namespace c4
+
+#endif // C4_FRONTEND_PARSER_H

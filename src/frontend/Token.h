@@ -1,0 +1,72 @@
+//===- frontend/Token.h - C4L tokens ----------------------------*- C++ -*-===//
+//
+// Part of the C4 serializability analyzer. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Token definitions for C4L, the small transactional language used as the
+/// analysis front end (DESIGN.md explains how C4L substitutes for the
+/// paper's TouchDevelop and Cassandra/Java front ends).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef C4_FRONTEND_TOKEN_H
+#define C4_FRONTEND_TOKEN_H
+
+#include <cstdint>
+#include <string>
+
+namespace c4 {
+
+enum class TokenKind : uint8_t {
+  Eof,
+  Ident,
+  Int,
+  String,
+  // Keywords.
+  KwContainer,
+  KwGlobal,
+  KwSession,
+  KwAtomicSet,
+  KwOrder,
+  KwAny,
+  KwTxn,
+  KwLet,
+  KwIf,
+  KwElse,
+  KwDisplay,
+  KwReturn,
+  KwSkip,
+  // Punctuation and operators.
+  LParen,
+  RParen,
+  LBrace,
+  RBrace,
+  Comma,
+  Semi,
+  Dot,
+  Arrow, // ->
+  Assign,
+  Bang,
+  EqEq,
+  BangEq,
+  Less,
+  LessEq,
+  Greater,
+  GreaterEq,
+};
+
+/// Returns a human-readable name for diagnostics.
+const char *tokenKindName(TokenKind K);
+
+struct Token {
+  TokenKind Kind = TokenKind::Eof;
+  std::string Text;  ///< identifier or string contents
+  int64_t Value = 0; ///< integer literal value
+  unsigned Line = 1;
+};
+
+} // namespace c4
+
+#endif // C4_FRONTEND_TOKEN_H

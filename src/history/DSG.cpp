@@ -1,0 +1,136 @@
+//===- history/DSG.cpp ----------------------------------------------------===//
+//
+// Part of the C4 serializability analyzer. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "history/DSG.h"
+
+#include "support/Format.h"
+
+using namespace c4;
+
+const char *c4::depLabelName(int Label) {
+  switch (Label) {
+  case DepSO:
+    return "so";
+  case DepDependency:
+    return "dep";
+  case DepAntiDep:
+    return "anti";
+  case DepConflict:
+    return "conf";
+  }
+  return "?";
+}
+
+/// Shared implementation: \p Keep masks the considered events.
+static DependenceTriple computeImpl(const History &H, const Schedule &S,
+                                    const EventRelations &Rel,
+                                    const std::vector<bool> &Keep) {
+  unsigned N = H.numEvents();
+  DependenceTriple T;
+  T.Dep.assign(N, std::vector<bool>(N, false));
+  T.AntiDep = T.Conflict = T.Dep;
+
+  // The absorption escape of (D1)/(D2): some kept update v far-absorbs u,
+  // u ar→ v, and v is visible to q.
+  auto AbsorbedBefore = [&](unsigned U, unsigned Q) {
+    for (unsigned V = 0; V != N; ++V) {
+      if (!Keep[V] || V == U || V == Q || !H.isUpdate(V))
+        continue;
+      if (Rel.farAbsorbs(U, V) && S.arLess(U, V) && S.visible(V, Q))
+        return true;
+    }
+    return false;
+  };
+
+  for (unsigned U = 0; U != N; ++U) {
+    if (!Keep[U] || !H.isUpdate(U))
+      continue;
+    for (unsigned Q = 0; Q != N; ++Q) {
+      if (!Keep[Q] || U == Q || !H.isQuery(Q))
+        continue;
+      if (S.visible(U, Q)) {
+        // (D1) ⊕: u vı→ q and no escape.
+        if (!Rel.farCommute(U, Q) && !AbsorbedBefore(U, Q))
+          T.Dep[U][Q] = true;
+      } else {
+        // (D2) ⊖: u not visible to q and no escape (asymmetric variant).
+        if (!Rel.antiDepCommute(U, Q) && !AbsorbedBefore(U, Q))
+          T.AntiDep[Q][U] = true;
+      }
+    }
+    // (D3) ⊗: u ar→ v and no plain commutativity.
+    for (unsigned V = 0; V != N; ++V) {
+      if (!Keep[V] || U == V || !H.isUpdate(V))
+        continue;
+      if (S.arLess(U, V) && !Rel.plainCommute(U, V))
+        T.Conflict[U][V] = true;
+    }
+  }
+  return T;
+}
+
+DependenceTriple c4::computeDependencies(const History &H, const Schedule &S,
+                                         const EventRelations &Rel) {
+  std::vector<bool> Keep(H.numEvents(), true);
+  return computeImpl(H, S, Rel, Keep);
+}
+
+DependenceTriple c4::computeDependenciesRestricted(
+    const History &H, const Schedule &S, const EventRelations &Rel,
+    const std::vector<bool> &Keep) {
+  return computeImpl(H, S, Rel, Keep);
+}
+
+Digraph c4::buildDSG(const History &H, const DependenceTriple &T) {
+  unsigned NumTxns = H.numTransactions();
+  unsigned N = H.numEvents();
+  Digraph G(NumTxns);
+
+  // Session order, lifted: all ordered pairs of one session.
+  for (unsigned A = 0; A != NumTxns; ++A)
+    for (unsigned B = 0; B != NumTxns; ++B)
+      if (H.txnSoLess(A, B))
+        G.addEdge(A, B, DepSO);
+
+  // Lift the event relations; add at most one arc per (pair, label).
+  auto LiftInto =
+      [&](const std::vector<std::vector<bool>> &R, int Label) {
+        std::vector<std::vector<bool>> Added(
+            NumTxns, std::vector<bool>(NumTxns, false));
+        for (unsigned E = 0; E != N; ++E)
+          for (unsigned F = 0; F != N; ++F) {
+            if (!R[E][F])
+              continue;
+            unsigned TS = H.event(E).Txn, TT = H.event(F).Txn;
+            if (TS == TT || Added[TS][TT])
+              continue;
+            Added[TS][TT] = true;
+            G.addEdge(TS, TT, Label);
+          }
+      };
+  LiftInto(T.Dep, DepDependency);
+  LiftInto(T.AntiDep, DepAntiDep);
+  LiftInto(T.Conflict, DepConflict);
+  return G;
+}
+
+bool c4::hasAcyclicDSG(const History &H, const Schedule &S, FarMode Mode,
+                       bool AsymmetricAntiDeps) {
+  EventRelations Rel(H, Mode, AsymmetricAntiDeps);
+  DependenceTriple T = computeDependencies(H, S, Rel);
+  return !buildDSG(H, T).hasCycle();
+}
+
+std::string c4::dsgStr(const History &H, const Digraph &G) {
+  std::string Out;
+  for (const Digraph::Edge &E : G.edges()) {
+    const Transaction &TS = H.txn(E.From);
+    const Transaction &TT = H.txn(E.To);
+    Out += strf("t%u(s%u) -%s-> t%u(s%u)\n", TS.Id, TS.Session,
+                depLabelName(E.Label), TT.Id, TT.Session);
+  }
+  return Out;
+}

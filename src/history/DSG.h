@@ -1,0 +1,82 @@
+//===- history/DSG.h - Dependency serialization graphs ----------*- C++ -*-===//
+//
+// Part of the C4 serializability analyzer. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The dependence triple (paper §4.2) and the dependency serialization graph
+/// (DSG). Given a history and a schedule:
+///
+///  (D1) dependencies     ⊕ ⊆ U×Q : a query depends on a visible update
+///       unless the update far-commutes with it or is far-absorbed by an
+///       intermediate visible update,
+///  (D2) anti-dependencies ⊖ ⊆ Q×U : a query anti-depends on an invisible
+///       update under the same escape conditions,
+///  (D3) conflict deps    ⊗ ⊆ U×U : an update conflict-depends on a later
+///       (in ar) update unless they plainly commute.
+///
+/// Lifting these relations (plus session order) to transactions yields the
+/// DSG. Theorem 1: if a schedule induces an acyclic DSG, the history is
+/// serializable. Theorem 2 (locality): restricting a schedule to a subset of
+/// events never loses dependencies between the remaining events.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef C4_HISTORY_DSG_H
+#define C4_HISTORY_DSG_H
+
+#include "history/Relations.h"
+#include "history/Schedule.h"
+#include "support/Digraph.h"
+
+#include <string>
+
+namespace c4 {
+
+/// Edge labels of serialization graphs (DSG and SSG alike).
+enum DepLabel : int {
+  DepSO = 0,       ///< session order
+  DepDependency,   ///< ⊕
+  DepAntiDep,      ///< ⊖
+  DepConflict      ///< ⊗
+};
+
+/// Returns "so", "dep", "anti" or "conf".
+const char *depLabelName(int Label);
+
+/// The event-level dependence triple.
+struct DependenceTriple {
+  /// Dep[u][q], AntiDep[q][u], Conflict[u][v] — oriented as in the paper.
+  std::vector<std::vector<bool>> Dep, AntiDep, Conflict;
+};
+
+/// Computes (D1)-(D3) for the given history, schedule and relations.
+DependenceTriple computeDependencies(const History &H, const Schedule &S,
+                                     const EventRelations &Rel);
+
+/// Computes the triple for the restriction of the schedule to the event set
+/// \p Keep (used to validate the locality theorem). Events outside \p Keep
+/// are ignored entirely.
+DependenceTriple computeDependenciesRestricted(const History &H,
+                                               const Schedule &S,
+                                               const EventRelations &Rel,
+                                               const std::vector<bool> &Keep);
+
+/// Builds the DSG: nodes are the history's transactions; arcs are the
+/// lifted session-order / ⊕ / ⊖ / ⊗ relations (one arc per label per
+/// transaction pair).
+Digraph buildDSG(const History &H, const DependenceTriple &T);
+
+/// Convenience: computes relations, dependencies and the DSG, and returns
+/// true iff the DSG is acyclic (sufficient for serializability, Thm. 1).
+bool hasAcyclicDSG(const History &H, const Schedule &S,
+                   FarMode Mode = FarMode::Spec,
+                   bool AsymmetricAntiDeps = true);
+
+/// Renders a DSG for diagnostics (one "s -label-> t" line per arc).
+std::string dsgStr(const History &H, const Digraph &G);
+
+} // namespace c4
+
+#endif // C4_HISTORY_DSG_H

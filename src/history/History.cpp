@@ -1,0 +1,79 @@
+//===- history/History.cpp ------------------------------------------------===//
+//
+// Part of the C4 serializability analyzer. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "history/History.h"
+
+#include "support/Format.h"
+
+#include <cassert>
+
+using namespace c4;
+
+unsigned History::addSession() {
+  Sessions_.emplace_back();
+  SessionTxns_.emplace_back();
+  return numSessions() - 1;
+}
+
+unsigned History::beginTransaction(unsigned Session) {
+  assert(Session < numSessions() && "unknown session");
+  unsigned Id = numTransactions();
+  Txns_.push_back({Id, Session, {}});
+  SessionTxns_[Session].push_back(Id);
+  return Id;
+}
+
+unsigned History::append(unsigned Txn, unsigned Container, unsigned Op,
+                         std::vector<int64_t> Args,
+                         std::optional<int64_t> Ret) {
+  assert(Txn < numTransactions() && "unknown transaction");
+  Transaction &T = Txns_[Txn];
+  assert(SessionTxns_[T.Session].back() == Txn &&
+         "transactions must stay contiguous: only the most recent "
+         "transaction of a session may grow");
+  const OpSig &Sig = Sch->op(Container, Op);
+  assert(Args.size() == Sig.NumArgs && "argument count mismatch");
+  assert(Ret.has_value() == Sig.HasRet && "return value mismatch");
+  (void)Sig;
+  unsigned Id = numEvents();
+  Events_.push_back({Id, Container, Op, std::move(Args), Ret, T.Session, Txn});
+  T.Events.push_back(Id);
+  Sessions_[T.Session].push_back(Id);
+  return Id;
+}
+
+void History::setReturn(unsigned EventId, int64_t Ret) {
+  assert(op(EventId).HasRet && "operation has no return value");
+  Events_[EventId].Ret = Ret;
+}
+
+bool History::soLess(unsigned A, unsigned B) const {
+  const Event &EA = Events_[A];
+  const Event &EB = Events_[B];
+  if (EA.Session != EB.Session)
+    return false;
+  // Events are appended in session order, so ids grow along a session.
+  return A < B;
+}
+
+bool History::txnSoLess(unsigned S, unsigned T) const {
+  const Transaction &TS = Txns_[S];
+  const Transaction &TT = Txns_[T];
+  return TS.Session == TT.Session && S != T && TS.Id < TT.Id;
+}
+
+std::string History::eventStr(unsigned EventId) const {
+  const Event &E = Events_[EventId];
+  const OpSig &Sig = op(E);
+  std::vector<std::string> Args;
+  for (int64_t A : E.Args)
+    Args.push_back(strf("%lld", static_cast<long long>(A)));
+  std::string S = Sch->container(E.Container).Name + "." + Sig.Name + "(" +
+                  join(Args, ",") + ")";
+  if (E.Ret)
+    S += strf(":%lld", static_cast<long long>(*E.Ret));
+  return S;
+}

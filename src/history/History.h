@@ -1,0 +1,122 @@
+//===- history/History.h - Concrete events, histories, sessions -*- C++ -*-===//
+//
+// Part of the C4 serializability analyzer. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The concrete execution model of paper §3. A history H = (Ev, so, Tx)
+/// consists of events partitioned into sessions (chains under session order
+/// so) which are in turn partitioned into contiguous transactions. Events
+/// carry an operation on a schema container, concrete arguments, and an
+/// optional return value.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef C4_HISTORY_HISTORY_H
+#define C4_HISTORY_HISTORY_H
+
+#include "spec/Registry.h"
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace c4 {
+
+/// One executed operation.
+struct Event {
+  unsigned Id;        ///< dense index within the history
+  unsigned Container; ///< schema container id
+  unsigned Op;        ///< operation index within the container's type
+  std::vector<int64_t> Args;
+  std::optional<int64_t> Ret;
+  unsigned Session; ///< owning session index
+  unsigned Txn;     ///< owning transaction index
+
+  /// The combined value vector: arguments followed by the return value.
+  std::vector<int64_t> vals() const {
+    std::vector<int64_t> V = Args;
+    if (Ret)
+      V.push_back(*Ret);
+    return V;
+  }
+};
+
+/// A transaction: a contiguous block of events of one session.
+struct Transaction {
+  unsigned Id;
+  unsigned Session;
+  std::vector<unsigned> Events; ///< event ids in session order
+};
+
+/// A concrete history. Build sessions/transactions/events in order with
+/// addSession / beginTransaction / append.
+class History {
+public:
+  explicit History(const Schema &S) : Sch(&S) {}
+
+  const Schema &schema() const { return *Sch; }
+
+  unsigned addSession();
+  /// Starts a new transaction in \p Session (sessions only grow at the end).
+  unsigned beginTransaction(unsigned Session);
+  /// Appends an event to transaction \p Txn, which must be the most recent
+  /// transaction of its session. Returns the event id.
+  unsigned append(unsigned Txn, unsigned Container, unsigned Op,
+                  std::vector<int64_t> Args,
+                  std::optional<int64_t> Ret = std::nullopt);
+
+  /// Overwrites the return value of an event (the operation must have one).
+  /// Used by generators that fix up query outcomes after choosing a
+  /// schedule, and by the store interpreter.
+  void setReturn(unsigned EventId, int64_t Ret);
+
+  unsigned numEvents() const { return static_cast<unsigned>(Events_.size()); }
+  unsigned numSessions() const {
+    return static_cast<unsigned>(Sessions_.size());
+  }
+  unsigned numTransactions() const {
+    return static_cast<unsigned>(Txns_.size());
+  }
+
+  const Event &event(unsigned Id) const { return Events_[Id]; }
+  const Transaction &txn(unsigned Id) const { return Txns_[Id]; }
+  /// Event ids of one session, in session order.
+  const std::vector<unsigned> &session(unsigned Id) const {
+    return Sessions_[Id];
+  }
+  /// Transaction ids of one session, in session order.
+  const std::vector<unsigned> &sessionTxns(unsigned Id) const {
+    return SessionTxns_[Id];
+  }
+
+  /// The operation signature of an event.
+  const OpSig &op(const Event &E) const {
+    return Sch->op(E.Container, E.Op);
+  }
+  const OpSig &op(unsigned EventId) const { return op(Events_[EventId]); }
+
+  bool isUpdate(unsigned EventId) const { return op(EventId).isUpdate(); }
+  bool isQuery(unsigned EventId) const { return op(EventId).isQuery(); }
+
+  /// Session order on events: strictly earlier in the same session.
+  bool soLess(unsigned A, unsigned B) const;
+  /// Session order on transactions.
+  bool txnSoLess(unsigned S, unsigned T) const;
+
+  /// Renders an event like "M.put(1,2)" or "M.get(1):5".
+  std::string eventStr(unsigned EventId) const;
+
+private:
+  const Schema *Sch;
+  std::vector<Event> Events_;
+  std::vector<Transaction> Txns_;
+  std::vector<std::vector<unsigned>> Sessions_;     // event ids
+  std::vector<std::vector<unsigned>> SessionTxns_;  // txn ids
+};
+
+} // namespace c4
+
+#endif // C4_HISTORY_HISTORY_H

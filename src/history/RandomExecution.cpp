@@ -1,0 +1,90 @@
+//===- history/RandomExecution.cpp ----------------------------------------===//
+//
+// Part of the C4 serializability analyzer. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "history/RandomExecution.h"
+
+#include <algorithm>
+
+using namespace c4;
+
+/// Fresh identities live far above both program literals and interned
+/// strings so they can never collide.
+static constexpr int64_t FreshBase = 9000000;
+
+RandomExecution c4::generateRandomExecution(const Schema &Sch, Rng &R,
+                                            const RandomExecOptions &O) {
+  History H(Sch);
+  int64_t NextFresh = FreshBase;
+
+  // Skeleton: sessions, transactions, events.
+  unsigned NumSessions =
+      static_cast<unsigned>(R.range(O.MinSessions, O.MaxSessions));
+  for (unsigned S = 0; S != NumSessions; ++S) {
+    unsigned Session = H.addSession();
+    unsigned NumTxns = static_cast<unsigned>(R.range(1, O.MaxTxnsPerSession));
+    for (unsigned T = 0; T != NumTxns; ++T) {
+      unsigned Txn = H.beginTransaction(Session);
+      unsigned NumEvents =
+          static_cast<unsigned>(R.range(1, O.MaxEventsPerTxn));
+      for (unsigned E = 0; E != NumEvents; ++E) {
+        unsigned Container =
+            static_cast<unsigned>(R.below(Sch.numContainers()));
+        const DataTypeSpec &Type = *Sch.container(Container).Type;
+        unsigned Op = static_cast<unsigned>(R.below(Type.ops().size()));
+        const OpSig &Sig = Type.ops()[Op];
+        std::vector<int64_t> Args;
+        for (unsigned A = 0; A != Sig.NumArgs; ++A)
+          Args.push_back(R.range(0, O.ArgDomain - 1));
+        std::optional<int64_t> Ret;
+        if (Sig.HasRet)
+          Ret = Sig.Fresh ? NextFresh++ : 0; // queries fixed up below
+        H.append(Txn, Container, Op, std::move(Args), Ret);
+      }
+    }
+  }
+
+  // Arbitration: a random linear extension of session order on
+  // transactions; events of a transaction stay contiguous in session order.
+  std::vector<unsigned> NextTxn(H.numSessions(), 0);
+  std::vector<unsigned> TxnOrder;
+  while (TxnOrder.size() != H.numTransactions()) {
+    unsigned S = static_cast<unsigned>(R.below(H.numSessions()));
+    if (NextTxn[S] == H.sessionTxns(S).size())
+      continue;
+    TxnOrder.push_back(H.sessionTxns(S)[NextTxn[S]++]);
+  }
+  Schedule S(H.numEvents());
+  std::vector<unsigned> EventOrder;
+  for (unsigned T : TxnOrder)
+    for (unsigned E : H.txn(T).Events)
+      EventOrder.push_back(E);
+  S.setArbitration(EventOrder);
+
+  // Transaction-level visibility: each ar-ordered pair independently, then
+  // the causal closure. Closure only adds ar-forward pairs, so vı ⊆ ar is
+  // preserved.
+  std::vector<unsigned> TxnPos(H.numTransactions());
+  for (unsigned I = 0; I != TxnOrder.size(); ++I)
+    TxnPos[TxnOrder[I]] = I;
+  for (unsigned A = 0; A != H.numTransactions(); ++A)
+    for (unsigned B = 0; B != H.numTransactions(); ++B) {
+      if (A == B || TxnPos[A] >= TxnPos[B])
+        continue;
+      if (!R.chance(O.VisPercent, 100))
+        continue;
+      for (unsigned E1 : H.txn(A).Events)
+        for (unsigned E2 : H.txn(B).Events)
+          S.setVisible(E1, E2);
+    }
+  S.closeCausally(H);
+
+  // S1 by construction: every query returns its replayed value.
+  for (unsigned E = 0; E != H.numEvents(); ++E)
+    if (H.isQuery(E))
+      H.setReturn(E, evalQueryUnder(H, S, E));
+
+  return {std::move(H), std::move(S)};
+}

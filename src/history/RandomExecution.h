@@ -1,0 +1,49 @@
+//===- history/RandomExecution.h - Random legal executions ------*- C++ -*-===//
+//
+// Part of the C4 serializability analyzer. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Generates random histories together with legal schedules (satisfying
+/// S1-S3) over a given schema. Construction order: random session /
+/// transaction / event skeleton, a random arbitration order respecting
+/// session order, random transaction-level visibility closed causally, and
+/// finally query return values computed by replay — so S1 holds by
+/// construction. Used by property-based tests and the dynamic-analysis
+/// comparison bench.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef C4_HISTORY_RANDOMEXECUTION_H
+#define C4_HISTORY_RANDOMEXECUTION_H
+
+#include "history/Schedule.h"
+#include "support/Rng.h"
+
+namespace c4 {
+
+/// Shape parameters for random executions.
+struct RandomExecOptions {
+  unsigned MinSessions = 2, MaxSessions = 3;
+  unsigned MaxTxnsPerSession = 2;
+  unsigned MaxEventsPerTxn = 3;
+  /// Arguments are drawn from [0, ArgDomain).
+  int64_t ArgDomain = 3;
+  /// Probability (percent) that an ar-ordered transaction pair is visible.
+  unsigned VisPercent = 50;
+};
+
+/// A history with a legal schedule.
+struct RandomExecution {
+  History H;
+  Schedule S;
+};
+
+/// Generates a random execution over \p Sch.
+RandomExecution generateRandomExecution(const Schema &Sch, Rng &R,
+                                        const RandomExecOptions &O = {});
+
+} // namespace c4
+
+#endif // C4_HISTORY_RANDOMEXECUTION_H

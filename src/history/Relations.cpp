@@ -1,0 +1,116 @@
+//===- history/Relations.cpp ----------------------------------------------===//
+//
+// Part of the C4 serializability analyzer. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "history/Relations.h"
+
+#include "spec/DataType.h"
+
+using namespace c4;
+
+/// Evaluates the rewrite-spec condition of kind \p Mode between two concrete
+/// events. Cross-container pairs always commute.
+static bool evalCommute(const History &H, unsigned A, unsigned B,
+                        CommuteMode Mode) {
+  const Event &EA = H.event(A);
+  const Event &EB = H.event(B);
+  if (EA.Container != EB.Container)
+    return true;
+  const DataTypeSpec &Type = *H.schema().container(EA.Container).Type;
+  Cond C = commutesCond(Type, EA.Op, EB.Op, Mode);
+  return C.eval(EA.vals(), EB.vals());
+}
+
+/// Evaluates absorption: A (earlier) absorbed by B (later). Cross-container
+/// pairs never absorb.
+static bool evalAbsorb(const History &H, unsigned A, unsigned B, bool Far) {
+  const Event &EA = H.event(A);
+  const Event &EB = H.event(B);
+  if (EA.Container != EB.Container)
+    return false;
+  const DataTypeSpec &Type = *H.schema().container(EA.Container).Type;
+  Cond C = absorbsCond(Type, EA.Op, EB.Op, Far);
+  return C.eval(EA.vals(), EB.vals());
+}
+
+EventRelations::EventRelations(const History &H, FarMode Mode,
+                               bool AsymmetricAntiDeps) {
+  unsigned N = H.numEvents();
+  PlainCom.assign(N, std::vector<bool>(N, false));
+  FarCom = AntiCom = FarAbs = PlainCom;
+
+  for (unsigned A = 0; A != N; ++A)
+    for (unsigned B = 0; B != N; ++B) {
+      if (A == B)
+        continue;
+      PlainCom[A][B] = evalCommute(H, A, B, CommuteMode::Plain);
+      FarAbs[A][B] = H.isUpdate(A) && H.isUpdate(B) &&
+                     evalAbsorb(H, A, B, /*Far=*/true);
+    }
+
+  if (Mode == FarMode::Spec) {
+    for (unsigned A = 0; A != N; ++A)
+      for (unsigned B = 0; B != N; ++B) {
+        if (A == B)
+          continue;
+        FarCom[A][B] = evalCommute(H, A, B, CommuteMode::Far);
+      }
+  } else {
+    // Greatest fixpoint of R2 over the update events of this history.
+    // Start from plain commutativity for update/query pairs; queries
+    // far-commute with queries; update/update pairs use plain.
+    std::vector<unsigned> Updates;
+    for (unsigned E = 0; E != N; ++E)
+      if (H.isUpdate(E))
+        Updates.push_back(E);
+    for (unsigned A = 0; A != N; ++A)
+      for (unsigned B = 0; B != N; ++B) {
+        if (A == B)
+          continue;
+        if (H.isQuery(A) && H.isQuery(B))
+          FarCom[A][B] = true;
+        else
+          FarCom[A][B] = PlainCom[A][B];
+      }
+    bool Changed = true;
+    while (Changed) {
+      Changed = false;
+      for (unsigned U : Updates)
+        for (unsigned B = 0; B != N; ++B) {
+          if (U == B || !H.isQuery(B) || !FarCom[U][B])
+            continue;
+          // (R2) u ↷º q requires: for every update v, uv ≡ vu or v ↷º q
+          // or u ▷ v.
+          bool Ok = true;
+          for (unsigned V : Updates) {
+            if (V == U)
+              continue;
+            if (PlainCom[U][V] || FarCom[V][B] || FarAbs[U][V])
+              continue;
+            Ok = false;
+            break;
+          }
+          if (!Ok) {
+            FarCom[U][B] = false;
+            FarCom[B][U] = false; // query-update pairs are symmetric
+            Changed = true;
+          }
+        }
+    }
+  }
+
+  // Anti-dependency commutativity: asymmetric variant on top of far.
+  for (unsigned U = 0; U != N; ++U)
+    for (unsigned Q = 0; Q != N; ++Q) {
+      if (U == Q) {
+        AntiCom[U][Q] = true;
+        continue;
+      }
+      bool C = FarCom[U][Q];
+      if (!C && AsymmetricAntiDeps && H.isUpdate(U) && H.isQuery(Q))
+        C = evalCommute(H, U, Q, CommuteMode::Asym);
+      AntiCom[U][Q] = C;
+    }
+}

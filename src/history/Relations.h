@@ -1,0 +1,63 @@
+//===- history/Relations.h - Far commutativity and absorption ---*- C++ -*-===//
+//
+// Part of the C4 serializability analyzer. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Pairwise algebraic relations between the concrete events of a history:
+/// plain commutativity, far commutativity ↷º (R2), far absorption ▷ (R1),
+/// and the asymmetric variant used for anti-dependencies (paper §8).
+///
+/// Two computation modes:
+///  * Spec: evaluate the data types' far formulas directly. Context
+///    independent, hence compatible with the locality theorem (Thm. 2).
+///  * Fixpoint: compute ↷º as the greatest fixpoint of R2 restricted to the
+///    updates present in the history (the coinductive definition: start from
+///    plain commutativity and repeatedly remove pairs (u,q) for which some
+///    update v neither commutes with u, nor far-commutes with q, nor absorbs
+///    u). At least as precise as Spec on the same history.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef C4_HISTORY_RELATIONS_H
+#define C4_HISTORY_RELATIONS_H
+
+#include "history/History.h"
+
+#include <vector>
+
+namespace c4 {
+
+/// How to compute far commutativity. See the file comment.
+enum class FarMode { Spec, Fixpoint };
+
+/// Precomputed pairwise relations between the events of one history.
+class EventRelations {
+public:
+  EventRelations(const History &H, FarMode Mode = FarMode::Spec,
+                 bool AsymmetricAntiDeps = true);
+
+  /// Plain commutativity: e f ≡ f e.
+  bool plainCommute(unsigned A, unsigned B) const {
+    return PlainCom[A][B];
+  }
+  /// Far commutativity ↷º, extended to all event pairs (queries always
+  /// far-commute with queries; update/update uses plain commutativity).
+  bool farCommute(unsigned A, unsigned B) const { return FarCom[A][B]; }
+  /// Far commutativity for anti-dependency computation: the asymmetric
+  /// variant if enabled, otherwise identical to farCommute. Oriented as
+  /// (update, query).
+  bool antiDepCommute(unsigned U, unsigned Q) const {
+    return AntiCom[U][Q];
+  }
+  /// Far absorption: A ▷ B (A's effect dies under a later B).
+  bool farAbsorbs(unsigned A, unsigned B) const { return FarAbs[A][B]; }
+
+private:
+  std::vector<std::vector<bool>> PlainCom, FarCom, AntiCom, FarAbs;
+};
+
+} // namespace c4
+
+#endif // C4_HISTORY_RELATIONS_H

@@ -1,0 +1,195 @@
+//===- history/Schedule.cpp -----------------------------------------------===//
+//
+// Part of the C4 serializability analyzer. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "history/Schedule.h"
+
+#include <algorithm>
+#include <functional>
+#include <cassert>
+
+using namespace c4;
+
+void Schedule::setArbitration(const std::vector<unsigned> &Order) {
+  assert(Order.size() == ArPos.size() && "order must cover all events");
+  std::vector<bool> Seen(ArPos.size(), false);
+  for (unsigned Pos = 0; Pos != Order.size(); ++Pos) {
+    assert(!Seen[Order[Pos]] && "duplicate event in arbitration order");
+    Seen[Order[Pos]] = true;
+    ArPos[Order[Pos]] = Pos;
+  }
+}
+
+std::vector<unsigned> Schedule::arOrder() const {
+  std::vector<unsigned> Order(ArPos.size());
+  for (unsigned E = 0; E != ArPos.size(); ++E)
+    Order[ArPos[E]] = E;
+  return Order;
+}
+
+void Schedule::closeCausally(const History &H) {
+  unsigned N = numEvents();
+  // Seed with session order.
+  for (unsigned S = 0; S != H.numSessions(); ++S) {
+    const std::vector<unsigned> &Sess = H.session(S);
+    for (unsigned I = 0; I != Sess.size(); ++I)
+      for (unsigned J = I + 1; J != Sess.size(); ++J)
+        Vis[Sess[I]][Sess[J]] = true;
+  }
+  // Transitive closure (Floyd-Warshall style; histories are small).
+  for (unsigned K = 0; K != N; ++K)
+    for (unsigned I = 0; I != N; ++I) {
+      if (!Vis[I][K])
+        continue;
+      for (unsigned J = 0; J != N; ++J)
+        if (Vis[K][J])
+          Vis[I][J] = true;
+    }
+}
+
+int64_t c4::evalQueryUnder(const History &H, const Schedule &S, unsigned Q) {
+  const Event &QE = H.event(Q);
+  assert(H.op(QE).isQuery() && "expected a query event");
+  // Collect visible updates on the same container and replay in ar order.
+  std::vector<unsigned> Upds;
+  for (unsigned E = 0; E != H.numEvents(); ++E)
+    if (H.isUpdate(E) && S.visible(E, Q) &&
+        H.event(E).Container == QE.Container)
+      Upds.push_back(E);
+  std::sort(Upds.begin(), Upds.end(),
+            [&](unsigned A, unsigned B) { return S.arLess(A, B); });
+  const ContainerDecl &C = H.schema().container(QE.Container);
+  std::unique_ptr<ContainerState> State = C.Type->makeState();
+  for (unsigned U : Upds)
+    State->apply(H.op(U), H.event(U).vals());
+  return State->eval(H.op(QE), QE.Args);
+}
+
+bool c4::satisfiesLegality(const History &H, const Schedule &S) {
+  for (unsigned E = 0; E != H.numEvents(); ++E) {
+    if (!H.isQuery(E))
+      continue;
+    if (evalQueryUnder(H, S, E) != *H.event(E).Ret)
+      return false;
+  }
+  return true;
+}
+
+bool c4::satisfiesCausality(const History &H, const Schedule &S) {
+  unsigned N = H.numEvents();
+  // so ⊆ vı and vı ⊆ ar and no self-visibility.
+  for (unsigned A = 0; A != N; ++A)
+    for (unsigned B = 0; B != N; ++B) {
+      if (H.soLess(A, B) && !S.visible(A, B))
+        return false;
+      if (S.visible(A, B) && !S.arLess(A, B))
+        return false;
+    }
+  // vı transitive.
+  for (unsigned A = 0; A != N; ++A)
+    for (unsigned B = 0; B != N; ++B) {
+      if (!S.visible(A, B))
+        continue;
+      for (unsigned C = 0; C != N; ++C)
+        if (S.visible(B, C) && !S.visible(A, C))
+          return false;
+    }
+  return true;
+}
+
+bool c4::satisfiesAtomicVisibility(const History &H, const Schedule &S) {
+  for (unsigned T1 = 0; T1 != H.numTransactions(); ++T1)
+    for (unsigned T2 = 0; T2 != H.numTransactions(); ++T2) {
+      if (T1 == T2)
+        continue;
+      const std::vector<unsigned> &Es1 = H.txn(T1).Events;
+      const std::vector<unsigned> &Es2 = H.txn(T2).Events;
+      if (Es1.empty() || Es2.empty())
+        continue;
+      bool Vis0 = S.visible(Es1[0], Es2[0]);
+      bool Ar0 = S.arLess(Es1[0], Es2[0]);
+      for (unsigned E1 : Es1)
+        for (unsigned E2 : Es2) {
+          if (S.visible(E1, E2) != Vis0)
+            return false;
+          if (S.arLess(E1, E2) != Ar0)
+            return false;
+        }
+    }
+  return true;
+}
+
+bool c4::isLegalSchedule(const History &H, const Schedule &S) {
+  return satisfiesCausality(H, S) && satisfiesAtomicVisibility(H, S) &&
+         satisfiesLegality(H, S);
+}
+
+bool c4::isSerial(const History &H, const Schedule &S) {
+  unsigned N = H.numEvents();
+  for (unsigned A = 0; A != N; ++A)
+    for (unsigned B = 0; B != N; ++B)
+      if (S.visible(A, B) != S.arLess(A, B))
+        return false;
+  return true;
+}
+
+Schedule c4::makeSerialSchedule(const History &H,
+                                const std::vector<unsigned> &TxnOrder) {
+  assert(TxnOrder.size() == H.numTransactions() && "order must cover txns");
+  Schedule S(H.numEvents());
+  std::vector<unsigned> Order;
+  Order.reserve(H.numEvents());
+  for (unsigned T : TxnOrder)
+    for (unsigned E : H.txn(T).Events)
+      Order.push_back(E);
+  S.setArbitration(Order);
+  for (unsigned I = 0; I != Order.size(); ++I)
+    for (unsigned J = I + 1; J != Order.size(); ++J)
+      S.setVisible(Order[I], Order[J]);
+  return S;
+}
+
+namespace {
+
+/// Enumerates linearizations of the transactions respecting session order
+/// until \p Fn returns true; returns whether any call did.
+bool forEachTxnLinearization(const History &H,
+                             const std::function<bool(
+                                 const std::vector<unsigned> &)> &Fn) {
+  unsigned NumSessions = H.numSessions();
+  std::vector<unsigned> Next(NumSessions, 0); // next txn index per session
+  std::vector<unsigned> Order;
+  // Recursive backtracking over which session provides the next transaction.
+  std::function<bool()> Rec = [&]() -> bool {
+    if (Order.size() == H.numTransactions())
+      return Fn(Order);
+    for (unsigned S = 0; S != NumSessions; ++S) {
+      if (Next[S] == H.sessionTxns(S).size())
+        continue;
+      Order.push_back(H.sessionTxns(S)[Next[S]]);
+      ++Next[S];
+      if (Rec())
+        return true;
+      --Next[S];
+      Order.pop_back();
+    }
+    return false;
+  };
+  return Rec();
+}
+
+} // namespace
+
+std::optional<Schedule> c4::findSerialSchedule(const History &H) {
+  std::optional<Schedule> Result;
+  forEachTxnLinearization(H, [&](const std::vector<unsigned> &TxnOrder) {
+    Schedule S = makeSerialSchedule(H, TxnOrder);
+    if (!satisfiesLegality(H, S))
+      return false;
+    Result = std::move(S);
+    return true;
+  });
+  return Result;
+}

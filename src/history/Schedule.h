@@ -1,0 +1,109 @@
+//===- history/Schedule.h - Schedules and their axioms -----------*- C++ -*-===//
+//
+// Part of the C4 serializability analyzer. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A schedule S = (vı, ar) for a history (paper §3): a strict total
+/// arbitration order `ar` over the events and a visibility relation
+/// `vı ⊆ ar`. Legal schedules satisfy
+///
+///   (S1) every query's return value is consistent with replaying its
+///        visible updates in arbitration order,
+///   (S2) vı = (so ∪ vı)+  — causal consistency,
+///   (S3) atomic visibility: transactions never interleave in vı or ar.
+///
+/// A schedule is serial iff vı = ar; a history is serializable iff it has a
+/// serial legal schedule. This module provides the axiom checks and a
+/// brute-force serializability decision for small histories, which serves as
+/// the ground truth for the static analyses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef C4_HISTORY_SCHEDULE_H
+#define C4_HISTORY_SCHEDULE_H
+
+#include "history/History.h"
+
+#include <optional>
+#include <vector>
+
+namespace c4 {
+
+/// A schedule over the events of one history.
+class Schedule {
+public:
+  explicit Schedule(unsigned NumEvents)
+      : ArPos(NumEvents), Vis(NumEvents, std::vector<bool>(NumEvents, false)) {
+    for (unsigned I = 0; I != NumEvents; ++I)
+      ArPos[I] = I;
+  }
+
+  unsigned numEvents() const { return static_cast<unsigned>(ArPos.size()); }
+
+  /// Installs the arbitration order: \p Order lists event ids from first to
+  /// last. Must be a permutation of all events.
+  void setArbitration(const std::vector<unsigned> &Order);
+
+  /// Arbitration position of an event (0 = earliest).
+  unsigned arPos(unsigned E) const { return ArPos[E]; }
+  bool arLess(unsigned A, unsigned B) const { return ArPos[A] < ArPos[B]; }
+
+  /// Event ids sorted by arbitration order.
+  std::vector<unsigned> arOrder() const;
+
+  void setVisible(unsigned From, unsigned To, bool V = true) {
+    Vis[From][To] = V;
+  }
+  /// True if \p From is visible to \p To (From vı→ To).
+  bool visible(unsigned From, unsigned To) const { return Vis[From][To]; }
+
+  /// Closes visibility under (so ∪ vı)+ as required by S2, adding session
+  /// order and transitive edges. Also useful when constructing schedules.
+  void closeCausally(const History &H);
+
+private:
+  std::vector<unsigned> ArPos;
+  std::vector<std::vector<bool>> Vis;
+};
+
+/// S1: every query agrees with the ar-ordered replay of its visible updates.
+bool satisfiesLegality(const History &H, const Schedule &S);
+
+/// S2: vı ⊇ so, vı transitive, vı ⊆ ar.
+bool satisfiesCausality(const History &H, const Schedule &S);
+
+/// S3: distinct transactions never interleave in vı or ar.
+bool satisfiesAtomicVisibility(const History &H, const Schedule &S);
+
+/// All of S1, S2, S3.
+bool isLegalSchedule(const History &H, const Schedule &S);
+
+/// vı = ar.
+bool isSerial(const History &H, const Schedule &S);
+
+/// Builds the serial schedule executing transactions in \p TxnOrder
+/// (events of each transaction in session order). \p TxnOrder must respect
+/// session order for the result to be legal w.r.t. S2.
+Schedule makeSerialSchedule(const History &H,
+                            const std::vector<unsigned> &TxnOrder);
+
+/// Searches all linearizations of the transactions (respecting session
+/// order) for a serial legal schedule. Exponential: intended for small
+/// histories in tests and for validating counter-examples.
+std::optional<Schedule> findSerialSchedule(const History &H);
+
+/// True iff the history possesses a serial legal schedule.
+inline bool isSerializable(const History &H) {
+  return findSerialSchedule(H).has_value();
+}
+
+/// Computes the correct return value of query \p Q under schedule \p S:
+/// replays the updates visible to Q in arbitration order. Useful when
+/// constructing S1-satisfying histories.
+int64_t evalQueryUnder(const History &H, const Schedule &S, unsigned Q);
+
+} // namespace c4
+
+#endif // C4_HISTORY_SCHEDULE_H

@@ -1,0 +1,76 @@
+//===- smt/Encoding.h - The ϕ_cyclic SMT encoding (§7) ----------*- C++ -*-===//
+//
+// Part of the C4 serializability analyzer. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Encodes the serializability criterion for one k-unfolding into a
+/// first-order query for Z3 (paper §7): a model is a pre-schedule of a
+/// one-to-one concretization of the unfolding whose DSG contains a cycle.
+///
+/// Model variables:
+///  * per transaction: a presence boolean and an integer arbitration
+///    position (atomic visibility S3 makes transactions contiguous in ar,
+///    so transaction-level positions are exact),
+///  * per ordered transaction pair: a visibility boolean (transitive,
+///    including session order — causal consistency S2),
+///  * per event: a presence boolean, an integer position inside its
+///    transaction, and one integer per combined value slot,
+///  * per eo edge: a "taken" boolean — present events form a path through
+///    the transaction's event order with all guards satisfied (§8
+///    control-flow constraints),
+///  * session-local and global symbolic constants (VarL, VarG).
+///
+/// Dependencies follow D1-D3 with the far-commutativity / far-absorption
+/// rewrite specification, asymmetric commutativity on anti-dependencies and
+/// the fresh-unique-value axioms (§8). The cycle itself is selected from the
+/// SC1-feasible simple cycles of the unfolding's instantiated SSG.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef C4_SMT_ENCODING_H
+#define C4_SMT_ENCODING_H
+
+#include "abstract/Features.h"
+#include "history/Schedule.h"
+#include "smt/Z3Env.h"
+#include "ssg/SSG.h"
+#include "unfold/Unfolder.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace c4 {
+
+/// A concrete witness extracted from a Z3 model: a history, the
+/// pre-schedule, and the DSG cycle found.
+struct CounterExample {
+  History H;
+  Schedule S;
+  /// Transactions on the cycle, as concrete transaction ids of H.
+  std::vector<unsigned> CycleTxns;
+  /// The original (syntactic) transaction ids of the cycle.
+  std::vector<unsigned> OrigTxns;
+  /// Human-readable rendering.
+  std::string Text;
+};
+
+/// Result of solving one unfolding.
+struct UnfoldingResult {
+  enum StatusKind { NoCycle, CycleFound, Unknown } Status = NoCycle;
+  std::optional<CounterExample> CE;
+};
+
+/// Builds and solves ϕ_cyclic for \p U. \p Candidates are the SC1-feasible
+/// simple cycles of the unfolding's instantiated SSG \p G (built with the
+/// same features \p F).
+UnfoldingResult solveUnfolding(const Unfolding &U, const SSG &G,
+                               const std::vector<CandidateCycle> &Candidates,
+                               const AnalysisFeatures &F,
+                               unsigned TimeoutMs = 10000);
+
+} // namespace c4
+
+#endif // C4_SMT_ENCODING_H

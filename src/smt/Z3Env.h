@@ -1,0 +1,70 @@
+//===- smt/Z3Env.h - Z3 solver environment ----------------------*- C++ -*-===//
+//
+// Part of the C4 serializability analyzer. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A thin boundary around the Z3 C++ API. All Z3 usage in the analyzer goes
+/// through this header; z3::exception is confined to the smt library (the
+/// rest of the code base is exception-free, LLVM style).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef C4_SMT_Z3ENV_H
+#define C4_SMT_Z3ENV_H
+
+#include <z3++.h>
+
+#include <cstdint>
+#include <string>
+
+namespace c4 {
+
+/// Owns a Z3 context and solver with a configured timeout.
+class Z3Env {
+public:
+  explicit Z3Env(unsigned TimeoutMs = 10000) : Solver(Ctx) {
+    z3::params P(Ctx);
+    P.set("timeout", TimeoutMs);
+    Solver.set(P);
+  }
+
+  z3::context &ctx() { return Ctx; }
+  z3::solver &solver() { return Solver; }
+
+  z3::expr intConst(const std::string &Name) {
+    return Ctx.int_const(Name.c_str());
+  }
+  z3::expr boolConst(const std::string &Name) {
+    return Ctx.bool_const(Name.c_str());
+  }
+  z3::expr intVal(int64_t V) {
+    return Ctx.int_val(static_cast<int64_t>(V));
+  }
+  z3::expr boolVal(bool B) { return Ctx.bool_val(B); }
+
+  /// Evaluates an integer term in a model, defaulting to 0 for
+  /// don't-care values.
+  static int64_t evalInt(const z3::model &M, const z3::expr &E) {
+    z3::expr R = M.eval(E, /*model_completion=*/true);
+    int64_t V = 0;
+    if (R.is_numeral_i64(V))
+      return V;
+    return 0;
+  }
+
+  /// Evaluates a boolean term in a model (false for don't-care).
+  static bool evalBool(const z3::model &M, const z3::expr &E) {
+    z3::expr R = M.eval(E, /*model_completion=*/true);
+    return R.is_true();
+  }
+
+private:
+  z3::context Ctx;
+  z3::solver Solver;
+};
+
+} // namespace c4
+
+#endif // C4_SMT_Z3ENV_H

@@ -1,0 +1,291 @@
+//===- spec/BasicTypes.cpp - register, counter, map, set ------------------===//
+//
+// Part of the C4 serializability analyzer. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Rewrite specifications and sequential semantics for the register, counter,
+/// map (Fig. 6) and set data types. For these types the far relations
+/// coincide with the plain ones (paper §4.1), so only the plain tables and
+/// the asymmetric entries are populated.
+///
+//===----------------------------------------------------------------------===//
+
+#include "spec/Registry.h"
+#include "spec/TypeTables.h"
+
+#include <cassert>
+#include <map>
+#include <set>
+
+using namespace c4;
+
+// Term shorthands: source/target argument slots.
+static Term s(unsigned I) { return Term::argSrc(I); }
+static Term g(unsigned I) { return Term::argTgt(I); }
+static Cond eq(Term A, Term B) { return Cond::eq(A, B); }
+static Cond ne(Term A, Term B) { return Cond::ne(A, B); }
+
+//===----------------------------------------------------------------------===//
+// Register: put(v), get():v
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+class RegisterState : public ContainerState {
+public:
+  void apply(const OpSig &Op, const std::vector<int64_t> &Vals) override {
+    assert(Op.Name == "put" && "register has a single update");
+    (void)Op;
+    Val = Vals[0];
+  }
+  int64_t eval(const OpSig &Op,
+               const std::vector<int64_t> &Args) const override {
+    assert(Op.Name == "get" && "register has a single query");
+    (void)Op;
+    (void)Args;
+    return Val;
+  }
+  std::unique_ptr<ContainerState> clone() const override {
+    return std::make_unique<RegisterState>(*this);
+  }
+
+private:
+  int64_t Val = 0;
+};
+
+class RegisterType : public TableSpec {
+public:
+  enum { Put, Get };
+  RegisterType()
+      : TableSpec("register",
+                  {{"put", OpKind::Update, 1, false},
+                   {"get", OpKind::Query, 0, true}}) {
+    com(Put, Put, eq(s(0), g(0))); // same written value
+    com(Put, Get, Cond::f());
+    abs(Put, Put, Cond::t());
+    det(Put, Get, ValueDet::slot(0)); // the last put determines a get
+  }
+  std::unique_ptr<ContainerState> makeState() const override {
+    return std::make_unique<RegisterState>();
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Counter: inc(d), read():n
+//===----------------------------------------------------------------------===//
+
+class CounterState : public ContainerState {
+public:
+  void apply(const OpSig &Op, const std::vector<int64_t> &Vals) override {
+    assert(Op.Name == "inc" && "counter has a single update");
+    (void)Op;
+    Sum += Vals[0];
+  }
+  int64_t eval(const OpSig &Op,
+               const std::vector<int64_t> &Args) const override {
+    assert(Op.Name == "read" && "counter has a single query");
+    (void)Op;
+    (void)Args;
+    return Sum;
+  }
+  std::unique_ptr<ContainerState> clone() const override {
+    return std::make_unique<CounterState>(*this);
+  }
+
+private:
+  int64_t Sum = 0;
+};
+
+class CounterType : public TableSpec {
+public:
+  enum { Inc, Read };
+  CounterType()
+      : TableSpec("counter",
+                  {{"inc", OpKind::Update, 1, false},
+                   {"read", OpKind::Query, 0, true}}) {
+    com(Inc, Inc, Cond::t());
+    com(Inc, Read, eq(s(0), Term::constant(0))); // inc by 0 is a no-op
+    // Nothing absorbs increments; increments absorb nothing.
+  }
+  std::unique_ptr<ContainerState> makeState() const override {
+    return std::make_unique<CounterState>();
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Map (dictionary, Fig. 6 extended with remove and inc):
+//   put(k,v), remove(k), inc(k,d), get(k):v, contains(k):b, size():n
+//===----------------------------------------------------------------------===//
+
+class MapState : public ContainerState {
+public:
+  void apply(const OpSig &Op, const std::vector<int64_t> &Vals) override {
+    if (Op.Name == "put") {
+      Vals_[Vals[0]] = Vals[1];
+      return;
+    }
+    if (Op.Name == "remove") {
+      Vals_.erase(Vals[0]);
+      return;
+    }
+    assert(Op.Name == "inc" && "unknown map update");
+    Vals_[Vals[0]] += Vals[1]; // missing keys read as 0 and get created
+  }
+  int64_t eval(const OpSig &Op,
+               const std::vector<int64_t> &Args) const override {
+    if (Op.Name == "get") {
+      auto It = Vals_.find(Args[0]);
+      return It == Vals_.end() ? 0 : It->second;
+    }
+    if (Op.Name == "contains")
+      return Vals_.count(Args[0]) ? 1 : 0;
+    assert(Op.Name == "size" && "unknown map query");
+    return static_cast<int64_t>(Vals_.size());
+  }
+  std::unique_ptr<ContainerState> clone() const override {
+    return std::make_unique<MapState>(*this);
+  }
+
+private:
+  std::map<int64_t, int64_t> Vals_;
+};
+
+class MapType : public TableSpec {
+public:
+  enum { Put, Remove, Inc, Get, Contains, Size };
+  MapType()
+      : TableSpec("map",
+                  {{"put", OpKind::Update, 2, false},
+                   {"remove", OpKind::Update, 1, false},
+                   {"inc", OpKind::Update, 2, false},
+                   {"get", OpKind::Query, 1, true},
+                   {"contains", OpKind::Query, 1, true},
+                   {"size", OpKind::Query, 0, true}}) {
+    Cond KeyDiff = ne(s(0), g(0));
+    com(Put, Put, KeyDiff || eq(s(1), g(1)));
+    com(Put, Remove, KeyDiff);
+    com(Put, Inc, KeyDiff);
+    com(Put, Get, KeyDiff);
+    com(Put, Contains, KeyDiff);
+    com(Put, Size, Cond::f());
+    com(Remove, Remove, Cond::t());
+    com(Remove, Inc, KeyDiff);
+    com(Remove, Get, KeyDiff);
+    com(Remove, Contains, KeyDiff);
+    com(Remove, Size, Cond::f());
+    com(Inc, Inc, Cond::t());
+    com(Inc, Get, KeyDiff || eq(s(1), Term::constant(0)));
+    com(Inc, Contains, KeyDiff);
+    com(Inc, Size, Cond::f());
+
+    // Asymmetric variants (§8): making the update visible cannot change the
+    // query's already-observed outcome. contains:true survives creations;
+    // contains:false survives removals. The query's return slot is its last
+    // combined-value slot: contains has arg slot 0 and return slot 1.
+    asym(Put, Contains, KeyDiff || eq(g(1), Term::constant(1)));
+    asym(Inc, Contains, KeyDiff || eq(g(1), Term::constant(1)));
+    asym(Remove, Contains, KeyDiff || eq(g(1), Term::constant(0)));
+
+    // Absorption (Fig. 6b, extended): a later same-key put or remove wipes
+    // out earlier same-key puts, incs and removes.
+    Cond KeySame = eq(s(0), g(0));
+    abs(Put, Put, KeySame);
+    abs(Put, Remove, KeySame);
+    abs(Inc, Put, KeySame);
+    abs(Inc, Remove, KeySame);
+    abs(Remove, Put, KeySame);
+    abs(Remove, Remove, KeySame);
+
+    // Query-value determination (S1 inside the small model): the last
+    // interfering visible update fixes get/contains outcomes.
+    det(Put, Get, ValueDet::slot(1));
+    det(Remove, Get, ValueDet::constant(0));
+    det(Put, Contains, ValueDet::constant(1));
+    det(Inc, Contains, ValueDet::constant(1));
+    det(Remove, Contains, ValueDet::constant(0));
+  }
+  std::unique_ptr<ContainerState> makeState() const override {
+    return std::make_unique<MapState>();
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Set: add(x), remove(x), contains(x):b, size():n
+//===----------------------------------------------------------------------===//
+
+class SetState : public ContainerState {
+public:
+  void apply(const OpSig &Op, const std::vector<int64_t> &Vals) override {
+    if (Op.Name == "add") {
+      Elems.insert(Vals[0]);
+      return;
+    }
+    assert(Op.Name == "remove" && "unknown set update");
+    Elems.erase(Vals[0]);
+  }
+  int64_t eval(const OpSig &Op,
+               const std::vector<int64_t> &Args) const override {
+    if (Op.Name == "contains")
+      return Elems.count(Args[0]) ? 1 : 0;
+    assert(Op.Name == "size" && "unknown set query");
+    return static_cast<int64_t>(Elems.size());
+  }
+  std::unique_ptr<ContainerState> clone() const override {
+    return std::make_unique<SetState>(*this);
+  }
+
+private:
+  std::set<int64_t> Elems;
+};
+
+class SetType : public TableSpec {
+public:
+  enum { Add, Remove, Contains, Size };
+  SetType()
+      : TableSpec("set",
+                  {{"add", OpKind::Update, 1, false},
+                   {"remove", OpKind::Update, 1, false},
+                   {"contains", OpKind::Query, 1, true},
+                   {"size", OpKind::Query, 0, true}}) {
+    Cond ElemDiff = ne(s(0), g(0));
+    com(Add, Add, Cond::t());
+    com(Add, Remove, ElemDiff);
+    com(Add, Contains, ElemDiff);
+    com(Add, Size, Cond::f());
+    com(Remove, Remove, Cond::t());
+    com(Remove, Contains, ElemDiff);
+    com(Remove, Size, Cond::f());
+
+    asym(Add, Contains, ElemDiff || eq(g(1), Term::constant(1)));
+    asym(Remove, Contains, ElemDiff || eq(g(1), Term::constant(0)));
+
+    Cond ElemSame = eq(s(0), g(0));
+    abs(Add, Add, ElemSame);
+    abs(Add, Remove, ElemSame);
+    abs(Remove, Add, ElemSame);
+    abs(Remove, Remove, ElemSame);
+
+    det(Add, Contains, ValueDet::constant(1));
+    det(Remove, Contains, ValueDet::constant(0));
+  }
+  std::unique_ptr<ContainerState> makeState() const override {
+    return std::make_unique<SetState>();
+  }
+};
+
+} // namespace
+
+std::unique_ptr<DataTypeSpec> c4::makeRegisterType() {
+  return std::make_unique<RegisterType>();
+}
+std::unique_ptr<DataTypeSpec> c4::makeCounterType() {
+  return std::make_unique<CounterType>();
+}
+std::unique_ptr<DataTypeSpec> c4::makeMapType() {
+  return std::make_unique<MapType>();
+}
+std::unique_ptr<DataTypeSpec> c4::makeSetType() {
+  return std::make_unique<SetType>();
+}

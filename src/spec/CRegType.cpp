@@ -1,0 +1,115 @@
+//===- spec/CRegType.cpp - Copy-register family (far ≠ plain) -------------===//
+//
+// Part of the C4 serializability analyzer. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Keyed registers with put, inc, a cp(a,b) operation copying the value of
+/// key a to key b, and get. This is the paper's §4.1 example of a type where
+/// the far relations genuinely differ from the plain ones: cp can smuggle a
+/// value out of a key before a later overwrite, so
+///
+///   inc(a,1) cp(a,b) put(a,2)  !≡  cp(a,b) put(a,2)
+///
+/// breaks far absorption, and put(a,2) no longer far-commutes with
+/// get(b):2. Consequently every far table entry of this type is false.
+///
+//===----------------------------------------------------------------------===//
+
+#include "spec/Registry.h"
+#include "spec/TypeTables.h"
+
+#include <cassert>
+#include <map>
+
+using namespace c4;
+
+static Term s(unsigned I) { return Term::argSrc(I); }
+static Term g(unsigned I) { return Term::argTgt(I); }
+static Cond eq(Term A, Term B) { return Cond::eq(A, B); }
+static Cond ne(Term A, Term B) { return Cond::ne(A, B); }
+
+namespace {
+
+class CRegState : public ContainerState {
+public:
+  void apply(const OpSig &Op, const std::vector<int64_t> &Vals) override {
+    if (Op.Name == "put") {
+      Regs[Vals[0]] = Vals[1];
+      return;
+    }
+    if (Op.Name == "inc") {
+      Regs[Vals[0]] += Vals[1];
+      return;
+    }
+    assert(Op.Name == "cp" && "unknown creg update");
+    Regs[Vals[1]] = value(Vals[0]);
+  }
+  int64_t eval(const OpSig &Op,
+               const std::vector<int64_t> &Args) const override {
+    assert(Op.Name == "get" && "unknown creg query");
+    (void)Op;
+    return value(Args[0]);
+  }
+  std::unique_ptr<ContainerState> clone() const override {
+    return std::make_unique<CRegState>(*this);
+  }
+
+private:
+  int64_t value(int64_t Key) const {
+    auto It = Regs.find(Key);
+    return It == Regs.end() ? 0 : It->second;
+  }
+  std::map<int64_t, int64_t> Regs;
+};
+
+class CRegType : public TableSpec {
+public:
+  enum { Put, Inc, Cp, Get };
+
+  CRegType()
+      : TableSpec("creg",
+                  {{"put", OpKind::Update, 2, false},
+                   {"inc", OpKind::Update, 2, false},
+                   {"cp", OpKind::Update, 2, false},
+                   {"get", OpKind::Query, 1, true}}) {
+    Cond KeyDiff = ne(s(0), g(0));
+    com(Put, Put, KeyDiff || eq(s(1), g(1)));
+    com(Put, Inc, KeyDiff);
+    com(Put, Cp, ne(s(0), g(0)) && ne(s(0), g(1)));
+    com(Put, Get, KeyDiff);
+    com(Inc, Inc, Cond::t());
+    com(Inc, Cp, ne(s(0), g(0)) && ne(s(0), g(1)));
+    com(Inc, Get, KeyDiff);
+    // cp(a,b) reads slot 0, writes slot 1.
+    com(Cp, Cp, ne(s(1), g(0)) && ne(g(1), s(0)) && ne(s(1), g(1)));
+    com(Cp, Get, ne(s(1), g(0)));
+
+    abs(Put, Put, eq(s(0), g(0)));
+    abs(Inc, Put, eq(s(0), g(0)));
+    abs(Cp, Put, eq(s(1), g(0)));
+    abs(Put, Cp, eq(s(0), g(1)));
+    abs(Inc, Cp, eq(s(0), g(1)));
+    abs(Cp, Cp, eq(s(1), g(1)));
+
+    det(Put, Get, ValueDet::slot(1));
+
+    // Far relations: cp defeats every far property (see file comment).
+    for (unsigned U : {Put, Inc, Cp}) {
+      farCom(U, Get, Cond::f());
+      for (unsigned V : {Put, Inc, Cp})
+        farAbs(U, V, Cond::f());
+    }
+  }
+
+  std::unique_ptr<ContainerState> makeState() const override {
+    return std::make_unique<CRegState>();
+  }
+};
+
+} // namespace
+
+std::unique_ptr<DataTypeSpec> c4::makeCRegType() {
+  return std::make_unique<CRegType>();
+}

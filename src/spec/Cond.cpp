@@ -1,0 +1,447 @@
+//===- spec/Cond.cpp ------------------------------------------------------===//
+//
+// Part of the C4 serializability analyzer. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "spec/Cond.h"
+
+#include "support/Format.h"
+#include "support/UnionFind.h"
+
+#include <cassert>
+#include <map>
+#include <optional>
+
+using namespace c4;
+
+std::string Term::str() const {
+  switch (Kind) {
+  case ArgSrc:
+    return strf("src%u", Index);
+  case ArgTgt:
+    return strf("tgt%u", Index);
+  case Const:
+    return strf("%lld", static_cast<long long>(Value));
+  }
+  return "?";
+}
+
+std::string Literal::str() const {
+  const char *Op = "=";
+  if (Cmp == CmpKind::Lt)
+    Op = Negated ? ">=" : "<";
+  else if (Cmp == CmpKind::Le)
+    Op = Negated ? ">" : "<=";
+  else if (Negated)
+    Op = "!=";
+  return A.str() + Op + B.str();
+}
+
+struct Cond::Node {
+  NodeKind Kind;
+  // Atom fields.
+  CmpKind Cmp = CmpKind::Eq;
+  Term A = Term::constant(0);
+  Term B = Term::constant(0);
+  // Not/And/Or children.
+  std::vector<Cond> Children;
+};
+
+static const std::shared_ptr<const Cond::Node> &trueNode() {
+  static const std::shared_ptr<const Cond::Node> N =
+      std::make_shared<Cond::Node>(Cond::Node{Cond::NodeKind::True,
+                                              CmpKind::Eq, Term::constant(0),
+                                              Term::constant(0), {}});
+  return N;
+}
+
+static const std::shared_ptr<const Cond::Node> &falseNode() {
+  static const std::shared_ptr<const Cond::Node> N =
+      std::make_shared<Cond::Node>(Cond::Node{Cond::NodeKind::False,
+                                              CmpKind::Eq, Term::constant(0),
+                                              Term::constant(0), {}});
+  return N;
+}
+
+Cond::Cond() : Root(trueNode()) {}
+
+Cond Cond::t() { return Cond(trueNode()); }
+Cond Cond::f() { return Cond(falseNode()); }
+
+Cond Cond::cmp(CmpKind K, Term A, Term B) {
+  // Fold ground atoms immediately.
+  if (A.Kind == Term::Const && B.Kind == Term::Const) {
+    bool V = false;
+    switch (K) {
+    case CmpKind::Eq:
+      V = A.Value == B.Value;
+      break;
+    case CmpKind::Lt:
+      V = A.Value < B.Value;
+      break;
+    case CmpKind::Le:
+      V = A.Value <= B.Value;
+      break;
+    }
+    return V ? t() : f();
+  }
+  if (K == CmpKind::Eq && A == B)
+    return t();
+  return Cond(std::make_shared<Node>(Node{NodeKind::Atom, K, A, B, {}}));
+}
+
+Cond Cond::operator&&(const Cond &O) const {
+  if (isFalse() || O.isFalse())
+    return f();
+  if (isTrue())
+    return O;
+  if (O.isTrue())
+    return *this;
+  return Cond(std::make_shared<Node>(Node{NodeKind::And, CmpKind::Eq,
+                                          Term::constant(0), Term::constant(0),
+                                          {*this, O}}));
+}
+
+Cond Cond::operator||(const Cond &O) const {
+  if (isTrue() || O.isTrue())
+    return t();
+  if (isFalse())
+    return O;
+  if (O.isFalse())
+    return *this;
+  return Cond(std::make_shared<Node>(Node{NodeKind::Or, CmpKind::Eq,
+                                          Term::constant(0), Term::constant(0),
+                                          {*this, O}}));
+}
+
+Cond Cond::operator!() const {
+  if (isTrue())
+    return f();
+  if (isFalse())
+    return t();
+  if (kind() == NodeKind::Not)
+    return Root->Children[0];
+  return Cond(std::make_shared<Node>(Node{NodeKind::Not, CmpKind::Eq,
+                                          Term::constant(0), Term::constant(0),
+                                          {*this}}));
+}
+
+Cond::NodeKind Cond::kind() const { return Root->Kind; }
+CmpKind Cond::atomCmp() const { return Root->Cmp; }
+Term Cond::atomLHS() const { return Root->A; }
+Term Cond::atomRHS() const { return Root->B; }
+const std::vector<Cond> &Cond::children() const { return Root->Children; }
+
+static int64_t evalTerm(const Term &T, const std::vector<int64_t> &SrcVals,
+                        const std::vector<int64_t> &TgtVals) {
+  switch (T.Kind) {
+  case Term::ArgSrc:
+    assert(T.Index < SrcVals.size() && "source slot out of range");
+    return SrcVals[T.Index];
+  case Term::ArgTgt:
+    assert(T.Index < TgtVals.size() && "target slot out of range");
+    return TgtVals[T.Index];
+  case Term::Const:
+    return T.Value;
+  }
+  return 0;
+}
+
+bool Cond::eval(const std::vector<int64_t> &SrcVals,
+                const std::vector<int64_t> &TgtVals) const {
+  switch (kind()) {
+  case NodeKind::True:
+    return true;
+  case NodeKind::False:
+    return false;
+  case NodeKind::Atom: {
+    int64_t A = evalTerm(Root->A, SrcVals, TgtVals);
+    int64_t B = evalTerm(Root->B, SrcVals, TgtVals);
+    switch (Root->Cmp) {
+    case CmpKind::Eq:
+      return A == B;
+    case CmpKind::Lt:
+      return A < B;
+    case CmpKind::Le:
+      return A <= B;
+    }
+    return false;
+  }
+  case NodeKind::Not:
+    return !Root->Children[0].eval(SrcVals, TgtVals);
+  case NodeKind::And:
+    for (const Cond &C : Root->Children)
+      if (!C.eval(SrcVals, TgtVals))
+        return false;
+    return true;
+  case NodeKind::Or:
+    for (const Cond &C : Root->Children)
+      if (C.eval(SrcVals, TgtVals))
+        return true;
+    return false;
+  }
+  return false;
+}
+
+namespace {
+/// Bounded DNF builder. Clauses are conjunctions of literals.
+struct DNFBuilder {
+  static constexpr size_t MaxClauses = 4096;
+  bool Overflow = false;
+
+  using Clause = std::vector<Literal>;
+  using Clauses = std::vector<Clause>;
+
+  Clauses build(const Cond &C, bool Negate) {
+    if (Overflow)
+      return {{}};
+    switch (C.kind()) {
+    case Cond::NodeKind::True:
+      return Negate ? Clauses{} : Clauses{{}};
+    case Cond::NodeKind::False:
+      return Negate ? Clauses{{}} : Clauses{};
+    case Cond::NodeKind::Atom:
+      return {{Literal{C.atomCmp(), C.atomLHS(), C.atomRHS(), Negate}}};
+    case Cond::NodeKind::Not:
+      return build(C.children()[0], !Negate);
+    case Cond::NodeKind::And:
+    case Cond::NodeKind::Or: {
+      bool IsAnd = (C.kind() == Cond::NodeKind::And) != Negate;
+      Clauses Acc;
+      if (IsAnd) {
+        Acc = {{}};
+        for (const Cond &Child : C.children()) {
+          Clauses Next = build(Child, Negate);
+          Clauses Product;
+          for (const Clause &L : Acc)
+            for (const Clause &R : Next) {
+              Clause Merged = L;
+              Merged.insert(Merged.end(), R.begin(), R.end());
+              Product.push_back(std::move(Merged));
+              if (Product.size() > MaxClauses) {
+                Overflow = true;
+                return {{}};
+              }
+            }
+          Acc = std::move(Product);
+        }
+      } else {
+        for (const Cond &Child : C.children()) {
+          Clauses Next = build(Child, Negate);
+          Acc.insert(Acc.end(), Next.begin(), Next.end());
+          if (Acc.size() > MaxClauses) {
+            Overflow = true;
+            return {{}};
+          }
+        }
+      }
+      return Acc;
+    }
+    }
+    return {{}};
+  }
+};
+} // namespace
+
+std::vector<std::vector<Literal>> Cond::dnf() const {
+  DNFBuilder Builder;
+  return Builder.build(*this, /*Negate=*/false);
+}
+
+namespace {
+/// A node in the congruence-closure universe: every distinct argument slot,
+/// symbol, or constant becomes one element.
+struct CCUniverse {
+  // Element ids: per-slot elements first, then symbols, then constants.
+  UnionFind UF;
+  std::vector<std::optional<int64_t>> ClassConst; // constant value per element
+  std::map<int64_t, unsigned> ConstElem;
+  std::map<unsigned, unsigned> SymbolElem;
+  unsigned SrcBase = 0, TgtBase = 0;
+
+  CCUniverse(const EventFacts &Src, const EventFacts &Tgt) {
+    SrcBase = 0;
+    TgtBase = static_cast<unsigned>(Src.size());
+    unsigned N = TgtBase + static_cast<unsigned>(Tgt.size());
+    UF.reset(N);
+    ClassConst.assign(N, std::nullopt);
+    applyFacts(Src, SrcBase);
+    applyFacts(Tgt, TgtBase);
+  }
+
+  unsigned constElem(int64_t V) {
+    auto It = ConstElem.find(V);
+    if (It != ConstElem.end())
+      return It->second;
+    unsigned E = UF.add();
+    ClassConst.push_back(V);
+    ConstElem.emplace(V, E);
+    return E;
+  }
+
+  unsigned symbolElem(unsigned S) {
+    auto It = SymbolElem.find(S);
+    if (It != SymbolElem.end())
+      return It->second;
+    unsigned E = UF.add();
+    ClassConst.push_back(std::nullopt);
+    SymbolElem.emplace(S, E);
+    return E;
+  }
+
+  /// Merges two elements; returns false on constant clash.
+  bool merge(unsigned A, unsigned B) {
+    unsigned RA = UF.find(A), RB = UF.find(B);
+    if (RA == RB)
+      return true;
+    std::optional<int64_t> CA = ClassConst[RA], CB = ClassConst[RB];
+    if (CA && CB && *CA != *CB)
+      return false;
+    unsigned R = UF.merge(RA, RB);
+    ClassConst[R] = CA ? CA : CB;
+    return true;
+  }
+
+  void applyFacts(const EventFacts &Facts, unsigned Base) {
+    for (unsigned I = 0, E = static_cast<unsigned>(Facts.size()); I != E; ++I) {
+      const ArgFact &F = Facts[I];
+      if (F.Kind == ArgFact::Constant)
+        merge(Base + I, constElem(F.Value));
+      else if (F.Kind == ArgFact::Symbolic)
+        merge(Base + I, symbolElem(F.Symbol));
+    }
+  }
+
+  /// Returns the element for a term, or nullopt if the slot is out of the
+  /// facts range (treated as free; we add an element lazily).
+  unsigned termElem(const Term &T, const EventFacts &Src,
+                    const EventFacts &Tgt) {
+    switch (T.Kind) {
+    case Term::Const:
+      return constElem(T.Value);
+    case Term::ArgSrc:
+      if (T.Index < Src.size())
+        return SrcBase + T.Index;
+      break;
+    case Term::ArgTgt:
+      if (T.Index < Tgt.size())
+        return TgtBase + T.Index;
+      break;
+    }
+    // Out-of-range slot: allocate a fresh free element. This only happens
+    // when facts vectors are shorter than the op's slot count.
+    unsigned E = UF.add();
+    ClassConst.push_back(std::nullopt);
+    return E;
+  }
+};
+} // namespace
+
+bool c4::clauseSatisfiableUnder(const std::vector<Literal> &Clause,
+                                const EventFacts &Src, const EventFacts &Tgt) {
+  CCUniverse U(Src, Tgt);
+
+  // Pass 1: positive equalities.
+  for (const Literal &L : Clause) {
+    if (L.Cmp != CmpKind::Eq || L.Negated)
+      continue;
+    if (!U.merge(U.termElem(L.A, Src, Tgt), U.termElem(L.B, Src, Tgt)))
+      return false;
+  }
+  // Facts themselves can conflict only through merges above, which we have
+  // already rejected. Pass 2: disequalities and order literals.
+  for (const Literal &L : Clause) {
+    unsigned A = U.UF.find(U.termElem(L.A, Src, Tgt));
+    unsigned B = U.UF.find(U.termElem(L.B, Src, Tgt));
+    std::optional<int64_t> CA = U.ClassConst[A], CB = U.ClassConst[B];
+    switch (L.Cmp) {
+    case CmpKind::Eq:
+      if (!L.Negated)
+        continue;
+      if (A == B)
+        return false;
+      if (CA && CB && *CA == *CB)
+        return false;
+      continue;
+    case CmpKind::Lt:
+      if (CA && CB && ((*CA < *CB) == L.Negated))
+        return false;
+      if (A == B && !L.Negated)
+        return false; // x < x
+      continue;
+    case CmpKind::Le:
+      if (CA && CB && ((*CA <= *CB) == L.Negated))
+        return false;
+      if (A == B && L.Negated)
+        return false; // !(x <= x)
+      continue;
+    }
+  }
+  return true;
+}
+
+bool Cond::satisfiableUnder(const EventFacts &Src,
+                            const EventFacts &Tgt) const {
+  for (const std::vector<Literal> &Clause : dnf())
+    if (clauseSatisfiableUnder(Clause, Src, Tgt))
+      return true;
+  return false;
+}
+
+std::string Cond::str() const {
+  switch (kind()) {
+  case NodeKind::True:
+    return "true";
+  case NodeKind::False:
+    return "false";
+  case NodeKind::Atom: {
+    Literal L{Root->Cmp, Root->A, Root->B, false};
+    return L.str();
+  }
+  case NodeKind::Not:
+    return "!(" + Root->Children[0].str() + ")";
+  case NodeKind::And:
+  case NodeKind::Or: {
+    std::vector<std::string> Parts;
+    for (const Cond &C : Root->Children)
+      Parts.push_back(C.str());
+    const char *Sep = kind() == NodeKind::And ? " && " : " || ";
+    return "(" + join(Parts, Sep) + ")";
+  }
+  }
+  return "?";
+}
+
+static Term flipTerm(const Term &T) {
+  if (T.Kind == Term::ArgSrc)
+    return Term::argTgt(T.Index);
+  if (T.Kind == Term::ArgTgt)
+    return Term::argSrc(T.Index);
+  return T;
+}
+
+Cond Cond::flipped() const {
+  switch (kind()) {
+  case NodeKind::True:
+  case NodeKind::False:
+    return *this;
+  case NodeKind::Atom:
+    return cmp(Root->Cmp, flipTerm(Root->A), flipTerm(Root->B));
+  case NodeKind::Not:
+    return !Root->Children[0].flipped();
+  case NodeKind::And: {
+    Cond R = t();
+    for (const Cond &C : Root->Children)
+      R = R && C.flipped();
+    return R;
+  }
+  case NodeKind::Or: {
+    Cond R = f();
+    for (const Cond &C : Root->Children)
+      R = R || C.flipped();
+    return R;
+  }
+  }
+  return *this;
+}

@@ -1,0 +1,163 @@
+//===- spec/Cond.h - Symbolic conditions over event arguments ---*- C++ -*-===//
+//
+// Part of the C4 serializability analyzer. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The condition language Φ of the paper: boolean combinations of equalities
+/// and integer comparisons over the arguments of a *source* and a *target*
+/// event plus integer constants. Conditions serve three roles:
+///
+///  1. rewrite specifications (Definition 2): sufficient conditions for
+///     commutativity and absorption between two events,
+///  2. invariants attached to abstract event-order edges (Definition 1), and
+///  3. control-flow path conditions inferred by the front end (paper §8).
+///
+/// A condition can be (a) evaluated on concrete argument vectors, (b) checked
+/// for satisfiability under per-argument facts — the engine behind the
+/// SSG-based analysis (paper §6) — and (c) translated to Z3 terms by the SMT
+/// back end (src/smt). Satisfiability uses DNF expansion plus congruence
+/// closure over equalities; order atoms are treated conservatively (assumed
+/// satisfiable unless ground), which keeps the analysis sound.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef C4_SPEC_COND_H
+#define C4_SPEC_COND_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace c4 {
+
+/// A term: an argument slot of the source event, an argument slot of the
+/// target event, or an integer constant. Argument slot indices address the
+/// combined value vector (input arguments followed by the return value).
+struct Term {
+  enum KindTy : uint8_t { ArgSrc, ArgTgt, Const } Kind;
+  unsigned Index = 0; ///< Slot index for ArgSrc/ArgTgt.
+  int64_t Value = 0;  ///< Constant value for Const.
+
+  static Term argSrc(unsigned I) { return {ArgSrc, I, 0}; }
+  static Term argTgt(unsigned I) { return {ArgTgt, I, 0}; }
+  static Term constant(int64_t V) { return {Const, 0, V}; }
+
+  bool operator==(const Term &O) const {
+    return Kind == O.Kind && Index == O.Index && Value == O.Value;
+  }
+
+  std::string str() const;
+};
+
+/// The comparison operator of an atom.
+enum class CmpKind : uint8_t { Eq, Lt, Le };
+
+/// A possibly negated comparison literal.
+struct Literal {
+  CmpKind Cmp;
+  Term A;
+  Term B;
+  bool Negated;
+
+  std::string str() const;
+};
+
+/// What is known statically about one argument slot of an abstract event.
+/// Used by the SSG stage to decide satisfiability of ¬com / ¬abs formulas
+/// under the abstract history's invariants (paper §6).
+struct ArgFact {
+  enum KindTy : uint8_t {
+    Free,     ///< nothing known
+    Constant, ///< slot equals an integer constant
+    Symbolic  ///< slot equals a named symbolic constant (VarG, or VarL
+              ///< resolved per session)
+  } Kind = Free;
+  int64_t Value = 0;   ///< for Constant
+  unsigned Symbol = 0; ///< for Symbolic: a globally resolved symbol id
+
+  static ArgFact free() { return {}; }
+  static ArgFact constant(int64_t V) { return {Constant, V, 0}; }
+  static ArgFact symbol(unsigned S) { return {Symbolic, 0, S}; }
+};
+
+/// Per-event argument facts (one entry per combined value slot).
+using EventFacts = std::vector<ArgFact>;
+
+/// An immutable boolean condition over source/target argument terms.
+///
+/// Conditions have value semantics; internally they share subtrees.
+class Cond {
+public:
+  enum class NodeKind : uint8_t { True, False, Atom, Not, And, Or };
+
+  /// The always-true condition (also the default).
+  Cond();
+
+  static Cond t();
+  static Cond f();
+  static Cond cmp(CmpKind K, Term A, Term B);
+  static Cond eq(Term A, Term B) { return cmp(CmpKind::Eq, A, B); }
+  static Cond ne(Term A, Term B) { return !eq(A, B); }
+  static Cond lt(Term A, Term B) { return cmp(CmpKind::Lt, A, B); }
+  static Cond le(Term A, Term B) { return cmp(CmpKind::Le, A, B); }
+
+  Cond operator&&(const Cond &O) const;
+  Cond operator||(const Cond &O) const;
+  Cond operator!() const;
+
+  NodeKind kind() const;
+  bool isTrue() const { return kind() == NodeKind::True; }
+  bool isFalse() const { return kind() == NodeKind::False; }
+
+  /// For Atom nodes: the (un-negated) literal parts.
+  CmpKind atomCmp() const;
+  Term atomLHS() const;
+  Term atomRHS() const;
+  /// For Not/And/Or nodes: the children.
+  const std::vector<Cond> &children() const;
+
+  /// Evaluates the condition on concrete value vectors.
+  bool eval(const std::vector<int64_t> &SrcVals,
+            const std::vector<int64_t> &TgtVals) const;
+
+  /// Expands to disjunctive normal form: a disjunction of conjunctions of
+  /// literals. An empty outer vector means "false"; an empty inner clause
+  /// means "true". Expansion is capped; on overflow, returns a single empty
+  /// clause (i.e. over-approximates by "true"), keeping clients sound.
+  std::vector<std::vector<Literal>> dnf() const;
+
+  /// Returns true if the condition can be satisfied under the given facts
+  /// about the two events' argument slots. The check is complete for
+  /// equality literals (congruence closure over constants and symbols) and
+  /// conservative (may answer true) for order literals on free slots.
+  bool satisfiableUnder(const EventFacts &Src, const EventFacts &Tgt) const;
+
+  /// Renders the condition for diagnostics.
+  std::string str() const;
+
+  /// Swaps the roles of source and target arguments in every term. Used to
+  /// orient rewrite-spec formulas, which are indexed by ordered operation
+  /// pairs.
+  Cond flipped() const;
+
+  /// Internal tree node; public only so implementation helpers can build
+  /// shared singletons. Not part of the stable API.
+  struct Node;
+
+private:
+  explicit Cond(std::shared_ptr<const Node> N) : Root(std::move(N)) {}
+  std::shared_ptr<const Node> Root;
+};
+
+/// Decides satisfiability of a conjunction of literals under argument facts.
+/// Exposed for testing; `Cond::satisfiableUnder` DNF-expands and calls this
+/// per clause.
+bool clauseSatisfiableUnder(const std::vector<Literal> &Clause,
+                            const EventFacts &Src, const EventFacts &Tgt);
+
+} // namespace c4
+
+#endif // C4_SPEC_COND_H

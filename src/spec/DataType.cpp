@@ -1,0 +1,85 @@
+//===- spec/DataType.cpp --------------------------------------------------===//
+//
+// Part of the C4 serializability analyzer. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "spec/DataType.h"
+
+#include <cassert>
+
+using namespace c4;
+
+ContainerState::~ContainerState() = default;
+
+DataTypeSpec::DataTypeSpec(std::string Name, std::vector<OpSig> Ops)
+    : Name(std::move(Name)), Ops(std::move(Ops)) {}
+
+DataTypeSpec::~DataTypeSpec() = default;
+
+const OpSig *DataTypeSpec::findOp(const std::string &OpName) const {
+  for (const OpSig &Op : Ops)
+    if (Op.Name == OpName)
+      return &Op;
+  return nullptr;
+}
+
+unsigned DataTypeSpec::opIndex(const OpSig &Op) const {
+  assert(&Op >= Ops.data() && &Op < Ops.data() + Ops.size() &&
+         "operation does not belong to this type");
+  return static_cast<unsigned>(&Op - Ops.data());
+}
+
+Cond DataTypeSpec::farCommutes(unsigned A, unsigned B) const {
+  return plainCommutes(A, B);
+}
+
+Cond DataTypeSpec::farAbsorbs(unsigned A, unsigned B) const {
+  return plainAbsorbs(A, B);
+}
+
+Cond DataTypeSpec::asymFarCommutes(unsigned U, unsigned Q) const {
+  return farCommutes(U, Q);
+}
+
+ValueDet DataTypeSpec::valueDetermination(unsigned U, unsigned Q) const {
+  (void)U;
+  (void)Q;
+  return ValueDet::indeterminate();
+}
+
+Cond c4::commutesCond(const DataTypeSpec &Type, unsigned A, unsigned B,
+                      CommuteMode Mode) {
+  const OpSig &OpA = Type.ops()[A];
+  const OpSig &OpB = Type.ops()[B];
+  // Queries never interfere with queries.
+  if (OpA.isQuery() && OpB.isQuery())
+    return Cond::t();
+  switch (Mode) {
+  case CommuteMode::Plain:
+    return Type.plainCommutes(A, B);
+  case CommuteMode::Far:
+    // ↷º on update/update pairs is plain commutativity (paper §4.1).
+    if (OpA.isUpdate() && OpB.isUpdate())
+      return Type.plainCommutes(A, B);
+    return Type.farCommutes(A, B);
+  case CommuteMode::Asym:
+    if (OpA.isUpdate() && OpB.isQuery())
+      return Type.asymFarCommutes(A, B);
+    if (OpA.isQuery() && OpB.isUpdate())
+      // Orient the asymmetric table as (update, query) and flip.
+      return Type.asymFarCommutes(B, A).flipped();
+    return Type.plainCommutes(A, B);
+  }
+  return Cond::f();
+}
+
+Cond c4::absorbsCond(const DataTypeSpec &Type, unsigned A, unsigned B,
+                     bool Far) {
+  const OpSig &OpA = Type.ops()[A];
+  const OpSig &OpB = Type.ops()[B];
+  // Absorption relates updates only.
+  if (!OpA.isUpdate() || !OpB.isUpdate())
+    return Cond::f();
+  return Far ? Type.farAbsorbs(A, B) : Type.plainAbsorbs(A, B);
+}

@@ -1,0 +1,152 @@
+//===- spec/DataType.h - Replicated data type specifications ----*- C++ -*-===//
+//
+// Part of the C4 serializability analyzer. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A replicated data type bundles (a) the operations it offers, (b) its
+/// *rewrite specification* (Definition 2 of the paper): symbolic sufficient
+/// conditions for commutativity and absorption between events, in plain, far
+/// (§4.1) and asymmetric (§8) variants, and (c) its sequential semantics as
+/// an executable container state, which defines legality of event sequences
+/// (S1, §3).
+///
+/// Rewrite-spec conventions. For operations A (source, arbitrated earlier)
+/// and B (target, arbitrated later), with A's values bound to `argsrc` slots
+/// and B's to `argtgt` slots:
+///
+///  * `plainCommutes(A,B)`  implies  AB ≡ BA           (adjacent swap)
+///  * `farCommutes(A,B)`    implies  A ↷º B            (R2; only consulted
+///                                                      for update/query or
+///                                                      query/update pairs —
+///                                                      on update/update
+///                                                      pairs ↷º is plain
+///                                                      commutativity)
+///  * `plainAbsorbs(A,B)`   implies  AB ≡ B            (B absorbs A)
+///  * `farAbsorbs(A,B)`     implies  A ▷ B             (R1)
+///  * `asymFarCommutes(U,Q)` is the asymmetric variant used only for
+///    anti-dependency computation (§8): making U visible to Q cannot change
+///    Q's already-observed outcome.
+///
+/// Queries always far-commute with queries (paper §4.1); events on different
+/// containers always commute and never absorb each other. Both rules are
+/// applied by the free functions at the bottom of this header, so the
+/// per-type virtual methods only answer for pairs on the *same* container.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef C4_SPEC_DATATYPE_H
+#define C4_SPEC_DATATYPE_H
+
+#include "spec/Cond.h"
+#include "spec/Ops.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace c4 {
+
+/// Executable sequential state of one container. Defines legality: a
+/// sequence of events on the container is legal iff replaying it, every
+/// query's recorded return value matches `eval`.
+class ContainerState {
+public:
+  virtual ~ContainerState();
+
+  /// Applies an update. \p Vals is the combined value vector (arguments
+  /// followed by the return value, if any — fresh creators receive their
+  /// chosen identity through the return slot).
+  virtual void apply(const OpSig &Op, const std::vector<int64_t> &Vals) = 0;
+
+  /// Evaluates a query on the current state and returns its value.
+  virtual int64_t eval(const OpSig &Op,
+                       const std::vector<int64_t> &Args) const = 0;
+
+  virtual std::unique_ptr<ContainerState> clone() const = 0;
+};
+
+/// How an update determines a query's return value when it is the
+/// arbitration-last *interfering* (non-plainly-commuting) update visible to
+/// the query. Used by the SMT stage to encode the sequential semantics (S1)
+/// inside the small model: e.g. the last visible same-key put determines a
+/// get; any visible same-row creation forces contains to true.
+struct ValueDet {
+  enum KindTy : uint8_t {
+    Indeterminate, ///< no simple rule (e.g. increments accumulate)
+    Slot,          ///< the query returns this combined-value slot of the
+                   ///< update
+    Constant,      ///< the query returns a fixed constant
+    SlotLowerBound ///< *every* visible interfering update bounds the query
+                   ///< from below by this slot (monotone types: max-register)
+  } Kind = Indeterminate;
+  unsigned SlotIdx = 0;
+  int64_t Value = 0;
+
+  static ValueDet indeterminate() { return {}; }
+  static ValueDet slot(unsigned I) { return {Slot, I, 0}; }
+  static ValueDet constant(int64_t V) { return {Constant, 0, V}; }
+  static ValueDet slotLowerBound(unsigned I) {
+    return {SlotLowerBound, I, 0};
+  }
+};
+
+/// Specification of one replicated data type.
+class DataTypeSpec {
+public:
+  virtual ~DataTypeSpec();
+
+  const std::string &name() const { return Name; }
+  const std::vector<OpSig> &ops() const { return Ops; }
+
+  /// Finds an operation by name; returns nullptr if unknown.
+  const OpSig *findOp(const std::string &OpName) const;
+  /// Index of \p Op within ops(). \p Op must belong to this type.
+  unsigned opIndex(const OpSig &Op) const;
+
+  /// See the file comment for the semantics of these four tables.
+  /// Indices are positions in ops().
+  virtual Cond plainCommutes(unsigned A, unsigned B) const = 0;
+  virtual Cond plainAbsorbs(unsigned A, unsigned B) const = 0;
+  virtual Cond farCommutes(unsigned A, unsigned B) const;
+  virtual Cond farAbsorbs(unsigned A, unsigned B) const;
+  virtual Cond asymFarCommutes(unsigned U, unsigned Q) const;
+
+  /// Value determination of query \p Q by an interfering update \p U (see
+  /// ValueDet). Defaults to Indeterminate (no axiom).
+  virtual ValueDet valueDetermination(unsigned U, unsigned Q) const;
+
+  /// Creates an empty sequential state for a container of this type.
+  virtual std::unique_ptr<ContainerState> makeState() const = 0;
+
+protected:
+  DataTypeSpec(std::string Name, std::vector<OpSig> Ops);
+
+private:
+  std::string Name;
+  std::vector<OpSig> Ops;
+};
+
+/// Variants of the commutativity relation used by different analysis stages.
+enum class CommuteMode {
+  Plain, ///< adjacent-swap commutativity (D3, conflict dependencies)
+  Far,   ///< far commutativity ↷º (D1, dependencies)
+  Asym   ///< asymmetric far commutativity (D2, anti-dependencies, §8)
+};
+
+/// Returns the sufficient condition for events with operations \p A and
+/// \p B *on the same container of type \p Type* to commute in \p Mode.
+/// Applies the generic rules (queries commute with queries; on
+/// update/update pairs, far and asym collapse to plain).
+Cond commutesCond(const DataTypeSpec &Type, unsigned A, unsigned B,
+                  CommuteMode Mode);
+
+/// Returns the sufficient condition for the event with operation \p A to be
+/// absorbed by a later event with operation \p B on the same container.
+/// \p Far selects far absorption (R1) vs plain absorption.
+Cond absorbsCond(const DataTypeSpec &Type, unsigned A, unsigned B, bool Far);
+
+} // namespace c4
+
+#endif // C4_SPEC_DATATYPE_H

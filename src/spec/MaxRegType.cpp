@@ -1,0 +1,78 @@
+//===- spec/MaxRegType.cpp - Monotonic max-register -----------------------===//
+//
+// Part of the C4 serializability analyzer. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A monotonic max-register: put(v) merges by maximum, get() reads the
+/// current maximum. This is the CRDT one *should* use for high scores: puts
+/// always commute (max is commutative), a put of a smaller value is
+/// absorbed by a larger one, and a get that returned r tolerates any put of
+/// v ≤ r moving past it. The analyzer proves Tetris-style leaderboards
+/// serializable once they use this type (examples/fix_with_crdts.cpp) —
+/// the constructive counterpart of the paper's bug class (2),
+/// read-modify-write on high-level data.
+///
+//===----------------------------------------------------------------------===//
+
+#include "spec/Registry.h"
+#include "spec/TypeTables.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace c4;
+
+namespace {
+
+class MaxRegState : public ContainerState {
+public:
+  void apply(const OpSig &Op, const std::vector<int64_t> &Vals) override {
+    assert(Op.Name == "put" && "max-register has a single update");
+    (void)Op;
+    Val = std::max(Val, Vals[0]);
+  }
+  int64_t eval(const OpSig &Op,
+               const std::vector<int64_t> &Args) const override {
+    assert(Op.Name == "get" && "max-register has a single query");
+    (void)Op;
+    (void)Args;
+    return Val;
+  }
+  std::unique_ptr<ContainerState> clone() const override {
+    return std::make_unique<MaxRegState>(*this);
+  }
+
+private:
+  int64_t Val = 0;
+};
+
+class MaxRegType : public TableSpec {
+public:
+  enum { Put, Get };
+  MaxRegType()
+      : TableSpec("maxreg",
+                  {{"put", OpKind::Update, 1, false},
+                   {"get", OpKind::Query, 0, true}}) {
+    // max is commutative and idempotent: puts always commute.
+    com(Put, Put, Cond::t());
+    com(Put, Get, Cond::f());
+    // A put is absorbed by any later put of a not-smaller value.
+    abs(Put, Put, Cond::le(Term::argSrc(0), Term::argTgt(0)));
+    // get():r tolerates a put(v) with v <= r moving before it (the maximum
+    // cannot drop). Return slot of get is its only slot (index 0).
+    asym(Put, Get, Cond::le(Term::argSrc(0), Term::argTgt(0)));
+    // Monotonicity: every visible put bounds a get from below.
+    det(Put, Get, ValueDet::slotLowerBound(0));
+  }
+  std::unique_ptr<ContainerState> makeState() const override {
+    return std::make_unique<MaxRegState>();
+  }
+};
+
+} // namespace
+
+std::unique_ptr<DataTypeSpec> c4::makeMaxRegType() {
+  return std::make_unique<MaxRegType>();
+}

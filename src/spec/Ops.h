@@ -1,0 +1,47 @@
+//===- spec/Ops.h - Operation signatures ------------------------*- C++ -*-===//
+//
+// Part of the C4 serializability analyzer. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Operation signatures for replicated data types. The store is accessed via
+/// a fixed set of updates (modify state, no return value) and queries (return
+/// a value, no state change) — paper §3. The one hybrid is `add_row`-style
+/// creation, which is an update that also returns a fresh unique identity
+/// (paper §8, "fresh unique values").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef C4_SPEC_OPS_H
+#define C4_SPEC_OPS_H
+
+#include <string>
+
+namespace c4 {
+
+/// Whether an operation modifies the store or reads from it.
+enum class OpKind { Update, Query };
+
+/// The static signature of one store operation.
+struct OpSig {
+  std::string Name;
+  OpKind Kind;
+  /// Number of input arguments (the return value, if any, is not counted).
+  unsigned NumArgs;
+  /// True if the operation returns a value. All queries return a value;
+  /// updates normally do not, except fresh-id creators such as add_row.
+  bool HasRet;
+  /// True if the returned value is a freshly generated unique identity.
+  bool Fresh = false;
+
+  bool isUpdate() const { return Kind == OpKind::Update; }
+  bool isQuery() const { return Kind == OpKind::Query; }
+
+  /// Number of slots in the event's combined value vector (args + return).
+  unsigned numVals() const { return NumArgs + (HasRet ? 1u : 0u); }
+};
+
+} // namespace c4
+
+#endif // C4_SPEC_OPS_H

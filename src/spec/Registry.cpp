@@ -1,0 +1,49 @@
+//===- spec/Registry.cpp --------------------------------------------------===//
+//
+// Part of the C4 serializability analyzer. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "spec/Registry.h"
+
+#include <cassert>
+
+using namespace c4;
+
+TypeRegistry::TypeRegistry() {
+  add(makeRegisterType());
+  add(makeCounterType());
+  add(makeMapType());
+  add(makeSetType());
+  add(makeTableType());
+  add(makeCRegType());
+  add(makeMaxRegType());
+}
+
+const DataTypeSpec *TypeRegistry::lookup(const std::string &Name) const {
+  for (const std::unique_ptr<DataTypeSpec> &T : Types)
+    if (T->name() == Name)
+      return T.get();
+  return nullptr;
+}
+
+const DataTypeSpec *TypeRegistry::add(std::unique_ptr<DataTypeSpec> Type) {
+  assert(!lookup(Type->name()) && "duplicate type name");
+  Types.push_back(std::move(Type));
+  return Types.back().get();
+}
+
+unsigned Schema::addContainer(const std::string &Name,
+                              const DataTypeSpec *Type) {
+  assert(Type && "container needs a type");
+  assert(lookup(Name) < 0 && "duplicate container name");
+  Containers.push_back({Name, Type});
+  return numContainers() - 1;
+}
+
+int Schema::lookup(const std::string &Name) const {
+  for (unsigned I = 0, E = numContainers(); I != E; ++I)
+    if (Containers[I].Name == Name)
+      return static_cast<int>(I);
+  return -1;
+}

@@ -1,0 +1,96 @@
+//===- spec/Registry.h - Data type registry and store schema ----*- C++ -*-===//
+//
+// Part of the C4 serializability analyzer. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The registry of built-in replicated data types and the *schema*: the set
+/// of named containers a program operates on, each of a declared type. All
+/// analyzer stages resolve events against a schema.
+///
+/// Built-in types:
+///   register  put(v), get():v
+///   counter   inc(d), read():n
+///   map       put(k,v), remove(k), inc(k,d), get(k):v, contains(k):b,
+///             size():n                                   (Fig. 6 dictionary)
+///   set       add(x), remove(x), contains(x):b, size():n
+///   table     add_row():r (fresh), set(r,f,v), del(r), add(r,f,x),
+///             sremove(r,f,x), get(r,f):v, contains(r):b, scontains(r,f,x):b,
+///             size():n               (TouchDevelop/Cassandra rows, §8)
+///   creg      put(k,v), inc(k,d), cp(a,b), get(k):v
+///             (copy-register family: far-commutativity and far-absorption
+///              genuinely differ from the plain versions, paper §4.1)
+///   maxreg    put(v), get():v — a monotonic max-register whose puts always
+///             commute (the CRDT fix for high-score bugs)
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef C4_SPEC_REGISTRY_H
+#define C4_SPEC_REGISTRY_H
+
+#include "spec/DataType.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace c4 {
+
+/// Factories for the built-in types (mainly exposed for tests).
+std::unique_ptr<DataTypeSpec> makeRegisterType();
+std::unique_ptr<DataTypeSpec> makeCounterType();
+std::unique_ptr<DataTypeSpec> makeMapType();
+std::unique_ptr<DataTypeSpec> makeSetType();
+std::unique_ptr<DataTypeSpec> makeTableType();
+std::unique_ptr<DataTypeSpec> makeCRegType();
+std::unique_ptr<DataTypeSpec> makeMaxRegType();
+
+/// Owns data type specifications and resolves them by name.
+class TypeRegistry {
+public:
+  /// Constructs a registry pre-populated with all built-in types.
+  TypeRegistry();
+
+  /// Returns the type named \p Name, or nullptr.
+  const DataTypeSpec *lookup(const std::string &Name) const;
+
+  /// Registers an additional (custom) type. The name must be unused.
+  const DataTypeSpec *add(std::unique_ptr<DataTypeSpec> Type);
+
+private:
+  std::vector<std::unique_ptr<DataTypeSpec>> Types;
+};
+
+/// A named container of a registered data type.
+struct ContainerDecl {
+  std::string Name;
+  const DataTypeSpec *Type;
+};
+
+/// The store schema: the containers a program accesses, by dense id.
+class Schema {
+public:
+  /// Declares a container; returns its id. The name must be unused.
+  unsigned addContainer(const std::string &Name, const DataTypeSpec *Type);
+
+  unsigned numContainers() const {
+    return static_cast<unsigned>(Containers.size());
+  }
+  const ContainerDecl &container(unsigned Id) const { return Containers[Id]; }
+
+  /// Resolves a container by name; returns -1 if unknown.
+  int lookup(const std::string &Name) const;
+
+  /// Resolves (container id, op index) to the operation signature.
+  const OpSig &op(unsigned ContainerId, unsigned OpIdx) const {
+    return Containers[ContainerId].Type->ops()[OpIdx];
+  }
+
+private:
+  std::vector<ContainerDecl> Containers;
+};
+
+} // namespace c4
+
+#endif // C4_SPEC_REGISTRY_H

@@ -1,0 +1,204 @@
+//===- spec/TableType.cpp - Row/field table with fresh identities ---------===//
+//
+// Part of the C4 serializability analyzer. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The `table` data type models TouchDevelop tables and Cassandra rows
+/// (paper §8): rows addressed by identity, holding scalar fields and
+/// set-valued fields. Rows are created implicitly by any update that touches
+/// them ("implicit record creation"), or explicitly with a guaranteed-fresh
+/// identity via add_row. The asymmetric commutativity entries encode that
+/// contains(r):true survives creations and contains(r):false survives
+/// deletions.
+///
+//===----------------------------------------------------------------------===//
+
+#include "spec/Registry.h"
+#include "spec/TypeTables.h"
+
+#include <cassert>
+#include <map>
+#include <set>
+
+using namespace c4;
+
+static Term s(unsigned I) { return Term::argSrc(I); }
+static Term g(unsigned I) { return Term::argTgt(I); }
+static Cond eq(Term A, Term B) { return Cond::eq(A, B); }
+static Cond ne(Term A, Term B) { return Cond::ne(A, B); }
+static Cond one(Term T) { return Cond::eq(T, Term::constant(1)); }
+static Cond zero(Term T) { return Cond::eq(T, Term::constant(0)); }
+
+namespace {
+
+struct Row {
+  std::map<int64_t, int64_t> Scalars;
+  std::map<int64_t, std::set<int64_t>> SetFields;
+};
+
+class TableState : public ContainerState {
+public:
+  void apply(const OpSig &Op, const std::vector<int64_t> &Vals) override {
+    if (Op.Name == "add_row") {
+      Rows[Vals[0]]; // create an empty row with the chosen fresh identity
+      return;
+    }
+    if (Op.Name == "set") {
+      Rows[Vals[0]].Scalars[Vals[1]] = Vals[2];
+      return;
+    }
+    if (Op.Name == "del") {
+      Rows.erase(Vals[0]);
+      return;
+    }
+    if (Op.Name == "add") {
+      Rows[Vals[0]].SetFields[Vals[1]].insert(Vals[2]);
+      return;
+    }
+    assert(Op.Name == "sremove" && "unknown table update");
+    Rows[Vals[0]].SetFields[Vals[1]].erase(Vals[2]);
+  }
+
+  int64_t eval(const OpSig &Op,
+               const std::vector<int64_t> &Args) const override {
+    if (Op.Name == "get") {
+      auto RowIt = Rows.find(Args[0]);
+      if (RowIt == Rows.end())
+        return 0;
+      auto It = RowIt->second.Scalars.find(Args[1]);
+      return It == RowIt->second.Scalars.end() ? 0 : It->second;
+    }
+    if (Op.Name == "contains")
+      return Rows.count(Args[0]) ? 1 : 0;
+    if (Op.Name == "scontains") {
+      auto RowIt = Rows.find(Args[0]);
+      if (RowIt == Rows.end())
+        return 0;
+      auto It = RowIt->second.SetFields.find(Args[1]);
+      if (It == RowIt->second.SetFields.end())
+        return 0;
+      return It->second.count(Args[2]) ? 1 : 0;
+    }
+    assert(Op.Name == "size" && "unknown table query");
+    return static_cast<int64_t>(Rows.size());
+  }
+
+  std::unique_ptr<ContainerState> clone() const override {
+    return std::make_unique<TableState>(*this);
+  }
+
+private:
+  std::map<int64_t, Row> Rows;
+};
+
+class TableType : public TableSpec {
+public:
+  enum { AddRow, Set, Del, Add, SRemove, Get, Contains, SContains, Size };
+
+  TableType()
+      : TableSpec("table",
+                  {{"add_row", OpKind::Update, 0, true, /*Fresh=*/true},
+                   {"set", OpKind::Update, 3, false},
+                   {"del", OpKind::Update, 1, false},
+                   {"add", OpKind::Update, 3, false},
+                   {"sremove", OpKind::Update, 3, false},
+                   {"get", OpKind::Query, 2, true},
+                   {"contains", OpKind::Query, 1, true},
+                   {"scontains", OpKind::Query, 3, true},
+                   {"size", OpKind::Query, 0, true}}) {
+    // Row identity is combined-value slot 0 for every operation (add_row
+    // exposes its created identity through its return slot, which is its
+    // only slot).
+    Cond RowDiff = ne(s(0), g(0));
+    Cond RowSame = eq(s(0), g(0));
+
+    com(AddRow, AddRow, RowDiff);
+    com(AddRow, Set, RowDiff);
+    com(AddRow, Del, RowDiff);
+    com(AddRow, Add, RowDiff);
+    com(AddRow, SRemove, RowDiff);
+    com(AddRow, Get, Cond::t()); // fields of an empty row read as 0
+    com(AddRow, Contains, RowDiff);
+    com(AddRow, SContains, Cond::t());
+    com(AddRow, Size, Cond::f());
+
+    com(Set, Set, RowDiff || ne(s(1), g(1)) || eq(s(2), g(2)));
+    com(Set, Del, RowDiff);
+    com(Set, Add, Cond::t()); // disjoint storage; creation is idempotent
+    com(Set, SRemove, Cond::t());
+    com(Set, Get, RowDiff || ne(s(1), g(1)));
+    com(Set, Contains, RowDiff);
+    com(Set, SContains, Cond::t());
+    com(Set, Size, Cond::f());
+
+    com(Del, Del, Cond::t());
+    com(Del, Add, RowDiff);
+    com(Del, SRemove, RowDiff);
+    com(Del, Get, RowDiff);
+    com(Del, Contains, RowDiff);
+    com(Del, SContains, RowDiff);
+    com(Del, Size, Cond::f());
+
+    Cond ElemDiff = RowDiff || ne(s(1), g(1)) || ne(s(2), g(2));
+    com(Add, Add, Cond::t());
+    com(Add, SRemove, ElemDiff);
+    com(Add, Get, Cond::t());
+    com(Add, Contains, RowDiff);
+    com(Add, SContains, ElemDiff);
+    com(Add, Size, Cond::f());
+
+    com(SRemove, SRemove, Cond::t());
+    com(SRemove, Get, Cond::t());
+    com(SRemove, Contains, RowDiff);
+    com(SRemove, SContains, ElemDiff);
+    com(SRemove, Size, Cond::f());
+
+    // Asymmetric entries (§8). Return slots: contains -> 1, scontains -> 3.
+    asym(AddRow, Contains, RowDiff || one(g(1)));
+    asym(Set, Contains, RowDiff || one(g(1)));
+    asym(Add, Contains, RowDiff || one(g(1)));
+    asym(SRemove, Contains, RowDiff || one(g(1)));
+    asym(Del, Contains, RowDiff || zero(g(1)));
+    asym(Add, SContains, ElemDiff || one(g(3)));
+    asym(SRemove, SContains, ElemDiff || zero(g(3)));
+    asym(Del, SContains, RowDiff || zero(g(3)));
+
+    // Absorption: deletion wipes every earlier update on the same row; a
+    // same-slot write wipes an earlier one.
+    abs(Set, Set, RowSame && eq(s(1), g(1)));
+    abs(Set, Del, RowSame);
+    abs(Add, Del, RowSame);
+    abs(SRemove, Del, RowSame);
+    abs(AddRow, Del, RowSame);
+    abs(Del, Del, RowSame);
+    Cond ElemSame = RowSame && eq(s(1), g(1)) && eq(s(2), g(2));
+    abs(Add, Add, ElemSame);
+    abs(Add, SRemove, ElemSame);
+    abs(SRemove, Add, ElemSame);
+    abs(SRemove, SRemove, ElemSame);
+
+    // Query-value determination (S1 inside the small model).
+    det(Set, Get, ValueDet::slot(2));
+    det(Del, Get, ValueDet::constant(0));
+    det(AddRow, Contains, ValueDet::constant(1));
+    det(Set, Contains, ValueDet::constant(1));
+    det(Add, Contains, ValueDet::constant(1));
+    det(SRemove, Contains, ValueDet::constant(1));
+    det(Del, Contains, ValueDet::constant(0));
+    det(Add, SContains, ValueDet::constant(1));
+    det(SRemove, SContains, ValueDet::constant(0));
+    det(Del, SContains, ValueDet::constant(0));
+  }
+
+  std::unique_ptr<ContainerState> makeState() const override {
+    return std::make_unique<TableState>();
+  }
+};
+
+} // namespace
+
+std::unique_ptr<DataTypeSpec> c4::makeTableType() {
+  return std::make_unique<TableType>();
+}

@@ -1,0 +1,93 @@
+//===- spec/TypeTables.h - Table-driven rewrite specs (private) -*- C++ -*-===//
+//
+// Part of the C4 serializability analyzer. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Internal helper for defining data types declaratively: rewrite
+/// specifications are stored as per-operation-pair condition tables.
+/// Commutativity entries are set symmetrically (the flipped condition is
+/// installed for the reversed pair); absorption and asymmetric entries are
+/// directional. Unset commutativity/absorption entries default to false,
+/// which is always sound (more dependencies, never fewer).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef C4_SPEC_TYPETABLES_H
+#define C4_SPEC_TYPETABLES_H
+
+#include "spec/DataType.h"
+
+#include <optional>
+
+namespace c4 {
+
+/// Base class for data types whose rewrite spec is a finite condition table.
+class TableSpec : public DataTypeSpec {
+public:
+  Cond plainCommutes(unsigned A, unsigned B) const override {
+    return get(PlainCom, A, B, Cond::f());
+  }
+  Cond plainAbsorbs(unsigned A, unsigned B) const override {
+    return get(PlainAbs, A, B, Cond::f());
+  }
+  Cond farCommutes(unsigned A, unsigned B) const override {
+    return get(FarCom, A, B, plainCommutes(A, B));
+  }
+  Cond farAbsorbs(unsigned A, unsigned B) const override {
+    return get(FarAbs, A, B, plainAbsorbs(A, B));
+  }
+  Cond asymFarCommutes(unsigned U, unsigned Q) const override {
+    return get(AsymCom, U, Q, farCommutes(U, Q));
+  }
+  ValueDet valueDetermination(unsigned U, unsigned Q) const override {
+    if (const std::optional<ValueDet> &E = Dets[U][Q])
+      return *E;
+    return ValueDet::indeterminate();
+  }
+
+protected:
+  TableSpec(std::string Name, std::vector<OpSig> Ops)
+      : DataTypeSpec(std::move(Name), std::move(Ops)) {
+    unsigned N = static_cast<unsigned>(ops().size());
+    PlainCom.assign(N, std::vector<std::optional<Cond>>(N));
+    PlainAbs = FarCom = FarAbs = AsymCom = PlainCom;
+    Dets.assign(N, std::vector<std::optional<ValueDet>>(N));
+  }
+
+  using Table = std::vector<std::vector<std::optional<Cond>>>;
+
+  /// Sets plain commutativity for (A,B) and the flipped form for (B,A).
+  void com(unsigned A, unsigned B, Cond C) {
+    PlainCom[A][B] = C;
+    PlainCom[B][A] = C.flipped();
+  }
+  /// Sets far commutativity, symmetrically.
+  void farCom(unsigned A, unsigned B, Cond C) {
+    FarCom[A][B] = C;
+    FarCom[B][A] = C.flipped();
+  }
+  /// Sets "A absorbed by later B" (directional).
+  void abs(unsigned A, unsigned B, Cond C) { PlainAbs[A][B] = C; }
+  /// Sets far absorption (directional).
+  void farAbs(unsigned A, unsigned B, Cond C) { FarAbs[A][B] = C; }
+  /// Sets asymmetric far commutativity for update \p U vs query \p Q.
+  void asym(unsigned U, unsigned Q, Cond C) { AsymCom[U][Q] = C; }
+  /// Sets the value determination of query \p Q by update \p U.
+  void det(unsigned U, unsigned Q, ValueDet D) { Dets[U][Q] = D; }
+
+private:
+  static Cond get(const Table &T, unsigned A, unsigned B, Cond Default) {
+    if (const std::optional<Cond> &E = T[A][B])
+      return *E;
+    return Default;
+  }
+
+  Table PlainCom, PlainAbs, FarCom, FarAbs, AsymCom;
+  std::vector<std::vector<std::optional<ValueDet>>> Dets;
+};
+
+} // namespace c4
+
+#endif // C4_SPEC_TYPETABLES_H

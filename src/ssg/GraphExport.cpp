@@ -1,0 +1,68 @@
+//===- ssg/GraphExport.cpp ------------------------------------------------===//
+//
+// Part of the C4 serializability analyzer. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ssg/GraphExport.h"
+
+#include "history/DSG.h"
+#include "support/Format.h"
+
+using namespace c4;
+
+/// DOT attributes per edge label, echoing the paper's figure style.
+static const char *edgeStyle(int Label) {
+  switch (Label) {
+  case DepSO:
+    return "color=black label=\"so\"";
+  case DepDependency:
+    return "color=blue style=dashed label=\"+\"";
+  case DepAntiDep:
+    return "color=red style=bold label=\"-\"";
+  case DepConflict:
+    return "color=darkgreen style=dotted label=\"x\"";
+  }
+  return "";
+}
+
+static std::string escapeDot(const std::string &S) {
+  std::string Out;
+  for (char C : S) {
+    if (C == '"' || C == '\\')
+      Out += '\\';
+    Out += C;
+  }
+  return Out;
+}
+
+std::string c4::ssgToDot(const AbstractHistory &A, const Digraph &G) {
+  std::string Out = "digraph SSG {\n  node [shape=box];\n";
+  for (unsigned T = 0; T != A.numTxns(); ++T) {
+    std::string Label = A.txn(T).Name + "\\n";
+    for (unsigned E : A.txn(T).Events) {
+      if (A.event(E).isMarker())
+        continue;
+      Label += escapeDot(A.event(E).Label) + "\\n";
+    }
+    Out += strf("  t%u [label=\"%s\"];\n", T, Label.c_str());
+  }
+  for (const Digraph::Edge &E : G.edges())
+    Out += strf("  t%u -> t%u [%s];\n", E.From, E.To, edgeStyle(E.Label));
+  Out += "}\n";
+  return Out;
+}
+
+std::string c4::dsgToDot(const History &H, const Digraph &G) {
+  std::string Out = "digraph DSG {\n  node [shape=box];\n";
+  for (unsigned T = 0; T != H.numTransactions(); ++T) {
+    std::string Label = strf("s%u\\n", H.txn(T).Session);
+    for (unsigned E : H.txn(T).Events)
+      Label += escapeDot(H.eventStr(E)) + "\\n";
+    Out += strf("  t%u [label=\"%s\"];\n", T, Label.c_str());
+  }
+  for (const Digraph::Edge &E : G.edges())
+    Out += strf("  t%u -> t%u [%s];\n", E.From, E.To, edgeStyle(E.Label));
+  Out += "}\n";
+  return Out;
+}

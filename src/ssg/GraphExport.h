@@ -1,0 +1,35 @@
+//===- ssg/GraphExport.h - Graphviz rendering of SSGs and DSGs --*- C++ -*-===//
+//
+// Part of the C4 serializability analyzer. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders serialization graphs in Graphviz DOT format, in the style of the
+/// paper's figures: session-order edges solid, dependencies (⊕) dashed,
+/// anti-dependencies (⊖) bold red, conflicts (⊗) dotted.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef C4_SSG_GRAPHEXPORT_H
+#define C4_SSG_GRAPHEXPORT_H
+
+#include "abstract/AbstractHistory.h"
+#include "history/History.h"
+#include "support/Digraph.h"
+
+#include <string>
+
+namespace c4 {
+
+/// Renders a static serialization graph over the abstract transactions of
+/// \p A as a DOT digraph.
+std::string ssgToDot(const AbstractHistory &A, const Digraph &G);
+
+/// Renders a dependency serialization graph over the concrete transactions
+/// of \p H (nodes list their events, as in Figure 1 of the paper).
+std::string dsgToDot(const History &H, const Digraph &G);
+
+} // namespace c4
+
+#endif // C4_SSG_GRAPHEXPORT_H

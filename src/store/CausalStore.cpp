@@ -1,0 +1,172 @@
+//===- store/CausalStore.cpp ----------------------------------------------===//
+//
+// Part of the C4 serializability analyzer. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "store/CausalStore.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace c4;
+
+/// Fresh identities minted by the store (same convention as the encoder).
+static constexpr int64_t StoreFreshBase = 1000000000;
+
+CausalStore::CausalStore(const Schema &Sch, unsigned NumReplicas,
+                         ConsistencyMode Mode)
+    : Sch(&Sch), Mode(Mode), H(Sch), Replicas(NumReplicas),
+      NextFresh(StoreFreshBase) {
+  assert(NumReplicas > 0 && "need at least one replica");
+}
+
+unsigned CausalStore::openSession(unsigned Replica) {
+  assert(Replica < numReplicas() && "unknown replica");
+  unsigned Id = H.addSession();
+  Sessions.push_back({Replica, -1, {}, {}, {}});
+  return Id;
+}
+
+void CausalStore::begin(unsigned SessionId) {
+  Session &S = Sessions[SessionId];
+  assert(S.OpenTxn < 0 && "transaction already open");
+  S.OpenTxn = static_cast<int>(H.beginTransaction(SessionId));
+  // Snapshot the replica's received blocks: queries of this transaction
+  // read a frozen, causally-closed view (deliveries during the transaction
+  // do not leak in).
+  S.SeenBlocks = Replicas[S.Replica].Received;
+  S.BufferedUpdates.clear();
+  S.BufferedQueries.clear();
+}
+
+int64_t CausalStore::evalAt(const std::set<unsigned> &Visible,
+                            const std::vector<unsigned> &Buffer,
+                            unsigned Container, unsigned Op,
+                            const std::vector<int64_t> &Args) const {
+  // Fold visible blocks in arbitration (stamp) order, then the buffer.
+  std::vector<unsigned> Ordered(Visible.begin(), Visible.end());
+  std::sort(Ordered.begin(), Ordered.end(), [&](unsigned A, unsigned B) {
+    return Blocks[A].Stamp < Blocks[B].Stamp;
+  });
+  std::unique_ptr<ContainerState> State =
+      Sch->container(Container).Type->makeState();
+  auto ApplyEvent = [&](unsigned E) {
+    const Event &Ev = H.event(E);
+    if (Ev.Container == Container)
+      State->apply(H.op(Ev), Ev.vals());
+  };
+  for (unsigned B : Ordered)
+    for (unsigned E : Blocks[B].Updates)
+      ApplyEvent(E);
+  for (unsigned E : Buffer)
+    ApplyEvent(E);
+  return State->eval(Sch->op(Container, Op), Args);
+}
+
+int64_t CausalStore::query(unsigned SessionId, unsigned Container,
+                           unsigned Op, const std::vector<int64_t> &Args) {
+  Session &S = Sessions[SessionId];
+  assert(S.OpenTxn >= 0 && "no open transaction");
+  assert(Sch->op(Container, Op).isQuery() && "expected a query");
+  int64_t Value =
+      evalAt(S.SeenBlocks, S.BufferedUpdates, Container, Op, Args);
+  unsigned E = H.append(static_cast<unsigned>(S.OpenTxn), Container, Op,
+                        Args, Value);
+  S.BufferedQueries.push_back(E);
+  return Value;
+}
+
+int64_t CausalStore::update(unsigned SessionId, unsigned Container,
+                            unsigned Op, std::vector<int64_t> Args) {
+  Session &S = Sessions[SessionId];
+  assert(S.OpenTxn >= 0 && "no open transaction");
+  const OpSig &Sig = Sch->op(Container, Op);
+  assert(Sig.isUpdate() && "expected an update");
+  std::optional<int64_t> Ret;
+  int64_t Fresh = 0;
+  if (Sig.HasRet) {
+    assert(Sig.Fresh && "only fresh creators return from updates");
+    Fresh = NextFresh++;
+    Ret = Fresh;
+  }
+  unsigned E = H.append(static_cast<unsigned>(S.OpenTxn), Container, Op,
+                        std::move(Args), Ret);
+  S.BufferedUpdates.push_back(E);
+  return Fresh;
+}
+
+void CausalStore::commit(unsigned SessionId) {
+  Session &S = Sessions[SessionId];
+  assert(S.OpenTxn >= 0 && "no open transaction");
+  unsigned BlockId = static_cast<unsigned>(Blocks.size());
+  Blocks.push_back({static_cast<unsigned>(S.OpenTxn), S.Replica, Clock++,
+                    S.SeenBlocks, S.BufferedUpdates});
+  Replicas[S.Replica].Received.insert(BlockId);
+  S.OpenTxn = -1;
+}
+
+bool CausalStore::deliverRandom(Rng &R) {
+  // Collect deliverable (replica, block) pairs.
+  std::vector<std::pair<unsigned, unsigned>> Options;
+  for (unsigned RI = 0; RI != numReplicas(); ++RI)
+    for (unsigned BI = 0; BI != Blocks.size(); ++BI) {
+      if (Replicas[RI].Received.count(BI))
+        continue;
+      bool Ready = true;
+      if (Mode == ConsistencyMode::Causal)
+        for (unsigned Dep : Blocks[BI].Seen)
+          Ready = Ready && Replicas[RI].Received.count(Dep);
+      if (Ready)
+        Options.push_back({RI, BI});
+    }
+  if (Options.empty())
+    return false;
+  auto [RI, BI] = Options[R.below(Options.size())];
+  Replicas[RI].Received.insert(BI);
+  return true;
+}
+
+void CausalStore::deliverAll() {
+  Rng R(0);
+  while (deliverRandom(R)) {
+  }
+}
+
+Schedule CausalStore::schedule() const {
+  for ([[maybe_unused]] const Session &Open : Sessions)
+    assert(Open.OpenTxn < 0 &&
+           "schedule requires all transactions committed");
+  Schedule S(H.numEvents());
+
+  // Arbitration: blocks by stamp; events inside a block in session order.
+  std::vector<unsigned> ByStamp(Blocks.size());
+  for (unsigned I = 0; I != Blocks.size(); ++I)
+    ByStamp[I] = I;
+  std::sort(ByStamp.begin(), ByStamp.end(), [&](unsigned A, unsigned B) {
+    return Blocks[A].Stamp < Blocks[B].Stamp;
+  });
+  std::vector<unsigned> Order;
+  for (unsigned BI : ByStamp) {
+    const Transaction &T = H.txn(Blocks[BI].Txn);
+    for (unsigned E : T.Events)
+      Order.push_back(E);
+  }
+  S.setArbitration(Order);
+
+  // Visibility: a block sees its snapshot; within a transaction, earlier
+  // events are visible to later ones (session order).
+  for (unsigned BI = 0; BI != Blocks.size(); ++BI) {
+    const Transaction &TB = H.txn(Blocks[BI].Txn);
+    for (unsigned Dep : Blocks[BI].Seen) {
+      const Transaction &TA = H.txn(Blocks[Dep].Txn);
+      for (unsigned EA : TA.Events)
+        for (unsigned EB : TB.Events)
+          S.setVisible(EA, EB);
+    }
+    for (unsigned I = 0; I != TB.Events.size(); ++I)
+      for (unsigned J = I + 1; J != TB.Events.size(); ++J)
+        S.setVisible(TB.Events[I], TB.Events[J]);
+  }
+  return S;
+}

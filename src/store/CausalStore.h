@@ -1,0 +1,125 @@
+//===- store/CausalStore.h - Replicated causal store simulator --*- C++ -*-===//
+//
+// Part of the C4 serializability analyzer. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A simulator for a causally-consistent, replicated data store with atomic
+/// visibility — the execution substrate the paper's client applications run
+/// on (COPS / Eiger / Walter / TouchDevelop-style). Substitutes for the
+/// authors' deployments (see DESIGN.md).
+///
+///  * Transactions execute at one replica: queries see the transactions the
+///    replica has received (plus the transaction's own buffered updates);
+///    updates are buffered and commit as one atomic block.
+///  * Replication delivers whole blocks, respecting causal order (a block is
+///    deliverable only after everything its origin had seen). Hence
+///    visibility is transitively closed and includes session order (S2) and
+///    never fractures transactions (S3).
+///  * Arbitration is a Lamport timestamp (logical clock, replica id
+///    tie-break): replicas fold received blocks in timestamp order, so
+///    concurrent conflicting updates resolve identically everywhere
+///    (last-writer-wins) and query outcomes satisfy S1.
+///
+/// The store records everything into a History + Schedule, which tests
+/// validate against the S1-S3 axioms and the dynamic analyzer consumes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef C4_STORE_CAUSALSTORE_H
+#define C4_STORE_CAUSALSTORE_H
+
+#include "history/Schedule.h"
+#include "support/Rng.h"
+
+#include <memory>
+#include <set>
+#include <vector>
+
+namespace c4 {
+
+/// Delivery discipline of the simulator. Causal delivery (the default) is
+/// what the paper's stores guarantee; Eventual delivers blocks in any
+/// order, demonstrating the anomalies causal consistency rules out (the
+/// premise of the paper: causal is the strongest always-available model).
+enum class ConsistencyMode { Causal, Eventual };
+
+/// The replicated store simulator.
+class CausalStore {
+public:
+  /// Creates a store over \p Sch with \p NumReplicas replicas.
+  CausalStore(const Schema &Sch, unsigned NumReplicas,
+              ConsistencyMode Mode = ConsistencyMode::Causal);
+
+  unsigned numReplicas() const {
+    return static_cast<unsigned>(Replicas.size());
+  }
+
+  /// Opens a client session pinned to \p Replica; returns the session id.
+  unsigned openSession(unsigned Replica);
+
+  /// Starts a transaction for \p Session. Only one transaction per session
+  /// may be open at a time.
+  void begin(unsigned Session);
+  /// Executes a query inside the open transaction; returns its value.
+  int64_t query(unsigned Session, unsigned Container, unsigned Op,
+                const std::vector<int64_t> &Args);
+  /// Buffers an update inside the open transaction. For fresh-id creators
+  /// (add_row) the chosen identity is returned; other updates return 0.
+  int64_t update(unsigned Session, unsigned Container, unsigned Op,
+                 std::vector<int64_t> Args);
+  /// Commits the open transaction: its block becomes visible at the origin
+  /// replica and eligible for replication.
+  void commit(unsigned Session);
+
+  /// Delivers one random pending block to one random replica, respecting
+  /// causal order. Returns false if nothing was deliverable.
+  bool deliverRandom(Rng &R);
+  /// Delivers everything everywhere (quiescence).
+  void deliverAll();
+
+  /// The recorded execution so far (committed transactions only).
+  const History &history() const { return H; }
+  /// The recorded schedule: visibility from delivery, arbitration from the
+  /// Lamport order. Built on demand.
+  Schedule schedule() const;
+
+private:
+  struct Block {
+    unsigned Txn; ///< transaction id in H
+    unsigned Origin;
+    uint64_t Stamp; ///< Lamport time (already tie-broken by origin)
+    std::set<unsigned> Seen; ///< blocks visible at the origin when created
+    std::vector<unsigned> Updates; ///< event ids of the block's updates
+  };
+  struct Replica {
+    std::set<unsigned> Received; ///< block indices received (causally closed)
+  };
+  struct Session {
+    unsigned Replica;
+    int OpenTxn = -1;              ///< txn id in H, -1 if none
+    std::set<unsigned> SeenBlocks; ///< session guarantee: read your writes
+    std::vector<unsigned> BufferedUpdates; ///< event ids
+    std::vector<unsigned> BufferedQueries; ///< event ids
+  };
+
+  /// Evaluates a query against the blocks in \p Visible (folded in stamp
+  /// order) plus the session's buffered updates.
+  int64_t evalAt(const std::set<unsigned> &Visible,
+                 const std::vector<unsigned> &Buffer, unsigned Container,
+                 unsigned Op, const std::vector<int64_t> &Args) const;
+
+  const Schema *Sch;
+  ConsistencyMode Mode;
+  History H;
+  std::vector<Block> Blocks;
+  std::vector<Replica> Replicas;
+  std::vector<Session> Sessions;
+  uint64_t Clock = 1;
+  int64_t NextFresh;
+};
+
+} // namespace c4
+
+#endif // C4_STORE_CAUSALSTORE_H

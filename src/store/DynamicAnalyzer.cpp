@@ -1,0 +1,33 @@
+//===- store/DynamicAnalyzer.cpp ------------------------------------------===//
+//
+// Part of the C4 serializability analyzer. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "store/DynamicAnalyzer.h"
+
+#include "history/Relations.h"
+
+#include <algorithm>
+#include <set>
+
+using namespace c4;
+
+DynamicReport c4::analyzeDynamic(const History &H, const Schedule &S,
+                                 unsigned MaxCycles) {
+  DynamicReport Report;
+  EventRelations Rel(H, FarMode::Fixpoint);
+  DependenceTriple T = computeDependencies(H, S, Rel);
+  Digraph G = buildDSG(H, T);
+  bool Truncated = false;
+  std::vector<std::vector<unsigned>> Cycles =
+      G.simpleCycles(MaxCycles, Truncated);
+  std::set<std::vector<unsigned>> Sets;
+  for (std::vector<unsigned> &C : Cycles) {
+    std::sort(C.begin(), C.end());
+    C.erase(std::unique(C.begin(), C.end()), C.end());
+    if (Sets.insert(C).second)
+      Report.CycleTxnSets.push_back(C);
+  }
+  return Report;
+}

@@ -1,0 +1,39 @@
+//===- store/DynamicAnalyzer.h - Dynamic DSG analysis -----------*- C++ -*-===//
+//
+// Part of the C4 serializability analyzer. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The dynamic-analysis baseline of paper §9.5 (the authors' earlier
+/// ECRacer-style analyzer [11]): given an *executed* history and its
+/// schedule, build the DSG and report cycles. A dynamic analyzer only sees
+/// schedules that actually happened, so timing-dependent violations are
+/// missed — which the comparison bench demonstrates.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef C4_STORE_DYNAMICANALYZER_H
+#define C4_STORE_DYNAMICANALYZER_H
+
+#include "history/DSG.h"
+
+#include <vector>
+
+namespace c4 {
+
+/// Result of dynamically analyzing one execution.
+struct DynamicReport {
+  /// Transaction-id sets of the detected DSG cycles (deduplicated).
+  std::vector<std::vector<unsigned>> CycleTxnSets;
+  bool violationFound() const { return !CycleTxnSets.empty(); }
+};
+
+/// Builds the DSG of the executed schedule and extracts its cycles. Uses the
+/// R2-fixpoint far relations (a dynamic analyzer knows the whole execution).
+DynamicReport analyzeDynamic(const History &H, const Schedule &S,
+                             unsigned MaxCycles = 64);
+
+} // namespace c4
+
+#endif // C4_STORE_DYNAMICANALYZER_H

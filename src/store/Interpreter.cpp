@@ -1,0 +1,142 @@
+//===- store/Interpreter.cpp ----------------------------------------------===//
+//
+// Part of the C4 serializability analyzer. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "store/Interpreter.h"
+
+#include <cassert>
+
+using namespace c4;
+
+int64_t ProgramRunner::evalExpr(const Expr &E, unsigned Session,
+                                const std::map<std::string, int64_t> &Env)
+    const {
+  switch (E.Kind) {
+  case Expr::IntLit:
+    return E.Value;
+  case Expr::StringLit:
+    return P.Strings->intern(E.Text);
+  case Expr::Name: {
+    auto It = Env.find(E.Text);
+    if (It != Env.end())
+      return It->second;
+    auto SC = SessionConsts.find({Session, E.Text});
+    if (SC != SessionConsts.end())
+      return SC->second;
+    auto GC = GlobalConsts.find(E.Text);
+    if (GC != GlobalConsts.end())
+      return GC->second;
+    return 0; // unset constants read as 0
+  }
+  }
+  return 0;
+}
+
+void ProgramRunner::runStmts(const std::vector<StmtPtr> &Stmts,
+                             unsigned Session,
+                             std::map<std::string, int64_t> &Env,
+                             bool &Returned) {
+  for (const StmtPtr &SP : Stmts) {
+    if (Returned)
+      return;
+    const Stmt &S = *SP;
+    switch (S.Kind) {
+    case Stmt::Call:
+    case Stmt::Let: {
+      int Container = P.Sch->lookup(S.Container);
+      assert(Container >= 0 && "sema guarantees known containers");
+      const DataTypeSpec *Type =
+          P.Sch->container(static_cast<unsigned>(Container)).Type;
+      const OpSig *Op = Type->findOp(S.Op);
+      assert(Op && "sema guarantees known operations");
+      std::vector<int64_t> Args;
+      for (const Expr &E : S.Args)
+        Args.push_back(evalExpr(E, Session, Env));
+      int64_t Result;
+      if (Op->isQuery())
+        Result = Store.query(Session, static_cast<unsigned>(Container),
+                             Type->opIndex(*Op), Args);
+      else
+        Result = Store.update(Session, static_cast<unsigned>(Container),
+                              Type->opIndex(*Op), std::move(Args));
+      if (S.Kind == Stmt::Let)
+        Env[S.LetName] = Result;
+      break;
+    }
+    case Stmt::If: {
+      int64_t V = 0;
+      auto It = Env.find(S.Cond.Name);
+      if (It != Env.end())
+        V = It->second;
+      else
+        V = evalExpr(Expr{Expr::Name, 0, S.Cond.Name, S.Cond.Line}, Session,
+                     Env);
+      bool Taken = false;
+      int64_t Rhs = 0;
+      if (S.Cond.Cmp != CondExpr::Truthy && S.Cond.Cmp != CondExpr::Falsy)
+        Rhs = evalExpr(S.Cond.Rhs, Session, Env);
+      switch (S.Cond.Cmp) {
+      case CondExpr::Truthy:
+        Taken = V != 0;
+        break;
+      case CondExpr::Falsy:
+        Taken = V == 0;
+        break;
+      case CondExpr::Eq:
+        Taken = V == Rhs;
+        break;
+      case CondExpr::Ne:
+        Taken = V != Rhs;
+        break;
+      case CondExpr::Lt:
+        Taken = V < Rhs;
+        break;
+      case CondExpr::Le:
+        Taken = V <= Rhs;
+        break;
+      case CondExpr::Gt:
+        Taken = V > Rhs;
+        break;
+      case CondExpr::Ge:
+        Taken = V >= Rhs;
+        break;
+      }
+      runStmts(Taken ? S.Then : S.Else, Session, Env, Returned);
+      break;
+    }
+    case Stmt::Display:
+    case Stmt::Skip:
+      break;
+    case Stmt::Return:
+      Returned = true;
+      return;
+    }
+  }
+}
+
+bool ProgramRunner::runTxn(unsigned Session, const std::string &Name,
+                           const std::vector<int64_t> &Args,
+                           std::string &Error) {
+  const TxnDecl *Decl = nullptr;
+  for (const TxnDecl &T : P.AST->Txns)
+    if (T.Name == Name)
+      Decl = &T;
+  if (!Decl) {
+    Error = "unknown transaction '" + Name + "'";
+    return false;
+  }
+  if (Args.size() != Decl->Params.size()) {
+    Error = "argument count mismatch for '" + Name + "'";
+    return false;
+  }
+  std::map<std::string, int64_t> Env;
+  for (unsigned I = 0; I != Args.size(); ++I)
+    Env[Decl->Params[I]] = Args[I];
+  Store.begin(Session);
+  bool Returned = false;
+  runStmts(Decl->Body, Session, Env, Returned);
+  Store.commit(Session);
+  return true;
+}

@@ -1,0 +1,61 @@
+//===- store/Interpreter.h - Run C4L programs on the store ------*- C++ -*-===//
+//
+// Part of the C4 serializability analyzer. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Executes compiled C4L transactions concretely against the causal store
+/// simulator. Used by the dynamic-analysis comparison (§9.5) and examples.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef C4_STORE_INTERPRETER_H
+#define C4_STORE_INTERPRETER_H
+
+#include "frontend/Frontend.h"
+#include "store/CausalStore.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace c4 {
+
+/// Runs the transactions of a compiled program on a store.
+class ProgramRunner {
+public:
+  ProgramRunner(const CompiledProgram &P, CausalStore &Store)
+      : P(P), Store(Store) {}
+
+  /// Fixes the value of a session-local constant for one session.
+  void setSessionConst(unsigned Session, const std::string &Name,
+                       int64_t Value) {
+    SessionConsts[{Session, Name}] = Value;
+  }
+  /// Fixes the value of a global constant.
+  void setGlobalConst(const std::string &Name, int64_t Value) {
+    GlobalConsts[Name] = Value;
+  }
+
+  /// Executes transaction \p Name with \p Args in \p Session (begins and
+  /// commits it). Returns false and sets \p Error on failure (unknown
+  /// transaction, argument mismatch). Unset constants default to 0.
+  bool runTxn(unsigned Session, const std::string &Name,
+              const std::vector<int64_t> &Args, std::string &Error);
+
+private:
+  int64_t evalExpr(const Expr &E, unsigned Session,
+                   const std::map<std::string, int64_t> &Env) const;
+  void runStmts(const std::vector<StmtPtr> &Stmts, unsigned Session,
+                std::map<std::string, int64_t> &Env, bool &Returned);
+
+  const CompiledProgram &P;
+  CausalStore &Store;
+  std::map<std::pair<unsigned, std::string>, int64_t> SessionConsts;
+  std::map<std::string, int64_t> GlobalConsts;
+};
+
+} // namespace c4
+
+#endif // C4_STORE_INTERPRETER_H

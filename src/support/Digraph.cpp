@@ -1,0 +1,255 @@
+//===- support/Digraph.cpp ------------------------------------------------===//
+//
+// Part of the C4 serializability analyzer. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Digraph.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace c4;
+
+unsigned Digraph::addEdge(unsigned From, unsigned To, int Label) {
+  assert(From < numNodes() && To < numNodes() && "edge endpoint out of range");
+  unsigned Idx = numEdges();
+  Edges.push_back({From, To, Label});
+  Succs[From].push_back(Idx);
+  Preds[To].push_back(Idx);
+  return Idx;
+}
+
+bool Digraph::hasEdge(unsigned From, unsigned To) const {
+  for (unsigned EI : Succs[From])
+    if (Edges[EI].To == To)
+      return true;
+  return false;
+}
+
+std::vector<unsigned> Digraph::edgesBetween(unsigned From, unsigned To) const {
+  std::vector<unsigned> Result;
+  for (unsigned EI : Succs[From])
+    if (Edges[EI].To == To)
+      Result.push_back(EI);
+  return Result;
+}
+
+std::vector<unsigned>
+Digraph::stronglyConnectedComponents(unsigned &NumComponents) const {
+  unsigned N = numNodes();
+  std::vector<unsigned> Component(N, 0);
+  std::vector<unsigned> Index(N, 0), LowLink(N, 0);
+  std::vector<bool> OnStack(N, false), Visited(N, false);
+  std::vector<unsigned> Stack;
+  NumComponents = 0;
+  unsigned NextIndex = 1;
+
+  // Iterative Tarjan: each frame remembers the node and the position in its
+  // successor list.
+  struct Frame {
+    unsigned Node;
+    unsigned EdgePos;
+  };
+  std::vector<Frame> CallStack;
+
+  for (unsigned Root = 0; Root != N; ++Root) {
+    if (Visited[Root])
+      continue;
+    CallStack.push_back({Root, 0});
+    Visited[Root] = true;
+    Index[Root] = LowLink[Root] = NextIndex++;
+    Stack.push_back(Root);
+    OnStack[Root] = true;
+
+    while (!CallStack.empty()) {
+      Frame &F = CallStack.back();
+      unsigned V = F.Node;
+      if (F.EdgePos < Succs[V].size()) {
+        unsigned W = Edges[Succs[V][F.EdgePos++]].To;
+        if (!Visited[W]) {
+          Visited[W] = true;
+          Index[W] = LowLink[W] = NextIndex++;
+          Stack.push_back(W);
+          OnStack[W] = true;
+          CallStack.push_back({W, 0});
+        } else if (OnStack[W]) {
+          LowLink[V] = std::min(LowLink[V], Index[W]);
+        }
+        continue;
+      }
+      // All successors processed: maybe emit a component, then return.
+      if (LowLink[V] == Index[V]) {
+        while (true) {
+          unsigned W = Stack.back();
+          Stack.pop_back();
+          OnStack[W] = false;
+          Component[W] = NumComponents;
+          if (W == V)
+            break;
+        }
+        ++NumComponents;
+      }
+      CallStack.pop_back();
+      if (!CallStack.empty()) {
+        unsigned Parent = CallStack.back().Node;
+        LowLink[Parent] = std::min(LowLink[Parent], LowLink[V]);
+      }
+    }
+  }
+  return Component;
+}
+
+bool Digraph::hasCycle() const {
+  for (const Edge &E : Edges)
+    if (E.From == E.To)
+      return true;
+  unsigned NumComponents = 0;
+  std::vector<unsigned> Component = stronglyConnectedComponents(NumComponents);
+  // A cycle exists iff some component has more than one node.
+  std::vector<unsigned> Size(NumComponents, 0);
+  for (unsigned C : Component)
+    ++Size[C];
+  for (unsigned S : Size)
+    if (S > 1)
+      return true;
+  return false;
+}
+
+std::vector<unsigned> Digraph::topologicalOrder() const {
+  unsigned N = numNodes();
+  std::vector<unsigned> InDegree(N, 0);
+  for (const Edge &E : Edges)
+    ++InDegree[E.To];
+  std::vector<unsigned> Order;
+  Order.reserve(N);
+  std::vector<unsigned> Ready;
+  for (unsigned V = 0; V != N; ++V)
+    if (InDegree[V] == 0)
+      Ready.push_back(V);
+  while (!Ready.empty()) {
+    unsigned V = Ready.back();
+    Ready.pop_back();
+    Order.push_back(V);
+    for (unsigned EI : Succs[V])
+      if (--InDegree[Edges[EI].To] == 0)
+        Ready.push_back(Edges[EI].To);
+  }
+  if (Order.size() != N)
+    return {};
+  return Order;
+}
+
+std::vector<bool> Digraph::reachableFrom(unsigned Start) const {
+  std::vector<bool> Seen(numNodes(), false);
+  std::vector<unsigned> Work{Start};
+  Seen[Start] = true;
+  while (!Work.empty()) {
+    unsigned V = Work.back();
+    Work.pop_back();
+    for (unsigned EI : Succs[V]) {
+      unsigned W = Edges[EI].To;
+      if (!Seen[W]) {
+        Seen[W] = true;
+        Work.push_back(W);
+      }
+    }
+  }
+  return Seen;
+}
+
+namespace {
+
+/// State for Johnson's simple-cycle enumeration restricted to nodes >= Root
+/// within one strongly-connected region.
+class JohnsonState {
+public:
+  JohnsonState(const Digraph &G, unsigned MaxCycles,
+               std::vector<std::vector<unsigned>> &Out, bool &Truncated)
+      : G(G), MaxCycles(MaxCycles), Out(Out), Truncated(Truncated),
+        Blocked(G.numNodes(), false), BlockMap(G.numNodes()) {}
+
+  void run() {
+    for (unsigned Root = 0, N = G.numNodes(); Root != N; ++Root) {
+      if (Out.size() >= MaxCycles) {
+        Truncated = true;
+        return;
+      }
+      std::fill(Blocked.begin(), Blocked.end(), false);
+      for (auto &B : BlockMap)
+        B.clear();
+      this->Root = Root;
+      circuit(Root);
+    }
+  }
+
+private:
+  bool circuit(unsigned V) {
+    bool Found = false;
+    Path.push_back(V);
+    Blocked[V] = true;
+    for (unsigned EI : G.succEdges(V)) {
+      unsigned W = G.edge(EI).To;
+      if (W < Root) // Only consider nodes >= Root to avoid duplicates.
+        continue;
+      if (W == Root) {
+        Out.push_back(Path);
+        Found = true;
+        if (Out.size() >= MaxCycles) {
+          Truncated = true;
+          Path.pop_back();
+          return true;
+        }
+      } else if (!Blocked[W]) {
+        if (circuit(W))
+          Found = true;
+        if (Truncated) {
+          Path.pop_back();
+          return Found;
+        }
+      }
+    }
+    if (Found)
+      unblock(V);
+    else
+      for (unsigned EI : G.succEdges(V)) {
+        unsigned W = G.edge(EI).To;
+        if (W < Root || W == Root)
+          continue;
+        auto &B = BlockMap[W];
+        if (std::find(B.begin(), B.end(), V) == B.end())
+          B.push_back(V);
+      }
+    Path.pop_back();
+    return Found;
+  }
+
+  void unblock(unsigned V) {
+    Blocked[V] = false;
+    std::vector<unsigned> Work;
+    Work.swap(BlockMap[V]);
+    for (unsigned W : Work)
+      if (Blocked[W])
+        unblock(W);
+  }
+
+  const Digraph &G;
+  unsigned MaxCycles;
+  std::vector<std::vector<unsigned>> &Out;
+  bool &Truncated;
+  std::vector<bool> Blocked;
+  std::vector<std::vector<unsigned>> BlockMap;
+  std::vector<unsigned> Path;
+  unsigned Root = 0;
+};
+
+} // namespace
+
+std::vector<std::vector<unsigned>>
+Digraph::simpleCycles(unsigned MaxCycles, bool &Truncated) const {
+  std::vector<std::vector<unsigned>> Result;
+  Truncated = false;
+  JohnsonState State(*this, MaxCycles, Result, Truncated);
+  State.run();
+  return Result;
+}

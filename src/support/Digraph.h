@@ -1,0 +1,100 @@
+//===- support/Digraph.h - Labeled directed multigraph ----------*- C++ -*-===//
+//
+// Part of the C4 serializability analyzer. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small labeled directed multigraph over dense node ids, together with the
+/// graph algorithms the analyzer relies on: Tarjan strongly-connected
+/// components, acyclicity / topological order, reachability, and bounded
+/// enumeration of node-simple cycles (Johnson's algorithm). Dependency
+/// serialization graphs (DSGs, paper §4) and static serialization graphs
+/// (SSGs, paper §6) are both instances of this structure.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef C4_SUPPORT_DIGRAPH_H
+#define C4_SUPPORT_DIGRAPH_H
+
+#include <cstdint>
+#include <vector>
+
+namespace c4 {
+
+/// A directed multigraph with integer edge labels.
+class Digraph {
+public:
+  struct Edge {
+    unsigned From;
+    unsigned To;
+    int Label;
+  };
+
+  explicit Digraph(unsigned NumNodes = 0) : Succs(NumNodes), Preds(NumNodes) {}
+
+  unsigned numNodes() const { return static_cast<unsigned>(Succs.size()); }
+  unsigned numEdges() const { return static_cast<unsigned>(Edges.size()); }
+
+  /// Adds a node and returns its id.
+  unsigned addNode() {
+    Succs.emplace_back();
+    Preds.emplace_back();
+    return numNodes() - 1;
+  }
+
+  /// Adds an edge and returns its index. Parallel edges are allowed.
+  unsigned addEdge(unsigned From, unsigned To, int Label = 0);
+
+  const Edge &edge(unsigned Idx) const { return Edges[Idx]; }
+  const std::vector<Edge> &edges() const { return Edges; }
+
+  /// Edge indices leaving \p Node.
+  const std::vector<unsigned> &succEdges(unsigned Node) const {
+    return Succs[Node];
+  }
+  /// Edge indices entering \p Node.
+  const std::vector<unsigned> &predEdges(unsigned Node) const {
+    return Preds[Node];
+  }
+
+  /// Returns true if there is at least one From -> To edge.
+  bool hasEdge(unsigned From, unsigned To) const;
+
+  /// All edge indices from \p From to \p To (parallel edges included).
+  std::vector<unsigned> edgesBetween(unsigned From, unsigned To) const;
+
+  /// Computes strongly-connected components. Returns the component id of
+  /// every node; ids are dense and in reverse topological order (a Tarjan
+  /// property: the component of a node is emitted after its successors).
+  /// \param [out] NumComponents number of components found.
+  std::vector<unsigned> stronglyConnectedComponents(
+      unsigned &NumComponents) const;
+
+  /// Returns true if the graph has a directed cycle (self-loops count).
+  bool hasCycle() const;
+
+  /// Returns a topological order of the nodes, or an empty vector if the
+  /// graph is cyclic.
+  std::vector<unsigned> topologicalOrder() const;
+
+  /// Returns the set of nodes reachable from \p Start (including Start).
+  std::vector<bool> reachableFrom(unsigned Start) const;
+
+  /// Enumerates node-simple directed cycles as sequences of node ids
+  /// (each cycle lists its nodes once; the closing arc back to the first
+  /// node is implicit). Cycles of length one (self-loops) are included.
+  /// Stops after \p MaxCycles cycles and sets \p Truncated.
+  /// Cycles are canonicalized to start at their smallest node id.
+  std::vector<std::vector<unsigned>> simpleCycles(unsigned MaxCycles,
+                                                  bool &Truncated) const;
+
+private:
+  std::vector<Edge> Edges;
+  std::vector<std::vector<unsigned>> Succs;
+  std::vector<std::vector<unsigned>> Preds;
+};
+
+} // namespace c4
+
+#endif // C4_SUPPORT_DIGRAPH_H

@@ -1,0 +1,31 @@
+//===- support/Format.h - Small string formatting helpers ------*- C++ -*-===//
+//
+// Part of the C4 serializability analyzer. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// printf-style formatting into std::string plus small joining helpers used
+/// throughout the analyzer for diagnostics and report rendering.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef C4_SUPPORT_FORMAT_H
+#define C4_SUPPORT_FORMAT_H
+
+#include <cstdarg>
+#include <string>
+#include <vector>
+
+namespace c4 {
+
+/// Formats \p Fmt printf-style and returns the result as a std::string.
+std::string strf(const char *Fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Joins the elements of \p Parts with \p Sep in between.
+std::string join(const std::vector<std::string> &Parts,
+                 const std::string &Sep);
+
+} // namespace c4
+
+#endif // C4_SUPPORT_FORMAT_H

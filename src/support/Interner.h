@@ -1,0 +1,58 @@
+//===- support/Interner.h - String interning --------------------*- C++ -*-===//
+//
+// Part of the C4 serializability analyzer. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Interns strings to dense int64 ids. The analyzer models every store value
+/// as an integer (paper §7: the invariant fragment is equalities and integer
+/// comparisons); the front end uses this interner to map string literals to
+/// distinct integers while keeping reports human-readable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef C4_SUPPORT_INTERNER_H
+#define C4_SUPPORT_INTERNER_H
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace c4 {
+
+/// Bidirectional string <-> int64 interner.
+///
+/// Interned ids start at a large base so they never collide with small
+/// integer literals appearing in programs.
+class Interner {
+public:
+  static constexpr int64_t Base = 1000000;
+
+  /// Returns the id for \p S, interning it on first use.
+  int64_t intern(const std::string &S) {
+    auto It = Ids.find(S);
+    if (It != Ids.end())
+      return It->second;
+    int64_t Id = Base + static_cast<int64_t>(Strings.size());
+    Ids.emplace(S, Id);
+    Strings.push_back(S);
+    return Id;
+  }
+
+  /// Returns the string for \p Id, or nullptr if \p Id is not interned.
+  const std::string *lookup(int64_t Id) const {
+    if (Id < Base || Id >= Base + static_cast<int64_t>(Strings.size()))
+      return nullptr;
+    return &Strings[static_cast<size_t>(Id - Base)];
+  }
+
+private:
+  std::unordered_map<std::string, int64_t> Ids;
+  std::vector<std::string> Strings;
+};
+
+} // namespace c4
+
+#endif // C4_SUPPORT_INTERNER_H

@@ -1,0 +1,57 @@
+//===- support/Rng.h - Deterministic random number generator ---*- C++ -*-===//
+//
+// Part of the C4 serializability analyzer. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small, fast, deterministic RNG (SplitMix64). Used by the causal store
+/// simulator, the concretization sampler, and property-based tests. We avoid
+/// std::mt19937 so that results are reproducible across standard libraries.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef C4_SUPPORT_RNG_H
+#define C4_SUPPORT_RNG_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace c4 {
+
+/// Deterministic SplitMix64 generator.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed) : State(Seed) {}
+
+  /// Returns the next raw 64-bit value.
+  uint64_t next() {
+    State += 0x9e3779b97f4a7c15ULL;
+    uint64_t Z = State;
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Returns a uniform value in [0, Bound). \p Bound must be positive.
+  uint64_t below(uint64_t Bound) {
+    assert(Bound > 0 && "empty range");
+    return next() % Bound;
+  }
+
+  /// Returns a uniform value in [Lo, Hi] inclusive.
+  int64_t range(int64_t Lo, int64_t Hi) {
+    assert(Lo <= Hi && "inverted range");
+    return Lo + static_cast<int64_t>(below(static_cast<uint64_t>(Hi - Lo) + 1));
+  }
+
+  /// Returns true with probability Num/Den.
+  bool chance(uint64_t Num, uint64_t Den) { return below(Den) < Num; }
+
+private:
+  uint64_t State;
+};
+
+} // namespace c4
+
+#endif // C4_SUPPORT_RNG_H

@@ -1,0 +1,78 @@
+//===- support/UnionFind.h - Disjoint set union -----------------*- C++ -*-===//
+//
+// Part of the C4 serializability analyzer. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Union-find with path compression and union by rank. Used by the abstract
+/// interpreter to track equalities between local variables and arguments.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef C4_SUPPORT_UNIONFIND_H
+#define C4_SUPPORT_UNIONFIND_H
+
+#include <cassert>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+namespace c4 {
+
+/// Disjoint-set forest over dense unsigned ids.
+class UnionFind {
+public:
+  explicit UnionFind(unsigned N = 0) { reset(N); }
+
+  /// Re-initializes to \p N singleton sets.
+  void reset(unsigned N) {
+    Parent.resize(N);
+    Rank.assign(N, 0);
+    std::iota(Parent.begin(), Parent.end(), 0u);
+  }
+
+  /// Adds a fresh singleton element and returns its id.
+  unsigned add() {
+    Parent.push_back(static_cast<unsigned>(Parent.size()));
+    Rank.push_back(0);
+    return static_cast<unsigned>(Parent.size()) - 1;
+  }
+
+  unsigned size() const { return static_cast<unsigned>(Parent.size()); }
+
+  /// Finds the representative of \p X.
+  unsigned find(unsigned X) {
+    assert(X < Parent.size() && "element out of range");
+    while (Parent[X] != X) {
+      Parent[X] = Parent[Parent[X]];
+      X = Parent[X];
+    }
+    return X;
+  }
+
+  /// Merges the sets of \p A and \p B; returns the new representative.
+  unsigned merge(unsigned A, unsigned B) {
+    A = find(A);
+    B = find(B);
+    if (A == B)
+      return A;
+    if (Rank[A] < Rank[B])
+      std::swap(A, B);
+    Parent[B] = A;
+    if (Rank[A] == Rank[B])
+      ++Rank[A];
+    return A;
+  }
+
+  /// Returns true if \p A and \p B are in the same set.
+  bool connected(unsigned A, unsigned B) { return find(A) == find(B); }
+
+private:
+  std::vector<unsigned> Parent;
+  std::vector<uint8_t> Rank;
+};
+
+} // namespace c4
+
+#endif // C4_SUPPORT_UNIONFIND_H

@@ -1,0 +1,416 @@
+//===- unfold/Unfolder.cpp ------------------------------------------------===//
+//
+// Part of the C4 serializability analyzer. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "unfold/Unfolder.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+
+using namespace c4;
+
+std::vector<unsigned> Unfolding::origTxnSet() const {
+  std::vector<unsigned> S = OrigTxn;
+  std::sort(S.begin(), S.end());
+  S.erase(std::unique(S.begin(), S.end()), S.end());
+  return S;
+}
+
+namespace {
+
+/// Working representation of a transaction's eo graph on local indices.
+struct LocalGraph {
+  std::vector<unsigned> Orig;
+  std::vector<AbstractConstraint> Eo;   // local indices
+  std::vector<AbstractConstraint> Invs; // local indices
+};
+
+/// Finds one non-trivial SCC of the local eo graph; returns its members or
+/// an empty vector if the graph is acyclic.
+std::vector<unsigned> findCyclicSCC(const LocalGraph &G) {
+  unsigned N = static_cast<unsigned>(G.Orig.size());
+  // Simple O(N * E) reachability-based SCC detection (graphs are tiny).
+  auto Reaches = [&](unsigned From, unsigned To) {
+    std::vector<bool> Seen(N, false);
+    std::vector<unsigned> Work{From};
+    while (!Work.empty()) {
+      unsigned V = Work.back();
+      Work.pop_back();
+      for (const AbstractConstraint &E : G.Eo) {
+        if (E.Src != V || Seen[E.Tgt])
+          continue;
+        if (E.Tgt == To)
+          return true;
+        Seen[E.Tgt] = true;
+        Work.push_back(E.Tgt);
+      }
+    }
+    return false;
+  };
+  for (unsigned V = 0; V != N; ++V) {
+    if (!Reaches(V, V))
+      continue;
+    std::vector<unsigned> SCC;
+    for (unsigned W = 0; W != N; ++W)
+      if ((W == V) || (Reaches(V, W) && Reaches(W, V)))
+        SCC.push_back(W);
+    return SCC;
+  }
+  return {};
+}
+
+/// Applies one Definition 4 unfolding step to the component \p V.
+LocalGraph unfoldOneSCC(const LocalGraph &G, const std::vector<unsigned> &V) {
+  unsigned N = static_cast<unsigned>(G.Orig.size());
+  std::vector<bool> InV(N, false);
+  for (unsigned X : V)
+    InV[X] = true;
+
+  // Classify edges: I (into V), O (out of V), and inside V either B (back
+  // edges of a DFS) or R (the rest). Edges not touching V are untouched.
+  std::vector<unsigned> IEdges, OEdges, BEdges, REdges, Others;
+  // DFS over V to find back edges. Roots: targets of incoming edges, or
+  // the first member.
+  std::vector<unsigned> Roots;
+  for (unsigned EI = 0; EI != G.Eo.size(); ++EI) {
+    const AbstractConstraint &E = G.Eo[EI];
+    if (!InV[E.Src] && InV[E.Tgt])
+      Roots.push_back(E.Tgt);
+  }
+  if (Roots.empty())
+    Roots.push_back(V[0]);
+
+  enum Color { White, Gray, Black };
+  std::vector<Color> Colors(N, White);
+  std::vector<bool> IsBack(G.Eo.size(), false);
+  // Iterative DFS restricted to V; classifies edges to Gray nodes as back.
+  struct Frame {
+    unsigned Node;
+    unsigned Next;
+  };
+  for (unsigned Root : Roots) {
+    if (Colors[Root] != White)
+      continue;
+    std::vector<Frame> Stack{{Root, 0}};
+    Colors[Root] = Gray;
+    while (!Stack.empty()) {
+      Frame &F = Stack.back();
+      bool Descended = false;
+      for (; F.Next != G.Eo.size(); ++F.Next) {
+        const AbstractConstraint &E = G.Eo[F.Next];
+        if (E.Src != F.Node || !InV[E.Tgt])
+          continue;
+        if (Colors[E.Tgt] == Gray) {
+          IsBack[F.Next] = true;
+          continue;
+        }
+        if (Colors[E.Tgt] == White) {
+          Colors[E.Tgt] = Gray;
+          unsigned Child = E.Tgt;
+          ++F.Next;
+          Stack.push_back({Child, 0});
+          Descended = true;
+          break;
+        }
+      }
+      if (!Descended && !Stack.empty() && Stack.back().Next == G.Eo.size()) {
+        Colors[Stack.back().Node] = Black;
+        Stack.pop_back();
+      }
+    }
+  }
+
+  for (unsigned EI = 0; EI != G.Eo.size(); ++EI) {
+    const AbstractConstraint &E = G.Eo[EI];
+    bool SrcIn = InV[E.Src], TgtIn = InV[E.Tgt];
+    if (!SrcIn && !TgtIn)
+      Others.push_back(EI);
+    else if (!SrcIn && TgtIn)
+      IEdges.push_back(EI);
+    else if (SrcIn && !TgtIn)
+      OEdges.push_back(EI);
+    else if (IsBack[EI])
+      BEdges.push_back(EI);
+    else
+      REdges.push_back(EI);
+  }
+
+  // Build the unfolded graph: V is replaced by copies V1 and V2.
+  LocalGraph Out;
+  std::vector<unsigned> Copy1(N, ~0u), Copy2(N, ~0u), Keep(N, ~0u);
+  for (unsigned X = 0; X != N; ++X) {
+    if (InV[X])
+      continue;
+    Keep[X] = static_cast<unsigned>(Out.Orig.size());
+    Out.Orig.push_back(G.Orig[X]);
+  }
+  for (unsigned X : V) {
+    Copy1[X] = static_cast<unsigned>(Out.Orig.size());
+    Out.Orig.push_back(G.Orig[X]);
+  }
+  for (unsigned X : V) {
+    Copy2[X] = static_cast<unsigned>(Out.Orig.size());
+    Out.Orig.push_back(G.Orig[X]);
+  }
+
+  auto AddEdge = [&](unsigned S, unsigned T, Cond C) {
+    Out.Eo.push_back({S, T, std::move(C)});
+  };
+
+  // Untouched edges keep their guards.
+  for (unsigned EI : Others)
+    AddEdge(Keep[G.Eo[EI].Src], Keep[G.Eo[EI].Tgt], G.Eo[EI].C);
+
+  // Source/target vertex sets of I, O, B.
+  std::set<unsigned> Is, Bt, Bs, Ot;
+  for (unsigned EI : IEdges)
+    Is.insert(G.Eo[EI].Src);
+  for (unsigned EI : BEdges) {
+    Bs.insert(G.Eo[EI].Src);
+    Bt.insert(G.Eo[EI].Tgt);
+  }
+  for (unsigned EI : OEdges)
+    Ot.insert(G.Eo[EI].Tgt);
+
+  // I' = (1 x i1)[I ∪ Is × Bt], guards dropped.
+  std::set<std::pair<unsigned, unsigned>> Added;
+  auto AddOnce = [&](unsigned S, unsigned T) {
+    if (Added.insert({S, T}).second)
+      AddEdge(S, T, Cond::t());
+  };
+  for (unsigned EI : IEdges)
+    AddOnce(Keep[G.Eo[EI].Src], Copy1[G.Eo[EI].Tgt]);
+  for (unsigned S : Is)
+    for (unsigned T : Bt)
+      AddOnce(Keep[S], Copy1[T]);
+  // B' = (i1 x i2)[Bs × Bt].
+  for (unsigned S : Bs)
+    for (unsigned T : Bt)
+      AddOnce(Copy1[S], Copy2[T]);
+  // O' = (i1 x 1)[O] ∪ (i2 x 1)[O ∪ Bs × Ot].
+  for (unsigned EI : OEdges) {
+    AddOnce(Copy1[G.Eo[EI].Src], Keep[G.Eo[EI].Tgt]);
+    AddOnce(Copy2[G.Eo[EI].Src], Keep[G.Eo[EI].Tgt]);
+  }
+  for (unsigned S : Bs)
+    for (unsigned T : Ot)
+      AddOnce(Copy2[S], Keep[T]);
+  // R' = (i1 x i1)[R] ∪ (i2 x i2)[R], keeping invariants (guards).
+  for (unsigned EI : REdges) {
+    AddEdge(Copy1[G.Eo[EI].Src], Copy1[G.Eo[EI].Tgt], G.Eo[EI].C);
+    AddEdge(Copy2[G.Eo[EI].Src], Copy2[G.Eo[EI].Tgt], G.Eo[EI].C);
+  }
+
+  // Pair invariants: keep outside pairs; duplicate inside pairs per copy;
+  // drop boundary-crossing pairs (sound: fewer constraints).
+  for (const AbstractConstraint &Inv : G.Invs) {
+    bool SrcIn = InV[Inv.Src], TgtIn = InV[Inv.Tgt];
+    if (!SrcIn && !TgtIn)
+      Out.Invs.push_back({Keep[Inv.Src], Keep[Inv.Tgt], Inv.C});
+    else if (SrcIn && TgtIn) {
+      Out.Invs.push_back({Copy1[Inv.Src], Copy1[Inv.Tgt], Inv.C});
+      Out.Invs.push_back({Copy2[Inv.Src], Copy2[Inv.Tgt], Inv.C});
+    }
+  }
+  return Out;
+}
+
+} // namespace
+
+UnfoldedTxnTemplate c4::unfoldTransaction(const AbstractHistory &A,
+                                          unsigned Txn) {
+  const AbstractTxn &T = A.txn(Txn);
+  // Map global event ids to local indices.
+  LocalGraph G;
+  std::vector<unsigned> LocalOf(A.numEvents(), ~0u);
+  for (unsigned E : T.Events) {
+    LocalOf[E] = static_cast<unsigned>(G.Orig.size());
+    G.Orig.push_back(E);
+  }
+  for (const AbstractConstraint &E : T.Eo)
+    G.Eo.push_back({LocalOf[E.Src], LocalOf[E.Tgt], E.C});
+  for (const AbstractConstraint &E : T.Invs)
+    G.Invs.push_back({LocalOf[E.Src], LocalOf[E.Tgt], E.C});
+
+  // Repeatedly unfold cyclic SCCs until the graph is a DAG. Each step
+  // removes one cyclic component, so this terminates.
+  for (unsigned Guard = 0; Guard != 64; ++Guard) {
+    std::vector<unsigned> SCC = findCyclicSCC(G);
+    if (SCC.empty())
+      break;
+    assert(LocalOf[A.entry(Txn)] != SCC[0] &&
+           "entry marker cannot sit on an eo cycle");
+    G = unfoldOneSCC(G, SCC);
+  }
+  assert(findCyclicSCC(G).empty() && "transaction unfolding did not converge");
+  return {G.Orig, G.Eo, G.Invs};
+}
+
+namespace {
+
+/// Instantiates one unfolded transaction template into the unfolding's
+/// abstract history.
+unsigned instantiateTxn(const AbstractHistory &A,
+                        const UnfoldedTxnTemplate &Tmpl, unsigned OrigTxnId,
+                        Unfolding &U, unsigned SessionTag) {
+  AbstractHistory &H = U.H;
+  unsigned NewTxn = H.addTransaction(A.txn(OrigTxnId).Name);
+  U.SessionTags.push_back(SessionTag);
+  U.OrigTxn.push_back(OrigTxnId);
+  // addTransaction created an entry marker; record its origin.
+  U.OrigEvent.push_back(A.entry(OrigTxnId));
+
+  // Template local index 0 is the original entry marker; reuse the new one.
+  std::vector<unsigned> NewId(Tmpl.Orig.size(), ~0u);
+  for (unsigned L = 0; L != Tmpl.Orig.size(); ++L) {
+    unsigned OrigEv = Tmpl.Orig[L];
+    const AbstractEvent &E = A.event(OrigEv);
+    if (OrigEv == A.entry(OrigTxnId)) {
+      NewId[L] = H.entry(NewTxn);
+      continue;
+    }
+    unsigned New;
+    if (E.isMarker())
+      New = H.addMarker(NewTxn, E.Label);
+    else
+      New = H.addEvent(NewTxn, E.Container, E.Op, E.Facts, E.Display);
+    NewId[L] = New;
+    U.OrigEvent.push_back(OrigEv);
+  }
+  for (const AbstractConstraint &E : Tmpl.Eo)
+    H.addEo(NewId[E.Src], NewId[E.Tgt], E.C);
+  for (const AbstractConstraint &E : Tmpl.Invs)
+    H.addInv(NewId[E.Src], NewId[E.Tgt], E.C);
+  return NewTxn;
+}
+
+} // namespace
+
+Unfolding c4::buildUnfolding(
+    const AbstractHistory &A,
+    const std::vector<std::vector<unsigned>> &Sessions) {
+  Unfolding U{AbstractHistory(A.schema()), {}, {}, {},
+              static_cast<unsigned>(Sessions.size())};
+  for (unsigned I = 0; I != A.numLocalVars(); ++I)
+    U.H.addLocalVar();
+  for (unsigned I = 0; I != A.numGlobalVars(); ++I)
+    U.H.addGlobalVar();
+  for (unsigned Session = 0; Session != Sessions.size(); ++Session) {
+    unsigned Prev = ~0u;
+    for (unsigned OrigTxnId : Sessions[Session]) {
+      UnfoldedTxnTemplate Tmpl = unfoldTransaction(A, OrigTxnId);
+      unsigned NewTxn = instantiateTxn(A, Tmpl, OrigTxnId, U, Session);
+      if (Prev != ~0u)
+        U.H.setMaySo(Prev, NewTxn);
+      Prev = NewTxn;
+    }
+  }
+  return U;
+}
+
+std::vector<Unfolding> c4::enumerateUnfoldings(
+    const AbstractHistory &A, unsigned K, unsigned MaxCount, bool &Truncated,
+    const std::vector<unsigned> *Universe,
+    const std::function<bool(const std::vector<std::vector<unsigned>> &)>
+        *SpecFilter) {
+  Truncated = false;
+  std::vector<Unfolding> Result;
+  unsigned T = A.numTxns();
+  if (T == 0 || K == 0)
+    return Result;
+  std::vector<bool> InUniverse(T, Universe == nullptr);
+  if (Universe)
+    for (unsigned X : *Universe)
+      InUniverse[X] = true;
+
+  // Transitive closure of maySo for session pairs.
+  std::vector<std::vector<bool>> Closure(T, std::vector<bool>(T, false));
+  for (unsigned S = 0; S != T; ++S)
+    for (unsigned D = 0; D != T; ++D)
+      Closure[S][D] = A.maySo(S, D);
+  for (unsigned M = 0; M != T; ++M)
+    for (unsigned I = 0; I != T; ++I) {
+      if (!Closure[I][M])
+        continue;
+      for (unsigned J = 0; J != T; ++J)
+        if (Closure[M][J])
+          Closure[I][J] = true;
+    }
+
+  // Session specs: one transaction, or an so-linked pair.
+  std::vector<std::vector<unsigned>> Specs;
+  for (unsigned S = 0; S != T; ++S)
+    if (InUniverse[S])
+      Specs.push_back({S});
+  for (unsigned S = 0; S != T; ++S)
+    for (unsigned D = 0; D != T; ++D)
+      if (InUniverse[S] && InUniverse[D] && Closure[S][D])
+        Specs.push_back({S, D});
+  if (Specs.empty())
+    return Result;
+
+  // Definition 4 templates, once per transaction.
+  std::vector<UnfoldedTxnTemplate> Templates;
+  for (unsigned Txn = 0; Txn != T; ++Txn)
+    Templates.push_back(unfoldTransaction(A, Txn));
+
+  // Multisets of K specs (sessions are symmetric).
+  std::vector<unsigned> Pick(K, 0);
+  std::vector<std::vector<unsigned>> Layout(K);
+  while (true) {
+    if (Result.size() >= MaxCount) {
+      Truncated = true;
+      return Result;
+    }
+    bool Skip = false;
+    if (SpecFilter) {
+      for (unsigned Session = 0; Session != K; ++Session)
+        Layout[Session] = Specs[Pick[Session]];
+      Skip = !(*SpecFilter)(Layout);
+    }
+    if (Skip) {
+      // Advance without building.
+      int Pos = static_cast<int>(K) - 1;
+      while (Pos >= 0 && Pick[Pos] == Specs.size() - 1)
+        --Pos;
+      if (Pos < 0)
+        break;
+      unsigned Next = Pick[Pos] + 1;
+      for (unsigned I = static_cast<unsigned>(Pos); I != K; ++I)
+        Pick[I] = Next;
+      continue;
+    }
+    Unfolding U{AbstractHistory(A.schema()), {}, {}, {}, K};
+    // The unfolding shares the original's symbolic constants: facts carry
+    // original variable ids.
+    for (unsigned I = 0; I != A.numLocalVars(); ++I)
+      U.H.addLocalVar();
+    for (unsigned I = 0; I != A.numGlobalVars(); ++I)
+      U.H.addGlobalVar();
+    for (unsigned Session = 0; Session != K; ++Session) {
+      unsigned Prev = ~0u;
+      for (unsigned OrigTxnId : Specs[Pick[Session]]) {
+        unsigned NewTxn = instantiateTxn(A, Templates[OrigTxnId], OrigTxnId,
+                                         U, Session);
+        if (Prev != ~0u)
+          U.H.setMaySo(Prev, NewTxn);
+        Prev = NewTxn;
+      }
+    }
+    Result.push_back(std::move(U));
+
+    // Advance the non-decreasing index vector.
+    int Pos = static_cast<int>(K) - 1;
+    while (Pos >= 0 && Pick[Pos] == Specs.size() - 1)
+      --Pos;
+    if (Pos < 0)
+      break;
+    unsigned Next = Pick[Pos] + 1;
+    for (unsigned I = static_cast<unsigned>(Pos); I != K; ++I)
+      Pick[I] = Next;
+  }
+  return Result;
+}

@@ -1,0 +1,90 @@
+//===- unfold/Unfolder.h - k-unfoldings of abstract histories ---*- C++ -*-===//
+//
+// Part of the C4 serializability analyzer. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Unfoldings (paper §7.1). A k-unfolding arranges instances of abstract
+/// transactions into k abstract sessions; each session holds one transaction
+/// or a pair linked by (the transitive closure of) the abstract session
+/// order. Minimal DSG cycles spanning at most k sessions map one-to-one into
+/// some k-unfolding (U1), and are realized by one-to-one concretizations
+/// (U2) — the small-model property exploited by the SMT stage.
+///
+/// Transactions with a cyclic intra-transaction event order are made acyclic
+/// by the SCC unfolding of Definition 4: the component is duplicated, edges
+/// are classified as incoming (I), outgoing (O), back (B) or remaining (R),
+/// and re-wired such that every two-event window of any loop execution is
+/// still represented; invariants survive only on R edges.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef C4_UNFOLD_UNFOLDER_H
+#define C4_UNFOLD_UNFOLDER_H
+
+#include "abstract/AbstractHistory.h"
+
+#include <functional>
+#include <vector>
+
+namespace c4 {
+
+/// A k-unfolding: itself an abstract history, with tracing information back
+/// to the original abstract history.
+struct Unfolding {
+  AbstractHistory H;
+  /// Per unfolded transaction: its abstract session index (0..k-1).
+  std::vector<unsigned> SessionTags;
+  /// Per unfolded transaction: the original transaction id.
+  std::vector<unsigned> OrigTxn;
+  /// Per unfolded event: the original event id.
+  std::vector<unsigned> OrigEvent;
+  /// Number of sessions.
+  unsigned NumSessions = 0;
+
+  /// The set of distinct original (syntactic) transactions involved,
+  /// sorted — the subsumption key of §7.
+  std::vector<unsigned> origTxnSet() const;
+};
+
+/// The acyclic rewrite of one transaction per Definition 4, kept as a
+/// template for instantiation into unfoldings. Events are local indices;
+/// Orig maps them back to original event ids.
+struct UnfoldedTxnTemplate {
+  std::vector<unsigned> Orig;                ///< local idx -> original event
+  std::vector<AbstractConstraint> Eo;        ///< local indices
+  std::vector<AbstractConstraint> Invs;      ///< local indices
+};
+
+/// Computes the Definition 4 template for one transaction. Transactions
+/// with acyclic eo unfold to themselves.
+UnfoldedTxnTemplate unfoldTransaction(const AbstractHistory &A, unsigned Txn);
+
+/// Builds a single unfolding with the given session layout: \p Sessions
+/// lists, per abstract session, the original transaction ids to instantiate
+/// in chain order. Used by the enumerator and by the §7.2 generalization
+/// check (session merging).
+Unfolding buildUnfolding(const AbstractHistory &A,
+                         const std::vector<std::vector<unsigned>> &Sessions);
+
+/// Enumerates all k-unfoldings of \p A (up to session permutation). The
+/// result can be large; \p MaxCount caps it and sets \p Truncated.
+/// \p Universe optionally restricts the transactions considered (the
+/// analyzer passes one suspicious SSG component at a time: a minimal DSG
+/// cycle projects onto a cycle of the SSG, hence into one strongly
+/// connected component).
+/// \p SpecFilter, when set, is called with each candidate session layout
+/// (original transaction ids per session) before the unfolding is built;
+/// returning false skips it. The analyzer uses this to discard layouts that
+/// cannot carry a candidate cycle or segment (cheap graph check), avoiding
+/// the construction cost.
+std::vector<Unfolding> enumerateUnfoldings(
+    const AbstractHistory &A, unsigned K, unsigned MaxCount, bool &Truncated,
+    const std::vector<unsigned> *Universe = nullptr,
+    const std::function<bool(const std::vector<std::vector<unsigned>> &)>
+        *SpecFilter = nullptr);
+
+} // namespace c4
+
+#endif // C4_UNFOLD_UNFOLDER_H

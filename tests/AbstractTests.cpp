@@ -1,0 +1,281 @@
+//===- tests/AbstractTests.cpp - Abstract history & concretization --------===//
+//
+// Part of the C4 serializability analyzer. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests abstract histories (Definition 1) and the concretization relation:
+/// the Figure 7a abstract history of the put/get program with session-local
+/// keys, and a Figure 11-style transaction with a control-flow guard and an
+/// inferred argument equality.
+///
+//===----------------------------------------------------------------------===//
+
+#include "abstract/AbstractHistory.h"
+#include "abstract/Concretize.h"
+
+#include <gtest/gtest.h>
+
+using namespace c4;
+
+namespace {
+
+class AbstractFixture : public ::testing::Test {
+protected:
+  AbstractFixture() { M = Sch.addContainer("M", Reg.lookup("map")); }
+
+  unsigned op(const char *Name) {
+    const DataTypeSpec *T = Sch.container(M).Type;
+    return T->opIndex(*T->findOp(Name));
+  }
+
+  /// Figure 7a: txn P = put(u,?), txn G = get(u):?, u session-local.
+  AbstractHistory buildFig7a() {
+    AbstractHistory A(Sch);
+    unsigned U = A.addLocalVar();
+    unsigned P = A.addTransaction("P");
+    unsigned Put = A.addEvent(P, M, op("put"), {AbsFact::localVar(U)});
+    A.addEo(A.entry(P), Put);
+    unsigned G = A.addTransaction("G");
+    unsigned Get = A.addEvent(G, M, op("get"), {AbsFact::localVar(U)});
+    A.addEo(A.entry(G), Get);
+    A.allowAllSo();
+    return A;
+  }
+
+  TypeRegistry Reg;
+  Schema Sch;
+  unsigned M = 0;
+};
+
+} // namespace
+
+TEST_F(AbstractFixture, BasicStructure) {
+  AbstractHistory A = buildFig7a();
+  EXPECT_EQ(A.numTxns(), 2u);
+  EXPECT_EQ(A.numEvents(), 4u); // two markers + put + get
+  EXPECT_EQ(A.numStoreEvents(), 2u);
+  EXPECT_TRUE(A.event(A.entry(0)).isMarker());
+  EXPECT_TRUE(A.maySo(0, 1));
+  EXPECT_TRUE(A.maySo(1, 0));
+  EXPECT_TRUE(A.maySo(0, 0));
+}
+
+TEST_F(AbstractFixture, EoReachability) {
+  AbstractHistory A(Sch);
+  unsigned T = A.addTransaction("T");
+  unsigned E1 = A.addEvent(T, M, op("get"), {});
+  unsigned E2 = A.addEvent(T, M, op("put"), {});
+  A.addEo(A.entry(T), E1);
+  A.addEo(E1, E2);
+  EXPECT_TRUE(A.eoReaches(A.entry(T), E2));
+  EXPECT_TRUE(A.eoReaches(E1, E2));
+  EXPECT_FALSE(A.eoReaches(E2, E1));
+}
+
+TEST_F(AbstractFixture, ResolveFactsSeparatesSessions) {
+  AbstractHistory A = buildFig7a();
+  unsigned PutEvent = 1; // entry is 0
+  EventFacts F0 = A.resolveFacts(PutEvent, /*SessionTag=*/0);
+  EventFacts F1 = A.resolveFacts(PutEvent, /*SessionTag=*/1);
+  ASSERT_EQ(F0.size(), 2u); // put has slots (k, v)
+  EXPECT_EQ(F0[0].Kind, ArgFact::Symbolic);
+  EXPECT_NE(F0[0].Symbol, F1[0].Symbol);
+  EXPECT_EQ(F0[1].Kind, ArgFact::Free);
+}
+
+TEST_F(AbstractFixture, SameSessionKeysConcretize) {
+  AbstractHistory A = buildFig7a();
+  // Session 1: put(1,5); get(1):0 — same key within the session.
+  History H(Sch);
+  unsigned S1 = H.addSession();
+  unsigned T0 = H.beginTransaction(S1);
+  H.append(T0, M, op("put"), {1, 5});
+  unsigned T1 = H.beginTransaction(S1);
+  H.append(T1, M, op("get"), {1}, 0);
+  std::optional<ConcretizationModel> Model = findConcretization(H, A);
+  ASSERT_TRUE(Model.has_value());
+  EXPECT_TRUE(isConcretization(H, A, *Model));
+  EXPECT_EQ(Model->TxnMap[T0], 0u);
+  EXPECT_EQ(Model->TxnMap[T1], 1u);
+  EXPECT_EQ(Model->LocalVals[S1][0], 1);
+}
+
+TEST_F(AbstractFixture, CrossKeySessionDoesNotConcretize) {
+  AbstractHistory A = buildFig7a();
+  // put(1,...) then get(2) in ONE session contradicts the shared local key.
+  History H(Sch);
+  unsigned S1 = H.addSession();
+  unsigned T0 = H.beginTransaction(S1);
+  H.append(T0, M, op("put"), {1, 5});
+  unsigned T1 = H.beginTransaction(S1);
+  H.append(T1, M, op("get"), {2}, 0);
+  (void)T0;
+  (void)T1;
+  EXPECT_FALSE(findConcretization(H, A).has_value());
+}
+
+TEST_F(AbstractFixture, DifferentSessionsMayUseDifferentKeys) {
+  AbstractHistory A = buildFig7a();
+  History H(Sch);
+  unsigned S1 = H.addSession(), S2 = H.addSession();
+  unsigned T0 = H.beginTransaction(S1);
+  H.append(T0, M, op("put"), {1, 5});
+  unsigned T1 = H.beginTransaction(S2);
+  H.append(T1, M, op("get"), {2}, 0);
+  (void)T0;
+  (void)T1;
+  EXPECT_TRUE(findConcretization(H, A).has_value());
+}
+
+TEST_F(AbstractFixture, GlobalVarForcesEqualityAcrossSessions) {
+  // Same program but with u ∈ VarG: all sessions must agree on the key.
+  AbstractHistory A(Sch);
+  unsigned U = A.addGlobalVar();
+  unsigned P = A.addTransaction("P");
+  unsigned Put = A.addEvent(P, M, op("put"), {AbsFact::globalVar(U)});
+  A.addEo(A.entry(P), Put);
+  unsigned G = A.addTransaction("G");
+  unsigned Get = A.addEvent(G, M, op("get"), {AbsFact::globalVar(U)});
+  A.addEo(A.entry(G), Get);
+  A.allowAllSo();
+
+  History H(Sch);
+  unsigned S1 = H.addSession(), S2 = H.addSession();
+  unsigned T0 = H.beginTransaction(S1);
+  H.append(T0, M, op("put"), {1, 5});
+  unsigned T1 = H.beginTransaction(S2);
+  H.append(T1, M, op("get"), {2}, 0);
+  (void)T0;
+  (void)T1;
+  EXPECT_FALSE(findConcretization(H, A).has_value());
+
+  History H2(Sch);
+  unsigned S1b = H2.addSession(), S2b = H2.addSession();
+  unsigned T0b = H2.beginTransaction(S1b);
+  H2.append(T0b, M, op("put"), {1, 5});
+  unsigned T1b = H2.beginTransaction(S2b);
+  H2.append(T1b, M, op("get"), {1}, 0);
+  (void)T0b;
+  (void)T1b;
+  EXPECT_TRUE(findConcretization(H2, A).has_value());
+}
+
+TEST_F(AbstractFixture, SessionOrderRestrictionsEnforced) {
+  AbstractHistory A = buildFig7a();
+  // Only P -> G allowed; G -> P forbidden.
+  A.setMaySo(0, 0, false);
+  A.setMaySo(1, 1, false);
+  A.setMaySo(1, 0, false);
+
+  History H(Sch);
+  unsigned S1 = H.addSession();
+  unsigned T0 = H.beginTransaction(S1);
+  H.append(T0, M, op("get"), {1}, 0);
+  unsigned T1 = H.beginTransaction(S1);
+  H.append(T1, M, op("put"), {1, 5});
+  (void)T0;
+  (void)T1;
+  EXPECT_FALSE(findConcretization(H, A).has_value());
+}
+
+namespace {
+
+/// Builds the Figure 11 addFollower transaction:
+///   entry -> contains(n):b ; [b=true]  add(n, flwrs, m) -> exit
+///                            [b=false] exit
+/// with the inferred equality contains.arg0 = add.arg0.
+struct AddFollowerParts {
+  AbstractHistory A;
+  unsigned Txn, Contains, Add;
+};
+
+} // namespace
+
+class GuardFixture : public AbstractFixture {
+protected:
+  static constexpr int64_t FlwrsField = 10;
+
+  AddFollowerParts buildAddFollower() {
+    Schema &S = Sch2;
+    AbstractHistory A(S);
+    unsigned T = A.addTransaction("addFollower");
+    unsigned Contains = A.addEvent(T, Users, opT("contains"), {});
+    unsigned Add = A.addEvent(
+        T, Users, opT("add"),
+        {AbsFact::free(), AbsFact::constant(FlwrsField)});
+    unsigned Exit = A.addMarker(T, "exit");
+    A.addEo(A.entry(T), Contains);
+    // contains has slots (r, ret); ret is slot 1.
+    A.addEo(Contains, Add,
+            Cond::eq(Term::argSrc(1), Term::constant(1)));
+    A.addEo(Add, Exit);
+    A.addEo(Contains, Exit,
+            Cond::eq(Term::argSrc(1), Term::constant(0)));
+    A.addInv(Contains, Add, Cond::eq(Term::argSrc(0), Term::argTgt(0)));
+    A.allowAllSo();
+    return {std::move(A), T, Contains, Add};
+  }
+
+  unsigned opT(const char *Name) {
+    const DataTypeSpec *T = Sch2.container(Users).Type;
+    return T->opIndex(*T->findOp(Name));
+  }
+
+  void SetUp() override {
+    Users = Sch2.addContainer("Users", Reg.lookup("table"));
+  }
+
+  Schema Sch2;
+  unsigned Users = 0;
+};
+
+TEST_F(GuardFixture, GuardAdmitsTrueBranch) {
+  AddFollowerParts P = buildAddFollower();
+  History H(Sch2);
+  unsigned S1 = H.addSession();
+  unsigned T0 = H.beginTransaction(S1);
+  H.append(T0, Users, opT("contains"), {5}, 1);
+  H.append(T0, Users, opT("add"), {5, FlwrsField, 9});
+  EXPECT_TRUE(findConcretization(H, P.A).has_value());
+}
+
+TEST_F(GuardFixture, GuardRejectsAddAfterFalseContains) {
+  AddFollowerParts P = buildAddFollower();
+  History H(Sch2);
+  unsigned S1 = H.addSession();
+  unsigned T0 = H.beginTransaction(S1);
+  H.append(T0, Users, opT("contains"), {5}, 0);
+  H.append(T0, Users, opT("add"), {5, FlwrsField, 9});
+  EXPECT_FALSE(findConcretization(H, P.A).has_value());
+}
+
+TEST_F(GuardFixture, FalseBranchAloneConcretizes) {
+  AddFollowerParts P = buildAddFollower();
+  History H(Sch2);
+  unsigned S1 = H.addSession();
+  unsigned T0 = H.beginTransaction(S1);
+  H.append(T0, Users, opT("contains"), {5}, 0);
+  EXPECT_TRUE(findConcretization(H, P.A).has_value());
+}
+
+TEST_F(GuardFixture, InvariantRejectsMismatchedRows) {
+  AddFollowerParts P = buildAddFollower();
+  History H(Sch2);
+  unsigned S1 = H.addSession();
+  unsigned T0 = H.beginTransaction(S1);
+  H.append(T0, Users, opT("contains"), {5}, 1);
+  H.append(T0, Users, opT("add"), {6, FlwrsField, 9});
+  EXPECT_FALSE(findConcretization(H, P.A).has_value());
+}
+
+TEST_F(GuardFixture, WrongFieldConstantRejected) {
+  AddFollowerParts P = buildAddFollower();
+  History H(Sch2);
+  unsigned S1 = H.addSession();
+  unsigned T0 = H.beginTransaction(S1);
+  H.append(T0, Users, opT("contains"), {5}, 1);
+  H.append(T0, Users, opT("add"), {5, 99, 9});
+  EXPECT_FALSE(findConcretization(H, P.A).has_value());
+}

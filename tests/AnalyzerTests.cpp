@@ -1,0 +1,339 @@
+//===- tests/AnalyzerTests.cpp - End-to-end pipeline tests ----------------===//
+//
+// Part of the C4 serializability analyzer. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Drives the full pipeline (general SSG -> unfoldings -> SMT) on the
+/// paper's worked examples:
+///
+///  * Figure 1 put/get program: violation with free keys, serializable with
+///    a global key (fast analysis) and with session-local keys (SMT),
+///  * Figure 10 quiz app: argument-equality invariants eliminate the false
+///    alarm,
+///  * Figure 11 addFollower: control-flow constraints plus asymmetric
+///    commutativity eliminate the false alarms,
+///  * Figure 12 add_row: fresh-unique-value reasoning eliminates the false
+///    alarm,
+///
+/// and validates extracted counter-examples end to end: they are
+/// concretizations of the abstract history and genuinely unserializable.
+///
+//===----------------------------------------------------------------------===//
+
+#include "abstract/Concretize.h"
+#include "analysis/Analyzer.h"
+
+#include <gtest/gtest.h>
+
+using namespace c4;
+
+namespace {
+
+class PipelineTest : public ::testing::Test {
+public:
+  PipelineTest() {
+    M = Sch.addContainer("M", Reg.lookup("map"));
+    Quiz = Sch.addContainer("Quiz", Reg.lookup("table"));
+    Users = Sch.addContainer("Users", Reg.lookup("table"));
+  }
+
+  unsigned op(unsigned Container, const char *Name) {
+    const DataTypeSpec *T = Sch.container(Container).Type;
+    return T->opIndex(*T->findOp(Name));
+  }
+
+  /// Figure 1 program over container M; keys described by \p KeyFact
+  /// factories (may return Free / LocalVar / GlobalVar facts).
+  AbstractHistory buildPutGet(AbsFact PutKey, AbsFact GetKey) {
+    AbstractHistory A(Sch);
+    unsigned P = A.addTransaction("P");
+    unsigned Put = A.addEvent(P, M, op(M, "put"), {PutKey});
+    A.addEo(A.entry(P), Put);
+    unsigned G = A.addTransaction("G");
+    unsigned Get = A.addEvent(G, M, op(M, "get"), {GetKey});
+    A.addEo(A.entry(G), Get);
+    A.setMaySo(P, G); // program order: P(x,y); G(z)
+    return A;
+  }
+
+  TypeRegistry Reg;
+  Schema Sch;
+  unsigned M = 0, Quiz = 0, Users = 0;
+};
+
+} // namespace
+
+TEST_F(PipelineTest, Fig1FreeKeysIsViolation) {
+  AbstractHistory A = buildPutGet(AbsFact::free(), AbsFact::free());
+  AnalysisResult R = analyze(A);
+  ASSERT_FALSE(R.Violations.empty());
+  EXPECT_FALSE(R.FastProvedSerializable);
+  const Violation &V = R.Violations.front();
+  EXPECT_FALSE(V.Inconclusive);
+  ASSERT_TRUE(V.CE.has_value());
+
+  // Validate the counter-example end to end: it concretizes the abstract
+  // history and is genuinely unserializable.
+  EXPECT_TRUE(findConcretization(V.CE->H, A).has_value());
+  EXPECT_FALSE(isSerializable(V.CE->H));
+}
+
+TEST_F(PipelineTest, Fig1GlobalKeyFastProved) {
+  // All accesses share one global key: SC2a fails (the puts always absorb
+  // each other), so the fast SSG analysis already proves serializability.
+  AbstractHistory A2(Sch);
+  unsigned U = A2.addGlobalVar();
+  unsigned P = A2.addTransaction("P");
+  unsigned Put = A2.addEvent(P, M, op(M, "put"), {AbsFact::globalVar(U)});
+  A2.addEo(A2.entry(P), Put);
+  unsigned G = A2.addTransaction("G");
+  unsigned Get = A2.addEvent(G, M, op(M, "get"), {AbsFact::globalVar(U)});
+  A2.addEo(A2.entry(G), Get);
+  A2.setMaySo(P, G);
+
+  AnalysisResult R = analyze(A2);
+  EXPECT_TRUE(R.Violations.empty());
+  EXPECT_TRUE(R.FastProvedSerializable);
+  EXPECT_TRUE(R.serializable());
+}
+
+TEST_F(PipelineTest, Fig7SessionLocalKeySerializableViaSMT) {
+  // Keys equal within a session but free across sessions: the SSG-based
+  // check cannot prove this (paper §2), but the SMT stage refutes every
+  // candidate cycle via the absorption escape.
+  AbstractHistory A(Sch);
+  unsigned U = A.addLocalVar();
+  unsigned P = A.addTransaction("P");
+  unsigned Put = A.addEvent(P, M, op(M, "put"), {AbsFact::localVar(U)});
+  A.addEo(A.entry(P), Put);
+  unsigned G = A.addTransaction("G");
+  unsigned Get = A.addEvent(G, M, op(M, "get"), {AbsFact::localVar(U)});
+  A.addEo(A.entry(G), Get);
+  A.allowAllSo();
+
+  AnalysisResult R = analyze(A);
+  EXPECT_FALSE(R.FastProvedSerializable);
+  EXPECT_TRUE(R.Violations.empty()) << reportStr(A, R);
+  EXPECT_GT(R.SMTRefuted, 0u);
+  EXPECT_TRUE(R.serializable()) << reportStr(A, R);
+}
+
+namespace {
+
+/// Figure 10: updateQuestion sets two fields of one row; getQuestion reads
+/// both fields of one row. \p WithEqualities controls whether the row
+/// arguments are linked by invariants.
+AbstractHistory buildQuizApp(PipelineTest &F, Schema &Sch, unsigned Quiz,
+                             bool WithEqualities) {
+  constexpr int64_t FieldQ = 1, FieldA = 2;
+  AbstractHistory A(Sch);
+  // Each session works on one quiz row (a session-local constant); the
+  // second field access of a transaction is tied to the first only by the
+  // inferred equality invariant under test.
+  unsigned Row = A.addLocalVar();
+  unsigned Upd = A.addTransaction("updateQuestion");
+  unsigned SetQ = A.addEvent(Upd, Quiz, F.op(Quiz, "set"),
+                             {AbsFact::localVar(Row),
+                              AbsFact::constant(FieldQ)});
+  unsigned SetA = A.addEvent(Upd, Quiz, F.op(Quiz, "set"),
+                             {AbsFact::free(), AbsFact::constant(FieldA)});
+  A.addEo(A.entry(Upd), SetQ);
+  A.addEo(SetQ, SetA);
+  unsigned Get = A.addTransaction("getQuestion");
+  unsigned GetQ = A.addEvent(Get, Quiz, F.op(Quiz, "get"),
+                             {AbsFact::localVar(Row),
+                              AbsFact::constant(FieldQ)});
+  unsigned GetA = A.addEvent(Get, Quiz, F.op(Quiz, "get"),
+                             {AbsFact::free(), AbsFact::constant(FieldA)});
+  A.addEo(A.entry(Get), GetQ);
+  A.addEo(GetQ, GetA);
+  if (WithEqualities) {
+    A.addInv(SetQ, SetA, Cond::eq(Term::argSrc(0), Term::argTgt(0)));
+    A.addInv(GetQ, GetA, Cond::eq(Term::argSrc(0), Term::argTgt(0)));
+  }
+  A.allowAllSo(); // event handlers run in any order within a session
+  return A;
+}
+
+} // namespace
+
+TEST_F(PipelineTest, Fig10EqualitiesEliminateFalseAlarm) {
+  AbstractHistory WithEq = buildQuizApp(*this, Sch, Quiz, true);
+  AnalysisResult R = analyze(WithEq);
+  EXPECT_TRUE(R.Violations.empty()) << reportStr(WithEq, R);
+  EXPECT_TRUE(R.serializable()) << reportStr(WithEq, R);
+}
+
+TEST_F(PipelineTest, Fig10WithoutEqualitiesFalseAlarm) {
+  AbstractHistory NoEq = buildQuizApp(*this, Sch, Quiz, false);
+  AnalysisResult R = analyze(NoEq);
+  EXPECT_FALSE(R.Violations.empty());
+}
+
+TEST_F(PipelineTest, Fig10ConstraintsFeatureOffReintroducesAlarm) {
+  AbstractHistory WithEq = buildQuizApp(*this, Sch, Quiz, true);
+  AnalyzerOptions O;
+  O.Features.Constraints = false;
+  AnalysisResult R = analyze(WithEq, O);
+  EXPECT_FALSE(R.Violations.empty());
+}
+
+namespace {
+
+/// Figure 11: addFollower guards an add behind a contains check; the app
+/// also has an unconditional createUser transaction (records must be
+/// creatable somewhere for contains:true to ever hold).
+AbstractHistory buildAddFollower(PipelineTest &F, Schema &Sch,
+                                 unsigned Users) {
+  constexpr int64_t Flwrs = 7, NameField = 3;
+  AbstractHistory A(Sch);
+  unsigned Name = A.addGlobalVar(); // the username under discussion
+  unsigned C = A.addTransaction("createUser");
+  unsigned Create = A.addEvent(C, Users, F.op(Users, "set"),
+                               {AbsFact::globalVar(Name),
+                                AbsFact::constant(NameField)});
+  A.addEo(A.entry(C), Create);
+  unsigned T = A.addTransaction("addFollower");
+  unsigned Contains = A.addEvent(T, Users, F.op(Users, "contains"), {});
+  unsigned Add = A.addEvent(T, Users, F.op(Users, "add"),
+                            {AbsFact::free(), AbsFact::constant(Flwrs)});
+  unsigned Exit = A.addMarker(T, "exit");
+  A.addEo(A.entry(T), Contains);
+  A.addEo(Contains, Add, Cond::eq(Term::argSrc(1), Term::constant(1)));
+  A.addEo(Add, Exit);
+  A.addEo(Contains, Exit, Cond::eq(Term::argSrc(1), Term::constant(0)));
+  A.addInv(Contains, Add, Cond::eq(Term::argSrc(0), Term::argTgt(0)));
+  A.allowAllSo();
+  return A;
+}
+
+} // namespace
+
+TEST_F(PipelineTest, Fig11FullFeaturesSerializable) {
+  AbstractHistory A = buildAddFollower(*this, Sch, Users);
+  AnalysisResult R = analyze(A);
+  EXPECT_TRUE(R.Violations.empty()) << reportStr(A, R);
+  EXPECT_TRUE(R.serializable()) << reportStr(A, R);
+}
+
+TEST_F(PipelineTest, Fig11ControlFlowOffFalseAlarm) {
+  AbstractHistory A = buildAddFollower(*this, Sch, Users);
+  AnalyzerOptions O;
+  O.Features.ControlFlow = false;
+  AnalysisResult R = analyze(A, O);
+  EXPECT_FALSE(R.Violations.empty());
+}
+
+TEST_F(PipelineTest, Fig11AsymmetryOffFalseAlarm) {
+  AbstractHistory A = buildAddFollower(*this, Sch, Users);
+  AnalyzerOptions O;
+  O.Features.AsymmetricAntiDeps = false;
+  AnalysisResult R = analyze(A, O);
+  EXPECT_FALSE(R.Violations.empty());
+}
+
+namespace {
+
+/// Figure 12: addQuestion creates a fresh row; updateQuestion writes a
+/// field of a row; getQuestion reads it.
+AbstractHistory buildUniqueRows(PipelineTest &F, Schema &Sch,
+                                unsigned Quiz) {
+  constexpr int64_t FieldQ = 1;
+  AbstractHistory A(Sch);
+  unsigned AddT = A.addTransaction("addQuestion");
+  unsigned AddRow = A.addEvent(AddT, Quiz, F.op(Quiz, "add_row"), {});
+  A.addEo(A.entry(AddT), AddRow);
+  unsigned Row = A.addLocalVar(); // the session's current question
+  unsigned UpdT = A.addTransaction("updateQuestion");
+  unsigned Set = A.addEvent(UpdT, Quiz, F.op(Quiz, "set"),
+                            {AbsFact::localVar(Row),
+                             AbsFact::constant(FieldQ)});
+  A.addEo(A.entry(UpdT), Set);
+  unsigned GetT = A.addTransaction("getQuestion");
+  unsigned Get = A.addEvent(GetT, Quiz, F.op(Quiz, "get"),
+                            {AbsFact::localVar(Row),
+                             AbsFact::constant(FieldQ)});
+  A.addEo(A.entry(GetT), Get);
+  A.allowAllSo();
+  return A;
+}
+
+} // namespace
+
+TEST_F(PipelineTest, Fig12UniqueValuesEliminateFalseAlarm) {
+  AbstractHistory A = buildUniqueRows(*this, Sch, Quiz);
+  AnalysisResult R = analyze(A);
+  EXPECT_TRUE(R.Violations.empty()) << reportStr(A, R);
+  EXPECT_TRUE(R.serializable()) << reportStr(A, R);
+}
+
+TEST_F(PipelineTest, Fig12UniqueValuesOffFalseAlarm) {
+  AbstractHistory A = buildUniqueRows(*this, Sch, Quiz);
+  AnalyzerOptions O;
+  O.Features.UniqueValues = false;
+  AnalysisResult R = analyze(A, O);
+  EXPECT_FALSE(R.Violations.empty());
+}
+
+TEST_F(PipelineTest, DisplayFilterDropsDisplayOnlyQueries) {
+  // The Figure 1 program with the get marked as display-only: filtering
+  // removes the anti-dependency source, so no violation remains.
+  AbstractHistory A(Sch);
+  unsigned P = A.addTransaction("P");
+  unsigned Put = A.addEvent(P, M, op(M, "put"), {});
+  A.addEo(A.entry(P), Put);
+  unsigned G = A.addTransaction("G");
+  unsigned Get =
+      A.addEvent(G, M, op(M, "get"), {}, /*Display=*/true);
+  A.addEo(A.entry(G), Get);
+  A.allowAllSo();
+
+  AnalysisResult Unfiltered = analyze(A);
+  EXPECT_FALSE(Unfiltered.Violations.empty());
+  AnalyzerOptions O;
+  O.DisplayFilter = true;
+  AnalysisResult Filtered = analyze(A, O);
+  EXPECT_TRUE(Filtered.Violations.empty()) << reportStr(A, Filtered);
+}
+
+TEST_F(PipelineTest, AtomicSetsSeparateIndependentData) {
+  // Two independent put/get pairs on different containers. Together they
+  // still only produce per-container violations; with atomic sets each set
+  // is analyzed independently and cross-set cycles are never formed.
+  Schema Sch2;
+  unsigned C1 = Sch2.addContainer("A", Reg.lookup("map"));
+  unsigned C2 = Sch2.addContainer("B", Reg.lookup("map"));
+  AbstractHistory A(Sch2);
+  unsigned T1 = A.addTransaction("w1");
+  unsigned E1 = A.addEvent(T1, C1, op(M, "put"), {});
+  A.addEo(A.entry(T1), E1);
+  unsigned T2 = A.addTransaction("r1");
+  unsigned E2 = A.addEvent(T2, C1, op(M, "get"), {});
+  A.addEo(A.entry(T2), E2);
+  unsigned T3 = A.addTransaction("w2");
+  unsigned E3 = A.addEvent(T3, C2, op(M, "put"), {});
+  A.addEo(A.entry(T3), E3);
+  unsigned T4 = A.addTransaction("r2");
+  unsigned E4 = A.addEvent(T4, C2, op(M, "get"), {});
+  A.addEo(A.entry(T4), E4);
+  A.allowAllSo();
+
+  AnalyzerOptions O;
+  O.UseAtomicSets = true;
+  O.AtomicSets = {{C1}, {C2}};
+  AnalysisResult R = analyze(A, O);
+  // Each atomic set has its own put/get violation.
+  EXPECT_EQ(R.Violations.size(), 2u) << reportStr(A, R);
+  for (const Violation &V : R.Violations)
+    EXPECT_EQ(V.OrigTxns.size(), 2u);
+}
+
+TEST_F(PipelineTest, ReportRendering) {
+  AbstractHistory A = buildPutGet(AbsFact::free(), AbsFact::free());
+  AnalysisResult R = analyze(A);
+  std::string Report = reportStr(A, R);
+  EXPECT_NE(Report.find("violation"), std::string::npos);
+  EXPECT_NE(Report.find("stats:"), std::string::npos);
+}

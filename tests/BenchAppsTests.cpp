@@ -1,0 +1,110 @@
+//===- tests/BenchAppsTests.cpp - Benchmark suite sanity ------------------===//
+//
+// Part of the C4 serializability analyzer. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Sanity checks over the 28 Table 1 application models: every model
+/// compiles, its transaction count matches the paper's T column, its
+/// declared classification rules reference real transactions, and a few
+/// spot analyses run end to end (fast ones only; the full table is
+/// bench_table1).
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Analyzer.h"
+#include "apps/Apps.h"
+#include "frontend/Frontend.h"
+
+#include <gtest/gtest.h>
+
+using namespace c4;
+using namespace c4bench;
+
+TEST(BenchApps, SuiteShape) {
+  const std::vector<BenchApp> &Apps = benchApps();
+  ASSERT_EQ(Apps.size(), 28u);
+  unsigned TouchDevelop = 0, Cassandra = 0;
+  for (const BenchApp &App : Apps) {
+    if (std::string(App.Domain) == "TouchDevelop")
+      ++TouchDevelop;
+    else if (std::string(App.Domain) == "Cassandra")
+      ++Cassandra;
+  }
+  EXPECT_EQ(TouchDevelop, 17u);
+  EXPECT_EQ(Cassandra, 11u);
+}
+
+TEST(BenchApps, AllCompileWithMatchingTransactionCounts) {
+  for (const BenchApp &App : benchApps()) {
+    CompileResult R = compileC4L(App.Source);
+    ASSERT_TRUE(R.ok()) << App.Name << ": " << R.Error;
+    EXPECT_EQ(R.Program->History->numTxns(), App.PaperT)
+        << App.Name << ": transaction count diverges from Table 1";
+    EXPECT_GT(R.Program->History->numStoreEvents(), 0u) << App.Name;
+  }
+}
+
+TEST(BenchApps, ClassificationRulesReferenceRealTransactions) {
+  for (const BenchApp &App : benchApps()) {
+    CompileResult R = compileC4L(App.Source);
+    ASSERT_TRUE(R.ok()) << App.Name;
+    std::vector<std::string> Names;
+    for (unsigned T = 0; T != R.Program->History->numTxns(); ++T)
+      Names.push_back(R.Program->History->txn(T).Name);
+    for (const ClassRule &Rule : App.Rules)
+      for (const std::string &Txn : Rule.Txns)
+        EXPECT_NE(std::find(Names.begin(), Names.end(), Txn), Names.end())
+            << App.Name << ": rule references unknown txn " << Txn;
+  }
+}
+
+TEST(BenchApps, ClassifyMatchesBySubset) {
+  const BenchApp *Tetris = nullptr;
+  for (const BenchApp &App : benchApps())
+    if (std::string(App.Name) == "Tetris")
+      Tetris = &App;
+  ASSERT_NE(Tetris, nullptr);
+  EXPECT_EQ(classify(*Tetris, {"saveScore"}), ViolationClass::Harmful);
+  EXPECT_EQ(classify(*Tetris, {"leaderboard", "saveScore"}),
+            ViolationClass::Harmful);
+  EXPECT_EQ(classify(*Tetris, {"leaderboard"}), ViolationClass::Harmless);
+}
+
+TEST(BenchApps, SerializableModelsAreProved) {
+  // FieldGPS, cassandra-lock and shopping-cart report zero violations in
+  // Table 1; our models are proved serializable outright.
+  for (const BenchApp &App : benchApps()) {
+    std::string Name = App.Name;
+    if (Name != "FieldGPS" && Name != "cassandra-lock" &&
+        Name != "shopping-cart")
+      continue;
+    CompileResult R = compileC4L(App.Source);
+    ASSERT_TRUE(R.ok()) << App.Name;
+    AnalysisResult A = analyze(*R.Program->History);
+    EXPECT_TRUE(A.Violations.empty()) << App.Name;
+  }
+}
+
+TEST(BenchApps, HarmfulPatternsDetected) {
+  // The read-modify-write high score of Tetris is found and classified
+  // harmful; it survives filtering (display code never hides it).
+  const BenchApp *Tetris = nullptr;
+  for (const BenchApp &App : benchApps())
+    if (std::string(App.Name) == "Tetris")
+      Tetris = &App;
+  ASSERT_NE(Tetris, nullptr);
+  CompileResult R = compileC4L(Tetris->Source);
+  ASSERT_TRUE(R.ok());
+  AnalyzerOptions O;
+  O.DisplayFilter = true;
+  O.UseAtomicSets = !R.Program->AtomicSets.empty();
+  O.AtomicSets = R.Program->AtomicSets;
+  AnalysisResult A = analyze(*R.Program->History, O);
+  unsigned Harmful = 0;
+  for (const Violation &V : A.Violations)
+    if (classify(*Tetris, V.TxnNames) == ViolationClass::Harmful)
+      ++Harmful;
+  EXPECT_GE(Harmful, 1u);
+}

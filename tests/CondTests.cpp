@@ -1,0 +1,243 @@
+//===- tests/CondTests.cpp - Condition language unit tests ----------------===//
+//
+// Part of the C4 serializability analyzer. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "spec/Cond.h"
+
+#include <gtest/gtest.h>
+
+using namespace c4;
+
+static Term s(unsigned I) { return Term::argSrc(I); }
+static Term g(unsigned I) { return Term::argTgt(I); }
+static Term k(int64_t V) { return Term::constant(V); }
+
+TEST(Cond, GroundFolding) {
+  EXPECT_TRUE(Cond::eq(k(3), k(3)).isTrue());
+  EXPECT_TRUE(Cond::eq(k(3), k(4)).isFalse());
+  EXPECT_TRUE(Cond::lt(k(3), k(4)).isTrue());
+  EXPECT_TRUE(Cond::le(k(4), k(3)).isFalse());
+  EXPECT_TRUE(Cond::eq(s(0), s(0)).isTrue());
+}
+
+TEST(Cond, ConnectiveSimplification) {
+  Cond A = Cond::eq(s(0), g(0));
+  EXPECT_TRUE((Cond::t() && Cond::f()).isFalse());
+  EXPECT_TRUE((Cond::t() || Cond::f()).isTrue());
+  EXPECT_EQ((A && Cond::t()).str(), A.str());
+  EXPECT_EQ((A || Cond::f()).str(), A.str());
+  EXPECT_TRUE((!Cond::t()).isFalse());
+  EXPECT_EQ((!!A).str(), A.str());
+}
+
+TEST(Cond, Eval) {
+  // src = [5, 7], tgt = [5, 9]
+  std::vector<int64_t> Src{5, 7}, Tgt{5, 9};
+  EXPECT_TRUE(Cond::eq(s(0), g(0)).eval(Src, Tgt));
+  EXPECT_FALSE(Cond::eq(s(1), g(1)).eval(Src, Tgt));
+  EXPECT_TRUE(Cond::ne(s(1), g(1)).eval(Src, Tgt));
+  EXPECT_TRUE(Cond::lt(s(1), g(1)).eval(Src, Tgt));
+  EXPECT_TRUE(Cond::lt(s(1), k(10)).eval(Src, Tgt));
+  EXPECT_FALSE(Cond::lt(s(1), k(7)).eval(Src, Tgt));
+  EXPECT_TRUE(Cond::le(s(1), k(7)).eval(Src, Tgt));
+  Cond Mixed = (Cond::eq(s(0), g(0)) && Cond::ne(s(1), g(1))) ||
+               Cond::eq(s(0), k(99));
+  EXPECT_TRUE(Mixed.eval(Src, Tgt));
+}
+
+TEST(Cond, Flipped) {
+  Cond C = Cond::eq(s(0), g(1)) && Cond::lt(s(2), k(5));
+  Cond F = C.flipped();
+  std::vector<int64_t> A{1, 2, 9}, B{3, 1, 4};
+  EXPECT_EQ(C.eval(A, B), F.eval(B, A));
+  EXPECT_EQ(C.eval(B, A), F.eval(A, B));
+}
+
+TEST(Cond, DnfShape) {
+  Cond C = (Cond::eq(s(0), g(0)) || Cond::eq(s(1), g(1))) &&
+           Cond::ne(s(2), g(2));
+  std::vector<std::vector<Literal>> D = C.dnf();
+  EXPECT_EQ(D.size(), 2u);
+  for (const std::vector<Literal> &Clause : D)
+    EXPECT_EQ(Clause.size(), 2u);
+  EXPECT_TRUE(Cond::t().dnf().size() == 1 && Cond::t().dnf()[0].empty());
+  EXPECT_TRUE(Cond::f().dnf().empty());
+}
+
+TEST(Cond, SatisfiabilityFreeSlots) {
+  EventFacts Src(2), Tgt(2); // all free
+  EXPECT_TRUE(Cond::eq(s(0), g(0)).satisfiableUnder(Src, Tgt));
+  EXPECT_TRUE(Cond::ne(s(0), g(0)).satisfiableUnder(Src, Tgt));
+  // Contradiction within one clause.
+  Cond C = Cond::eq(s(0), g(0)) && Cond::ne(s(0), g(0));
+  EXPECT_FALSE(C.satisfiableUnder(Src, Tgt));
+}
+
+TEST(Cond, SatisfiabilityConstants) {
+  EventFacts Src{ArgFact::constant(3)}, Tgt{ArgFact::constant(3)};
+  EXPECT_TRUE(Cond::eq(s(0), g(0)).satisfiableUnder(Src, Tgt));
+  EXPECT_FALSE(Cond::ne(s(0), g(0)).satisfiableUnder(Src, Tgt));
+  EventFacts Tgt2{ArgFact::constant(4)};
+  EXPECT_FALSE(Cond::eq(s(0), g(0)).satisfiableUnder(Src, Tgt2));
+  EXPECT_TRUE(Cond::ne(s(0), g(0)).satisfiableUnder(Src, Tgt2));
+}
+
+TEST(Cond, SatisfiabilitySymbols) {
+  // Same symbol on both sides: equality forced.
+  EventFacts Src{ArgFact::symbol(7)}, Tgt{ArgFact::symbol(7)};
+  EXPECT_FALSE(Cond::ne(s(0), g(0)).satisfiableUnder(Src, Tgt));
+  // Different symbols: both outcomes possible.
+  EventFacts Tgt2{ArgFact::symbol(8)};
+  EXPECT_TRUE(Cond::ne(s(0), g(0)).satisfiableUnder(Src, Tgt2));
+  EXPECT_TRUE(Cond::eq(s(0), g(0)).satisfiableUnder(Src, Tgt2));
+}
+
+TEST(Cond, SatisfiabilityTransitivity) {
+  // src0 = tgt0 and tgt0 = 5 and src0 != 5 is unsatisfiable.
+  EventFacts Src(1), Tgt{ArgFact::constant(5)};
+  Cond C = Cond::eq(s(0), g(0)) && Cond::ne(s(0), k(5));
+  EXPECT_FALSE(C.satisfiableUnder(Src, Tgt));
+}
+
+TEST(Cond, SatisfiabilityChainedEqualities) {
+  EventFacts Src(2), Tgt(2);
+  // src0=tgt0, tgt0=src1, src1=tgt1, tgt1 != src0 -> unsat.
+  Cond C = Cond::eq(s(0), g(0)) && Cond::eq(g(0), s(1)) &&
+           Cond::eq(s(1), g(1)) && Cond::ne(g(1), s(0));
+  EXPECT_FALSE(C.satisfiableUnder(Src, Tgt));
+}
+
+TEST(Cond, SatisfiabilityOrderLiterals) {
+  EventFacts Src{ArgFact::constant(3)}, Tgt{ArgFact::constant(4)};
+  EXPECT_TRUE(Cond::lt(s(0), g(0)).satisfiableUnder(Src, Tgt));
+  EXPECT_FALSE(Cond::lt(g(0), s(0)).satisfiableUnder(Src, Tgt));
+  // Free slots: order literals are conservatively satisfiable.
+  EventFacts Free(1);
+  EXPECT_TRUE(Cond::lt(s(0), g(0)).satisfiableUnder(Free, Free));
+  // But x < x is not.
+  EXPECT_FALSE(
+      (Cond::eq(s(0), g(0)) && Cond::lt(s(0), g(0))).satisfiableUnder(Free,
+                                                                      Free));
+}
+
+TEST(Cond, SatisfiabilityDisjunction) {
+  EventFacts Src{ArgFact::constant(1)}, Tgt{ArgFact::constant(1)};
+  Cond C = Cond::ne(s(0), g(0)) || Cond::eq(s(0), k(1));
+  EXPECT_TRUE(C.satisfiableUnder(Src, Tgt));
+  Cond D = Cond::ne(s(0), g(0)) || Cond::eq(s(0), k(2));
+  EXPECT_FALSE(D.satisfiableUnder(Src, Tgt));
+}
+
+TEST(Cond, StrRendering) {
+  Cond C = Cond::eq(s(0), g(1)) && Cond::lt(g(0), k(10));
+  EXPECT_EQ(C.str(), "(src0=tgt1 && tgt0<10)");
+}
+
+//===----------------------------------------------------------------------===//
+// Randomized consistency: eval agrees with DNF-evaluation, satisfiability
+// is complete on equality-only conditions over small domains.
+//===----------------------------------------------------------------------===//
+
+#include "support/Rng.h"
+
+namespace {
+
+Term randTerm(c4::Rng &R) {
+  switch (R.below(3)) {
+  case 0:
+    return Term::argSrc(static_cast<unsigned>(R.below(2)));
+  case 1:
+    return Term::argTgt(static_cast<unsigned>(R.below(2)));
+  default:
+    return Term::constant(R.range(0, 1));
+  }
+}
+
+Cond randCond(c4::Rng &R, unsigned Depth) {
+  if (Depth == 0 || R.chance(1, 3)) {
+    CmpKind K = R.chance(1, 3) ? CmpKind::Lt : CmpKind::Eq;
+    return Cond::cmp(K, randTerm(R), randTerm(R));
+  }
+  switch (R.below(3)) {
+  case 0:
+    return randCond(R, Depth - 1) && randCond(R, Depth - 1);
+  case 1:
+    return randCond(R, Depth - 1) || randCond(R, Depth - 1);
+  default:
+    return !randCond(R, Depth - 1);
+  }
+}
+
+bool evalLiteral(const Literal &L, const std::vector<int64_t> &Src,
+                 const std::vector<int64_t> &Tgt) {
+  auto Val = [&](const Term &T) {
+    if (T.Kind == Term::ArgSrc)
+      return Src[T.Index];
+    if (T.Kind == Term::ArgTgt)
+      return Tgt[T.Index];
+    return T.Value;
+  };
+  bool V = false;
+  switch (L.Cmp) {
+  case CmpKind::Eq:
+    V = Val(L.A) == Val(L.B);
+    break;
+  case CmpKind::Lt:
+    V = Val(L.A) < Val(L.B);
+    break;
+  case CmpKind::Le:
+    V = Val(L.A) <= Val(L.B);
+    break;
+  }
+  return L.Negated ? !V : V;
+}
+
+} // namespace
+
+TEST(CondProperty, EvalAgreesWithDnf) {
+  c4::Rng R(0xD0F);
+  for (int Trial = 0; Trial != 2000; ++Trial) {
+    Cond C = randCond(R, 3);
+    std::vector<std::vector<Literal>> Dnf = C.dnf();
+    std::vector<int64_t> Src{R.range(0, 1), R.range(0, 1)};
+    std::vector<int64_t> Tgt{R.range(0, 1), R.range(0, 1)};
+    bool Direct = C.eval(Src, Tgt);
+    bool ViaDnf = false;
+    for (const std::vector<Literal> &Clause : Dnf) {
+      bool All = true;
+      for (const Literal &L : Clause)
+        All = All && evalLiteral(L, Src, Tgt);
+      ViaDnf = ViaDnf || All;
+    }
+    EXPECT_EQ(Direct, ViaDnf) << C.str();
+  }
+}
+
+TEST(CondProperty, SatisfiabilityCompleteOnSmallDomains) {
+  // For free facts, satisfiableUnder must agree with brute force over the
+  // domain {0,1,2} for equality-only conditions (order literals are
+  // treated conservatively, so only one direction is checked for them).
+  c4::Rng R(0x5A7);
+  EventFacts Src(2), Tgt(2);
+  for (int Trial = 0; Trial != 1000; ++Trial) {
+    Cond C = randCond(R, 2);
+    bool BruteSat = false;
+    for (int64_t A = 0; A != 3 && !BruteSat; ++A)
+      for (int64_t B = 0; B != 3 && !BruteSat; ++B)
+        for (int64_t X = 0; X != 3 && !BruteSat; ++X)
+          for (int64_t Y = 0; Y != 3 && !BruteSat; ++Y)
+            BruteSat = C.eval({A, B}, {X, Y});
+    bool Claimed = C.satisfiableUnder(Src, Tgt);
+    // Conservative: claimed unsatisfiable implies truly unsatisfiable.
+    if (!Claimed) {
+      EXPECT_FALSE(BruteSat) << C.str();
+    }
+    // For small-constant conditions, brute force over {0,1,2} is exact on
+    // the satisfiable side too (all constants are in range).
+    if (BruteSat) {
+      EXPECT_TRUE(Claimed) << C.str();
+    }
+  }
+}

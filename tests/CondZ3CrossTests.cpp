@@ -1,0 +1,175 @@
+//===- tests/CondZ3CrossTests.cpp - CC-SAT vs Z3 cross-check --------------===//
+//
+// Part of the C4 serializability analyzer. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Cross-validates the home-grown satisfiability engine behind the SSG
+/// stage (DNF expansion + congruence closure, spec/Cond.cpp) against Z3 on
+/// thousands of random conditions and fact environments. The engine must
+/// be *sound* (never claim unsat when Z3 finds a model under the same
+/// facts) and, on equality-only conditions, *complete* (agree exactly).
+///
+//===----------------------------------------------------------------------===//
+
+#include "spec/Cond.h"
+#include "support/Rng.h"
+
+#include <z3++.h>
+
+#include <gtest/gtest.h>
+
+using namespace c4;
+
+namespace {
+
+Term randTerm(Rng &R) {
+  switch (R.below(3)) {
+  case 0:
+    return Term::argSrc(static_cast<unsigned>(R.below(3)));
+  case 1:
+    return Term::argTgt(static_cast<unsigned>(R.below(3)));
+  default:
+    return Term::constant(R.range(0, 2));
+  }
+}
+
+Cond randCond(Rng &R, unsigned Depth, bool EqOnly) {
+  if (Depth == 0 || R.chance(1, 3)) {
+    CmpKind K = CmpKind::Eq;
+    if (!EqOnly && R.chance(1, 4))
+      K = R.chance(1, 2) ? CmpKind::Lt : CmpKind::Le;
+    return Cond::cmp(K, randTerm(R), randTerm(R));
+  }
+  switch (R.below(3)) {
+  case 0:
+    return randCond(R, Depth - 1, EqOnly) && randCond(R, Depth - 1, EqOnly);
+  case 1:
+    return randCond(R, Depth - 1, EqOnly) || randCond(R, Depth - 1, EqOnly);
+  default:
+    return !randCond(R, Depth - 1, EqOnly);
+  }
+}
+
+/// Random facts: free, small constant, or one of two shared symbols.
+EventFacts randFacts(Rng &R) {
+  EventFacts F(3);
+  for (ArgFact &A : F) {
+    switch (R.below(3)) {
+    case 0:
+      break;
+    case 1:
+      A = ArgFact::constant(R.range(0, 2));
+      break;
+    default:
+      A = ArgFact::symbol(static_cast<unsigned>(R.below(2)));
+      break;
+    }
+  }
+  return F;
+}
+
+/// Decides satisfiability with Z3.
+bool z3Satisfiable(const Cond &C, const EventFacts &Src,
+                   const EventFacts &Tgt) {
+  z3::context Ctx;
+  z3::solver Solver(Ctx);
+  std::vector<z3::expr> SrcVars, TgtVars, Symbols;
+  for (unsigned I = 0; I != 3; ++I) {
+    SrcVars.push_back(Ctx.int_const(("s" + std::to_string(I)).c_str()));
+    TgtVars.push_back(Ctx.int_const(("t" + std::to_string(I)).c_str()));
+  }
+  for (unsigned I = 0; I != 2; ++I)
+    Symbols.push_back(Ctx.int_const(("y" + std::to_string(I)).c_str()));
+  auto AddFacts = [&](const EventFacts &F, std::vector<z3::expr> &Vars) {
+    for (unsigned I = 0; I != F.size(); ++I) {
+      if (F[I].Kind == ArgFact::Constant)
+        Solver.add(Vars[I] ==
+                   Ctx.int_val(static_cast<int64_t>(F[I].Value)));
+      else if (F[I].Kind == ArgFact::Symbolic)
+        Solver.add(Vars[I] == Symbols[F[I].Symbol]);
+    }
+  };
+  AddFacts(Src, SrcVars);
+  AddFacts(Tgt, TgtVars);
+
+  std::function<z3::expr(const Cond &)> Enc = [&](const Cond &K) {
+    switch (K.kind()) {
+    case Cond::NodeKind::True:
+      return Ctx.bool_val(true);
+    case Cond::NodeKind::False:
+      return Ctx.bool_val(false);
+    case Cond::NodeKind::Atom: {
+      auto TermOf = [&](const Term &T) {
+        if (T.Kind == Term::ArgSrc)
+          return SrcVars[T.Index];
+        if (T.Kind == Term::ArgTgt)
+          return TgtVars[T.Index];
+        return Ctx.int_val(static_cast<int64_t>(T.Value));
+      };
+      z3::expr L = TermOf(K.atomLHS()), R2 = TermOf(K.atomRHS());
+      switch (K.atomCmp()) {
+      case CmpKind::Eq:
+        return L == R2;
+      case CmpKind::Lt:
+        return L < R2;
+      case CmpKind::Le:
+        return L <= R2;
+      }
+      return Ctx.bool_val(false);
+    }
+    case Cond::NodeKind::Not:
+      return !Enc(K.children()[0]);
+    case Cond::NodeKind::And: {
+      z3::expr E = Ctx.bool_val(true);
+      for (const Cond &Child : K.children())
+        E = E && Enc(Child);
+      return E;
+    }
+    case Cond::NodeKind::Or: {
+      z3::expr E = Ctx.bool_val(false);
+      for (const Cond &Child : K.children())
+        E = E || Enc(Child);
+      return E;
+    }
+    }
+    return Ctx.bool_val(false);
+  };
+  Solver.add(Enc(C));
+  return Solver.check() == z3::sat;
+}
+
+} // namespace
+
+TEST(CondZ3Cross, SoundOnMixedConditions) {
+  Rng R(0xCC0);
+  unsigned Z3Sat = 0, Z3Unsat = 0;
+  for (int Trial = 0; Trial != 400; ++Trial) {
+    Cond C = randCond(R, 3, /*EqOnly=*/false);
+    EventFacts Src = randFacts(R), Tgt = randFacts(R);
+    bool Z3Says = z3Satisfiable(C, Src, Tgt);
+    bool CCSays = C.satisfiableUnder(Src, Tgt);
+    (Z3Says ? Z3Sat : Z3Unsat)++;
+    // Soundness: if the engine claims unsat, Z3 must agree.
+    if (!CCSays) {
+      EXPECT_FALSE(Z3Says) << "CC-SAT unsound on " << C.str();
+    }
+  }
+  EXPECT_GT(Z3Sat, 50u);
+  EXPECT_GT(Z3Unsat, 20u);
+}
+
+TEST(CondZ3Cross, CompleteOnEqualityConditions) {
+  Rng R(0xCC1);
+  unsigned Agreements = 0;
+  for (int Trial = 0; Trial != 400; ++Trial) {
+    Cond C = randCond(R, 3, /*EqOnly=*/true);
+    EventFacts Src = randFacts(R), Tgt = randFacts(R);
+    bool Z3Says = z3Satisfiable(C, Src, Tgt);
+    bool CCSays = C.satisfiableUnder(Src, Tgt);
+    EXPECT_EQ(CCSays, Z3Says) << C.str();
+    Agreements += CCSays == Z3Says;
+  }
+  EXPECT_EQ(Agreements, 400u);
+}

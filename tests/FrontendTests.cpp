@@ -1,0 +1,266 @@
+//===- tests/FrontendTests.cpp - C4L front end tests ----------------------===//
+//
+// Part of the C4 serializability analyzer. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests the C4L lexer, parser and abstract interpreter: schema building,
+/// fact inference (literals, session/global constants), equality invariants
+/// (Fig. 10), control-flow guards (Fig. 11), display marks, atomic sets,
+/// session-order declarations, and error reporting.
+///
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Frontend.h"
+#include "frontend/Lexer.h"
+#include "frontend/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace c4;
+
+TEST(Lexer, TokensAndComments) {
+  std::vector<Token> Tokens;
+  std::string Error;
+  ASSERT_TRUE(lexSource("txn f(x) { // comment\n  M.put(x, -3); }", Tokens,
+                        Error))
+      << Error;
+  ASSERT_GE(Tokens.size(), 12u);
+  EXPECT_EQ(Tokens[0].Kind, TokenKind::KwTxn);
+  EXPECT_EQ(Tokens[1].Kind, TokenKind::Ident);
+  EXPECT_EQ(Tokens[1].Text, "f");
+  // The integer literal -3 on line 2.
+  bool FoundInt = false;
+  for (const Token &T : Tokens)
+    if (T.Kind == TokenKind::Int) {
+      EXPECT_EQ(T.Value, -3);
+      EXPECT_EQ(T.Line, 2u);
+      FoundInt = true;
+    }
+  EXPECT_TRUE(FoundInt);
+}
+
+TEST(Lexer, StringsAndOperators) {
+  std::vector<Token> Tokens;
+  std::string Error;
+  ASSERT_TRUE(lexSource("\"hi\" == != <= >= < > ! -> = .", Tokens, Error));
+  EXPECT_EQ(Tokens[0].Kind, TokenKind::String);
+  EXPECT_EQ(Tokens[0].Text, "hi");
+  EXPECT_EQ(Tokens[1].Kind, TokenKind::EqEq);
+  EXPECT_EQ(Tokens[2].Kind, TokenKind::BangEq);
+  EXPECT_EQ(Tokens[3].Kind, TokenKind::LessEq);
+  EXPECT_EQ(Tokens[4].Kind, TokenKind::GreaterEq);
+  EXPECT_EQ(Tokens[5].Kind, TokenKind::Less);
+  EXPECT_EQ(Tokens[6].Kind, TokenKind::Greater);
+  EXPECT_EQ(Tokens[7].Kind, TokenKind::Bang);
+  EXPECT_EQ(Tokens[8].Kind, TokenKind::Arrow);
+  EXPECT_EQ(Tokens[9].Kind, TokenKind::Assign);
+  EXPECT_EQ(Tokens[10].Kind, TokenKind::Dot);
+}
+
+TEST(Lexer, Errors) {
+  std::vector<Token> Tokens;
+  std::string Error;
+  EXPECT_FALSE(lexSource("\"unterminated", Tokens, Error));
+  EXPECT_NE(Error.find("unterminated"), std::string::npos);
+  EXPECT_FALSE(lexSource("txn @", Tokens, Error));
+}
+
+namespace {
+
+CompiledProgram compileOk(const std::string &Source) {
+  CompileResult R = compileC4L(Source);
+  EXPECT_TRUE(R.ok()) << R.Error;
+  return std::move(*R.Program);
+}
+
+} // namespace
+
+TEST(Frontend, MinimalProgram) {
+  CompiledProgram P = compileOk("container map M;\n"
+                                "txn w(k, v) { M.put(k, v); }\n"
+                                "txn r(k) { let x = M.get(k); return x; }\n");
+  EXPECT_EQ(P.Sch->numContainers(), 1u);
+  EXPECT_EQ(P.History->numTxns(), 2u);
+  EXPECT_EQ(P.History->numStoreEvents(), 2u);
+  // Default session order is unrestricted.
+  EXPECT_TRUE(P.History->maySo(0, 1));
+  EXPECT_TRUE(P.History->maySo(1, 0));
+  EXPECT_TRUE(P.History->maySo(0, 0));
+}
+
+TEST(Frontend, FactsForLiteralsAndConstants) {
+  CompiledProgram P =
+      compileOk("container map M;\n"
+                "session u;\n"
+                "global g;\n"
+                "txn f() { M.put(u, 7); M.put(g, \"hello\"); }\n");
+  const AbstractHistory &A = *P.History;
+  // Events: entry marker, put(u,7), put(g,"hello"), exit marker.
+  unsigned Put1 = A.txn(0).Events[1];
+  unsigned Put2 = A.txn(0).Events[2];
+  EXPECT_EQ(A.event(Put1).Facts[0].Kind, AbsFact::LocalVar);
+  EXPECT_EQ(A.event(Put1).Facts[1].Kind, AbsFact::Const);
+  EXPECT_EQ(A.event(Put1).Facts[1].Value, 7);
+  EXPECT_EQ(A.event(Put2).Facts[0].Kind, AbsFact::GlobalVar);
+  EXPECT_EQ(A.event(Put2).Facts[1].Kind, AbsFact::Const);
+  // The string was interned above the literal range.
+  EXPECT_GE(A.event(Put2).Facts[1].Value, Interner::Base);
+  EXPECT_EQ(*P.Strings->lookup(A.event(Put2).Facts[1].Value), "hello");
+}
+
+TEST(Frontend, EqualityInvariantsAcrossEvents) {
+  // Fig. 10: both sets use the same row parameter.
+  CompiledProgram P = compileOk(
+      "container table Quiz;\n"
+      "txn upd(x, q, a) { Quiz.set(x, \"q\", q); Quiz.set(x, \"a\", a); }\n");
+  const AbstractTxn &T = P.History->txn(0);
+  // One invariant chains the two row slots (plus none for q/a singletons).
+  ASSERT_EQ(T.Invs.size(), 1u);
+  const AbstractConstraint &Inv = T.Invs[0];
+  EXPECT_NE(Inv.Src, Inv.Tgt);
+  EXPECT_EQ(Inv.C.str(), "src0=tgt0");
+}
+
+TEST(Frontend, LetResultFlowsIntoArguments) {
+  // Fig. 12: the fresh row id returned by add_row feeds the set.
+  CompiledProgram P =
+      compileOk("container table Quiz;\n"
+                "txn add(q) { let x = Quiz.add_row(); "
+                "Quiz.set(x, \"q\", q); }\n");
+  const AbstractTxn &T = P.History->txn(0);
+  ASSERT_EQ(T.Invs.size(), 1u);
+  // add_row's ret slot (0) equals set's row slot (0).
+  EXPECT_EQ(T.Invs[0].C.str(), "src0=tgt0");
+  EXPECT_NE(T.Invs[0].Src, T.Invs[0].Tgt);
+}
+
+TEST(Frontend, BranchGuardsOnQueryResult) {
+  CompiledProgram P = compileOk(
+      "container table Users;\n"
+      "txn follow(n, m) {\n"
+      "  let e = Users.contains(n);\n"
+      "  if (e) { Users.add(n, \"flwrs\", m); }\n"
+      "}\n");
+  const AbstractHistory &A = *P.History;
+  const AbstractTxn &T = A.txn(0);
+  // Find the contains event and its outgoing guarded edges.
+  unsigned Contains = ~0u;
+  for (unsigned E : T.Events)
+    if (!A.event(E).isMarker() && A.isQuery(E))
+      Contains = E;
+  ASSERT_NE(Contains, ~0u);
+  unsigned Guarded = 0;
+  for (const AbstractConstraint *E : A.eoSuccs(Contains))
+    if (!E->C.isTrue())
+      ++Guarded;
+  // Both branch edges (then and implicit else) are guarded.
+  EXPECT_EQ(Guarded, 2u);
+}
+
+TEST(Frontend, ComparisonGuards) {
+  // Fig. 4: conditional increment guarded by get < 10.
+  CompiledProgram P = compileOk("container map M;\n"
+                                "txn inc(k) {\n"
+                                "  let v = M.get(k);\n"
+                                "  if (v < 10) { M.inc(k, 1); }\n"
+                                "}\n");
+  const AbstractHistory &A = *P.History;
+  bool SawLess = false;
+  for (unsigned E = 0; E != A.numEvents(); ++E)
+    for (const AbstractConstraint *Edge : A.eoSuccs(E))
+      if (Edge->C.str().find("src1<10") != std::string::npos)
+        SawLess = true;
+  EXPECT_TRUE(SawLess);
+}
+
+TEST(Frontend, DisplayMarksQuery) {
+  CompiledProgram P = compileOk("container map M;\n"
+                                "txn show(k) { let v = M.get(k); "
+                                "display(v); }\n");
+  const AbstractHistory &A = *P.History;
+  bool Display = false;
+  for (unsigned E = 0; E != A.numEvents(); ++E)
+    if (!A.event(E).isMarker() && A.event(E).Display)
+      Display = true;
+  EXPECT_TRUE(Display);
+}
+
+TEST(Frontend, AtomicSetsAndOrders) {
+  CompiledProgram P = compileOk("container map A;\n"
+                                "container map B;\n"
+                                "atomicset first { A }\n"
+                                "atomicset second { B }\n"
+                                "txn f() { A.put(1, 2); }\n"
+                                "txn g() { B.put(1, 2); }\n"
+                                "order f -> g;\n");
+  ASSERT_EQ(P.AtomicSets.size(), 2u);
+  EXPECT_EQ(P.AtomicSets[0], std::vector<unsigned>{0u});
+  EXPECT_EQ(P.AtomicSets[1], std::vector<unsigned>{1u});
+  EXPECT_TRUE(P.History->maySo(0, 1));
+  EXPECT_FALSE(P.History->maySo(1, 0));
+  EXPECT_FALSE(P.History->maySo(0, 0));
+}
+
+TEST(Frontend, Errors) {
+  EXPECT_FALSE(compileC4L("container nosuch M;").ok());
+  EXPECT_FALSE(compileC4L("container map M; txn f() { N.put(1,2); }").ok());
+  EXPECT_FALSE(compileC4L("container map M; txn f() { M.nope(1); }").ok());
+  EXPECT_FALSE(compileC4L("container map M; txn f() { M.put(1); }").ok());
+  EXPECT_FALSE(compileC4L("container map M; txn f() { M.put(x, 1); }").ok());
+  EXPECT_FALSE(
+      compileC4L("container map M; txn f() { let x = M.put(1,2); }").ok());
+  EXPECT_FALSE(compileC4L("container map M; txn f() {} txn f() {}").ok());
+  EXPECT_FALSE(compileC4L("container map M; order f -> g;").ok());
+  CompileResult R = compileC4L("container map M; txn f() { M.put(1 2); }");
+  EXPECT_FALSE(R.ok());
+  EXPECT_NE(R.Error.find("line 1"), std::string::npos);
+}
+
+TEST(Frontend, NestedBranchesBuild) {
+  CompiledProgram P = compileOk(
+      "container map M;\n"
+      "txn f(k) {\n"
+      "  let a = M.contains(k);\n"
+      "  if (a) {\n"
+      "    let b = M.get(k);\n"
+      "    if (b == 3) { M.put(k, 4); } else { M.remove(k); }\n"
+      "  } else {\n"
+      "    M.inc(k, 1);\n"
+      "  }\n"
+      "}\n");
+  // contains, get, put, remove, inc.
+  EXPECT_EQ(P.History->numStoreEvents(), 5u);
+  // Exactly one transaction with a unique entry.
+  EXPECT_EQ(P.History->numTxns(), 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// The shipped .c4l example files compile.
+//===----------------------------------------------------------------------===//
+
+#include <fstream>
+#include <sstream>
+
+#ifdef C4_SOURCE_DIR
+TEST(Frontend, ShippedExamplesCompile) {
+  const char *Files[] = {
+      "/examples/c4l/fig1_put_get.c4l",
+      "/examples/c4l/fig7_session_keys.c4l",
+      "/examples/c4l/fig11_add_follower.c4l",
+      "/examples/c4l/fig12_fresh_rows.c4l",
+      "/examples/c4l/uniqueness_bug.c4l",
+      "/examples/c4l/highscore_fixed.c4l",
+  };
+  for (const char *File : Files) {
+    std::ifstream In(std::string(C4_SOURCE_DIR) + File);
+    ASSERT_TRUE(In.good()) << File;
+    std::stringstream Buffer;
+    Buffer << In.rdbuf();
+    CompileResult R = compileC4L(Buffer.str());
+    EXPECT_TRUE(R.ok()) << File << ": " << R.Error;
+    EXPECT_GT(R.Program->History->numTxns(), 0u) << File;
+  }
+}
+#endif

@@ -1,0 +1,408 @@
+//===- tests/HistoryTests.cpp - Concrete model tests ----------------------===//
+//
+// Part of the C4 serializability analyzer. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests the concrete execution model: schedule axioms S1-S3, brute-force
+/// serializability, far relations (spec and R2-fixpoint modes), the
+/// dependence triple D1-D3, DSG construction, Theorem 1 (acyclic DSG =>
+/// serializable) as a randomized property, and Theorem 2 (locality).
+/// The worked examples are Figures 1 and 3 of the paper.
+///
+//===----------------------------------------------------------------------===//
+
+#include "history/DSG.h"
+#include "history/RandomExecution.h"
+#include "history/Relations.h"
+#include "history/Schedule.h"
+
+#include <gtest/gtest.h>
+
+using namespace c4;
+
+namespace {
+
+/// Keys "A" and "B" of the paper examples, interned as integers.
+constexpr int64_t KeyA = 1, KeyB = 2;
+
+class PaperExamples : public ::testing::Test {
+public:
+  PaperExamples() { M = Sch.addContainer("M", Reg.lookup("map")); }
+
+  unsigned op(const char *Name) {
+    const DataTypeSpec *T = Sch.container(M).Type;
+    return T->opIndex(*T->findOp(Name));
+  }
+
+  TypeRegistry Reg;
+  Schema Sch;
+  unsigned M = 0;
+};
+
+/// Builds Figure 1(c1): two sessions, each a put transaction followed by a
+/// get transaction reading the *other* key's initial value.
+History buildFig1C1(PaperExamples &F, Schema &Sch, unsigned M) {
+  History H(Sch);
+  unsigned S1 = H.addSession(), S2 = H.addSession();
+  unsigned T0 = H.beginTransaction(S1);
+  H.append(T0, M, F.op("put"), {KeyA, 1});
+  unsigned T1 = H.beginTransaction(S1);
+  H.append(T1, M, F.op("get"), {KeyB}, 0);
+  unsigned T2 = H.beginTransaction(S2);
+  H.append(T2, M, F.op("put"), {KeyB, 2});
+  unsigned T3 = H.beginTransaction(S2);
+  H.append(T3, M, F.op("get"), {KeyA}, 0);
+  return H;
+}
+
+/// A schedule for Fig. 1(c1): visibility is just the causal closure of
+/// session order (the sessions are mutually oblivious).
+Schedule fig1C1Schedule(const History &H) {
+  Schedule S(H.numEvents());
+  S.setArbitration({0, 1, 2, 3});
+  S.closeCausally(H);
+  return S;
+}
+
+} // namespace
+
+TEST_F(PaperExamples, Fig1C1AxiomsHold) {
+  History H = buildFig1C1(*this, Sch, M);
+  Schedule S = fig1C1Schedule(H);
+  EXPECT_TRUE(satisfiesCausality(H, S));
+  EXPECT_TRUE(satisfiesAtomicVisibility(H, S));
+  EXPECT_TRUE(satisfiesLegality(H, S));
+  EXPECT_TRUE(isLegalSchedule(H, S));
+  EXPECT_FALSE(isSerial(H, S));
+}
+
+TEST_F(PaperExamples, Fig1C1NotSerializable) {
+  History H = buildFig1C1(*this, Sch, M);
+  EXPECT_FALSE(isSerializable(H));
+}
+
+TEST_F(PaperExamples, Fig1C1DSGHasCycle) {
+  History H = buildFig1C1(*this, Sch, M);
+  Schedule S = fig1C1Schedule(H);
+  EventRelations Rel(H);
+  DependenceTriple T = computeDependencies(H, S, Rel);
+  // Anti-dependencies: each get anti-depends on the other session's put.
+  EXPECT_TRUE(T.AntiDep[1][2]); // get(B):0 -anti-> put(B,2)
+  EXPECT_TRUE(T.AntiDep[3][0]); // get(A):0 -anti-> put(A,1)
+  Digraph G = buildDSG(H, T);
+  EXPECT_TRUE(G.hasCycle());
+}
+
+TEST_F(PaperExamples, Fig1C2SerializableVariant) {
+  // Both sessions use key A; the second session's operations see the first.
+  History H(Sch);
+  unsigned S1 = H.addSession(), S2 = H.addSession();
+  unsigned T0 = H.beginTransaction(S1);
+  H.append(T0, M, op("put"), {KeyA, 1});
+  unsigned T1 = H.beginTransaction(S1);
+  H.append(T1, M, op("get"), {KeyA}, 1);
+  unsigned T2 = H.beginTransaction(S2);
+  H.append(T2, M, op("put"), {KeyA, 2});
+  unsigned T3 = H.beginTransaction(S2);
+  H.append(T3, M, op("get"), {KeyA}, 2);
+  EXPECT_TRUE(isSerializable(H));
+  // A concrete witness schedule: serial order T0 T1 T2 T3.
+  Schedule S = makeSerialSchedule(H, {T0, T1, T2, T3});
+  EXPECT_TRUE(isLegalSchedule(H, S));
+  EXPECT_TRUE(isSerial(H, S));
+  EventRelations Rel(H);
+  Digraph G = buildDSG(H, computeDependencies(H, S, Rel));
+  EXPECT_FALSE(G.hasCycle());
+}
+
+TEST_F(PaperExamples, Fig3AbsorptionKillsAntiDependency) {
+  // Session 1: inc(a,1); get(a):1.  Session 2: put(a,2); get(a):2.
+  History H(Sch);
+  unsigned S1 = H.addSession(), S2 = H.addSession();
+  unsigned T0 = H.beginTransaction(S1);
+  unsigned E0 = H.append(T0, M, op("inc"), {KeyA, 1});
+  unsigned T1 = H.beginTransaction(S1);
+  unsigned E1 = H.append(T1, M, op("get"), {KeyA}, 1);
+  unsigned T2 = H.beginTransaction(S2);
+  unsigned E2 = H.append(T2, M, op("put"), {KeyA, 2});
+  unsigned T3 = H.beginTransaction(S2);
+  unsigned E3 = H.append(T3, M, op("get"), {KeyA}, 2);
+  (void)T1;
+  (void)T3;
+
+  Schedule S(H.numEvents());
+  S.setArbitration({E0, E1, E2, E3});
+  S.closeCausally(H);
+  ASSERT_TRUE(isLegalSchedule(H, S));
+
+  EventRelations Rel(H);
+  DependenceTriple T = computeDependencies(H, S, Rel);
+  EXPECT_TRUE(T.Dep[E0][E1]);     // inc  -dep->  get:1
+  EXPECT_TRUE(T.Dep[E2][E3]);     // put  -dep->  get:2
+  EXPECT_TRUE(T.AntiDep[E1][E2]); // get:1 -anti-> put
+  // No anti-dependency get:2 -> inc: put absorbs inc and is visible
+  // to get:2 (the paper's absorption example).
+  EXPECT_FALSE(T.AntiDep[E3][E0]);
+  // inc conflicts with the later, non-commuting put.
+  EXPECT_TRUE(T.Conflict[E0][E2]);
+
+  Digraph G = buildDSG(H, T);
+  EXPECT_FALSE(G.hasCycle());
+  EXPECT_TRUE(isSerializable(H));
+}
+
+TEST_F(PaperExamples, SerialScheduleIsLegalOnlyInRightOrder) {
+  History H = buildFig1C1(*this, Sch, M);
+  // Serial execution in program order: the gets would read 1 and 2.
+  Schedule S = makeSerialSchedule(H, {0, 1, 2, 3});
+  EXPECT_TRUE(satisfiesCausality(H, S));
+  EXPECT_TRUE(satisfiesAtomicVisibility(H, S));
+  EXPECT_FALSE(satisfiesLegality(H, S)); // get(B) would see put(B,2)? no:
+  // order T0 T1 T2 T3 => get(B):0 runs before put(B,2): legal; but
+  // get(A):0 runs after put(A,1): illegal.
+}
+
+TEST(ScheduleAxioms, CausalityViolationsDetected) {
+  TypeRegistry Reg;
+  Schema Sch;
+  unsigned M = Sch.addContainer("M", Reg.lookup("map"));
+  const DataTypeSpec *T = Sch.container(M).Type;
+  unsigned Put = T->opIndex(*T->findOp("put"));
+  History H(Sch);
+  unsigned S1 = H.addSession();
+  unsigned T0 = H.beginTransaction(S1);
+  H.append(T0, M, Put, {1, 1});
+  unsigned T1 = H.beginTransaction(S1);
+  H.append(T1, M, Put, {1, 2});
+  Schedule S(H.numEvents());
+  S.setArbitration({0, 1});
+  // Missing so-visibility violates S2.
+  EXPECT_FALSE(satisfiesCausality(H, S));
+  S.closeCausally(H);
+  EXPECT_TRUE(satisfiesCausality(H, S));
+  // Visibility against arbitration order violates vı ⊆ ar.
+  Schedule S2(H.numEvents());
+  S2.setArbitration({1, 0});
+  S2.setVisible(0, 1);
+  EXPECT_FALSE(satisfiesCausality(H, S2));
+}
+
+TEST(ScheduleAxioms, AtomicVisibilityViolationDetected) {
+  TypeRegistry Reg;
+  Schema Sch;
+  unsigned M = Sch.addContainer("M", Reg.lookup("map"));
+  const DataTypeSpec *T = Sch.container(M).Type;
+  unsigned Put = T->opIndex(*T->findOp("put"));
+  History H(Sch);
+  unsigned S1 = H.addSession(), S2 = H.addSession();
+  unsigned T0 = H.beginTransaction(S1);
+  H.append(T0, M, Put, {1, 1});
+  H.append(T0, M, Put, {2, 2});
+  unsigned T1 = H.beginTransaction(S2);
+  H.append(T1, M, Put, {3, 3});
+  Schedule S(H.numEvents());
+  S.setArbitration({0, 1, 2});
+  S.closeCausally(H);
+  // Event 2 sees event 0 but not event 1: fractured reads.
+  S.setVisible(0, 2);
+  EXPECT_FALSE(satisfiesAtomicVisibility(H, S));
+  S.setVisible(1, 2);
+  EXPECT_TRUE(satisfiesAtomicVisibility(H, S));
+}
+
+//===----------------------------------------------------------------------===//
+// Far relations.
+//===----------------------------------------------------------------------===//
+
+TEST(FarRelations, FixpointMatchesSpecWithoutCopy) {
+  // On a creg history without cp events, the R2 fixpoint keeps plain
+  // commutativity pairs that the conservative spec-level far tables drop.
+  TypeRegistry Reg;
+  Schema Sch;
+  unsigned C = Sch.addContainer("C", Reg.lookup("creg"));
+  const DataTypeSpec *T = Sch.container(C).Type;
+  unsigned Put = T->opIndex(*T->findOp("put"));
+  unsigned Get = T->opIndex(*T->findOp("get"));
+  unsigned Cp = T->opIndex(*T->findOp("cp"));
+
+  History H(Sch);
+  unsigned S1 = H.addSession();
+  unsigned T0 = H.beginTransaction(S1);
+  unsigned U = H.append(T0, C, Put, {1, 5});
+  unsigned S2 = H.addSession();
+  unsigned T1 = H.beginTransaction(S2);
+  unsigned Q = H.append(T1, C, Get, {2}, 0);
+
+  EventRelations SpecRel(H, FarMode::Spec);
+  EXPECT_FALSE(SpecRel.farCommute(U, Q)); // conservative: cp could exist
+  EventRelations FixRel(H, FarMode::Fixpoint);
+  EXPECT_TRUE(FixRel.farCommute(U, Q)); // no cp in this history
+
+  // Now add a cp(1,2) event: the fixpoint drops the pair, exactly the
+  // paper's §4.1 phenomenon.
+  History H2(Sch);
+  unsigned S1b = H2.addSession();
+  unsigned T0b = H2.beginTransaction(S1b);
+  unsigned Ub = H2.append(T0b, C, Put, {1, 5});
+  unsigned S2b = H2.addSession();
+  unsigned T1b = H2.beginTransaction(S2b);
+  unsigned Qb = H2.append(T1b, C, Get, {2}, 0);
+  unsigned S3b = H2.addSession();
+  unsigned T2b = H2.beginTransaction(S3b);
+  H2.append(T2b, C, Cp, {1, 2});
+  EventRelations FixRel2(H2, FarMode::Fixpoint);
+  EXPECT_FALSE(FixRel2.farCommute(Ub, Qb));
+}
+
+TEST(FarRelations, FixpointAtLeastAsPreciseAsSpec) {
+  TypeRegistry Reg;
+  Schema Sch;
+  Sch.addContainer("M", Reg.lookup("map"));
+  Sch.addContainer("S", Reg.lookup("set"));
+  Sch.addContainer("C", Reg.lookup("creg"));
+  Rng R(42);
+  for (int Trial = 0; Trial != 50; ++Trial) {
+    RandomExecution E = generateRandomExecution(Sch, R);
+    EventRelations SpecRel(E.H, FarMode::Spec);
+    EventRelations FixRel(E.H, FarMode::Fixpoint);
+    for (unsigned A = 0; A != E.H.numEvents(); ++A)
+      for (unsigned B = 0; B != E.H.numEvents(); ++B) {
+        if (A == B)
+          continue;
+        // Spec far-commutativity implies fixpoint far-commutativity.
+        if (SpecRel.farCommute(A, B)) {
+          EXPECT_TRUE(FixRel.farCommute(A, B));
+        }
+      }
+  }
+}
+
+TEST(FarRelations, QueriesAlwaysFarCommute) {
+  TypeRegistry Reg;
+  Schema Sch;
+  unsigned M = Sch.addContainer("M", Reg.lookup("map"));
+  const DataTypeSpec *T = Sch.container(M).Type;
+  unsigned Get = T->opIndex(*T->findOp("get"));
+  unsigned Size = T->opIndex(*T->findOp("size"));
+  History H(Sch);
+  unsigned S1 = H.addSession();
+  unsigned T0 = H.beginTransaction(S1);
+  unsigned A = H.append(T0, M, Get, {1}, 0);
+  unsigned B = H.append(T0, M, Size, {}, 0);
+  EventRelations Rel(H);
+  EXPECT_TRUE(Rel.farCommute(A, B));
+  EXPECT_TRUE(Rel.farCommute(B, A));
+}
+
+//===----------------------------------------------------------------------===//
+// Randomized properties: Theorems 1 and 2.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+Schema makeRandomSchema(TypeRegistry &Reg) {
+  Schema Sch;
+  Sch.addContainer("M", Reg.lookup("map"));
+  Sch.addContainer("S", Reg.lookup("set"));
+  Sch.addContainer("K", Reg.lookup("counter"));
+  return Sch;
+}
+
+} // namespace
+
+TEST(TheoremOne, AcyclicDSGImpliesSerializable) {
+  TypeRegistry Reg;
+  Schema Sch = makeRandomSchema(Reg);
+  Rng R(2024);
+  unsigned AcyclicSeen = 0, CyclicSeen = 0;
+  for (int Trial = 0; Trial != 200; ++Trial) {
+    RandomExecution E = generateRandomExecution(Sch, R);
+    EventRelations Rel(E.H);
+    Digraph G = buildDSG(E.H, computeDependencies(E.H, E.S, Rel));
+    if (!G.hasCycle()) {
+      ++AcyclicSeen;
+      EXPECT_TRUE(isSerializable(E.H)) << "Theorem 1 violated";
+    } else {
+      ++CyclicSeen;
+      // Contrapositive sanity only: a cyclic DSG proves nothing.
+    }
+  }
+  // The generator must exercise both branches for this test to mean much.
+  EXPECT_GT(AcyclicSeen, 20u);
+  EXPECT_GT(CyclicSeen, 5u);
+}
+
+TEST(TheoremOne, UnserializableHistoriesHaveCyclicDSGs) {
+  // Contrapositive of Theorem 1 for the generated schedule.
+  TypeRegistry Reg;
+  Schema Sch = makeRandomSchema(Reg);
+  Rng R(77);
+  RandomExecOptions Opts;
+  Opts.VisPercent = 20; // sparse visibility produces more anomalies
+  Opts.MaxSessions = 3;
+  unsigned Unserializable = 0;
+  for (int Trial = 0; Trial != 500; ++Trial) {
+    RandomExecution E = generateRandomExecution(Sch, R, Opts);
+    if (isSerializable(E.H))
+      continue;
+    ++Unserializable;
+    EventRelations Rel(E.H);
+    Digraph G = buildDSG(E.H, computeDependencies(E.H, E.S, Rel));
+    EXPECT_TRUE(G.hasCycle());
+  }
+  EXPECT_GT(Unserializable, 5u);
+}
+
+TEST(TheoremTwo, LocalityOfDependencies) {
+  TypeRegistry Reg;
+  Schema Sch = makeRandomSchema(Reg);
+  Rng R(31337);
+  for (int Trial = 0; Trial != 100; ++Trial) {
+    RandomExecution E = generateRandomExecution(Sch, R);
+    EventRelations Rel(E.H);
+    DependenceTriple Full = computeDependencies(E.H, E.S, Rel);
+    std::vector<bool> Keep(E.H.numEvents());
+    for (unsigned I = 0; I != Keep.size(); ++I)
+      Keep[I] = R.chance(2, 3);
+    DependenceTriple Restr =
+        computeDependenciesRestricted(E.H, E.S, Rel, Keep);
+    for (unsigned A = 0; A != E.H.numEvents(); ++A)
+      for (unsigned B = 0; B != E.H.numEvents(); ++B) {
+        if (!Keep[A] || !Keep[B])
+          continue;
+        // Theorem 2: restriction can only add dependencies, never lose.
+        if (Full.Dep[A][B]) {
+          EXPECT_TRUE(Restr.Dep[A][B]);
+        }
+        if (Full.AntiDep[A][B]) {
+          EXPECT_TRUE(Restr.AntiDep[A][B]);
+        }
+        if (Full.Conflict[A][B]) {
+          EXPECT_TRUE(Restr.Conflict[A][B]);
+        }
+      }
+  }
+}
+
+TEST(RandomExecutions, AlwaysLegalSchedules) {
+  TypeRegistry Reg;
+  Schema Sch = makeRandomSchema(Reg);
+  Rng R(555);
+  for (int Trial = 0; Trial != 100; ++Trial) {
+    RandomExecution E = generateRandomExecution(Sch, R);
+    EXPECT_TRUE(isLegalSchedule(E.H, E.S));
+  }
+}
+
+TEST(RandomExecutions, TableSchemaLegalToo) {
+  TypeRegistry Reg;
+  Schema Sch;
+  Sch.addContainer("T", Reg.lookup("table"));
+  Rng R(999);
+  for (int Trial = 0; Trial != 50; ++Trial) {
+    RandomExecution E = generateRandomExecution(Sch, R);
+    EXPECT_TRUE(isLegalSchedule(E.H, E.S));
+  }
+}

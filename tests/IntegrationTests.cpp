@@ -1,0 +1,185 @@
+//===- tests/IntegrationTests.cpp - Static vs executed behavior -----------===//
+//
+// Part of the C4 serializability analyzer. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// End-to-end soundness evidence: programs the static analysis proves
+/// serializable never exhibit DSG cycles (nor brute-force unserializability)
+/// across many randomized executions on the causal-store simulator; and for
+/// a program with a known violation, some execution exhibits it.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Analyzer.h"
+#include "frontend/Frontend.h"
+#include "store/DynamicAnalyzer.h"
+#include "store/Interpreter.h"
+
+#include <gtest/gtest.h>
+
+using namespace c4;
+
+namespace {
+
+/// Runs \p Rounds random transactions over two replicas with random
+/// delivery; returns the store.
+void randomWorkload(const CompiledProgram &P, CausalStore &Store, Rng &R,
+                    unsigned Rounds) {
+  ProgramRunner Runner(P, Store);
+  std::vector<unsigned> Sessions = {Store.openSession(0),
+                                    Store.openSession(1)};
+  for (unsigned S : Sessions)
+    for (const std::string &Name : P.AST->SessionConsts)
+      Runner.setSessionConst(S, Name, 50 + S);
+  for (const std::string &Name : P.AST->GlobalConsts)
+    Runner.setGlobalConst(Name, 99);
+  std::string Error;
+  for (unsigned Round = 0; Round != Rounds; ++Round) {
+    const TxnDecl &T = P.AST->Txns[R.below(P.AST->Txns.size())];
+    std::vector<int64_t> Args;
+    for (size_t I = 0; I != T.Params.size(); ++I)
+      Args.push_back(R.range(1, 2));
+    ASSERT_TRUE(Runner.runTxn(Sessions[R.below(2)], T.Name, Args, Error))
+        << Error;
+    while (R.chance(1, 2) && Store.deliverRandom(R)) {
+    }
+  }
+  Store.deliverAll();
+}
+
+void expectNoDynamicViolations(const char *Source, unsigned Trials,
+                               unsigned Rounds) {
+  CompileResult C = compileC4L(Source);
+  ASSERT_TRUE(C.ok()) << C.Error;
+  AnalysisResult Static = analyze(*C.Program->History);
+  ASSERT_TRUE(Static.Violations.empty())
+      << "fixture expects a serializable program:\n"
+      << reportStr(*C.Program->History, Static);
+  Rng R(0xFEED);
+  for (unsigned Trial = 0; Trial != Trials; ++Trial) {
+    CausalStore Store(*C.Program->Sch, 2);
+    randomWorkload(*C.Program, Store, R, Rounds);
+    DynamicReport Dyn = analyzeDynamic(Store.history(), Store.schedule());
+    EXPECT_FALSE(Dyn.violationFound())
+        << "dynamic violation in a statically-proved program (soundness!)";
+    if (Store.history().numTransactions() <= 6) {
+      EXPECT_TRUE(isSerializable(Store.history()));
+    }
+  }
+}
+
+} // namespace
+
+TEST(Integration, ProvedSessionKeyProgramNeverMisbehaves) {
+  // Figure 7: all accesses of a session use the session's key.
+  expectNoDynamicViolations(R"(
+container map M;
+session u;
+txn P(y) { M.put(u, y); }
+txn G()  { let v = M.get(u); return v; }
+)",
+                            /*Trials=*/40, /*Rounds=*/5);
+}
+
+TEST(Integration, ProvedLeaseProgramNeverMisbehaves) {
+  expectNoDynamicViolations(R"(
+container table Leases;
+session me;
+txn acquire(t) { Leases.set(me, "until", t); }
+txn release() { Leases.set(me, "until", 0); }
+txn held() {
+  let e = Leases.get(me, "until");
+  display(e);
+}
+)",
+                            /*Trials=*/40, /*Rounds=*/5);
+}
+
+TEST(Integration, ProvedGlobalKeyProgramNeverMisbehaves) {
+  expectNoDynamicViolations(R"(
+container map M;
+global k;
+txn W(v) { M.put(k, v); }
+txn R()  { let x = M.get(k); return x; }
+)",
+                            /*Trials=*/40, /*Rounds=*/5);
+}
+
+TEST(Integration, FlaggedProgramExhibitsViolationUnderSomeTiming) {
+  const char *Source = R"(
+container map M;
+txn P(x, y) { M.put(x, y); }
+txn G(z)    { let v = M.get(z); return v; }
+)";
+  CompileResult C = compileC4L(Source);
+  ASSERT_TRUE(C.ok()) << C.Error;
+  AnalysisResult Static = analyze(*C.Program->History);
+  ASSERT_FALSE(Static.Violations.empty());
+
+  // Search random timings for a dynamic manifestation.
+  Rng R(0xBEEF);
+  bool Seen = false;
+  for (unsigned Trial = 0; Trial != 200 && !Seen; ++Trial) {
+    CausalStore Store(*C.Program->Sch, 2);
+    CompiledProgram &P = *C.Program;
+    ProgramRunner Runner(P, Store);
+    unsigned S0 = Store.openSession(0), S1 = Store.openSession(1);
+    std::string Error;
+    for (int I = 0; I != 6; ++I) {
+      const TxnDecl &T = P.AST->Txns[R.below(P.AST->Txns.size())];
+      std::vector<int64_t> Args;
+      for (size_t J = 0; J != T.Params.size(); ++J)
+        Args.push_back(R.range(1, 2));
+      ASSERT_TRUE(
+          Runner.runTxn(R.chance(1, 2) ? S0 : S1, T.Name, Args, Error));
+      if (R.chance(1, 3))
+        Store.deliverRandom(R);
+    }
+    Store.deliverAll();
+    Seen = analyzeDynamic(Store.history(), Store.schedule())
+               .violationFound();
+  }
+  EXPECT_TRUE(Seen) << "the statically-reported violation never "
+                       "manifested dynamically in 200 random executions";
+}
+
+TEST(Integration, StaticSubsumesDynamicOnRandomWorkloads) {
+  // Whenever the dynamic analyzer flags an executed history of a program,
+  // the static analysis must have flagged the program (static soundness
+  // relative to the dynamic criterion).
+  const char *Sources[] = {
+      R"(container map M;
+txn W(k, v) { M.put(k, v); }
+txn R(k) { let x = M.get(k); return x; })",
+      R"(container table T;
+txn A(r, v) { T.set(r, "f", v); }
+txn D(r) { T.del(r); }
+txn Q(r) { let x = T.get(r, "f"); return x; })",
+      R"(container set S;
+txn Add(x) { S.add(x); }
+txn Rem(x) { S.remove(x); }
+txn Has(x) { let b = S.contains(x); return b; })",
+  };
+  Rng R(0xACE);
+  for (const char *Source : Sources) {
+    CompileResult C = compileC4L(Source);
+    ASSERT_TRUE(C.ok()) << C.Error;
+    AnalysisResult Static = analyze(*C.Program->History);
+    bool DynamicEverFlags = false;
+    for (unsigned Trial = 0; Trial != 30; ++Trial) {
+      CausalStore Store(*C.Program->Sch, 2);
+      randomWorkload(*C.Program, Store, R, 5);
+      DynamicEverFlags =
+          DynamicEverFlags ||
+          analyzeDynamic(Store.history(), Store.schedule())
+              .violationFound();
+    }
+    if (DynamicEverFlags) {
+      EXPECT_FALSE(Static.Violations.empty())
+          << "dynamic found a violation the static analysis missed:\n"
+          << Source;
+    }
+  }
+}

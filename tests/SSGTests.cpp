@@ -1,0 +1,259 @@
+//===- tests/SSGTests.cpp - Static serialization graph tests --------------===//
+//
+// Part of the C4 serializability analyzer. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests SSG construction (Definition 3) and the Theorem 3 checks: the
+/// Figure 1b SSG with its self-loops, the SC2a refutation under a global
+/// key, SC2b's control-flow sensitivity, event masks, and candidate-cycle /
+/// segment enumeration on instantiated SSGs.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ssg/SSG.h"
+#include "unfold/Unfolder.h"
+
+#include <gtest/gtest.h>
+
+using namespace c4;
+
+namespace {
+
+class SSGFixture : public ::testing::Test {
+public:
+  SSGFixture() { M = Sch.addContainer("M", Reg.lookup("map")); }
+
+  unsigned op(const char *Name) {
+    const DataTypeSpec *T = Sch.container(M).Type;
+    return T->opIndex(*T->findOp(Name));
+  }
+
+  /// The Figure 1 program: txn P = put, txn G = get, with given key facts.
+  AbstractHistory buildPutGet(AbsFact PutKey, AbsFact GetKey) {
+    AbstractHistory A(Sch);
+    unsigned P = A.addTransaction("P");
+    unsigned Put = A.addEvent(P, M, op("put"), {PutKey});
+    A.addEo(A.entry(P), Put);
+    unsigned G = A.addTransaction("G");
+    unsigned Get = A.addEvent(G, M, op("get"), {GetKey});
+    A.addEo(A.entry(G), Get);
+    A.setMaySo(P, G);
+    return A;
+  }
+
+  TypeRegistry Reg;
+  Schema Sch;
+  unsigned M = 0;
+};
+
+/// Counts edges with a given label between two nodes.
+unsigned countEdges(const Digraph &G, unsigned From, unsigned To,
+                    int Label) {
+  unsigned N = 0;
+  for (unsigned EI : G.edgesBetween(From, To))
+    if (G.edge(EI).Label == Label)
+      ++N;
+  return N;
+}
+
+} // namespace
+
+TEST_F(SSGFixture, Fig1bStructure) {
+  // The SSG of Figure 1b: so edge P->G, ⊕ P->G, ⊖ G->P, ⊗ self-loop on P.
+  AbstractHistory A = buildPutGet(AbsFact::free(), AbsFact::free());
+  SSG G(A, AnalysisFeatures::all());
+  G.analyze();
+  EXPECT_EQ(countEdges(G.graph(), 0, 1, DepSO), 1u);
+  EXPECT_EQ(countEdges(G.graph(), 0, 1, DepDependency), 1u);
+  EXPECT_EQ(countEdges(G.graph(), 1, 0, DepAntiDep), 1u);
+  EXPECT_EQ(countEdges(G.graph(), 0, 0, DepConflict), 1u);
+  // The program is flagged (it is genuinely unserializable).
+  EXPECT_FALSE(G.provesSerializable());
+}
+
+TEST_F(SSGFixture, GlobalKeyRefutedBySC2a) {
+  // With one global key all puts absorb each other: SC2a fails and the
+  // fast analysis alone proves serializability (paper §6's example).
+  AbstractHistory A(Sch);
+  unsigned U = A.addGlobalVar();
+  unsigned P = A.addTransaction("P");
+  unsigned Put = A.addEvent(P, M, op("put"), {AbsFact::globalVar(U)});
+  A.addEo(A.entry(P), Put);
+  unsigned G = A.addTransaction("G");
+  unsigned Get = A.addEvent(G, M, op("get"), {AbsFact::globalVar(U)});
+  A.addEo(A.entry(G), Get);
+  A.setMaySo(P, G);
+  SSG S(A, AnalysisFeatures::all());
+  S.analyze();
+  EXPECT_TRUE(S.provesSerializable());
+}
+
+TEST_F(SSGFixture, SessionLocalKeyNotRefutedBySSG) {
+  // With session-local keys the SSG cannot prove serializability (§2:
+  // "in this scenario, our characterization of cycles in SSGs does not
+  // prevent infeasible cycles") — the SMT stage is needed.
+  AbstractHistory A(Sch);
+  unsigned U = A.addLocalVar();
+  unsigned P = A.addTransaction("P");
+  unsigned Put = A.addEvent(P, M, op("put"), {AbsFact::localVar(U)});
+  A.addEo(A.entry(P), Put);
+  unsigned G = A.addTransaction("G");
+  unsigned Get = A.addEvent(G, M, op("get"), {AbsFact::localVar(U)});
+  A.addEo(A.entry(G), Get);
+  A.setMaySo(P, G);
+  SSG S(A, AnalysisFeatures::all());
+  S.analyze();
+  EXPECT_FALSE(S.provesSerializable());
+}
+
+TEST_F(SSGFixture, AbsorptionFeatureGatesSC2a) {
+  AbstractHistory A(Sch);
+  unsigned U = A.addGlobalVar();
+  unsigned P = A.addTransaction("P");
+  unsigned Put = A.addEvent(P, M, op("put"), {AbsFact::globalVar(U)});
+  A.addEo(A.entry(P), Put);
+  unsigned G = A.addTransaction("G");
+  unsigned Get = A.addEvent(G, M, op("get"), {AbsFact::globalVar(U)});
+  A.addEo(A.entry(G), Get);
+  A.setMaySo(P, G);
+  AnalysisFeatures NoAbs;
+  NoAbs.Absorption = false;
+  SSG S(A, NoAbs);
+  S.analyze();
+  EXPECT_FALSE(S.provesSerializable());
+}
+
+TEST_F(SSGFixture, ConstraintsFeatureGatesFacts) {
+  AbstractHistory A(Sch);
+  unsigned U = A.addGlobalVar();
+  unsigned P = A.addTransaction("P");
+  unsigned Put = A.addEvent(P, M, op("put"), {AbsFact::globalVar(U)});
+  A.addEo(A.entry(P), Put);
+  unsigned G = A.addTransaction("G");
+  unsigned Get = A.addEvent(G, M, op("get"), {AbsFact::globalVar(U)});
+  A.addEo(A.entry(G), Get);
+  A.setMaySo(P, G);
+  AnalysisFeatures NoCons;
+  NoCons.Constraints = false;
+  SSG S(A, NoCons);
+  S.analyze();
+  EXPECT_FALSE(S.provesSerializable());
+}
+
+TEST_F(SSGFixture, EventMaskRemovesEdges) {
+  AbstractHistory A = buildPutGet(AbsFact::free(), AbsFact::free());
+  SSG S(A, AnalysisFeatures::all());
+  // Mask out the get: no queries left, so no anti-dependencies and SC1
+  // fails everywhere.
+  std::vector<bool> Mask(A.numEvents(), true);
+  for (unsigned E = 0; E != A.numEvents(); ++E)
+    if (!A.event(E).isMarker() && A.isQuery(E))
+      Mask[E] = false;
+  S.setEventMask(Mask);
+  S.analyze();
+  EXPECT_TRUE(S.provesSerializable());
+}
+
+TEST_F(SSGFixture, CrossContainerEventsNeverInterfere) {
+  Schema Sch2;
+  unsigned C1 = Sch2.addContainer("A", Reg.lookup("map"));
+  unsigned C2 = Sch2.addContainer("B", Reg.lookup("map"));
+  AbstractHistory A(Sch2);
+  unsigned T1 = A.addTransaction("w");
+  unsigned E1 = A.addEvent(T1, C1, op("put"), {});
+  A.addEo(A.entry(T1), E1);
+  unsigned T2 = A.addTransaction("r");
+  unsigned E2 = A.addEvent(T2, C2, op("get"), {});
+  A.addEo(A.entry(T2), E2);
+  A.allowAllSo();
+  SSG S(A, AnalysisFeatures::all());
+  S.analyze();
+  EXPECT_FALSE(S.mayInterfere(E1, E2, CommuteMode::Far));
+  EXPECT_TRUE(S.provesSerializable());
+}
+
+TEST_F(SSGFixture, InstantiatedCandidateCyclesSatisfySC1) {
+  AbstractHistory A = buildPutGet(AbsFact::free(), AbsFact::free());
+  bool Truncated = false;
+  std::vector<Unfolding> Us = enumerateUnfoldings(A, 2, 1000, Truncated);
+  ASSERT_FALSE(Truncated);
+  bool AnyCandidates = false;
+  for (const Unfolding &U : Us) {
+    SSG G(U.H, AnalysisFeatures::all(), U.SessionTags);
+    G.analyze();
+    bool CT = false;
+    for (const CandidateCycle &C : G.candidateCycles(64, CT)) {
+      AnyCandidates = true;
+      EXPECT_GE(C.Txns.size(), 2u);
+      EXPECT_TRUE(C.Closed);
+      // SC1: at least one step offers an anti-dependency.
+      unsigned AntiSteps = 0;
+      for (const std::vector<int> &Labels : C.StepLabels)
+        for (int L : Labels)
+          if (L == DepAntiDep) {
+            ++AntiSteps;
+            break;
+          }
+      EXPECT_GE(AntiSteps, 1u);
+    }
+  }
+  EXPECT_TRUE(AnyCandidates);
+}
+
+TEST_F(SSGFixture, SpanningSegmentsCoverAllSessions) {
+  AbstractHistory A = buildPutGet(AbsFact::free(), AbsFact::free());
+  A.allowAllSo();
+  bool Truncated = false;
+  std::vector<Unfolding> Us = enumerateUnfoldings(A, 3, 1000, Truncated);
+  bool AnySegments = false;
+  for (const Unfolding &U : Us) {
+    SSG G(U.H, AnalysisFeatures::all(), U.SessionTags);
+    G.analyze();
+    bool ST = false;
+    for (const CandidateCycle &Seg :
+         G.spanningSegments(U.NumSessions, 512, ST, U.OrigTxn)) {
+      AnySegments = true;
+      EXPECT_FALSE(Seg.Closed);
+      EXPECT_EQ(Seg.StepLabels.size(), Seg.Txns.size() - 1);
+      // Spans every session.
+      std::vector<bool> Seen(U.NumSessions, false);
+      for (unsigned T : Seg.Txns)
+        Seen[U.SessionTags[T]] = true;
+      for (bool B : Seen)
+        EXPECT_TRUE(B);
+    }
+  }
+  EXPECT_TRUE(AnySegments);
+}
+
+//===----------------------------------------------------------------------===//
+// Graph export.
+//===----------------------------------------------------------------------===//
+
+#include "ssg/GraphExport.h"
+
+TEST_F(SSGFixture, DotExportContainsAllNodesAndStyles) {
+  AbstractHistory A = buildPutGet(AbsFact::free(), AbsFact::free());
+  SSG S(A, AnalysisFeatures::all());
+  S.analyze();
+  std::string Dot = ssgToDot(A, S.graph());
+  EXPECT_NE(Dot.find("digraph SSG"), std::string::npos);
+  EXPECT_NE(Dot.find("M.put"), std::string::npos);
+  EXPECT_NE(Dot.find("M.get"), std::string::npos);
+  EXPECT_NE(Dot.find("style=bold"), std::string::npos);   // anti-dep
+  EXPECT_NE(Dot.find("style=dotted"), std::string::npos); // conflict
+  EXPECT_NE(Dot.find("style=dashed"), std::string::npos); // dependency
+}
+
+TEST_F(SSGFixture, DsgDotExport) {
+  History H(Sch);
+  unsigned S1 = H.addSession();
+  unsigned T0 = H.beginTransaction(S1);
+  H.append(T0, M, op("put"), {1, 2});
+  Digraph G(1);
+  std::string Dot = dsgToDot(H, G);
+  EXPECT_NE(Dot.find("digraph DSG"), std::string::npos);
+  EXPECT_NE(Dot.find("M.put(1,2)"), std::string::npos);
+}

@@ -1,0 +1,316 @@
+//===- tests/SpecTests.cpp - Rewrite specification tests ------------------===//
+//
+// Part of the C4 serializability analyzer. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Validates every data type's rewrite specification against its executable
+/// sequential semantics with randomized property tests:
+///
+///  * commutativity: if com(A,B) holds on concrete arguments, swapping the
+///    two events preserves states (update/update) or query outcomes,
+///  * absorption: if abs(A,B) holds, dropping A before any update context
+///    followed by B preserves the state (the R1 far-absorption shape),
+///  * asymmetric commutativity: if asym(U,Q) holds and Q's outcome was r
+///    without U, it remains r with U prepended.
+///
+//===----------------------------------------------------------------------===//
+
+#include "spec/DataType.h"
+#include "spec/Registry.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace c4;
+
+namespace {
+
+/// A concrete event for spec testing: an op index plus combined values.
+struct SpecEvent {
+  unsigned Op;
+  std::vector<int64_t> Vals; // args + ret (ret meaningful for updates only
+                             // when the op has one, e.g. add_row)
+  std::vector<int64_t> args(const OpSig &Sig) const {
+    return std::vector<int64_t>(Vals.begin(), Vals.begin() + Sig.NumArgs);
+  }
+};
+
+class SpecProperty : public ::testing::TestWithParam<const char *> {
+protected:
+  void SetUp() override {
+    Type = Reg.lookup(GetParam());
+    ASSERT_NE(Type, nullptr);
+    for (unsigned I = 0; I != Type->ops().size(); ++I)
+      if (Type->ops()[I].isUpdate())
+        Updates.push_back(I);
+      else
+        Queries.push_back(I);
+  }
+
+  /// Random values: small domain so collisions are frequent.
+  int64_t randVal(Rng &R) { return R.range(0, 2); }
+
+  SpecEvent randUpdate(Rng &R) {
+    unsigned Op = Updates[R.below(Updates.size())];
+    const OpSig &Sig = Type->ops()[Op];
+    SpecEvent E{Op, {}};
+    for (unsigned I = 0; I != Sig.numVals(); ++I)
+      E.Vals.push_back(randVal(R));
+    return E;
+  }
+
+  std::unique_ptr<ContainerState>
+  applyAll(const std::vector<SpecEvent> &Seq) {
+    std::unique_ptr<ContainerState> S = Type->makeState();
+    for (const SpecEvent &E : Seq)
+      S->apply(Type->ops()[E.Op], E.Vals);
+    return S;
+  }
+
+  /// Compares two states by evaluating every query on a small argument
+  /// domain.
+  bool statesEqual(const ContainerState &A, const ContainerState &B) {
+    for (unsigned Q : Queries) {
+      const OpSig &Sig = Type->ops()[Q];
+      std::vector<int64_t> Args(Sig.NumArgs, 0);
+      // Enumerate the argument cube {0,1,2}^NumArgs.
+      while (true) {
+        if (A.eval(Sig, Args) != B.eval(Sig, Args))
+          return false;
+        unsigned I = 0;
+        for (; I != Args.size(); ++I) {
+          if (++Args[I] <= 2)
+            break;
+          Args[I] = 0;
+        }
+        if (I == Args.size())
+          break;
+      }
+      if (Sig.NumArgs == 0)
+        continue;
+    }
+    return true;
+  }
+
+  TypeRegistry Reg;
+  const DataTypeSpec *Type = nullptr;
+  std::vector<unsigned> Updates, Queries;
+};
+
+TEST_P(SpecProperty, UpdateUpdateCommutativityIsSound) {
+  Rng R(0xC0FFEE);
+  for (int Trial = 0; Trial != 3000; ++Trial) {
+    SpecEvent A = randUpdate(R), B = randUpdate(R);
+    Cond Com = commutesCond(*Type, A.Op, B.Op, CommuteMode::Plain);
+    if (!Com.eval(A.Vals, B.Vals))
+      continue;
+    std::vector<SpecEvent> Ctx;
+    for (int I = 0, N = static_cast<int>(R.below(4)); I != N; ++I)
+      Ctx.push_back(randUpdate(R));
+    std::vector<SpecEvent> S1 = Ctx, S2 = Ctx;
+    S1.push_back(A);
+    S1.push_back(B);
+    S2.push_back(B);
+    S2.push_back(A);
+    EXPECT_TRUE(statesEqual(*applyAll(S1), *applyAll(S2)))
+        << "ops " << Type->ops()[A.Op].Name << " / "
+        << Type->ops()[B.Op].Name << " under " << Com.str();
+  }
+}
+
+TEST_P(SpecProperty, FarAbsorptionIsSound) {
+  Rng R(0xABCD);
+  for (int Trial = 0; Trial != 3000; ++Trial) {
+    SpecEvent A = randUpdate(R), B = randUpdate(R);
+    Cond Abs = absorbsCond(*Type, A.Op, B.Op, /*Far=*/true);
+    if (!Abs.eval(A.Vals, B.Vals))
+      continue;
+    // R1 shape: A beta B  ==  beta B for arbitrary update sequences beta.
+    std::vector<SpecEvent> Beta;
+    for (int I = 0, N = static_cast<int>(R.below(4)); I != N; ++I)
+      Beta.push_back(randUpdate(R));
+    std::vector<SpecEvent> S1, S2;
+    S1.push_back(A);
+    S1.insert(S1.end(), Beta.begin(), Beta.end());
+    S1.push_back(B);
+    S2 = Beta;
+    S2.push_back(B);
+    EXPECT_TRUE(statesEqual(*applyAll(S1), *applyAll(S2)))
+        << "abs " << Type->ops()[A.Op].Name << " |> "
+        << Type->ops()[B.Op].Name;
+  }
+}
+
+TEST_P(SpecProperty, UpdateQueryCommutativityIsSound) {
+  Rng R(0x5EED);
+  for (int Trial = 0; Trial != 3000; ++Trial) {
+    if (Queries.empty())
+      break;
+    SpecEvent U = randUpdate(R);
+    unsigned QOp = Queries[R.below(Queries.size())];
+    const OpSig &QSig = Type->ops()[QOp];
+    std::vector<int64_t> QArgs;
+    for (unsigned I = 0; I != QSig.NumArgs; ++I)
+      QArgs.push_back(randVal(R));
+
+    std::vector<SpecEvent> Ctx;
+    for (int I = 0, N = static_cast<int>(R.below(4)); I != N; ++I)
+      Ctx.push_back(randUpdate(R));
+    std::unique_ptr<ContainerState> Before = applyAll(Ctx);
+    std::vector<SpecEvent> CtxU = Ctx;
+    CtxU.push_back(U);
+    std::unique_ptr<ContainerState> After = applyAll(CtxU);
+    int64_t R0 = Before->eval(QSig, QArgs); // outcome without U
+    int64_t R1 = After->eval(QSig, QArgs);  // outcome with U
+
+    for (int64_t Ret : {R0, R1}) {
+      std::vector<int64_t> QVals = QArgs;
+      QVals.push_back(Ret);
+      // Symmetric far commutativity: both orders equally legal.
+      Cond Far = commutesCond(*Type, U.Op, QOp, CommuteMode::Far);
+      if (Far.eval(U.Vals, QVals)) {
+        EXPECT_EQ(R0 == Ret, R1 == Ret)
+            << Type->ops()[U.Op].Name << " vs " << QSig.Name << ":" << Ret;
+      }
+      // Asymmetric: if the query was legal without U, it stays legal.
+      Cond Asym = commutesCond(*Type, U.Op, QOp, CommuteMode::Asym);
+      if (Asym.eval(U.Vals, QVals) && R0 == Ret) {
+        EXPECT_EQ(R1, Ret)
+            << "asym " << Type->ops()[U.Op].Name << " vs " << QSig.Name;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTypes, SpecProperty,
+                         ::testing::Values("register", "counter", "map",
+                                           "set", "table", "creg",
+                                           "maxreg"));
+
+//===----------------------------------------------------------------------===//
+// Targeted checks of individual table entries from the paper.
+//===----------------------------------------------------------------------===//
+
+class MapSpec : public ::testing::Test {
+protected:
+  TypeRegistry Reg;
+  const DataTypeSpec *Map = Reg.lookup("map");
+  unsigned put() { return Map->opIndex(*Map->findOp("put")); }
+  unsigned inc() { return Map->opIndex(*Map->findOp("inc")); }
+  unsigned get() { return Map->opIndex(*Map->findOp("get")); }
+  unsigned contains() { return Map->opIndex(*Map->findOp("contains")); }
+  unsigned size() { return Map->opIndex(*Map->findOp("size")); }
+};
+
+TEST_F(MapSpec, Fig6CommutativityEntries) {
+  // put(k,v) vs get(k'): commute iff k != k'.
+  Cond C = commutesCond(*Map, put(), get(), CommuteMode::Plain);
+  EXPECT_TRUE(C.eval({1, 5}, {2, 0}));
+  EXPECT_FALSE(C.eval({1, 5}, {1, 0}));
+  // put vs put: k != k' or v = v'.
+  Cond P = commutesCond(*Map, put(), put(), CommuteMode::Plain);
+  EXPECT_TRUE(P.eval({1, 5}, {1, 5}));
+  EXPECT_TRUE(P.eval({1, 5}, {2, 6}));
+  EXPECT_FALSE(P.eval({1, 5}, {1, 6}));
+  // put vs size: never.
+  EXPECT_TRUE(
+      commutesCond(*Map, put(), size(), CommuteMode::Plain).isFalse());
+  // get vs get: always (queries).
+  EXPECT_TRUE(
+      commutesCond(*Map, get(), get(), CommuteMode::Plain).isTrue());
+}
+
+TEST_F(MapSpec, PaperSec3AbsorptionExample) {
+  // put(a,2) absorbs inc(a,1), but not vice versa.
+  Cond AbsIncPut = absorbsCond(*Map, inc(), put(), /*Far=*/true);
+  EXPECT_TRUE(AbsIncPut.eval({7, 1}, {7, 2}));
+  EXPECT_FALSE(AbsIncPut.eval({7, 1}, {8, 2}));
+  Cond AbsPutInc = absorbsCond(*Map, put(), inc(), /*Far=*/true);
+  EXPECT_FALSE(AbsPutInc.eval({7, 2}, {7, 1}));
+}
+
+TEST_F(MapSpec, AsymmetricContains) {
+  // contains(k):true tolerates a put(k,...) moving before it.
+  Cond Asym = commutesCond(*Map, put(), contains(), CommuteMode::Asym);
+  EXPECT_TRUE(Asym.eval({1, 5}, {1, 1}));  // ret true
+  EXPECT_FALSE(Asym.eval({1, 5}, {1, 0})); // ret false
+  // The symmetric version rejects both on equal keys.
+  Cond Sym = commutesCond(*Map, put(), contains(), CommuteMode::Far);
+  EXPECT_FALSE(Sym.eval({1, 5}, {1, 1}));
+}
+
+TEST(CRegSpec, FarDiffersFromPlain) {
+  TypeRegistry Reg;
+  const DataTypeSpec *CReg = Reg.lookup("creg");
+  unsigned Put = CReg->opIndex(*CReg->findOp("put"));
+  unsigned Inc = CReg->opIndex(*CReg->findOp("inc"));
+  unsigned Get = CReg->opIndex(*CReg->findOp("get"));
+  // Plain: put(a,2) commutes with get(b) when a != b.
+  EXPECT_TRUE(commutesCond(*CReg, Put, Get, CommuteMode::Plain)
+                  .eval({1, 2}, {2, 0}));
+  // Far: never (cp can link the keys) — paper §4.1.
+  EXPECT_TRUE(commutesCond(*CReg, Put, Get, CommuteMode::Far).isFalse());
+  // Plain: put(a,2) absorbs inc(a,1); far: it does not.
+  EXPECT_TRUE(
+      absorbsCond(*CReg, Inc, Put, /*Far=*/false).eval({1, 1}, {1, 2}));
+  EXPECT_TRUE(absorbsCond(*CReg, Inc, Put, /*Far=*/true).isFalse());
+}
+
+TEST(CRegSpec, PaperCounterexampleSequence) {
+  // inc(a,1) cp(a,b) put(a,2)  !=  cp(a,b) put(a,2): b differs (1 vs 0).
+  TypeRegistry Reg;
+  const DataTypeSpec *CReg = Reg.lookup("creg");
+  const OpSig &Inc = *CReg->findOp("inc");
+  const OpSig &Cp = *CReg->findOp("cp");
+  const OpSig &Put = *CReg->findOp("put");
+  const OpSig &Get = *CReg->findOp("get");
+  std::unique_ptr<ContainerState> S1 = CReg->makeState();
+  S1->apply(Inc, {1, 1});
+  S1->apply(Cp, {1, 2});
+  S1->apply(Put, {1, 2});
+  std::unique_ptr<ContainerState> S2 = CReg->makeState();
+  S2->apply(Cp, {1, 2});
+  S2->apply(Put, {1, 2});
+  EXPECT_EQ(S1->eval(Get, {2}), 1);
+  EXPECT_EQ(S2->eval(Get, {2}), 0);
+}
+
+TEST(TableSpec, FreshRowSemantics) {
+  TypeRegistry Reg;
+  const DataTypeSpec *Table = Reg.lookup("table");
+  const OpSig &AddRow = *Table->findOp("add_row");
+  EXPECT_TRUE(AddRow.Fresh);
+  EXPECT_TRUE(AddRow.isUpdate());
+  EXPECT_TRUE(AddRow.HasRet);
+  const OpSig &Set = *Table->findOp("set");
+  const OpSig &Contains = *Table->findOp("contains");
+  const OpSig &Get = *Table->findOp("get");
+  std::unique_ptr<ContainerState> S = Table->makeState();
+  EXPECT_EQ(S->eval(Contains, {100}), 0);
+  S->apply(AddRow, {100});
+  EXPECT_EQ(S->eval(Contains, {100}), 1);
+  EXPECT_EQ(S->eval(Get, {100, 1}), 0);
+  S->apply(Set, {100, 1, 42});
+  EXPECT_EQ(S->eval(Get, {100, 1}), 42);
+  // Implicit creation: set on an unknown row creates it.
+  S->apply(Set, {200, 1, 7});
+  EXPECT_EQ(S->eval(Contains, {200}), 1);
+}
+
+TEST(RegistrySchema, LookupAndDeclare) {
+  TypeRegistry Reg;
+  EXPECT_NE(Reg.lookup("map"), nullptr);
+  EXPECT_EQ(Reg.lookup("nope"), nullptr);
+  Schema Sch;
+  unsigned M = Sch.addContainer("M", Reg.lookup("map"));
+  unsigned S = Sch.addContainer("S", Reg.lookup("set"));
+  EXPECT_EQ(Sch.numContainers(), 2u);
+  EXPECT_EQ(Sch.lookup("M"), static_cast<int>(M));
+  EXPECT_EQ(Sch.lookup("S"), static_cast<int>(S));
+  EXPECT_EQ(Sch.lookup("X"), -1);
+  EXPECT_EQ(Sch.container(M).Type->name(), "map");
+}
+
+} // namespace

@@ -1,0 +1,180 @@
+//===- tests/SupportTests.cpp - Support library unit tests ----------------===//
+//
+// Part of the C4 serializability analyzer. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Digraph.h"
+#include "support/Format.h"
+#include "support/Interner.h"
+#include "support/Rng.h"
+#include "support/UnionFind.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+using namespace c4;
+
+TEST(Format, Strf) {
+  EXPECT_EQ(strf("x=%d y=%s", 42, "ok"), "x=42 y=ok");
+  EXPECT_EQ(strf("%s", ""), "");
+}
+
+TEST(Format, Join) {
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"a"}, ","), "a");
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+}
+
+TEST(Rng, DeterministicAndInRange) {
+  Rng A(7), B(7);
+  for (int I = 0; I != 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+  Rng R(123);
+  for (int I = 0; I != 1000; ++I) {
+    int64_t V = R.range(-3, 5);
+    EXPECT_GE(V, -3);
+    EXPECT_LE(V, 5);
+  }
+}
+
+TEST(Rng, RoughlyUniform) {
+  Rng R(99);
+  unsigned Counts[4] = {0, 0, 0, 0};
+  for (int I = 0; I != 4000; ++I)
+    ++Counts[R.below(4)];
+  for (unsigned C : Counts) {
+    EXPECT_GT(C, 800u);
+    EXPECT_LT(C, 1200u);
+  }
+}
+
+TEST(UnionFind, MergeAndFind) {
+  UnionFind UF(5);
+  EXPECT_FALSE(UF.connected(0, 1));
+  UF.merge(0, 1);
+  UF.merge(2, 3);
+  EXPECT_TRUE(UF.connected(0, 1));
+  EXPECT_TRUE(UF.connected(2, 3));
+  EXPECT_FALSE(UF.connected(1, 2));
+  UF.merge(1, 2);
+  EXPECT_TRUE(UF.connected(0, 3));
+  EXPECT_FALSE(UF.connected(0, 4));
+  unsigned Fresh = UF.add();
+  EXPECT_EQ(Fresh, 5u);
+  EXPECT_FALSE(UF.connected(Fresh, 0));
+}
+
+TEST(Interner, RoundTrip) {
+  Interner I;
+  int64_t A = I.intern("alpha");
+  int64_t B = I.intern("beta");
+  EXPECT_NE(A, B);
+  EXPECT_EQ(I.intern("alpha"), A);
+  EXPECT_EQ(*I.lookup(A), "alpha");
+  EXPECT_EQ(*I.lookup(B), "beta");
+  EXPECT_EQ(I.lookup(5), nullptr);
+  EXPECT_GE(A, Interner::Base);
+}
+
+TEST(Digraph, BasicEdges) {
+  Digraph G(3);
+  G.addEdge(0, 1, 7);
+  G.addEdge(0, 1, 8);
+  G.addEdge(1, 2);
+  EXPECT_TRUE(G.hasEdge(0, 1));
+  EXPECT_FALSE(G.hasEdge(1, 0));
+  EXPECT_EQ(G.edgesBetween(0, 1).size(), 2u);
+  EXPECT_EQ(G.edge(G.edgesBetween(0, 1)[0]).Label, 7);
+}
+
+TEST(Digraph, SCC) {
+  // 0 -> 1 -> 2 -> 0 is one component; 3 -> 4 are singletons.
+  Digraph G(5);
+  G.addEdge(0, 1);
+  G.addEdge(1, 2);
+  G.addEdge(2, 0);
+  G.addEdge(3, 4);
+  G.addEdge(2, 3);
+  unsigned N = 0;
+  std::vector<unsigned> C = G.stronglyConnectedComponents(N);
+  EXPECT_EQ(N, 3u);
+  EXPECT_EQ(C[0], C[1]);
+  EXPECT_EQ(C[1], C[2]);
+  EXPECT_NE(C[2], C[3]);
+  EXPECT_NE(C[3], C[4]);
+  // Tarjan emits components in reverse topological order.
+  EXPECT_GT(C[0], C[3]);
+  EXPECT_GT(C[3], C[4]);
+}
+
+TEST(Digraph, CycleDetection) {
+  Digraph G(3);
+  G.addEdge(0, 1);
+  G.addEdge(1, 2);
+  EXPECT_FALSE(G.hasCycle());
+  EXPECT_EQ(G.topologicalOrder().size(), 3u);
+  G.addEdge(2, 0);
+  EXPECT_TRUE(G.hasCycle());
+  EXPECT_TRUE(G.topologicalOrder().empty());
+}
+
+TEST(Digraph, SelfLoopIsCycle) {
+  Digraph G(2);
+  G.addEdge(1, 1);
+  EXPECT_TRUE(G.hasCycle());
+}
+
+TEST(Digraph, Reachability) {
+  Digraph G(4);
+  G.addEdge(0, 1);
+  G.addEdge(1, 2);
+  std::vector<bool> R = G.reachableFrom(0);
+  EXPECT_TRUE(R[0]);
+  EXPECT_TRUE(R[2]);
+  EXPECT_FALSE(R[3]);
+}
+
+TEST(Digraph, SimpleCyclesTriangleAndTwoCycle) {
+  Digraph G(4);
+  G.addEdge(0, 1);
+  G.addEdge(1, 0);
+  G.addEdge(1, 2);
+  G.addEdge(2, 3);
+  G.addEdge(3, 1);
+  bool Truncated = false;
+  std::vector<std::vector<unsigned>> Cycles = G.simpleCycles(100, Truncated);
+  EXPECT_FALSE(Truncated);
+  std::set<std::vector<unsigned>> Set(Cycles.begin(), Cycles.end());
+  EXPECT_EQ(Set.size(), 2u);
+  EXPECT_TRUE(Set.count({0, 1}));
+  EXPECT_TRUE(Set.count({1, 2, 3}));
+}
+
+TEST(Digraph, SimpleCyclesCompleteGraph) {
+  // K4 has 4*(4-1)... exactly: cycles of length 2: C(4,2)=6; length 3:
+  // 4 choose 3 subsets * 2 orientations = 8; length 4: 3!/... = 6. Total 20.
+  Digraph G(4);
+  for (unsigned A = 0; A != 4; ++A)
+    for (unsigned B = 0; B != 4; ++B)
+      if (A != B)
+        G.addEdge(A, B);
+  bool Truncated = false;
+  std::vector<std::vector<unsigned>> Cycles = G.simpleCycles(1000, Truncated);
+  EXPECT_FALSE(Truncated);
+  EXPECT_EQ(Cycles.size(), 20u);
+}
+
+TEST(Digraph, SimpleCyclesTruncation) {
+  Digraph G(6);
+  for (unsigned A = 0; A != 6; ++A)
+    for (unsigned B = 0; B != 6; ++B)
+      if (A != B)
+        G.addEdge(A, B);
+  bool Truncated = false;
+  std::vector<std::vector<unsigned>> Cycles = G.simpleCycles(10, Truncated);
+  EXPECT_TRUE(Truncated);
+  EXPECT_EQ(Cycles.size(), 10u);
+}

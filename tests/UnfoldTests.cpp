@@ -1,0 +1,244 @@
+//===- tests/UnfoldTests.cpp - k-unfolding tests --------------------------===//
+//
+// Part of the C4 serializability analyzer. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests the unfolder (§7.1): session-spec enumeration (singles and
+/// so-linked pairs, multisets up to session permutation), variable
+/// inheritance, the transaction-universe restriction, and the Definition 4
+/// SCC unfolding of transactions with cyclic event order (loops), including
+/// the invariant-retention rules (Inv kept on R edges, dropped on
+/// I'/O'/B').
+///
+//===----------------------------------------------------------------------===//
+
+#include "unfold/Unfolder.h"
+
+#include "support/Digraph.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+using namespace c4;
+
+namespace {
+
+class UnfoldFixture : public ::testing::Test {
+public:
+  UnfoldFixture() { M = Sch.addContainer("M", Reg.lookup("map")); }
+
+  unsigned op(const char *Name) {
+    const DataTypeSpec *T = Sch.container(M).Type;
+    return T->opIndex(*T->findOp(Name));
+  }
+
+  TypeRegistry Reg;
+  Schema Sch;
+  unsigned M = 0;
+};
+
+} // namespace
+
+TEST_F(UnfoldFixture, EnumerationCountsAndShape) {
+  // Two transactions, so allowed only P -> G.
+  AbstractHistory A(Sch);
+  unsigned P = A.addTransaction("P");
+  A.addEo(A.entry(P), A.addEvent(P, M, op("put"), {}));
+  unsigned G = A.addTransaction("G");
+  A.addEo(A.entry(G), A.addEvent(G, M, op("get"), {}));
+  A.setMaySo(P, G);
+
+  bool Truncated = false;
+  std::vector<Unfolding> Us = enumerateUnfoldings(A, 2, 100000, Truncated);
+  EXPECT_FALSE(Truncated);
+  // Specs: {P}, {G}, {P,G} -> multisets of size 2 over 3 specs = C(4,2)=6.
+  EXPECT_EQ(Us.size(), 6u);
+  for (const Unfolding &U : Us) {
+    EXPECT_EQ(U.NumSessions, 2u);
+    EXPECT_LE(U.H.numTxns(), 4u);
+    EXPECT_EQ(U.OrigTxn.size(), U.H.numTxns());
+    EXPECT_EQ(U.SessionTags.size(), U.H.numTxns());
+    EXPECT_EQ(U.OrigEvent.size(), U.H.numEvents());
+    // Events map to original events with the same label.
+    for (unsigned E = 0; E != U.H.numEvents(); ++E)
+      EXPECT_EQ(U.H.event(E).Label, A.event(U.OrigEvent[E]).Label);
+  }
+}
+
+TEST_F(UnfoldFixture, SoPairsRespectTransitiveClosure) {
+  // a -> b -> c: the pair (a,c) is reachable through the closure.
+  AbstractHistory A(Sch);
+  unsigned TA = A.addTransaction("a");
+  A.addEo(A.entry(TA), A.addEvent(TA, M, op("put"), {}));
+  unsigned TB = A.addTransaction("b");
+  A.addEo(A.entry(TB), A.addEvent(TB, M, op("put"), {}));
+  unsigned TC = A.addTransaction("c");
+  A.addEo(A.entry(TC), A.addEvent(TC, M, op("put"), {}));
+  A.setMaySo(TA, TB);
+  A.setMaySo(TB, TC);
+
+  bool Truncated = false;
+  std::vector<Unfolding> Us = enumerateUnfoldings(A, 1, 100000, Truncated);
+  // Session specs: 3 singles + pairs (a,b),(b,c),(a,c) = 6 one-session
+  // unfoldings.
+  EXPECT_EQ(Us.size(), 6u);
+  bool SawAC = false;
+  for (const Unfolding &U : Us) {
+    std::vector<unsigned> Set = U.origTxnSet();
+    if (Set == std::vector<unsigned>{TA, TC})
+      SawAC = true;
+  }
+  EXPECT_TRUE(SawAC);
+}
+
+TEST_F(UnfoldFixture, UniverseRestriction) {
+  AbstractHistory A(Sch);
+  unsigned P = A.addTransaction("P");
+  A.addEo(A.entry(P), A.addEvent(P, M, op("put"), {}));
+  unsigned G = A.addTransaction("G");
+  A.addEo(A.entry(G), A.addEvent(G, M, op("get"), {}));
+  A.allowAllSo();
+
+  std::vector<unsigned> OnlyP = {P};
+  bool Truncated = false;
+  std::vector<Unfolding> Us =
+      enumerateUnfoldings(A, 2, 100000, Truncated, &OnlyP);
+  for (const Unfolding &U : Us)
+    for (unsigned T : U.OrigTxn)
+      EXPECT_EQ(T, P);
+  (void)G;
+}
+
+TEST_F(UnfoldFixture, VariablesInherited) {
+  AbstractHistory A(Sch);
+  unsigned L = A.addLocalVar();
+  unsigned Gv = A.addGlobalVar();
+  unsigned P = A.addTransaction("P");
+  A.addEo(A.entry(P), A.addEvent(P, M, op("put"), {AbsFact::localVar(L)}));
+  A.allowAllSo();
+  (void)Gv;
+  bool Truncated = false;
+  std::vector<Unfolding> Us = enumerateUnfoldings(A, 2, 1000, Truncated);
+  ASSERT_FALSE(Us.empty());
+  EXPECT_EQ(Us[0].H.numLocalVars(), 1u);
+  EXPECT_EQ(Us[0].H.numGlobalVars(), 1u);
+}
+
+TEST_F(UnfoldFixture, AcyclicTransactionsUnfoldToThemselves) {
+  AbstractHistory A(Sch);
+  unsigned T = A.addTransaction("t");
+  unsigned E1 = A.addEvent(T, M, op("get"), {});
+  unsigned E2 = A.addEvent(T, M, op("put"), {});
+  A.addEo(A.entry(T), E1);
+  A.addEo(E1, E2, Cond::lt(Term::argSrc(1), Term::constant(10)));
+  A.addInv(E1, E2, Cond::eq(Term::argSrc(0), Term::argTgt(0)));
+
+  UnfoldedTxnTemplate Tmpl = unfoldTransaction(A, T);
+  EXPECT_EQ(Tmpl.Orig.size(), 3u); // entry + get + put
+  EXPECT_EQ(Tmpl.Eo.size(), 2u);
+  EXPECT_EQ(Tmpl.Invs.size(), 1u);
+  // The guard survives on the straight-line edge.
+  bool GuardSeen = false;
+  for (const AbstractConstraint &E : Tmpl.Eo)
+    GuardSeen = GuardSeen || !E.C.isTrue();
+  EXPECT_TRUE(GuardSeen);
+}
+
+TEST_F(UnfoldFixture, Definition4UnfoldsLoops) {
+  // entry -> q -> u -> exit with a back edge u -> q: a loop (Fig. 8).
+  AbstractHistory A(Sch);
+  unsigned T = A.addTransaction("loop");
+  unsigned Q = A.addEvent(T, M, op("get"), {});
+  unsigned U = A.addEvent(T, M, op("put"), {});
+  unsigned Exit = A.addMarker(T, "exit");
+  A.addEo(A.entry(T), Q);
+  A.addEo(Q, U, Cond::lt(Term::argSrc(1), Term::constant(10)));
+  A.addEo(U, Q); // back edge: loop
+  A.addEo(U, Exit);
+  A.addInv(Q, U, Cond::eq(Term::argSrc(0), Term::argTgt(0)));
+
+  UnfoldedTxnTemplate Tmpl = unfoldTransaction(A, T);
+  // The SCC {q,u} is duplicated: entry + exit + 2 copies of {q,u} = 6.
+  EXPECT_EQ(Tmpl.Orig.size(), 6u);
+  // The result is acyclic.
+  Digraph G(static_cast<unsigned>(Tmpl.Orig.size()));
+  for (const AbstractConstraint &E : Tmpl.Eo)
+    G.addEdge(E.Src, E.Tgt);
+  EXPECT_FALSE(G.hasCycle());
+  // Both copies carry the q->u invariant-bearing R edge; the pair
+  // invariant is duplicated per copy.
+  EXPECT_EQ(Tmpl.Invs.size(), 2u);
+  // Each copy of q and u appears exactly twice.
+  std::map<unsigned, unsigned> Copies;
+  for (unsigned Orig : Tmpl.Orig)
+    ++Copies[Orig];
+  EXPECT_EQ(Copies[Q], 2u);
+  EXPECT_EQ(Copies[U], 2u);
+  EXPECT_EQ(Copies[Exit], 1u);
+}
+
+TEST_F(UnfoldFixture, Definition4EdgeClasses) {
+  // Same loop; check the rewiring: entry reaches both the loop head copy1
+  // (I' includes Is x Bt), copy1 reaches copy2 via back-edge images, and
+  // both copies reach the exit (O' from copy1 and copy2).
+  AbstractHistory A(Sch);
+  unsigned T = A.addTransaction("loop");
+  unsigned Q = A.addEvent(T, M, op("get"), {});
+  unsigned U = A.addEvent(T, M, op("put"), {});
+  unsigned Exit = A.addMarker(T, "exit");
+  A.addEo(A.entry(T), Q);
+  A.addEo(Q, U);
+  A.addEo(U, Q);
+  A.addEo(U, Exit);
+
+  UnfoldedTxnTemplate Tmpl = unfoldTransaction(A, T);
+  Digraph G(static_cast<unsigned>(Tmpl.Orig.size()));
+  for (const AbstractConstraint &E : Tmpl.Eo)
+    G.addEdge(E.Src, E.Tgt);
+  // Local index 0 is the entry; find exit and the copies.
+  unsigned EntryIdx = 0, ExitIdx = ~0u;
+  std::vector<unsigned> QIdx, UIdx;
+  for (unsigned I = 0; I != Tmpl.Orig.size(); ++I) {
+    if (Tmpl.Orig[I] == Exit)
+      ExitIdx = I;
+    if (Tmpl.Orig[I] == Q)
+      QIdx.push_back(I);
+    if (Tmpl.Orig[I] == U)
+      UIdx.push_back(I);
+  }
+  ASSERT_EQ(QIdx.size(), 2u);
+  ASSERT_EQ(UIdx.size(), 2u);
+  ASSERT_NE(ExitIdx, ~0u);
+  // Entry reaches every copy; every update copy reaches the exit.
+  std::vector<bool> FromEntry = G.reachableFrom(EntryIdx);
+  for (unsigned I : QIdx)
+    EXPECT_TRUE(FromEntry[I]);
+  for (unsigned I : UIdx) {
+    EXPECT_TRUE(FromEntry[I]);
+    EXPECT_TRUE(G.reachableFrom(I)[ExitIdx]);
+  }
+}
+
+TEST_F(UnfoldFixture, BuildUnfoldingSessionLayout) {
+  AbstractHistory A(Sch);
+  unsigned P = A.addTransaction("P");
+  A.addEo(A.entry(P), A.addEvent(P, M, op("put"), {}));
+  unsigned G = A.addTransaction("G");
+  A.addEo(A.entry(G), A.addEvent(G, M, op("get"), {}));
+  A.allowAllSo();
+
+  Unfolding U = buildUnfolding(A, {{P, G}, {G}});
+  EXPECT_EQ(U.NumSessions, 2u);
+  ASSERT_EQ(U.H.numTxns(), 3u);
+  EXPECT_EQ(U.SessionTags[0], 0u);
+  EXPECT_EQ(U.SessionTags[1], 0u);
+  EXPECT_EQ(U.SessionTags[2], 1u);
+  EXPECT_TRUE(U.H.maySo(0, 1));  // chain inside session 0
+  EXPECT_FALSE(U.H.maySo(1, 0));
+  EXPECT_FALSE(U.H.maySo(0, 2)); // no cross-session order
+  EXPECT_EQ(U.origTxnSet(), (std::vector<unsigned>{P, G}));
+}
