@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_dynamic_compare.cpp" "bench/CMakeFiles/bench_dynamic_compare.dir/bench_dynamic_compare.cpp.o" "gcc" "bench/CMakeFiles/bench_dynamic_compare.dir/bench_dynamic_compare.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/c4_bench_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/c4_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/store/CMakeFiles/c4_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/smt/CMakeFiles/c4_smt.dir/DependInfo.cmake"
+  "/root/repo/build/src/ssg/CMakeFiles/c4_ssg.dir/DependInfo.cmake"
+  "/root/repo/build/src/unfold/CMakeFiles/c4_unfold.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/c4_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/abstract/CMakeFiles/c4_abstract.dir/DependInfo.cmake"
+  "/root/repo/build/src/history/CMakeFiles/c4_history.dir/DependInfo.cmake"
+  "/root/repo/build/src/spec/CMakeFiles/c4_spec.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/c4_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

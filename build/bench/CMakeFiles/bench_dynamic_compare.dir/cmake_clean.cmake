@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dynamic_compare.dir/bench_dynamic_compare.cpp.o"
+  "CMakeFiles/bench_dynamic_compare.dir/bench_dynamic_compare.cpp.o.d"
+  "bench_dynamic_compare"
+  "bench_dynamic_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dynamic_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13b.dir/bench_fig13b.cpp.o"
+  "CMakeFiles/bench_fig13b.dir/bench_fig13b.cpp.o.d"
+  "bench_fig13b"
+  "bench_fig13b.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13b.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

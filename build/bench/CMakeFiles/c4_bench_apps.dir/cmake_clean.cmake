@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/c4_bench_apps.dir/apps/Apps.cpp.o"
+  "CMakeFiles/c4_bench_apps.dir/apps/Apps.cpp.o.d"
+  "CMakeFiles/c4_bench_apps.dir/apps/CassandraApps.cpp.o"
+  "CMakeFiles/c4_bench_apps.dir/apps/CassandraApps.cpp.o.d"
+  "CMakeFiles/c4_bench_apps.dir/apps/TouchDevelopApps.cpp.o"
+  "CMakeFiles/c4_bench_apps.dir/apps/TouchDevelopApps.cpp.o.d"
+  "libc4_bench_apps.a"
+  "libc4_bench_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/c4_bench_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fix_with_crdts.dir/fix_with_crdts.cpp.o"
+  "CMakeFiles/fix_with_crdts.dir/fix_with_crdts.cpp.o.d"
+  "fix_with_crdts"
+  "fix_with_crdts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fix_with_crdts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

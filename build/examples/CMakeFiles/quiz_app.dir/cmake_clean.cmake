@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quiz_app.dir/quiz_app.cpp.o"
+  "CMakeFiles/quiz_app.dir/quiz_app.cpp.o.d"
+  "quiz_app"
+  "quiz_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quiz_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

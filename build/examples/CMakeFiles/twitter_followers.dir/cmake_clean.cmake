@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/twitter_followers.dir/twitter_followers.cpp.o"
+  "CMakeFiles/twitter_followers.dir/twitter_followers.cpp.o.d"
+  "twitter_followers"
+  "twitter_followers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/twitter_followers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

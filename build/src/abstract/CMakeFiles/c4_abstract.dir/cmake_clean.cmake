@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/c4_abstract.dir/AbstractHistory.cpp.o"
+  "CMakeFiles/c4_abstract.dir/AbstractHistory.cpp.o.d"
+  "CMakeFiles/c4_abstract.dir/Concretize.cpp.o"
+  "CMakeFiles/c4_abstract.dir/Concretize.cpp.o.d"
+  "libc4_abstract.a"
+  "libc4_abstract.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/c4_abstract.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

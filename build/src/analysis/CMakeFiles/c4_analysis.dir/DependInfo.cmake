@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/Analyzer.cpp" "src/analysis/CMakeFiles/c4_analysis.dir/Analyzer.cpp.o" "gcc" "src/analysis/CMakeFiles/c4_analysis.dir/Analyzer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/smt/CMakeFiles/c4_smt.dir/DependInfo.cmake"
+  "/root/repo/build/src/ssg/CMakeFiles/c4_ssg.dir/DependInfo.cmake"
+  "/root/repo/build/src/unfold/CMakeFiles/c4_unfold.dir/DependInfo.cmake"
+  "/root/repo/build/src/abstract/CMakeFiles/c4_abstract.dir/DependInfo.cmake"
+  "/root/repo/build/src/history/CMakeFiles/c4_history.dir/DependInfo.cmake"
+  "/root/repo/build/src/spec/CMakeFiles/c4_spec.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/c4_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

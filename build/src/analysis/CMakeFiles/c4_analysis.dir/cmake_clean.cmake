@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/c4_analysis.dir/Analyzer.cpp.o"
+  "CMakeFiles/c4_analysis.dir/Analyzer.cpp.o.d"
+  "libc4_analysis.a"
+  "libc4_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/c4_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

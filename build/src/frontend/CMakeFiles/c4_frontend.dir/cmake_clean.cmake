@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/c4_frontend.dir/Builder.cpp.o"
+  "CMakeFiles/c4_frontend.dir/Builder.cpp.o.d"
+  "CMakeFiles/c4_frontend.dir/Lexer.cpp.o"
+  "CMakeFiles/c4_frontend.dir/Lexer.cpp.o.d"
+  "CMakeFiles/c4_frontend.dir/Parser.cpp.o"
+  "CMakeFiles/c4_frontend.dir/Parser.cpp.o.d"
+  "libc4_frontend.a"
+  "libc4_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/c4_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libc4_frontend.a"
+)

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/history/DSG.cpp" "src/history/CMakeFiles/c4_history.dir/DSG.cpp.o" "gcc" "src/history/CMakeFiles/c4_history.dir/DSG.cpp.o.d"
+  "/root/repo/src/history/History.cpp" "src/history/CMakeFiles/c4_history.dir/History.cpp.o" "gcc" "src/history/CMakeFiles/c4_history.dir/History.cpp.o.d"
+  "/root/repo/src/history/RandomExecution.cpp" "src/history/CMakeFiles/c4_history.dir/RandomExecution.cpp.o" "gcc" "src/history/CMakeFiles/c4_history.dir/RandomExecution.cpp.o.d"
+  "/root/repo/src/history/Relations.cpp" "src/history/CMakeFiles/c4_history.dir/Relations.cpp.o" "gcc" "src/history/CMakeFiles/c4_history.dir/Relations.cpp.o.d"
+  "/root/repo/src/history/Schedule.cpp" "src/history/CMakeFiles/c4_history.dir/Schedule.cpp.o" "gcc" "src/history/CMakeFiles/c4_history.dir/Schedule.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/spec/CMakeFiles/c4_spec.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/c4_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

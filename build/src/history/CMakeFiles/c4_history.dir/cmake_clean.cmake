@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/c4_history.dir/DSG.cpp.o"
+  "CMakeFiles/c4_history.dir/DSG.cpp.o.d"
+  "CMakeFiles/c4_history.dir/History.cpp.o"
+  "CMakeFiles/c4_history.dir/History.cpp.o.d"
+  "CMakeFiles/c4_history.dir/RandomExecution.cpp.o"
+  "CMakeFiles/c4_history.dir/RandomExecution.cpp.o.d"
+  "CMakeFiles/c4_history.dir/Relations.cpp.o"
+  "CMakeFiles/c4_history.dir/Relations.cpp.o.d"
+  "CMakeFiles/c4_history.dir/Schedule.cpp.o"
+  "CMakeFiles/c4_history.dir/Schedule.cpp.o.d"
+  "libc4_history.a"
+  "libc4_history.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/c4_history.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

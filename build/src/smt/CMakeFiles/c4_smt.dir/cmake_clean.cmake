@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/c4_smt.dir/Encoding.cpp.o"
+  "CMakeFiles/c4_smt.dir/Encoding.cpp.o.d"
+  "libc4_smt.a"
+  "libc4_smt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/c4_smt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

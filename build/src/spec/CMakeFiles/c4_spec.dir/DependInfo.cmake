@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/spec/BasicTypes.cpp" "src/spec/CMakeFiles/c4_spec.dir/BasicTypes.cpp.o" "gcc" "src/spec/CMakeFiles/c4_spec.dir/BasicTypes.cpp.o.d"
+  "/root/repo/src/spec/CRegType.cpp" "src/spec/CMakeFiles/c4_spec.dir/CRegType.cpp.o" "gcc" "src/spec/CMakeFiles/c4_spec.dir/CRegType.cpp.o.d"
+  "/root/repo/src/spec/Cond.cpp" "src/spec/CMakeFiles/c4_spec.dir/Cond.cpp.o" "gcc" "src/spec/CMakeFiles/c4_spec.dir/Cond.cpp.o.d"
+  "/root/repo/src/spec/DataType.cpp" "src/spec/CMakeFiles/c4_spec.dir/DataType.cpp.o" "gcc" "src/spec/CMakeFiles/c4_spec.dir/DataType.cpp.o.d"
+  "/root/repo/src/spec/MaxRegType.cpp" "src/spec/CMakeFiles/c4_spec.dir/MaxRegType.cpp.o" "gcc" "src/spec/CMakeFiles/c4_spec.dir/MaxRegType.cpp.o.d"
+  "/root/repo/src/spec/Registry.cpp" "src/spec/CMakeFiles/c4_spec.dir/Registry.cpp.o" "gcc" "src/spec/CMakeFiles/c4_spec.dir/Registry.cpp.o.d"
+  "/root/repo/src/spec/TableType.cpp" "src/spec/CMakeFiles/c4_spec.dir/TableType.cpp.o" "gcc" "src/spec/CMakeFiles/c4_spec.dir/TableType.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/c4_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

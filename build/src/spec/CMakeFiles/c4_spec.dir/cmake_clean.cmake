@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/c4_spec.dir/BasicTypes.cpp.o"
+  "CMakeFiles/c4_spec.dir/BasicTypes.cpp.o.d"
+  "CMakeFiles/c4_spec.dir/CRegType.cpp.o"
+  "CMakeFiles/c4_spec.dir/CRegType.cpp.o.d"
+  "CMakeFiles/c4_spec.dir/Cond.cpp.o"
+  "CMakeFiles/c4_spec.dir/Cond.cpp.o.d"
+  "CMakeFiles/c4_spec.dir/DataType.cpp.o"
+  "CMakeFiles/c4_spec.dir/DataType.cpp.o.d"
+  "CMakeFiles/c4_spec.dir/MaxRegType.cpp.o"
+  "CMakeFiles/c4_spec.dir/MaxRegType.cpp.o.d"
+  "CMakeFiles/c4_spec.dir/Registry.cpp.o"
+  "CMakeFiles/c4_spec.dir/Registry.cpp.o.d"
+  "CMakeFiles/c4_spec.dir/TableType.cpp.o"
+  "CMakeFiles/c4_spec.dir/TableType.cpp.o.d"
+  "libc4_spec.a"
+  "libc4_spec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/c4_spec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

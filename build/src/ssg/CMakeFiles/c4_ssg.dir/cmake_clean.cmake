@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/c4_ssg.dir/GraphExport.cpp.o"
+  "CMakeFiles/c4_ssg.dir/GraphExport.cpp.o.d"
+  "CMakeFiles/c4_ssg.dir/SSG.cpp.o"
+  "CMakeFiles/c4_ssg.dir/SSG.cpp.o.d"
+  "libc4_ssg.a"
+  "libc4_ssg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/c4_ssg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

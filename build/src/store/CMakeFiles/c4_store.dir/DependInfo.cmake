@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/store/CausalStore.cpp" "src/store/CMakeFiles/c4_store.dir/CausalStore.cpp.o" "gcc" "src/store/CMakeFiles/c4_store.dir/CausalStore.cpp.o.d"
+  "/root/repo/src/store/DynamicAnalyzer.cpp" "src/store/CMakeFiles/c4_store.dir/DynamicAnalyzer.cpp.o" "gcc" "src/store/CMakeFiles/c4_store.dir/DynamicAnalyzer.cpp.o.d"
+  "/root/repo/src/store/Interpreter.cpp" "src/store/CMakeFiles/c4_store.dir/Interpreter.cpp.o" "gcc" "src/store/CMakeFiles/c4_store.dir/Interpreter.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/frontend/CMakeFiles/c4_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/history/CMakeFiles/c4_history.dir/DependInfo.cmake"
+  "/root/repo/build/src/abstract/CMakeFiles/c4_abstract.dir/DependInfo.cmake"
+  "/root/repo/build/src/spec/CMakeFiles/c4_spec.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/c4_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

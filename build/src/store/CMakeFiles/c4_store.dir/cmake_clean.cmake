@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/c4_store.dir/CausalStore.cpp.o"
+  "CMakeFiles/c4_store.dir/CausalStore.cpp.o.d"
+  "CMakeFiles/c4_store.dir/DynamicAnalyzer.cpp.o"
+  "CMakeFiles/c4_store.dir/DynamicAnalyzer.cpp.o.d"
+  "CMakeFiles/c4_store.dir/Interpreter.cpp.o"
+  "CMakeFiles/c4_store.dir/Interpreter.cpp.o.d"
+  "libc4_store.a"
+  "libc4_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/c4_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/c4_support.dir/Digraph.cpp.o"
+  "CMakeFiles/c4_support.dir/Digraph.cpp.o.d"
+  "CMakeFiles/c4_support.dir/Format.cpp.o"
+  "CMakeFiles/c4_support.dir/Format.cpp.o.d"
+  "libc4_support.a"
+  "libc4_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/c4_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

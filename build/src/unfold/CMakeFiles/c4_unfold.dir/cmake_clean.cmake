@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/c4_unfold.dir/Unfolder.cpp.o"
+  "CMakeFiles/c4_unfold.dir/Unfolder.cpp.o.d"
+  "libc4_unfold.a"
+  "libc4_unfold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/c4_unfold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

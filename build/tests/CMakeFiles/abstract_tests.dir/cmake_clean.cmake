@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abstract_tests.dir/AbstractTests.cpp.o"
+  "CMakeFiles/abstract_tests.dir/AbstractTests.cpp.o.d"
+  "abstract_tests"
+  "abstract_tests.pdb"
+  "abstract_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abstract_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

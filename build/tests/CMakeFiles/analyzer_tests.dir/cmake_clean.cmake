@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analyzer_tests.dir/AnalyzerTests.cpp.o"
+  "CMakeFiles/analyzer_tests.dir/AnalyzerTests.cpp.o.d"
+  "analyzer_tests"
+  "analyzer_tests.pdb"
+  "analyzer_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analyzer_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_apps_tests.dir/BenchAppsTests.cpp.o"
+  "CMakeFiles/bench_apps_tests.dir/BenchAppsTests.cpp.o.d"
+  "bench_apps_tests"
+  "bench_apps_tests.pdb"
+  "bench_apps_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_apps_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cond_tests.dir/CondTests.cpp.o"
+  "CMakeFiles/cond_tests.dir/CondTests.cpp.o.d"
+  "cond_tests"
+  "cond_tests.pdb"
+  "cond_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cond_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

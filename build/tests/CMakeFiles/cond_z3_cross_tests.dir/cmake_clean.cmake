@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cond_z3_cross_tests.dir/CondZ3CrossTests.cpp.o"
+  "CMakeFiles/cond_z3_cross_tests.dir/CondZ3CrossTests.cpp.o.d"
+  "cond_z3_cross_tests"
+  "cond_z3_cross_tests.pdb"
+  "cond_z3_cross_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cond_z3_cross_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

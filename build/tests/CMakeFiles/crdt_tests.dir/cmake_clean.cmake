@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crdt_tests.dir/CrdtTests.cpp.o"
+  "CMakeFiles/crdt_tests.dir/CrdtTests.cpp.o.d"
+  "crdt_tests"
+  "crdt_tests.pdb"
+  "crdt_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crdt_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

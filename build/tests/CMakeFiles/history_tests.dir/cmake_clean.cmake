@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/history_tests.dir/HistoryTests.cpp.o"
+  "CMakeFiles/history_tests.dir/HistoryTests.cpp.o.d"
+  "history_tests"
+  "history_tests.pdb"
+  "history_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/history_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

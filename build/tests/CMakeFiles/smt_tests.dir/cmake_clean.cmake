@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smt_tests.dir/SmtTests.cpp.o"
+  "CMakeFiles/smt_tests.dir/SmtTests.cpp.o.d"
+  "smt_tests"
+  "smt_tests.pdb"
+  "smt_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smt_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

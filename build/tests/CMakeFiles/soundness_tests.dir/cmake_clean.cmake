@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soundness_tests.dir/SoundnessTests.cpp.o"
+  "CMakeFiles/soundness_tests.dir/SoundnessTests.cpp.o.d"
+  "soundness_tests"
+  "soundness_tests.pdb"
+  "soundness_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soundness_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spec_tests.dir/SpecTests.cpp.o"
+  "CMakeFiles/spec_tests.dir/SpecTests.cpp.o.d"
+  "spec_tests"
+  "spec_tests.pdb"
+  "spec_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spec_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssg_tests.dir/SSGTests.cpp.o"
+  "CMakeFiles/ssg_tests.dir/SSGTests.cpp.o.d"
+  "ssg_tests"
+  "ssg_tests.pdb"
+  "ssg_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssg_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

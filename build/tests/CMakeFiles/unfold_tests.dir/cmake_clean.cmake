@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unfold_tests.dir/UnfoldTests.cpp.o"
+  "CMakeFiles/unfold_tests.dir/UnfoldTests.cpp.o.d"
+  "unfold_tests"
+  "unfold_tests.pdb"
+  "unfold_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unfold_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

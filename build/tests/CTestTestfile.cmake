@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/support_tests[1]_include.cmake")
+include("/root/repo/build/tests/cond_tests[1]_include.cmake")
+include("/root/repo/build/tests/spec_tests[1]_include.cmake")
+include("/root/repo/build/tests/history_tests[1]_include.cmake")
+include("/root/repo/build/tests/abstract_tests[1]_include.cmake")
+include("/root/repo/build/tests/analyzer_tests[1]_include.cmake")
+include("/root/repo/build/tests/frontend_tests[1]_include.cmake")
+include("/root/repo/build/tests/store_tests[1]_include.cmake")
+include("/root/repo/build/tests/ssg_tests[1]_include.cmake")
+include("/root/repo/build/tests/unfold_tests[1]_include.cmake")
+include("/root/repo/build/tests/bench_apps_tests[1]_include.cmake")
+include("/root/repo/build/tests/smt_tests[1]_include.cmake")
+include("/root/repo/build/tests/integration_tests[1]_include.cmake")
+include("/root/repo/build/tests/soundness_tests[1]_include.cmake")
+include("/root/repo/build/tests/crdt_tests[1]_include.cmake")
+include("/root/repo/build/tests/cond_z3_cross_tests[1]_include.cmake")

@@ -1,0 +1,3 @@
+add_test([=[Soundness.SerializableVerdictsHaveNoSmallCounterexamples]=]  /root/repo/build/tests/soundness_tests [==[--gtest_filter=Soundness.SerializableVerdictsHaveNoSmallCounterexamples]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[Soundness.SerializableVerdictsHaveNoSmallCounterexamples]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  soundness_tests_TESTS Soundness.SerializableVerdictsHaveNoSmallCounterexamples)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/c4-analyze.dir/c4-analyze.cpp.o"
+  "CMakeFiles/c4-analyze.dir/c4-analyze.cpp.o.d"
+  "c4-analyze"
+  "c4-analyze.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/c4-analyze.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
