@@ -7,24 +7,47 @@
 #include "analysis/Analyzer.h"
 
 #include "abstract/Concretize.h"
+#include "spec/CommutativityCache.h"
 #include "support/Format.h"
+#include "support/ThreadPool.h"
 
 #include <algorithm>
+#include <cassert>
 #include <chrono>
 #include <cstdlib>
 #include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
 #include <set>
+#include <thread>
 
 using namespace c4;
 
 namespace {
 
+/// Accumulates wall time into a double on scope exit (per-stage stats).
+class StageTimer {
+public:
+  explicit StageTimer(double &Acc)
+      : Acc(Acc), Start(std::chrono::steady_clock::now()) {}
+  ~StageTimer() {
+    Acc += std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         Start)
+               .count();
+  }
+
+private:
+  double &Acc;
+  std::chrono::steady_clock::time_point Start;
+};
+
 /// Shared state of one analysis run (one event mask).
 class Run {
 public:
   Run(const AbstractHistory &A, const AnalyzerOptions &O,
-      std::vector<bool> Mask)
-      : A(A), O(O), Mask(std::move(Mask)) {}
+      std::vector<bool> Mask, CommutativityOracle *Oracle)
+      : A(A), O(O), Mask(std::move(Mask)), Oracle(Oracle) {}
 
   void execute(AnalysisResult &R);
 
@@ -32,6 +55,24 @@ private:
   bool subsumed(const Unfolding &U, const std::vector<Violation> &V) const;
   void checkBounded(unsigned K, AnalysisResult &R,
                     const std::vector<unsigned> &Universe);
+  /// One worker unit of the bounded check: SSG + candidate cycles + SMT for
+  /// a single unfolding. Pure apart from the shared oracle (thread-safe).
+  struct UnfoldingOutcome {
+    bool PrunedEarly = false; ///< subsumed at task start; result not needed
+    bool CandTruncated = false;
+    bool Flagged = false; ///< the instantiated SSG admitted candidates
+    UnfoldingResult Res;
+    bool CEValid = false;
+    double SSGSec = 0, SmtSec = 0;
+  };
+  UnfoldingOutcome solveOne(const Unfolding &U,
+                            const std::vector<Violation> *Committed,
+                            std::mutex *CommitMu, Z3Env *Env);
+  /// Applies one outcome to \p R exactly as the sequential loop would,
+  /// re-checking subsumption against the violations committed so far.
+  void commitOutcome(const Unfolding &U, UnfoldingOutcome &&Out,
+                     AnalysisResult &R);
+  unsigned effectiveThreads(size_t Work) const;
   bool generalizes(unsigned K, const AnalysisResult &R,
                    const std::vector<unsigned> &Universe);
   std::vector<struct MergeCtx>
@@ -54,14 +95,46 @@ private:
   static bool layoutSubsumed(const std::vector<std::vector<unsigned>> &Layout,
                              const std::vector<Violation> &V);
   void precomputeGeneralEdges();
+  /// Folds the run's stage timers and layout-filter counts into \p R.
+  void finishStats(AnalysisResult &R) const {
+    R.SSGSeconds += SSGSec;
+    R.EnumSeconds += EnumSec;
+    R.SmtSeconds += SmtSec;
+    R.LayoutsFiltered += LayoutsFilteredGen;
+  }
 
   const AbstractHistory &A;
   const AnalyzerOptions &O;
   std::vector<bool> Mask; // original events included in this run
+  CommutativityOracle *Oracle; // shared memoization, may be null
   // General-SSG pairwise edges over original transactions (self-pairs
   // describe two instances of the same transaction).
   std::vector<std::vector<bool>> GenAny, GenAnti;
+  // Per-stage time accumulators, folded into the AnalysisResult by
+  // execute(); see AnalysisResult for their meaning. LayoutsFilteredGen
+  // counts viability-filtered layouts of the generalization check (whose
+  // result object is const at filter time).
+  double SSGSec = 0, EnumSec = 0, SmtSec = 0;
+  unsigned LayoutsFilteredGen = 0;
+  std::vector<SSGViolation> Components; // Stage-1 suspicious components
+
+  /// The Z3 environment reused by every main-thread SMT query of this run
+  /// (sequential bounded checks and the generalization chunks). Contexts
+  /// cost ~15ms to create+destroy — more than most solves — so queries
+  /// reset and reuse one env instead. Lazily built: runs refuted by the
+  /// fast stage never pay for a context.
+  Z3Env &seqEnv() {
+    if (!SeqEnv)
+      SeqEnv = std::make_unique<Z3Env>();
+    return *SeqEnv;
+  }
+  std::unique_ptr<Z3Env> SeqEnv;
 };
+
+/// Per-thread Z3 environment for parallel workers, lazily built on first
+/// use and dropped when the pool thread exits (pools live for one bounded
+/// round). Z3 contexts must not be shared between threads.
+thread_local std::unique_ptr<Z3Env> WorkerEnv;
 
 bool Run::layoutSubsumed(
     const std::vector<std::vector<unsigned>> &Layout,
@@ -79,7 +152,9 @@ bool Run::layoutSubsumed(
 }
 
 void Run::precomputeGeneralEdges() {
+  StageTimer Timer(SSGSec);
   SSG G(A, O.Features);
+  G.setOracle(Oracle);
   G.setEventMask(Mask);
   G.analyze();
   unsigned N = A.numTxns();
@@ -215,6 +290,86 @@ bool Run::validateCE(const CounterExample &CE) const {
   return buildDSG(CE.H, T).hasCycle();
 }
 
+unsigned Run::effectiveThreads(size_t Work) const {
+  unsigned T = O.NumThreads ? O.NumThreads
+                            : std::max(1u, std::thread::hardware_concurrency());
+  return static_cast<unsigned>(
+      std::min<size_t>(T, std::max<size_t>(Work, 1)));
+}
+
+Run::UnfoldingOutcome Run::solveOne(const Unfolding &U,
+                                    const std::vector<Violation> *Committed,
+                                    std::mutex *CommitMu, Z3Env *Env) {
+  UnfoldingOutcome Out;
+  if (Committed) {
+    // Early pruning against the violations committed so far. Safe for
+    // determinism: the committed set only grows, so anything subsumed now
+    // is still subsumed at commit time, where the authoritative (in-order)
+    // re-check happens and the result of this task is not consulted.
+    std::lock_guard<std::mutex> Lock(*CommitMu);
+    if (subsumed(U, *Committed)) {
+      Out.PrunedEarly = true;
+      return Out;
+    }
+  }
+  SSG G(U.H, O.Features, U.SessionTags);
+  std::vector<CandidateCycle> Cands;
+  {
+    StageTimer Timer(Out.SSGSec);
+    G.setOracle(Oracle);
+    G.setEventMask(maskForUnfolding(U));
+    G.analyze();
+    Cands = G.candidateCycles(O.MaxCandidateCycles, Out.CandTruncated);
+  }
+  if (Cands.empty())
+    return Out;
+  Out.Flagged = true;
+  {
+    StageTimer Timer(Out.SmtSec);
+    Out.Res =
+        solveUnfolding(U, G, Cands, O.Features, O.SmtTimeoutMs, Oracle, Env);
+  }
+  if (Out.Res.Status == UnfoldingResult::CycleFound)
+    Out.CEValid = validateCE(*Out.Res.CE);
+  return Out;
+}
+
+void Run::commitOutcome(const Unfolding &U, UnfoldingOutcome &&Out,
+                        AnalysisResult &R) {
+  // Authoritative subsumption check, in enumeration order — reproduces the
+  // sequential loop's decision exactly.
+  if (subsumed(U, R.Violations)) {
+    ++R.UnfoldingsSubsumed;
+    return;
+  }
+  assert(!Out.PrunedEarly && "commit set is a superset of the pruning set");
+  ++R.UnfoldingsChecked;
+  R.Truncated = R.Truncated || Out.CandTruncated;
+  if (!Out.Flagged)
+    return;
+  ++R.SSGFlagged;
+  switch (Out.Res.Status) {
+  case UnfoldingResult::NoCycle:
+    ++R.SMTRefuted;
+    break;
+  case UnfoldingResult::Unknown:
+    ++R.SMTUnknown;
+    // Sound default: report the unfolding's transactions as a potential
+    // violation.
+    recordViolation(R, U.origTxnSet(), std::nullopt,
+                    /*Inconclusive=*/true);
+    break;
+  case UnfoldingResult::CycleFound: {
+    // Copy the key first: the CE is moved into the violation.
+    std::vector<unsigned> Key = Out.Res.CE->OrigTxns;
+    if (recordViolation(R, std::move(Key), std::move(Out.Res.CE),
+                        /*Inconclusive=*/false))
+      R.Violations.back().Validated = Out.CEValid;
+    break;
+  }
+  }
+}
+
 void Run::checkBounded(unsigned K, AnalysisResult &R,
                        const std::vector<unsigned> &Universe) {
   bool Truncated = false;
@@ -224,51 +379,59 @@ void Run::checkBounded(unsigned K, AnalysisResult &R,
           ++R.UnfoldingsSubsumed;
           return false;
         }
-        return layoutViable(Layout, /*Closed=*/true,
-                            /*RequireAllNodes=*/false);
+        if (layoutViable(Layout, /*Closed=*/true,
+                         /*RequireAllNodes=*/false))
+          return true;
+        ++R.LayoutsFiltered;
+        return false;
       };
-  std::vector<Unfolding> Unfoldings = enumerateUnfoldings(
-      A, K, O.MaxUnfoldings, Truncated, &Universe, &Filter);
+  std::vector<Unfolding> Unfoldings;
+  {
+    StageTimer Timer(EnumSec);
+    Unfoldings = enumerateUnfoldings(A, K, O.MaxUnfoldings, Truncated,
+                                     &Universe, &Filter);
+  }
   R.Truncated = R.Truncated || Truncated;
-  for (const Unfolding &U : Unfoldings) {
-    if (subsumed(U, R.Violations)) {
-      ++R.UnfoldingsSubsumed;
-      continue;
+
+  unsigned Threads = effectiveThreads(Unfoldings.size());
+  if (Threads <= 1) {
+    // Sequential: solve and commit one unfolding at a time (the early
+    // subsumption check inside solveOne is skipped; commitOutcome decides).
+    for (const Unfolding &U : Unfoldings) {
+      if (subsumed(U, R.Violations)) {
+        ++R.UnfoldingsSubsumed;
+        continue;
+      }
+      UnfoldingOutcome Out = solveOne(U, nullptr, nullptr, &seqEnv());
+      SSGSec += Out.SSGSec;
+      SmtSec += Out.SmtSec;
+      commitOutcome(U, std::move(Out), R);
     }
-    ++R.UnfoldingsChecked;
-    SSG G(U.H, O.Features, U.SessionTags);
-    G.setEventMask(maskForUnfolding(U));
-    G.analyze();
-    bool CandTruncated = false;
-    std::vector<CandidateCycle> Cands =
-        G.candidateCycles(O.MaxCandidateCycles, CandTruncated);
-    R.Truncated = R.Truncated || CandTruncated;
-    if (Cands.empty())
-      continue;
-    ++R.SSGFlagged;
-    UnfoldingResult Res =
-        solveUnfolding(U, G, Cands, O.Features, O.SmtTimeoutMs);
-    switch (Res.Status) {
-    case UnfoldingResult::NoCycle:
-      ++R.SMTRefuted;
-      break;
-    case UnfoldingResult::Unknown:
-      ++R.SMTUnknown;
-      // Sound default: report the unfolding's transactions as a potential
-      // violation.
-      recordViolation(R, U.origTxnSet(), std::nullopt,
-                      /*Inconclusive=*/true);
-      break;
-    case UnfoldingResult::CycleFound: {
-      // Copy the key first: the CE is moved into the violation.
-      std::vector<unsigned> Key = Res.CE->OrigTxns;
-      bool Valid = validateCE(*Res.CE);
-      if (recordViolation(R, std::move(Key), std::move(Res.CE),
-                          /*Inconclusive=*/false))
-        R.Violations.back().Validated = Valid;
-      break;
-    }
-    }
+    return;
+  }
+
+  // Parallel: workers solve unfoldings speculatively; the main thread
+  // commits results strictly in enumeration order, so violation sets and
+  // every statistic are identical to the sequential run. Workers prune
+  // against the committed violations (guarded by CommitMu) to bound the
+  // speculative waste.
+  std::mutex CommitMu;
+  ThreadPool Pool(Threads);
+  std::vector<std::future<UnfoldingOutcome>> Futures;
+  Futures.reserve(Unfoldings.size());
+  for (const Unfolding &U : Unfoldings)
+    Futures.push_back(
+        Pool.submit([this, &U, &R, &CommitMu]() -> UnfoldingOutcome {
+          if (!WorkerEnv)
+            WorkerEnv = std::make_unique<Z3Env>();
+          return solveOne(U, &R.Violations, &CommitMu, WorkerEnv.get());
+        }));
+  for (size_t I = 0; I != Unfoldings.size(); ++I) {
+    UnfoldingOutcome Out = Futures[I].get();
+    SSGSec += Out.SSGSec;
+    SmtSec += Out.SmtSec;
+    std::lock_guard<std::mutex> Lock(CommitMu);
+    commitOutcome(Unfoldings[I], std::move(Out), R);
   }
 }
 
@@ -324,7 +487,9 @@ Run::buildMerges(const Unfolding &U,
         Merged.push_back(std::move(Spec));
       }
       Unfolding MU = buildUnfolding(A, Merged);
+      StageTimer Timer(SSGSec);
       SSG G(MU.H, O.Features, MU.SessionTags);
+      G.setOracle(Oracle);
       G.setEventMask(maskForUnfolding(MU));
       G.analyze();
       Result.push_back({std::move(MapTxn), G.graph()});
@@ -374,11 +539,18 @@ bool Run::generalizes(unsigned K, const AnalysisResult &R,
         // spanning path must cover every transaction.
         if (layoutSubsumed(Layout, R.Violations))
           return false;
-        return layoutViable(Layout, /*Closed=*/false,
-                            /*RequireAllNodes=*/true);
+        if (layoutViable(Layout, /*Closed=*/false,
+                         /*RequireAllNodes=*/true))
+          return true;
+        ++LayoutsFilteredGen;
+        return false;
       };
-  std::vector<Unfolding> Unfoldings = enumerateUnfoldings(
-      A, K, O.MaxUnfoldings, Truncated, &Universe, &Filter);
+  std::vector<Unfolding> Unfoldings;
+  {
+    StageTimer Timer(EnumSec);
+    Unfoldings = enumerateUnfoldings(A, K, O.MaxUnfoldings, Truncated,
+                                     &Universe, &Filter);
+  }
   if (Truncated) {
     if (std::getenv("C4_DEBUG_GEN"))
       std::fputs("gen blocked: unfolding enumeration truncated\n", stderr);
@@ -402,8 +574,12 @@ bool Run::generalizes(unsigned K, const AnalysisResult &R,
 
   for (const Unfolding &U : Unfoldings) {
     SSG G(U.H, O.Features, U.SessionTags);
+    G.setOracle(Oracle);
     G.setEventMask(maskForUnfolding(U));
-    G.analyze();
+    {
+      StageTimer Timer(SSGSec);
+      G.analyze();
+    }
     // (a) Segments subsumed by known violations are dropped during
     // enumeration; (b) the cheap SSG-level short-cut (session merging)
     // handles most of the rest.
@@ -424,10 +600,13 @@ bool Run::generalizes(unsigned K, const AnalysisResult &R,
           return true;
         };
     bool SegTruncated = false;
-    std::vector<CandidateCycle> Segments =
-        G.spanningSegments(U.NumSessions, /*MaxSegments=*/4096, SegTruncated,
-                           U.OrigTxn, &Unsubsumed,
-                           /*RequireAllTxns=*/true);
+    std::vector<CandidateCycle> Segments;
+    {
+      StageTimer Timer(SSGSec);
+      Segments = G.spanningSegments(U.NumSessions, /*MaxSegments=*/4096,
+                                    SegTruncated, U.OrigTxn, &Unsubsumed,
+                                    /*RequireAllTxns=*/true);
+    }
     if (SegTruncated) {
       if (std::getenv("C4_DEBUG_GEN"))
         std::fputs("gen blocked: segment enumeration truncated\n", stderr);
@@ -452,14 +631,19 @@ bool Run::generalizes(unsigned K, const AnalysisResult &R,
     // to keep individual encodings small.
     UnfoldingResult Res;
     Res.Status = UnfoldingResult::NoCycle;
-    for (size_t Begin = 0;
-         Begin < Remaining.size() && Res.Status == UnfoldingResult::NoCycle;
-         Begin += 64) {
-      std::vector<CandidateCycle> Chunk(
-          Remaining.begin() + Begin,
-          Remaining.begin() +
-              std::min(Remaining.size(), Begin + 64));
-      Res = solveUnfolding(U, G, Chunk, O.Features, O.SmtTimeoutMs);
+    {
+      StageTimer Timer(SmtSec);
+      for (size_t Begin = 0;
+           Begin < Remaining.size() &&
+           Res.Status == UnfoldingResult::NoCycle;
+           Begin += 64) {
+        std::vector<CandidateCycle> Chunk(
+            Remaining.begin() + Begin,
+            Remaining.begin() +
+                std::min(Remaining.size(), Begin + 64));
+        Res = solveUnfolding(U, G, Chunk, O.Features, O.SmtTimeoutMs, Oracle,
+                             &seqEnv());
+      }
     }
     if (Res.Status != UnfoldingResult::NoCycle) {
       if (std::getenv("C4_DEBUG_GEN")) {
@@ -488,12 +672,24 @@ bool Run::generalizes(unsigned K, const AnalysisResult &R,
 void Run::execute(AnalysisResult &R) {
   precomputeGeneralEdges();
   // Stage 1: the fast general SSG analysis.
-  SSG General(A, O.Features);
-  General.setEventMask(Mask);
-  General.analyze();
-  if (General.provesSerializable()) {
+  bool FastProved = false;
+  {
+    StageTimer Timer(SSGSec);
+    SSG General(A, O.Features);
+    General.setOracle(Oracle);
+    General.setEventMask(Mask);
+    General.analyze();
+    if (General.provesSerializable()) {
+      FastProved = true;
+    } else {
+      // Stage 2 below consumes the suspicious components.
+      Components = General.violations();
+    }
+  }
+  if (FastProved) {
     R.FastProvedSerializable = true;
     R.Generalized = true;
+    finishStats(R);
     return;
   }
 
@@ -501,7 +697,7 @@ void Run::execute(AnalysisResult &R) {
   // cycle of the SSG, hence into one strongly connected component), run
   // bounded checks with increasing k, then generalize (§7.2).
   bool AllGeneralized = true;
-  for (const SSGViolation &Component : General.violations()) {
+  for (const SSGViolation &Component : Components) {
     unsigned K = 2;
     bool Generalized = false;
     while (true) {
@@ -518,6 +714,7 @@ void Run::execute(AnalysisResult &R) {
     AllGeneralized = AllGeneralized && Generalized;
   }
   R.Generalized = AllGeneralized;
+  finishStats(R);
 }
 
 } // namespace
@@ -526,6 +723,12 @@ AnalysisResult c4::analyze(const AbstractHistory &A,
                            const AnalyzerOptions &O) {
   auto Start = std::chrono::steady_clock::now();
   AnalysisResult R;
+
+  // One memoization oracle per analyze() call: the rewrite-spec conditions
+  // and satisfiability verdicts are shared by every SSG instantiation and
+  // SMT encoding of the run (across atomic sets, unfoldings and threads).
+  CommutativityOracle Oracle;
+  CommutativityOracle *OraclePtr = O.UseOracle ? &Oracle : nullptr;
 
   // Base mask: the display-code filter.
   std::vector<bool> Base(A.numEvents(), true);
@@ -536,7 +739,7 @@ AnalysisResult c4::analyze(const AbstractHistory &A,
 
   if (O.UseAtomicSets && !O.AtomicSets.empty()) {
     // Analyze each atomic set independently and merge.
-    bool AllGeneralized = true, AnyFast = false;
+    bool AllGeneralized = true, AllFast = true;
     for (const std::vector<unsigned> &Set : O.AtomicSets) {
       std::vector<bool> Mask = Base;
       for (unsigned E = 0; E != A.numEvents(); ++E) {
@@ -547,7 +750,7 @@ AnalysisResult c4::analyze(const AbstractHistory &A,
         Mask[E] = Mask[E] && In;
       }
       AnalysisResult Sub;
-      Run(A, O, std::move(Mask)).execute(Sub);
+      Run(A, O, std::move(Mask), OraclePtr).execute(Sub);
       for (Violation &V : Sub.Violations) {
         bool Dup = false;
         for (const Violation &Old : R.Violations)
@@ -556,21 +759,32 @@ AnalysisResult c4::analyze(const AbstractHistory &A,
           R.Violations.push_back(std::move(V));
       }
       AllGeneralized = AllGeneralized && Sub.Generalized;
-      AnyFast = AnyFast || Sub.FastProvedSerializable;
+      // The whole app is fast-proved only when *every* atomic set was: one
+      // SSG-clean set must not mask another set's SMT-stage work.
+      AllFast = AllFast && Sub.FastProvedSerializable;
       R.KChecked = std::max(R.KChecked, Sub.KChecked);
       R.UnfoldingsChecked += Sub.UnfoldingsChecked;
       R.UnfoldingsSubsumed += Sub.UnfoldingsSubsumed;
+      R.LayoutsFiltered += Sub.LayoutsFiltered;
       R.SSGFlagged += Sub.SSGFlagged;
       R.SMTRefuted += Sub.SMTRefuted;
       R.SMTUnknown += Sub.SMTUnknown;
       R.Truncated = R.Truncated || Sub.Truncated;
+      R.SSGSeconds += Sub.SSGSeconds;
+      R.EnumSeconds += Sub.EnumSeconds;
+      R.SmtSeconds += Sub.SmtSeconds;
     }
     R.Generalized = AllGeneralized;
-    R.FastProvedSerializable = AnyFast && R.Violations.empty();
+    R.FastProvedSerializable = AllFast && R.Violations.empty();
   } else {
-    Run(A, O, std::move(Base)).execute(R);
+    Run(A, O, std::move(Base), OraclePtr).execute(R);
   }
 
+  OracleStats OS = Oracle.stats();
+  R.CondCacheHits = OS.CondHits;
+  R.CondCacheMisses = OS.CondMisses;
+  R.SatCacheHits = OS.SatHits;
+  R.SatCacheMisses = OS.SatMisses;
   R.BackendSeconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - Start)
           .count();
@@ -598,10 +812,18 @@ std::string c4::reportStr(const AbstractHistory &A, const AnalysisResult &R) {
     if (V.CE)
       Out += V.CE->Text;
   }
-  Out += strf("stats: unfoldings checked %u, subsumed %u, SSG-flagged %u, "
+  Out += strf("stats: unfoldings checked %u, subsumed %u, "
+              "layouts filtered %u, SSG-flagged %u, "
               "SMT-refuted %u, unknown %u, backend %.3fs\n",
-              R.UnfoldingsChecked, R.UnfoldingsSubsumed, R.SSGFlagged,
-              R.SMTRefuted, R.SMTUnknown, R.BackendSeconds);
+              R.UnfoldingsChecked, R.UnfoldingsSubsumed, R.LayoutsFiltered,
+              R.SSGFlagged, R.SMTRefuted, R.SMTUnknown, R.BackendSeconds);
+  Out += strf("cache: cond %llu hits / %llu misses, sat %llu hits / "
+              "%llu misses; stages: ssg %.3fs, enum %.3fs, smt %.3fs\n",
+              static_cast<unsigned long long>(R.CondCacheHits),
+              static_cast<unsigned long long>(R.CondCacheMisses),
+              static_cast<unsigned long long>(R.SatCacheHits),
+              static_cast<unsigned long long>(R.SatCacheMisses),
+              R.SSGSeconds, R.EnumSeconds, R.SmtSeconds);
   (void)A;
   return Out;
 }

@@ -44,6 +44,15 @@ struct AnalyzerOptions {
   unsigned MaxUnfoldings = 200000;
   unsigned MaxCandidateCycles = 128;
   unsigned SmtTimeoutMs = 10000;
+  /// Worker threads for the bounded check (0 = hardware concurrency).
+  /// Parallel runs commit results in enumeration order, so verdicts,
+  /// violation sets and statistics are identical to a single-threaded run.
+  unsigned NumThreads = 0;
+  /// Shares one memoization oracle for rewrite-spec conditions and their
+  /// satisfiability verdicts across all SSG instantiations and SMT
+  /// encodings of the run. Identical verdicts either way; disabling it is
+  /// for the oracle-equivalence tests and A/B measurements.
+  bool UseOracle = true;
   /// §9.1 filters.
   bool DisplayFilter = false;
   bool UseAtomicSets = false;
@@ -79,11 +88,23 @@ struct AnalysisResult {
   // Statistics for the evaluation (§9.2).
   unsigned UnfoldingsChecked = 0;
   unsigned UnfoldingsSubsumed = 0;
+  unsigned LayoutsFiltered = 0; ///< session layouts dropped by the cheap
+                                ///< viability pre-filter (never unfolded)
   unsigned SSGFlagged = 0;  ///< unfoldings whose SSG admitted cycles
   unsigned SMTRefuted = 0;  ///< ... of which the SMT stage refuted
   unsigned SMTUnknown = 0;
   bool Truncated = false; ///< an enumeration cap was hit
   double BackendSeconds = 0;
+
+  // Observability (oracle cache + per-stage time). Stage seconds are
+  // cumulative across workers, so with multiple threads they can exceed
+  // BackendSeconds (they measure work, not wall time).
+  uint64_t CondCacheHits = 0, CondCacheMisses = 0;
+  uint64_t SatCacheHits = 0, SatCacheMisses = 0;
+  double SSGSeconds = 0;  ///< SSG construction + Theorem 3 + cycle/segment
+                          ///< enumeration on instantiated graphs
+  double EnumSeconds = 0; ///< unfolding enumeration (incl. layout filter)
+  double SmtSeconds = 0;  ///< ϕ_cyclic encoding + solving
 
   bool serializable() const { return Violations.empty() && Generalized; }
 };

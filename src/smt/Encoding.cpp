@@ -23,8 +23,9 @@ constexpr int64_t FreshMin = 1000000000;
 class UnfoldingEncoder {
 public:
   UnfoldingEncoder(const Unfolding &U, const SSG &G,
-                   const AnalysisFeatures &F, Z3Env &Z)
-      : U(U), A(U.H), G(G), F(F), Z(Z) {}
+                   const AnalysisFeatures &F, Z3Env &Z,
+                   CommutativityOracle *Oracle)
+      : U(U), A(U.H), G(G), F(F), Z(Z), Oracle(Oracle) {}
 
   void encode(const std::vector<CandidateCycle> &Candidates);
   UnfoldingResult solve();
@@ -58,6 +59,7 @@ private:
   const SSG &G;
   const AnalysisFeatures &F;
   Z3Env &Z;
+  CommutativityOracle *Oracle;
 
   std::vector<z3::expr> TxnPresent, TxnPos;
   std::vector<std::vector<z3::expr>> TVis; // [s][t], dummy on diagonal
@@ -195,6 +197,8 @@ z3::expr UnfoldingEncoder::notComZ3(unsigned EA, unsigned EB,
     // Ablation: ¬com becomes a boolean — true iff satisfiable.
     return ZM.boolVal(G.mayInterfere(EA, EB, Mode));
   const DataTypeSpec &Type = *A.schema().container(AE.Container).Type;
+  if (Oracle)
+    return condZ3(Oracle->notCommutes(Type, AE.Op, BE.Op, Mode), EA, EB);
   Cond NotCom = !commutesCond(Type, AE.Op, BE.Op, Mode);
   return condZ3(NotCom, EA, EB);
 }
@@ -208,6 +212,8 @@ z3::expr UnfoldingEncoder::absZ3(unsigned EU, unsigned EV) const {
   if (UE.Container != VE.Container)
     return ZM.boolVal(false);
   const DataTypeSpec &Type = *A.schema().container(UE.Container).Type;
+  if (Oracle)
+    return condZ3(Oracle->absorbs(Type, UE.Op, VE.Op, /*Far=*/true), EU, EV);
   Cond Abs = absorbsCond(Type, UE.Op, VE.Op, /*Far=*/true);
   return condZ3(Abs, EU, EV);
 }
@@ -736,15 +742,23 @@ UnfoldingResult UnfoldingEncoder::solve() {
 
 } // namespace
 
+
 UnfoldingResult c4::solveUnfolding(const Unfolding &U, const SSG &G,
                                    const std::vector<CandidateCycle> &Cands,
                                    const AnalysisFeatures &F,
-                                   unsigned TimeoutMs) {
+                                   unsigned TimeoutMs,
+                                   CommutativityOracle *Oracle, Z3Env *Reuse) {
   if (Cands.empty())
     return {};
   try {
+    if (Reuse) {
+      Reuse->reset(TimeoutMs);
+      UnfoldingEncoder Enc(U, G, F, *Reuse, Oracle);
+      Enc.encode(Cands);
+      return Enc.solve();
+    }
     Z3Env Z(TimeoutMs);
-    UnfoldingEncoder Enc(U, G, F, Z);
+    UnfoldingEncoder Enc(U, G, F, Z, Oracle);
     Enc.encode(Cands);
     return Enc.solve();
   } catch (const z3::exception &E) {

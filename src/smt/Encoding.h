@@ -65,11 +65,18 @@ struct UnfoldingResult {
 
 /// Builds and solves ϕ_cyclic for \p U. \p Candidates are the SC1-feasible
 /// simple cycles of the unfolding's instantiated SSG \p G (built with the
-/// same features \p F).
+/// same features \p F). \p Oracle, when given, memoizes the rewrite-spec
+/// conditions used by the encoding (shared with the SSG stage; thread-safe).
+/// \p Reuse, when given, supplies the Z3 environment: it is reset, encoded
+/// into and solved on, amortizing Z3 context construction/destruction
+/// (~15ms each on small queries) across many calls. An env must not be
+/// shared between threads; each worker keeps its own.
 UnfoldingResult solveUnfolding(const Unfolding &U, const SSG &G,
                                const std::vector<CandidateCycle> &Candidates,
                                const AnalysisFeatures &F,
-                               unsigned TimeoutMs = 10000);
+                               unsigned TimeoutMs = 10000,
+                               CommutativityOracle *Oracle = nullptr,
+                               Z3Env *Reuse = nullptr);
 
 } // namespace c4
 

@@ -33,11 +33,31 @@ public:
   z3::context &ctx() { return Ctx; }
   z3::solver &solver() { return Solver; }
 
+  /// Discards all assertions by installing a fresh solver, keeping the
+  /// context alive. Context construction and destruction dominate the cost
+  /// of small queries, so callers issuing many queries reuse one env and
+  /// reset between them. Each reset starts a new query generation: constant
+  /// names are decorated with the generation number so a reused context
+  /// never re-interns a name from an earlier query. Reusing an interned
+  /// symbol would hand the new query an AST with a stale (low) id, and Z3's
+  /// term orderings are id-sensitive — models (though not sat/unsat
+  /// verdicts) could then depend on which queries the env solved earlier.
+  /// With fresh names every query builds its ASTs in its own creation
+  /// order, exactly as on a brand-new context, keeping results independent
+  /// of env history.
+  void reset(unsigned TimeoutMs) {
+    ++Generation;
+    Solver = z3::solver(Ctx);
+    z3::params P(Ctx);
+    P.set("timeout", TimeoutMs);
+    Solver.set(P);
+  }
+
   z3::expr intConst(const std::string &Name) {
-    return Ctx.int_const(Name.c_str());
+    return Ctx.int_const(decorate(Name).c_str());
   }
   z3::expr boolConst(const std::string &Name) {
-    return Ctx.bool_const(Name.c_str());
+    return Ctx.bool_const(decorate(Name).c_str());
   }
   z3::expr intVal(int64_t V) {
     return Ctx.int_val(static_cast<int64_t>(V));
@@ -61,8 +81,13 @@ public:
   }
 
 private:
+  std::string decorate(const std::string &Name) const {
+    return "q" + std::to_string(Generation) + "." + Name;
+  }
+
   z3::context Ctx;
   z3::solver Solver;
+  unsigned Generation = 0;
 };
 
 } // namespace c4

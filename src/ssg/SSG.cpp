@@ -56,6 +56,16 @@ bool SSG::mayInterfere(unsigned E, unsigned F, CommuteMode Mode) const {
   if (AE.Container != AF.Container)
     return false; // cross-container events always commute
   const DataTypeSpec &Type = *A.schema().container(AE.Container).Type;
+  if (Oracle) {
+    const Cond &NotCom = Oracle->notCommutes(Type, AE.Op, AF.Op, Mode);
+    if (NotCom.isFalse())
+      return false;
+    if (NotCom.isTrue())
+      return true;
+    return Oracle->notCommutesSatisfiable(Type, AE.Op, AF.Op, Mode,
+                                          factsFor(E, /*SourceSide=*/true),
+                                          factsFor(F, /*SourceSide=*/false));
+  }
   Cond NotCom = !commutesCond(Type, AE.Op, AF.Op, Mode);
   if (NotCom.isFalse())
     return false;
@@ -71,6 +81,16 @@ bool SSG::mayNotAbsorb(unsigned U, unsigned V) const {
   if (AU.Container != AV.Container)
     return true; // cross-container updates never absorb
   const DataTypeSpec &Type = *A.schema().container(AU.Container).Type;
+  if (Oracle) {
+    const Cond &NotAbs = Oracle->notAbsorbs(Type, AU.Op, AV.Op, /*Far=*/true);
+    if (NotAbs.isFalse())
+      return false;
+    if (NotAbs.isTrue())
+      return true;
+    return Oracle->notAbsorbsSatisfiable(Type, AU.Op, AV.Op, /*Far=*/true,
+                                         factsFor(U, /*SourceSide=*/true),
+                                         factsFor(V, /*SourceSide=*/false));
+  }
   Cond NotAbs = !absorbsCond(Type, AU.Op, AV.Op, /*Far=*/true);
   if (NotAbs.isFalse())
     return false;

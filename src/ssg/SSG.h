@@ -37,6 +37,7 @@
 #include "abstract/AbstractHistory.h"
 #include "abstract/Features.h"
 #include "history/DSG.h"
+#include "spec/CommutativityCache.h"
 #include "support/Digraph.h"
 
 #include <functional>
@@ -76,6 +77,12 @@ public:
   /// Restricts the analysis to a subset of non-marker events (display-code
   /// and atomic-set filters, §9.1). Must be called before analyze().
   void setEventMask(std::vector<bool> Mask);
+
+  /// Attaches a shared memoization oracle for the ¬com / ¬abs conditions
+  /// and their satisfiability verdicts. Optional: without it, every query
+  /// is computed from scratch (identical verdicts, more work). The oracle
+  /// must outlive this SSG; it may be shared across SSGs and threads.
+  void setOracle(CommutativityOracle *O) { Oracle = O; }
 
   /// Builds the graph and runs the Theorem 3 checks.
   void analyze();
@@ -125,6 +132,7 @@ private:
 
   const AbstractHistory &A;
   AnalysisFeatures Features;
+  CommutativityOracle *Oracle = nullptr;
   std::optional<std::vector<unsigned>> SessionTags; // instantiated mode
   std::vector<bool> EventMask;
   Digraph Graph;

@@ -330,6 +330,44 @@ TEST_F(PipelineTest, AtomicSetsSeparateIndependentData) {
     EXPECT_EQ(V.OrigTxns.size(), 2u);
 }
 
+TEST_F(PipelineTest, AtomicSetsFastProvedRequiresAllSets) {
+  // Regression: `FastProvedSerializable` must mean the *fast* general-SSG
+  // analysis proved every atomic set. Here set {M} (global key) is
+  // SSG-clean but set {N} (session-local keys, the Figure 7 shape) needs
+  // the SMT stage, so the run as a whole is serializable yet not
+  // fast-proved. A buggy any-set aggregation reports true here.
+  Schema Sch2;
+  unsigned CM = Sch2.addContainer("M", Reg.lookup("map"));
+  unsigned CN = Sch2.addContainer("N", Reg.lookup("map"));
+  AbstractHistory A(Sch2);
+  unsigned U = A.addGlobalVar();
+  unsigned L = A.addLocalVar();
+  unsigned P1 = A.addTransaction("putGlobal");
+  unsigned E1 = A.addEvent(P1, CM, op(M, "put"), {AbsFact::globalVar(U)});
+  A.addEo(A.entry(P1), E1);
+  unsigned G1 = A.addTransaction("getGlobal");
+  unsigned E2 = A.addEvent(G1, CM, op(M, "get"), {AbsFact::globalVar(U)});
+  A.addEo(A.entry(G1), E2);
+  unsigned P2 = A.addTransaction("putLocal");
+  unsigned E3 = A.addEvent(P2, CN, op(M, "put"), {AbsFact::localVar(L)});
+  A.addEo(A.entry(P2), E3);
+  unsigned G2 = A.addTransaction("getLocal");
+  unsigned E4 = A.addEvent(G2, CN, op(M, "get"), {AbsFact::localVar(L)});
+  A.addEo(A.entry(G2), E4);
+  A.allowAllSo();
+
+  AnalyzerOptions O;
+  O.UseAtomicSets = true;
+  O.AtomicSets = {{CM}, {CN}};
+  AnalysisResult R = analyze(A, O);
+  EXPECT_TRUE(R.Violations.empty()) << reportStr(A, R);
+  EXPECT_TRUE(R.serializable()) << reportStr(A, R);
+  // The {N} set was only proved by SMT refutations ...
+  EXPECT_GT(R.SMTRefuted, 0u) << reportStr(A, R);
+  // ... so the aggregate must not claim a fast proof.
+  EXPECT_FALSE(R.FastProvedSerializable) << reportStr(A, R);
+}
+
 TEST_F(PipelineTest, ReportRendering) {
   AbstractHistory A = buildPutGet(AbsFact::free(), AbsFact::free());
   AnalysisResult R = analyze(A);

@@ -15,10 +15,18 @@
 ///     --no-control-flow
 ///     --no-asymmetric
 ///     --no-unique
-///     --max-k <n>          session bound cap (default 3)
+///     --max-k <n>          session bound cap (default 3, must be >= 1)
+///     --threads <n>        worker threads for the bounded check
+///                          (0 = hardware concurrency; results are
+///                          independent of the thread count)
+///     --no-cache           disable the commutativity/absorption
+///                          memoization oracle (A/B measurements)
 ///     --simulate <n>       additionally execute n randomized workloads on
 ///                          the causal-store simulator and report how often
 ///                          the dynamic analyzer observes a violation
+///     --stats-json         print the analysis result and statistics as a
+///                          single JSON object on stdout (machine-readable
+///                          perf trajectories for the bench suite)
 ///     --dot                print the general static serialization graph in
 ///                          Graphviz format and exit
 ///
@@ -30,7 +38,9 @@
 #include "store/DynamicAnalyzer.h"
 #include "store/Interpreter.h"
 
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -41,10 +51,62 @@ static int usage(const char *Prog) {
   std::fprintf(stderr,
                "usage: %s [--no-filter] [--no-commutativity] "
                "[--no-absorption] [--no-constraints] [--no-control-flow] "
-               "[--no-asymmetric] [--no-unique] [--max-k N] "
-               "[--simulate N] <file.c4l>\n",
+               "[--no-asymmetric] [--no-unique] [--no-cache] [--max-k N] "
+               "[--threads N] [--simulate N] [--stats-json] [--dot] "
+               "<file.c4l>\n",
                Prog);
   return 2;
+}
+
+/// Parses a non-negative decimal integer argument. Rejects trailing junk,
+/// signs and out-of-range values ("--max-k banana" or "--max-k -2" must be
+/// an error, not silently 0).
+static bool parseCount(const char *Flag, const char *Text, unsigned &Out) {
+  if (!Text || !*Text || *Text == '-' || *Text == '+') {
+    std::fprintf(stderr, "error: %s expects a non-negative integer, got '%s'\n",
+                 Flag, Text ? Text : "");
+    return false;
+  }
+  errno = 0;
+  char *End = nullptr;
+  unsigned long V = std::strtoul(Text, &End, 10);
+  if (errno == ERANGE || *End != '\0' || V > 0xFFFFFFFFul) {
+    std::fprintf(stderr, "error: %s expects a non-negative integer, got '%s'\n",
+                 Flag, Text);
+    return false;
+  }
+  Out = static_cast<unsigned>(V);
+  return true;
+}
+
+/// Escapes a string for embedding in a JSON literal.
+static std::string jsonEscape(const std::string &S) {
+  std::string Out;
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  return Out;
 }
 
 int main(int Argc, char **Argv) {
@@ -53,6 +115,7 @@ int main(int Argc, char **Argv) {
   Options.UseAtomicSets = true;
   unsigned SimulateTrials = 0;
   bool DumpDot = false;
+  bool StatsJson = false;
   const char *Path = nullptr;
   for (int I = 1; I != Argc; ++I) {
     const char *Arg = Argv[I];
@@ -71,10 +134,23 @@ int main(int Argc, char **Argv) {
       Options.Features.AsymmetricAntiDeps = false;
     } else if (!std::strcmp(Arg, "--no-unique")) {
       Options.Features.UniqueValues = false;
-    } else if (!std::strcmp(Arg, "--max-k") && I + 1 != Argc) {
-      Options.MaxK = static_cast<unsigned>(std::atoi(Argv[++I]));
-    } else if (!std::strcmp(Arg, "--simulate") && I + 1 != Argc) {
-      SimulateTrials = static_cast<unsigned>(std::atoi(Argv[++I]));
+    } else if (!std::strcmp(Arg, "--no-cache")) {
+      Options.UseOracle = false;
+    } else if (!std::strcmp(Arg, "--max-k")) {
+      if (I + 1 == Argc || !parseCount(Arg, Argv[++I], Options.MaxK))
+        return usage(Argv[0]);
+      if (Options.MaxK < 1) {
+        std::fprintf(stderr, "error: --max-k must be at least 1\n");
+        return usage(Argv[0]);
+      }
+    } else if (!std::strcmp(Arg, "--threads")) {
+      if (I + 1 == Argc || !parseCount(Arg, Argv[++I], Options.NumThreads))
+        return usage(Argv[0]);
+    } else if (!std::strcmp(Arg, "--simulate")) {
+      if (I + 1 == Argc || !parseCount(Arg, Argv[++I], SimulateTrials))
+        return usage(Argv[0]);
+    } else if (!std::strcmp(Arg, "--stats-json")) {
+      StatsJson = true;
     } else if (!std::strcmp(Arg, "--dot")) {
       DumpDot = true;
     } else if (Arg[0] == '-') {
@@ -111,11 +187,61 @@ int main(int Argc, char **Argv) {
     return 0;
   }
 
-  std::printf("%s: %u transactions, %u events (front end %.3fs)\n", Path,
-              P.History->numTxns(), P.History->numStoreEvents(),
-              P.FrontendSeconds);
+  if (!StatsJson)
+    std::printf("%s: %u transactions, %u events (front end %.3fs)\n", Path,
+                P.History->numTxns(), P.History->numStoreEvents(),
+                P.FrontendSeconds);
   AnalysisResult R = analyze(*P.History, Options);
-  std::fputs(reportStr(*P.History, R).c_str(), stdout);
+  if (StatsJson) {
+    std::string Json;
+    char Buf[256];
+    Json += "{\n";
+    std::snprintf(Buf, sizeof(Buf), "  \"file\": \"%s\",\n",
+                  jsonEscape(Path).c_str());
+    Json += Buf;
+    std::snprintf(Buf, sizeof(Buf),
+                  "  \"transactions\": %u,\n  \"events\": %u,\n"
+                  "  \"frontend_seconds\": %.6f,\n",
+                  P.History->numTxns(), P.History->numStoreEvents(),
+                  P.FrontendSeconds);
+    Json += Buf;
+    std::snprintf(Buf, sizeof(Buf),
+                  "  \"serializable\": %s,\n  \"generalized\": %s,\n"
+                  "  \"fast_proved\": %s,\n  \"violations\": %zu,\n"
+                  "  \"k_checked\": %u,\n  \"truncated\": %s,\n",
+                  R.serializable() ? "true" : "false",
+                  R.Generalized ? "true" : "false",
+                  R.FastProvedSerializable ? "true" : "false",
+                  R.Violations.size(), R.KChecked,
+                  R.Truncated ? "true" : "false");
+    Json += Buf;
+    std::snprintf(Buf, sizeof(Buf),
+                  "  \"unfoldings_checked\": %u,\n"
+                  "  \"unfoldings_subsumed\": %u,\n"
+                  "  \"layouts_filtered\": %u,\n  \"ssg_flagged\": %u,\n"
+                  "  \"smt_refuted\": %u,\n  \"smt_unknown\": %u,\n",
+                  R.UnfoldingsChecked, R.UnfoldingsSubsumed, R.LayoutsFiltered,
+                  R.SSGFlagged, R.SMTRefuted, R.SMTUnknown);
+    Json += Buf;
+    std::snprintf(Buf, sizeof(Buf),
+                  "  \"cond_cache_hits\": %llu,\n"
+                  "  \"cond_cache_misses\": %llu,\n"
+                  "  \"sat_cache_hits\": %llu,\n"
+                  "  \"sat_cache_misses\": %llu,\n",
+                  static_cast<unsigned long long>(R.CondCacheHits),
+                  static_cast<unsigned long long>(R.CondCacheMisses),
+                  static_cast<unsigned long long>(R.SatCacheHits),
+                  static_cast<unsigned long long>(R.SatCacheMisses));
+    Json += Buf;
+    std::snprintf(Buf, sizeof(Buf),
+                  "  \"ssg_seconds\": %.6f,\n  \"enum_seconds\": %.6f,\n"
+                  "  \"smt_seconds\": %.6f,\n  \"backend_seconds\": %.6f\n}\n",
+                  R.SSGSeconds, R.EnumSeconds, R.SmtSeconds, R.BackendSeconds);
+    Json += Buf;
+    std::fputs(Json.c_str(), stdout);
+  } else {
+    std::fputs(reportStr(*P.History, R).c_str(), stdout);
+  }
 
   if (SimulateTrials) {
     // Cross-check dynamically: randomized workloads on the causal-store
