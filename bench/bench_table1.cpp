@@ -17,12 +17,18 @@
 /// stage per domain, and average violations per project before/after
 /// filtering.
 ///
+/// `--governance <file>` additionally traces every solver query of the
+/// suite and writes a JSON aggregate: per-stage query counts, retry rates,
+/// rlimit spend and the suite's wall time — the regression baseline for the
+/// solver resource-governance layer.
+///
 //===----------------------------------------------------------------------===//
 
 #include "analysis/Analyzer.h"
 #include "apps/Apps.h"
 #include "frontend/Frontend.h"
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -65,9 +71,15 @@ static const int StdoutLineBuffered = []() {
 
 int main(int Argc, char **Argv) {
   bool Quick = false;
-  for (int I = 1; I != Argc; ++I)
+  const char *GovernancePath = nullptr;
+  for (int I = 1; I != Argc; ++I) {
     if (!std::strcmp(Argv[I], "--quick"))
       Quick = true;
+    else if (!std::strcmp(Argv[I], "--governance") && I + 1 != Argc)
+      GovernancePath = Argv[++I];
+  }
+  QueryTrace Trace;
+  auto SuiteStart = std::chrono::steady_clock::now();
 
   std::printf("Table 1: analysis results on the 28 benchmark "
               "applications\n");
@@ -78,6 +90,9 @@ int main(int Argc, char **Argv) {
 
   Counts TotalUnf, TotalFil;
   unsigned TotalSSGFlagged = 0, TotalRefuted = 0, TotalUnknown = 0;
+  unsigned TotalRetries = 0, TotalDfsExhausted = 0;
+  uint64_t TotalRlimitSpent = 0;
+  double TotalBackend = 0;
   unsigned Projects = 0, Failures = 0, NotGeneralized = 0;
   const char *LastDomain = "";
 
@@ -99,12 +114,16 @@ int main(int Argc, char **Argv) {
     CompiledProgram &P = *Compiled.Program;
 
     AnalyzerOptions Unfiltered;
+    if (GovernancePath)
+      Unfiltered.Trace = &Trace;
     AnalysisResult RU = analyze(*P.History, Unfiltered);
 
     AnalyzerOptions Filtered;
     Filtered.DisplayFilter = true;
     Filtered.UseAtomicSets = !P.AtomicSets.empty();
     Filtered.AtomicSets = P.AtomicSets;
+    if (GovernancePath)
+      Filtered.Trace = &Trace;
     AnalysisResult RF = analyze(*P.History, Filtered);
 
     Counts CU = classifyAll(App, RU);
@@ -118,6 +137,10 @@ int main(int Argc, char **Argv) {
     TotalSSGFlagged += RF.SSGFlagged + RU.SSGFlagged;
     TotalRefuted += RF.SMTRefuted + RU.SMTRefuted;
     TotalUnknown += RF.SMTUnknown + RU.SMTUnknown;
+    TotalRetries += RF.SMTRetries + RU.SMTRetries;
+    TotalDfsExhausted += RF.DfsBudgetExhausted + RU.DfsBudgetExhausted;
+    TotalRlimitSpent += RF.RlimitSpent + RU.RlimitSpent;
+    TotalBackend += RF.BackendSeconds + RU.BackendSeconds;
     if (!RU.Generalized || !RF.Generalized)
       ++NotGeneralized;
 
@@ -159,5 +182,65 @@ int main(int Argc, char **Argv) {
   std::printf("  SSG-flagged unfoldings refuted by SMT: %u of %u "
               "(unknown: %u)\n",
               TotalRefuted, TotalSSGFlagged, TotalUnknown);
+
+  if (GovernancePath) {
+    // Aggregate the query trace per stage and dump the governance
+    // regression baseline.
+    double WallSeconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      SuiteStart)
+            .count();
+    struct StageAgg {
+      const char *Name;
+      uint64_t Queries = 0, Retried = 0, Retries = 0, Unknown = 0;
+      uint64_t RlimitSpent = 0;
+      double WallMs = 0;
+    } Stages[2] = {{"bounded"}, {"generalize"}};
+    for (const QueryRecord &R : Trace.records()) {
+      StageAgg &S = Stages[std::strcmp(R.Stage, "bounded") ? 1 : 0];
+      ++S.Queries;
+      if (R.Attempts > 1) {
+        ++S.Retried;
+        S.Retries += R.Attempts - 1;
+      }
+      if (!std::strcmp(R.Outcome, "unknown") ||
+          !std::strcmp(R.Outcome, "error"))
+        ++S.Unknown;
+      S.RlimitSpent += R.RlimitSpent;
+      S.WallMs += R.WallMs;
+    }
+    FILE *F = std::fopen(GovernancePath, "w");
+    if (!F) {
+      std::fprintf(stderr, "error: cannot write %s\n", GovernancePath);
+      return 1;
+    }
+    std::fprintf(F, "{\n  \"projects\": %u,\n  \"wall_seconds\": %.1f,\n"
+                    "  \"backend_seconds\": %.1f,\n",
+                 Projects, WallSeconds, TotalBackend);
+    std::fprintf(F, "  \"smt_retries\": %u,\n  \"smt_unknown\": %u,\n"
+                    "  \"dfs_budget_exhausted\": %u,\n"
+                    "  \"rlimit_spent\": %llu,\n  \"stages\": {\n",
+                 TotalRetries, TotalUnknown, TotalDfsExhausted,
+                 static_cast<unsigned long long>(TotalRlimitSpent));
+    for (unsigned I = 0; I != 2; ++I) {
+      const StageAgg &S = Stages[I];
+      double RetryRate =
+          S.Queries ? static_cast<double>(S.Retried) / S.Queries : 0.0;
+      std::fprintf(
+          F,
+          "    \"%s\": {\"queries\": %llu, \"retried\": %llu, "
+          "\"retries\": %llu, \"retry_rate\": %.4f, \"unknown\": %llu, "
+          "\"rlimit_spent\": %llu, \"wall_ms\": %.1f}%s\n",
+          S.Name, static_cast<unsigned long long>(S.Queries),
+          static_cast<unsigned long long>(S.Retried),
+          static_cast<unsigned long long>(S.Retries), RetryRate,
+          static_cast<unsigned long long>(S.Unknown),
+          static_cast<unsigned long long>(S.RlimitSpent), S.WallMs,
+          I == 0 ? "," : "");
+    }
+    std::fprintf(F, "  }\n}\n");
+    std::fclose(F);
+    std::printf("  governance aggregate written to %s\n", GovernancePath);
+  }
   return Failures ? 1 : 0;
 }

@@ -46,22 +46,29 @@ private:
 class Run {
 public:
   Run(const AbstractHistory &A, const AnalyzerOptions &O,
-      std::vector<bool> Mask, CommutativityOracle *Oracle)
-      : A(A), O(O), Mask(std::move(Mask)), Oracle(Oracle) {}
+      std::vector<bool> Mask, CommutativityOracle *Oracle,
+      const Deadline *DL)
+      : A(A), O(O), Mask(std::move(Mask)), Oracle(Oracle), DL(DL) {}
 
   void execute(AnalysisResult &R);
 
 private:
   bool subsumed(const Unfolding &U, const std::vector<Violation> &V) const;
-  void checkBounded(unsigned K, AnalysisResult &R,
+  /// Runs one bounded round; returns false when the analysis deadline
+  /// expired before every unfolding of the round was conclusively handled
+  /// (the remainder is counted in AnalysisResult::UnfoldingsDeferred and
+  /// the round must not count towards KChecked).
+  bool checkBounded(unsigned K, AnalysisResult &R,
                     const std::vector<unsigned> &Universe);
   /// One worker unit of the bounded check: SSG + candidate cycles + SMT for
   /// a single unfolding. Pure apart from the shared oracle (thread-safe).
   struct UnfoldingOutcome {
     bool PrunedEarly = false; ///< subsumed at task start; result not needed
+    bool Cancelled = false;   ///< deadline expired before the solve started
     bool CandTruncated = false;
     bool Flagged = false; ///< the instantiated SSG admitted candidates
     UnfoldingResult Res;
+    SolveTelemetry Tel;
     bool CEValid = false;
     double SSGSec = 0, SmtSec = 0;
   };
@@ -70,8 +77,9 @@ private:
                             std::mutex *CommitMu, Z3Env *Env);
   /// Applies one outcome to \p R exactly as the sequential loop would,
   /// re-checking subsumption against the violations committed so far.
+  /// \p K / \p Index identify the query for the trace (commit order).
   void commitOutcome(const Unfolding &U, UnfoldingOutcome &&Out,
-                     AnalysisResult &R);
+                     AnalysisResult &R, unsigned K, long Index);
   unsigned effectiveThreads(size_t Work) const;
   bool generalizes(unsigned K, const AnalysisResult &R,
                    const std::vector<unsigned> &Universe);
@@ -101,12 +109,17 @@ private:
     R.EnumSeconds += EnumSec;
     R.SmtSeconds += SmtSec;
     R.LayoutsFiltered += LayoutsFilteredGen;
+    R.SMTRetries += SmtRetriesGen;
+    R.RlimitSpent += RlimitSpentGen;
+    R.DfsBudgetExhausted += DfsExhaustions;
+    R.DeadlineExpired = R.DeadlineExpired || DeadlineHit;
   }
 
   const AbstractHistory &A;
   const AnalyzerOptions &O;
   std::vector<bool> Mask; // original events included in this run
   CommutativityOracle *Oracle; // shared memoization, may be null
+  const Deadline *DL;          // the run's analysis deadline (never null)
   // General-SSG pairwise edges over original transactions (self-pairs
   // describe two instances of the same transaction).
   std::vector<std::vector<bool>> GenAny, GenAnti;
@@ -116,6 +129,13 @@ private:
   // result object is const at filter time).
   double SSGSec = 0, EnumSec = 0, SmtSec = 0;
   unsigned LayoutsFilteredGen = 0;
+  // Governance accumulators outside the result object: the generalization
+  // check sees a const result, and the viability filter runs under both
+  // const and non-const result contexts. Folded in by finishStats.
+  unsigned SmtRetriesGen = 0;
+  uint64_t RlimitSpentGen = 0;
+  mutable unsigned DfsExhaustions = 0;
+  bool DeadlineHit = false;
   std::vector<SSGViolation> Components; // Stage-1 suspicious components
 
   /// The Z3 environment reused by every main-thread SMT query of this run
@@ -194,16 +214,28 @@ bool Run::layoutViable(const std::vector<std::vector<unsigned>> &Layout,
   // DFS over simple paths: cover every session, use >= 1 anti edge, and
   // (for cycles) return to the start. The search is budgeted: on dense
   // mini-graphs we give up and conservatively keep the layout (the precise
-  // machinery decides).
+  // machinery decides). Exhaustions are counted — a run that silently falls
+  // back to "viable" everywhere has lost its pre-filter and the operator
+  // should know (surfaced in AnalysisResult::DfsBudgetExhausted) — and the
+  // budget is configurable (AnalyzerOptions::LayoutDfsBudget).
   std::vector<bool> OnPath(N, false);
   unsigned Covered = 0;
-  unsigned Budget = 20000;
+  unsigned Budget = O.LayoutDfsBudget;
+  bool Exhausted = false;
   std::function<bool(unsigned, unsigned, unsigned, bool)> Dfs =
       [&](unsigned Start, unsigned Node2, unsigned SessMask,
           bool Anti) -> bool {
-    if (Budget == 0)
+    if (Budget == 0) {
+      Exhausted = true;
       return true; // budget exhausted: treat as viable
+    }
     --Budget;
+    // Deadline poll every 4096 steps: a dense mini-graph DFS can run for
+    // a while, and the enumeration filter is on the round's critical path.
+    if ((Budget & 0xFFFu) == 0 && DL->expired()) {
+      Exhausted = true;
+      return true; // cancelled: conservatively viable (round is deferred)
+    }
     if (SessMask == FullMask && Anti &&
         (!RequireAllNodes || Covered == N)) {
       if (!Closed)
@@ -235,9 +267,12 @@ bool Run::layoutViable(const std::vector<std::vector<unsigned>> &Layout,
     std::fill(OnPath.begin(), OnPath.end(), false);
     OnPath[Start] = true;
     Covered = 1;
-    if (Dfs(Start, Start, 1u << Nodes[Start].Session, false))
+    if (Dfs(Start, Start, 1u << Nodes[Start].Session, false)) {
+      DfsExhaustions += Exhausted;
       return true;
+    }
   }
+  DfsExhaustions += Exhausted;
   return false;
 }
 
@@ -301,6 +336,12 @@ Run::UnfoldingOutcome Run::solveOne(const Unfolding &U,
                                     const std::vector<Violation> *Committed,
                                     std::mutex *CommitMu, Z3Env *Env) {
   UnfoldingOutcome Out;
+  if (DL->expired()) {
+    // Cooperative cancellation: report the unit as cancelled without doing
+    // the work; the commit loop counts it as deferred.
+    Out.Cancelled = true;
+    return Out;
+  }
   if (Committed) {
     // Early pruning against the violations committed so far. Safe for
     // determinism: the committed set only grows, so anything subsumed now
@@ -326,8 +367,9 @@ Run::UnfoldingOutcome Run::solveOne(const Unfolding &U,
   Out.Flagged = true;
   {
     StageTimer Timer(Out.SmtSec);
-    Out.Res =
-        solveUnfolding(U, G, Cands, O.Features, O.SmtTimeoutMs, Oracle, Env);
+    SolverPolicy P{O.Budget, DL};
+    Out.Res = solveUnfolding(U, G, Cands, O.Features, P, Oracle, Env,
+                             &Out.Tel);
   }
   if (Out.Res.Status == UnfoldingResult::CycleFound)
     Out.CEValid = validateCE(*Out.Res.CE);
@@ -335,7 +377,7 @@ Run::UnfoldingOutcome Run::solveOne(const Unfolding &U,
 }
 
 void Run::commitOutcome(const Unfolding &U, UnfoldingOutcome &&Out,
-                        AnalysisResult &R) {
+                        AnalysisResult &R, unsigned K, long Index) {
   // Authoritative subsumption check, in enumeration order — reproduces the
   // sequential loop's decision exactly.
   if (subsumed(U, R.Violations)) {
@@ -348,29 +390,53 @@ void Run::commitOutcome(const Unfolding &U, UnfoldingOutcome &&Out,
   if (!Out.Flagged)
     return;
   ++R.SSGFlagged;
+  // Governance accounting and the trace record happen at commit time, in
+  // enumeration order, so both are deterministic across thread counts.
+  // (RlimitSpent is telemetry — Z3's spent counter can jitter by a few
+  // thousand units with context history — but attempts/verdicts are exact.)
+  if (Out.Tel.Attempts > 1)
+    R.SMTRetries += Out.Tel.Attempts - 1;
+  R.RlimitSpent += Out.Tel.RlimitSpent;
+  const char *Outcome = "unknown";
   switch (Out.Res.Status) {
   case UnfoldingResult::NoCycle:
     ++R.SMTRefuted;
+    Outcome = "no-cycle";
     break;
   case UnfoldingResult::Unknown:
     ++R.SMTUnknown;
+    Outcome = Out.Tel.Error ? "error" : "unknown";
     // Sound default: report the unfolding's transactions as a potential
     // violation.
     recordViolation(R, U.origTxnSet(), std::nullopt,
                     /*Inconclusive=*/true);
     break;
-  case UnfoldingResult::CycleFound: {
+  case UnfoldingResult::CycleFound:
+    Outcome = "cycle";
+    break;
+  }
+  if (O.Trace) {
+    QueryRecord Rec;
+    Rec.Stage = "bounded";
+    Rec.K = K;
+    Rec.Unfolding = Index;
+    Rec.Attempts = std::max(1u, Out.Tel.Attempts);
+    Rec.RlimitBudget = Out.Tel.RlimitBudget;
+    Rec.RlimitSpent = Out.Tel.RlimitSpent;
+    Rec.Outcome = Outcome;
+    Rec.WallMs = Out.SmtSec * 1000.0;
+    O.Trace->append(Rec);
+  }
+  if (Out.Res.Status == UnfoldingResult::CycleFound) {
     // Copy the key first: the CE is moved into the violation.
     std::vector<unsigned> Key = Out.Res.CE->OrigTxns;
     if (recordViolation(R, std::move(Key), std::move(Out.Res.CE),
                         /*Inconclusive=*/false))
       R.Violations.back().Validated = Out.CEValid;
-    break;
-  }
   }
 }
 
-void Run::checkBounded(unsigned K, AnalysisResult &R,
+bool Run::checkBounded(unsigned K, AnalysisResult &R,
                        const std::vector<unsigned> &Universe) {
   bool Truncated = false;
   std::function<bool(const std::vector<std::vector<unsigned>> &)> Filter =
@@ -389,15 +455,29 @@ void Run::checkBounded(unsigned K, AnalysisResult &R,
   {
     StageTimer Timer(EnumSec);
     Unfoldings = enumerateUnfoldings(A, K, O.MaxUnfoldings, Truncated,
-                                     &Universe, &Filter);
+                                     &Universe, &Filter, DL);
   }
   R.Truncated = R.Truncated || Truncated;
+  if (DL->expired()) {
+    // Deadline hit during enumeration: everything in this round is
+    // deferred (Truncated is already set if enumeration stopped early,
+    // blocking generalization downstream).
+    R.UnfoldingsDeferred += static_cast<unsigned>(Unfoldings.size());
+    R.DeadlineExpired = true;
+    return false;
+  }
 
   unsigned Threads = effectiveThreads(Unfoldings.size());
   if (Threads <= 1) {
     // Sequential: solve and commit one unfolding at a time (the early
     // subsumption check inside solveOne is skipped; commitOutcome decides).
-    for (const Unfolding &U : Unfoldings) {
+    for (size_t I = 0; I != Unfoldings.size(); ++I) {
+      const Unfolding &U = Unfoldings[I];
+      if (DL->expired()) {
+        R.UnfoldingsDeferred += static_cast<unsigned>(Unfoldings.size() - I);
+        R.DeadlineExpired = true;
+        return false;
+      }
       if (subsumed(U, R.Violations)) {
         ++R.UnfoldingsSubsumed;
         continue;
@@ -405,34 +485,63 @@ void Run::checkBounded(unsigned K, AnalysisResult &R,
       UnfoldingOutcome Out = solveOne(U, nullptr, nullptr, &seqEnv());
       SSGSec += Out.SSGSec;
       SmtSec += Out.SmtSec;
-      commitOutcome(U, std::move(Out), R);
+      if (Out.Cancelled) {
+        R.UnfoldingsDeferred += static_cast<unsigned>(Unfoldings.size() - I);
+        R.DeadlineExpired = true;
+        return false;
+      }
+      commitOutcome(U, std::move(Out), R, K, static_cast<long>(I));
     }
-    return;
+    return true;
   }
 
   // Parallel: workers solve unfoldings speculatively; the main thread
   // commits results strictly in enumeration order, so violation sets and
   // every statistic are identical to the sequential run. Workers prune
   // against the committed violations (guarded by CommitMu) to bound the
-  // speculative waste.
+  // speculative waste. The pool is bound to the deadline: once it expires,
+  // workers short-circuit at task entry and the commit loop defers every
+  // unit from the first cancelled/expired index on — outcomes that raced
+  // past the expiry are discarded rather than committed, so a deadline run
+  // commits a prefix of the enumeration order (where the cut lands is
+  // timing-dependent; without a deadline, runs stay bit-identical).
   std::mutex CommitMu;
-  ThreadPool Pool(Threads);
+  ThreadPool Pool(Threads, DL);
   std::vector<std::future<UnfoldingOutcome>> Futures;
   Futures.reserve(Unfoldings.size());
   for (const Unfolding &U : Unfoldings)
     Futures.push_back(
-        Pool.submit([this, &U, &R, &CommitMu]() -> UnfoldingOutcome {
+        Pool.submit([this, &U, &R, &CommitMu, &Pool]() -> UnfoldingOutcome {
+          if (Pool.cancelled()) {
+            UnfoldingOutcome Out;
+            Out.Cancelled = true;
+            return Out;
+          }
           if (!WorkerEnv)
             WorkerEnv = std::make_unique<Z3Env>();
           return solveOne(U, &R.Violations, &CommitMu, WorkerEnv.get());
         }));
+  bool Winding = false;
+  unsigned Deferred = 0;
   for (size_t I = 0; I != Unfoldings.size(); ++I) {
     UnfoldingOutcome Out = Futures[I].get();
     SSGSec += Out.SSGSec;
     SmtSec += Out.SmtSec;
+    if (Winding || Out.Cancelled || DL->expired()) {
+      Winding = true;
+      ++Deferred;
+      continue; // drain the remaining futures, discarding outcomes
+    }
     std::lock_guard<std::mutex> Lock(CommitMu);
-    commitOutcome(Unfoldings[I], std::move(Out), R);
+    commitOutcome(Unfoldings[I], std::move(Out), R, K,
+                  static_cast<long>(I));
   }
+  if (Winding) {
+    R.UnfoldingsDeferred += Deferred;
+    R.DeadlineExpired = true;
+    return false;
+  }
+  return true;
 }
 
 /// The session layout of an unfolding: per session, the original
@@ -530,6 +639,12 @@ bool Run::generalizes(unsigned K, const AnalysisResult &R,
   for (const Violation &V : R.Violations)
     if (V.Inconclusive)
       return false;
+  // A generalization claim covers *every* number of sessions; under an
+  // expired deadline we cannot afford the evidence, so refuse (sound).
+  if (DL->expired()) {
+    DeadlineHit = true;
+    return false;
+  }
   bool Truncated = false;
   std::function<bool(const std::vector<std::vector<unsigned>> &)> Filter =
       [&](const std::vector<std::vector<unsigned>> &Layout) {
@@ -549,7 +664,11 @@ bool Run::generalizes(unsigned K, const AnalysisResult &R,
   {
     StageTimer Timer(EnumSec);
     Unfoldings = enumerateUnfoldings(A, K, O.MaxUnfoldings, Truncated,
-                                     &Universe, &Filter);
+                                     &Universe, &Filter, DL);
+  }
+  if (DL->expired()) {
+    DeadlineHit = true;
+    return false;
   }
   if (Truncated) {
     if (std::getenv("C4_DEBUG_GEN"))
@@ -572,7 +691,13 @@ bool Run::generalizes(unsigned K, const AnalysisResult &R,
           SoClosure[I][J] = true;
     }
 
+  long GenIndex = -1;
   for (const Unfolding &U : Unfoldings) {
+    ++GenIndex;
+    if (DL->expired()) {
+      DeadlineHit = true;
+      return false;
+    }
     SSG G(U.H, O.Features, U.SessionTags);
     G.setOracle(Oracle);
     G.setEventMask(maskForUnfolding(U));
@@ -633,16 +758,44 @@ bool Run::generalizes(unsigned K, const AnalysisResult &R,
     Res.Status = UnfoldingResult::NoCycle;
     {
       StageTimer Timer(SmtSec);
+      SolverPolicy P{O.Budget, DL};
       for (size_t Begin = 0;
            Begin < Remaining.size() &&
            Res.Status == UnfoldingResult::NoCycle;
            Begin += 64) {
+        if (DL->expired()) {
+          DeadlineHit = true;
+          return false;
+        }
         std::vector<CandidateCycle> Chunk(
             Remaining.begin() + Begin,
             Remaining.begin() +
                 std::min(Remaining.size(), Begin + 64));
-        Res = solveUnfolding(U, G, Chunk, O.Features, O.SmtTimeoutMs, Oracle,
-                             &seqEnv());
+        SolveTelemetry Tel;
+        double ChunkSec = 0;
+        {
+          StageTimer ChunkTimer(ChunkSec);
+          Res = solveUnfolding(U, G, Chunk, O.Features, P, Oracle,
+                               &seqEnv(), &Tel);
+        }
+        if (Tel.Attempts > 1)
+          SmtRetriesGen += Tel.Attempts - 1;
+        RlimitSpentGen += Tel.RlimitSpent;
+        if (O.Trace) {
+          QueryRecord Rec;
+          Rec.Stage = "generalize";
+          Rec.K = K;
+          Rec.Unfolding = GenIndex;
+          Rec.Attempts = std::max(1u, Tel.Attempts);
+          Rec.RlimitBudget = Tel.RlimitBudget;
+          Rec.RlimitSpent = Tel.RlimitSpent;
+          Rec.Outcome = Res.Status == UnfoldingResult::NoCycle ? "no-cycle"
+                        : Res.Status == UnfoldingResult::CycleFound
+                            ? "cycle"
+                            : (Tel.Error ? "error" : "unknown");
+          Rec.WallMs = ChunkSec * 1000.0;
+          O.Trace->append(Rec);
+        }
       }
     }
     if (Res.Status != UnfoldingResult::NoCycle) {
@@ -701,7 +854,20 @@ void Run::execute(AnalysisResult &R) {
     unsigned K = 2;
     bool Generalized = false;
     while (true) {
-      checkBounded(K, R, Component.Txns);
+      if (DL->expired()) {
+        // Deadline before this round started: nothing of it was checked,
+        // so KChecked keeps its last fully-completed value.
+        DeadlineHit = true;
+        break;
+      }
+      bool Completed = checkBounded(K, R, Component.Txns);
+      if (!Completed) {
+        // Partial round: results committed so far are sound findings, but
+        // the bound K was not exhaustively checked — it must not count, and
+        // neither generalization nor completeness can be claimed.
+        DeadlineHit = true;
+        break;
+      }
       R.KChecked = std::max(R.KChecked, K);
       ++K;
       if (generalizes(K, R, Component.Txns)) {
@@ -723,6 +889,10 @@ AnalysisResult c4::analyze(const AbstractHistory &A,
                            const AnalyzerOptions &O) {
   auto Start = std::chrono::steady_clock::now();
   AnalysisResult R;
+
+  // The global deadline, shared by every Run (atomic sets share one budget:
+  // the flag bounds the whole analysis, not each subset).
+  Deadline DL(O.DeadlineMs);
 
   // One memoization oracle per analyze() call: the rewrite-spec conditions
   // and satisfiability verdicts are shared by every SSG instantiation and
@@ -750,7 +920,7 @@ AnalysisResult c4::analyze(const AbstractHistory &A,
         Mask[E] = Mask[E] && In;
       }
       AnalysisResult Sub;
-      Run(A, O, std::move(Mask), OraclePtr).execute(Sub);
+      Run(A, O, std::move(Mask), OraclePtr, &DL).execute(Sub);
       for (Violation &V : Sub.Violations) {
         bool Dup = false;
         for (const Violation &Old : R.Violations)
@@ -769,6 +939,11 @@ AnalysisResult c4::analyze(const AbstractHistory &A,
       R.SSGFlagged += Sub.SSGFlagged;
       R.SMTRefuted += Sub.SMTRefuted;
       R.SMTUnknown += Sub.SMTUnknown;
+      R.SMTRetries += Sub.SMTRetries;
+      R.RlimitSpent += Sub.RlimitSpent;
+      R.UnfoldingsDeferred += Sub.UnfoldingsDeferred;
+      R.DfsBudgetExhausted += Sub.DfsBudgetExhausted;
+      R.DeadlineExpired = R.DeadlineExpired || Sub.DeadlineExpired;
       R.Truncated = R.Truncated || Sub.Truncated;
       R.SSGSeconds += Sub.SSGSeconds;
       R.EnumSeconds += Sub.EnumSeconds;
@@ -777,7 +952,7 @@ AnalysisResult c4::analyze(const AbstractHistory &A,
     R.Generalized = AllGeneralized;
     R.FastProvedSerializable = AllFast && R.Violations.empty();
   } else {
-    Run(A, O, std::move(Base), OraclePtr).execute(R);
+    Run(A, O, std::move(Base), OraclePtr, &DL).execute(R);
   }
 
   OracleStats OS = Oracle.stats();
@@ -796,16 +971,33 @@ std::string c4::reportStr(const AbstractHistory &A, const AnalysisResult &R) {
   if (R.serializable()) {
     Out += "result: serializable (for any number of sessions)\n";
   } else if (R.Violations.empty()) {
-    Out += strf("result: no violations up to k=%u sessions "
-                "(generalization incomplete)\n",
-                R.KChecked);
+    if (R.DeadlineExpired)
+      Out += strf("result: no violations found before the deadline "
+                  "(checked up to k=%u; partial)\n",
+                  R.KChecked);
+    else
+      Out += strf("result: no violations up to k=%u sessions "
+                  "(generalization incomplete)\n",
+                  R.KChecked);
   } else {
-    Out += strf("result: %zu violation(s)\n", R.Violations.size());
+    // Triage: a solver-budget timeout must never read as a proven
+    // violation, so the three classes are reported side by side.
+    Out += strf("result: %zu violation(s): %u validated, %u unvalidated, "
+                "%u inconclusive%s\n",
+                R.Violations.size(), R.validatedViolations(),
+                R.unvalidatedViolations(), R.inconclusiveViolations(),
+                R.inconclusiveViolations() ? " (solver budget exhausted)"
+                                           : "");
   }
+  if (R.DeadlineExpired)
+    Out += strf("deadline: analysis budget expired; checked up to k=%u, "
+                "%u unfolding(s) deferred (partial but sound: reported "
+                "violations are real findings, deferred work unchecked)\n",
+                R.KChecked, R.UnfoldingsDeferred);
   for (const Violation &V : R.Violations) {
     Out += "violation involving transactions: " + join(V.TxnNames, ", ");
     if (V.Inconclusive)
-      Out += " (inconclusive: solver timeout)";
+      Out += " (inconclusive: solver budget exhausted)";
     else if (V.Validated)
       Out += " (validated counter-example)";
     Out += "\n";
@@ -814,15 +1006,19 @@ std::string c4::reportStr(const AbstractHistory &A, const AnalysisResult &R) {
   }
   Out += strf("stats: unfoldings checked %u, subsumed %u, "
               "layouts filtered %u, SSG-flagged %u, "
-              "SMT-refuted %u, unknown %u, backend %.3fs\n",
+              "SMT-refuted %u, unknown %u, retries %u, deferred %u, "
+              "dfs-budget-exhausted %u, backend %.3fs\n",
               R.UnfoldingsChecked, R.UnfoldingsSubsumed, R.LayoutsFiltered,
-              R.SSGFlagged, R.SMTRefuted, R.SMTUnknown, R.BackendSeconds);
+              R.SSGFlagged, R.SMTRefuted, R.SMTUnknown, R.SMTRetries,
+              R.UnfoldingsDeferred, R.DfsBudgetExhausted, R.BackendSeconds);
   Out += strf("cache: cond %llu hits / %llu misses, sat %llu hits / "
-              "%llu misses; stages: ssg %.3fs, enum %.3fs, smt %.3fs\n",
+              "%llu misses; rlimit spent %llu; stages: ssg %.3fs, "
+              "enum %.3fs, smt %.3fs\n",
               static_cast<unsigned long long>(R.CondCacheHits),
               static_cast<unsigned long long>(R.CondCacheMisses),
               static_cast<unsigned long long>(R.SatCacheHits),
               static_cast<unsigned long long>(R.SatCacheMisses),
+              static_cast<unsigned long long>(R.RlimitSpent),
               R.SSGSeconds, R.EnumSeconds, R.SmtSeconds);
   (void)A;
   return Out;

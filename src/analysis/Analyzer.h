@@ -28,6 +28,7 @@
 
 #include "abstract/Features.h"
 #include "smt/Encoding.h"
+#include "smt/QueryTrace.h"
 
 #include <optional>
 #include <string>
@@ -43,7 +44,20 @@ struct AnalyzerOptions {
   /// Caps for enumeration (a warning flag is set when hit).
   unsigned MaxUnfoldings = 200000;
   unsigned MaxCandidateCycles = 128;
-  unsigned SmtTimeoutMs = 10000;
+  /// Per-query solver budget: deterministic rlimit first, wall-clock
+  /// backstop, geometric retry on unknown (see SolverBudget).
+  SolverBudget Budget;
+  /// Global analysis deadline in milliseconds (0 = none). When it expires
+  /// the run winds down cooperatively: remaining unfoldings are deferred
+  /// (counted in UnfoldingsDeferred), generalization is skipped, and the
+  /// result degrades to a partial-but-sound bounded verdict — never to a
+  /// serializability claim.
+  unsigned DeadlineMs = 0;
+  /// Step budget for the layout-viability DFS pre-filter. Exhaustion keeps
+  /// the layout (sound) and is counted in DfsBudgetExhausted.
+  unsigned LayoutDfsBudget = 20000;
+  /// Optional structured query trace: one record per solver query.
+  QueryTrace *Trace = nullptr;
   /// Worker threads for the bounded check (0 = hardware concurrency).
   /// Parallel runs commit results in enumeration order, so verdicts,
   /// violation sets and statistics are identical to a single-threaded run.
@@ -93,7 +107,17 @@ struct AnalysisResult {
   unsigned SSGFlagged = 0;  ///< unfoldings whose SSG admitted cycles
   unsigned SMTRefuted = 0;  ///< ... of which the SMT stage refuted
   unsigned SMTUnknown = 0;
+  unsigned SMTRetries = 0; ///< escalated re-solves after an unknown
+  uint64_t RlimitSpent = 0; ///< solver resource units across all queries
   bool Truncated = false; ///< an enumeration cap was hit
+  /// The --deadline-ms budget expired; the result is partial but sound
+  /// (reported violations are real findings, but unchecked work remains).
+  bool DeadlineExpired = false;
+  /// Unfoldings of the last bounded round never conclusively checked
+  /// because the deadline expired first.
+  unsigned UnfoldingsDeferred = 0;
+  /// Layout-viability DFS budget exhaustions (layouts conservatively kept).
+  unsigned DfsBudgetExhausted = 0;
   double BackendSeconds = 0;
 
   // Observability (oracle cache + per-stage time). Stage seconds are
@@ -107,6 +131,28 @@ struct AnalysisResult {
   double SmtSeconds = 0;  ///< ϕ_cyclic encoding + solving
 
   bool serializable() const { return Violations.empty() && Generalized; }
+
+  // Violation triage: a solver-budget timeout (Inconclusive) must never be
+  // read as a proven violation, so reports and stats keep the three classes
+  // apart.
+  unsigned validatedViolations() const {
+    unsigned N = 0;
+    for (const Violation &V : Violations)
+      N += !V.Inconclusive && V.Validated;
+    return N;
+  }
+  unsigned unvalidatedViolations() const {
+    unsigned N = 0;
+    for (const Violation &V : Violations)
+      N += !V.Inconclusive && !V.Validated;
+    return N;
+  }
+  unsigned inconclusiveViolations() const {
+    unsigned N = 0;
+    for (const Violation &V : Violations)
+      N += V.Inconclusive;
+    return N;
+  }
 };
 
 /// Runs the full pipeline on an abstract history.

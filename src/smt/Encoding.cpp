@@ -743,28 +743,80 @@ UnfoldingResult UnfoldingEncoder::solve() {
 } // namespace
 
 
+namespace {
+
+/// One encode+solve attempt on \p Env (assumed freshly reset/configured).
+/// Records the resource spend delta into \p Telemetry.
+UnfoldingResult solveAttempt(const Unfolding &U, const SSG &G,
+                             const std::vector<CandidateCycle> &Cands,
+                             const AnalysisFeatures &F, Z3Env &Env,
+                             CommutativityOracle *Oracle,
+                             SolveTelemetry &Telemetry) {
+  uint64_t Before = Env.rlimitCount();
+  UnfoldingEncoder Enc(U, G, F, Env, Oracle);
+  Enc.encode(Cands);
+  UnfoldingResult R = Enc.solve();
+  uint64_t After = Env.rlimitCount();
+  if (After > Before)
+    Telemetry.RlimitSpent += After - Before;
+  return R;
+}
+
+} // namespace
+
 UnfoldingResult c4::solveUnfolding(const Unfolding &U, const SSG &G,
                                    const std::vector<CandidateCycle> &Cands,
                                    const AnalysisFeatures &F,
-                                   unsigned TimeoutMs,
-                                   CommutativityOracle *Oracle, Z3Env *Reuse) {
+                                   const SolverPolicy &P,
+                                   CommutativityOracle *Oracle, Z3Env *Reuse,
+                                   SolveTelemetry *Telemetry) {
+  SolveTelemetry Local;
+  SolveTelemetry &T = Telemetry ? *Telemetry : Local;
+  T = SolveTelemetry();
   if (Cands.empty())
     return {};
-  try {
-    if (Reuse) {
-      Reuse->reset(TimeoutMs);
-      UnfoldingEncoder Enc(U, G, F, *Reuse, Oracle);
-      Enc.encode(Cands);
-      return Enc.solve();
+
+  // Adaptive retry: escalate the rlimit geometrically on unknown until the
+  // cap; the final unknown is the caller's Violation::Inconclusive. Each
+  // attempt runs under min(per-check wall ceiling, remaining deadline) so a
+  // governed run cannot overshoot its deadline by more than one check.
+  UnfoldingResult R;
+  R.Status = UnfoldingResult::Unknown;
+  for (unsigned Attempt = 0; Attempt <= P.Budget.MaxRetries; ++Attempt) {
+    if (Attempt && P.DL && P.DL->expired())
+      break; // deadline: report the unknown we already have
+    uint64_t Rlimit = P.Budget.rlimitForAttempt(Attempt);
+    unsigned WallMs = P.DL && P.DL->active()
+                          ? P.DL->remainingMs(P.Budget.WallMs)
+                          : P.Budget.WallMs;
+    if (P.DL && P.DL->active() && WallMs == 0)
+      break;
+    ++T.Attempts;
+    T.RlimitBudget = Rlimit;
+    try {
+      if (Reuse) {
+        Reuse->reset(Rlimit, WallMs);
+        R = solveAttempt(U, G, Cands, F, *Reuse, Oracle, T);
+      } else {
+        SolverBudget B = P.Budget;
+        B.Rlimit = Rlimit;
+        B.WallMs = WallMs;
+        Z3Env Z(B);
+        R = solveAttempt(U, G, Cands, F, Z, Oracle, T);
+      }
+    } catch (const z3::exception &E) {
+      // Confine Z3 exceptions: treat failures as inconclusive.
+      T.Error = true;
+      R = UnfoldingResult();
+      R.Status = UnfoldingResult::Unknown;
+      return R;
     }
-    Z3Env Z(TimeoutMs);
-    UnfoldingEncoder Enc(U, G, F, Z, Oracle);
-    Enc.encode(Cands);
-    return Enc.solve();
-  } catch (const z3::exception &E) {
-    // Confine Z3 exceptions: treat failures as inconclusive.
-    UnfoldingResult R;
-    R.Status = UnfoldingResult::Unknown;
-    return R;
+    if (R.Status != UnfoldingResult::Unknown)
+      return R;
+    if (!Rlimit || Rlimit >= P.Budget.RlimitCap)
+      break; // nothing left to escalate (wall-only or already at the cap)
   }
+  R = UnfoldingResult();
+  R.Status = UnfoldingResult::Unknown;
+  return R;
 }

@@ -36,6 +36,7 @@
 #include "history/Schedule.h"
 #include "smt/Z3Env.h"
 #include "ssg/SSG.h"
+#include "support/Deadline.h"
 #include "unfold/Unfolder.h"
 
 #include <optional>
@@ -63,20 +64,49 @@ struct UnfoldingResult {
   std::optional<CounterExample> CE;
 };
 
+/// Resource-governance policy for the precise stage: the per-query budget
+/// and an optional analysis deadline. The deadline is consulted between
+/// solve attempts (never mid-check — the per-attempt wall ceiling, clamped
+/// to the remaining deadline, bounds overshoot instead) so cancellation is
+/// always sound: an interrupted query reports Unknown, not a verdict.
+struct SolverPolicy {
+  SolverBudget Budget;
+  const Deadline *DL = nullptr;
+};
+
+/// Per-query telemetry filled by \ref solveUnfolding for the query trace
+/// and the analysis statistics.
+struct SolveTelemetry {
+  /// Solve attempts issued (1 = solved within the base budget).
+  unsigned Attempts = 0;
+  /// The rlimit budget of the last attempt.
+  uint64_t RlimitBudget = 0;
+  /// Resource units spent across all attempts (0 when unavailable).
+  uint64_t RlimitSpent = 0;
+  /// True when a z3::exception was confined to an Unknown result.
+  bool Error = false;
+};
+
 /// Builds and solves ϕ_cyclic for \p U. \p Candidates are the SC1-feasible
 /// simple cycles of the unfolding's instantiated SSG \p G (built with the
-/// same features \p F). \p Oracle, when given, memoizes the rewrite-spec
-/// conditions used by the encoding (shared with the SSG stage; thread-safe).
-/// \p Reuse, when given, supplies the Z3 environment: it is reset, encoded
-/// into and solved on, amortizing Z3 context construction/destruction
-/// (~15ms each on small queries) across many calls. An env must not be
-/// shared between threads; each worker keeps its own.
+/// same features \p F). \p P governs the solver resources: the primary
+/// budget is a deterministic rlimit (escalated geometrically on unknown up
+/// to the cap), the wall clock is a backstop only. \p Oracle, when given,
+/// memoizes the rewrite-spec conditions used by the encoding (shared with
+/// the SSG stage; thread-safe). \p Reuse, when given, supplies the Z3
+/// environment: it is reset, encoded into and solved on, amortizing Z3
+/// context construction/destruction (~15ms each on small queries) across
+/// many calls; each retry resets it again, so retries re-encode on a fresh
+/// name generation. An env must not be shared between threads; each worker
+/// keeps its own. \p Telemetry, when given, receives the attempt/spend
+/// accounting.
 UnfoldingResult solveUnfolding(const Unfolding &U, const SSG &G,
                                const std::vector<CandidateCycle> &Candidates,
                                const AnalysisFeatures &F,
-                               unsigned TimeoutMs = 10000,
+                               const SolverPolicy &P = {},
                                CommutativityOracle *Oracle = nullptr,
-                               Z3Env *Reuse = nullptr);
+                               Z3Env *Reuse = nullptr,
+                               SolveTelemetry *Telemetry = nullptr);
 
 } // namespace c4
 

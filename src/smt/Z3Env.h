@@ -21,13 +21,57 @@
 
 namespace c4 {
 
-/// Owns a Z3 context and solver with a configured timeout.
+/// Resource budget for one solver query (paper §7 precise stage).
+///
+/// The primary budget is Z3's \e rlimit — an abstract deduction count that
+/// is a pure function of the query, independent of machine speed or load —
+/// so budget-exhaustion verdicts (`unknown`) are bit-identical across
+/// machines and runs. A wall-clock ceiling remains as a backstop only: with
+/// a sane rlimit it never fires first, but it bounds the damage if a query
+/// hits a pathological high-cost-per-unit search region. A query that comes
+/// back unknown is retried with the rlimit escalated geometrically
+/// (`Escalation`) up to `RlimitCap`, after which it is reported as
+/// inconclusive.
+struct SolverBudget {
+  /// Per-check rlimit, in Z3 resource units (0 = no rlimit, wall only).
+  /// One ϕ_cyclic query issues up to two checks (the non-initial-value
+  /// assumption pass and the unconstrained pass); each gets this budget.
+  uint64_t Rlimit = 20000000;
+  /// Geometric escalation factor applied to `Rlimit` on each retry.
+  unsigned Escalation = 4;
+  /// Retries after the first unknown (total attempts = 1 + MaxRetries).
+  unsigned MaxRetries = 2;
+  /// Escalation ceiling; attempts clamp their rlimit to this.
+  uint64_t RlimitCap = 320000000;
+  /// Wall-clock backstop per check, milliseconds (0 = none).
+  unsigned WallMs = 10000;
+
+  /// The rlimit for attempt \p Attempt (0-based), clamped to the cap and
+  /// to Z3's 32-bit parameter range.
+  uint64_t rlimitForAttempt(unsigned Attempt) const {
+    if (!Rlimit)
+      return 0;
+    uint64_t R = Rlimit;
+    for (unsigned I = 0; I != Attempt; ++I) {
+      if (R > RlimitCap / (Escalation ? Escalation : 1)) {
+        R = RlimitCap;
+        break;
+      }
+      R *= Escalation ? Escalation : 1;
+    }
+    if (R > RlimitCap)
+      R = RlimitCap;
+    if (R > 0xFFFFFFFFull)
+      R = 0xFFFFFFFFull;
+    return R;
+  }
+};
+
+/// Owns a Z3 context and solver configured with a resource budget.
 class Z3Env {
 public:
-  explicit Z3Env(unsigned TimeoutMs = 10000) : Solver(Ctx) {
-    z3::params P(Ctx);
-    P.set("timeout", TimeoutMs);
-    Solver.set(P);
+  explicit Z3Env(const SolverBudget &B = SolverBudget()) : Solver(Ctx) {
+    configure(B.Rlimit, B.WallMs);
   }
 
   z3::context &ctx() { return Ctx; }
@@ -45,12 +89,26 @@ public:
   /// With fresh names every query builds its ASTs in its own creation
   /// order, exactly as on a brand-new context, keeping results independent
   /// of env history.
-  void reset(unsigned TimeoutMs) {
+  void reset(uint64_t Rlimit, unsigned WallMs) {
     ++Generation;
     Solver = z3::solver(Ctx);
-    z3::params P(Ctx);
-    P.set("timeout", TimeoutMs);
-    Solver.set(P);
+    configure(Rlimit, WallMs);
+  }
+
+  /// Context-cumulative resource count ("rlimit count" solver statistic).
+  /// Callers measure one query's cost as a delta of this counter; returns
+  /// 0 if the statistic is unavailable.
+  uint64_t rlimitCount() {
+    try {
+      z3::stats St = Solver.statistics();
+      for (unsigned I = 0; I != St.size(); ++I)
+        if (St.key(I) == "rlimit count")
+          return St.is_uint(I) ? St.uint_value(I)
+                               : static_cast<uint64_t>(St.double_value(I));
+    } catch (const z3::exception &) {
+      // Statistics are telemetry only; never let them fail a query.
+    }
+    return 0;
   }
 
   z3::expr intConst(const std::string &Name) {
@@ -81,6 +139,21 @@ public:
   }
 
 private:
+  /// Installs the budget on the current solver. The rlimit is a scoped
+  /// per-check() budget (verified empirically: each check() call spends up
+  /// to the configured units and returns unknown when exhausted); the
+  /// wall timeout is per check as well.
+  void configure(uint64_t Rlimit, unsigned WallMs) {
+    z3::params P(Ctx);
+    if (WallMs)
+      P.set("timeout", WallMs);
+    if (Rlimit)
+      P.set("rlimit",
+            static_cast<unsigned>(Rlimit > 0xFFFFFFFFull ? 0xFFFFFFFFull
+                                                         : Rlimit));
+    Solver.set(P);
+  }
+
   std::string decorate(const std::string &Name) const {
     return "q" + std::to_string(Generation) + "." + Name;
   }

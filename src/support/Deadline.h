@@ -1,0 +1,90 @@
+//===- support/Deadline.h - Analysis deadline / cancellation ---*- C++ -*-===//
+//
+// Part of the C4 serializability analyzer. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A monotonic deadline with sticky expiry, shared read-only by every stage
+/// of an analysis run (the bounded-check drivers, the thread-pool workers,
+/// the layout-viability DFS and the solver retry loop). Cancellation is
+/// cooperative: stages poll `expired()` at their natural granularity (per
+/// unfolding, per solver attempt, every few thousand DFS steps) and wind
+/// down by reporting the remaining work as deferred rather than aborting
+/// mid-computation, which keeps partial results sound.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef C4_SUPPORT_DEADLINE_H
+#define C4_SUPPORT_DEADLINE_H
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace c4 {
+
+/// A wall-clock deadline. Default-constructed deadlines never expire.
+/// Once `expired()` observes the clock past the deadline (or `cancel()` is
+/// called) the state latches: all later polls return true without touching
+/// the clock, so a run that starts winding down keeps winding down even if
+/// polls race with each other across threads.
+class Deadline {
+public:
+  /// Never expires.
+  Deadline() = default;
+
+  /// Expires \p Ms milliseconds from now (0 = never).
+  explicit Deadline(unsigned Ms) {
+    if (Ms) {
+      Armed = true;
+      Due = std::chrono::steady_clock::now() + std::chrono::milliseconds(Ms);
+    }
+  }
+
+  /// True when a finite deadline (or manual cancellation) governs this run.
+  bool active() const {
+    return Armed || Tripped.load(std::memory_order_relaxed);
+  }
+
+  /// Polls the deadline. Cheap after the first expiry (one relaxed atomic
+  /// load); before that, one steady_clock read per call.
+  bool expired() const {
+    if (Tripped.load(std::memory_order_relaxed))
+      return true;
+    if (!Armed)
+      return false;
+    if (std::chrono::steady_clock::now() < Due)
+      return false;
+    Tripped.store(true, std::memory_order_relaxed);
+    return true;
+  }
+
+  /// Manual cancellation; observed by the next `expired()` poll everywhere.
+  void cancel() { Tripped.store(true, std::memory_order_relaxed); }
+
+  /// Milliseconds until expiry, saturating at 0; \p Cap for inactive
+  /// deadlines. Used to derive per-query wall ceilings so no single solver
+  /// call can overshoot the analysis deadline by more than its own budget.
+  unsigned remainingMs(unsigned Cap) const {
+    if (!Armed)
+      return Cap;
+    if (expired())
+      return 0;
+    auto Left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        Due - std::chrono::steady_clock::now());
+    if (Left.count() <= 0)
+      return 0;
+    uint64_t Ms = static_cast<uint64_t>(Left.count());
+    return static_cast<unsigned>(Ms < Cap ? Ms : Cap);
+  }
+
+private:
+  bool Armed = false;
+  std::chrono::steady_clock::time_point Due{};
+  mutable std::atomic<bool> Tripped{false};
+};
+
+} // namespace c4
+
+#endif // C4_SUPPORT_DEADLINE_H

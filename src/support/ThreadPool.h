@@ -12,11 +12,22 @@
 /// sequential ones). Tasks run FIFO; the destructor drains the queue and
 /// joins all workers.
 ///
+/// Cancellation is cooperative. A pool can be bound to a Deadline (or
+/// cancelled manually); every queued task still runs — a packaged task must
+/// execute for its future to become ready — but deadline-aware tasks check
+/// `cancelled()` at entry and return a sentinel result in microseconds, so
+/// draining a long queue after expiry costs almost nothing. `cancelled()`
+/// latches via the Deadline, making post-expiry polls one relaxed atomic
+/// load (no clock reads on the worker hot path).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef C4_SUPPORT_THREADPOOL_H
 #define C4_SUPPORT_THREADPOOL_H
 
+#include "support/Deadline.h"
+
+#include <atomic>
 #include <condition_variable>
 #include <deque>
 #include <functional>
@@ -31,7 +42,10 @@ namespace c4 {
 
 class ThreadPool {
 public:
-  explicit ThreadPool(unsigned NumThreads) {
+  /// \p Cancel, when given, is the run's deadline: once it expires,
+  /// `cancelled()` turns true for every worker and submitter.
+  explicit ThreadPool(unsigned NumThreads, const Deadline *Cancel = nullptr)
+      : Cancel(Cancel) {
     if (NumThreads == 0)
       NumThreads = 1;
     for (unsigned I = 0; I != NumThreads; ++I)
@@ -52,6 +66,17 @@ public:
   }
 
   unsigned numThreads() const { return static_cast<unsigned>(Workers.size()); }
+
+  /// True once the bound deadline expired or `cancel()` was called. Tasks
+  /// poll this at entry and wind down; results produced after this point
+  /// are still well-formed (the ordered commit loop decides what to keep).
+  bool cancelled() const {
+    return ManualCancel.load(std::memory_order_relaxed) ||
+           (Cancel && Cancel->expired());
+  }
+
+  /// Manual cooperative cancellation, independent of any deadline.
+  void cancel() { ManualCancel.store(true, std::memory_order_relaxed); }
 
   /// Enqueues \p Fn and returns a future for its result. Safe to call from
   /// multiple threads. Tasks must not block on futures of tasks submitted
@@ -84,6 +109,8 @@ private:
         Task = std::move(Queue.front());
         Queue.pop_front();
       }
+      // Run even when cancelled: the task's future must become ready, and
+      // cancellation-aware tasks exit in microseconds once `cancelled()`.
       Task();
     }
   }
@@ -93,6 +120,8 @@ private:
   std::mutex Mu;
   std::condition_variable Cv;
   bool Stopping = false;
+  const Deadline *Cancel;
+  std::atomic<bool> ManualCancel{false};
 };
 
 } // namespace c4

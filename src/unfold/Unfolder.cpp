@@ -315,7 +315,7 @@ std::vector<Unfolding> c4::enumerateUnfoldings(
     const AbstractHistory &A, unsigned K, unsigned MaxCount, bool &Truncated,
     const std::vector<unsigned> *Universe,
     const std::function<bool(const std::vector<std::vector<unsigned>> &)>
-        *SpecFilter) {
+        *SpecFilter, const Deadline *DL) {
   Truncated = false;
   std::vector<Unfolding> Result;
   unsigned T = A.numTxns();
@@ -360,8 +360,16 @@ std::vector<Unfolding> c4::enumerateUnfoldings(
   // Multisets of K specs (sessions are symmetric).
   std::vector<unsigned> Pick(K, 0);
   std::vector<std::vector<unsigned>> Layout(K);
+  unsigned Steps = 0;
   while (true) {
     if (Result.size() >= MaxCount) {
+      Truncated = true;
+      return Result;
+    }
+    // Deadline poll every 256 layouts. Stopping early is reported as
+    // truncation, which soundly blocks generalization; the driver reports
+    // the round as deferred.
+    if (DL && (++Steps & 0xFFu) == 0 && DL->expired()) {
       Truncated = true;
       return Result;
     }

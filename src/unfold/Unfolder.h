@@ -24,6 +24,7 @@
 #define C4_UNFOLD_UNFOLDER_H
 
 #include "abstract/AbstractHistory.h"
+#include "support/Deadline.h"
 
 #include <functional>
 #include <vector>
@@ -79,11 +80,17 @@ Unfolding buildUnfolding(const AbstractHistory &A,
 /// returning false skips it. The analyzer uses this to discard layouts that
 /// cannot carry a candidate cycle or segment (cheap graph check), avoiding
 /// the construction cost.
+/// \p DL, when set, is the analysis deadline: enumeration polls it and, on
+/// expiry, stops early with \p Truncated set — sound, because a truncated
+/// enumeration already blocks both generalization and completeness claims
+/// downstream; the caller additionally observes the expiry on the deadline
+/// itself and reports the round as deferred.
 std::vector<Unfolding> enumerateUnfoldings(
     const AbstractHistory &A, unsigned K, unsigned MaxCount, bool &Truncated,
     const std::vector<unsigned> *Universe = nullptr,
     const std::function<bool(const std::vector<std::vector<unsigned>> &)>
-        *SpecFilter = nullptr);
+        *SpecFilter = nullptr,
+    const Deadline *DL = nullptr);
 
 } // namespace c4
 

@@ -1,0 +1,316 @@
+//===- tests/GovernanceTests.cpp - Solver resource governance -------------===//
+//
+// Part of the C4 serializability analyzer. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests for the solver resource-governance layer: deterministic rlimit
+/// budgets with geometric retry escalation, the global analysis deadline
+/// with cooperative cancellation, the layout-viability DFS budget, the
+/// violation triage (validated / unvalidated / inconclusive) and the
+/// structured query trace. The central property: with rlimit budgets,
+/// verdicts, violation sets and retry counters are bit-identical across
+/// repeated runs and across thread counts — wall time never decides a
+/// verdict unless the rlimit budget is disabled.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Analyzer.h"
+#include "spec/Registry.h"
+#include "support/Deadline.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+using namespace c4;
+
+namespace {
+
+class GovernanceTest : public ::testing::Test {
+public:
+  GovernanceTest() { M = Sch.addContainer("M", Reg.lookup("map")); }
+
+  unsigned op(const char *Name) {
+    const DataTypeSpec *T = Sch.container(M).Type;
+    return T->opIndex(*T->findOp(Name));
+  }
+
+  /// Figure 1 put/get with free keys: a genuine violation that needs the
+  /// SMT stage (the fast analysis cannot refute it).
+  AbstractHistory buildPutGet() {
+    AbstractHistory A(Sch);
+    unsigned P = A.addTransaction("P");
+    unsigned Put = A.addEvent(P, M, op("put"), {AbsFact::free()});
+    A.addEo(A.entry(P), Put);
+    unsigned G = A.addTransaction("G");
+    unsigned Get = A.addEvent(G, M, op("get"), {AbsFact::free()});
+    A.addEo(A.entry(G), Get);
+    A.setMaySo(P, G);
+    return A;
+  }
+
+  /// A denser variant: several free-key writer/reader transactions with
+  /// unrestricted session order, so the general SSG is well-connected and
+  /// the layout-viability DFS has real work to do.
+  AbstractHistory buildDense(unsigned Writers) {
+    AbstractHistory A(Sch);
+    for (unsigned I = 0; I != Writers; ++I) {
+      unsigned P = A.addTransaction("W" + std::to_string(I));
+      unsigned Put = A.addEvent(P, M, op("put"), {AbsFact::free()});
+      A.addEo(A.entry(P), Put);
+      unsigned G = A.addTransaction("R" + std::to_string(I));
+      unsigned Get = A.addEvent(G, M, op("get"), {AbsFact::free()});
+      A.addEo(A.entry(G), Get);
+    }
+    A.allowAllSo();
+    return A;
+  }
+
+  TypeRegistry Reg;
+  Schema Sch;
+  unsigned M = 0;
+};
+
+/// The deterministic fingerprint of a result: everything except wall times
+/// and the (telemetry-only) rlimit spend.
+struct Fingerprint {
+  std::vector<std::vector<unsigned>> ViolationKeys;
+  std::vector<bool> Inconclusive, Validated;
+  bool Generalized, DeadlineExpired;
+  unsigned KChecked, UnfoldingsChecked, UnfoldingsSubsumed, SSGFlagged;
+  unsigned SMTRefuted, SMTUnknown, SMTRetries, UnfoldingsDeferred;
+
+  explicit Fingerprint(const AnalysisResult &R)
+      : Generalized(R.Generalized), DeadlineExpired(R.DeadlineExpired),
+        KChecked(R.KChecked), UnfoldingsChecked(R.UnfoldingsChecked),
+        UnfoldingsSubsumed(R.UnfoldingsSubsumed), SSGFlagged(R.SSGFlagged),
+        SMTRefuted(R.SMTRefuted), SMTUnknown(R.SMTUnknown),
+        SMTRetries(R.SMTRetries), UnfoldingsDeferred(R.UnfoldingsDeferred) {
+    for (const Violation &V : R.Violations) {
+      ViolationKeys.push_back(V.OrigTxns);
+      Inconclusive.push_back(V.Inconclusive);
+      Validated.push_back(V.Validated);
+    }
+  }
+
+  bool operator==(const Fingerprint &O) const {
+    return ViolationKeys == O.ViolationKeys && Inconclusive == O.Inconclusive &&
+           Validated == O.Validated && Generalized == O.Generalized &&
+           DeadlineExpired == O.DeadlineExpired && KChecked == O.KChecked &&
+           UnfoldingsChecked == O.UnfoldingsChecked &&
+           UnfoldingsSubsumed == O.UnfoldingsSubsumed &&
+           SSGFlagged == O.SSGFlagged && SMTRefuted == O.SMTRefuted &&
+           SMTUnknown == O.SMTUnknown && SMTRetries == O.SMTRetries &&
+           UnfoldingsDeferred == O.UnfoldingsDeferred;
+  }
+};
+
+} // namespace
+
+TEST(SolverBudgetTest, GeometricEscalationClampsAtCap) {
+  SolverBudget B;
+  B.Rlimit = 1000;
+  B.Escalation = 4;
+  B.RlimitCap = 10000;
+  EXPECT_EQ(B.rlimitForAttempt(0), 1000u);
+  EXPECT_EQ(B.rlimitForAttempt(1), 4000u);
+  EXPECT_EQ(B.rlimitForAttempt(2), 10000u); // 16000 clamped to the cap
+  EXPECT_EQ(B.rlimitForAttempt(3), 10000u);
+
+  // Rlimit 0 disables the deterministic budget entirely (wall only).
+  B.Rlimit = 0;
+  EXPECT_EQ(B.rlimitForAttempt(0), 0u);
+  EXPECT_EQ(B.rlimitForAttempt(5), 0u);
+
+  // Z3's rlimit parameter is 32-bit; escalation must not overflow past it.
+  B.Rlimit = 0x80000000ull;
+  B.RlimitCap = ~0ull;
+  EXPECT_LE(B.rlimitForAttempt(8), 0xFFFFFFFFull);
+}
+
+TEST(DeadlineTest, DefaultNeverExpires) {
+  Deadline D;
+  EXPECT_FALSE(D.active());
+  EXPECT_FALSE(D.expired());
+  EXPECT_EQ(D.remainingMs(1234), 1234u);
+}
+
+TEST(DeadlineTest, ArmedDeadlineExpiresAndLatches) {
+  Deadline D(1);
+  EXPECT_TRUE(D.active());
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_TRUE(D.expired());
+  EXPECT_TRUE(D.expired()); // latched
+  EXPECT_EQ(D.remainingMs(1000), 0u);
+}
+
+TEST(DeadlineTest, ManualCancelLatches) {
+  Deadline D(1000000);
+  EXPECT_FALSE(D.expired());
+  EXPECT_GT(D.remainingMs(~0u), 0u);
+  D.cancel();
+  EXPECT_TRUE(D.expired());
+}
+
+TEST(QueryTraceTest, JsonlRendering) {
+  QueryTrace T;
+  QueryRecord R;
+  R.Stage = "bounded";
+  R.K = 2;
+  R.Unfolding = 7;
+  R.Attempts = 3;
+  R.RlimitBudget = 16000;
+  R.RlimitSpent = 12345;
+  R.Outcome = "unknown";
+  R.WallMs = 1.5;
+  T.append(R);
+  std::string J = T.toJsonl();
+  EXPECT_NE(J.find("\"seq\":0"), std::string::npos) << J;
+  EXPECT_NE(J.find("\"stage\":\"bounded\""), std::string::npos) << J;
+  EXPECT_NE(J.find("\"k\":2"), std::string::npos) << J;
+  EXPECT_NE(J.find("\"unfolding\":7"), std::string::npos) << J;
+  EXPECT_NE(J.find("\"attempts\":3"), std::string::npos) << J;
+  EXPECT_NE(J.find("\"retries\":2"), std::string::npos) << J;
+  EXPECT_NE(J.find("\"rlimit_budget\":16000"), std::string::npos) << J;
+  EXPECT_NE(J.find("\"outcome\":\"unknown\""), std::string::npos) << J;
+  EXPECT_EQ(std::count(J.begin(), J.end(), '\n'), 1);
+}
+
+TEST_F(GovernanceTest, TinyRlimitYieldsDeterministicInconclusive) {
+  // A budget far below what ϕ_cyclic needs: every attempt (including the
+  // escalated retries) returns unknown, and the violation is recorded as
+  // inconclusive — deterministically, across repeated runs and thread
+  // counts, because the rlimit budget counts deductions, not milliseconds.
+  AbstractHistory A = buildPutGet();
+  AnalyzerOptions O;
+  O.Budget.Rlimit = 1;
+  O.Budget.Escalation = 2;
+  O.Budget.MaxRetries = 2;
+  O.Budget.RlimitCap = 8;
+
+  std::vector<Fingerprint> Runs;
+  std::vector<std::string> Reports;
+  for (unsigned Threads : {1u, 1u, 4u, 4u}) {
+    O.NumThreads = Threads;
+    AnalysisResult R = analyze(A, O);
+    ASSERT_FALSE(R.Violations.empty());
+    EXPECT_TRUE(R.Violations.front().Inconclusive);
+    EXPECT_FALSE(R.Violations.front().CE.has_value());
+    EXPECT_GT(R.SMTUnknown, 0u);
+    // Every unknown burned its full retry allowance.
+    EXPECT_EQ(R.SMTRetries, R.SMTUnknown * O.Budget.MaxRetries);
+    EXPECT_EQ(R.inconclusiveViolations(), R.Violations.size());
+    EXPECT_EQ(R.validatedViolations(), 0u);
+    EXPECT_FALSE(R.Generalized); // inconclusive blocks generalization
+    Runs.emplace_back(R);
+    Reports.push_back(reportStr(A, R));
+    EXPECT_NE(Reports.back().find("inconclusive (solver budget exhausted)"),
+              std::string::npos)
+        << Reports.back();
+  }
+  for (size_t I = 1; I != Runs.size(); ++I)
+    EXPECT_TRUE(Runs[I] == Runs[0]) << "run " << I << " diverged:\n"
+                                    << Reports[I] << "vs\n"
+                                    << Reports[0];
+}
+
+TEST_F(GovernanceTest, DefaultBudgetStillFindsConcreteViolation) {
+  // Sanity: the governance layer at defaults does not change PR 1 verdicts.
+  AbstractHistory A = buildPutGet();
+  AnalysisResult R = analyze(A);
+  ASSERT_FALSE(R.Violations.empty());
+  const Violation &V = R.Violations.front();
+  EXPECT_FALSE(V.Inconclusive);
+  EXPECT_TRUE(V.CE.has_value());
+  EXPECT_EQ(R.SMTRetries, 0u);
+  EXPECT_GT(R.RlimitSpent, 0u); // spend telemetry flows back
+}
+
+TEST_F(GovernanceTest, QueryTraceIsDeterministicAcrossThreads) {
+  AbstractHistory A = buildDense(2);
+  AnalyzerOptions O;
+  QueryTrace T1, T4;
+  O.NumThreads = 1;
+  O.Trace = &T1;
+  AnalysisResult R1 = analyze(A, O);
+  O.NumThreads = 4;
+  O.Trace = &T4;
+  AnalysisResult R4 = analyze(A, O);
+  EXPECT_TRUE(Fingerprint(R1) == Fingerprint(R4));
+
+  std::vector<QueryRecord> A1 = T1.records(), A4 = T4.records();
+  ASSERT_GT(A1.size(), 0u);
+  ASSERT_EQ(A1.size(), A4.size());
+  for (size_t I = 0; I != A1.size(); ++I) {
+    EXPECT_STREQ(A1[I].Stage, A4[I].Stage) << I;
+    EXPECT_EQ(A1[I].K, A4[I].K) << I;
+    EXPECT_EQ(A1[I].Unfolding, A4[I].Unfolding) << I;
+    EXPECT_EQ(A1[I].Attempts, A4[I].Attempts) << I;
+    EXPECT_EQ(A1[I].RlimitBudget, A4[I].RlimitBudget) << I;
+    EXPECT_STREQ(A1[I].Outcome, A4[I].Outcome) << I;
+    // WallMs and RlimitSpent are telemetry: not compared.
+  }
+}
+
+TEST_F(GovernanceTest, DfsBudgetExhaustionIsCountedAndSound) {
+  // A one-step budget exhausts on the first layout the DFS touches; the
+  // filter degrades to "keep everything" (sound — the precise machinery
+  // still decides) and the exhaustion is surfaced, not silent.
+  AbstractHistory A = buildDense(3);
+  AnalyzerOptions O;
+  O.LayoutDfsBudget = 1;
+  AnalysisResult Tiny = analyze(A, O);
+  EXPECT_GT(Tiny.DfsBudgetExhausted, 0u);
+  EXPECT_EQ(Tiny.LayoutsFiltered, 0u); // nothing was ever filtered out
+
+  AnalyzerOptions Def;
+  AnalysisResult Full = analyze(A, Def);
+  EXPECT_EQ(Full.DfsBudgetExhausted, 0u);
+
+  // Identical verdicts: the filter only skips work, never changes results.
+  ASSERT_EQ(Tiny.Violations.size(), Full.Violations.size());
+  for (size_t I = 0; I != Tiny.Violations.size(); ++I) {
+    EXPECT_EQ(Tiny.Violations[I].OrigTxns, Full.Violations[I].OrigTxns);
+    EXPECT_EQ(Tiny.Violations[I].Inconclusive, Full.Violations[I].Inconclusive);
+  }
+  EXPECT_EQ(Tiny.Generalized, Full.Generalized);
+  EXPECT_EQ(Tiny.KChecked, Full.KChecked);
+}
+
+TEST_F(GovernanceTest, ExpiredDeadlineDegradesSoundly) {
+  // A 1ms deadline expires during (or right after) the fast stage of any
+  // real run. Whatever the cut point, the result must degrade soundly:
+  // no generalization claim, no serializability claim, and the report says
+  // what was and was not covered.
+  AbstractHistory A = buildDense(3);
+  for (unsigned Threads : {1u, 4u}) {
+    AnalyzerOptions O;
+    O.DeadlineMs = 1;
+    O.NumThreads = Threads;
+    AnalysisResult R = analyze(A, O);
+    if (!R.DeadlineExpired)
+      continue; // machine outran the deadline: nothing to assert
+    EXPECT_FALSE(R.Generalized);
+    EXPECT_FALSE(R.serializable());
+    std::string Report = reportStr(A, R);
+    EXPECT_NE(Report.find("deadline"), std::string::npos) << Report;
+    EXPECT_NE(Report.find("partial but sound"), std::string::npos) << Report;
+  }
+}
+
+TEST_F(GovernanceTest, GenerousDeadlineChangesNothing) {
+  // A deadline far beyond the run's needs must leave the result identical
+  // to an unbounded run (the governance layer is pay-for-what-you-use).
+  AbstractHistory A = buildPutGet();
+  AnalyzerOptions O;
+  O.DeadlineMs = 600000;
+  AnalysisResult R = analyze(A, O);
+  EXPECT_FALSE(R.DeadlineExpired);
+  EXPECT_EQ(R.UnfoldingsDeferred, 0u);
+  AnalysisResult Base = analyze(A);
+  EXPECT_TRUE(Fingerprint(R) == Fingerprint(Base));
+}

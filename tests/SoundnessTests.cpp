@@ -162,7 +162,7 @@ TEST(Soundness, SerializableVerdictsHaveNoSmallCounterexamples) {
     unsigned NumLocals = 0;
     AbstractHistory A = randomAbstract(Sch, R, NumLocals);
     AnalyzerOptions O;
-    O.SmtTimeoutMs = 5000;
+    O.Budget.WallMs = 5000;
     AnalysisResult Res = analyze(A, O);
     if (!Res.Violations.empty()) {
       ++Flagged;

@@ -21,6 +21,21 @@
 ///                          independent of the thread count)
 ///     --no-cache           disable the commutativity/absorption
 ///                          memoization oracle (A/B measurements)
+///     --rlimit <n>         per-query solver budget in Z3 resource units —
+///                          deterministic across machines, unlike wall time
+///                          (0 = wall-clock backstop only)
+///     --rlimit-cap <n>     ceiling of the geometric retry escalation
+///     --retries <n>        max re-solves after an unknown (each retry
+///                          multiplies the rlimit by the escalation factor)
+///     --smt-timeout-ms <n> wall-clock backstop per solver call
+///     --deadline-ms <n>    global analysis deadline; on expiry the run
+///                          winds down cooperatively and reports a partial
+///                          but sound verdict (0 = none)
+///     --dfs-budget <n>     step budget of the layout-viability pre-filter
+///     --trace <file>       write a JSONL query trace: one record per
+///                          solver query (stage, unfolding, rlimit spent,
+///                          retries, outcome, wall time)
+///     --seed <n>           RNG seed for --simulate (default 0xC4C4)
 ///     --simulate <n>       additionally execute n randomized workloads on
 ///                          the causal-store simulator and report how often
 ///                          the dynamic analyzer observes a violation
@@ -52,8 +67,10 @@ static int usage(const char *Prog) {
                "usage: %s [--no-filter] [--no-commutativity] "
                "[--no-absorption] [--no-constraints] [--no-control-flow] "
                "[--no-asymmetric] [--no-unique] [--no-cache] [--max-k N] "
-               "[--threads N] [--simulate N] [--stats-json] [--dot] "
-               "<file.c4l>\n",
+               "[--threads N] [--rlimit N] [--rlimit-cap N] [--retries N] "
+               "[--smt-timeout-ms N] [--deadline-ms N] [--dfs-budget N] "
+               "[--trace FILE] [--seed N] [--simulate N] [--stats-json] "
+               "[--dot] <file.c4l>\n",
                Prog);
   return 2;
 }
@@ -114,9 +131,11 @@ int main(int Argc, char **Argv) {
   Options.DisplayFilter = true;
   Options.UseAtomicSets = true;
   unsigned SimulateTrials = 0;
+  unsigned Seed = 0xC4C4;
   bool DumpDot = false;
   bool StatsJson = false;
   const char *Path = nullptr;
+  const char *TracePath = nullptr;
   for (int I = 1; I != Argc; ++I) {
     const char *Arg = Argv[I];
     if (!std::strcmp(Arg, "--no-filter")) {
@@ -145,6 +164,37 @@ int main(int Argc, char **Argv) {
       }
     } else if (!std::strcmp(Arg, "--threads")) {
       if (I + 1 == Argc || !parseCount(Arg, Argv[++I], Options.NumThreads))
+        return usage(Argv[0]);
+    } else if (!std::strcmp(Arg, "--rlimit")) {
+      unsigned V = 0;
+      if (I + 1 == Argc || !parseCount(Arg, Argv[++I], V))
+        return usage(Argv[0]);
+      Options.Budget.Rlimit = V;
+    } else if (!std::strcmp(Arg, "--rlimit-cap")) {
+      unsigned V = 0;
+      if (I + 1 == Argc || !parseCount(Arg, Argv[++I], V))
+        return usage(Argv[0]);
+      Options.Budget.RlimitCap = V;
+    } else if (!std::strcmp(Arg, "--retries")) {
+      if (I + 1 == Argc ||
+          !parseCount(Arg, Argv[++I], Options.Budget.MaxRetries))
+        return usage(Argv[0]);
+    } else if (!std::strcmp(Arg, "--smt-timeout-ms")) {
+      if (I + 1 == Argc || !parseCount(Arg, Argv[++I], Options.Budget.WallMs))
+        return usage(Argv[0]);
+    } else if (!std::strcmp(Arg, "--deadline-ms")) {
+      if (I + 1 == Argc || !parseCount(Arg, Argv[++I], Options.DeadlineMs))
+        return usage(Argv[0]);
+    } else if (!std::strcmp(Arg, "--dfs-budget")) {
+      if (I + 1 == Argc ||
+          !parseCount(Arg, Argv[++I], Options.LayoutDfsBudget))
+        return usage(Argv[0]);
+    } else if (!std::strcmp(Arg, "--trace")) {
+      if (I + 1 == Argc)
+        return usage(Argv[0]);
+      TracePath = Argv[++I];
+    } else if (!std::strcmp(Arg, "--seed")) {
+      if (I + 1 == Argc || !parseCount(Arg, Argv[++I], Seed))
         return usage(Argv[0]);
     } else if (!std::strcmp(Arg, "--simulate")) {
       if (I + 1 == Argc || !parseCount(Arg, Argv[++I], SimulateTrials))
@@ -191,7 +241,14 @@ int main(int Argc, char **Argv) {
     std::printf("%s: %u transactions, %u events (front end %.3fs)\n", Path,
                 P.History->numTxns(), P.History->numStoreEvents(),
                 P.FrontendSeconds);
+  QueryTrace Trace;
+  if (TracePath)
+    Options.Trace = &Trace;
   AnalysisResult R = analyze(*P.History, Options);
+  if (TracePath && !Trace.writeFile(TracePath)) {
+    std::fprintf(stderr, "error: cannot write trace to %s\n", TracePath);
+    return 2;
+  }
   if (StatsJson) {
     std::string Json;
     char Buf[256];
@@ -208,12 +265,16 @@ int main(int Argc, char **Argv) {
     std::snprintf(Buf, sizeof(Buf),
                   "  \"serializable\": %s,\n  \"generalized\": %s,\n"
                   "  \"fast_proved\": %s,\n  \"violations\": %zu,\n"
+                  "  \"violations_validated\": %u,\n"
+                  "  \"violations_unvalidated\": %u,\n"
+                  "  \"violations_inconclusive\": %u,\n"
                   "  \"k_checked\": %u,\n  \"truncated\": %s,\n",
                   R.serializable() ? "true" : "false",
                   R.Generalized ? "true" : "false",
                   R.FastProvedSerializable ? "true" : "false",
-                  R.Violations.size(), R.KChecked,
-                  R.Truncated ? "true" : "false");
+                  R.Violations.size(), R.validatedViolations(),
+                  R.unvalidatedViolations(), R.inconclusiveViolations(),
+                  R.KChecked, R.Truncated ? "true" : "false");
     Json += Buf;
     std::snprintf(Buf, sizeof(Buf),
                   "  \"unfoldings_checked\": %u,\n"
@@ -222,6 +283,17 @@ int main(int Argc, char **Argv) {
                   "  \"smt_refuted\": %u,\n  \"smt_unknown\": %u,\n",
                   R.UnfoldingsChecked, R.UnfoldingsSubsumed, R.LayoutsFiltered,
                   R.SSGFlagged, R.SMTRefuted, R.SMTUnknown);
+    Json += Buf;
+    std::snprintf(Buf, sizeof(Buf),
+                  "  \"smt_retries\": %u,\n"
+                  "  \"rlimit_spent\": %llu,\n"
+                  "  \"deadline_expired\": %s,\n"
+                  "  \"unfoldings_deferred\": %u,\n"
+                  "  \"dfs_budget_exhausted\": %u,\n",
+                  R.SMTRetries,
+                  static_cast<unsigned long long>(R.RlimitSpent),
+                  R.DeadlineExpired ? "true" : "false",
+                  R.UnfoldingsDeferred, R.DfsBudgetExhausted);
     Json += Buf;
     std::snprintf(Buf, sizeof(Buf),
                   "  \"cond_cache_hits\": %llu,\n"
@@ -246,7 +318,7 @@ int main(int Argc, char **Argv) {
   if (SimulateTrials) {
     // Cross-check dynamically: randomized workloads on the causal-store
     // simulator, analyzed by the dynamic DSG analyzer (§9.5 baseline).
-    Rng Rand(0xC4C4);
+    Rng Rand(Seed);
     unsigned Detected = 0;
     for (unsigned Trial = 0; Trial != SimulateTrials; ++Trial) {
       CausalStore Store(*P.Sch, 2);
@@ -271,8 +343,8 @@ int main(int Argc, char **Argv) {
         ++Detected;
     }
     std::printf("simulation: %u of %u randomized executions exhibited a "
-                "DSG cycle dynamically\n",
-                Detected, SimulateTrials);
+                "DSG cycle dynamically (seed 0x%X)\n",
+                Detected, SimulateTrials, Seed);
   }
   return R.Violations.empty() ? 0 : 1;
 }
