@@ -54,6 +54,8 @@ txn register(name, pw) {
     Users.set(name, "created", 1);
   }
 }
+// Tweets and the per-user timeline are updated without a batch — the
+// cross-container anomaly reported for this app. c4l-allow C4L-W004
 txn tweet(text) {
   let r = Tweets.add_row();
   Tweets.set(r, "text", text);
@@ -161,12 +163,15 @@ txn getRate(pair) {
        R"(
 container map Meta;
 container table Items;
+// The queue metadata and item table are deliberately not grouped: their
+// divergence under causal consistency is the modeled bug. c4l-allow C4L-W004
 txn produce(v, tail) {
   let t = Meta.get("tail");    // used to chain the new tail
   Items.set(tail, "val", v);
   Meta.put("tail", tail);
   return t;
 }
+// c4l-allow C4L-W004
 txn consume(next) {
   let h = Meta.get("head");
   let v = Items.get(h, "val"); // the dequeued value: business logic
@@ -302,6 +307,7 @@ txn dropRoom(name) { Rooms.del(name); }
       {"shopping-cart", "Cassandra",
        R"(
 // Carts are keyed by the owning session: no cross-session conflicts.
+// Write-only within the analyzed scope by design. c4l-allow C4L-W001
 container table Carts;
 session me;
 // The cart service is write-only: reads are served by a separate,

@@ -113,6 +113,8 @@ txn checkMaster(m) {
   let k = Master.get("key");
   if (k == 0) { Master.put("key", m); }
 }
+// The unguarded cross-container wipe is the app's reported anomaly;
+// keep it un-grouped so the analysis can observe it. c4l-allow C4L-W004
 txn wipe(site) { Vault.del(site); Master.remove("key"); }
 )",
        {},

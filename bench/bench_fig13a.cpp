@@ -121,7 +121,7 @@ int main(int Argc, char **Argv) {
     AllOff.Commutativity = AllOff.Absorption = false;
     AllOff.Constraints = AllOff.ControlFlow = false;
     std::set<std::string> Base = violationKeys(runWith(P, AllOff));
-    std::set<std::string> Full =
+    std::set<std::string> FullOn =
         violationKeys(runWith(P, AnalysisFeatures::all()));
 
     // Which alarms come back when one feature is disabled?
@@ -131,7 +131,7 @@ int main(int Argc, char **Argv) {
           runWith(P, withFeature(AnalysisFeatures::all(), I, false)));
 
     for (const std::string &Key : Base) {
-      if (Full.count(Key))
+      if (FullOn.count(Key))
         continue; // survives the full configuration: not a false alarm
       ++Eliminated[App.Domain];
       unsigned Region = 0;
@@ -141,7 +141,7 @@ int main(int Argc, char **Argv) {
       ++Regions[App.Domain][Region];
     }
     std::printf("  %-18s analyzed (baseline alarms %zu, full %zu)\n",
-                App.Name, Base.size(), Full.size());
+                App.Name, Base.size(), FullOn.size());
   }
 
   for (const auto &[Domain, Counts] : Regions) {

@@ -22,17 +22,27 @@
 /// rlimit spend and the suite's wall time — the regression baseline for the
 /// solver resource-governance layer.
 ///
+/// The history-reduction passes run by default between compilation and
+/// analysis (`--no-passes` disables them). `--passes <file>` additionally
+/// analyzes every app twice — raw and reduced — compares the verdicts
+/// (they must match; a mismatch is a soundness regression and fails the
+/// run), and writes BENCH_passes.json with per-app and suite-wide event,
+/// SSG-edge and SMT-query counts before/after reduction.
+///
 //===----------------------------------------------------------------------===//
 
 #include "analysis/Analyzer.h"
 #include "apps/Apps.h"
 #include "frontend/Frontend.h"
+#include "passes/PassManager.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 using namespace c4;
 using namespace c4bench;
@@ -62,6 +72,38 @@ Counts classifyAll(const BenchApp &App, const AnalysisResult &R) {
   return C;
 }
 
+/// Canonical verdict string: serializability bit plus the sorted set of
+/// violations (transaction names + triage class). Byte-equal keys mean the
+/// analysis reached the same conclusion.
+std::string verdictKey(const AnalysisResult &R) {
+  std::vector<std::string> Keys;
+  for (const Violation &V : R.Violations) {
+    std::string K;
+    for (const std::string &N : V.TxnNames) {
+      K += N;
+      K += ',';
+    }
+    K += V.Inconclusive ? '?' : (V.Validated ? '!' : '~');
+    Keys.push_back(std::move(K));
+  }
+  std::sort(Keys.begin(), Keys.end());
+  std::string Out = R.serializable() ? "S|" : "V|";
+  for (const std::string &K : Keys) {
+    Out += K;
+    Out += ';';
+  }
+  return Out;
+}
+
+/// Per-app before/after measurements for the --passes comparison.
+struct PassRow {
+  const char *Name;
+  unsigned EventsBefore, EventsAfter;
+  unsigned EdgesBefore, EdgesAfter;
+  unsigned QueriesBefore, QueriesAfter;
+  bool VerdictMatch;
+};
+
 } // namespace
 
 static const int StdoutLineBuffered = []() {
@@ -70,13 +112,44 @@ static const int StdoutLineBuffered = []() {
 }();
 
 int main(int Argc, char **Argv) {
-  bool Quick = false;
+  bool Quick = false, NoPasses = false, LintOnly = false;
   const char *GovernancePath = nullptr;
+  const char *PassesPath = nullptr;
   for (int I = 1; I != Argc; ++I) {
     if (!std::strcmp(Argv[I], "--quick"))
       Quick = true;
+    else if (!std::strcmp(Argv[I], "--no-passes"))
+      NoPasses = true;
+    else if (!std::strcmp(Argv[I], "--lint"))
+      LintOnly = true;
     else if (!std::strcmp(Argv[I], "--governance") && I + 1 != Argc)
       GovernancePath = Argv[++I];
+    else if (!std::strcmp(Argv[I], "--passes") && I + 1 != Argc)
+      PassesPath = Argv[++I];
+  }
+
+  if (LintOnly) {
+    // Lint every benchmark app (no analysis). Exits 1 on any unsuppressed
+    // warning, so CI can gate on a lint-clean suite.
+    unsigned Warnings = 0;
+    for (const BenchApp &App : benchApps()) {
+      std::string Source = App.Source;
+      CompileResult Compiled = compileC4L(Source);
+      if (!Compiled.ok()) {
+        std::printf("%s: COMPILE ERROR: %s\n", App.Name,
+                    Compiled.Error.c_str());
+        ++Warnings;
+        continue;
+      }
+      PassOptions Opts;
+      Opts.Reduce = false;
+      PassResult R = runPasses(*Compiled.Program, Opts, &Source);
+      Warnings += static_cast<unsigned>(R.Lints.size());
+      std::fputs(renderLintText(R.Lints, App.Name).c_str(), stdout);
+    }
+    std::printf("%u lint warning(s) across %zu apps\n", Warnings,
+                benchApps().size());
+    return Warnings ? 1 : 0;
   }
   QueryTrace Trace;
   auto SuiteStart = std::chrono::steady_clock::now();
@@ -95,6 +168,12 @@ int main(int Argc, char **Argv) {
   double TotalBackend = 0;
   unsigned Projects = 0, Failures = 0, NotGeneralized = 0;
   const char *LastDomain = "";
+
+  // --passes comparison state.
+  std::vector<PassRow> PassRows;
+  PassStats TotalPassStats;
+  double RawSeconds = 0, ReducedSeconds = 0, PassSeconds = 0;
+  unsigned VerdictMismatches = 0;
 
   for (const BenchApp &App : benchApps()) {
     if (Quick && Projects >= 6)
@@ -116,6 +195,49 @@ int main(int Argc, char **Argv) {
     AnalyzerOptions Unfiltered;
     if (GovernancePath)
       Unfiltered.Trace = &Trace;
+
+    // Raw (pre-reduction) baseline for the --passes comparison. Runs
+    // before the passes mutate P so both variants see the same program.
+    std::string RawKeyU, RawKeyF;
+    unsigned RawEdges = 0, RawQueries = 0;
+    unsigned RawEvents = P.History->numStoreEvents();
+    if (PassesPath) {
+      auto RawStart = std::chrono::steady_clock::now();
+      AnalysisResult RawU = analyze(*P.History, Unfiltered);
+      AnalyzerOptions RawFilteredOpts;
+      RawFilteredOpts.DisplayFilter = true;
+      RawFilteredOpts.UseAtomicSets = !P.AtomicSets.empty();
+      RawFilteredOpts.AtomicSets = P.AtomicSets;
+      AnalysisResult RawF = analyze(*P.History, RawFilteredOpts);
+      RawSeconds += std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - RawStart)
+                        .count();
+      RawKeyU = verdictKey(RawU);
+      RawKeyF = verdictKey(RawF);
+      RawEdges = RawU.SSGEdges + RawF.SSGEdges;
+      RawQueries = RawU.SmtQueries + RawF.SmtQueries;
+    }
+
+    if (!NoPasses) {
+      PassOptions PassOpts;
+      PassOpts.Lint = false;
+      PassResult Passes = runPasses(P, PassOpts);
+      if (!Passes.Ok) {
+        std::printf("%-18s PASS ERROR: %s\n", App.Name,
+                    Passes.Error.c_str());
+        ++Failures;
+        continue;
+      }
+      TotalPassStats.EventsBefore += Passes.Stats.EventsBefore;
+      TotalPassStats.EventsAfter += Passes.Stats.EventsAfter;
+      TotalPassStats.DeadWrites += Passes.Stats.DeadWrites;
+      TotalPassStats.PrunedBranches += Passes.Stats.PrunedBranches;
+      TotalPassStats.ConstProps += Passes.Stats.ConstProps;
+      TotalPassStats.FreshPromotions += Passes.Stats.FreshPromotions;
+      PassSeconds += Passes.Stats.Seconds;
+    }
+
+    auto ReducedStart = std::chrono::steady_clock::now();
     AnalysisResult RU = analyze(*P.History, Unfiltered);
 
     AnalyzerOptions Filtered;
@@ -125,6 +247,20 @@ int main(int Argc, char **Argv) {
     if (GovernancePath)
       Filtered.Trace = &Trace;
     AnalysisResult RF = analyze(*P.History, Filtered);
+    ReducedSeconds += std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - ReducedStart)
+                          .count();
+
+    if (PassesPath) {
+      bool Match =
+          RawKeyU == verdictKey(RU) && RawKeyF == verdictKey(RF);
+      if (!Match)
+        ++VerdictMismatches;
+      PassRows.push_back({App.Name, RawEvents,
+                          P.History->numStoreEvents(), RawEdges,
+                          RU.SSGEdges + RF.SSGEdges, RawQueries,
+                          RU.SmtQueries + RF.SmtQueries, Match});
+    }
 
     Counts CU = classifyAll(App, RU);
     Counts CF = classifyAll(App, RF);
@@ -242,5 +378,74 @@ int main(int Argc, char **Argv) {
     std::fclose(F);
     std::printf("  governance aggregate written to %s\n", GovernancePath);
   }
-  return Failures ? 1 : 0;
+
+  if (PassesPath) {
+    std::printf("\nHistory reduction (raw -> reduced, unfiltered + "
+                "filtered runs summed)\n");
+    std::printf("  %-18s %13s %13s %13s  %s\n", "Program", "events",
+                "ssg edges", "smt queries", "verdicts");
+    unsigned SumEvB = 0, SumEvA = 0, SumEdB = 0, SumEdA = 0, SumQB = 0,
+             SumQA = 0;
+    for (const PassRow &Row : PassRows) {
+      std::printf("  %-18s %5u -> %-5u %5u -> %-5u %5u -> %-5u  %s\n",
+                  Row.Name, Row.EventsBefore, Row.EventsAfter,
+                  Row.EdgesBefore, Row.EdgesAfter, Row.QueriesBefore,
+                  Row.QueriesAfter,
+                  Row.VerdictMatch ? "match" : "MISMATCH");
+      SumEvB += Row.EventsBefore;
+      SumEvA += Row.EventsAfter;
+      SumEdB += Row.EdgesBefore;
+      SumEdA += Row.EdgesAfter;
+      SumQB += Row.QueriesBefore;
+      SumQA += Row.QueriesAfter;
+    }
+    std::printf("  %-18s %5u -> %-5u %5u -> %-5u %5u -> %-5u  %s\n",
+                "TOTAL", SumEvB, SumEvA, SumEdB, SumEdA, SumQB, SumQA,
+                VerdictMismatches ? "MISMATCHES" : "all match");
+    std::printf("  dead writes %u, pruned branches %u, const props %u, "
+                "fresh promotions %u (pass time %.2fs)\n",
+                TotalPassStats.DeadWrites, TotalPassStats.PrunedBranches,
+                TotalPassStats.ConstProps, TotalPassStats.FreshPromotions,
+                PassSeconds);
+
+    FILE *F = std::fopen(PassesPath, "w");
+    if (!F) {
+      std::fprintf(stderr, "error: cannot write %s\n", PassesPath);
+      return 1;
+    }
+    std::fprintf(F,
+                 "{\n  \"projects\": %u,\n  \"verdict_mismatches\": %u,\n",
+                 Projects, VerdictMismatches);
+    std::fprintf(F,
+                 "  \"events_before\": %u,\n  \"events_after\": %u,\n"
+                 "  \"ssg_edges_before\": %u,\n  \"ssg_edges_after\": %u,\n"
+                 "  \"smt_queries_before\": %u,\n"
+                 "  \"smt_queries_after\": %u,\n",
+                 SumEvB, SumEvA, SumEdB, SumEdA, SumQB, SumQA);
+    std::fprintf(F,
+                 "  \"dead_writes\": %u,\n  \"pruned_branches\": %u,\n"
+                 "  \"const_props\": %u,\n  \"fresh_promotions\": %u,\n",
+                 TotalPassStats.DeadWrites, TotalPassStats.PrunedBranches,
+                 TotalPassStats.ConstProps, TotalPassStats.FreshPromotions);
+    std::fprintf(F,
+                 "  \"pass_seconds\": %.2f,\n"
+                 "  \"analysis_seconds_before\": %.1f,\n"
+                 "  \"analysis_seconds_after\": %.1f,\n  \"apps\": [\n",
+                 PassSeconds, RawSeconds, ReducedSeconds);
+    for (size_t I = 0; I != PassRows.size(); ++I) {
+      const PassRow &Row = PassRows[I];
+      std::fprintf(F,
+                   "    {\"name\": \"%s\", \"events\": [%u, %u], "
+                   "\"ssg_edges\": [%u, %u], \"smt_queries\": [%u, %u], "
+                   "\"verdict_match\": %s}%s\n",
+                   Row.Name, Row.EventsBefore, Row.EventsAfter,
+                   Row.EdgesBefore, Row.EdgesAfter, Row.QueriesBefore,
+                   Row.QueriesAfter, Row.VerdictMatch ? "true" : "false",
+                   I + 1 == PassRows.size() ? "" : ",");
+    }
+    std::fprintf(F, "  ]\n}\n");
+    std::fclose(F);
+    std::printf("  pass comparison written to %s\n", PassesPath);
+  }
+  return Failures || VerdictMismatches ? 1 : 0;
 }

@@ -151,6 +151,11 @@ EventFacts AbstractHistory::resolveFacts(unsigned EventId,
       R.push_back(
           ArgFact::symbol(NumGlobal + SessionTag * NumLocal + F.Var));
       break;
+    case AbsFact::FreshVar:
+      // One unique identity per (session instance, creator event). Unique
+      // ids live in their own namespace, so no collision with Symbolic ids.
+      R.push_back(ArgFact::unique(SessionTag * numEvents() + F.Var));
+      break;
     }
   }
   return R;

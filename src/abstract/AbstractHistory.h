@@ -46,14 +46,25 @@ namespace c4 {
 
 /// What is known about one argument slot of an abstract event.
 struct AbsFact {
-  enum KindTy : uint8_t { Free, Const, LocalVar, GlobalVar } Kind = Free;
+  enum KindTy : uint8_t {
+    Free,
+    Const,
+    LocalVar,
+    GlobalVar,
+    FreshVar ///< slot carries the fresh unique identity (paper §8) returned
+             ///< by the creator event `Var` of the same transaction; only
+             ///< valid when the creator dominates this event in eo
+  } Kind = Free;
   int64_t Value = 0; ///< for Const
-  unsigned Var = 0;  ///< for LocalVar / GlobalVar
+  unsigned Var = 0;  ///< for LocalVar / GlobalVar / FreshVar
 
   static AbsFact free() { return {}; }
   static AbsFact constant(int64_t V) { return {Const, V, 0}; }
   static AbsFact localVar(unsigned V) { return {LocalVar, 0, V}; }
   static AbsFact globalVar(unsigned V) { return {GlobalVar, 0, V}; }
+  static AbsFact freshVar(unsigned CreatorEvent) {
+    return {FreshVar, 0, CreatorEvent};
+  }
 };
 
 using AbsFacts = std::vector<AbsFact>;
@@ -118,6 +129,17 @@ public:
   /// Marks a query as display-only (the §9.1 display-code filter).
   void setDisplay(unsigned EventId, bool Display = true) {
     Events_[EventId].Display = Display;
+  }
+
+  /// Replaces one argument-slot fact of an event. Used by the pass pipeline
+  /// (fresh-identity promotion) and by the unfolder when remapping FreshVar
+  /// creators into instantiated copies. Extends the stored fact vector if
+  /// the slot is one of the trailing implicitly-free ones.
+  void setFact(unsigned EventId, unsigned Slot, AbsFact F) {
+    AbsFacts &Fs = Events_[EventId].Facts;
+    if (Fs.size() <= Slot)
+      Fs.resize(Slot + 1);
+    Fs[Slot] = F;
   }
 
   /// Declares fresh symbolic constants; returns the variable id.

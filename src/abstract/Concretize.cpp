@@ -31,10 +31,11 @@ bool evalConstraint(const Cond &C, const std::vector<int64_t> &SrcVals,
 /// returns true.
 class TxnEmbedder {
 public:
-  TxnEmbedder(const History &H, const AbstractHistory &A, unsigned AbsTxn,
-              const std::vector<unsigned> &Seq,
-              std::function<bool(const std::vector<unsigned> &)> Yield)
-      : H(H), A(A), T(A.txn(AbsTxn)), Seq(Seq), Yield(std::move(Yield)) {}
+  TxnEmbedder(const History &Hist, const AbstractHistory &Abs,
+              unsigned AbsTxn, const std::vector<unsigned> &EventSeq,
+              std::function<bool(const std::vector<unsigned> &)> OnMatch)
+      : H(Hist), A(Abs), T(Abs.txn(AbsTxn)), Seq(EventSeq),
+        Yield(std::move(OnMatch)) {}
 
   bool run() {
     Map.assign(Seq.size(), 0);
@@ -111,6 +112,10 @@ bool applyFacts(const AbstractHistory &A, const Event &C, unsigned AbsEvent,
         return false;
       break;
     }
+    case AbsFact::FreshVar:
+      // Fresh-identity facts are derived (the creator's equality chain is
+      // checked via the pair invariants); accept any value here.
+      break;
     }
   }
   return true;

@@ -29,8 +29,8 @@ namespace {
 /// Accumulates wall time into a double on scope exit (per-stage stats).
 class StageTimer {
 public:
-  explicit StageTimer(double &Acc)
-      : Acc(Acc), Start(std::chrono::steady_clock::now()) {}
+  explicit StageTimer(double &Dest)
+      : Acc(Dest), Start(std::chrono::steady_clock::now()) {}
   ~StageTimer() {
     Acc += std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                          Start)
@@ -45,10 +45,11 @@ private:
 /// Shared state of one analysis run (one event mask).
 class Run {
 public:
-  Run(const AbstractHistory &A, const AnalyzerOptions &O,
-      std::vector<bool> Mask, CommutativityOracle *Oracle,
-      const Deadline *DL)
-      : A(A), O(O), Mask(std::move(Mask)), Oracle(Oracle), DL(DL) {}
+  Run(const AbstractHistory &Hist, const AnalyzerOptions &Opts,
+      std::vector<bool> EventMask, CommutativityOracle *CondOracle,
+      const Deadline *Dl)
+      : A(Hist), O(Opts), Mask(std::move(EventMask)), Oracle(CondOracle),
+        DL(Dl) {}
 
   void execute(AnalysisResult &R);
 
@@ -110,6 +111,7 @@ private:
     R.SmtSeconds += SmtSec;
     R.LayoutsFiltered += LayoutsFilteredGen;
     R.SMTRetries += SmtRetriesGen;
+    R.SmtQueries += SmtQueriesGen;
     R.RlimitSpent += RlimitSpentGen;
     R.DfsBudgetExhausted += DfsExhaustions;
     R.DeadlineExpired = R.DeadlineExpired || DeadlineHit;
@@ -133,6 +135,7 @@ private:
   // check sees a const result, and the viability filter runs under both
   // const and non-const result contexts. Folded in by finishStats.
   unsigned SmtRetriesGen = 0;
+  unsigned SmtQueriesGen = 0;
   uint64_t RlimitSpentGen = 0;
   mutable unsigned DfsExhaustions = 0;
   bool DeadlineHit = false;
@@ -390,6 +393,7 @@ void Run::commitOutcome(const Unfolding &U, UnfoldingOutcome &&Out,
   if (!Out.Flagged)
     return;
   ++R.SSGFlagged;
+  ++R.SmtQueries;
   // Governance accounting and the trace record happen at commit time, in
   // enumeration order, so both are deterministic across thread counts.
   // (RlimitSpent is telemetry — Z3's spent counter can jitter by a few
@@ -778,6 +782,7 @@ bool Run::generalizes(unsigned K, const AnalysisResult &R,
           Res = solveUnfolding(U, G, Chunk, O.Features, P, Oracle,
                                &seqEnv(), &Tel);
         }
+        ++SmtQueriesGen;
         if (Tel.Attempts > 1)
           SmtRetriesGen += Tel.Attempts - 1;
         RlimitSpentGen += Tel.RlimitSpent;
@@ -832,6 +837,8 @@ void Run::execute(AnalysisResult &R) {
     General.setOracle(Oracle);
     General.setEventMask(Mask);
     General.analyze();
+    R.SSGEdges +=
+        static_cast<unsigned>(General.graph().edges().size());
     if (General.provesSerializable()) {
       FastProved = true;
     } else {
@@ -936,6 +943,8 @@ AnalysisResult c4::analyze(const AbstractHistory &A,
       R.UnfoldingsChecked += Sub.UnfoldingsChecked;
       R.UnfoldingsSubsumed += Sub.UnfoldingsSubsumed;
       R.LayoutsFiltered += Sub.LayoutsFiltered;
+      R.SSGEdges += Sub.SSGEdges;
+      R.SmtQueries += Sub.SmtQueries;
       R.SSGFlagged += Sub.SSGFlagged;
       R.SMTRefuted += Sub.SMTRefuted;
       R.SMTUnknown += Sub.SMTUnknown;

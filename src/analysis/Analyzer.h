@@ -104,6 +104,9 @@ struct AnalysisResult {
   unsigned UnfoldingsSubsumed = 0;
   unsigned LayoutsFiltered = 0; ///< session layouts dropped by the cheap
                                 ///< viability pre-filter (never unfolded)
+  unsigned SSGEdges = 0;    ///< edge count of the general SSG (stage 1);
+                            ///< summed over atomic-set runs
+  unsigned SmtQueries = 0;  ///< solver queries issued (bounded + generalize)
   unsigned SSGFlagged = 0;  ///< unfoldings whose SSG admitted cycles
   unsigned SMTRefuted = 0;  ///< ... of which the SMT stage refuted
   unsigned SMTUnknown = 0;

@@ -402,15 +402,21 @@ bool Builder::buildStmts(const std::vector<StmtPtr> &Stmts, unsigned Txn,
 } // namespace
 
 CompileResult c4::compileC4L(const std::string &Source) {
-  auto Start = std::chrono::steady_clock::now();
+  using Clock = std::chrono::steady_clock;
+  auto Seconds = [](Clock::time_point From, Clock::time_point To) {
+    return std::chrono::duration<double>(To - From).count();
+  };
+  auto Start = Clock::now();
   CompileResult Result;
 
   std::vector<Token> Tokens;
   if (!lexSource(Source, Tokens, Result.Error))
     return Result;
+  auto Lexed = Clock::now();
   auto AST = std::make_unique<ProgramAST>();
   if (!parseProgram(Tokens, *AST, Result.Error))
     return Result;
+  auto Parsed = Clock::now();
 
   CompiledProgram P;
   P.Registry = std::make_unique<TypeRegistry>();
@@ -425,9 +431,32 @@ CompileResult c4::compileC4L(const std::string &Source) {
     return Result;
   P.AST = std::move(AST);
 
-  P.FrontendSeconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - Start)
-          .count();
+  auto End = Clock::now();
+  P.LexSeconds = Seconds(Start, Lexed);
+  P.ParseSeconds = Seconds(Lexed, Parsed);
+  P.BuildSeconds = Seconds(Parsed, End);
+  P.FrontendSeconds = Seconds(Start, End);
   Result.Program = std::move(P);
   return Result;
+}
+
+bool c4::rebuildFromAST(CompiledProgram &P, const ProgramAST &AST,
+                        std::string &Error) {
+  // Build into fresh schema/history objects and swap them in only on
+  // success, so a failed rebuild leaves the program untouched. The registry
+  // and interner are shared: re-interning a known string returns its
+  // original id, keeping Const facts stable across rebuilds.
+  auto NewSch = std::make_unique<Schema>();
+  auto NewHistory = std::make_unique<AbstractHistory>(*NewSch);
+  std::vector<std::vector<unsigned>> SavedSets = std::move(P.AtomicSets);
+  P.AtomicSets.clear();
+  std::swap(P.Sch, NewSch);
+  std::swap(P.History, NewHistory);
+  Builder B(AST, P, Error);
+  if (B.run())
+    return true;
+  std::swap(P.Sch, NewSch);
+  std::swap(P.History, NewHistory);
+  P.AtomicSets = std::move(SavedSets);
+  return false;
 }

@@ -40,6 +40,8 @@ struct CompiledProgram {
   std::vector<std::vector<unsigned>> AtomicSets;
   /// Front-end time in seconds (the FE column of Table 1).
   double FrontendSeconds = 0;
+  /// Per-stage front-end timing (sums to ~FrontendSeconds).
+  double LexSeconds = 0, ParseSeconds = 0, BuildSeconds = 0;
 };
 
 /// Result of compilation: a program or an error message.
@@ -51,6 +53,14 @@ struct CompileResult {
 
 /// Compiles C4L source text.
 CompileResult compileC4L(const std::string &Source);
+
+/// Rebuilds \p P's schema, abstract history and atomic sets from \p AST,
+/// reusing the program's type registry and string interner (so interned
+/// string constants keep their ids). Used by the pass pipeline after AST
+/// transformations. On failure, returns false with \p Error set and leaves
+/// \p P unchanged.
+bool rebuildFromAST(CompiledProgram &P, const ProgramAST &AST,
+                    std::string &Error);
 
 } // namespace c4
 

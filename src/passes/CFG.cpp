@@ -1,0 +1,156 @@
+//===- passes/CFG.cpp -----------------------------------------------------===//
+//
+// Part of the C4 serializability analyzer. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "passes/CFG.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace c4;
+
+unsigned TxnCFG::addNode() {
+  Nodes_.emplace_back();
+  return static_cast<unsigned>(Nodes_.size() - 1);
+}
+
+unsigned TxnCFG::buildList(std::vector<StmtPtr> &Stmts, unsigned Cur) {
+  for (StmtPtr &SP : Stmts) {
+    Stmt &S = *SP;
+    if (S.Kind != Stmt::If) {
+      Nodes_[Cur].Stmts.push_back(&S);
+      continue;
+    }
+    Nodes_[Cur].Term = &S;
+    unsigned ThenEntry = addNode();
+    unsigned ElseEntry = addNode();
+    Nodes_[Cur].Succs = {ThenEntry, ElseEntry};
+    Nodes_[ThenEntry].Preds.push_back(Cur);
+    Nodes_[ElseEntry].Preds.push_back(Cur);
+    unsigned ThenExit = buildList(S.Then, ThenEntry);
+    unsigned ElseExit = buildList(S.Else, ElseEntry);
+    unsigned Join = addNode();
+    Nodes_[ThenExit].Succs.push_back(Join);
+    Nodes_[ElseExit].Succs.push_back(Join);
+    Nodes_[Join].Preds = {ThenExit, ElseExit};
+    Cur = Join;
+  }
+  return Cur;
+}
+
+TxnCFG::TxnCFG(TxnDecl &Txn) : Txn_(&Txn) {
+  unsigned Entry = addNode();
+  (void)Entry;
+  assert(Entry == 0 && "entry must be node 0");
+  Exit_ = buildList(Txn.Body, 0);
+  computeOrders();
+}
+
+void TxnCFG::computeOrders() {
+  // Post-order DFS from the entry; the graph is acyclic by construction.
+  std::vector<bool> Visited(Nodes_.size(), false);
+  std::vector<unsigned> Post;
+  Post.reserve(Nodes_.size());
+  // Iterative DFS: (node, next successor index).
+  std::vector<std::pair<unsigned, unsigned>> Stack{{0u, 0u}};
+  Visited[0] = true;
+  while (!Stack.empty()) {
+    auto &[N, I] = Stack.back();
+    if (I < Nodes_[N].Succs.size()) {
+      unsigned S = Nodes_[N].Succs[I++];
+      if (!Visited[S]) {
+        Visited[S] = true;
+        Stack.push_back({S, 0});
+      }
+      continue;
+    }
+    Post.push_back(N);
+    Stack.pop_back();
+  }
+  Rpo_.assign(Post.rbegin(), Post.rend());
+
+  // Iterative dominators (Cooper–Harvey–Kennedy) over the RPO.
+  std::vector<unsigned> RpoPos(Nodes_.size(), ~0u);
+  for (unsigned I = 0; I != Rpo_.size(); ++I)
+    RpoPos[Rpo_[I]] = I;
+  auto Intersect = [&](const std::vector<unsigned> &Idom,
+                       const std::vector<unsigned> &Pos, unsigned A,
+                       unsigned B) {
+    while (A != B) {
+      while (Pos[A] > Pos[B])
+        A = Idom[A];
+      while (Pos[B] > Pos[A])
+        B = Idom[B];
+    }
+    return A;
+  };
+  Idom_.assign(Nodes_.size(), ~0u);
+  Idom_[0] = 0;
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (unsigned N : Rpo_) {
+      if (N == 0)
+        continue;
+      unsigned New = ~0u;
+      for (unsigned P : Nodes_[N].Preds) {
+        if (Idom_[P] == ~0u)
+          continue;
+        New = New == ~0u ? P : Intersect(Idom_, RpoPos, New, P);
+      }
+      if (New != ~0u && Idom_[N] != New) {
+        Idom_[N] = New;
+        Changed = true;
+      }
+    }
+  }
+
+  // Post-dominators: the same algorithm on the reversed graph from the
+  // (unique) exit, ordered by reverse RPO.
+  std::vector<unsigned> RevOrder(Rpo_.rbegin(), Rpo_.rend());
+  std::vector<unsigned> RevPos(Nodes_.size(), ~0u);
+  for (unsigned I = 0; I != RevOrder.size(); ++I)
+    RevPos[RevOrder[I]] = I;
+  PostIdom_.assign(Nodes_.size(), ~0u);
+  PostIdom_[Exit_] = Exit_;
+  Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (unsigned N : RevOrder) {
+      if (N == Exit_)
+        continue;
+      unsigned New = ~0u;
+      for (unsigned S : Nodes_[N].Succs) {
+        if (PostIdom_[S] == ~0u)
+          continue;
+        New = New == ~0u ? S : Intersect(PostIdom_, RevPos, New, S);
+      }
+      if (New != ~0u && PostIdom_[N] != New) {
+        PostIdom_[N] = New;
+        Changed = true;
+      }
+    }
+  }
+}
+
+bool TxnCFG::dominates(unsigned A, unsigned B) const {
+  while (true) {
+    if (A == B)
+      return true;
+    if (B == 0 || Idom_[B] == ~0u)
+      return false;
+    B = Idom_[B];
+  }
+}
+
+bool TxnCFG::postDominates(unsigned B, unsigned A) const {
+  while (true) {
+    if (A == B)
+      return true;
+    if (A == Exit_ || PostIdom_[A] == ~0u)
+      return false;
+    A = PostIdom_[A];
+  }
+}

@@ -1,0 +1,88 @@
+//===- passes/CFG.h - Per-transaction control-flow graphs -------*- C++ -*-===//
+//
+// Part of the C4 serializability analyzer. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Control-flow graphs over C4L transaction bodies. C4L is loop-free, so
+/// every CFG is a DAG with a single entry and a single exit; `if` statements
+/// produce diamond shapes (then/else arms joining below). The CFG is the
+/// substrate for the dataflow engine (Dataflow.h) and for the reduction and
+/// lint passes (PassManager.h).
+///
+/// Nodes are basic blocks of consecutive straight-line statements. A block
+/// that ends at a branch stores the `if` statement as its terminator; its
+/// successor 0 is the then-arm and successor 1 the else-arm. Statements
+/// inside the blocks point into the caller's AST (not owned).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef C4_PASSES_CFG_H
+#define C4_PASSES_CFG_H
+
+#include "frontend/AST.h"
+
+#include <vector>
+
+namespace c4 {
+
+/// One basic block of a transaction CFG.
+struct CFGNode {
+  /// Straight-line statements of the block, in execution order. Branch
+  /// (`if`) statements are not listed here; they become terminators.
+  std::vector<Stmt *> Stmts;
+  /// The `if` statement ending the block, or null for fall-through blocks.
+  Stmt *Term = nullptr;
+  /// Successor blocks. For branch blocks: [then, else]. At most one
+  /// successor otherwise.
+  std::vector<unsigned> Succs;
+  std::vector<unsigned> Preds;
+};
+
+/// The control-flow graph of one transaction body.
+class TxnCFG {
+public:
+  /// Builds the CFG for \p Txn. The transaction must outlive the CFG.
+  explicit TxnCFG(TxnDecl &Txn);
+
+  const TxnDecl &txn() const { return *Txn_; }
+  unsigned entry() const { return 0; }
+  unsigned exitNode() const { return Exit_; }
+  unsigned numNodes() const { return static_cast<unsigned>(Nodes_.size()); }
+  const CFGNode &node(unsigned Id) const { return Nodes_[Id]; }
+
+  /// Nodes in reverse post-order from the entry (a topological order, since
+  /// C4L CFGs are acyclic).
+  const std::vector<unsigned> &rpo() const { return Rpo_; }
+
+  /// True if every path from the entry to \p B passes through \p A.
+  /// Reflexive: dominates(X, X) is true.
+  bool dominates(unsigned A, unsigned B) const;
+
+  /// True if every path from \p A to the exit passes through \p B.
+  /// Reflexive: postDominates(X, X) is true.
+  bool postDominates(unsigned B, unsigned A) const;
+
+  /// Immediate dominator of each node (entry maps to itself).
+  const std::vector<unsigned> &idom() const { return Idom_; }
+  /// Immediate post-dominator of each node (exit maps to itself).
+  const std::vector<unsigned> &postIdom() const { return PostIdom_; }
+
+private:
+  unsigned addNode();
+  /// Builds \p Stmts starting in block \p Cur; returns the block the list
+  /// falls through to.
+  unsigned buildList(std::vector<StmtPtr> &Stmts, unsigned Cur);
+  void computeOrders();
+
+  TxnDecl *Txn_;
+  std::vector<CFGNode> Nodes_;
+  unsigned Exit_ = 0;
+  std::vector<unsigned> Rpo_;
+  std::vector<unsigned> Idom_, PostIdom_;
+};
+
+} // namespace c4
+
+#endif // C4_PASSES_CFG_H

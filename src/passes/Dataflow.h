@@ -1,0 +1,71 @@
+//===- passes/Dataflow.h - Worklist dataflow engine -------------*- C++ -*-===//
+//
+// Part of the C4 serializability analyzer. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small generic forward dataflow engine over transaction CFGs (CFG.h).
+/// Clients supply a lattice state, a per-block transfer function, an
+/// edge-specific transfer (so branch outcomes can refine the state per arm),
+/// and a meet. The engine iterates a worklist in reverse post-order until a
+/// fixpoint; since C4L CFGs are acyclic this converges in a single sweep,
+/// but the engine does not rely on it.
+///
+/// Conventions:
+///  * `In[N]` is the state at the start of block `N`.
+///  * The transfer runs the whole block: `Out = Transfer(In[N], N)`.
+///  * `EdgeTransfer(Out, N, SuccIdx)` refines the block's out-state for its
+///    `SuccIdx`-th successor (e.g. asserting the branch condition).
+///  * `Meet(Into, From) -> bool` joins `From` into `Into`, returning whether
+///    `Into` changed. The engine initializes non-entry in-states with the
+///    client's `Top` value (conventionally an "unreachable" state that the
+///    meet treats as identity).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef C4_PASSES_DATAFLOW_H
+#define C4_PASSES_DATAFLOW_H
+
+#include "passes/CFG.h"
+
+#include <deque>
+#include <vector>
+
+namespace c4 {
+
+template <typename State, typename Transfer, typename EdgeTransfer,
+          typename Meet>
+std::vector<State> runForwardDataflow(const TxnCFG &G, State EntryState,
+                                      State Top, Transfer F,
+                                      EdgeTransfer EF, Meet M) {
+  std::vector<State> In(G.numNodes(), Top);
+  In[G.entry()] = std::move(EntryState);
+
+  std::vector<bool> Queued(G.numNodes(), false);
+  std::deque<unsigned> Work;
+  for (unsigned N : G.rpo()) {
+    Work.push_back(N);
+    Queued[N] = true;
+  }
+  while (!Work.empty()) {
+    unsigned N = Work.front();
+    Work.pop_front();
+    Queued[N] = false;
+    State Out = F(In[N], N);
+    const CFGNode &Node = G.node(N);
+    for (unsigned I = 0; I != Node.Succs.size(); ++I) {
+      unsigned S = Node.Succs[I];
+      State Edge = EF(Out, N, I);
+      if (M(In[S], Edge) && !Queued[S]) {
+        Work.push_back(S);
+        Queued[S] = true;
+      }
+    }
+  }
+  return In;
+}
+
+} // namespace c4
+
+#endif // C4_PASSES_DATAFLOW_H

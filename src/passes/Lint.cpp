@@ -1,0 +1,155 @@
+//===- passes/Lint.cpp ----------------------------------------------------===//
+//
+// Part of the C4 serializability analyzer. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "passes/Lint.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+using namespace c4;
+
+void c4::sortLints(std::vector<LintDiagnostic> &Lints) {
+  std::sort(Lints.begin(), Lints.end(),
+            [](const LintDiagnostic &A, const LintDiagnostic &B) {
+              if (A.Line != B.Line)
+                return A.Line < B.Line;
+              if (A.Id != B.Id)
+                return A.Id < B.Id;
+              return A.Message < B.Message;
+            });
+}
+
+namespace {
+
+/// Parses the `c4l-allow` directives of one source line. Returns false if the
+/// line carries none; otherwise fills \p Ids with the listed warning IDs
+/// (empty meaning "allow everything").
+bool parseAllow(const std::string &Line, std::vector<std::string> &Ids) {
+  size_t Pos = Line.find("c4l-allow");
+  if (Pos == std::string::npos)
+    return false;
+  // Only honor the directive inside a comment, so an identifier merely
+  // containing the text cannot suppress diagnostics.
+  size_t Comment = Line.find("//");
+  if (Comment == std::string::npos || Comment > Pos)
+    return false;
+  std::istringstream SS(Line.substr(Pos + std::string("c4l-allow").size()));
+  std::string Tok;
+  while (SS >> Tok) {
+    // Stop at anything that is not a warning ID (free-form comment text).
+    if (Tok.rfind("C4L-", 0) != 0)
+      break;
+    Ids.push_back(Tok);
+  }
+  return true;
+}
+
+} // namespace
+
+std::vector<LintDiagnostic>
+c4::filterSuppressedLints(std::vector<LintDiagnostic> Lints,
+                          const std::string &Source) {
+  // Allow[L] holds the directive attached to 1-based source line L: absent,
+  // bare (empty vector), or a list of IDs.
+  std::vector<std::pair<bool, std::vector<std::string>>> Allow;
+  Allow.emplace_back(false, std::vector<std::string>{}); // line 0 (unused)
+  std::istringstream SS(Source);
+  std::string Line;
+  while (std::getline(SS, Line)) {
+    std::vector<std::string> Ids;
+    bool Has = parseAllow(Line, Ids);
+    Allow.emplace_back(Has, std::move(Ids));
+  }
+
+  auto Suppressed = [&](const LintDiagnostic &D) {
+    // A directive applies to its own line and, when it is the sole content
+    // of its line, to the line below.
+    for (unsigned L : {D.Line, D.Line ? D.Line - 1 : 0u}) {
+      if (L == 0 || L >= Allow.size() || !Allow[L].first)
+        continue;
+      const std::vector<std::string> &Ids = Allow[L].second;
+      if (Ids.empty() ||
+          std::find(Ids.begin(), Ids.end(), D.Id) != Ids.end())
+        return true;
+    }
+    return false;
+  };
+  Lints.erase(std::remove_if(Lints.begin(), Lints.end(), Suppressed),
+              Lints.end());
+  return Lints;
+}
+
+std::string c4::renderLintText(const std::vector<LintDiagnostic> &Lints,
+                               const std::string &File) {
+  std::string Out;
+  for (const LintDiagnostic &D : Lints) {
+    Out += File;
+    Out += ':';
+    Out += std::to_string(D.Line);
+    Out += ": warning ";
+    Out += D.Id;
+    Out += ": ";
+    Out += D.Message;
+    if (!D.Txn.empty()) {
+      Out += " [txn ";
+      Out += D.Txn;
+      Out += ']';
+    }
+    Out += '\n';
+  }
+  return Out;
+}
+
+namespace {
+
+std::string jsonEscape(const std::string &S) {
+  std::string Out;
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  return Out;
+}
+
+} // namespace
+
+std::string c4::renderLintJson(const std::vector<LintDiagnostic> &Lints,
+                               const std::string &File) {
+  std::string Out = "{\n  \"file\": \"" + jsonEscape(File) + "\",\n";
+  Out += "  \"warnings\": [";
+  for (size_t I = 0; I != Lints.size(); ++I) {
+    const LintDiagnostic &D = Lints[I];
+    Out += I ? ",\n    " : "\n    ";
+    Out += "{\"id\": \"" + jsonEscape(D.Id) + "\", ";
+    Out += "\"line\": " + std::to_string(D.Line) + ", ";
+    Out += "\"txn\": \"" + jsonEscape(D.Txn) + "\", ";
+    Out += "\"message\": \"" + jsonEscape(D.Message) + "\"}";
+  }
+  Out += Lints.empty() ? "]\n" : "\n  ]\n";
+  Out += "}\n";
+  return Out;
+}

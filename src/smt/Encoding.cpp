@@ -17,15 +17,16 @@ using namespace c4;
 namespace {
 
 /// Fresh identities produced by add_row-style creators live above this
-/// bound; program literals and interned strings stay below it.
-constexpr int64_t FreshMin = 1000000000;
+/// bound; program literals and interned strings stay below it. Shared with
+/// the spec layer's congruence engine, which mirrors these axioms.
+constexpr int64_t FreshMin = FreshValueMin;
 
 class UnfoldingEncoder {
 public:
-  UnfoldingEncoder(const Unfolding &U, const SSG &G,
-                   const AnalysisFeatures &F, Z3Env &Z,
-                   CommutativityOracle *Oracle)
-      : U(U), A(U.H), G(G), F(F), Z(Z), Oracle(Oracle) {}
+  UnfoldingEncoder(const Unfolding &Unf, const SSG &Ssg,
+                   const AnalysisFeatures &Feats, Z3Env &Env,
+                   CommutativityOracle *CondOracle)
+      : U(Unf), A(Unf.H), G(Ssg), F(Feats), Z(Env), Oracle(CondOracle) {}
 
   void encode(const std::vector<CandidateCycle> &Candidates);
   UnfoldingResult solve();
@@ -408,6 +409,13 @@ void UnfoldingEncoder::encodeFacts() {
         break;
       case AbsFact::LocalVar:
         S.add(argExpr(E, I) == LocalVars[Tag][Fact.Var]);
+        break;
+      case AbsFact::FreshVar:
+        // Derived fact: the equality to the creator's return slot is
+        // already entailed by the front end's pair-invariant chains plus
+        // control flow, and the fresh-value axioms below cover uniqueness.
+        // Asserting nothing keeps the formula identical to the unreduced
+        // history's (the differential guardrail).
         break;
       }
     }

@@ -256,8 +256,16 @@ struct CCUniverse {
   // Element ids: per-slot elements first, then symbols, then constants.
   UnionFind UF;
   std::vector<std::optional<int64_t>> ClassConst; // constant value per element
+  // Unique-identity witness per element (paper §8 fresh values). Two classes
+  // with different witnesses are provably disequal; a class with a witness is
+  // provably disequal from any constant below FreshValueMin. A constant
+  // >= FreshValueMin may coincide with a fresh id (the SMT back end only
+  // asserts fresh values are >= FreshValueMin and pairwise distinct), so that
+  // combination stays satisfiable.
+  std::vector<std::optional<unsigned>> ClassUnique;
   std::map<int64_t, unsigned> ConstElem;
   std::map<unsigned, unsigned> SymbolElem;
+  std::map<unsigned, unsigned> UniqueElem;
   unsigned SrcBase = 0, TgtBase = 0;
 
   CCUniverse(const EventFacts &Src, const EventFacts &Tgt) {
@@ -266,6 +274,7 @@ struct CCUniverse {
     unsigned N = TgtBase + static_cast<unsigned>(Tgt.size());
     UF.reset(N);
     ClassConst.assign(N, std::nullopt);
+    ClassUnique.assign(N, std::nullopt);
     applyFacts(Src, SrcBase);
     applyFacts(Tgt, TgtBase);
   }
@@ -276,6 +285,7 @@ struct CCUniverse {
       return It->second;
     unsigned E = UF.add();
     ClassConst.push_back(V);
+    ClassUnique.push_back(std::nullopt);
     ConstElem.emplace(V, E);
     return E;
   }
@@ -286,11 +296,24 @@ struct CCUniverse {
       return It->second;
     unsigned E = UF.add();
     ClassConst.push_back(std::nullopt);
+    ClassUnique.push_back(std::nullopt);
     SymbolElem.emplace(S, E);
     return E;
   }
 
-  /// Merges two elements; returns false on constant clash.
+  unsigned uniqueElem(unsigned Id) {
+    auto It = UniqueElem.find(Id);
+    if (It != UniqueElem.end())
+      return It->second;
+    unsigned E = UF.add();
+    ClassConst.push_back(std::nullopt);
+    ClassUnique.push_back(Id);
+    UniqueElem.emplace(Id, E);
+    return E;
+  }
+
+  /// Merges two elements; returns false on constant or unique-identity
+  /// clash.
   bool merge(unsigned A, unsigned B) {
     unsigned RA = UF.find(A), RB = UF.find(B);
     if (RA == RB)
@@ -298,8 +321,17 @@ struct CCUniverse {
     std::optional<int64_t> CA = ClassConst[RA], CB = ClassConst[RB];
     if (CA && CB && *CA != *CB)
       return false;
+    std::optional<unsigned> UA = ClassUnique[RA], UB = ClassUnique[RB];
+    if (UA && UB && *UA != *UB)
+      return false;
+    // A fresh identity is always >= FreshValueMin; smaller constants can
+    // never equal one.
+    std::optional<int64_t> CC = CA ? CA : CB;
+    if ((UA || UB) && CC && *CC < FreshValueMin)
+      return false;
     unsigned R = UF.merge(RA, RB);
-    ClassConst[R] = CA ? CA : CB;
+    ClassConst[R] = CC;
+    ClassUnique[R] = UA ? UA : UB;
     return true;
   }
 
@@ -310,6 +342,8 @@ struct CCUniverse {
         merge(Base + I, constElem(F.Value));
       else if (F.Kind == ArgFact::Symbolic)
         merge(Base + I, symbolElem(F.Symbol));
+      else if (F.Kind == ArgFact::Unique)
+        merge(Base + I, uniqueElem(F.Symbol));
     }
   }
 

@@ -33,6 +33,13 @@
 
 namespace c4 {
 
+/// Smallest value a freshly generated unique identity (paper §8) can take.
+/// The SMT back end axiomatises fresh return values as pairwise distinct and
+/// `>= FreshValueMin`; the congruence engine below mirrors exactly those
+/// axioms when reasoning about `ArgFact::Unique` facts, so the two layers
+/// must agree on this bound.
+inline constexpr int64_t FreshValueMin = 1000000000;
+
 /// A term: an argument slot of the source event, an argument slot of the
 /// target event, or an integer constant. Argument slot indices address the
 /// combined value vector (input arguments followed by the return value).
@@ -72,15 +79,19 @@ struct ArgFact {
   enum KindTy : uint8_t {
     Free,     ///< nothing known
     Constant, ///< slot equals an integer constant
-    Symbolic  ///< slot equals a named symbolic constant (VarG, or VarL
+    Symbolic, ///< slot equals a named symbolic constant (VarG, or VarL
               ///< resolved per session)
+    Unique    ///< slot equals a freshly generated unique identity (paper §8);
+              ///< distinct ids are guaranteed disequal, and any id is
+              ///< disequal from constants below FreshValueMin
   } Kind = Free;
   int64_t Value = 0;   ///< for Constant
-  unsigned Symbol = 0; ///< for Symbolic: a globally resolved symbol id
+  unsigned Symbol = 0; ///< for Symbolic/Unique: a globally resolved id
 
   static ArgFact free() { return {}; }
   static ArgFact constant(int64_t V) { return {Constant, V, 0}; }
   static ArgFact symbol(unsigned S) { return {Symbolic, 0, S}; }
+  static ArgFact unique(unsigned Id) { return {Unique, 0, Id}; }
 };
 
 /// Per-event argument facts (one entry per combined value slot).

@@ -12,8 +12,8 @@ using namespace c4;
 
 ContainerState::~ContainerState() = default;
 
-DataTypeSpec::DataTypeSpec(std::string Name, std::vector<OpSig> Ops)
-    : Name(std::move(Name)), Ops(std::move(Ops)) {}
+DataTypeSpec::DataTypeSpec(std::string TypeName, std::vector<OpSig> TypeOps)
+    : Name(std::move(TypeName)), Ops(std::move(TypeOps)) {}
 
 DataTypeSpec::~DataTypeSpec() = default;
 

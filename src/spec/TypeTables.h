@@ -48,8 +48,8 @@ public:
   }
 
 protected:
-  TableSpec(std::string Name, std::vector<OpSig> Ops)
-      : DataTypeSpec(std::move(Name), std::move(Ops)) {
+  TableSpec(std::string TypeName, std::vector<OpSig> TypeOps)
+      : DataTypeSpec(std::move(TypeName), std::move(TypeOps)) {
     unsigned N = static_cast<unsigned>(ops().size());
     PlainCom.assign(N, std::vector<std::optional<Cond>>(N));
     PlainAbs = FarCom = FarAbs = AsymCom = PlainCom;

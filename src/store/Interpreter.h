@@ -25,8 +25,8 @@ namespace c4 {
 /// Runs the transactions of a compiled program on a store.
 class ProgramRunner {
 public:
-  ProgramRunner(const CompiledProgram &P, CausalStore &Store)
-      : P(P), Store(Store) {}
+  ProgramRunner(const CompiledProgram &Prog, CausalStore &S)
+      : P(Prog), Store(S) {}
 
   /// Fixes the value of a session-local constant for one session.
   void setSessionConst(unsigned Session, const std::string &Name,

@@ -164,13 +164,13 @@ namespace {
 /// within one strongly-connected region.
 class JohnsonState {
 public:
-  JohnsonState(const Digraph &G, unsigned MaxCycles,
-               std::vector<std::vector<unsigned>> &Out, bool &Truncated)
-      : G(G), MaxCycles(MaxCycles), Out(Out), Truncated(Truncated),
-        Blocked(G.numNodes(), false), BlockMap(G.numNodes()) {}
+  JohnsonState(const Digraph &Graph, unsigned CycleCap,
+               std::vector<std::vector<unsigned>> &OutCycles, bool &Trunc)
+      : G(Graph), MaxCycles(CycleCap), Out(OutCycles), Truncated(Trunc),
+        Blocked(Graph.numNodes(), false), BlockMap(Graph.numNodes()) {}
 
   void run() {
-    for (unsigned Root = 0, N = G.numNodes(); Root != N; ++Root) {
+    for (unsigned R = 0, N = G.numNodes(); R != N; ++R) {
       if (Out.size() >= MaxCycles) {
         Truncated = true;
         return;
@@ -178,8 +178,8 @@ public:
       std::fill(Blocked.begin(), Blocked.end(), false);
       for (auto &B : BlockMap)
         B.clear();
-      this->Root = Root;
-      circuit(Root);
+      Root = R;
+      circuit(R);
     }
   }
 

@@ -44,8 +44,9 @@ class ThreadPool {
 public:
   /// \p Cancel, when given, is the run's deadline: once it expires,
   /// `cancelled()` turns true for every worker and submitter.
-  explicit ThreadPool(unsigned NumThreads, const Deadline *Cancel = nullptr)
-      : Cancel(Cancel) {
+  explicit ThreadPool(unsigned NumThreads,
+                      const Deadline *CancelDeadline = nullptr)
+      : Cancel(CancelDeadline) {
     if (NumThreads == 0)
       NumThreads = 1;
     for (unsigned I = 0; I != NumThreads; ++I)

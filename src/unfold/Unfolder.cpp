@@ -8,6 +8,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <map>
 #include <set>
 
 using namespace c4;
@@ -284,6 +285,32 @@ unsigned instantiateTxn(const AbstractHistory &A,
     H.addEo(NewId[E.Src], NewId[E.Tgt], E.C);
   for (const AbstractConstraint &E : Tmpl.Invs)
     H.addInv(NewId[E.Src], NewId[E.Tgt], E.C);
+
+  // FreshVar facts name a creator event of the original transaction; remap
+  // the creator into this instance so each instance carries its own unique
+  // identity. If the template duplicated the creator (possible only for
+  // synthetic cyclic eo graphs; C4L programs are loop-free), the reference
+  // is ambiguous — weaken to Free, which is always sound.
+  std::map<unsigned, unsigned> CreatorCopy; // orig event -> copies, new id
+  std::map<unsigned, unsigned> CreatorCount;
+  for (unsigned L = 0; L != Tmpl.Orig.size(); ++L) {
+    CreatorCopy[Tmpl.Orig[L]] = NewId[L];
+    ++CreatorCount[Tmpl.Orig[L]];
+  }
+  for (unsigned L = 0; L != Tmpl.Orig.size(); ++L) {
+    const AbstractEvent &E = A.event(Tmpl.Orig[L]);
+    if (E.isMarker())
+      continue;
+    for (unsigned I = 0; I != E.Facts.size(); ++I) {
+      if (E.Facts[I].Kind != AbsFact::FreshVar)
+        continue;
+      auto It = CreatorCopy.find(E.Facts[I].Var);
+      if (It != CreatorCopy.end() && CreatorCount[E.Facts[I].Var] == 1)
+        H.setFact(NewId[L], I, AbsFact::freshVar(It->second));
+      else
+        H.setFact(NewId[L], I, AbsFact::free());
+    }
+  }
   return NewTxn;
 }
 

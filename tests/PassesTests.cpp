@@ -1,0 +1,410 @@
+//===- tests/PassesTests.cpp - Pass framework tests -----------------------===//
+//
+// Part of the C4 serializability analyzer. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests for the dataflow pass framework (src/passes): CFG construction,
+/// the individual reduction passes, fresh-identity promotion, and the
+/// differential soundness guarantee — the analyzer's verdict is byte-for-
+/// byte identical with and without the reduction pipeline on every shipped
+/// example and every Table 1 benchmark application.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Analyzer.h"
+#include "apps/Apps.h"
+#include "frontend/Frontend.h"
+#include "passes/CFG.h"
+#include "passes/PassManager.h"
+
+#include "gtest/gtest.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+using namespace c4;
+
+namespace {
+
+CompiledProgram compile(const std::string &Source) {
+  CompileResult R = compileC4L(Source);
+  EXPECT_TRUE(R.ok()) << R.Error;
+  return std::move(*R.Program);
+}
+
+/// Canonical verdict string for the differential tests: serializability
+/// bit plus the sorted violation set (transaction names + triage class).
+std::string verdictKey(const AnalysisResult &R) {
+  std::vector<std::string> Keys;
+  for (const Violation &V : R.Violations) {
+    std::string K;
+    for (const std::string &N : V.TxnNames) {
+      K += N;
+      K += ',';
+    }
+    K += V.Inconclusive ? '?' : (V.Validated ? '!' : '~');
+    Keys.push_back(std::move(K));
+  }
+  std::sort(Keys.begin(), Keys.end());
+  std::string Out = R.serializable() ? "S|" : "V|";
+  for (const std::string &K : Keys) {
+    Out += K;
+    Out += ';';
+  }
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// CFG construction
+//===----------------------------------------------------------------------===//
+
+TEST(CFGTest, StraightLine) {
+  CompiledProgram P = compile("container map M;\n"
+                              "txn t(k, v) {\n"
+                              "  M.put(k, v);\n"
+                              "  M.put(k, 1);\n"
+                              "  let x = M.get(k);\n"
+                              "}\n");
+  TxnCFG G(P.AST->Txns[0]);
+  // A loop-free body with no branches is one straight path: every block
+  // has at most one successor and all three statements appear in order.
+  unsigned Stmts = 0;
+  for (unsigned N = 0; N != G.numNodes(); ++N) {
+    EXPECT_LE(G.node(N).Succs.size(), 1u);
+    EXPECT_EQ(G.node(N).Term, nullptr);
+    Stmts += static_cast<unsigned>(G.node(N).Stmts.size());
+  }
+  EXPECT_EQ(Stmts, 3u);
+  EXPECT_TRUE(G.dominates(G.entry(), G.exitNode()));
+  EXPECT_TRUE(G.postDominates(G.exitNode(), G.entry()));
+  EXPECT_EQ(G.rpo().size(), G.numNodes());
+  EXPECT_EQ(G.rpo().front(), G.entry());
+}
+
+TEST(CFGTest, BranchDiamond) {
+  CompiledProgram P = compile("container map M;\n"
+                              "txn t(k, c) {\n"
+                              "  M.put(k, 1);\n"
+                              "  if (c) {\n"
+                              "    M.put(k, 2);\n"
+                              "  } else {\n"
+                              "    M.put(k, 3);\n"
+                              "  }\n"
+                              "  M.put(k, 4);\n"
+                              "}\n");
+  TxnCFG G(P.AST->Txns[0]);
+  // Exactly one branch block, with distinct then/else successors.
+  unsigned Branches = 0, BranchNode = 0;
+  for (unsigned N = 0; N != G.numNodes(); ++N)
+    if (G.node(N).Term) {
+      ++Branches;
+      BranchNode = N;
+    }
+  ASSERT_EQ(Branches, 1u);
+  const CFGNode &B = G.node(BranchNode);
+  ASSERT_EQ(B.Succs.size(), 2u);
+  unsigned Then = B.Succs[0], Else = B.Succs[1];
+  EXPECT_NE(Then, Else);
+  // The branch dominates both arms; neither arm dominates the exit, but
+  // the branch (and the entry) do. The exit post-dominates everything.
+  EXPECT_TRUE(G.dominates(BranchNode, Then));
+  EXPECT_TRUE(G.dominates(BranchNode, Else));
+  EXPECT_FALSE(G.dominates(Then, G.exitNode()));
+  EXPECT_FALSE(G.dominates(Else, G.exitNode()));
+  EXPECT_TRUE(G.dominates(BranchNode, G.exitNode()));
+  for (unsigned N = 0; N != G.numNodes(); ++N)
+    EXPECT_TRUE(G.postDominates(G.exitNode(), N));
+  EXPECT_FALSE(G.postDominates(Then, BranchNode));
+}
+
+TEST(CFGTest, GuardChain) {
+  CompiledProgram P = compile("container map M;\n"
+                              "txn t(k, a, b) {\n"
+                              "  if (a) {\n"
+                              "    if (b) {\n"
+                              "      M.put(k, 1);\n"
+                              "    }\n"
+                              "  }\n"
+                              "  M.put(k, 2);\n"
+                              "}\n");
+  TxnCFG G(P.AST->Txns[0]);
+  // Two branch blocks; the outer one dominates the inner one, and both
+  // dominate the innermost update's block.
+  std::vector<unsigned> Branches;
+  for (unsigned N : G.rpo())
+    if (G.node(N).Term)
+      Branches.push_back(N);
+  ASSERT_EQ(Branches.size(), 2u);
+  unsigned Outer = Branches[0], Inner = Branches[1];
+  EXPECT_TRUE(G.dominates(Outer, Inner));
+  EXPECT_FALSE(G.dominates(Inner, Outer));
+  unsigned InnerThen = G.node(Inner).Succs[0];
+  EXPECT_TRUE(G.dominates(Outer, InnerThen));
+  EXPECT_TRUE(G.dominates(Inner, InnerThen));
+  EXPECT_EQ(G.node(InnerThen).Stmts.size(), 1u);
+  // Idom sanity: the entry is its own idom; every other node's idom
+  // strictly dominates it.
+  EXPECT_EQ(G.idom()[G.entry()], G.entry());
+  for (unsigned N = 0; N != G.numNodes(); ++N)
+    if (N != G.entry()) {
+      EXPECT_TRUE(G.dominates(G.idom()[N], N));
+    }
+}
+
+//===----------------------------------------------------------------------===//
+// Reduction passes
+//===----------------------------------------------------------------------===//
+
+TEST(PassTest, InfeasibleBranchPruned) {
+  CompiledProgram P = compile("container map M;\n"
+                              "txn t(k) {\n"
+                              "  let y = M.get(k);\n"
+                              "  if (y == 3) {\n"
+                              "    if (y == 4) {\n"
+                              "      M.put(k, 9);\n"
+                              "    }\n"
+                              "  }\n"
+                              "}\n");
+  unsigned Before = P.History->numStoreEvents();
+  PassResult R = runPasses(P, PassOptions());
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_GE(R.Stats.PrunedBranches, 1u);
+  EXPECT_LT(P.History->numStoreEvents(), Before);
+  bool SawW003 = false;
+  for (const LintDiagnostic &D : R.Lints)
+    SawW003 = SawW003 || D.Id == "C4L-W003";
+  EXPECT_TRUE(SawW003);
+}
+
+TEST(PassTest, FeasibleBranchKept) {
+  CompiledProgram P = compile("container map M;\n"
+                              "txn t(k) {\n"
+                              "  let y = M.get(k);\n"
+                              "  if (y >= 3) {\n"
+                              "    if (y <= 5) {\n"
+                              "      M.put(k, 9);\n"
+                              "    }\n"
+                              "  }\n"
+                              "}\n");
+  unsigned Before = P.History->numStoreEvents();
+  PassResult R = runPasses(P, PassOptions());
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.Stats.PrunedBranches, 0u);
+  EXPECT_EQ(P.History->numStoreEvents(), Before);
+}
+
+TEST(PassTest, ConstantPropagation) {
+  CompiledProgram P = compile("container map M;\n"
+                              "txn t(k) {\n"
+                              "  let y = M.get(k);\n"
+                              "  if (y == 3) {\n"
+                              "    M.put(k, y);\n"
+                              "  }\n"
+                              "}\n");
+  PassResult R = runPasses(P, PassOptions());
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_GE(R.Stats.ConstProps, 1u);
+  // The put's value argument became the literal 3 in the rewritten AST.
+  const TxnDecl &T = P.AST->Txns[0];
+  const Stmt &If = *T.Body[1];
+  ASSERT_EQ(If.Kind, Stmt::If);
+  ASSERT_FALSE(If.Then.empty());
+  const Stmt &Put = *If.Then[0];
+  ASSERT_EQ(Put.Args.size(), 2u);
+  EXPECT_EQ(Put.Args[1].Kind, Expr::IntLit);
+  EXPECT_EQ(Put.Args[1].Value, 3);
+}
+
+TEST(PassTest, AbsorbedWriteEliminated) {
+  CompiledProgram P = compile("container map M;\n"
+                              "txn t(k) {\n"
+                              "  M.put(k, 7);\n"
+                              "  M.put(k, 7);\n"
+                              "}\n");
+  unsigned Before = P.History->numStoreEvents();
+  PassResult R = runPasses(P, PassOptions());
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.Stats.DeadWrites, 1u);
+  EXPECT_EQ(P.History->numStoreEvents(), Before - 1);
+  bool SawW005 = false;
+  for (const LintDiagnostic &D : R.Lints)
+    SawW005 = SawW005 || D.Id == "C4L-W005";
+  EXPECT_TRUE(SawW005);
+}
+
+TEST(PassTest, InterveningReadBlocksElimination) {
+  CompiledProgram P = compile("container map M;\n"
+                              "txn t(k) {\n"
+                              "  M.put(k, 7);\n"
+                              "  let z = M.get(k);\n"
+                              "  M.put(k, 7);\n"
+                              "  display(z);\n"
+                              "}\n");
+  unsigned Before = P.History->numStoreEvents();
+  PassResult R = runPasses(P, PassOptions());
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.Stats.DeadWrites, 0u);
+  EXPECT_EQ(P.History->numStoreEvents(), Before);
+}
+
+TEST(PassTest, DifferentArgsBlockElimination) {
+  CompiledProgram P = compile("container map M;\n"
+                              "txn t(k) {\n"
+                              "  M.put(k, 7);\n"
+                              "  M.put(k, 8);\n"
+                              "}\n");
+  PassResult R = runPasses(P, PassOptions());
+  ASSERT_TRUE(R.Ok) << R.Error;
+  // put(k,7) IS far-absorbed by put(k,8), but the value slots differ, so
+  // removal is not mechanically verdict-preserving and must not happen
+  // under the relevant-slot-identity restriction.
+  EXPECT_EQ(R.Stats.DeadWrites, 0u);
+}
+
+TEST(PassTest, NoPassesModeOnlyLints) {
+  CompiledProgram P = compile("container map M;\n"
+                              "txn t(k) {\n"
+                              "  M.put(k, 7);\n"
+                              "  M.put(k, 7);\n"
+                              "}\n");
+  unsigned Before = P.History->numStoreEvents();
+  PassOptions Opts;
+  Opts.Reduce = false;
+  PassResult R = runPasses(P, Opts);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_FALSE(R.Changed);
+  EXPECT_EQ(R.Stats.DeadWrites, 0u);
+  EXPECT_EQ(P.History->numStoreEvents(), Before);
+  // Lints still fire (W001: M is never queried).
+  bool SawW001 = false;
+  for (const LintDiagnostic &D : R.Lints)
+    SawW001 = SawW001 || D.Id == "C4L-W001";
+  EXPECT_TRUE(SawW001);
+}
+
+//===----------------------------------------------------------------------===//
+// Fresh-identity promotion
+//===----------------------------------------------------------------------===//
+
+TEST(FreshPromotionTest, CreatorUsePromoted) {
+  CompiledProgram P = compile("container table T;\n"
+                              "txn t(q) {\n"
+                              "  let x = T.add_row();\n"
+                              "  T.set(x, \"f\", q);\n"
+                              "}\n");
+  EXPECT_GE(promoteFreshFacts(P), 1u);
+}
+
+TEST(FreshPromotionTest, NonCreatorNotPromoted) {
+  CompiledProgram P = compile("container table T;\n"
+                              "session current;\n"
+                              "txn t(q) {\n"
+                              "  T.set(current, \"f\", q);\n"
+                              "}\n");
+  EXPECT_EQ(promoteFreshFacts(P), 0u);
+}
+
+TEST(FreshPromotionTest, VerdictPreservedOnFig12) {
+  std::ifstream In(std::string(C4_SOURCE_DIR) +
+                   "/examples/c4l/fig12_fresh_rows.c4l");
+  ASSERT_TRUE(In.good());
+  std::stringstream Buf;
+  Buf << In.rdbuf();
+  const std::string Source = Buf.str();
+
+  CompiledProgram Raw = compile(Source);
+  AnalysisResult RawR = analyze(*Raw.History, AnalyzerOptions());
+
+  CompiledProgram Reduced = compile(Source);
+  PassResult Passes = runPasses(Reduced, PassOptions());
+  ASSERT_TRUE(Passes.Ok) << Passes.Error;
+  EXPECT_GE(Passes.Stats.FreshPromotions, 1u);
+  AnalysisResult RedR = analyze(*Reduced.History, AnalyzerOptions());
+
+  EXPECT_EQ(verdictKey(RawR), verdictKey(RedR));
+  // The promotion can only shrink the solver's work, never grow it.
+  EXPECT_LE(RedR.SmtQueries, RawR.SmtQueries);
+}
+
+//===----------------------------------------------------------------------===//
+// Differential soundness: identical verdicts with and without passes
+//===----------------------------------------------------------------------===//
+
+void expectDifferentialMatch(const std::string &Source,
+                             const std::string &Label) {
+  CompileResult RawC = compileC4L(Source);
+  ASSERT_TRUE(RawC.ok()) << Label << ": " << RawC.Error;
+  CompiledProgram &Raw = *RawC.Program;
+
+  CompileResult RedC = compileC4L(Source);
+  ASSERT_TRUE(RedC.ok());
+  CompiledProgram &Reduced = *RedC.Program;
+  PassResult Passes = runPasses(Reduced, PassOptions());
+  ASSERT_TRUE(Passes.Ok) << Label << ": " << Passes.Error;
+
+  AnalyzerOptions Unfiltered;
+  EXPECT_EQ(verdictKey(analyze(*Raw.History, Unfiltered)),
+            verdictKey(analyze(*Reduced.History, Unfiltered)))
+      << Label << " (unfiltered)";
+
+  AnalyzerOptions Filtered;
+  Filtered.DisplayFilter = true;
+  Filtered.UseAtomicSets = !Raw.AtomicSets.empty();
+  Filtered.AtomicSets = Raw.AtomicSets;
+  AnalyzerOptions FilteredRed = Filtered;
+  FilteredRed.UseAtomicSets = !Reduced.AtomicSets.empty();
+  FilteredRed.AtomicSets = Reduced.AtomicSets;
+  EXPECT_EQ(verdictKey(analyze(*Raw.History, Filtered)),
+            verdictKey(analyze(*Reduced.History, FilteredRed)))
+      << Label << " (filtered)";
+}
+
+class ExampleDifferential : public testing::TestWithParam<const char *> {};
+
+TEST_P(ExampleDifferential, VerdictUnchanged) {
+  std::string Path =
+      std::string(C4_SOURCE_DIR) + "/examples/c4l/" + GetParam();
+  std::ifstream In(Path);
+  ASSERT_TRUE(In.good()) << Path;
+  std::stringstream Buf;
+  Buf << In.rdbuf();
+  expectDifferentialMatch(Buf.str(), GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Examples, ExampleDifferential,
+    testing::Values("fig1_put_get.c4l", "fig7_session_keys.c4l",
+                    "fig11_add_follower.c4l", "fig12_fresh_rows.c4l",
+                    "highscore_fixed.c4l", "uniqueness_bug.c4l"),
+    [](const testing::TestParamInfo<const char *> &Info) {
+      std::string Name = Info.param;
+      for (char &C : Name)
+        if (!std::isalnum(static_cast<unsigned char>(C)))
+          C = '_';
+      return Name;
+    });
+
+class BenchDifferential : public testing::TestWithParam<unsigned> {};
+
+TEST_P(BenchDifferential, VerdictUnchanged) {
+  const c4bench::BenchApp &App = c4bench::benchApps()[GetParam()];
+  expectDifferentialMatch(App.Source, App.Name);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BenchApps, BenchDifferential,
+    testing::Range(0u,
+                   static_cast<unsigned>(c4bench::benchApps().size())),
+    [](const testing::TestParamInfo<unsigned> &Info) {
+      std::string Name = c4bench::benchApps()[Info.param].Name;
+      for (char &C : Name)
+        if (!std::isalnum(static_cast<unsigned char>(C)))
+          C = '_';
+      return Name;
+    });
+
+} // namespace

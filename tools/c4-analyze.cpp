@@ -44,11 +44,23 @@
 ///                          perf trajectories for the bench suite)
 ///     --dot                print the general static serialization graph in
 ///                          Graphviz format and exit
+///     --no-passes          skip the reduction pass pipeline (the abstract
+///                          history is analyzed exactly as compiled); the
+///                          verdict is unchanged, only cost may differ
+///     --lint               print lint warnings (docs/passes.md) for the
+///                          program as written and exit without analyzing
+///     --lint-json          like --lint, but as a JSON object
+///     --werror             treat lint warnings as errors
+///
+/// Exit codes: 0 clean, 1 serializability violation reported (takes
+/// precedence over --werror), 2 usage or compile error, 3 lint warnings
+/// present under --werror (and no violation).
 ///
 //===----------------------------------------------------------------------===//
 
 #include "analysis/Analyzer.h"
 #include "frontend/Frontend.h"
+#include "passes/PassManager.h"
 #include "ssg/GraphExport.h"
 #include "store/DynamicAnalyzer.h"
 #include "store/Interpreter.h"
@@ -70,7 +82,8 @@ static int usage(const char *Prog) {
                "[--threads N] [--rlimit N] [--rlimit-cap N] [--retries N] "
                "[--smt-timeout-ms N] [--deadline-ms N] [--dfs-budget N] "
                "[--trace FILE] [--seed N] [--simulate N] [--stats-json] "
-               "[--dot] <file.c4l>\n",
+               "[--dot] [--no-passes] [--lint] [--lint-json] [--werror] "
+               "<file.c4l>\n",
                Prog);
   return 2;
 }
@@ -134,6 +147,7 @@ int main(int Argc, char **Argv) {
   unsigned Seed = 0xC4C4;
   bool DumpDot = false;
   bool StatsJson = false;
+  bool NoPasses = false, LintText = false, LintJson = false, Werror = false;
   const char *Path = nullptr;
   const char *TracePath = nullptr;
   for (int I = 1; I != Argc; ++I) {
@@ -203,6 +217,14 @@ int main(int Argc, char **Argv) {
       StatsJson = true;
     } else if (!std::strcmp(Arg, "--dot")) {
       DumpDot = true;
+    } else if (!std::strcmp(Arg, "--no-passes")) {
+      NoPasses = true;
+    } else if (!std::strcmp(Arg, "--lint")) {
+      LintText = true;
+    } else if (!std::strcmp(Arg, "--lint-json")) {
+      LintJson = true;
+    } else if (!std::strcmp(Arg, "--werror")) {
+      Werror = true;
     } else if (Arg[0] == '-') {
       return usage(Argv[0]);
     } else if (!Path) {
@@ -228,6 +250,33 @@ int main(int Argc, char **Argv) {
     return 2;
   }
   CompiledProgram &P = *Compiled.Program;
+
+  // The pass pipeline: sound history reduction plus the lint layer. Lint
+  // modes analyze the program exactly as written (no reduction), so every
+  // diagnostic points at source the user can see.
+  PassOptions PassOpts;
+  PassOpts.Reduce = !NoPasses && !LintText && !LintJson;
+  PassOpts.UniqueValues = Options.Features.UniqueValues;
+  PassOpts.Lint = LintText || LintJson || Werror;
+  PassResult Passes;
+  if (PassOpts.Reduce || PassOpts.Lint) {
+    std::string Source = Buffer.str();
+    Passes = runPasses(P, PassOpts, &Source);
+    if (!Passes.Ok) {
+      std::fprintf(stderr, "%s: error: %s\n", Path, Passes.Error.c_str());
+      return 2;
+    }
+  }
+  if (LintText || LintJson) {
+    std::fputs((LintJson ? renderLintJson(Passes.Lints, Path)
+                         : renderLintText(Passes.Lints, Path))
+                   .c_str(),
+               stdout);
+    return Werror && !Passes.Lints.empty() ? 3 : 0;
+  }
+  if (Werror && !Passes.Lints.empty())
+    std::fputs(renderLintText(Passes.Lints, Path).c_str(), stderr);
+
   Options.AtomicSets = P.AtomicSets;
 
   if (DumpDot) {
@@ -258,9 +307,27 @@ int main(int Argc, char **Argv) {
     Json += Buf;
     std::snprintf(Buf, sizeof(Buf),
                   "  \"transactions\": %u,\n  \"events\": %u,\n"
-                  "  \"frontend_seconds\": %.6f,\n",
+                  "  \"frontend_seconds\": %.6f,\n"
+                  "  \"lex_seconds\": %.6f,\n"
+                  "  \"parse_seconds\": %.6f,\n"
+                  "  \"build_seconds\": %.6f,\n",
                   P.History->numTxns(), P.History->numStoreEvents(),
-                  P.FrontendSeconds);
+                  P.FrontendSeconds, P.LexSeconds, P.ParseSeconds,
+                  P.BuildSeconds);
+    Json += Buf;
+    std::snprintf(Buf, sizeof(Buf),
+                  "  \"pass_seconds\": %.6f,\n"
+                  "  \"pass_iterations\": %u,\n"
+                  "  \"events_before_passes\": %u,\n"
+                  "  \"events_after_passes\": %u,\n"
+                  "  \"dead_writes\": %u,\n  \"pruned_branches\": %u,\n"
+                  "  \"const_props\": %u,\n  \"fresh_promotions\": %u,\n"
+                  "  \"lint_warnings\": %zu,\n",
+                  Passes.Stats.Seconds, Passes.Stats.Iterations,
+                  Passes.Stats.EventsBefore, Passes.Stats.EventsAfter,
+                  Passes.Stats.DeadWrites, Passes.Stats.PrunedBranches,
+                  Passes.Stats.ConstProps, Passes.Stats.FreshPromotions,
+                  Passes.Lints.size());
     Json += Buf;
     std::snprintf(Buf, sizeof(Buf),
                   "  \"serializable\": %s,\n  \"generalized\": %s,\n"
@@ -280,9 +347,11 @@ int main(int Argc, char **Argv) {
                   "  \"unfoldings_checked\": %u,\n"
                   "  \"unfoldings_subsumed\": %u,\n"
                   "  \"layouts_filtered\": %u,\n  \"ssg_flagged\": %u,\n"
+                  "  \"ssg_edges\": %u,\n  \"smt_queries\": %u,\n"
                   "  \"smt_refuted\": %u,\n  \"smt_unknown\": %u,\n",
                   R.UnfoldingsChecked, R.UnfoldingsSubsumed, R.LayoutsFiltered,
-                  R.SSGFlagged, R.SMTRefuted, R.SMTUnknown);
+                  R.SSGFlagged, R.SSGEdges, R.SmtQueries, R.SMTRefuted,
+                  R.SMTUnknown);
     Json += Buf;
     std::snprintf(Buf, sizeof(Buf),
                   "  \"smt_retries\": %u,\n"
@@ -346,5 +415,7 @@ int main(int Argc, char **Argv) {
                 "DSG cycle dynamically (seed 0x%X)\n",
                 Detected, SimulateTrials, Seed);
   }
-  return R.Violations.empty() ? 0 : 1;
+  if (!R.Violations.empty())
+    return 1;
+  return Werror && !Passes.Lints.empty() ? 3 : 0;
 }
