@@ -29,9 +29,17 @@
 /// run), and writes BENCH_passes.json with per-app and suite-wide event,
 /// SSG-edge and SMT-query counts before/after reduction.
 ///
+/// `--serve-sim <file>` simulates the c4-serve cross-run cache instead of
+/// printing the table: every app is analyzed twice through one
+/// AnalysisCache rooted in a fresh temp directory — a cold pass that
+/// populates the verdict and oracle layers, then a warm pass that must hit
+/// on every request with a byte-identical serialized result (a mismatch or
+/// warm miss fails the run). Writes the warm-vs-cold timing aggregate to
+/// the given file (BENCH_serve.json in CI).
+///
 //===----------------------------------------------------------------------===//
 
-#include "analysis/Analyzer.h"
+#include "analysis/Pipeline.h"
 #include "apps/Apps.h"
 #include "frontend/Frontend.h"
 #include "passes/PassManager.h"
@@ -43,6 +51,9 @@
 #include <cstring>
 #include <string>
 #include <vector>
+
+#include <dirent.h>
+#include <unistd.h>
 
 using namespace c4;
 using namespace c4bench;
@@ -104,6 +115,196 @@ struct PassRow {
   bool VerdictMatch;
 };
 
+/// Per-app cold/warm measurements for the --serve-sim comparison.
+struct ServeRow {
+  const char *Name;
+  double ColdSeconds, WarmSeconds;
+  bool WarmHit;   // both warm requests were verdict-cache hits
+  bool Identical; // serialized warm results byte-equal the cold ones
+};
+
+/// Removes a DiskCache directory tree (root/{VERSION,objects/*,tmp/*}).
+/// Only the fixed two-level layout the cache creates — no recursion.
+void removeCacheDir(const std::string &Root) {
+  for (const char *Sub : {"/objects", "/tmp"}) {
+    std::string Dir = Root + Sub;
+    if (DIR *D = ::opendir(Dir.c_str())) {
+      while (struct dirent *E = ::readdir(D)) {
+        std::string Name = E->d_name;
+        if (Name != "." && Name != "..")
+          ::unlink((Dir + "/" + Name).c_str());
+      }
+      ::closedir(D);
+    }
+    ::rmdir(Dir.c_str());
+  }
+  ::unlink((Root + "/VERSION").c_str());
+  ::rmdir(Root.c_str());
+}
+
+/// --serve-sim: warm-vs-cold comparison through the cross-run cache.
+/// Every app is analyzed (unfiltered + filtered, like the table) through
+/// an AnalysisCache rooted in a fresh temp directory; then the cache
+/// object is torn down and a second instance — which must re-read the
+/// oracle snapshot and verdicts from disk — replays the identical
+/// requests. Every warm request must hit, and its serialized result must
+/// be byte-identical to the cold one. Writes the timing aggregate to
+/// \p OutPath and returns the process exit code.
+int runServeSim(const char *OutPath, bool Quick, bool NoPasses) {
+  char DirTemplate[] = "/tmp/c4-serve-sim-XXXXXX";
+  if (!::mkdtemp(DirTemplate)) {
+    std::fprintf(stderr, "error: cannot create temp cache directory\n");
+    return 1;
+  }
+  std::string CacheDir = DirTemplate;
+
+  std::printf("Serve simulation: cold vs warm analysis through the "
+              "cross-run cache\n(cache dir %s, removed on exit)\n\n",
+              CacheDir.c_str());
+
+  // One request = compile + passes + analyzeCached, unfiltered and
+  // filtered. Frontend work is repeated on both passes (the service
+  // recompiles every request too); only the analysis is timed, since
+  // that is what the cache elides.
+  struct AppResult {
+    std::string BlobU, BlobF;
+    bool Hit = false;
+    double Seconds = 0;
+    bool Ok = false;
+  };
+  auto RunApp = [&](const BenchApp &App, AnalysisCache &Cache) {
+    AppResult Out;
+    CompileResult Compiled = compileC4L(App.Source);
+    if (!Compiled.ok()) {
+      std::fprintf(stderr, "%s: COMPILE ERROR: %s\n", App.Name,
+                   Compiled.Error.c_str());
+      return Out;
+    }
+    CompiledProgram &P = *Compiled.Program;
+    if (!NoPasses) {
+      PassOptions PassOpts;
+      PassOpts.Lint = false;
+      PassResult Passes = runPasses(P, PassOpts);
+      if (!Passes.Ok) {
+        std::fprintf(stderr, "%s: PASS ERROR: %s\n", App.Name,
+                     Passes.Error.c_str());
+        return Out;
+      }
+    }
+    AnalyzerOptions Unfiltered;
+    AnalyzerOptions Filtered;
+    Filtered.DisplayFilter = true;
+    Filtered.UseAtomicSets = !P.AtomicSets.empty();
+    Filtered.AtomicSets = P.AtomicSets;
+    auto Start = std::chrono::steady_clock::now();
+    PipelineResult RU =
+        analyzeCached(*P.History, Unfiltered, *P.Registry, &Cache);
+    PipelineResult RF =
+        analyzeCached(*P.History, Filtered, *P.Registry, &Cache);
+    Out.Seconds = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - Start)
+                      .count();
+    Out.BlobU = serializeResult(RU.R);
+    Out.BlobF = serializeResult(RF.R);
+    Out.Hit = RU.CacheHit && RF.CacheHit;
+    Out.Ok = true;
+    return Out;
+  };
+
+  std::vector<ServeRow> Rows;
+  std::vector<AppResult> Cold;
+  unsigned Projects = 0, Failures = 0;
+  double ColdSeconds = 0, WarmSeconds = 0;
+  unsigned WarmMisses = 0, Mismatches = 0;
+
+  {
+    AnalysisCache Cache(CacheDir);
+    if (!Cache.enabled()) {
+      std::fprintf(stderr, "error: cannot open cache directory %s\n",
+                   CacheDir.c_str());
+      return 1;
+    }
+    for (const BenchApp &App : benchApps()) {
+      if (Quick && Projects >= 6)
+        break;
+      AppResult R = RunApp(App, Cache);
+      if (!R.Ok) {
+        ++Failures;
+        continue;
+      }
+      ++Projects;
+      ColdSeconds += R.Seconds;
+      Cold.push_back(std::move(R));
+    }
+  }
+
+  // Fresh cache object over the same directory: the warm pass must be
+  // served from disk, as a restarted c4-serve process would be.
+  {
+    AnalysisCache Cache(CacheDir);
+    unsigned Done = 0;
+    for (const BenchApp &App : benchApps()) {
+      if (Done == Cold.size())
+        break;
+      AppResult R = RunApp(App, Cache);
+      if (!R.Ok)
+        continue; // compiled cold, so this cannot happen
+      const AppResult &C = Cold[Done++];
+      bool Identical = R.BlobU == C.BlobU && R.BlobF == C.BlobF;
+      if (!R.Hit)
+        ++WarmMisses;
+      if (!Identical)
+        ++Mismatches;
+      WarmSeconds += R.Seconds;
+      Rows.push_back({App.Name, C.Seconds, R.Seconds, R.Hit, Identical});
+    }
+  }
+  removeCacheDir(CacheDir);
+
+  std::printf("  %-18s %10s %10s %9s  %s\n", "Program", "cold [s]",
+              "warm [s]", "speedup", "verdict");
+  for (const ServeRow &Row : Rows) {
+    double Speedup =
+        Row.WarmSeconds > 0 ? Row.ColdSeconds / Row.WarmSeconds : 0.0;
+    std::printf("  %-18s %10.3f %10.3f %8.1fx  %s%s\n", Row.Name,
+                Row.ColdSeconds, Row.WarmSeconds, Speedup,
+                Row.Identical ? "identical" : "MISMATCH",
+                Row.WarmHit ? "" : " (warm miss)");
+  }
+  double Speedup = WarmSeconds > 0 ? ColdSeconds / WarmSeconds : 0.0;
+  std::printf("  %-18s %10.3f %10.3f %8.1fx  %s\n", "TOTAL", ColdSeconds,
+              WarmSeconds, Speedup,
+              Mismatches || WarmMisses ? "FAILURES" : "all identical");
+
+  FILE *F = std::fopen(OutPath, "w");
+  if (!F) {
+    std::fprintf(stderr, "error: cannot write %s\n", OutPath);
+    return 1;
+  }
+  std::fprintf(F,
+               "{\n  \"projects\": %u,\n  \"cold_seconds\": %.3f,\n"
+               "  \"warm_seconds\": %.3f,\n  \"speedup\": %.1f,\n"
+               "  \"warm_misses\": %u,\n  \"verdict_mismatches\": %u,\n"
+               "  \"apps\": [\n",
+               Projects, ColdSeconds, WarmSeconds, Speedup, WarmMisses,
+               Mismatches);
+  for (size_t I = 0; I != Rows.size(); ++I) {
+    const ServeRow &Row = Rows[I];
+    std::fprintf(F,
+                 "    {\"name\": \"%s\", \"cold_seconds\": %.3f, "
+                 "\"warm_seconds\": %.3f, \"warm_hit\": %s, "
+                 "\"verdict_identical\": %s}%s\n",
+                 Row.Name, Row.ColdSeconds, Row.WarmSeconds,
+                 Row.WarmHit ? "true" : "false",
+                 Row.Identical ? "true" : "false",
+                 I + 1 == Rows.size() ? "" : ",");
+  }
+  std::fprintf(F, "  ]\n}\n");
+  std::fclose(F);
+  std::printf("  serve comparison written to %s\n", OutPath);
+  return Failures || WarmMisses || Mismatches ? 1 : 0;
+}
+
 } // namespace
 
 static const int StdoutLineBuffered = []() {
@@ -115,6 +316,7 @@ int main(int Argc, char **Argv) {
   bool Quick = false, NoPasses = false, LintOnly = false;
   const char *GovernancePath = nullptr;
   const char *PassesPath = nullptr;
+  const char *ServeSimPath = nullptr;
   for (int I = 1; I != Argc; ++I) {
     if (!std::strcmp(Argv[I], "--quick"))
       Quick = true;
@@ -126,7 +328,12 @@ int main(int Argc, char **Argv) {
       GovernancePath = Argv[++I];
     else if (!std::strcmp(Argv[I], "--passes") && I + 1 != Argc)
       PassesPath = Argv[++I];
+    else if (!std::strcmp(Argv[I], "--serve-sim") && I + 1 != Argc)
+      ServeSimPath = Argv[++I];
   }
+
+  if (ServeSimPath)
+    return runServeSim(ServeSimPath, Quick, NoPasses);
 
   if (LintOnly) {
     // Lint every benchmark app (no analysis). Exits 1 on any unsuppressed

@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# Doc-consistency check: the flag inventory in docs/cli.md must match the
+# usage strings of the built binaries, in both directions.
+#
+#   scripts/check-cli-docs.sh [BUILD_DIR]
+#
+# BUILD_DIR defaults to ./build. Exits 1 listing any drift:
+#   - a flag a binary accepts but docs/cli.md does not document
+#   - a flag docs/cli.md documents but no binary accepts
+#
+# Parsing contract (stated in docs/cli.md): every documented flag's table
+# row starts with "| `--name".
+set -u
+
+BUILD_DIR="${1:-build}"
+ANALYZE="$BUILD_DIR/tools/c4-analyze"
+SERVE="$BUILD_DIR/tools/c4-serve"
+DOC="docs/cli.md"
+
+for f in "$ANALYZE" "$SERVE" "$DOC"; do
+  if [ ! -e "$f" ]; then
+    echo "check-cli-docs: missing $f (build first, run from the repo root)" >&2
+    exit 1
+  fi
+done
+
+# Usage strings go to stderr with exit 2. c4-analyze prints usage when run
+# with no arguments; c4-serve with no arguments would start serving stdin,
+# so an unknown flag elicits its usage instead.
+usage_flags() {
+  "$@" 2>&1 >/dev/null | grep -oE -- '--[a-z][a-z-]*' | sort -u
+}
+
+BIN_FLAGS="$( { usage_flags "$ANALYZE"; usage_flags "$SERVE" --definitely-unknown-flag; } | sort -u )"
+DOC_FLAGS="$(grep -E '^\| `--' "$DOC" | grep -oE -- '--[a-z][a-z-]*' | sort -u)"
+
+if [ -z "$BIN_FLAGS" ]; then
+  echo "check-cli-docs: could not extract any flags from the binaries' usage strings" >&2
+  exit 1
+fi
+
+UNDOCUMENTED="$(comm -23 <(printf '%s\n' "$BIN_FLAGS") <(printf '%s\n' "$DOC_FLAGS"))"
+STALE="$(comm -13 <(printf '%s\n' "$BIN_FLAGS") <(printf '%s\n' "$DOC_FLAGS"))"
+
+STATUS=0
+if [ -n "$UNDOCUMENTED" ]; then
+  echo "check-cli-docs: flags accepted by a binary but not documented in $DOC:" >&2
+  printf '  %s\n' $UNDOCUMENTED >&2
+  STATUS=1
+fi
+if [ -n "$STALE" ]; then
+  echo "check-cli-docs: flags documented in $DOC but accepted by no binary:" >&2
+  printf '  %s\n' $STALE >&2
+  STATUS=1
+fi
+
+if [ "$STATUS" -eq 0 ]; then
+  echo "check-cli-docs: OK ($(printf '%s\n' "$BIN_FLAGS" | wc -l | tr -d ' ') flags in sync)"
+fi
+exit "$STATUS"

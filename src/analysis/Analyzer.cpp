@@ -147,6 +147,8 @@ private:
   /// reset and reuse one env instead. Lazily built: runs refuted by the
   /// fast stage never pay for a context.
   Z3Env &seqEnv() {
+    if (O.ReuseEnv)
+      return *O.ReuseEnv;
     if (!SeqEnv)
       SeqEnv = std::make_unique<Z3Env>();
     return *SeqEnv;
@@ -310,6 +312,8 @@ bool Run::recordViolation(AnalysisResult &R, std::vector<unsigned> OrigTxns,
   for (unsigned T : V.OrigTxns)
     V.TxnNames.push_back(A.txn(T).Name);
   V.CE = std::move(CE);
+  if (V.CE)
+    V.CEText = V.CE->Text;
   V.Inconclusive = Inconclusive;
   R.Violations.push_back(std::move(V));
   return true;
@@ -904,8 +908,12 @@ AnalysisResult c4::analyze(const AbstractHistory &A,
   // One memoization oracle per analyze() call: the rewrite-spec conditions
   // and satisfiability verdicts are shared by every SSG instantiation and
   // SMT encoding of the run (across atomic sets, unfoldings and threads).
+  // A caller-provided long-lived oracle (service / verdict cache) takes
+  // precedence, carrying verdicts across runs.
   CommutativityOracle Oracle;
-  CommutativityOracle *OraclePtr = O.UseOracle ? &Oracle : nullptr;
+  CommutativityOracle *OraclePtr =
+      !O.UseOracle ? nullptr
+                   : (O.ExternalOracle ? O.ExternalOracle : &Oracle);
 
   // Base mask: the display-code filter.
   std::vector<bool> Base(A.numEvents(), true);
@@ -964,7 +972,7 @@ AnalysisResult c4::analyze(const AbstractHistory &A,
     Run(A, O, std::move(Base), OraclePtr, &DL).execute(R);
   }
 
-  OracleStats OS = Oracle.stats();
+  OracleStats OS = OraclePtr ? OraclePtr->stats() : OracleStats{};
   R.CondCacheHits = OS.CondHits;
   R.CondCacheMisses = OS.CondMisses;
   R.SatCacheHits = OS.SatHits;
@@ -1012,6 +1020,8 @@ std::string c4::reportStr(const AbstractHistory &A, const AnalysisResult &R) {
     Out += "\n";
     if (V.CE)
       Out += V.CE->Text;
+    else if (!V.CEText.empty()) // cache-rehydrated: only the text survives
+      Out += V.CEText;
   }
   Out += strf("stats: unfoldings checked %u, subsumed %u, "
               "layouts filtered %u, SSG-flagged %u, "

@@ -36,6 +36,8 @@
 
 namespace c4 {
 
+class CommutativityOracle;
+
 /// Tuning knobs and feature/filter configuration for one analysis run.
 struct AnalyzerOptions {
   AnalysisFeatures Features;
@@ -67,6 +69,17 @@ struct AnalyzerOptions {
   /// encodings of the run. Identical verdicts either way; disabling it is
   /// for the oracle-equivalence tests and A/B measurements.
   bool UseOracle = true;
+  /// Optional long-lived oracle to use instead of the run's own fresh one.
+  /// The service and the verdict cache share one across requests so
+  /// satisfiability verdicts memoized by earlier analyses (or imported from
+  /// disk) carry over. Ignored when UseOracle is false. Verdicts are
+  /// unaffected either way — entries are pure functions of their keys.
+  CommutativityOracle *ExternalOracle = nullptr;
+  /// Optional Z3 environment to reuse for the sequential stages instead of
+  /// constructing a fresh one per run (a context costs ~15 ms, noticeable
+  /// for a service answering many small requests). The caller guarantees
+  /// no concurrent use; per-query name generations keep reuse sound.
+  Z3Env *ReuseEnv = nullptr;
   /// §9.1 filters.
   bool DisplayFilter = false;
   bool UseAtomicSets = false;
@@ -82,6 +95,11 @@ struct Violation {
   std::vector<std::string> TxnNames;
   /// Concrete witness (absent if the solver returned unknown).
   std::optional<CounterExample> CE;
+  /// Rendered witness text. Normally mirrors CE->Text; for results
+  /// rehydrated from the verdict cache (where the structural witness is not
+  /// persisted) it is the only surviving form. reportStr() prefers CE->Text
+  /// and falls back to this.
+  std::string CEText;
   /// True when recorded due to a solver timeout rather than a model.
   bool Inconclusive = false;
   /// True when the witness was checked end to end: it is a concretization

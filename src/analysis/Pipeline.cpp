@@ -1,0 +1,193 @@
+//===- analysis/Pipeline.cpp ----------------------------------------------===//
+//
+// Part of the C4 serializability analyzer. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Pipeline.h"
+
+#include "support/Json.h"
+
+#include <cstdio>
+
+using namespace c4;
+
+namespace {
+
+std::string oracleKey() {
+  return "oracle-r" + std::to_string(kSpecRevision);
+}
+
+std::string verdictKey(const std::string &Fingerprint) {
+  return "verdict-r" + std::to_string(kSpecRevision) + "-" + Fingerprint;
+}
+
+} // namespace
+
+AnalysisCache::AnalysisCache(const std::string &Dir) : Disk(Dir) {
+  if (!Disk.enabled())
+    return;
+  if (std::optional<std::string> Blob = Disk.get(oracleKey())) {
+    if (std::optional<OracleSnapshot> S = OracleSnapshot::deserialize(*Blob)) {
+      Snapshot = std::move(*S);
+      PersistedSize = Snapshot.size();
+    }
+    // A blob that fails to parse is treated exactly like a missing one: the
+    // snapshot starts empty and the next persist overwrites the slot.
+  }
+}
+
+size_t AnalysisCache::oracleEntries() {
+  std::lock_guard<std::mutex> Lock(SnapMu);
+  return Snapshot.size();
+}
+
+namespace c4 {
+/// Befriended by AnalysisCache: the cold/warm path over its two layers.
+struct PipelineRunner {
+  static PipelineResult run(const AbstractHistory &A,
+                            const AnalyzerOptions &O, const TypeRegistry &Reg,
+                            AnalysisCache &C) {
+    PipelineResult PR;
+    PR.Fingerprint = fingerprintAnalysis(A, O);
+
+    // Verdict layer first: a hit skips the back end entirely.
+    if (std::optional<std::string> Blob = C.Disk.get(verdictKey(PR.Fingerprint))) {
+      if (std::optional<AnalysisResult> R = deserializeResult(*Blob)) {
+        C.VerdictHits.fetch_add(1, std::memory_order_relaxed);
+        PR.R = std::move(*R);
+        PR.CacheHit = true;
+        return PR;
+      }
+      // Parse failure after a checksum-clean read means a format skew
+      // within one version — fall through to the cold path; the store
+      // below repairs the slot.
+    }
+    C.VerdictMisses.fetch_add(1, std::memory_order_relaxed);
+
+    // Cold path with a pre-seeded per-run oracle. The oracle is private to
+    // this run (snapshot entries resolve to *this* program's spec
+    // pointers), so concurrent requests never contend on it.
+    CommutativityOracle Oracle;
+    AnalyzerOptions O2 = O;
+    if (O.UseOracle && !O.ExternalOracle) {
+      {
+        std::lock_guard<std::mutex> Lock(C.SnapMu);
+        PR.OracleImported = Oracle.importSats(C.Snapshot, Reg);
+      }
+      O2.ExternalOracle = &Oracle;
+    }
+    PR.R = analyze(A, O2);
+
+    // Fold new sat verdicts back and persist the snapshot when it grew.
+    if (O2.ExternalOracle == &Oracle) {
+      std::lock_guard<std::mutex> Lock(C.SnapMu);
+      Oracle.exportSats(C.Snapshot);
+      if (C.Snapshot.size() > C.PersistedSize) {
+        C.Disk.put(oracleKey(), C.Snapshot.serialize());
+        C.PersistedSize = C.Snapshot.size();
+      }
+    }
+
+    // Persist the verdict — unless the deadline expired: that result is a
+    // timing-dependent partial answer a rerun might improve on.
+    if (!PR.R.DeadlineExpired)
+      C.Disk.put(verdictKey(PR.Fingerprint), serializeResult(PR.R));
+    return PR;
+  }
+};
+} // namespace c4
+
+PipelineResult c4::analyzeCached(const AbstractHistory &A,
+                                 const AnalyzerOptions &O,
+                                 const TypeRegistry &Reg,
+                                 AnalysisCache *Cache) {
+  if (!Cache || !Cache->enabled()) {
+    PipelineResult PR;
+    PR.R = analyze(A, O);
+    return PR;
+  }
+  return PipelineRunner::run(A, O, Reg, *Cache);
+}
+
+std::string c4::renderStatsJson(const StatsJsonFields &F,
+                                const AnalysisResult &R) {
+  std::string Json;
+  char Buf[256];
+  Json += "{\n";
+  std::snprintf(Buf, sizeof(Buf), "  \"file\": \"%s\",\n",
+                jsonEscape(F.File).c_str());
+  Json += Buf;
+  std::snprintf(Buf, sizeof(Buf),
+                "  \"transactions\": %u,\n  \"events\": %u,\n"
+                "  \"frontend_seconds\": %.6f,\n"
+                "  \"lex_seconds\": %.6f,\n"
+                "  \"parse_seconds\": %.6f,\n"
+                "  \"build_seconds\": %.6f,\n",
+                F.Transactions, F.Events, F.FrontendSeconds, F.LexSeconds,
+                F.ParseSeconds, F.BuildSeconds);
+  Json += Buf;
+  std::snprintf(Buf, sizeof(Buf),
+                "  \"pass_seconds\": %.6f,\n"
+                "  \"pass_iterations\": %u,\n"
+                "  \"events_before_passes\": %u,\n"
+                "  \"events_after_passes\": %u,\n"
+                "  \"dead_writes\": %u,\n  \"pruned_branches\": %u,\n"
+                "  \"const_props\": %u,\n  \"fresh_promotions\": %u,\n"
+                "  \"lint_warnings\": %zu,\n",
+                F.PassSeconds, F.PassIterations, F.EventsBefore,
+                F.EventsAfter, F.DeadWrites, F.PrunedBranches, F.ConstProps,
+                F.FreshPromotions, F.LintWarnings);
+  Json += Buf;
+  std::snprintf(Buf, sizeof(Buf),
+                "  \"serializable\": %s,\n  \"generalized\": %s,\n"
+                "  \"fast_proved\": %s,\n  \"violations\": %zu,\n"
+                "  \"violations_validated\": %u,\n"
+                "  \"violations_unvalidated\": %u,\n"
+                "  \"violations_inconclusive\": %u,\n"
+                "  \"k_checked\": %u,\n  \"truncated\": %s,\n",
+                R.serializable() ? "true" : "false",
+                R.Generalized ? "true" : "false",
+                R.FastProvedSerializable ? "true" : "false",
+                R.Violations.size(), R.validatedViolations(),
+                R.unvalidatedViolations(), R.inconclusiveViolations(),
+                R.KChecked, R.Truncated ? "true" : "false");
+  Json += Buf;
+  std::snprintf(Buf, sizeof(Buf),
+                "  \"unfoldings_checked\": %u,\n"
+                "  \"unfoldings_subsumed\": %u,\n"
+                "  \"layouts_filtered\": %u,\n  \"ssg_flagged\": %u,\n"
+                "  \"ssg_edges\": %u,\n  \"smt_queries\": %u,\n"
+                "  \"smt_refuted\": %u,\n  \"smt_unknown\": %u,\n",
+                R.UnfoldingsChecked, R.UnfoldingsSubsumed, R.LayoutsFiltered,
+                R.SSGFlagged, R.SSGEdges, R.SmtQueries, R.SMTRefuted,
+                R.SMTUnknown);
+  Json += Buf;
+  std::snprintf(Buf, sizeof(Buf),
+                "  \"smt_retries\": %u,\n"
+                "  \"rlimit_spent\": %llu,\n"
+                "  \"deadline_expired\": %s,\n"
+                "  \"unfoldings_deferred\": %u,\n"
+                "  \"dfs_budget_exhausted\": %u,\n",
+                R.SMTRetries,
+                static_cast<unsigned long long>(R.RlimitSpent),
+                R.DeadlineExpired ? "true" : "false", R.UnfoldingsDeferred,
+                R.DfsBudgetExhausted);
+  Json += Buf;
+  std::snprintf(Buf, sizeof(Buf),
+                "  \"cond_cache_hits\": %llu,\n"
+                "  \"cond_cache_misses\": %llu,\n"
+                "  \"sat_cache_hits\": %llu,\n"
+                "  \"sat_cache_misses\": %llu,\n",
+                static_cast<unsigned long long>(R.CondCacheHits),
+                static_cast<unsigned long long>(R.CondCacheMisses),
+                static_cast<unsigned long long>(R.SatCacheHits),
+                static_cast<unsigned long long>(R.SatCacheMisses));
+  Json += Buf;
+  std::snprintf(Buf, sizeof(Buf),
+                "  \"ssg_seconds\": %.6f,\n  \"enum_seconds\": %.6f,\n"
+                "  \"smt_seconds\": %.6f,\n  \"backend_seconds\": %.6f\n}\n",
+                R.SSGSeconds, R.EnumSeconds, R.SmtSeconds, R.BackendSeconds);
+  Json += Buf;
+  return Json;
+}

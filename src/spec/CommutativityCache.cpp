@@ -6,9 +6,67 @@
 
 #include "spec/CommutativityCache.h"
 
+#include <cstdlib>
 #include <mutex>
+#include <shared_mutex>
 
 using namespace c4;
+
+namespace {
+
+/// Snapshot blob header. The version is independent of the DiskCache entry
+/// format (which frames and checksums the blob); it covers the *textual*
+/// key encoding below.
+constexpr const char *SnapshotHeader = "c4-oracle-snapshot 1";
+
+/// Renders one fact vector as `kind.value.symbol` triples joined by ','.
+void renderFacts(std::string &Out, const EventFacts &F) {
+  for (size_t I = 0; I != F.size(); ++I) {
+    if (I)
+      Out += ',';
+    Out += std::to_string(static_cast<unsigned>(F[I].Kind));
+    Out += '.';
+    Out += std::to_string(static_cast<long long>(F[I].Value));
+    Out += '.';
+    Out += std::to_string(F[I].Symbol);
+  }
+}
+
+bool parseFacts(const std::string &S, EventFacts &Out) {
+  Out.clear();
+  if (S.empty())
+    return true;
+  size_t Pos = 0;
+  while (true) {
+    size_t End = S.find(',', Pos);
+    std::string Item =
+        S.substr(Pos, End == std::string::npos ? End : End - Pos);
+    size_t D1 = Item.find('.');
+    size_t D2 = D1 == std::string::npos ? D1 : Item.find('.', D1 + 1);
+    if (D2 == std::string::npos)
+      return false;
+    char *E1 = nullptr, *E2 = nullptr, *E3 = nullptr;
+    std::string KindS = Item.substr(0, D1);
+    std::string ValS = Item.substr(D1 + 1, D2 - D1 - 1);
+    std::string SymS = Item.substr(D2 + 1);
+    unsigned long Kind = std::strtoul(KindS.c_str(), &E1, 10);
+    long long Val = std::strtoll(ValS.c_str(), &E2, 10);
+    unsigned long Sym = std::strtoul(SymS.c_str(), &E3, 10);
+    if (!E1 || *E1 || !E2 || *E2 || !E3 || *E3 ||
+        Kind > ArgFact::Unique)
+      return false;
+    ArgFact F;
+    F.Kind = static_cast<ArgFact::KindTy>(Kind);
+    F.Value = Val;
+    F.Symbol = static_cast<unsigned>(Sym);
+    Out.push_back(F);
+    if (End == std::string::npos)
+      return true;
+    Pos = End + 1;
+  }
+}
+
+} // namespace
 
 static size_t hashCombine(size_t Seed, size_t V) {
   // Boost-style mix; good enough for cache keys.
@@ -152,6 +210,101 @@ bool CommutativityOracle::notAbsorbsSatisfiable(const DataTypeSpec &Type,
                                                 const EventFacts &Tgt) {
   return satisfiable({&Type, A, B, Far ? CondSel::NotAbsFar : CondSel::NotAbsPlain},
                      Src, Tgt);
+}
+
+void OracleSnapshot::merge(const OracleSnapshot &O) {
+  for (const auto &[K, V] : O.Entries)
+    Entries.emplace(K, V);
+}
+
+std::string OracleSnapshot::serialize() const {
+  std::string Out = SnapshotHeader;
+  Out += '\n';
+  for (const auto &[K, V] : Entries) {
+    Out += V ? '+' : '-';
+    Out += K;
+    Out += '\n';
+  }
+  return Out;
+}
+
+std::optional<OracleSnapshot> OracleSnapshot::deserialize(
+    const std::string &Blob) {
+  size_t Nl = Blob.find('\n');
+  if (Nl == std::string::npos || Blob.substr(0, Nl) != SnapshotHeader)
+    return std::nullopt;
+  OracleSnapshot S;
+  size_t Pos = Nl + 1;
+  while (Pos < Blob.size()) {
+    size_t End = Blob.find('\n', Pos);
+    if (End == std::string::npos)
+      return std::nullopt; // truncated final line
+    if (End == Pos)
+      return std::nullopt; // empty line: not something serialize() emits
+    char Verdict = Blob[Pos];
+    if (Verdict != '+' && Verdict != '-')
+      return std::nullopt;
+    S.Entries.emplace(Blob.substr(Pos + 1, End - Pos - 1), Verdict == '+');
+    Pos = End + 1;
+  }
+  return S;
+}
+
+void CommutativityOracle::exportSats(OracleSnapshot &Out) const {
+  std::shared_lock<std::shared_mutex> Lock(SatMu);
+  for (const auto &[K, Verdict] : Sats) {
+    std::string Key = K.CK.Type->name();
+    Key += '|';
+    Key += std::to_string(K.CK.A);
+    Key += '|';
+    Key += std::to_string(K.CK.B);
+    Key += '|';
+    Key += std::to_string(static_cast<unsigned>(K.CK.Sel));
+    Key += '|';
+    renderFacts(Key, K.Src);
+    Key += '|';
+    renderFacts(Key, K.Tgt);
+    Out.Entries.emplace(std::move(Key), Verdict);
+  }
+}
+
+unsigned CommutativityOracle::importSats(const OracleSnapshot &S,
+                                         const TypeRegistry &Reg) {
+  unsigned Imported = 0;
+  std::unique_lock<std::shared_mutex> Lock(SatMu);
+  for (const auto &[Key, Verdict] : S.Entries) {
+    // Split `type|A|B|sel|srcfacts|tgtfacts`.
+    size_t P1 = Key.find('|');
+    size_t P2 = P1 == std::string::npos ? P1 : Key.find('|', P1 + 1);
+    size_t P3 = P2 == std::string::npos ? P2 : Key.find('|', P2 + 1);
+    size_t P4 = P3 == std::string::npos ? P3 : Key.find('|', P3 + 1);
+    size_t P5 = P4 == std::string::npos ? P4 : Key.find('|', P4 + 1);
+    if (P5 == std::string::npos)
+      continue;
+    const DataTypeSpec *Type = Reg.lookup(Key.substr(0, P1));
+    if (!Type)
+      continue; // snapshot from a registry with extra custom types
+    char *EA = nullptr, *EB = nullptr, *ES = nullptr;
+    std::string AS = Key.substr(P1 + 1, P2 - P1 - 1);
+    std::string BS = Key.substr(P2 + 1, P3 - P2 - 1);
+    std::string SelS = Key.substr(P3 + 1, P4 - P3 - 1);
+    unsigned long A = std::strtoul(AS.c_str(), &EA, 10);
+    unsigned long B = std::strtoul(BS.c_str(), &EB, 10);
+    unsigned long Sel = std::strtoul(SelS.c_str(), &ES, 10);
+    if (!EA || *EA || !EB || *EB || !ES || *ES ||
+        Sel > static_cast<unsigned long>(CondSel::NotAbsFar) ||
+        A >= Type->ops().size() || B >= Type->ops().size())
+      continue;
+    SatKey SK;
+    SK.CK = {Type, static_cast<unsigned>(A), static_cast<unsigned>(B),
+             static_cast<CondSel>(Sel)};
+    if (!parseFacts(Key.substr(P4 + 1, P5 - P4 - 1), SK.Src) ||
+        !parseFacts(Key.substr(P5 + 1), SK.Tgt))
+      continue;
+    if (Sats.try_emplace(std::move(SK), Verdict).second)
+      ++Imported;
+  }
+  return Imported;
 }
 
 OracleStats CommutativityOracle::stats() const {

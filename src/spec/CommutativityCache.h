@@ -38,11 +38,14 @@
 #ifndef C4_SPEC_COMMUTATIVITYCACHE_H
 #define C4_SPEC_COMMUTATIVITYCACHE_H
 
-#include "spec/DataType.h"
+#include "spec/Registry.h"
 
 #include <atomic>
 #include <cstdint>
+#include <map>
+#include <optional>
 #include <shared_mutex>
+#include <string>
 #include <unordered_map>
 
 namespace c4 {
@@ -53,6 +56,41 @@ struct OracleStats {
   uint64_t CondMisses = 0;
   uint64_t SatHits = 0;
   uint64_t SatMisses = 0;
+};
+
+/// A portable image of an oracle's satisfiability table, the unit of
+/// cross-run cache persistence. In-memory oracle keys hold `DataTypeSpec`
+/// pointers, which are meaningless outside the owning process (every
+/// compiled program carries its own `TypeRegistry`); a snapshot flattens
+/// each key into a stable textual form — type *name*, op indices, condition
+/// selector and the two resolved fact vectors — so entries can be written
+/// to disk and rehydrated into any process whose registry knows the same
+/// type names. Verdict reuse across programs is sound because
+/// `satisfiableUnder` sees only symbol identities and constants, never
+/// which history produced the facts (see the oracle's file comment).
+///
+/// Entries are kept sorted (std::map), so `serialize()` is deterministic:
+/// equal snapshots produce byte-equal blobs.
+class OracleSnapshot {
+public:
+  size_t size() const { return Entries.size(); }
+  bool empty() const { return Entries.empty(); }
+
+  /// Union with \p O. On a key collision both sides hold the same verdict
+  /// (entries are pure functions of the key); the existing one is kept.
+  void merge(const OracleSnapshot &O);
+
+  /// Versioned text serialization (one entry per line, sorted).
+  std::string serialize() const;
+
+  /// Parses a blob produced by serialize(). Returns nullopt on a malformed
+  /// or version-mismatched blob — callers treat that as an empty cache.
+  static std::optional<OracleSnapshot> deserialize(const std::string &Blob);
+
+private:
+  friend class CommutativityOracle;
+  /// Stable textual sat-key → verdict.
+  std::map<std::string, bool> Entries;
 };
 
 /// Memoizes rewrite-spec conditions and their satisfiability verdicts. See
@@ -88,6 +126,17 @@ public:
                              const EventFacts &Tgt);
 
   OracleStats stats() const;
+
+  /// Flattens the satisfiability table into \p Out (merging with whatever
+  /// \p Out already holds). Thread-safe; takes the sat lock shared.
+  void exportSats(OracleSnapshot &Out) const;
+
+  /// Pre-seeds the satisfiability table from \p S, resolving type names
+  /// against \p Reg. Entries naming unknown types are skipped; returns the
+  /// number imported. Hit/miss counters are untouched — imported entries
+  /// count as hits when the analysis actually reaches them. Call before
+  /// the oracle is shared with workers (takes the sat lock exclusively).
+  unsigned importSats(const OracleSnapshot &S, const TypeRegistry &Reg);
 
 private:
   /// Which derived condition of the pair is meant. Values double as part of

@@ -37,6 +37,14 @@
 
 namespace c4 {
 
+/// Revision of the built-in rewrite specifications together with the
+/// condition/fact semantics they compile to. Persisted caches (oracle
+/// snapshots, whole-history verdicts — see support/DiskCache.h) mix this
+/// into their keys, so bump it whenever a spec or the satisfiability
+/// semantics changes in a verdict-affecting way: stale entries then miss
+/// instead of poisoning new runs.
+inline constexpr unsigned kSpecRevision = 1;
+
 /// Factories for the built-in types (mainly exposed for tests).
 std::unique_ptr<DataTypeSpec> makeRegisterType();
 std::unique_ptr<DataTypeSpec> makeCounterType();

@@ -1,0 +1,183 @@
+//===- support/DiskCache.cpp ----------------------------------------------===//
+//
+// Part of the C4 serializability analyzer. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/DiskCache.h"
+
+#include "support/Fingerprint.h"
+
+#include <cstdio>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <dirent.h>
+#include <unistd.h>
+
+using namespace c4;
+
+namespace {
+
+/// On-disk format version. Part of every entry's file-name suffix and
+/// header, so incompatible formats miss instead of misparse.
+constexpr uint32_t FormatVersion = 1;
+constexpr uint32_t Magic = 0x43344331; // "C4C1"
+
+/// Entry header, serialized little-endian (fixed layout, no padding
+/// dependence): magic, format version, payload length, payload checksum.
+constexpr size_t HeaderSize = 4 + 4 + 8 + 8;
+
+void putLE(std::string &Out, uint64_t V, unsigned Bytes) {
+  for (unsigned I = 0; I != Bytes; ++I)
+    Out += static_cast<char>((V >> (8 * I)) & 0xFF);
+}
+
+uint64_t getLE(const unsigned char *P, unsigned Bytes) {
+  uint64_t V = 0;
+  for (unsigned I = 0; I != Bytes; ++I)
+    V |= static_cast<uint64_t>(P[I]) << (8 * I);
+  return V;
+}
+
+bool ensureDir(const std::string &Path) {
+  struct stat St;
+  if (::stat(Path.c_str(), &St) == 0)
+    return S_ISDIR(St.st_mode);
+  return ::mkdir(Path.c_str(), 0777) == 0 ||
+         (::stat(Path.c_str(), &St) == 0 && S_ISDIR(St.st_mode));
+}
+
+/// Keys become file names; restrict to a safe identifier alphabet so a
+/// hostile or buggy key cannot escape the objects directory.
+std::string sanitizeKey(const std::string &Key) {
+  std::string Out;
+  Out.reserve(Key.size());
+  for (char C : Key) {
+    bool Ok = (C >= 'a' && C <= 'z') || (C >= 'A' && C <= 'Z') ||
+              (C >= '0' && C <= '9') || C == '-' || C == '_' || C == '.';
+    Out += Ok ? C : '_';
+  }
+  return Out.empty() ? std::string("_") : Out;
+}
+
+} // namespace
+
+DiskCache::DiskCache(const std::string &Dir) : Root(Dir) {
+  Objects = Root + "/objects";
+  Tmp = Root + "/tmp";
+  Enabled = ensureDir(Root) && ensureDir(Objects) && ensureDir(Tmp);
+  if (!Enabled)
+    return;
+  // Advisory marker for humans inspecting the directory (the authoritative
+  // version lives in every entry header and file name).
+  std::string Marker = Root + "/VERSION";
+  struct stat St;
+  if (::stat(Marker.c_str(), &St) != 0) {
+    if (FILE *F = std::fopen(Marker.c_str(), "w")) {
+      std::fprintf(F, "c4-cache-format %u\n", FormatVersion);
+      std::fclose(F);
+    }
+  }
+  // Sweep stale tmp files left by killed writers. Only our own directory,
+  // only the tmp namespace — final entries are never touched here.
+  if (DIR *D = ::opendir(Tmp.c_str())) {
+    while (struct dirent *E = ::readdir(D)) {
+      std::string Name = E->d_name;
+      if (Name == "." || Name == "..")
+        continue;
+      ::unlink((Tmp + "/" + Name).c_str());
+    }
+    ::closedir(D);
+  }
+}
+
+std::string DiskCache::entryPath(const std::string &Key) const {
+  return Objects + "/" + sanitizeKey(Key) + ".v" +
+         std::to_string(FormatVersion);
+}
+
+std::optional<std::string> DiskCache::get(const std::string &Key) {
+  if (!Enabled) {
+    Misses.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  std::string Path = entryPath(Key);
+  FILE *F = std::fopen(Path.c_str(), "rb");
+  if (!F) {
+    Misses.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  unsigned char Header[HeaderSize];
+  bool Ok = std::fread(Header, 1, HeaderSize, F) == HeaderSize &&
+            getLE(Header, 4) == Magic &&
+            getLE(Header + 4, 4) == FormatVersion;
+  std::string Payload;
+  if (Ok) {
+    uint64_t Len = getLE(Header + 8, 8);
+    // Reject absurd lengths before allocating (a torn header could claim
+    // petabytes).
+    Ok = Len <= (1ull << 32);
+    if (Ok) {
+      Payload.resize(static_cast<size_t>(Len));
+      Ok = std::fread(Payload.data(), 1, Payload.size(), F) ==
+               Payload.size() &&
+           std::fgetc(F) == EOF &&
+           fnv1a64(Payload.data(), Payload.size()) == getLE(Header + 16, 8);
+    }
+  }
+  std::fclose(F);
+  if (!Ok) {
+    // Torn or foreign file: drop it so the next store repairs the slot,
+    // and fall back to the cold path.
+    ::unlink(Path.c_str());
+    Corrupt.fetch_add(1, std::memory_order_relaxed);
+    Misses.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  Hits.fetch_add(1, std::memory_order_relaxed);
+  return Payload;
+}
+
+void DiskCache::put(const std::string &Key, const std::string &Value) {
+  if (!Enabled)
+    return;
+  std::string Blob;
+  Blob.reserve(HeaderSize + Value.size());
+  putLE(Blob, Magic, 4);
+  putLE(Blob, FormatVersion, 4);
+  putLE(Blob, Value.size(), 8);
+  putLE(Blob, fnv1a64(Value.data(), Value.size()), 8);
+  Blob += Value;
+
+  std::string TmpPath = Tmp + "/" + sanitizeKey(Key) + "." +
+                        std::to_string(static_cast<long>(::getpid())) + "." +
+                        std::to_string(Seq.fetch_add(1));
+  FILE *F = std::fopen(TmpPath.c_str(), "wb");
+  bool Ok = F != nullptr;
+  if (F) {
+    Ok = std::fwrite(Blob.data(), 1, Blob.size(), F) == Blob.size();
+    // Flush user-space buffers and push the bytes to the kernel before the
+    // rename publishes the entry; a reader after rename must see the full
+    // payload (the checksum catches the power-loss case fsync would cover).
+    Ok = (std::fflush(F) == 0) && Ok;
+    std::fclose(F);
+  }
+  if (Ok)
+    Ok = std::rename(TmpPath.c_str(), entryPath(Key).c_str()) == 0;
+  if (!Ok) {
+    ::unlink(TmpPath.c_str());
+    StoreErrors.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  Stores.fetch_add(1, std::memory_order_relaxed);
+}
+
+DiskCacheStats DiskCache::stats() const {
+  DiskCacheStats S;
+  S.Hits = Hits.load(std::memory_order_relaxed);
+  S.Misses = Misses.load(std::memory_order_relaxed);
+  S.Corrupt = Corrupt.load(std::memory_order_relaxed);
+  S.Stores = Stores.load(std::memory_order_relaxed);
+  S.StoreErrors = StoreErrors.load(std::memory_order_relaxed);
+  return S;
+}

@@ -1,0 +1,97 @@
+//===- support/DiskCache.h - Crash-safe on-disk KV store --------*- C++ -*-===//
+//
+// Part of the C4 serializability analyzer. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The persistence layer under the cross-run analysis cache: a versioned,
+/// crash-safe key→blob store rooted at a directory. Keys are short
+/// identifier strings (typically content fingerprints, see
+/// support/Fingerprint.h); values are opaque byte strings.
+///
+/// Crash safety. Every entry is a single file written with the atomic
+/// tmp-file-then-rename protocol: the value is serialized (with a header
+/// carrying a magic, the format version, the payload length and an FNV-1a
+/// checksum) into `tmp/<key>.<pid>.<seq>`, flushed, and `rename(2)`d to its
+/// final path. POSIX rename is atomic within a filesystem, so a reader
+/// never observes a half-written entry under the final name, and a process
+/// killed mid-write leaves at most a stale file in `tmp/` (swept
+/// opportunistically on open). Defense in depth: `get` re-validates the
+/// header and checksum anyway — a torn or corrupted entry (however it came
+/// to be) is treated as a miss and unlinked, so the caller falls back to
+/// the cold path and the next store repairs the cache. Corruption is
+/// counted, never fatal.
+///
+/// Versioning. The on-disk format version is part of every entry header
+/// and of the entry's file name suffix, so a cache directory written by an
+/// older (or newer) format simply misses rather than misparses. Logical
+/// schema changes of the *cached content* are the caller's concern: bake a
+/// revision (e.g. `kSpecRevision`) into the key.
+///
+/// Concurrency. Multiple processes may share one cache directory: writes
+/// are atomic replacements (last writer wins — fine for deterministic
+/// content, where both writers store identical bytes), reads validate.
+/// Within one process the class is thread-safe; the counters are atomics.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef C4_SUPPORT_DISKCACHE_H
+#define C4_SUPPORT_DISKCACHE_H
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace c4 {
+
+/// Point-in-time snapshot of a cache's access counters.
+struct DiskCacheStats {
+  uint64_t Hits = 0;      ///< get() found a valid entry
+  uint64_t Misses = 0;    ///< get() found nothing
+  uint64_t Corrupt = 0;   ///< get() found an invalid entry (counted as miss)
+  uint64_t Stores = 0;    ///< successful put()s
+  uint64_t StoreErrors = 0; ///< put()s that failed (I/O error, read-only fs)
+};
+
+/// A crash-safe on-disk key→blob store. See the file comment for the
+/// protocol. All methods are safe to call concurrently.
+class DiskCache {
+public:
+  /// Opens (creating if needed) a cache rooted at \p Dir. On failure the
+  /// cache is *disabled*: every get misses, every put is a no-op — callers
+  /// degrade to cold-path analysis rather than erroring out.
+  explicit DiskCache(const std::string &Dir);
+
+  /// True when the directory was usable at construction time.
+  bool enabled() const { return Enabled; }
+  const std::string &dir() const { return Root; }
+
+  /// Looks up \p Key. Returns the stored blob, or nullopt on miss or on a
+  /// corrupt entry (which is unlinked and counted).
+  std::optional<std::string> get(const std::string &Key);
+
+  /// Stores \p Value under \p Key via tmp-file + atomic rename. Failures
+  /// are counted, not raised.
+  void put(const std::string &Key, const std::string &Value);
+
+  DiskCacheStats stats() const;
+
+  /// The filesystem path an entry for \p Key lives at (exposed so tests
+  /// can corrupt entries deliberately).
+  std::string entryPath(const std::string &Key) const;
+
+private:
+  std::string Root;    // cache root directory
+  std::string Objects; // <root>/objects
+  std::string Tmp;     // <root>/tmp
+  bool Enabled = false;
+  std::atomic<uint64_t> Seq{0}; // uniquifies tmp names within the process
+  mutable std::atomic<uint64_t> Hits{0}, Misses{0}, Corrupt{0}, Stores{0},
+      StoreErrors{0};
+};
+
+} // namespace c4
+
+#endif // C4_SUPPORT_DISKCACHE_H

@@ -1,0 +1,97 @@
+//===- support/Fingerprint.h - Stable content fingerprints ------*- C++ -*-===//
+//
+// Part of the C4 serializability analyzer. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A streaming 128-bit content hasher used to key the persistent analysis
+/// cache (support/DiskCache.h). Two independent FNV-1a-64 lanes (distinct
+/// offset bases, both fed every byte) give a digest whose accidental
+/// collision probability is negligible at cache scale while staying fully
+/// deterministic across platforms, processes and runs — unlike
+/// `std::hash`, whose value is implementation-defined and may be salted.
+///
+/// Field framing: every `add*` call first hashes a one-byte tag plus the
+/// value's length, so adjacent variable-length fields cannot alias
+/// (`"ab","c"` vs `"a","bc"` produce different digests). Callers stream the
+/// *semantic* content of a structure in a fixed traversal order; the digest
+/// is then a stable identity for "the same analysis input".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef C4_SUPPORT_FINGERPRINT_H
+#define C4_SUPPORT_FINGERPRINT_H
+
+#include <cstdint>
+#include <cstddef>
+#include <string>
+
+namespace c4 {
+
+/// Streaming content hasher with a stable, platform-independent digest.
+class Fingerprint {
+public:
+  /// Hashes raw bytes into both lanes.
+  void addBytes(const void *Data, size_t Len) {
+    const unsigned char *P = static_cast<const unsigned char *>(Data);
+    for (size_t I = 0; I != Len; ++I) {
+      A = (A ^ P[I]) * Prime;
+      B = (B ^ P[I]) * Prime;
+    }
+  }
+
+  /// Hashes an unsigned integer as 8 little-endian bytes (fixed width, so
+  /// the encoding is identical on every platform).
+  void addU64(uint64_t V) {
+    unsigned char Buf[9] = {TagU64};
+    for (unsigned I = 0; I != 8; ++I)
+      Buf[1 + I] = static_cast<unsigned char>(V >> (8 * I));
+    addBytes(Buf, sizeof(Buf));
+  }
+
+  void addI64(int64_t V) { addU64(static_cast<uint64_t>(V)); }
+  void addBool(bool V) { addU64(V ? TagTrue : TagFalse); }
+
+  /// Hashes a length-framed string.
+  void addStr(const std::string &S) {
+    unsigned char Tag = TagStr;
+    addBytes(&Tag, 1);
+    addU64(S.size());
+    addBytes(S.data(), S.size());
+  }
+
+  /// The 32-hex-character digest of everything streamed so far.
+  std::string digest() const {
+    static const char Hex[] = "0123456789abcdef";
+    std::string Out;
+    Out.reserve(32);
+    for (uint64_t Lane : {A, B})
+      for (int Shift = 60; Shift >= 0; Shift -= 4)
+        Out += Hex[(Lane >> Shift) & 0xF];
+    return Out;
+  }
+
+private:
+  static constexpr uint64_t Prime = 0x100000001b3ull;
+  static constexpr unsigned char TagU64 = 0x01, TagStr = 0x02;
+  static constexpr uint64_t TagTrue = 0xF1, TagFalse = 0xF0;
+  // Lane A is standard FNV-1a-64; lane B starts from a different basis so
+  // the lanes decorrelate despite sharing the multiplier.
+  uint64_t A = 0xcbf29ce484222325ull;
+  uint64_t B = 0x9ae16a3b2f90404full;
+};
+
+/// FNV-1a-64 of a buffer, for cheap integrity checksums (DiskCache entry
+/// headers). Distinct from Fingerprint: no framing, single lane.
+inline uint64_t fnv1a64(const void *Data, size_t Len) {
+  const unsigned char *P = static_cast<const unsigned char *>(Data);
+  uint64_t H = 0xcbf29ce484222325ull;
+  for (size_t I = 0; I != Len; ++I)
+    H = (H ^ P[I]) * 0x100000001b3ull;
+  return H;
+}
+
+} // namespace c4
+
+#endif // C4_SUPPORT_FINGERPRINT_H

@@ -1,0 +1,439 @@
+//===- support/Json.cpp ---------------------------------------------------===//
+//
+// Part of the C4 serializability analyzer. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Json.h"
+
+#include "support/Format.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+using namespace c4;
+
+std::optional<bool> JsonValue::asBool() const {
+  if (K == Kind::Bool)
+    return B;
+  return std::nullopt;
+}
+
+std::optional<int64_t> JsonValue::asInt() const {
+  if (K == Kind::Int)
+    return I;
+  if (K == Kind::Double && std::floor(D) == D &&
+      D >= -9007199254740992.0 && D <= 9007199254740992.0)
+    return static_cast<int64_t>(D);
+  return std::nullopt;
+}
+
+std::optional<double> JsonValue::asDouble() const {
+  if (K == Kind::Double)
+    return D;
+  if (K == Kind::Int)
+    return static_cast<double>(I);
+  return std::nullopt;
+}
+
+const std::string *JsonValue::asString() const {
+  return K == Kind::String ? &S : nullptr;
+}
+
+const std::vector<JsonValue> *JsonValue::asArray() const {
+  return K == Kind::Array ? &Arr : nullptr;
+}
+
+const std::vector<std::pair<std::string, JsonValue>> *
+JsonValue::asObject() const {
+  return K == Kind::Object ? &Obj : nullptr;
+}
+
+const JsonValue *JsonValue::get(const std::string &Key) const {
+  if (K != Kind::Object)
+    return nullptr;
+  for (const auto &[Name, Val] : Obj)
+    if (Name == Key)
+      return &Val;
+  return nullptr;
+}
+
+JsonValue JsonValue::boolean(bool V) {
+  JsonValue J;
+  J.K = Kind::Bool;
+  J.B = V;
+  return J;
+}
+
+JsonValue JsonValue::integer(int64_t V) {
+  JsonValue J;
+  J.K = Kind::Int;
+  J.I = V;
+  return J;
+}
+
+JsonValue JsonValue::number(double V) {
+  JsonValue J;
+  J.K = Kind::Double;
+  J.D = V;
+  return J;
+}
+
+JsonValue JsonValue::str(std::string V) {
+  JsonValue J;
+  J.K = Kind::String;
+  J.S = std::move(V);
+  return J;
+}
+
+JsonValue JsonValue::array(std::vector<JsonValue> V) {
+  JsonValue J;
+  J.K = Kind::Array;
+  J.Arr = std::move(V);
+  return J;
+}
+
+JsonValue
+JsonValue::object(std::vector<std::pair<std::string, JsonValue>> V) {
+  JsonValue J;
+  J.K = Kind::Object;
+  J.Obj = std::move(V);
+  return J;
+}
+
+namespace {
+
+/// Strict recursive-descent JSON parser with a depth cap (a hostile
+/// request must not be able to overflow the stack with `[[[[...`).
+class Parser {
+public:
+  Parser(const std::string &Text, std::string &Error)
+      : T(Text), Err(Error) {}
+
+  std::optional<JsonValue> run() {
+    skipWs();
+    std::optional<JsonValue> V = value(0);
+    if (!V)
+      return std::nullopt;
+    skipWs();
+    if (P != T.size()) {
+      fail("trailing characters after JSON document");
+      return std::nullopt;
+    }
+    return V;
+  }
+
+private:
+  static constexpr unsigned MaxDepth = 64;
+
+  void fail(const std::string &Msg) {
+    if (Err.empty())
+      Err = strf("json error at offset %zu: %s", P, Msg.c_str());
+  }
+
+  void skipWs() {
+    while (P != T.size() && (T[P] == ' ' || T[P] == '\t' || T[P] == '\n' ||
+                             T[P] == '\r'))
+      ++P;
+  }
+
+  bool consume(char C) {
+    if (P != T.size() && T[P] == C) {
+      ++P;
+      return true;
+    }
+    return false;
+  }
+
+  bool literal(const char *Word) {
+    size_t N = std::strlen(Word);
+    if (T.compare(P, N, Word) == 0) {
+      P += N;
+      return true;
+    }
+    return false;
+  }
+
+  std::optional<JsonValue> value(unsigned Depth) {
+    if (Depth > MaxDepth) {
+      fail("nesting too deep");
+      return std::nullopt;
+    }
+    if (P == T.size()) {
+      fail("unexpected end of input");
+      return std::nullopt;
+    }
+    switch (T[P]) {
+    case '{':
+      return object(Depth);
+    case '[':
+      return array(Depth);
+    case '"': {
+      std::optional<std::string> S = string();
+      if (!S)
+        return std::nullopt;
+      return JsonValue::str(std::move(*S));
+    }
+    case 't':
+      if (literal("true"))
+        return JsonValue::boolean(true);
+      break;
+    case 'f':
+      if (literal("false"))
+        return JsonValue::boolean(false);
+      break;
+    case 'n':
+      if (literal("null"))
+        return JsonValue::null();
+      break;
+    default:
+      return number();
+    }
+    fail("invalid value");
+    return std::nullopt;
+  }
+
+  std::optional<JsonValue> number() {
+    size_t Start = P;
+    if (consume('-')) {
+    }
+    if (P == T.size() || !std::isdigit(static_cast<unsigned char>(T[P]))) {
+      fail("invalid number");
+      return std::nullopt;
+    }
+    while (P != T.size() && std::isdigit(static_cast<unsigned char>(T[P])))
+      ++P;
+    bool Integral = true;
+    if (P != T.size() && T[P] == '.') {
+      Integral = false;
+      ++P;
+      if (P == T.size() || !std::isdigit(static_cast<unsigned char>(T[P]))) {
+        fail("invalid fraction");
+        return std::nullopt;
+      }
+      while (P != T.size() && std::isdigit(static_cast<unsigned char>(T[P])))
+        ++P;
+    }
+    if (P != T.size() && (T[P] == 'e' || T[P] == 'E')) {
+      Integral = false;
+      ++P;
+      if (P != T.size() && (T[P] == '+' || T[P] == '-'))
+        ++P;
+      if (P == T.size() || !std::isdigit(static_cast<unsigned char>(T[P]))) {
+        fail("invalid exponent");
+        return std::nullopt;
+      }
+      while (P != T.size() && std::isdigit(static_cast<unsigned char>(T[P])))
+        ++P;
+    }
+    std::string Lit = T.substr(Start, P - Start);
+    if (Integral) {
+      errno = 0;
+      char *End = nullptr;
+      long long V = std::strtoll(Lit.c_str(), &End, 10);
+      if (errno != ERANGE && End && *End == '\0')
+        return JsonValue::integer(V);
+      // Out-of-range integers degrade to double, like most parsers.
+    }
+    errno = 0;
+    double D = std::strtod(Lit.c_str(), nullptr);
+    if (errno == ERANGE && (D == HUGE_VAL || D == -HUGE_VAL)) {
+      fail("number out of range");
+      return std::nullopt;
+    }
+    return JsonValue::number(D);
+  }
+
+  std::optional<std::string> string() {
+    if (!consume('"')) {
+      fail("expected string");
+      return std::nullopt;
+    }
+    std::string Out;
+    while (true) {
+      if (P == T.size()) {
+        fail("unterminated string");
+        return std::nullopt;
+      }
+      unsigned char C = static_cast<unsigned char>(T[P]);
+      if (C == '"') {
+        ++P;
+        return Out;
+      }
+      if (C < 0x20) {
+        fail("unescaped control character in string");
+        return std::nullopt;
+      }
+      if (C != '\\') {
+        Out += static_cast<char>(C);
+        ++P;
+        continue;
+      }
+      ++P;
+      if (P == T.size()) {
+        fail("unterminated escape");
+        return std::nullopt;
+      }
+      char E = T[P++];
+      switch (E) {
+      case '"':
+        Out += '"';
+        break;
+      case '\\':
+        Out += '\\';
+        break;
+      case '/':
+        Out += '/';
+        break;
+      case 'b':
+        Out += '\b';
+        break;
+      case 'f':
+        Out += '\f';
+        break;
+      case 'n':
+        Out += '\n';
+        break;
+      case 'r':
+        Out += '\r';
+        break;
+      case 't':
+        Out += '\t';
+        break;
+      case 'u': {
+        unsigned V = 0;
+        for (int I = 0; I != 4; ++I) {
+          if (P == T.size() ||
+              !std::isxdigit(static_cast<unsigned char>(T[P]))) {
+            fail("invalid \\u escape");
+            return std::nullopt;
+          }
+          char H = T[P++];
+          V = V * 16 + (H <= '9'   ? H - '0'
+                        : H <= 'F' ? H - 'A' + 10
+                                   : H - 'a' + 10);
+        }
+        // Encode the code point as UTF-8. Surrogate pairs are passed
+        // through as two 3-byte sequences (requests never need them; the
+        // payloads are program text and identifiers).
+        if (V < 0x80) {
+          Out += static_cast<char>(V);
+        } else if (V < 0x800) {
+          Out += static_cast<char>(0xC0 | (V >> 6));
+          Out += static_cast<char>(0x80 | (V & 0x3F));
+        } else {
+          Out += static_cast<char>(0xE0 | (V >> 12));
+          Out += static_cast<char>(0x80 | ((V >> 6) & 0x3F));
+          Out += static_cast<char>(0x80 | (V & 0x3F));
+        }
+        break;
+      }
+      default:
+        fail("invalid escape character");
+        return std::nullopt;
+      }
+    }
+  }
+
+  std::optional<JsonValue> array(unsigned Depth) {
+    consume('[');
+    std::vector<JsonValue> Items;
+    skipWs();
+    if (consume(']'))
+      return JsonValue::array(std::move(Items));
+    while (true) {
+      skipWs();
+      std::optional<JsonValue> V = value(Depth + 1);
+      if (!V)
+        return std::nullopt;
+      Items.push_back(std::move(*V));
+      skipWs();
+      if (consume(']'))
+        return JsonValue::array(std::move(Items));
+      if (!consume(',')) {
+        fail("expected ',' or ']' in array");
+        return std::nullopt;
+      }
+    }
+  }
+
+  std::optional<JsonValue> object(unsigned Depth) {
+    consume('{');
+    std::vector<std::pair<std::string, JsonValue>> Members;
+    skipWs();
+    if (consume('}'))
+      return JsonValue::object(std::move(Members));
+    while (true) {
+      skipWs();
+      std::optional<std::string> Key = string();
+      if (!Key)
+        return std::nullopt;
+      skipWs();
+      if (!consume(':')) {
+        fail("expected ':' after object key");
+        return std::nullopt;
+      }
+      skipWs();
+      std::optional<JsonValue> V = value(Depth + 1);
+      if (!V)
+        return std::nullopt;
+      Members.emplace_back(std::move(*Key), std::move(*V));
+      skipWs();
+      if (consume('}'))
+        return JsonValue::object(std::move(Members));
+      if (!consume(',')) {
+        fail("expected ',' or '}' in object");
+        return std::nullopt;
+      }
+    }
+  }
+
+  const std::string &T;
+  std::string &Err;
+  size_t P = 0;
+};
+
+} // namespace
+
+std::optional<JsonValue> c4::parseJson(const std::string &Text,
+                                       std::string &Error) {
+  Error.clear();
+  return Parser(Text, Error).run();
+}
+
+std::string c4::jsonEscape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  return Out;
+}

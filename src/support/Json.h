@@ -1,0 +1,85 @@
+//===- support/Json.h - Minimal JSON value model and parser -----*- C++ -*-===//
+//
+// Part of the C4 serializability analyzer. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small JSON layer for the analysis service (tools/c4-serve): a value
+/// model, a strict recursive-descent parser, and string escaping for the
+/// emitters. It intentionally covers exactly the JSON-lines request/reply
+/// protocol's needs — objects, arrays, strings, 64-bit integers, doubles,
+/// booleans, null — with no external dependency.
+///
+/// Numbers: integral literals that fit int64 are kept exact (`asInt`);
+/// anything else is parsed as double. Object member order is preserved;
+/// duplicate keys resolve to the first occurrence (lookups scan in order).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef C4_SUPPORT_JSON_H
+#define C4_SUPPORT_JSON_H
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace c4 {
+
+/// One parsed JSON value.
+class JsonValue {
+public:
+  enum class Kind : uint8_t { Null, Bool, Int, Double, String, Array, Object };
+
+  JsonValue() = default; // null
+
+  Kind kind() const { return K; }
+  bool isNull() const { return K == Kind::Null; }
+
+  /// Typed accessors; nullopt / nullptr when the kind does not match.
+  /// `asInt` also accepts doubles with an exact integral value, so clients
+  /// writing `"max_k": 3.0` behave as expected.
+  std::optional<bool> asBool() const;
+  std::optional<int64_t> asInt() const;
+  std::optional<double> asDouble() const;
+  const std::string *asString() const;
+  const std::vector<JsonValue> *asArray() const;
+
+  /// Object member by key, or nullptr (also when not an object).
+  const JsonValue *get(const std::string &Key) const;
+  const std::vector<std::pair<std::string, JsonValue>> *asObject() const;
+
+  static JsonValue null() { return JsonValue(); }
+  static JsonValue boolean(bool B);
+  static JsonValue integer(int64_t I);
+  static JsonValue number(double D);
+  static JsonValue str(std::string S);
+  static JsonValue array(std::vector<JsonValue> A);
+  static JsonValue object(std::vector<std::pair<std::string, JsonValue>> O);
+
+private:
+  Kind K = Kind::Null;
+  bool B = false;
+  int64_t I = 0;
+  double D = 0;
+  std::string S;
+  std::vector<JsonValue> Arr;
+  std::vector<std::pair<std::string, JsonValue>> Obj;
+};
+
+/// Parses one complete JSON document from \p Text. Trailing
+/// non-whitespace, malformed escapes, unterminated structures etc. fail
+/// with a position-bearing message in \p Error.
+std::optional<JsonValue> parseJson(const std::string &Text,
+                                   std::string &Error);
+
+/// Escapes \p S for embedding inside a double-quoted JSON string literal
+/// (quotes, backslashes, control characters).
+std::string jsonEscape(const std::string &S);
+
+} // namespace c4
+
+#endif // C4_SUPPORT_JSON_H

@@ -1,0 +1,243 @@
+//===- tests/ServeTests.cpp - c4-serve protocol and cache contract --------===//
+//
+// Part of the C4 serializability analyzer. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Drives the real c4-serve binary (path injected as C4_SERVE_PATH) over
+/// its stdin JSON-lines protocol: control ops, analysis replies, error
+/// replies, shutdown, and the --cache-dir warm-path contract — a repeated
+/// request must report a cache hit with an unchanged verdict, including
+/// across a server restart. Also pins the c4-analyze --cache-dir contract:
+/// warm stats output is byte-identical to cold modulo the per-run frontend
+/// timing lines, and exit codes are preserved.
+///
+//===----------------------------------------------------------------------===//
+
+#include "gtest/gtest.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <sys/wait.h>
+#include <unistd.h>
+#include <vector>
+
+namespace {
+
+std::string examplePath(const char *Name) {
+  return std::string(C4_SOURCE_DIR) + "/examples/c4l/" + Name;
+}
+
+/// A cache directory name unique to this test process, so re-runs start
+/// cold rather than finding a pre-warmed directory from a previous run.
+std::string freshCacheDir(const char *Name) {
+  return testing::TempDir() + Name + "." + std::to_string(::getpid());
+}
+
+void writeFile(const std::string &Path, const std::string &Bytes) {
+  std::ofstream Out(Path, std::ios::trunc);
+  Out << Bytes;
+  ASSERT_TRUE(Out.good()) << Path;
+}
+
+/// Runs c4-serve with \p Requests on stdin (plus \p Flags), captures the
+/// reply lines, and checks the exit code.
+std::vector<std::string> runServe(const std::string &Requests,
+                                  const std::string &Flags = "",
+                                  int ExpectExit = 0) {
+  std::string ReqPath = testing::TempDir() + "serve_req.jsonl";
+  std::string OutPath = testing::TempDir() + "serve_out.jsonl";
+  writeFile(ReqPath, Requests);
+  std::string Cmd = std::string(C4_SERVE_PATH) + " " + Flags + " < " +
+                    ReqPath + " > " + OutPath + " 2> /dev/null";
+  int Status = std::system(Cmd.c_str());
+  EXPECT_NE(Status, -1);
+  EXPECT_TRUE(WIFEXITED(Status));
+  EXPECT_EQ(WEXITSTATUS(Status), ExpectExit);
+  std::vector<std::string> Lines;
+  std::ifstream In(OutPath);
+  std::string Line;
+  while (std::getline(In, Line))
+    Lines.push_back(Line);
+  return Lines;
+}
+
+/// The reply line echoing \p Id (completion order is not request order).
+std::string replyFor(const std::vector<std::string> &Lines,
+                     const std::string &Id) {
+  std::string Needle = "{\"id\": " + Id + ",";
+  for (const std::string &L : Lines)
+    if (L.compare(0, Needle.size(), Needle) == 0)
+      return L;
+  ADD_FAILURE() << "no reply for id " << Id;
+  return "";
+}
+
+bool contains(const std::string &Haystack, const std::string &Needle) {
+  return Haystack.find(Needle) != std::string::npos;
+}
+
+TEST(Serve, PingStatsAndShutdown) {
+  auto Lines = runServe("{\"id\": 1, \"op\": \"ping\"}\n"
+                        "{\"id\": \"s\", \"op\": \"stats\"}\n"
+                        "{\"id\": 2, \"op\": \"shutdown\"}\n");
+  EXPECT_TRUE(contains(replyFor(Lines, "1"), "\"pong\": true"));
+  std::string Stats = replyFor(Lines, "\"s\"");
+  EXPECT_TRUE(contains(Stats, "\"cache_enabled\": false"));
+  EXPECT_TRUE(contains(Stats, "\"verdict_hits\": 0"));
+  // The shutdown ack is the last line.
+  ASSERT_FALSE(Lines.empty());
+  EXPECT_TRUE(contains(Lines.back(), "\"shutdown\": true"));
+}
+
+TEST(Serve, EofIsCleanShutdownToo) {
+  auto Lines = runServe("{\"id\": 1, \"op\": \"ping\"}\n");
+  ASSERT_EQ(Lines.size(), 1u);
+  EXPECT_TRUE(contains(Lines[0], "\"pong\": true"));
+}
+
+TEST(Serve, AnalyzesInlineProgramAndFile) {
+  auto Lines = runServe(
+      "{\"id\": 1, \"program\": \"container map M;\\ntxn t(k) { "
+      "M.put(k, 1); }\\n\"}\n"
+      "{\"id\": 2, \"file\": \"" +
+      examplePath("uniqueness_bug.c4l") + "\"}\n");
+  std::string Clean = replyFor(Lines, "1");
+  EXPECT_TRUE(contains(Clean, "\"ok\": true"));
+  EXPECT_TRUE(contains(Clean, "\"cache_hit\": false"));
+  EXPECT_TRUE(contains(Clean, "\"serializable\": true"));
+  EXPECT_TRUE(contains(Clean, "\"file\": \"<inline>\""));
+  std::string Buggy = replyFor(Lines, "2");
+  EXPECT_TRUE(contains(Buggy, "\"ok\": true"));
+  EXPECT_TRUE(contains(Buggy, "\"serializable\": false"));
+}
+
+TEST(Serve, PerRequestFailuresAreRepliesNotExits) {
+  auto Lines = runServe(
+      "this is not json\n"
+      "{\"id\": 1}\n"
+      "{\"id\": 2, \"program\": \"txn { not c4l\"}\n"
+      "{\"id\": 3, \"file\": \"/does/not/exist.c4l\"}\n"
+      "{\"id\": 4, \"op\": \"frobnicate\"}\n"
+      "{\"id\": 5, \"program\": \"container map M;\\n\", \"max_k\": 0}\n"
+      "{\"id\": 6, \"program\": \"container map M;\\n\", "
+      "\"threads\": -1}\n");
+  EXPECT_EQ(Lines.size(), 7u);
+  for (const std::string &L : Lines)
+    EXPECT_TRUE(contains(L, "\"ok\": false")) << L;
+  EXPECT_TRUE(
+      contains(replyFor(Lines, "1"), "needs \\\"program\\\" or \\\"file\\\""));
+  EXPECT_TRUE(contains(replyFor(Lines, "3"), "cannot open"));
+  EXPECT_TRUE(contains(replyFor(Lines, "4"), "unknown op"));
+  EXPECT_TRUE(contains(replyFor(Lines, "5"), "max_k"));
+  EXPECT_TRUE(contains(replyFor(Lines, "6"), "threads"));
+}
+
+/// Strips everything legitimately differing between a cold and a warm
+/// reply: the envelope's cache_hit marker and the per-run frontend/pass
+/// timings (always recomputed). Everything left must be byte-identical.
+std::string stripTimings(const std::string &Reply) {
+  size_t StatsPos = Reply.find("\"stats\":");
+  EXPECT_NE(StatsPos, std::string::npos) << Reply;
+  std::string Out;
+  size_t Pos = StatsPos;
+  while (Pos < Reply.size()) {
+    size_t Key = Reply.find("_seconds\": ", Pos);
+    if (Key == std::string::npos) {
+      Out += Reply.substr(Pos);
+      break;
+    }
+    size_t End = Reply.find_first_of(",}", Key);
+    Out += Reply.substr(Pos, Key + 11 - Pos);
+    Pos = End; // drop the timing value itself
+  }
+  return Out;
+}
+
+TEST(Serve, CacheHitOnRepeatAndAcrossRestart) {
+  std::string CacheDir = freshCacheDir("serve_cache_restart");
+  std::string Req = "{\"id\": 1, \"file\": \"" +
+                    examplePath("fig11_add_follower.c4l") + "\"}\n";
+  // One worker: FIFO processing, so the repeat is deterministically warm.
+  std::string Flags = "--workers 1 --cache-dir " + CacheDir;
+
+  auto First = runServe(Req + Req, Flags);
+  ASSERT_EQ(First.size(), 2u);
+  EXPECT_TRUE(contains(First[0], "\"cache_hit\": false"));
+  EXPECT_TRUE(contains(First[1], "\"cache_hit\": true"));
+  EXPECT_EQ(stripTimings(First[0]), stripTimings(First[1]));
+
+  // A brand-new server process over the same directory hits immediately.
+  auto Second = runServe(Req, Flags);
+  ASSERT_EQ(Second.size(), 1u);
+  EXPECT_TRUE(contains(Second[0], "\"cache_hit\": true"));
+  EXPECT_EQ(stripTimings(Second[0]), stripTimings(First[0]));
+}
+
+TEST(Serve, DistinctOptionsMissDistinctly) {
+  std::string CacheDir = freshCacheDir("serve_cache_opts");
+  std::string File = examplePath("fig1_put_get.c4l");
+  auto Lines = runServe(
+      "{\"id\": 1, \"file\": \"" + File + "\"}\n" +
+      "{\"id\": 2, \"file\": \"" + File + "\", \"max_k\": 2}\n" +
+      "{\"id\": 3, \"file\": \"" + File + "\"}\n",
+      "--workers 1 --cache-dir " + CacheDir);
+  ASSERT_EQ(Lines.size(), 3u);
+  EXPECT_TRUE(contains(Lines[0], "\"cache_hit\": false"));
+  EXPECT_TRUE(contains(Lines[1], "\"cache_hit\": false")); // different key
+  EXPECT_TRUE(contains(Lines[2], "\"cache_hit\": true"));
+}
+
+/// c4-analyze --cache-dir: warm output is byte-identical to cold modulo
+/// the recomputed frontend timing lines, and the exit code is preserved.
+TEST(CliCache, WarmStatsByteIdenticalAndExitPreserved) {
+  std::string CacheDir = freshCacheDir("cli_cache");
+  std::string ColdOut = testing::TempDir() + "cli_cold.json";
+  std::string WarmOut = testing::TempDir() + "cli_warm.json";
+  std::string Base = std::string(C4_ANALYZE_PATH) + " --stats-json --cache-dir " +
+                     CacheDir + " " + examplePath("uniqueness_bug.c4l");
+
+  int Cold = std::system((Base + " > " + ColdOut + " 2>/dev/null").c_str());
+  int Warm = std::system((Base + " > " + WarmOut + " 2>/dev/null").c_str());
+  ASSERT_TRUE(WIFEXITED(Cold) && WIFEXITED(Warm));
+  EXPECT_EQ(WEXITSTATUS(Cold), 1); // violation exit, cold
+  EXPECT_EQ(WEXITSTATUS(Warm), 1); // ...and warm
+
+  // Filter out the five per-run frontend/pass timing lines; everything
+  // else — every verdict, counter and backend timing — must match.
+  auto Filter = [](const std::string &Path) {
+    std::ifstream In(Path);
+    std::string Line, Out;
+    while (std::getline(In, Line))
+      if (!(Line.find("_seconds\":") != std::string::npos &&
+            (Line.find("frontend_") != std::string::npos ||
+             Line.find("lex_") != std::string::npos ||
+             Line.find("parse_") != std::string::npos ||
+             Line.find("build_") != std::string::npos ||
+             Line.find("pass_") != std::string::npos)))
+        Out += Line + "\n";
+    return Out;
+  };
+  std::string ColdFiltered = Filter(ColdOut);
+  EXPECT_FALSE(ColdFiltered.empty());
+  EXPECT_EQ(ColdFiltered, Filter(WarmOut));
+}
+
+TEST(CliCache, UnusableCacheDirStillAnalyzes) {
+  // Point --cache-dir at a file: the CLI must warn and run cold with the
+  // normal exit code, not fail.
+  std::string NotADir = testing::TempDir() + "cli_cache_notadir";
+  writeFile(NotADir, "occupied");
+  std::string Cmd = std::string(C4_ANALYZE_PATH) + " --cache-dir " + NotADir +
+                    " " + examplePath("highscore_fixed.c4l") +
+                    " > /dev/null 2>/dev/null";
+  int Status = std::system(Cmd.c_str());
+  ASSERT_TRUE(WIFEXITED(Status));
+  EXPECT_EQ(WEXITSTATUS(Status), 0);
+}
+
+} // namespace

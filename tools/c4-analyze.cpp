@@ -35,6 +35,12 @@
 ///     --trace <file>       write a JSONL query trace: one record per
 ///                          solver query (stage, unfolding, rlimit spent,
 ///                          retries, outcome, wall time)
+///     --cache-dir <dir>    persistent cross-run cache (created if needed):
+///                          whole-history verdicts keyed by a content
+///                          fingerprint, plus portable oracle sat-verdicts.
+///                          A warm hit replays the cold run's result and
+///                          statistics byte-for-byte; any miss or corrupt
+///                          entry silently falls back to a cold analysis
 ///     --seed <n>           RNG seed for --simulate (default 0xC4C4)
 ///     --simulate <n>       additionally execute n randomized workloads on
 ///                          the causal-store simulator and report how often
@@ -58,7 +64,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
-#include "analysis/Analyzer.h"
+#include "analysis/Pipeline.h"
 #include "frontend/Frontend.h"
 #include "passes/PassManager.h"
 #include "ssg/GraphExport.h"
@@ -81,9 +87,9 @@ static int usage(const char *Prog) {
                "[--no-asymmetric] [--no-unique] [--no-cache] [--max-k N] "
                "[--threads N] [--rlimit N] [--rlimit-cap N] [--retries N] "
                "[--smt-timeout-ms N] [--deadline-ms N] [--dfs-budget N] "
-               "[--trace FILE] [--seed N] [--simulate N] [--stats-json] "
-               "[--dot] [--no-passes] [--lint] [--lint-json] [--werror] "
-               "<file.c4l>\n",
+               "[--trace FILE] [--cache-dir DIR] [--seed N] [--simulate N] "
+               "[--stats-json] [--dot] [--no-passes] [--lint] [--lint-json] "
+               "[--werror] <file.c4l>\n",
                Prog);
   return 2;
 }
@@ -109,36 +115,6 @@ static bool parseCount(const char *Flag, const char *Text, unsigned &Out) {
   return true;
 }
 
-/// Escapes a string for embedding in a JSON literal.
-static std::string jsonEscape(const std::string &S) {
-  std::string Out;
-  for (char C : S) {
-    switch (C) {
-    case '"':
-      Out += "\\\"";
-      break;
-    case '\\':
-      Out += "\\\\";
-      break;
-    case '\n':
-      Out += "\\n";
-      break;
-    case '\t':
-      Out += "\\t";
-      break;
-    default:
-      if (static_cast<unsigned char>(C) < 0x20) {
-        char Buf[8];
-        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
-        Out += Buf;
-      } else {
-        Out += C;
-      }
-    }
-  }
-  return Out;
-}
-
 int main(int Argc, char **Argv) {
   AnalyzerOptions Options;
   Options.DisplayFilter = true;
@@ -150,6 +126,7 @@ int main(int Argc, char **Argv) {
   bool NoPasses = false, LintText = false, LintJson = false, Werror = false;
   const char *Path = nullptr;
   const char *TracePath = nullptr;
+  const char *CacheDir = nullptr;
   for (int I = 1; I != Argc; ++I) {
     const char *Arg = Argv[I];
     if (!std::strcmp(Arg, "--no-filter")) {
@@ -207,6 +184,10 @@ int main(int Argc, char **Argv) {
       if (I + 1 == Argc)
         return usage(Argv[0]);
       TracePath = Argv[++I];
+    } else if (!std::strcmp(Arg, "--cache-dir")) {
+      if (I + 1 == Argc)
+        return usage(Argv[0]);
+      CacheDir = Argv[++I];
     } else if (!std::strcmp(Arg, "--seed")) {
       if (I + 1 == Argc || !parseCount(Arg, Argv[++I], Seed))
         return usage(Argv[0]);
@@ -293,93 +274,48 @@ int main(int Argc, char **Argv) {
   QueryTrace Trace;
   if (TracePath)
     Options.Trace = &Trace;
-  AnalysisResult R = analyze(*P.History, Options);
+
+  // The persistent cross-run cache (verdicts + oracle sat-snapshots). A
+  // directory that cannot be created degrades to a plain cold run.
+  std::unique_ptr<AnalysisCache> Cache;
+  if (CacheDir) {
+    Cache = std::make_unique<AnalysisCache>(CacheDir);
+    if (!Cache->enabled())
+      std::fprintf(stderr,
+                   "warning: cannot open cache directory %s; running cold\n",
+                   CacheDir);
+  }
+  PipelineResult PR =
+      analyzeCached(*P.History, Options, *P.Registry, Cache.get());
+  AnalysisResult &R = PR.R;
+  if (Cache && Cache->enabled())
+    // Cache observability goes to stderr: stdout carries only the result,
+    // so warm output stays comparable to cold output.
+    std::fprintf(stderr, "cache: verdict %s (fingerprint %s)\n",
+                 PR.CacheHit ? "hit" : "miss", PR.Fingerprint.c_str());
   if (TracePath && !Trace.writeFile(TracePath)) {
     std::fprintf(stderr, "error: cannot write trace to %s\n", TracePath);
     return 2;
   }
   if (StatsJson) {
-    std::string Json;
-    char Buf[256];
-    Json += "{\n";
-    std::snprintf(Buf, sizeof(Buf), "  \"file\": \"%s\",\n",
-                  jsonEscape(Path).c_str());
-    Json += Buf;
-    std::snprintf(Buf, sizeof(Buf),
-                  "  \"transactions\": %u,\n  \"events\": %u,\n"
-                  "  \"frontend_seconds\": %.6f,\n"
-                  "  \"lex_seconds\": %.6f,\n"
-                  "  \"parse_seconds\": %.6f,\n"
-                  "  \"build_seconds\": %.6f,\n",
-                  P.History->numTxns(), P.History->numStoreEvents(),
-                  P.FrontendSeconds, P.LexSeconds, P.ParseSeconds,
-                  P.BuildSeconds);
-    Json += Buf;
-    std::snprintf(Buf, sizeof(Buf),
-                  "  \"pass_seconds\": %.6f,\n"
-                  "  \"pass_iterations\": %u,\n"
-                  "  \"events_before_passes\": %u,\n"
-                  "  \"events_after_passes\": %u,\n"
-                  "  \"dead_writes\": %u,\n  \"pruned_branches\": %u,\n"
-                  "  \"const_props\": %u,\n  \"fresh_promotions\": %u,\n"
-                  "  \"lint_warnings\": %zu,\n",
-                  Passes.Stats.Seconds, Passes.Stats.Iterations,
-                  Passes.Stats.EventsBefore, Passes.Stats.EventsAfter,
-                  Passes.Stats.DeadWrites, Passes.Stats.PrunedBranches,
-                  Passes.Stats.ConstProps, Passes.Stats.FreshPromotions,
-                  Passes.Lints.size());
-    Json += Buf;
-    std::snprintf(Buf, sizeof(Buf),
-                  "  \"serializable\": %s,\n  \"generalized\": %s,\n"
-                  "  \"fast_proved\": %s,\n  \"violations\": %zu,\n"
-                  "  \"violations_validated\": %u,\n"
-                  "  \"violations_unvalidated\": %u,\n"
-                  "  \"violations_inconclusive\": %u,\n"
-                  "  \"k_checked\": %u,\n  \"truncated\": %s,\n",
-                  R.serializable() ? "true" : "false",
-                  R.Generalized ? "true" : "false",
-                  R.FastProvedSerializable ? "true" : "false",
-                  R.Violations.size(), R.validatedViolations(),
-                  R.unvalidatedViolations(), R.inconclusiveViolations(),
-                  R.KChecked, R.Truncated ? "true" : "false");
-    Json += Buf;
-    std::snprintf(Buf, sizeof(Buf),
-                  "  \"unfoldings_checked\": %u,\n"
-                  "  \"unfoldings_subsumed\": %u,\n"
-                  "  \"layouts_filtered\": %u,\n  \"ssg_flagged\": %u,\n"
-                  "  \"ssg_edges\": %u,\n  \"smt_queries\": %u,\n"
-                  "  \"smt_refuted\": %u,\n  \"smt_unknown\": %u,\n",
-                  R.UnfoldingsChecked, R.UnfoldingsSubsumed, R.LayoutsFiltered,
-                  R.SSGFlagged, R.SSGEdges, R.SmtQueries, R.SMTRefuted,
-                  R.SMTUnknown);
-    Json += Buf;
-    std::snprintf(Buf, sizeof(Buf),
-                  "  \"smt_retries\": %u,\n"
-                  "  \"rlimit_spent\": %llu,\n"
-                  "  \"deadline_expired\": %s,\n"
-                  "  \"unfoldings_deferred\": %u,\n"
-                  "  \"dfs_budget_exhausted\": %u,\n",
-                  R.SMTRetries,
-                  static_cast<unsigned long long>(R.RlimitSpent),
-                  R.DeadlineExpired ? "true" : "false",
-                  R.UnfoldingsDeferred, R.DfsBudgetExhausted);
-    Json += Buf;
-    std::snprintf(Buf, sizeof(Buf),
-                  "  \"cond_cache_hits\": %llu,\n"
-                  "  \"cond_cache_misses\": %llu,\n"
-                  "  \"sat_cache_hits\": %llu,\n"
-                  "  \"sat_cache_misses\": %llu,\n",
-                  static_cast<unsigned long long>(R.CondCacheHits),
-                  static_cast<unsigned long long>(R.CondCacheMisses),
-                  static_cast<unsigned long long>(R.SatCacheHits),
-                  static_cast<unsigned long long>(R.SatCacheMisses));
-    Json += Buf;
-    std::snprintf(Buf, sizeof(Buf),
-                  "  \"ssg_seconds\": %.6f,\n  \"enum_seconds\": %.6f,\n"
-                  "  \"smt_seconds\": %.6f,\n  \"backend_seconds\": %.6f\n}\n",
-                  R.SSGSeconds, R.EnumSeconds, R.SmtSeconds, R.BackendSeconds);
-    Json += Buf;
-    std::fputs(Json.c_str(), stdout);
+    StatsJsonFields F;
+    F.File = Path;
+    F.Transactions = P.History->numTxns();
+    F.Events = P.History->numStoreEvents();
+    F.FrontendSeconds = P.FrontendSeconds;
+    F.LexSeconds = P.LexSeconds;
+    F.ParseSeconds = P.ParseSeconds;
+    F.BuildSeconds = P.BuildSeconds;
+    F.PassSeconds = Passes.Stats.Seconds;
+    F.PassIterations = Passes.Stats.Iterations;
+    F.EventsBefore = Passes.Stats.EventsBefore;
+    F.EventsAfter = Passes.Stats.EventsAfter;
+    F.DeadWrites = Passes.Stats.DeadWrites;
+    F.PrunedBranches = Passes.Stats.PrunedBranches;
+    F.ConstProps = Passes.Stats.ConstProps;
+    F.FreshPromotions = Passes.Stats.FreshPromotions;
+    F.LintWarnings = Passes.Lints.size();
+    std::fputs(renderStatsJson(F, R).c_str(), stdout);
   } else {
     std::fputs(reportStr(*P.History, R).c_str(), stdout);
   }

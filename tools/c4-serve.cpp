@@ -1,0 +1,537 @@
+//===- tools/c4-serve.cpp - Persistent C4 analysis service ----------------===//
+//
+// Part of the C4 serializability analyzer. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A long-lived analysis service: accepts JSON-lines requests on stdin (the
+/// default) or a Unix-domain socket, analyzes them concurrently on a worker
+/// pool, and replies with one JSON line per request carrying the same
+/// verdict/stats object `c4-analyze --stats-json` prints. Amortizes across
+/// requests everything a one-shot CLI run pays per invocation: process
+/// start-up, Z3 context construction (one env per worker thread, reused),
+/// oracle warm-up and — with --cache-dir — the entire back end for
+/// previously seen (program, options) pairs.
+///
+///   c4-serve [options]
+///     --workers <n>     request-level worker threads (0 = hardware
+///                       concurrency; default 0)
+///     --socket <path>   listen on a Unix-domain socket instead of stdin
+///     --cache-dir <dir> persistent cross-run cache shared by all workers
+///                       (same layout and semantics as c4-analyze
+///                       --cache-dir)
+///
+/// Request object (one per line):
+///   {"id": ..., "program": "<c4l source>"}        inline source, or
+///   {"id": ..., "file": "<path.c4l>"}             a file the server reads
+/// plus optional per-request analyzer options mirroring the c4-analyze
+/// flags (docs/cli.md): "max_k", "threads", "rlimit", "rlimit_cap",
+/// "retries", "smt_timeout_ms", "deadline_ms", "dfs_budget", and booleans
+/// "no_passes", "no_filter", "no_cache", "no_commutativity",
+/// "no_absorption", "no_constraints", "no_control_flow", "no_asymmetric",
+/// "no_unique". Unlike the CLI, "threads" defaults to 1: request-level
+/// parallelism comes from --workers, and multiplying the two oversubscribes.
+///
+/// Control requests: {"op": "ping"}, {"op": "stats"} (cache counters),
+/// {"op": "shutdown"} (drain outstanding work, reply, exit).
+///
+/// Reply (one line, completion order — match replies to requests by the
+/// echoed "id", not by position):
+///   {"id": ..., "ok": true, "cache_hit": <bool>, "stats": {...}}
+///   {"id": ..., "ok": false, "error": "<message>"}
+///
+/// Exit code: 0 on clean shutdown (stdin EOF or the shutdown op), 2 on
+/// usage or setup errors. Per-request failures are replies, not exits.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Pipeline.h"
+#include "frontend/Frontend.h"
+#include "passes/PassManager.h"
+#include "support/Json.h"
+#include "support/ThreadPool.h"
+
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace c4;
+
+namespace {
+
+int usage(const char *Prog) {
+  std::fprintf(stderr,
+               "usage: %s [--workers N] [--socket PATH] [--cache-dir DIR]\n",
+               Prog);
+  return 2;
+}
+
+bool parseCount(const char *Flag, const char *Text, unsigned &Out) {
+  if (!Text || !*Text || *Text == '-' || *Text == '+') {
+    std::fprintf(stderr, "error: %s expects a non-negative integer, got '%s'\n",
+                 Flag, Text ? Text : "");
+    return false;
+  }
+  errno = 0;
+  char *End = nullptr;
+  unsigned long V = std::strtoul(Text, &End, 10);
+  if (errno == ERANGE || *End != '\0' || V > 0xFFFFFFFFul) {
+    std::fprintf(stderr, "error: %s expects a non-negative integer, got '%s'\n",
+                 Flag, Text);
+    return false;
+  }
+  Out = static_cast<unsigned>(V);
+  return true;
+}
+
+/// Renders a request id for echoing. Only strings and integers are
+/// preserved; anything else (or a missing id) echoes as null.
+std::string renderId(const JsonValue *Id) {
+  if (Id) {
+    if (const std::string *S = Id->asString())
+      return "\"" + jsonEscape(*S) + "\"";
+    if (std::optional<int64_t> I = Id->asInt())
+      return std::to_string(*I);
+  }
+  return "null";
+}
+
+std::string errorReply(const std::string &Id, const std::string &Msg) {
+  return "{\"id\": " + Id + ", \"ok\": false, \"error\": \"" +
+         jsonEscape(Msg) + "\"}";
+}
+
+/// Collapses the multi-line stats object into one line (values never
+/// contain raw newlines — strings are escaped by the renderer).
+std::string oneLine(std::string S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S)
+    if (C != '\n')
+      Out += C;
+  return Out;
+}
+
+/// Reads one unsigned option field into \p Out; returns false (with an
+/// error message) when present but malformed.
+bool readCount(const JsonValue &Req, const char *Key, unsigned &Out,
+               std::string &Err) {
+  const JsonValue *V = Req.get(Key);
+  if (!V)
+    return true;
+  std::optional<int64_t> I = V->asInt();
+  if (!I || *I < 0 || *I > 0xFFFFFFFFll) {
+    Err = std::string(Key) + " expects a non-negative integer";
+    return false;
+  }
+  Out = static_cast<unsigned>(*I);
+  return true;
+}
+
+/// Reads a boolean option field (same contract as readCount).
+bool readFlag(const JsonValue &Req, const char *Key, bool &Out,
+              std::string &Err) {
+  const JsonValue *V = Req.get(Key);
+  if (!V)
+    return true;
+  std::optional<bool> B = V->asBool();
+  if (!B) {
+    Err = std::string(Key) + " expects a boolean";
+    return false;
+  }
+  Out = *B;
+  return true;
+}
+
+/// One Z3 environment per pool thread, reused across the requests the
+/// thread serves (context construction costs more than a typical small
+/// solve). Sound because AnalyzerOptions::ReuseEnv is only handed to the
+/// run executing on this thread, and per-query name generations isolate
+/// queries from each other.
+thread_local std::unique_ptr<Z3Env> WorkerEnv;
+
+/// Handles one request line end to end; returns the reply line.
+std::string handleRequest(const std::string &Line, AnalysisCache *Cache) {
+  std::string Err;
+  std::optional<JsonValue> Req = parseJson(Line, Err);
+  if (!Req)
+    return errorReply("null", Err);
+  std::string Id = renderId(Req->get("id"));
+  if (!Req->asObject())
+    return errorReply(Id, "request must be a JSON object");
+
+  // Control operations.
+  if (const JsonValue *Op = Req->get("op")) {
+    const std::string *Name = Op->asString();
+    if (!Name)
+      return errorReply(Id, "op expects a string");
+    if (*Name == "ping")
+      return "{\"id\": " + Id + ", \"ok\": true, \"pong\": true}";
+    if (*Name == "stats") {
+      DiskCacheStats D = Cache ? Cache->diskStats() : DiskCacheStats{};
+      char Buf[256];
+      std::snprintf(
+          Buf, sizeof(Buf),
+          "{\"id\": %s, \"ok\": true, \"cache_enabled\": %s, "
+          "\"verdict_hits\": %llu, \"verdict_misses\": %llu, "
+          "\"disk_hits\": %llu, \"disk_misses\": %llu, "
+          "\"disk_corrupt\": %llu, \"disk_stores\": %llu, "
+          "\"oracle_entries\": %zu}",
+          Id.c_str(), Cache && Cache->enabled() ? "true" : "false",
+          static_cast<unsigned long long>(Cache ? Cache->verdictHits() : 0),
+          static_cast<unsigned long long>(Cache ? Cache->verdictMisses() : 0),
+          static_cast<unsigned long long>(D.Hits),
+          static_cast<unsigned long long>(D.Misses),
+          static_cast<unsigned long long>(D.Corrupt),
+          static_cast<unsigned long long>(D.Stores),
+          Cache ? Cache->oracleEntries() : size_t(0));
+      return Buf;
+    }
+    // "shutdown" is interpreted by the serving loops; reaching here means
+    // an unknown op.
+    return errorReply(Id, "unknown op '" + *Name + "'");
+  }
+
+  // Source acquisition: inline program or server-side file.
+  std::string Source, Label;
+  if (const JsonValue *Prog = Req->get("program")) {
+    const std::string *S = Prog->asString();
+    if (!S)
+      return errorReply(Id, "program expects a string");
+    Source = *S;
+    Label = "<inline>";
+  } else if (const JsonValue *File = Req->get("file")) {
+    const std::string *S = File->asString();
+    if (!S)
+      return errorReply(Id, "file expects a string");
+    std::ifstream In(*S);
+    if (!In)
+      return errorReply(Id, "cannot open " + *S);
+    std::stringstream Buffer;
+    Buffer << In.rdbuf();
+    Source = Buffer.str();
+    Label = *S;
+  } else {
+    return errorReply(Id, "request needs \"program\" or \"file\"");
+  }
+
+  // Per-request options (CLI-equivalent defaults, except threads = 1).
+  AnalyzerOptions Options;
+  Options.DisplayFilter = true;
+  Options.UseAtomicSets = true;
+  Options.NumThreads = 1;
+  bool NoFilter = false, NoPasses = false, NoCache = false;
+  bool NoCom = false, NoAbs = false, NoCons = false, NoCf = false,
+       NoAsym = false, NoUnique = false;
+  unsigned Rlimit = 0, RlimitCap = 0;
+  bool HaveRlimit = Req->get("rlimit") != nullptr;
+  bool HaveRlimitCap = Req->get("rlimit_cap") != nullptr;
+  if (!readCount(*Req, "max_k", Options.MaxK, Err) ||
+      !readCount(*Req, "threads", Options.NumThreads, Err) ||
+      !readCount(*Req, "rlimit", Rlimit, Err) ||
+      !readCount(*Req, "rlimit_cap", RlimitCap, Err) ||
+      !readCount(*Req, "retries", Options.Budget.MaxRetries, Err) ||
+      !readCount(*Req, "smt_timeout_ms", Options.Budget.WallMs, Err) ||
+      !readCount(*Req, "deadline_ms", Options.DeadlineMs, Err) ||
+      !readCount(*Req, "dfs_budget", Options.LayoutDfsBudget, Err) ||
+      !readFlag(*Req, "no_filter", NoFilter, Err) ||
+      !readFlag(*Req, "no_passes", NoPasses, Err) ||
+      !readFlag(*Req, "no_cache", NoCache, Err) ||
+      !readFlag(*Req, "no_commutativity", NoCom, Err) ||
+      !readFlag(*Req, "no_absorption", NoAbs, Err) ||
+      !readFlag(*Req, "no_constraints", NoCons, Err) ||
+      !readFlag(*Req, "no_control_flow", NoCf, Err) ||
+      !readFlag(*Req, "no_asymmetric", NoAsym, Err) ||
+      !readFlag(*Req, "no_unique", NoUnique, Err))
+    return errorReply(Id, Err);
+  if (Options.MaxK < 1)
+    return errorReply(Id, "max_k must be at least 1");
+  if (HaveRlimit)
+    Options.Budget.Rlimit = Rlimit;
+  if (HaveRlimitCap)
+    Options.Budget.RlimitCap = RlimitCap;
+  if (NoFilter) {
+    Options.DisplayFilter = false;
+    Options.UseAtomicSets = false;
+  }
+  Options.UseOracle = !NoCache;
+  Options.Features.Commutativity = !NoCom;
+  Options.Features.Absorption = !NoAbs;
+  Options.Features.Constraints = !NoCons;
+  Options.Features.ControlFlow = !NoCf;
+  Options.Features.AsymmetricAntiDeps = !NoAsym;
+  Options.Features.UniqueValues = !NoUnique;
+
+  CompileResult Compiled = compileC4L(Source);
+  if (!Compiled.ok())
+    return errorReply(Id, Compiled.Error);
+  CompiledProgram &P = *Compiled.Program;
+
+  PassOptions PassOpts;
+  PassOpts.Reduce = !NoPasses;
+  PassOpts.UniqueValues = Options.Features.UniqueValues;
+  PassOpts.Lint = false; // lint is a CLI concern; see c4-analyze --lint
+  PassResult Passes;
+  if (PassOpts.Reduce) {
+    Passes = runPasses(P, PassOpts, &Source);
+    if (!Passes.Ok)
+      return errorReply(Id, Passes.Error);
+  }
+  Options.AtomicSets = P.AtomicSets;
+
+  if (!WorkerEnv)
+    WorkerEnv = std::make_unique<Z3Env>();
+  Options.ReuseEnv = WorkerEnv.get();
+
+  PipelineResult PR =
+      analyzeCached(*P.History, Options, *P.Registry, Cache);
+
+  StatsJsonFields F;
+  F.File = Label;
+  F.Transactions = P.History->numTxns();
+  F.Events = P.History->numStoreEvents();
+  F.FrontendSeconds = P.FrontendSeconds;
+  F.LexSeconds = P.LexSeconds;
+  F.ParseSeconds = P.ParseSeconds;
+  F.BuildSeconds = P.BuildSeconds;
+  F.PassSeconds = Passes.Stats.Seconds;
+  F.PassIterations = Passes.Stats.Iterations;
+  F.EventsBefore = Passes.Stats.EventsBefore;
+  F.EventsAfter = Passes.Stats.EventsAfter;
+  F.DeadWrites = Passes.Stats.DeadWrites;
+  F.PrunedBranches = Passes.Stats.PrunedBranches;
+  F.ConstProps = Passes.Stats.ConstProps;
+  F.FreshPromotions = Passes.Stats.FreshPromotions;
+  F.LintWarnings = Passes.Lints.size();
+
+  return "{\"id\": " + Id + ", \"ok\": true, \"cache_hit\": " +
+         (PR.CacheHit ? "true" : "false") +
+         ", \"stats\": " + oneLine(renderStatsJson(F, PR.R)) + "}";
+}
+
+/// True when \p Line is a shutdown control request. Parsed cheaply and
+/// answered by the serving loop itself (the pool drains first).
+bool isShutdown(const std::string &Line, std::string &IdOut) {
+  std::string Err;
+  std::optional<JsonValue> Req = parseJson(Line, Err);
+  if (!Req)
+    return false;
+  const JsonValue *Op = Req->get("op");
+  const std::string *Name = Op ? Op->asString() : nullptr;
+  if (!Name || *Name != "shutdown")
+    return false;
+  IdOut = renderId(Req->get("id"));
+  return true;
+}
+
+/// Serves the stdin/stdout JSON-lines session. Returns the exit code.
+int serveStdin(unsigned Workers, AnalysisCache *Cache) {
+  std::mutex OutMu;
+  bool SawShutdown = false;
+  {
+    ThreadPool Pool(Workers);
+    std::string Line;
+    while (std::getline(std::cin, Line)) {
+      if (Line.empty())
+        continue;
+      std::string ShutdownId;
+      if (isShutdown(Line, ShutdownId)) {
+        SawShutdown = true;
+        break;
+      }
+      Pool.submit([Line, Cache, &OutMu] {
+        std::string Reply = handleRequest(Line, Cache);
+        std::lock_guard<std::mutex> Lock(OutMu);
+        std::fputs(Reply.c_str(), stdout);
+        std::fputc('\n', stdout);
+        std::fflush(stdout);
+      });
+    }
+    // ~ThreadPool drains the queue: every accepted request is answered.
+  }
+  if (SawShutdown)
+    std::printf("{\"id\": null, \"ok\": true, \"shutdown\": true}\n");
+  return 0;
+}
+
+/// One accepted socket connection: reads request lines, submits them to
+/// the shared pool, writes replies in completion order. The connection
+/// closes only after its outstanding requests are answered.
+struct Connection {
+  int Fd;
+  std::mutex WriteMu;
+  std::mutex PendingMu;
+  std::condition_variable PendingCv;
+  unsigned Pending = 0;
+
+  void writeLine(const std::string &Reply) {
+    std::lock_guard<std::mutex> Lock(WriteMu);
+    std::string Out = Reply + "\n";
+    size_t Off = 0;
+    while (Off < Out.size()) {
+      ssize_t N = ::write(Fd, Out.data() + Off, Out.size() - Off);
+      if (N <= 0)
+        return; // peer went away; drop the reply
+      Off += static_cast<size_t>(N);
+    }
+  }
+
+  void taskDone() {
+    std::lock_guard<std::mutex> Lock(PendingMu);
+    --Pending;
+    PendingCv.notify_all();
+  }
+
+  void waitDrained() {
+    std::unique_lock<std::mutex> Lock(PendingMu);
+    PendingCv.wait(Lock, [this] { return Pending == 0; });
+  }
+};
+
+std::atomic<bool> StopRequested{false};
+std::atomic<int> ListenFdForStop{-1};
+
+void serveConnection(std::shared_ptr<Connection> Conn, ThreadPool &Pool,
+                     AnalysisCache *Cache) {
+  FILE *In = ::fdopen(::dup(Conn->Fd), "r");
+  if (In) {
+    char *LinePtr = nullptr;
+    size_t Cap = 0;
+    ssize_t Len;
+    while ((Len = ::getline(&LinePtr, &Cap, In)) > 0) {
+      std::string Line(LinePtr, static_cast<size_t>(Len));
+      while (!Line.empty() && (Line.back() == '\n' || Line.back() == '\r'))
+        Line.pop_back();
+      if (Line.empty())
+        continue;
+      std::string ShutdownId;
+      if (isShutdown(Line, ShutdownId)) {
+        Conn->waitDrained();
+        Conn->writeLine("{\"id\": " + ShutdownId +
+                        ", \"ok\": true, \"shutdown\": true}");
+        StopRequested.store(true);
+        // Unblock the accept loop.
+        int LFd = ListenFdForStop.exchange(-1);
+        if (LFd >= 0)
+          ::shutdown(LFd, SHUT_RDWR);
+        break;
+      }
+      {
+        std::lock_guard<std::mutex> Lock(Conn->PendingMu);
+        ++Conn->Pending;
+      }
+      Pool.submit([Line, Conn, Cache] {
+        Conn->writeLine(handleRequest(Line, Cache));
+        Conn->taskDone();
+      });
+    }
+    std::free(LinePtr);
+    std::fclose(In);
+  }
+  Conn->waitDrained();
+  ::close(Conn->Fd);
+}
+
+int serveSocket(const std::string &Path, unsigned Workers,
+                AnalysisCache *Cache) {
+  int ListenFd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (ListenFd < 0) {
+    std::fprintf(stderr, "error: socket: %s\n", std::strerror(errno));
+    return 2;
+  }
+  sockaddr_un Addr;
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sun_family = AF_UNIX;
+  if (Path.size() >= sizeof(Addr.sun_path)) {
+    std::fprintf(stderr, "error: socket path too long\n");
+    ::close(ListenFd);
+    return 2;
+  }
+  std::memcpy(Addr.sun_path, Path.c_str(), Path.size() + 1);
+  ::unlink(Path.c_str()); // stale socket from a previous run
+  if (::bind(ListenFd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) <
+          0 ||
+      ::listen(ListenFd, 64) < 0) {
+    std::fprintf(stderr, "error: cannot listen on %s: %s\n", Path.c_str(),
+                 std::strerror(errno));
+    ::close(ListenFd);
+    return 2;
+  }
+  ListenFdForStop.store(ListenFd);
+  std::fprintf(stderr, "c4-serve: listening on %s\n", Path.c_str());
+
+  std::vector<std::thread> ConnThreads;
+  {
+    ThreadPool Pool(Workers);
+    while (!StopRequested.load()) {
+      int Fd = ::accept(ListenFd, nullptr, nullptr);
+      if (Fd < 0) {
+        if (errno == EINTR && !StopRequested.load())
+          continue;
+        break; // closed by shutdown, or a hard error
+      }
+      auto Conn = std::make_shared<Connection>();
+      Conn->Fd = Fd;
+      ConnThreads.emplace_back(
+          [Conn, &Pool, Cache] { serveConnection(Conn, Pool, Cache); });
+    }
+    for (std::thread &T : ConnThreads)
+      T.join();
+    // ~ThreadPool drains any remaining queued requests.
+  }
+  ::close(ListenFd);
+  ::unlink(Path.c_str());
+  return 0;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  unsigned Workers = 0;
+  const char *SocketPath = nullptr;
+  const char *CacheDir = nullptr;
+  for (int I = 1; I != Argc; ++I) {
+    const char *Arg = Argv[I];
+    if (!std::strcmp(Arg, "--workers")) {
+      if (I + 1 == Argc || !parseCount(Arg, Argv[++I], Workers))
+        return usage(Argv[0]);
+    } else if (!std::strcmp(Arg, "--socket")) {
+      if (I + 1 == Argc)
+        return usage(Argv[0]);
+      SocketPath = Argv[++I];
+    } else if (!std::strcmp(Arg, "--cache-dir")) {
+      if (I + 1 == Argc)
+        return usage(Argv[0]);
+      CacheDir = Argv[++I];
+    } else {
+      return usage(Argv[0]);
+    }
+  }
+
+  std::unique_ptr<AnalysisCache> Cache;
+  if (CacheDir) {
+    Cache = std::make_unique<AnalysisCache>(CacheDir);
+    if (!Cache->enabled())
+      std::fprintf(stderr,
+                   "warning: cannot open cache directory %s; serving cold\n",
+                   CacheDir);
+  }
+
+  if (SocketPath)
+    return serveSocket(SocketPath, Workers, Cache.get());
+  return serveStdin(Workers, Cache.get());
+}
