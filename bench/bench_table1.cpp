@@ -37,22 +37,47 @@
 /// warm miss fails the run). Writes the warm-vs-cold timing aggregate to
 /// the given file (BENCH_serve.json in CI).
 ///
+/// `--fleet <file>` is the serving tier's load generator and soak harness:
+/// it spawns a real c4-serve process on a loopback TCP port and drives the
+/// corpus against it in three phases — per app, a stampede of identical
+/// concurrent requests that must cost exactly one backend run
+/// (single-flight); then `--fleet-clients` concurrent closed-loop client
+/// connections (default 1000) each issuing `--fleet-requests` warm
+/// requests (default 4); finally SIGTERM, which must drain cleanly to
+/// exit 0. Every reply is checked byte-identical (modulo per-run timings)
+/// against an in-process single-process reference analysis, and the
+/// server must finish with zero dropped replies. Writes p50/p99 latency
+/// and requests/sec to the given file (BENCH_fleet.json in CI); any
+/// mismatch, drop or unclean drain fails the run.
+///
 //===----------------------------------------------------------------------===//
 
 #include "analysis/Pipeline.h"
 #include "apps/Apps.h"
 #include "frontend/Frontend.h"
 #include "passes/PassManager.h"
+#include "support/Json.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include <arpa/inet.h>
 #include <dirent.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/resource.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <sys/wait.h>
 #include <unistd.h>
 
 using namespace c4;
@@ -305,6 +330,482 @@ int runServeSim(const char *OutPath, bool Quick, bool NoPasses) {
   return Failures || WarmMisses || Mismatches ? 1 : 0;
 }
 
+//===----------------------------------------------------------------------===//
+// --fleet: load-generate a real c4-serve process over loopback TCP.
+//===----------------------------------------------------------------------===//
+
+/// A blocking client connection with line-buffered reads.
+struct LineConn {
+  int Fd = -1;
+  std::string Buf;
+
+  ~LineConn() { reset(); }
+  void reset() {
+    if (Fd >= 0)
+      ::close(Fd);
+    Fd = -1;
+    Buf.clear();
+  }
+
+  bool connectTo(int Port, int TimeoutSec = 120) {
+    reset();
+    Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (Fd < 0)
+      return false;
+    sockaddr_in Addr;
+    std::memset(&Addr, 0, sizeof(Addr));
+    Addr.sin_family = AF_INET;
+    Addr.sin_port = htons(static_cast<uint16_t>(Port));
+    ::inet_pton(AF_INET, "127.0.0.1", &Addr.sin_addr);
+    if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) !=
+        0) {
+      reset();
+      return false;
+    }
+    timeval TV{TimeoutSec, 0};
+    ::setsockopt(Fd, SOL_SOCKET, SO_RCVTIMEO, &TV, sizeof(TV));
+    int One = 1;
+    ::setsockopt(Fd, IPPROTO_TCP, TCP_NODELAY, &One, sizeof(One));
+    return true;
+  }
+
+  bool sendAll(const std::string &Bytes) {
+    size_t Off = 0;
+    while (Off < Bytes.size()) {
+      ssize_t N =
+          ::send(Fd, Bytes.data() + Off, Bytes.size() - Off, MSG_NOSIGNAL);
+      if (N < 0 && errno == EINTR)
+        continue;
+      if (N <= 0)
+        return false;
+      Off += static_cast<size_t>(N);
+    }
+    return true;
+  }
+
+  /// One newline-terminated line (stripped); empty on EOF/timeout.
+  std::string recvLine() {
+    for (;;) {
+      size_t Nl = Buf.find('\n');
+      if (Nl != std::string::npos) {
+        std::string Line = Buf.substr(0, Nl);
+        Buf.erase(0, Nl + 1);
+        return Line;
+      }
+      char Tmp[65536];
+      ssize_t N = ::recv(Fd, Tmp, sizeof(Tmp), 0);
+      if (N < 0 && errno == EINTR)
+        continue;
+      if (N <= 0)
+        return "";
+      Buf.append(Tmp, static_cast<size_t>(N));
+    }
+  }
+};
+
+/// Strips the values of every "*_seconds" field and of "rlimit_spent"
+/// from the "stats": suffix of a reply — the only bytes legitimately
+/// differing between a cold run, a warm hit and the in-process reference.
+/// (Z3's rlimit accounting drifts by a fraction of a percent with solver
+/// context history — the server reuses one Z3Env per worker thread — so
+/// it is resource telemetry, not verdict content.)
+std::string stripTimingValues(const std::string &Reply) {
+  size_t StatsPos = Reply.find("\"stats\":");
+  if (StatsPos == std::string::npos)
+    return Reply;
+  std::string Out;
+  size_t Pos = StatsPos;
+  while (Pos < Reply.size()) {
+    size_t Sec = Reply.find("_seconds\": ", Pos);
+    size_t Rl = Reply.find("\"rlimit_spent\": ", Pos);
+    size_t Key, Skip;
+    if (Sec <= Rl) {
+      Key = Sec;
+      Skip = 11; // `_seconds": `
+    } else {
+      Key = Rl;
+      Skip = 16; // `"rlimit_spent": `
+    }
+    if (Key == std::string::npos) {
+      Out += Reply.substr(Pos);
+      break;
+    }
+    size_t End = Reply.find_first_of(",}", Key + Skip);
+    Out += Reply.substr(Pos, Key + Skip - Pos);
+    Pos = End;
+  }
+  return Out;
+}
+
+std::string oneLineJson(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S)
+    if (C != '\n')
+      Out += C;
+  return Out;
+}
+
+/// The single-process reference for one app: the exact analysis c4-serve
+/// runs for `{"program": <source>}` with no option overrides, rendered
+/// through the same stats emitter. \p Cache mirrors the server's (fresh
+/// directory, same sequential app order), so oracle pre-seeding — and with
+/// it every stats counter — matches the server's cold run byte for byte.
+std::string fleetReference(const BenchApp &App, AnalysisCache &Cache) {
+  std::string Source = App.Source;
+  CompileResult Compiled = compileC4L(Source);
+  if (!Compiled.ok())
+    return "";
+  CompiledProgram &P = *Compiled.Program;
+
+  AnalyzerOptions Options;
+  Options.DisplayFilter = true;
+  Options.UseAtomicSets = true;
+  Options.NumThreads = 1;
+  PassOptions PassOpts;
+  PassOpts.Reduce = true;
+  PassOpts.UniqueValues = Options.Features.UniqueValues;
+  PassOpts.Lint = false;
+  PassResult Passes = runPasses(P, PassOpts, &Source);
+  if (!Passes.Ok)
+    return "";
+  Options.AtomicSets = P.AtomicSets;
+
+  PipelineResult PR = analyzeCached(*P.History, Options, *P.Registry, &Cache);
+
+  StatsJsonFields F;
+  F.File = "<inline>";
+  F.Transactions = P.History->numTxns();
+  F.Events = P.History->numStoreEvents();
+  F.FrontendSeconds = P.FrontendSeconds;
+  F.LexSeconds = P.LexSeconds;
+  F.ParseSeconds = P.ParseSeconds;
+  F.BuildSeconds = P.BuildSeconds;
+  F.PassSeconds = Passes.Stats.Seconds;
+  F.PassIterations = Passes.Stats.Iterations;
+  F.EventsBefore = Passes.Stats.EventsBefore;
+  F.EventsAfter = Passes.Stats.EventsAfter;
+  F.DeadWrites = Passes.Stats.DeadWrites;
+  F.PrunedBranches = Passes.Stats.PrunedBranches;
+  F.ConstProps = Passes.Stats.ConstProps;
+  F.FreshPromotions = Passes.Stats.FreshPromotions;
+  F.LintWarnings = Passes.Lints.size();
+  return "\"stats\": " + oneLineJson(renderStatsJson(F, PR.R));
+}
+
+/// Extracts the integer value of \p Key from a one-line stats reply.
+long fleetStatField(const std::string &Reply, const char *Key) {
+  std::string Needle = std::string("\"") + Key + "\": ";
+  size_t Pos = Reply.find(Needle);
+  if (Pos == std::string::npos)
+    return -1;
+  return std::atol(Reply.c_str() + Pos + Needle.size());
+}
+
+/// Raises the open-file soft limit to the hard limit: one connection per
+/// client thread plus the server's mirror side needs more than the usual
+/// 1024-fd default.
+void raiseFdLimit() {
+  rlimit RL;
+  if (::getrlimit(RLIMIT_NOFILE, &RL) == 0 && RL.rlim_cur < RL.rlim_max) {
+    RL.rlim_cur = RL.rlim_max;
+    ::setrlimit(RLIMIT_NOFILE, &RL);
+  }
+}
+
+int runFleet(const char *OutPath, bool Quick, unsigned Clients,
+             unsigned RequestsPerClient) {
+#ifndef C4_SERVE_BIN
+  (void)OutPath;
+  (void)Quick;
+  (void)Clients;
+  (void)RequestsPerClient;
+  std::fprintf(stderr, "error: built without C4_SERVE_BIN\n");
+  return 1;
+#else
+  raiseFdLimit();
+
+  // The corpus and its per-app request lines + reference replies.
+  std::vector<const BenchApp *> Apps;
+  for (const BenchApp &App : benchApps()) {
+    if (Quick && Apps.size() >= 6)
+      break;
+    Apps.push_back(&App);
+  }
+
+  char RefDirTemplate[] = "/tmp/c4-fleet-ref-XXXXXX";
+  char SrvDirTemplate[] = "/tmp/c4-fleet-srv-XXXXXX";
+  if (!::mkdtemp(RefDirTemplate) || !::mkdtemp(SrvDirTemplate)) {
+    std::fprintf(stderr, "error: cannot create temp cache directories\n");
+    return 1;
+  }
+  std::string RefDir = RefDirTemplate, SrvDir = SrvDirTemplate;
+
+  std::printf("Fleet soak: %zu apps, %u clients x %u requests against a "
+              "c4-serve process\n\n",
+              Apps.size(), Clients, RequestsPerClient);
+
+  // In-process references, sequentially in corpus order (the server's
+  // stampede phase below replays the same order, so the two caches'
+  // oracle snapshots evolve identically).
+  std::vector<std::string> Requests, References;
+  {
+    AnalysisCache RefCache(RefDir);
+    for (const BenchApp *App : Apps) {
+      Requests.push_back("{\"id\": \"x\", \"program\": \"" +
+                         jsonEscape(App->Source) + "\"}\n");
+      References.push_back(fleetReference(*App, RefCache));
+      if (References.back().empty()) {
+        std::fprintf(stderr, "error: reference analysis failed for %s\n",
+                     App->Name);
+        removeCacheDir(RefDir);
+        removeCacheDir(SrvDir);
+        return 1;
+      }
+    }
+  }
+  removeCacheDir(RefDir);
+
+  // Spawn the server on a kernel-chosen port.
+  std::string ErrPath = SrvDir + "/serve.err";
+  std::string Cmd = std::string("exec ") + C4_SERVE_BIN +
+                    " --tcp 127.0.0.1:0 --workers 0 --max-inflight 0"
+                    " --cache-dir " +
+                    SrvDir + " 2> " + ErrPath;
+  pid_t ServePid = ::fork();
+  if (ServePid == 0) {
+    ::execl("/bin/sh", "sh", "-c", Cmd.c_str(), static_cast<char *>(nullptr));
+    _exit(127);
+  }
+  int Port = 0;
+  for (int I = 0; I < 400 && Port == 0; ++I) {
+    ::usleep(25 * 1000);
+    FILE *E = std::fopen(ErrPath.c_str(), "r");
+    if (!E)
+      continue;
+    char Line[256];
+    while (std::fgets(Line, sizeof(Line), E))
+      if (const char *Pos = std::strstr(Line, "listening on 127.0.0.1:"))
+        Port = std::atoi(Pos + 23);
+    std::fclose(E);
+  }
+  if (Port == 0) {
+    std::fprintf(stderr, "error: c4-serve did not come up\n");
+    ::kill(ServePid, SIGKILL);
+    ::waitpid(ServePid, nullptr, 0);
+    removeCacheDir(SrvDir);
+    return 1;
+  }
+
+  unsigned Failures = 0, Mismatches = 0;
+  std::vector<std::string> ColdReplies(Apps.size());
+
+  // Phase 1 — stampede: per app, 8 connections fire the identical request
+  // concurrently; the single-flight layer must hold the backend to exactly
+  // one run per app, and every reply must match the reference.
+  constexpr unsigned StampedeWidth = 8;
+  LineConn Control;
+  if (!Control.connectTo(Port)) {
+    std::fprintf(stderr, "error: cannot connect control channel\n");
+    ++Failures;
+  }
+  for (size_t A = 0; A < Apps.size() && !Failures; ++A) {
+    LineConn Conns[StampedeWidth];
+    for (LineConn &C : Conns)
+      if (!C.connectTo(Port) || !C.sendAll(Requests[A]))
+        ++Failures;
+    for (LineConn &C : Conns) {
+      std::string Reply = C.recvLine();
+      if (Reply.find("\"ok\": true") == std::string::npos) {
+        std::fprintf(stderr, "%s: bad stampede reply: %s\n", Apps[A]->Name,
+                     Reply.c_str());
+        ++Failures;
+        continue;
+      }
+      if (ColdReplies[A].empty())
+        ColdReplies[A] = Reply;
+      std::string Got = stripTimingValues(Reply);
+      std::string Want = stripTimingValues("{" + References[A] + "}");
+      if (Got != Want) {
+        size_t D = 0;
+        while (D < Got.size() && D < Want.size() && Got[D] == Want[D])
+          ++D;
+        size_t From = D > 40 ? D - 40 : 0;
+        std::fprintf(stderr,
+                     "%s: reply diverges from the single-process reference\n"
+                     "  got  ...%s\n  want ...%s\n",
+                     Apps[A]->Name, Got.substr(From, 120).c_str(),
+                     Want.substr(From, 120).c_str());
+        ++Mismatches;
+      }
+    }
+    Control.sendAll("{\"id\": 0, \"op\": \"stats\"}\n");
+    long BackendRuns = fleetStatField(Control.recvLine(), "backend_runs");
+    if (BackendRuns != static_cast<long>(A + 1)) {
+      std::fprintf(stderr,
+                   "%s: single-flight breach: %ld backend runs after %zu "
+                   "apps\n",
+                   Apps[A]->Name, BackendRuns, A + 1);
+      ++Failures;
+    }
+  }
+  unsigned StampedeBackendRuns = static_cast<unsigned>(Apps.size());
+
+  // Phase 2 — fleet: Clients concurrent closed-loop connections, all warm.
+  std::atomic<unsigned> Connected{0}, FleetFailures{0}, FleetMismatches{0};
+  std::atomic<unsigned> OverloadRetries{0};
+  std::atomic<bool> Go{false};
+  std::vector<std::vector<double>> LatMs(Clients);
+  std::vector<std::thread> Threads;
+  Threads.reserve(Clients);
+  for (unsigned T = 0; T < Clients; ++T) {
+    Threads.emplace_back([&, T] {
+      LineConn C;
+      if (!C.connectTo(Port)) {
+        ++FleetFailures;
+        ++Connected;
+        return;
+      }
+      ++Connected;
+      while (!Go.load(std::memory_order_acquire))
+        std::this_thread::yield();
+      for (unsigned R = 0; R < RequestsPerClient; ++R) {
+        size_t A = (T + R) % Apps.size();
+        auto Start = std::chrono::steady_clock::now();
+        std::string Reply;
+        for (unsigned Attempt = 0; Attempt < 1000; ++Attempt) {
+          if (!C.sendAll(Requests[A])) {
+            ++FleetFailures;
+            return;
+          }
+          Reply = C.recvLine();
+          if (Reply.find("\"overloaded\": true") == std::string::npos)
+            break;
+          ++OverloadRetries;
+          ::usleep(1000);
+        }
+        LatMs[T].push_back(std::chrono::duration<double, std::milli>(
+                               std::chrono::steady_clock::now() - Start)
+                               .count());
+        if (Reply.find("\"ok\": true") == std::string::npos) {
+          ++FleetFailures;
+          return;
+        }
+        if (stripTimingValues(Reply) != stripTimingValues(ColdReplies[A]))
+          ++FleetMismatches;
+      }
+    });
+  }
+  while (Connected.load() < Clients)
+    ::usleep(1000);
+  auto FleetStart = std::chrono::steady_clock::now();
+  Go.store(true, std::memory_order_release);
+  for (std::thread &T : Threads)
+    T.join();
+  double FleetSeconds = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - FleetStart)
+                            .count();
+  Failures += FleetFailures.load();
+  Mismatches += FleetMismatches.load();
+
+  // Post-traffic accounting from the server itself.
+  long Dropped = -1, Overloads = -1, FlightWaits = -1, BackendRuns = -1;
+  if (Control.Fd >= 0) {
+    Control.sendAll("{\"id\": 0, \"op\": \"stats\"}\n");
+    std::string Stats = Control.recvLine();
+    Dropped = fleetStatField(Stats, "replies_dropped");
+    Overloads = fleetStatField(Stats, "overload_rejects");
+    FlightWaits = fleetStatField(Stats, "single_flight_waits");
+    BackendRuns = fleetStatField(Stats, "backend_runs");
+  }
+  if (Dropped != 0) {
+    std::fprintf(stderr, "error: %ld silently dropped replies\n", Dropped);
+    ++Failures;
+  }
+  if (BackendRuns != static_cast<long>(Apps.size())) {
+    std::fprintf(stderr, "error: %ld backend runs for %zu apps\n",
+                 BackendRuns, Apps.size());
+    ++Failures;
+  }
+  Control.reset();
+
+  // Phase 3 — graceful drain: SIGTERM must end the process with exit 0.
+  bool DrainClean = false;
+  ::kill(ServePid, SIGTERM);
+  for (int I = 0; I < 1000; ++I) {
+    int St;
+    if (::waitpid(ServePid, &St, WNOHANG) == ServePid) {
+      DrainClean = WIFEXITED(St) && WEXITSTATUS(St) == 0;
+      ServePid = -1;
+      break;
+    }
+    ::usleep(10 * 1000);
+  }
+  if (ServePid != -1) {
+    ::kill(ServePid, SIGKILL);
+    ::waitpid(ServePid, nullptr, 0);
+  }
+  if (!DrainClean) {
+    std::fprintf(stderr, "error: server did not drain cleanly on SIGTERM\n");
+    ++Failures;
+  }
+  removeCacheDir(SrvDir);
+
+  // Latency aggregation.
+  std::vector<double> All;
+  for (const std::vector<double> &L : LatMs)
+    All.insert(All.end(), L.begin(), L.end());
+  std::sort(All.begin(), All.end());
+  auto Pct = [&](double P) {
+    if (All.empty())
+      return 0.0;
+    size_t I = static_cast<size_t>(P * (All.size() - 1));
+    return All[I];
+  };
+  double P50 = Pct(0.50), P99 = Pct(0.99);
+  double Rps = FleetSeconds > 0 ? All.size() / FleetSeconds : 0.0;
+
+  std::printf("  stampede: %zu apps x %u conns, backend runs %u, "
+              "flight waits %ld\n",
+              Apps.size(), StampedeWidth, StampedeBackendRuns, FlightWaits);
+  std::printf("  fleet: %zu requests in %.2fs = %.0f req/s "
+              "(p50 %.2f ms, p99 %.2f ms, %u overload retries)\n",
+              All.size(), FleetSeconds, Rps, P50, P99,
+              OverloadRetries.load());
+  std::printf("  dropped replies %ld, overload rejects %ld, mismatches %u, "
+              "drain %s\n",
+              Dropped, Overloads, Mismatches,
+              DrainClean ? "clean" : "UNCLEAN");
+
+  FILE *F = std::fopen(OutPath, "w");
+  if (!F) {
+    std::fprintf(stderr, "error: cannot write %s\n", OutPath);
+    return 1;
+  }
+  std::fprintf(F,
+               "{\n  \"apps\": %zu,\n  \"clients\": %u,\n"
+               "  \"requests_per_client\": %u,\n  \"requests\": %zu,\n"
+               "  \"fleet_seconds\": %.3f,\n  \"rps\": %.0f,\n"
+               "  \"p50_ms\": %.3f,\n  \"p99_ms\": %.3f,\n",
+               Apps.size(), Clients, RequestsPerClient, All.size(),
+               FleetSeconds, Rps, P50, P99);
+  std::fprintf(F,
+               "  \"stampede_width\": %u,\n"
+               "  \"stampede_backend_runs\": %u,\n"
+               "  \"single_flight_waits\": %ld,\n"
+               "  \"overload_rejects\": %ld,\n"
+               "  \"overload_retries\": %u,\n  \"replies_dropped\": %ld,\n"
+               "  \"reference_mismatches\": %u,\n  \"failures\": %u,\n"
+               "  \"drain_clean\": %s\n}\n",
+               StampedeWidth, StampedeBackendRuns, FlightWaits, Overloads,
+               OverloadRetries.load(), Dropped, Mismatches, Failures,
+               DrainClean ? "true" : "false");
+  std::fclose(F);
+  std::printf("  fleet soak written to %s\n", OutPath);
+  return Failures || Mismatches ? 1 : 0;
+#endif
+}
+
 } // namespace
 
 static const int StdoutLineBuffered = []() {
@@ -317,6 +818,8 @@ int main(int Argc, char **Argv) {
   const char *GovernancePath = nullptr;
   const char *PassesPath = nullptr;
   const char *ServeSimPath = nullptr;
+  const char *FleetPath = nullptr;
+  unsigned FleetClients = 1000, FleetRequests = 4;
   for (int I = 1; I != Argc; ++I) {
     if (!std::strcmp(Argv[I], "--quick"))
       Quick = true;
@@ -330,7 +833,16 @@ int main(int Argc, char **Argv) {
       PassesPath = Argv[++I];
     else if (!std::strcmp(Argv[I], "--serve-sim") && I + 1 != Argc)
       ServeSimPath = Argv[++I];
+    else if (!std::strcmp(Argv[I], "--fleet") && I + 1 != Argc)
+      FleetPath = Argv[++I];
+    else if (!std::strcmp(Argv[I], "--fleet-clients") && I + 1 != Argc)
+      FleetClients = static_cast<unsigned>(std::atoi(Argv[++I]));
+    else if (!std::strcmp(Argv[I], "--fleet-requests") && I + 1 != Argc)
+      FleetRequests = static_cast<unsigned>(std::atoi(Argv[++I]));
   }
+
+  if (FleetPath)
+    return runFleet(FleetPath, Quick, FleetClients, FleetRequests);
 
   if (ServeSimPath)
     return runServeSim(ServeSimPath, Quick, NoPasses);

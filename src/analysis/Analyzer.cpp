@@ -902,8 +902,10 @@ AnalysisResult c4::analyze(const AbstractHistory &A,
   AnalysisResult R;
 
   // The global deadline, shared by every Run (atomic sets share one budget:
-  // the flag bounds the whole analysis, not each subset).
-  Deadline DL(O.DeadlineMs);
+  // the flag bounds the whole analysis, not each subset). A caller-owned
+  // deadline takes precedence so the serving tier can cancel the run.
+  Deadline OwnDL(O.DeadlineMs);
+  const Deadline &DL = O.ExternalDeadline ? *O.ExternalDeadline : OwnDL;
 
   // One memoization oracle per analyze() call: the rewrite-spec conditions
   // and satisfiability verdicts are shared by every SSG instantiation and

@@ -37,6 +37,7 @@
 namespace c4 {
 
 class CommutativityOracle;
+class Deadline;
 
 /// Tuning knobs and feature/filter configuration for one analysis run.
 struct AnalyzerOptions {
@@ -55,6 +56,15 @@ struct AnalyzerOptions {
   /// result degrades to a partial-but-sound bounded verdict — never to a
   /// serializability claim.
   unsigned DeadlineMs = 0;
+  /// Optional externally owned deadline governing this run instead of a
+  /// fresh one built from DeadlineMs (which still describes the budget for
+  /// fingerprinting — callers arm the external deadline from the same
+  /// value). Lets a caller cancel an in-flight analysis cooperatively: the
+  /// serving tier's graceful drain trips every live request's deadline and
+  /// each run winds down to the usual partial-but-sound verdict. Not part
+  /// of the verdict fingerprint — cancellation marks the result
+  /// DeadlineExpired, which is never cached or shared.
+  const Deadline *ExternalDeadline = nullptr;
   /// Step budget for the layout-viability DFS pre-filter. Exhaustion keeps
   /// the layout (sound) and is counted in DfsBudgetExhausted.
   unsigned LayoutDfsBudget = 20000;

@@ -42,8 +42,45 @@ size_t AnalysisCache::oracleEntries() {
   return Snapshot.size();
 }
 
+void AnalysisCache::flush() {
+  std::lock_guard<std::mutex> Lock(SnapMu);
+  if (Disk.enabled() && Snapshot.size() > PersistedSize) {
+    Disk.put(oracleKey(), Snapshot.serialize());
+    PersistedSize = Snapshot.size();
+  }
+}
+
+namespace {
+/// Guarantees a joined-as-leader flight completes exactly once: an early
+/// exit (exception in the analysis) releases the followers unshared, so
+/// they retry instead of blocking forever.
+struct FlightGuard {
+  SingleFlight &SF;
+  const std::string &Key;
+  SingleFlight::FlightPtr F;
+  bool Completed = false;
+
+  void share(std::string Blob) {
+    SF.complete(Key, F, /*Share=*/true, std::move(Blob));
+    Completed = true;
+  }
+  void decline() {
+    SF.complete(Key, F, /*Share=*/false);
+    Completed = true;
+  }
+  ~FlightGuard() {
+    if (!Completed)
+      SF.complete(Key, F, /*Share=*/false);
+  }
+};
+} // namespace
+
 namespace c4 {
-/// Befriended by AnalysisCache: the cold/warm path over its two layers.
+/// Befriended by AnalysisCache: the cold/warm path over its two layers,
+/// with per-fingerprint single-flight between them. Concurrent identical
+/// requests elect one leader; everyone else reuses its result (or, on a
+/// disk hit, never enters the flight at all), so a stampede on one
+/// fingerprint costs one backend run.
 struct PipelineRunner {
   static PipelineResult run(const AbstractHistory &A,
                             const AnalyzerOptions &O, const TypeRegistry &Reg,
@@ -51,49 +88,82 @@ struct PipelineRunner {
     PipelineResult PR;
     PR.Fingerprint = fingerprintAnalysis(A, O);
 
-    // Verdict layer first: a hit skips the back end entirely.
-    if (std::optional<std::string> Blob = C.Disk.get(verdictKey(PR.Fingerprint))) {
-      if (std::optional<AnalysisResult> R = deserializeResult(*Blob)) {
-        C.VerdictHits.fetch_add(1, std::memory_order_relaxed);
-        PR.R = std::move(*R);
-        PR.CacheHit = true;
-        return PR;
+    for (;;) {
+      // Verdict layer first: a hit skips the back end entirely.
+      if (std::optional<std::string> Blob =
+              C.Disk.get(verdictKey(PR.Fingerprint))) {
+        if (std::optional<AnalysisResult> R = deserializeResult(*Blob)) {
+          C.VerdictHits.fetch_add(1, std::memory_order_relaxed);
+          PR.R = std::move(*R);
+          PR.CacheHit = true;
+          return PR;
+        }
+        // Parse failure after a checksum-clean read means a format skew
+        // within one version — fall through to the cold path; the store
+        // below repairs the slot.
       }
-      // Parse failure after a checksum-clean read means a format skew
-      // within one version — fall through to the cold path; the store
-      // below repairs the slot.
-    }
-    C.VerdictMisses.fetch_add(1, std::memory_order_relaxed);
 
-    // Cold path with a pre-seeded per-run oracle. The oracle is private to
-    // this run (snapshot entries resolve to *this* program's spec
-    // pointers), so concurrent requests never contend on it.
-    CommutativityOracle Oracle;
-    AnalyzerOptions O2 = O;
-    if (O.UseOracle && !O.ExternalOracle) {
-      {
+      bool Leader = false;
+      SingleFlight::FlightPtr F = C.Flights.join(PR.Fingerprint, Leader);
+      if (!Leader) {
+        // Another request is computing this exact analysis right now; wait
+        // for its blob instead of redoing the work.
+        C.FlightWaits.fetch_add(1, std::memory_order_relaxed);
+        if (std::optional<std::string> Blob = SingleFlight::wait(F)) {
+          if (std::optional<AnalysisResult> R = deserializeResult(*Blob)) {
+            PR.R = std::move(*R);
+            PR.CacheHit = true;
+            return PR;
+          }
+        }
+        // The leader declined to share (deadline-expired partial) or the
+        // blob was malformed: start over — the disk may have been
+        // populated meanwhile, or this request becomes the next leader.
+        continue;
+      }
+
+      C.VerdictMisses.fetch_add(1, std::memory_order_relaxed);
+      C.BackendRuns.fetch_add(1, std::memory_order_relaxed);
+      FlightGuard Guard{C.Flights, PR.Fingerprint, F};
+
+      // Cold path with a pre-seeded per-run oracle. The oracle is private
+      // to this run (snapshot entries resolve to *this* program's spec
+      // pointers), so concurrent requests never contend on it.
+      CommutativityOracle Oracle;
+      AnalyzerOptions O2 = O;
+      if (O.UseOracle && !O.ExternalOracle) {
+        {
+          std::lock_guard<std::mutex> Lock(C.SnapMu);
+          PR.OracleImported = Oracle.importSats(C.Snapshot, Reg);
+        }
+        O2.ExternalOracle = &Oracle;
+      }
+      PR.R = analyze(A, O2);
+
+      // Fold new sat verdicts back and persist the snapshot when it grew.
+      if (O2.ExternalOracle == &Oracle) {
         std::lock_guard<std::mutex> Lock(C.SnapMu);
-        PR.OracleImported = Oracle.importSats(C.Snapshot, Reg);
+        Oracle.exportSats(C.Snapshot);
+        if (C.Snapshot.size() > C.PersistedSize) {
+          C.Disk.put(oracleKey(), C.Snapshot.serialize());
+          C.PersistedSize = C.Snapshot.size();
+        }
       }
-      O2.ExternalOracle = &Oracle;
-    }
-    PR.R = analyze(A, O2);
 
-    // Fold new sat verdicts back and persist the snapshot when it grew.
-    if (O2.ExternalOracle == &Oracle) {
-      std::lock_guard<std::mutex> Lock(C.SnapMu);
-      Oracle.exportSats(C.Snapshot);
-      if (C.Snapshot.size() > C.PersistedSize) {
-        C.Disk.put(oracleKey(), C.Snapshot.serialize());
-        C.PersistedSize = C.Snapshot.size();
+      // Persist and share the verdict — unless the deadline expired: that
+      // result is a timing-dependent partial answer a rerun might improve
+      // on, so it neither enters the disk layer nor fans out to waiters.
+      // Disk store happens before the flight completes, so a request
+      // joining after completion finds the blob on its first probe.
+      if (!PR.R.DeadlineExpired) {
+        std::string Blob = serializeResult(PR.R);
+        C.Disk.put(verdictKey(PR.Fingerprint), Blob);
+        Guard.share(std::move(Blob));
+      } else {
+        Guard.decline();
       }
+      return PR;
     }
-
-    // Persist the verdict — unless the deadline expired: that result is a
-    // timing-dependent partial answer a rerun might improve on.
-    if (!PR.R.DeadlineExpired)
-      C.Disk.put(verdictKey(PR.Fingerprint), serializeResult(PR.R));
-    return PR;
   }
 };
 } // namespace c4

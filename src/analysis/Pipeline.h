@@ -42,9 +42,11 @@
 #include "analysis/VerdictCache.h"
 #include "spec/CommutativityCache.h"
 #include "support/DiskCache.h"
+#include "support/SingleFlight.h"
 
 #include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <mutex>
 #include <string>
 
@@ -63,7 +65,19 @@ public:
   DiskCacheStats diskStats() const { return Disk.stats(); }
   uint64_t verdictHits() const { return VerdictHits.load(); }
   uint64_t verdictMisses() const { return VerdictMisses.load(); }
+  /// Analyses that actually ran the back end through this cache. Under
+  /// concurrent identical requests the single-flight layer keeps this at
+  /// one per distinct fingerprint — the serving tier's stampede guard.
+  uint64_t backendRuns() const { return BackendRuns.load(); }
+  /// Requests that waited on another request's in-flight identical
+  /// analysis instead of running their own.
+  uint64_t flightWaits() const { return FlightWaits.load(); }
   size_t oracleEntries();
+
+  /// Persists any unwritten oracle snapshot growth. Writes are already
+  /// eager on the cold path, so this is a cheap idempotent safety net the
+  /// serving tier calls during graceful drain.
+  void flush();
 
 private:
   friend struct PipelineRunner;
@@ -72,6 +86,8 @@ private:
   OracleSnapshot Snapshot;  ///< accumulated across runs, guarded by SnapMu
   size_t PersistedSize = 0; ///< snapshot size at the last disk write
   std::atomic<uint64_t> VerdictHits{0}, VerdictMisses{0};
+  std::atomic<uint64_t> BackendRuns{0}, FlightWaits{0};
+  SingleFlight Flights; ///< per-fingerprint stampede protection
 };
 
 /// Outcome of analyzeCached.

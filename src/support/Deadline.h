@@ -35,11 +35,18 @@ public:
   Deadline() = default;
 
   /// Expires \p Ms milliseconds from now (0 = never).
-  explicit Deadline(unsigned Ms) {
-    if (Ms) {
-      Armed = true;
-      Due = std::chrono::steady_clock::now() + std::chrono::milliseconds(Ms);
-    }
+  explicit Deadline(unsigned Ms) { armIn(Ms); }
+
+  /// Arms (or re-arms) the deadline \p Ms milliseconds from now; 0 leaves
+  /// it unarmed. Not synchronized with concurrent `expired()` polls: the
+  /// arming must happen-before any poll from another thread — the serving
+  /// tier arms a request's deadline before handing the request to the
+  /// analysis. `cancel()` from any thread remains safe at all times.
+  void armIn(unsigned Ms) {
+    if (!Ms)
+      return;
+    Armed = true;
+    Due = std::chrono::steady_clock::now() + std::chrono::milliseconds(Ms);
   }
 
   /// True when a finite deadline (or manual cancellation) governs this run.

@@ -1,0 +1,112 @@
+//===- support/EventLoop.cpp ----------------------------------------------===//
+//
+// Part of the C4 serializability analyzer. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/EventLoop.h"
+
+#include <cerrno>
+#include <fcntl.h>
+#include <poll.h>
+#include <unistd.h>
+
+using namespace c4;
+
+EventLoop::EventLoop() {
+  int P[2];
+  if (::pipe(P) != 0)
+    return;
+  for (int Fd : P) {
+    ::fcntl(Fd, F_SETFL, ::fcntl(Fd, F_GETFL) | O_NONBLOCK);
+    ::fcntl(Fd, F_SETFD, FD_CLOEXEC);
+  }
+  WakeRead = P[0];
+  WakeWrite = P[1];
+}
+
+EventLoop::~EventLoop() {
+  if (WakeRead >= 0)
+    ::close(WakeRead);
+  if (WakeWrite >= 0)
+    ::close(WakeWrite);
+}
+
+void EventLoop::add(int Fd, unsigned Interest, Handler H) {
+  Watches[Fd] = Watch{Interest, std::make_shared<Handler>(std::move(H))};
+}
+
+void EventLoop::setInterest(int Fd, unsigned Interest) {
+  auto It = Watches.find(Fd);
+  if (It != Watches.end())
+    It->second.Interest = Interest;
+}
+
+void EventLoop::remove(int Fd) { Watches.erase(Fd); }
+
+void EventLoop::post(std::function<void()> Fn) {
+  {
+    std::lock_guard<std::mutex> Lock(PostMu);
+    Posted.push_back(std::move(Fn));
+  }
+  // One byte wakes the poller; a full pipe means a wake is already
+  // pending, which is just as good.
+  char B = 1;
+  ssize_t N;
+  do {
+    N = ::write(WakeWrite, &B, 1);
+  } while (N < 0 && errno == EINTR);
+}
+
+bool EventLoop::runOnce(int TimeoutMs) {
+  std::vector<pollfd> Fds;
+  Fds.reserve(Watches.size() + 1);
+  Fds.push_back({WakeRead, POLLIN, 0});
+  for (const auto &[Fd, W] : Watches) {
+    short Ev = 0;
+    if (W.Interest & Read)
+      Ev |= POLLIN;
+    if (W.Interest & Write)
+      Ev |= POLLOUT;
+    Fds.push_back({Fd, Ev, 0});
+  }
+
+  int N = ::poll(Fds.data(), Fds.size(), TimeoutMs);
+  if (N < 0)
+    return errno == EINTR; // a signal interrupting poll is a normal wake
+
+  if (Fds[0].revents & POLLIN) {
+    char Buf[256];
+    while (::read(WakeRead, Buf, sizeof(Buf)) > 0) {
+    }
+  }
+
+  // Posted functions first: completed replies enter connection buffers
+  // before the fd dispatch below gets a chance to flush them.
+  std::vector<std::function<void()>> Run;
+  {
+    std::lock_guard<std::mutex> Lock(PostMu);
+    Run.swap(Posted);
+  }
+  for (auto &Fn : Run)
+    Fn();
+
+  for (size_t I = 1; I < Fds.size(); ++I) {
+    if (!Fds[I].revents)
+      continue;
+    auto It = Watches.find(Fds[I].fd);
+    if (It == Watches.end())
+      continue; // removed by a posted function or an earlier handler
+    unsigned Ev = 0;
+    if (Fds[I].revents & (POLLIN | POLLHUP))
+      Ev |= Read;
+    if (Fds[I].revents & POLLOUT)
+      Ev |= Write;
+    if (Fds[I].revents & (POLLERR | POLLNVAL))
+      Ev |= Error;
+    // Keep the handler alive across self-removal.
+    std::shared_ptr<Handler> H = It->second.H;
+    (*H)(Ev);
+  }
+  return true;
+}

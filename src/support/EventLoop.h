@@ -1,0 +1,89 @@
+//===- support/EventLoop.h - Minimal poll(2)-based reactor ------*- C++ -*-===//
+//
+// Part of the C4 serializability analyzer. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small single-threaded reactor over poll(2), built for the analysis
+/// serving tier: one thread multiplexes every listening socket and client
+/// connection (thousands of mostly-idle fds) while the CPU-bound analysis
+/// work runs on a ThreadPool. Handlers are level-triggered callbacks keyed
+/// by fd; interest is a Read/Write bitmask updated as connections
+/// accumulate or drain buffered replies.
+///
+/// Threading model: `add`, `setInterest`, `remove` and `runOnce` belong to
+/// the loop thread. The *only* cross-thread entry point is `post`, which
+/// enqueues a function and wakes the poller through a self-pipe — worker
+/// threads use it to hand completed replies back to the loop, and signal
+/// handlers write to the same style of pipe (a one-byte write is
+/// async-signal-safe where a condition variable is not).
+///
+/// The owner drives the loop (`while (...) Loop.runOnce(timeoutMs)`)
+/// instead of a captive run(): the serving tier re-evaluates drain progress
+/// and deadlines between iterations.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef C4_SUPPORT_EVENTLOOP_H
+#define C4_SUPPORT_EVENTLOOP_H
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+namespace c4 {
+
+class EventLoop {
+public:
+  /// Interest / event bitmask. Error is only ever delivered, never
+  /// requested; POLLHUP surfaces as Read so handlers observe EOF from
+  /// read() the normal way.
+  enum Event : unsigned { Read = 1, Write = 2, Error = 4 };
+  using Handler = std::function<void(unsigned Events)>;
+
+  EventLoop();
+  ~EventLoop();
+  EventLoop(const EventLoop &) = delete;
+  EventLoop &operator=(const EventLoop &) = delete;
+
+  /// False when the wake pipe could not be created; the loop is unusable.
+  bool ok() const { return WakeRead >= 0; }
+
+  /// Registers \p Fd with the given interest; replaces any prior handler.
+  void add(int Fd, unsigned Interest, Handler H);
+
+  /// Updates the interest mask of a registered fd (no-op if unknown).
+  void setInterest(int Fd, unsigned Interest);
+
+  /// Deregisters \p Fd (no-op if unknown). Does not close the fd.
+  void remove(int Fd);
+
+  /// Number of registered fds (the wake pipe is not counted).
+  size_t size() const { return Watches.size(); }
+
+  /// Thread-safe: queues \p Fn to run on the loop thread during the next
+  /// runOnce iteration (before fd dispatch) and wakes the poller.
+  void post(std::function<void()> Fn);
+
+  /// One iteration: waits up to \p TimeoutMs (-1 = indefinitely) for
+  /// events, runs posted functions, then dispatches fd handlers. Returns
+  /// false only on an unrecoverable poll error (EINTR is a normal wake).
+  bool runOnce(int TimeoutMs);
+
+private:
+  struct Watch {
+    unsigned Interest = 0;
+    std::shared_ptr<Handler> H; ///< shared so a handler may remove itself
+  };
+  std::unordered_map<int, Watch> Watches;
+  int WakeRead = -1, WakeWrite = -1;
+  std::mutex PostMu;
+  std::vector<std::function<void()>> Posted;
+};
+
+} // namespace c4
+
+#endif // C4_SUPPORT_EVENTLOOP_H

@@ -22,11 +22,13 @@
 
 #include "gtest/gtest.h"
 
+#include <atomic>
 #include <cstdio>
 #include <dirent.h>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 using namespace c4;
@@ -363,6 +365,74 @@ TEST(AnalysisCacheTest, CorruptVerdictFallsBackColdAndRepairs) {
       analyzeCached(*P.Program->History, O, *P.Program->Registry, &Cache);
   EXPECT_TRUE(PR2.CacheHit);
   EXPECT_EQ(serializeResult(PR2.R), serializeResult(PR.R));
+}
+
+/// The stampede contract behind c4-serve's single-flight layer: many
+/// threads requesting one fingerprint through a shared AnalysisCache cost
+/// exactly one backend run, and every thread gets the identical blob —
+/// whether it rode the flight or hit the disk right after the leader
+/// stored.
+TEST(AnalysisCacheTest, ConcurrentStampedeRunsBackendOnce) {
+  std::string Path =
+      std::string(C4_SOURCE_DIR) + "/examples/c4l/fig11_add_follower.c4l";
+  CompileResult P = compileC4L(readFile(Path));
+  ASSERT_TRUE(P.ok());
+  PassOptions PassOpts;
+  PassOpts.Lint = false;
+  ASSERT_TRUE(runPasses(*P.Program, PassOpts).Ok);
+
+  std::string Dir = freshDir("stampede");
+  AnalysisCache Cache(Dir);
+  ASSERT_TRUE(Cache.enabled());
+
+  constexpr unsigned N = 8;
+  std::atomic<unsigned> Ready{0};
+  std::atomic<bool> Go{false};
+  std::vector<std::string> Blobs(N);
+  std::vector<std::thread> Threads;
+  for (unsigned I = 0; I != N; ++I)
+    Threads.emplace_back([&, I] {
+      ++Ready;
+      while (!Go.load(std::memory_order_acquire))
+        std::this_thread::yield();
+      AnalyzerOptions O;
+      PipelineResult PR =
+          analyzeCached(*P.Program->History, O, *P.Program->Registry, &Cache);
+      Blobs[I] = serializeResult(PR.R);
+    });
+  while (Ready.load() != N)
+    std::this_thread::yield();
+  Go.store(true, std::memory_order_release);
+  for (std::thread &T : Threads)
+    T.join();
+
+  EXPECT_EQ(Cache.backendRuns(), 1u);
+  // Everyone who did not lead either waited on the flight or hit the
+  // stored verdict — nothing fell through to a second analysis.
+  EXPECT_EQ(Cache.verdictHits() + Cache.flightWaits(), N - 1);
+  for (unsigned I = 1; I != N; ++I)
+    EXPECT_EQ(Blobs[0], Blobs[I]);
+}
+
+/// flush() persists oracle snapshot growth and is idempotent — the serving
+/// tier calls it on graceful drain.
+TEST(AnalysisCacheTest, FlushPersistsOracleGrowth) {
+  std::string Path =
+      std::string(C4_SOURCE_DIR) + "/examples/c4l/fig1_put_get.c4l";
+  std::string Dir = freshDir("flush");
+  size_t Entries = 0;
+  {
+    AnalysisCache Cache(Dir);
+    CompileResult P = compileC4L(readFile(Path));
+    ASSERT_TRUE(P.ok());
+    AnalyzerOptions O;
+    analyzeCached(*P.Program->History, O, *P.Program->Registry, &Cache);
+    Entries = Cache.oracleEntries();
+    Cache.flush();
+    Cache.flush(); // idempotent
+  }
+  AnalysisCache Reopened(Dir);
+  EXPECT_EQ(Reopened.oracleEntries(), Entries);
 }
 
 } // namespace

@@ -13,18 +13,34 @@
 /// warm stats output is byte-identical to cold modulo the per-run frontend
 /// timing lines, and exit codes are preserved.
 ///
+/// The ServeTcp/ServeUnix tests exercise the socket serving tier against
+/// hostile and concurrent clients: abrupt RST disconnects mid-request
+/// (the reply is counted dropped, the server lives), half-written
+/// requests, a stampede of connections on one analysis fingerprint
+/// (single-flight: exactly one backend run), admission-control
+/// backpressure, and graceful drain on SIGTERM (every in-flight request
+/// still answered, exit 0).
+///
 //===----------------------------------------------------------------------===//
 
 #include "gtest/gtest.h"
 
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <vector>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
 #include <sys/wait.h>
 #include <unistd.h>
-#include <vector>
 
 namespace {
 
@@ -225,6 +241,364 @@ TEST(CliCache, WarmStatsByteIdenticalAndExitPreserved) {
   std::string ColdFiltered = Filter(ColdOut);
   EXPECT_FALSE(ColdFiltered.empty());
   EXPECT_EQ(ColdFiltered, Filter(WarmOut));
+}
+
+//===----------------------------------------------------------------------===//
+// The socket serving tier.
+//===----------------------------------------------------------------------===//
+
+/// A c4-serve child process listening on a socket. Kills the child if a
+/// test bails before shutting it down cleanly.
+struct ServeProc {
+  pid_t Pid = -1;
+  int Port = 0; ///< TCP port, when --tcp was used
+  std::string ErrPath;
+
+  ~ServeProc() {
+    if (Pid > 0) {
+      ::kill(Pid, SIGKILL);
+      int St;
+      ::waitpid(Pid, &St, 0);
+    }
+  }
+
+  std::string errLog() const {
+    std::ifstream In(ErrPath);
+    std::stringstream SS;
+    SS << In.rdbuf();
+    return SS.str();
+  }
+
+  /// Reaps the child (it must exit within ~10s) and returns its exit code,
+  /// or -1 on timeout/abnormal death.
+  int waitExit() {
+    for (int I = 0; I < 1000; ++I) {
+      int St;
+      pid_t R = ::waitpid(Pid, &St, WNOHANG);
+      if (R == Pid) {
+        Pid = -1;
+        return WIFEXITED(St) ? WEXITSTATUS(St) : -1;
+      }
+      ::usleep(10 * 1000);
+    }
+    return -1;
+  }
+};
+
+/// Spawns `c4-serve <Flags>` and waits until its "listening on" stderr
+/// line appears; for --tcp ...:0 servers, parses the kernel-chosen port.
+ServeProc spawnServe(const char *Name, const std::string &Flags) {
+  ServeProc S;
+  S.ErrPath = testing::TempDir() + Name + ".err." + std::to_string(::getpid());
+  // `exec` so the pid is c4-serve itself, not the shell — the drain test
+  // sends it SIGTERM.
+  std::string Cmd =
+      std::string("exec ") + C4_SERVE_PATH + " " + Flags + " 2> " + S.ErrPath;
+  pid_t Pid = ::fork();
+  if (Pid == 0) {
+    ::execl("/bin/sh", "sh", "-c", Cmd.c_str(), static_cast<char *>(nullptr));
+    _exit(127);
+  }
+  S.Pid = Pid;
+  bool Tcp = Flags.find("--tcp") != std::string::npos;
+  for (int I = 0; I < 400; ++I) {
+    std::string Log = S.errLog();
+    size_t Pos = Log.find("listening on ");
+    if (Pos != std::string::npos) {
+      if (!Tcp)
+        return S;
+      size_t Colon = Log.find(':', Pos);
+      if (Colon != std::string::npos) {
+        S.Port = std::atoi(Log.c_str() + Colon + 1);
+        return S;
+      }
+    }
+    ::usleep(25 * 1000);
+  }
+  ADD_FAILURE() << "server did not come up; stderr: " << S.errLog();
+  return S;
+}
+
+int connectTcp(int Port) {
+  int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (Fd < 0)
+    return -1;
+  sockaddr_in Addr;
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sin_family = AF_INET;
+  Addr.sin_port = htons(static_cast<uint16_t>(Port));
+  ::inet_pton(AF_INET, "127.0.0.1", &Addr.sin_addr);
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0) {
+    ::close(Fd);
+    return -1;
+  }
+  return Fd;
+}
+
+int connectUnix(const std::string &Path) {
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0)
+    return -1;
+  sockaddr_un Addr;
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sun_family = AF_UNIX;
+  std::memcpy(Addr.sun_path, Path.c_str(), Path.size() + 1);
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0) {
+    ::close(Fd);
+    return -1;
+  }
+  return Fd;
+}
+
+void sendAll(int Fd, const std::string &Bytes) {
+  size_t Off = 0;
+  while (Off < Bytes.size()) {
+    ssize_t N =
+        ::send(Fd, Bytes.data() + Off, Bytes.size() - Off, MSG_NOSIGNAL);
+    if (N < 0 && errno == EINTR)
+      continue;
+    ASSERT_GT(N, 0) << "send: " << std::strerror(errno);
+    Off += static_cast<size_t>(N);
+  }
+}
+
+/// Reads one newline-terminated reply (newline stripped). Empty string on
+/// EOF or after \p TimeoutMs of silence.
+std::string recvLine(int Fd, int TimeoutMs = 30000) {
+  std::string Line;
+  for (;;) {
+    char C;
+    ssize_t N = ::recv(Fd, &C, 1, MSG_DONTWAIT);
+    if (N == 1) {
+      if (C == '\n')
+        return Line;
+      Line += C;
+      continue;
+    }
+    if (N == 0)
+      return "";
+    if (errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR)
+      return "";
+    pollfd P{Fd, POLLIN, 0};
+    if (::poll(&P, 1, TimeoutMs) <= 0)
+      return "";
+  }
+}
+
+/// Closes \p Fd with SO_LINGER{on,0}: the kernel sends RST, the hardest
+/// form of client disappearance.
+void rstClose(int Fd) {
+  linger L{1, 0};
+  ::setsockopt(Fd, SOL_SOCKET, SO_LINGER, &L, sizeof(L));
+  ::close(Fd);
+}
+
+/// Extracts the integer value of \p Key from a one-line JSON reply.
+long statField(const std::string &Reply, const std::string &Key) {
+  size_t Pos = Reply.find("\"" + Key + "\": ");
+  if (Pos == std::string::npos)
+    return -1;
+  return std::atol(Reply.c_str() + Pos + Key.size() + 4);
+}
+
+/// One stats round-trip on an existing connection.
+std::string statsOn(int Fd) {
+  sendAll(Fd, "{\"id\": \"st\", \"op\": \"stats\"}\n");
+  return recvLine(Fd);
+}
+
+TEST(ServeTcp, SurvivesAbruptDisconnectAndCountsDroppedReply) {
+  ServeProc S = spawnServe("tcp_rst", "--tcp 127.0.0.1:0 --workers 2");
+  ASSERT_GT(S.Port, 0);
+
+  // Pipeline a ping with the analysis request: the pong proves the server
+  // has read (and admitted) the batch. Then vanish with an RST before the
+  // analysis can possibly have been delivered.
+  int Victim = connectTcp(S.Port);
+  ASSERT_GE(Victim, 0);
+  sendAll(Victim, "{\"id\": \"p\", \"op\": \"ping\"}\n{\"id\": \"a\", "
+                  "\"file\": \"" +
+                      examplePath("fig11_add_follower.c4l") + "\"}\n");
+  EXPECT_TRUE(contains(recvLine(Victim), "\"pong\": true"));
+  rstClose(Victim);
+
+  // The server must still be fully alive (no SIGPIPE death) and must
+  // eventually account the undeliverable reply.
+  int Probe = connectTcp(S.Port);
+  ASSERT_GE(Probe, 0);
+  long Dropped = 0;
+  for (int I = 0; I < 600 && Dropped < 1; ++I) {
+    std::string Stats = statsOn(Probe);
+    ASSERT_TRUE(contains(Stats, "\"ok\": true")) << Stats;
+    Dropped = statField(Stats, "replies_dropped");
+    if (Dropped < 1)
+      ::usleep(50 * 1000);
+  }
+  EXPECT_EQ(Dropped, 1);
+
+  sendAll(Probe, "{\"id\": 9, \"op\": \"shutdown\"}\n");
+  EXPECT_TRUE(contains(recvLine(Probe), "\"shutdown\": true"));
+  ::close(Probe);
+  EXPECT_EQ(S.waitExit(), 0);
+}
+
+TEST(ServeTcp, HalfWrittenRequestThenCloseIsHarmless) {
+  ServeProc S = spawnServe("tcp_half", "--tcp 127.0.0.1:0 --workers 1");
+  ASSERT_GT(S.Port, 0);
+
+  // A request cut off mid-line with no newline, then a clean close: no
+  // reply owed, nothing dropped, nothing leaked.
+  int Half = connectTcp(S.Port);
+  ASSERT_GE(Half, 0);
+  sendAll(Half, "{\"id\": 1, \"program\": \"container ma");
+  ::close(Half);
+
+  int Probe = connectTcp(S.Port);
+  ASSERT_GE(Probe, 0);
+  sendAll(Probe, "{\"id\": 2, \"op\": \"ping\"}\n");
+  EXPECT_TRUE(contains(recvLine(Probe), "\"pong\": true"));
+  std::string Stats = statsOn(Probe);
+  EXPECT_EQ(statField(Stats, "replies_dropped"), 0) << Stats;
+  EXPECT_EQ(statField(Stats, "connections"), 2) << Stats;
+
+  sendAll(Probe, "{\"id\": 3, \"op\": \"shutdown\"}\n");
+  EXPECT_TRUE(contains(recvLine(Probe), "\"shutdown\": true"));
+  ::close(Probe);
+  EXPECT_EQ(S.waitExit(), 0);
+}
+
+TEST(ServeTcp, StampedeOnOneFingerprintRunsBackendOnce) {
+  std::string CacheDir = freshCacheDir("tcp_stampede");
+  ServeProc S = spawnServe("tcp_stampede", "--tcp 127.0.0.1:0 --workers 8 "
+                                           "--cache-dir " +
+                                               CacheDir);
+  ASSERT_GT(S.Port, 0);
+
+  // Eight connections hammer the same (program, options) fingerprint at
+  // once. Between the single-flight layer and the verdict cache, the
+  // backend may run exactly once; every reply carries the same verdict.
+  constexpr int N = 8;
+  std::string Req = "{\"id\": 1, \"file\": \"" +
+                    examplePath("fig11_add_follower.c4l") + "\"}\n";
+  int Fds[N];
+  for (int I = 0; I < N; ++I) {
+    Fds[I] = connectTcp(S.Port);
+    ASSERT_GE(Fds[I], 0);
+  }
+  for (int I = 0; I < N; ++I)
+    sendAll(Fds[I], Req);
+  std::vector<std::string> Replies;
+  for (int I = 0; I < N; ++I) {
+    Replies.push_back(recvLine(Fds[I]));
+    EXPECT_TRUE(contains(Replies.back(), "\"ok\": true")) << Replies.back();
+    ::close(Fds[I]);
+  }
+  for (int I = 1; I < N; ++I)
+    EXPECT_EQ(stripTimings(Replies[0]), stripTimings(Replies[I]));
+
+  int Probe = connectTcp(S.Port);
+  ASSERT_GE(Probe, 0);
+  std::string Stats = statsOn(Probe);
+  EXPECT_EQ(statField(Stats, "backend_runs"), 1) << Stats;
+  EXPECT_EQ(statField(Stats, "replies_dropped"), 0) << Stats;
+
+  sendAll(Probe, "{\"id\": 2, \"op\": \"shutdown\"}\n");
+  EXPECT_TRUE(contains(recvLine(Probe), "\"shutdown\": true"));
+  ::close(Probe);
+  EXPECT_EQ(S.waitExit(), 0);
+}
+
+TEST(ServeTcp, OverloadGetsBackpressureReplyNotQueue) {
+  ServeProc S = spawnServe("tcp_overload",
+                           "--tcp 127.0.0.1:0 --workers 1 --max-inflight 1");
+  ASSERT_GT(S.Port, 0);
+
+  // Three analyses in one packet against a one-slot server: the first is
+  // admitted; the loop thread sees the other two while it is still in
+  // flight and bounces them immediately with the backpressure shape.
+  int Fd = connectTcp(S.Port);
+  ASSERT_GE(Fd, 0);
+  std::string File = examplePath("fig11_add_follower.c4l");
+  sendAll(Fd, "{\"id\": 1, \"file\": \"" + File + "\"}\n{\"id\": 2, \"file\": \"" +
+                  File + "\"}\n{\"id\": 3, \"file\": \"" + File + "\"}\n");
+  std::vector<std::string> Lines;
+  for (int I = 0; I < 3; ++I)
+    Lines.push_back(recvLine(Fd));
+  std::string Admitted = replyFor(Lines, "1");
+  EXPECT_TRUE(contains(Admitted, "\"ok\": true")) << Admitted;
+  for (const char *Id : {"2", "3"}) {
+    std::string Bounced = replyFor(Lines, Id);
+    EXPECT_TRUE(contains(Bounced, "\"ok\": false")) << Bounced;
+    EXPECT_TRUE(contains(Bounced, "\"overloaded\": true")) << Bounced;
+  }
+  std::string Stats = statsOn(Fd);
+  EXPECT_EQ(statField(Stats, "overload_rejects"), 2) << Stats;
+
+  sendAll(Fd, "{\"id\": 4, \"op\": \"shutdown\"}\n");
+  EXPECT_TRUE(contains(recvLine(Fd), "\"shutdown\": true"));
+  ::close(Fd);
+  EXPECT_EQ(S.waitExit(), 0);
+}
+
+TEST(ServeTcp, SigtermDrainsInflightThenExitsZero) {
+  std::string CacheDir = freshCacheDir("tcp_drain");
+  ServeProc S = spawnServe("tcp_drain", "--tcp 127.0.0.1:0 --workers 2 "
+                                        "--cache-dir " +
+                                            CacheDir);
+  ASSERT_GT(S.Port, 0);
+
+  // Three clients each get an analysis admitted (the pong proves it was
+  // read), then SIGTERM lands mid-flight. Graceful drain: all three
+  // replies are still delivered, then the server exits 0.
+  constexpr int N = 3;
+  const char *Files[N] = {"fig11_add_follower.c4l", "fig1_put_get.c4l",
+                          "uniqueness_bug.c4l"};
+  int Fds[N];
+  for (int I = 0; I < N; ++I) {
+    Fds[I] = connectTcp(S.Port);
+    ASSERT_GE(Fds[I], 0);
+    sendAll(Fds[I], "{\"id\": \"p\", \"op\": \"ping\"}\n{\"id\": \"a\", "
+                    "\"file\": \"" +
+                        examplePath(Files[I]) + "\"}\n");
+    EXPECT_TRUE(contains(recvLine(Fds[I]), "\"pong\": true"));
+  }
+  ASSERT_EQ(::kill(S.Pid, SIGTERM), 0);
+
+  for (int I = 0; I < N; ++I) {
+    std::string Reply = recvLine(Fds[I]);
+    EXPECT_TRUE(contains(Reply, "\"id\": \"a\"")) << Reply;
+    EXPECT_TRUE(contains(Reply, "\"ok\": true")) << Reply;
+    // Drain closes the connection once everything owed is delivered.
+    EXPECT_EQ(recvLine(Fds[I]), "");
+    ::close(Fds[I]);
+  }
+  EXPECT_EQ(S.waitExit(), 0);
+  EXPECT_TRUE(contains(S.errLog(), "draining (signal)")) << S.errLog();
+  // Drain refuses new connections (accept sockets are closed first).
+  EXPECT_LT(connectTcp(S.Port), 0);
+}
+
+TEST(ServeUnix, BasicFlowOverUnixSocket) {
+  std::string Path = testing::TempDir() + "c4serve." +
+                     std::to_string(::getpid()) + ".sock";
+  ServeProc S = spawnServe("unix_basic", "--socket " + Path + " --workers 2");
+  ASSERT_GT(S.Pid, 0);
+
+  int Fd = connectUnix(Path);
+  ASSERT_GE(Fd, 0);
+  sendAll(Fd, "{\"id\": 1, \"op\": \"ping\"}\n{\"id\": 2, \"program\": "
+              "\"container map M;\\ntxn t(k) { M.put(k, 1); }\\n\"}\n");
+  EXPECT_TRUE(contains(recvLine(Fd), "\"pong\": true"));
+  std::string Reply = recvLine(Fd);
+  EXPECT_TRUE(contains(Reply, "\"ok\": true")) << Reply;
+  EXPECT_TRUE(contains(Reply, "\"serializable\": true")) << Reply;
+
+  sendAll(Fd, "{\"id\": 3, \"op\": \"shutdown\"}\n");
+  EXPECT_TRUE(contains(recvLine(Fd), "\"shutdown\": true"));
+  ::close(Fd);
+  EXPECT_EQ(S.waitExit(), 0);
+  // The socket file is removed on drain.
+  EXPECT_LT(connectUnix(Path), 0);
 }
 
 TEST(CliCache, UnusableCacheDirStillAnalyzes) {

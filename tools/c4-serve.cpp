@@ -6,21 +6,38 @@
 ///
 /// \file
 /// A long-lived analysis service: accepts JSON-lines requests on stdin (the
-/// default) or a Unix-domain socket, analyzes them concurrently on a worker
-/// pool, and replies with one JSON line per request carrying the same
-/// verdict/stats object `c4-analyze --stats-json` prints. Amortizes across
-/// requests everything a one-shot CLI run pays per invocation: process
-/// start-up, Z3 context construction (one env per worker thread, reused),
-/// oracle warm-up and — with --cache-dir — the entire back end for
-/// previously seen (program, options) pairs.
+/// default), a Unix-domain socket, or a TCP socket; analyzes them
+/// concurrently on a worker pool; and replies with one JSON line per
+/// request carrying the same verdict/stats object `c4-analyze --stats-json`
+/// prints. Amortizes across requests everything a one-shot CLI run pays per
+/// invocation: process start-up, Z3 context construction (one env per
+/// worker thread, reused), oracle warm-up and — with --cache-dir — the
+/// entire back end for previously seen (program, options) pairs.
 ///
 ///   c4-serve [options]
-///     --workers <n>     request-level worker threads (0 = hardware
-///                       concurrency; default 0)
-///     --socket <path>   listen on a Unix-domain socket instead of stdin
-///     --cache-dir <dir> persistent cross-run cache shared by all workers
-///                       (same layout and semantics as c4-analyze
-///                       --cache-dir)
+///     --workers <n>          request-level worker threads (0 = hardware
+///                            concurrency; default 0)
+///     --socket <path>        listen on a Unix-domain socket
+///     --tcp <host:port>      listen on a TCP socket (port 0 picks a free
+///                            port; the chosen address is printed to
+///                            stderr as "listening on HOST:PORT")
+///     --max-inflight <n>     admission control: maximum analysis requests
+///                            admitted concurrently; excess requests get
+///                            an immediate backpressure reply instead of
+///                            queueing unboundedly (0 = unlimited;
+///                            default 256)
+///     --drain-timeout-ms <n> graceful-drain budget after SIGTERM/SIGINT
+///                            or the shutdown op (0 = wait forever;
+///                            default 30000)
+///     --cache-dir <dir>      persistent cross-run cache shared by all
+///                            workers (same layout and semantics as
+///                            c4-analyze --cache-dir)
+///
+/// The socket modes run a single poll(2) event-loop thread (one fd per
+/// connection, no thread-per-connection) in front of the worker pool, so
+/// thousands of mostly-idle connections cost one poll set, not thousands
+/// of threads. Identical concurrent requests are collapsed by the cache's
+/// single-flight layer: one backend run per analysis fingerprint.
 ///
 /// Request object (one per line):
 ///   {"id": ..., "program": "<c4l source>"}        inline source, or
@@ -33,27 +50,42 @@
 /// "no_unique". Unlike the CLI, "threads" defaults to 1: request-level
 /// parallelism comes from --workers, and multiplying the two oversubscribes.
 ///
-/// Control requests: {"op": "ping"}, {"op": "stats"} (cache counters),
-/// {"op": "shutdown"} (drain outstanding work, reply, exit).
+/// Control requests: {"op": "ping"}, {"op": "stats"} (cache + serving
+/// counters), {"op": "shutdown"} (drain outstanding work, reply, exit).
 ///
 /// Reply (one line, completion order — match replies to requests by the
 /// echoed "id", not by position):
 ///   {"id": ..., "ok": true, "cache_hit": <bool>, "stats": {...}}
 ///   {"id": ..., "ok": false, "error": "<message>"}
+/// plus, under overload, the backpressure shape
+///   {"id": ..., "ok": false, "error": "overloaded: ...", "overloaded": true}
 ///
-/// Exit code: 0 on clean shutdown (stdin EOF or the shutdown op), 2 on
-/// usage or setup errors. Per-request failures are replies, not exits.
+/// Shutdown and drain: SIGTERM/SIGINT (socket modes) or the shutdown op
+/// stop accepting new connections, finish and deliver all in-flight work,
+/// flush the cache, and exit 0. Past --drain-timeout-ms the drain turns
+/// firm: every live request's deadline is tripped (support/Deadline), the
+/// analyses wind down to partial-but-sound verdicts, and undeliverable
+/// replies are counted as dropped. SIGPIPE is ignored process-wide — a
+/// client disconnecting mid-reply costs that client its reply (counted in
+/// "replies_dropped"), never the process.
+///
+/// Exit code: 0 on clean shutdown (stdin EOF, the shutdown op, or a drain
+/// signal), 2 on usage or setup errors. Per-request failures are replies,
+/// not exits.
 ///
 //===----------------------------------------------------------------------===//
 
 #include "analysis/Pipeline.h"
 #include "frontend/Frontend.h"
 #include "passes/PassManager.h"
+#include "support/Deadline.h"
+#include "support/EventLoop.h"
 #include "support/Json.h"
 #include "support/ThreadPool.h"
 
 #include <atomic>
 #include <cerrno>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -63,8 +95,13 @@
 #include <sstream>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -75,7 +112,9 @@ namespace {
 
 int usage(const char *Prog) {
   std::fprintf(stderr,
-               "usage: %s [--workers N] [--socket PATH] [--cache-dir DIR]\n",
+               "usage: %s [--workers N] [--socket PATH] [--tcp HOST:PORT]\n"
+               "          [--max-inflight N] [--drain-timeout-ms MS] "
+               "[--cache-dir DIR]\n",
                Prog);
   return 2;
 }
@@ -98,6 +137,14 @@ bool parseCount(const char *Flag, const char *Text, unsigned &Out) {
   return true;
 }
 
+/// Serving-layer counters surfaced by the stats op next to the cache
+/// counters. Atomics: the loop thread writes, stdin-mode pool workers read.
+struct ServerCounters {
+  std::atomic<uint64_t> Connections{0};    ///< connections accepted
+  std::atomic<uint64_t> DroppedReplies{0}; ///< replies a dead peer never got
+  std::atomic<uint64_t> Overloads{0};      ///< backpressure rejections
+};
+
 /// Renders a request id for echoing. Only strings and integers are
 /// preserved; anything else (or a missing id) echoes as null.
 std::string renderId(const JsonValue *Id) {
@@ -113,6 +160,14 @@ std::string renderId(const JsonValue *Id) {
 std::string errorReply(const std::string &Id, const std::string &Msg) {
   return "{\"id\": " + Id + ", \"ok\": false, \"error\": \"" +
          jsonEscape(Msg) + "\"}";
+}
+
+/// The admission-control backpressure reply: the request was not queued;
+/// the client should back off and retry.
+std::string overloadReply(const std::string &Id, uint64_t InFlight) {
+  return "{\"id\": " + Id + ", \"ok\": false, \"error\": \"overloaded: " +
+         std::to_string(InFlight) +
+         " requests in flight, retry later\", \"overloaded\": true}";
 }
 
 /// Collapses the multi-line stats object into one line (values never
@@ -157,6 +212,52 @@ bool readFlag(const JsonValue &Req, const char *Key, bool &Out,
   return true;
 }
 
+std::string statsReply(const std::string &Id, AnalysisCache *Cache,
+                       const ServerCounters &SC) {
+  DiskCacheStats D = Cache ? Cache->diskStats() : DiskCacheStats{};
+  char Buf[768];
+  std::snprintf(
+      Buf, sizeof(Buf),
+      "{\"id\": %s, \"ok\": true, \"cache_enabled\": %s, "
+      "\"verdict_hits\": %llu, \"verdict_misses\": %llu, "
+      "\"backend_runs\": %llu, \"single_flight_waits\": %llu, "
+      "\"disk_hits\": %llu, \"disk_misses\": %llu, "
+      "\"disk_corrupt\": %llu, \"disk_stores\": %llu, "
+      "\"oracle_entries\": %zu, "
+      "\"connections\": %llu, \"replies_dropped\": %llu, "
+      "\"overload_rejects\": %llu}",
+      Id.c_str(), Cache && Cache->enabled() ? "true" : "false",
+      static_cast<unsigned long long>(Cache ? Cache->verdictHits() : 0),
+      static_cast<unsigned long long>(Cache ? Cache->verdictMisses() : 0),
+      static_cast<unsigned long long>(Cache ? Cache->backendRuns() : 0),
+      static_cast<unsigned long long>(Cache ? Cache->flightWaits() : 0),
+      static_cast<unsigned long long>(D.Hits),
+      static_cast<unsigned long long>(D.Misses),
+      static_cast<unsigned long long>(D.Corrupt),
+      static_cast<unsigned long long>(D.Stores),
+      Cache ? Cache->oracleEntries() : size_t(0),
+      static_cast<unsigned long long>(SC.Connections.load()),
+      static_cast<unsigned long long>(SC.DroppedReplies.load()),
+      static_cast<unsigned long long>(SC.Overloads.load()));
+  return Buf;
+}
+
+/// Replies for the cheap control operations (ping / stats / unknown op).
+/// Callers intercept "shutdown" before getting here — it needs the serving
+/// loop's drain machinery, not a worker.
+std::string controlReply(const JsonValue &Req, const std::string &Id,
+                         AnalysisCache *Cache, const ServerCounters &SC) {
+  const JsonValue *Op = Req.get("op");
+  const std::string *Name = Op ? Op->asString() : nullptr;
+  if (!Name)
+    return errorReply(Id, "op expects a string");
+  if (*Name == "ping")
+    return "{\"id\": " + Id + ", \"ok\": true, \"pong\": true}";
+  if (*Name == "stats")
+    return statsReply(Id, Cache, SC);
+  return errorReply(Id, "unknown op '" + *Name + "'");
+}
+
 /// One Z3 environment per pool thread, reused across the requests the
 /// thread serves (context construction costs more than a typical small
 /// solve). Sound because AnalyzerOptions::ReuseEnv is only handed to the
@@ -165,7 +266,13 @@ bool readFlag(const JsonValue &Req, const char *Key, bool &Out,
 thread_local std::unique_ptr<Z3Env> WorkerEnv;
 
 /// Handles one request line end to end; returns the reply line.
-std::string handleRequest(const std::string &Line, AnalysisCache *Cache) {
+/// \p RequestDeadline, when given, is armed from the request's deadline_ms
+/// and governs the analysis — the serving loop keeps a handle so graceful
+/// drain can trip it (the run then winds down to a partial-but-sound
+/// verdict instead of holding up the exit).
+std::string handleRequest(const std::string &Line, AnalysisCache *Cache,
+                          const ServerCounters &SC,
+                          Deadline *RequestDeadline = nullptr) {
   std::string Err;
   std::optional<JsonValue> Req = parseJson(Line, Err);
   if (!Req)
@@ -174,37 +281,11 @@ std::string handleRequest(const std::string &Line, AnalysisCache *Cache) {
   if (!Req->asObject())
     return errorReply(Id, "request must be a JSON object");
 
-  // Control operations.
-  if (const JsonValue *Op = Req->get("op")) {
-    const std::string *Name = Op->asString();
-    if (!Name)
-      return errorReply(Id, "op expects a string");
-    if (*Name == "ping")
-      return "{\"id\": " + Id + ", \"ok\": true, \"pong\": true}";
-    if (*Name == "stats") {
-      DiskCacheStats D = Cache ? Cache->diskStats() : DiskCacheStats{};
-      char Buf[256];
-      std::snprintf(
-          Buf, sizeof(Buf),
-          "{\"id\": %s, \"ok\": true, \"cache_enabled\": %s, "
-          "\"verdict_hits\": %llu, \"verdict_misses\": %llu, "
-          "\"disk_hits\": %llu, \"disk_misses\": %llu, "
-          "\"disk_corrupt\": %llu, \"disk_stores\": %llu, "
-          "\"oracle_entries\": %zu}",
-          Id.c_str(), Cache && Cache->enabled() ? "true" : "false",
-          static_cast<unsigned long long>(Cache ? Cache->verdictHits() : 0),
-          static_cast<unsigned long long>(Cache ? Cache->verdictMisses() : 0),
-          static_cast<unsigned long long>(D.Hits),
-          static_cast<unsigned long long>(D.Misses),
-          static_cast<unsigned long long>(D.Corrupt),
-          static_cast<unsigned long long>(D.Stores),
-          Cache ? Cache->oracleEntries() : size_t(0));
-      return Buf;
-    }
-    // "shutdown" is interpreted by the serving loops; reaching here means
-    // an unknown op.
-    return errorReply(Id, "unknown op '" + *Name + "'");
-  }
+  // Control operations ("shutdown" is interpreted by the serving loops;
+  // reaching controlReply with it means it arrived somewhere unexpected
+  // and reads as an unknown op — the loops catch it first).
+  if (Req->get("op"))
+    return controlReply(*Req, Id, Cache, SC);
 
   // Source acquisition: inline program or server-side file.
   std::string Source, Label;
@@ -276,6 +357,14 @@ std::string handleRequest(const std::string &Line, AnalysisCache *Cache) {
   Options.Features.AsymmetricAntiDeps = !NoAsym;
   Options.Features.UniqueValues = !NoUnique;
 
+  // Per-request deadline: DeadlineMs still describes the budget (it is part
+  // of the verdict fingerprint); the externally owned object lets the
+  // serving loop cancel the run during a firm drain.
+  if (RequestDeadline) {
+    RequestDeadline->armIn(Options.DeadlineMs);
+    Options.ExternalDeadline = RequestDeadline;
+  }
+
   CompileResult Compiled = compileC4L(Source);
   if (!Compiled.ok())
     return errorReply(Id, Compiled.Error);
@@ -339,7 +428,8 @@ bool isShutdown(const std::string &Line, std::string &IdOut) {
 }
 
 /// Serves the stdin/stdout JSON-lines session. Returns the exit code.
-int serveStdin(unsigned Workers, AnalysisCache *Cache) {
+int serveStdin(unsigned Workers, AnalysisCache *Cache,
+               ServerCounters &Counters) {
   std::mutex OutMu;
   bool SawShutdown = false;
   {
@@ -353,8 +443,8 @@ int serveStdin(unsigned Workers, AnalysisCache *Cache) {
         SawShutdown = true;
         break;
       }
-      Pool.submit([Line, Cache, &OutMu] {
-        std::string Reply = handleRequest(Line, Cache);
+      Pool.submit([Line, Cache, &OutMu, &Counters] {
+        std::string Reply = handleRequest(Line, Cache, Counters);
         std::lock_guard<std::mutex> Lock(OutMu);
         std::fputs(Reply.c_str(), stdout);
         std::fputc('\n', stdout);
@@ -363,156 +453,551 @@ int serveStdin(unsigned Workers, AnalysisCache *Cache) {
     }
     // ~ThreadPool drains the queue: every accepted request is answered.
   }
+  if (Cache)
+    Cache->flush();
   if (SawShutdown)
     std::printf("{\"id\": null, \"ok\": true, \"shutdown\": true}\n");
   return 0;
 }
 
-/// One accepted socket connection: reads request lines, submits them to
-/// the shared pool, writes replies in completion order. The connection
-/// closes only after its outstanding requests are answered.
-struct Connection {
-  int Fd;
-  std::mutex WriteMu;
-  std::mutex PendingMu;
-  std::condition_variable PendingCv;
-  unsigned Pending = 0;
+//===----------------------------------------------------------------------===//
+// The socket serving tier: poll event loop + worker pool.
+//===----------------------------------------------------------------------===//
 
-  void writeLine(const std::string &Reply) {
-    std::lock_guard<std::mutex> Lock(WriteMu);
-    std::string Out = Reply + "\n";
-    size_t Off = 0;
-    while (Off < Out.size()) {
-      ssize_t N = ::write(Fd, Out.data() + Off, Out.size() - Off);
-      if (N <= 0)
-        return; // peer went away; drop the reply
-      Off += static_cast<size_t>(N);
-    }
-  }
+/// Hostile-client guard: a request line may not exceed this many bytes.
+constexpr size_t kMaxLineBytes = 32u << 20;
+/// Grace after a firm drain cancels in-flight work: how long the loop keeps
+/// delivering the wind-down replies before force-closing.
+constexpr unsigned kDrainGraceMs = 2000;
 
-  void taskDone() {
-    std::lock_guard<std::mutex> Lock(PendingMu);
-    --Pending;
-    PendingCv.notify_all();
-  }
+/// Write end of the stop-signal self-pipe. A one-byte write is the only
+/// async-signal-safe way to hand SIGTERM to the event loop.
+std::atomic<int> StopSignalFd{-1};
 
-  void waitDrained() {
-    std::unique_lock<std::mutex> Lock(PendingMu);
-    PendingCv.wait(Lock, [this] { return Pending == 0; });
+extern "C" void onStopSignal(int) {
+  int Fd = StopSignalFd.load(std::memory_order_relaxed);
+  if (Fd >= 0) {
+    char B = 1;
+    ssize_t N = ::write(Fd, &B, 1);
+    (void)N;
   }
+}
+
+/// One client connection's loop-thread state. Replies buffer in WriteBuf
+/// (WriteOff marks the sent prefix) and drain as the peer accepts them;
+/// a connection with outstanding requests survives read-EOF so completed
+/// analyses still reach a half-closed but reading peer.
+struct Conn {
+  int Fd = -1;
+  uint64_t Id = 0;
+  std::string ReadBuf;
+  std::string WriteBuf;
+  size_t WriteOff = 0;
+  unsigned Pending = 0; ///< submitted analyses not yet delivered
+  bool Eof = false;     ///< peer closed its write side (or poisoned input)
+  bool CloseWhenFlushed = false;
+  bool ShutdownWanted = false, ShutdownAcked = false;
+  std::string ShutdownId;
+
+  size_t unsent() const { return WriteBuf.size() - WriteOff; }
 };
 
-std::atomic<bool> StopRequested{false};
-std::atomic<int> ListenFdForStop{-1};
+class Server {
+public:
+  Server(unsigned Workers, unsigned MaxInflightArg, unsigned DrainMsArg,
+         AnalysisCache *CacheArg, ServerCounters &CountersArg)
+      : MaxInflight(MaxInflightArg), DrainTimeoutMs(DrainMsArg),
+        Cache(CacheArg), Counters(CountersArg), Pool(Workers) {}
 
-void serveConnection(std::shared_ptr<Connection> Conn, ThreadPool &Pool,
-                     AnalysisCache *Cache) {
-  FILE *In = ::fdopen(::dup(Conn->Fd), "r");
-  if (In) {
-    char *LinePtr = nullptr;
-    size_t Cap = 0;
-    ssize_t Len;
-    while ((Len = ::getline(&LinePtr, &Cap, In)) > 0) {
-      std::string Line(LinePtr, static_cast<size_t>(Len));
-      while (!Line.empty() && (Line.back() == '\n' || Line.back() == '\r'))
-        Line.pop_back();
-      if (Line.empty())
+  ~Server() {
+    StopSignalFd.store(-1);
+    if (SigPipe[0] >= 0)
+      ::close(SigPipe[0]);
+    if (SigPipe[1] >= 0)
+      ::close(SigPipe[1]);
+  }
+
+  bool ok() const { return Loop.ok(); }
+
+  bool listenUnix(const std::string &Path) {
+    int Fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+    if (Fd < 0) {
+      std::fprintf(stderr, "error: socket: %s\n", std::strerror(errno));
+      return false;
+    }
+    sockaddr_un Addr;
+    std::memset(&Addr, 0, sizeof(Addr));
+    Addr.sun_family = AF_UNIX;
+    if (Path.size() >= sizeof(Addr.sun_path)) {
+      std::fprintf(stderr, "error: socket path too long\n");
+      ::close(Fd);
+      return false;
+    }
+    std::memcpy(Addr.sun_path, Path.c_str(), Path.size() + 1);
+    ::unlink(Path.c_str()); // stale socket from a previous run
+    if (::bind(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0 ||
+        ::listen(Fd, 1024) < 0) {
+      std::fprintf(stderr, "error: cannot listen on %s: %s\n", Path.c_str(),
+                   std::strerror(errno));
+      ::close(Fd);
+      return false;
+    }
+    UnixPath = Path;
+    ListenFds.push_back(Fd);
+    std::fprintf(stderr, "c4-serve: listening on %s\n", Path.c_str());
+    return true;
+  }
+
+  /// \p Spec is HOST:PORT; port 0 lets the kernel pick (the bound address
+  /// is printed, which is how harnesses discover the port).
+  bool listenTcp(const std::string &Spec) {
+    size_t Colon = Spec.rfind(':');
+    if (Colon == std::string::npos) {
+      std::fprintf(stderr, "error: --tcp expects HOST:PORT, got '%s'\n",
+                   Spec.c_str());
+      return false;
+    }
+    std::string Host = Spec.substr(0, Colon);
+    std::string Port = Spec.substr(Colon + 1);
+    if (Host.empty())
+      Host = "127.0.0.1";
+
+    addrinfo Hints;
+    std::memset(&Hints, 0, sizeof(Hints));
+    Hints.ai_family = AF_UNSPEC;
+    Hints.ai_socktype = SOCK_STREAM;
+    Hints.ai_flags = AI_PASSIVE | AI_NUMERICSERV;
+    addrinfo *Res = nullptr;
+    int Rc = ::getaddrinfo(Host.c_str(), Port.c_str(), &Hints, &Res);
+    if (Rc != 0) {
+      std::fprintf(stderr, "error: cannot resolve %s: %s\n", Spec.c_str(),
+                   ::gai_strerror(Rc));
+      return false;
+    }
+    int Fd = -1;
+    for (addrinfo *AI = Res; AI; AI = AI->ai_next) {
+      Fd = ::socket(AI->ai_family, AI->ai_socktype | SOCK_NONBLOCK | SOCK_CLOEXEC,
+                    AI->ai_protocol);
+      if (Fd < 0)
         continue;
-      std::string ShutdownId;
-      if (isShutdown(Line, ShutdownId)) {
-        Conn->waitDrained();
-        Conn->writeLine("{\"id\": " + ShutdownId +
-                        ", \"ok\": true, \"shutdown\": true}");
-        StopRequested.store(true);
-        // Unblock the accept loop.
-        int LFd = ListenFdForStop.exchange(-1);
-        if (LFd >= 0)
-          ::shutdown(LFd, SHUT_RDWR);
+      int One = 1;
+      ::setsockopt(Fd, SOL_SOCKET, SO_REUSEADDR, &One, sizeof(One));
+      if (::bind(Fd, AI->ai_addr, AI->ai_addrlen) == 0 &&
+          ::listen(Fd, 1024) == 0)
         break;
-      }
-      {
-        std::lock_guard<std::mutex> Lock(Conn->PendingMu);
-        ++Conn->Pending;
-      }
-      Pool.submit([Line, Conn, Cache] {
-        Conn->writeLine(handleRequest(Line, Cache));
-        Conn->taskDone();
+      ::close(Fd);
+      Fd = -1;
+    }
+    ::freeaddrinfo(Res);
+    if (Fd < 0) {
+      std::fprintf(stderr, "error: cannot listen on %s: %s\n", Spec.c_str(),
+                   std::strerror(errno));
+      return false;
+    }
+
+    sockaddr_storage Bound;
+    socklen_t Len = sizeof(Bound);
+    char HostBuf[NI_MAXHOST] = "?", PortBuf[NI_MAXSERV] = "?";
+    if (::getsockname(Fd, reinterpret_cast<sockaddr *>(&Bound), &Len) == 0)
+      ::getnameinfo(reinterpret_cast<sockaddr *>(&Bound), Len, HostBuf,
+                    sizeof(HostBuf), PortBuf, sizeof(PortBuf),
+                    NI_NUMERICHOST | NI_NUMERICSERV);
+    ListenFds.push_back(Fd);
+    std::fprintf(stderr, "c4-serve: listening on %s:%s\n", HostBuf, PortBuf);
+    return true;
+  }
+
+  int run() {
+    // Stop-signal plumbing: SIGTERM/SIGINT write one byte; the loop reads
+    // it and starts the drain. No SA_RESTART — poll() must wake.
+    if (::pipe(SigPipe) == 0) {
+      for (int Fd : SigPipe)
+        ::fcntl(Fd, F_SETFL, ::fcntl(Fd, F_GETFL) | O_NONBLOCK);
+      StopSignalFd.store(SigPipe[1]);
+      struct sigaction SA;
+      std::memset(&SA, 0, sizeof(SA));
+      SA.sa_handler = onStopSignal;
+      ::sigemptyset(&SA.sa_mask);
+      ::sigaction(SIGTERM, &SA, nullptr);
+      ::sigaction(SIGINT, &SA, nullptr);
+      Loop.add(SigPipe[0], EventLoop::Read, [this](unsigned) {
+        char Buf[64];
+        while (::read(SigPipe[0], Buf, sizeof(Buf)) > 0) {
+        }
+        startDrain("signal");
       });
     }
-    std::free(LinePtr);
-    std::fclose(In);
-  }
-  Conn->waitDrained();
-  ::close(Conn->Fd);
-}
+    for (int Fd : ListenFds)
+      Loop.add(Fd, EventLoop::Read,
+               [this, Fd](unsigned) { acceptReady(Fd); });
 
-int serveSocket(const std::string &Path, unsigned Workers,
-                AnalysisCache *Cache) {
-  int ListenFd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (ListenFd < 0) {
-    std::fprintf(stderr, "error: socket: %s\n", std::strerror(errno));
-    return 2;
-  }
-  sockaddr_un Addr;
-  std::memset(&Addr, 0, sizeof(Addr));
-  Addr.sun_family = AF_UNIX;
-  if (Path.size() >= sizeof(Addr.sun_path)) {
-    std::fprintf(stderr, "error: socket path too long\n");
-    ::close(ListenFd);
-    return 2;
-  }
-  std::memcpy(Addr.sun_path, Path.c_str(), Path.size() + 1);
-  ::unlink(Path.c_str()); // stale socket from a previous run
-  if (::bind(ListenFd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) <
-          0 ||
-      ::listen(ListenFd, 64) < 0) {
-    std::fprintf(stderr, "error: cannot listen on %s: %s\n", Path.c_str(),
-                 std::strerror(errno));
-    ::close(ListenFd);
-    return 2;
-  }
-  ListenFdForStop.store(ListenFd);
-  std::fprintf(stderr, "c4-serve: listening on %s\n", Path.c_str());
-
-  std::vector<std::thread> ConnThreads;
-  {
-    ThreadPool Pool(Workers);
-    while (!StopRequested.load()) {
-      int Fd = ::accept(ListenFd, nullptr, nullptr);
-      if (Fd < 0) {
-        if (errno == EINTR && !StopRequested.load())
-          continue;
-        break; // closed by shutdown, or a hard error
+    bool CancelIssued = false;
+    Deadline FlushDeadline;
+    for (;;) {
+      int Timeout = -1;
+      if (Draining) {
+        if (drained())
+          break;
+        if (!DrainDeadline.expired()) {
+          unsigned Left = DrainDeadline.remainingMs(3600u * 1000);
+          Timeout = static_cast<int>(Left ? Left : 1);
+        } else {
+          if (!CancelIssued) {
+            // Firm drain: trip every live request's deadline; analyses
+            // wind down cooperatively to partial-but-sound verdicts and
+            // their replies still get delivered below.
+            for (auto &[Seq, DL] : LiveDeadlines)
+              DL->cancel();
+            CancelIssued = true;
+            FlushDeadline.armIn(kDrainGraceMs);
+            std::fprintf(stderr,
+                         "c4-serve: drain timeout, cancelling %zu in-flight "
+                         "request(s)\n",
+                         LiveDeadlines.size());
+          }
+          if (FlushDeadline.expired())
+            break; // whatever is still undelivered is dropped below
+          Timeout = 100;
+        }
       }
-      auto Conn = std::make_shared<Connection>();
-      Conn->Fd = Fd;
-      ConnThreads.emplace_back(
-          [Conn, &Pool, Cache] { serveConnection(Conn, Pool, Cache); });
+      if (!Loop.runOnce(Timeout))
+        break;
     }
-    for (std::thread &T : ConnThreads)
-      T.join();
-    // ~ThreadPool drains any remaining queued requests.
+
+    // Close every remaining connection. On the clean path all buffers are
+    // flushed and nothing is in flight, so nothing is counted as dropped.
+    while (!Conns.empty())
+      closeConn(*Conns.begin()->second, /*CountDrops=*/true);
+    Counters.DroppedReplies += InFlight; // deliveries that will never run
+    for (int Fd : ListenFds)
+      ::close(Fd);
+    if (!UnixPath.empty())
+      ::unlink(UnixPath.c_str());
+    if (Cache)
+      Cache->flush();
+    return 0;
+    // ~Server then ~ThreadPool: any still-running cancelled task finishes
+    // its wind-down; its posted delivery is inert (the loop has stopped).
   }
-  ::close(ListenFd);
-  ::unlink(Path.c_str());
-  return 0;
-}
+
+private:
+  void startDrain(const char *Why) {
+    if (Draining)
+      return;
+    Draining = true;
+    DrainDeadline.armIn(DrainTimeoutMs);
+    for (int Fd : ListenFds) {
+      Loop.remove(Fd);
+      ::close(Fd);
+    }
+    ListenFds.clear();
+    if (!UnixPath.empty()) {
+      ::unlink(UnixPath.c_str());
+      UnixPath.clear();
+    }
+    std::fprintf(stderr,
+                 "c4-serve: draining (%s): %llu in flight, %zu connection(s)\n",
+                 Why, static_cast<unsigned long long>(InFlight), Conns.size());
+  }
+
+  /// Drain completion: all admitted work delivered and every reply byte
+  /// flushed. Idle connections do not block the drain — they are closed on
+  /// exit.
+  bool drained() const {
+    if (InFlight)
+      return false;
+    for (const auto &[Id, C] : Conns)
+      if (C->unsent())
+        return false;
+    return true;
+  }
+
+  void acceptReady(int ListenFd) {
+    for (;;) {
+      int Fd = ::accept4(ListenFd, nullptr, nullptr,
+                         SOCK_NONBLOCK | SOCK_CLOEXEC);
+      if (Fd < 0) {
+        if (errno == EINTR)
+          continue;
+        return; // EAGAIN or a transient error; poll re-arms
+      }
+      int One = 1; // harmless ENOPROTOOPT on AF_UNIX
+      ::setsockopt(Fd, IPPROTO_TCP, TCP_NODELAY, &One, sizeof(One));
+      ++Counters.Connections;
+      uint64_t Id = ++NextConnId;
+      auto C = std::make_unique<Conn>();
+      C->Fd = Fd;
+      C->Id = Id;
+      Conns.emplace(Id, std::move(C));
+      Loop.add(Fd, EventLoop::Read,
+               [this, Id](unsigned Ev) { connEvent(Id, Ev); });
+    }
+  }
+
+  void connEvent(uint64_t Id, unsigned Ev) {
+    auto It = Conns.find(Id);
+    if (It == Conns.end())
+      return;
+    Conn &C = *It->second;
+    if (Ev & EventLoop::Error) {
+      closeConn(C, /*CountDrops=*/true);
+      return;
+    }
+    if (Ev & EventLoop::Write)
+      if (!flushConn(C))
+        return;
+    if (Ev & EventLoop::Read)
+      readable(C);
+  }
+
+  void readable(Conn &C) {
+    char Buf[65536];
+    for (;;) {
+      ssize_t N = ::read(C.Fd, Buf, sizeof(Buf));
+      if (N > 0) {
+        C.ReadBuf.append(Buf, static_cast<size_t>(N));
+        continue;
+      }
+      if (N == 0) {
+        C.Eof = true;
+        break;
+      }
+      if (errno == EINTR)
+        continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK)
+        break;
+      closeConn(C, /*CountDrops=*/true);
+      return;
+    }
+
+    if (C.ReadBuf.size() > kMaxLineBytes &&
+        C.ReadBuf.find('\n') == std::string::npos) {
+      // Hostile or broken client: an unbounded un-terminated line. Answer
+      // once and stop reading; the connection closes after the flush.
+      enqueue(C, errorReply("null", "request line exceeds " +
+                                        std::to_string(kMaxLineBytes) +
+                                        " bytes"));
+      C.Eof = true;
+      C.CloseWhenFlushed = true;
+      flushConn(C);
+      return;
+    }
+
+    size_t Start = 0;
+    for (;;) {
+      size_t Nl = C.ReadBuf.find('\n', Start);
+      if (Nl == std::string::npos)
+        break;
+      std::string Line = C.ReadBuf.substr(Start, Nl - Start);
+      Start = Nl + 1;
+      while (!Line.empty() && Line.back() == '\r')
+        Line.pop_back();
+      if (!Line.empty())
+        processLine(C, Line);
+    }
+    C.ReadBuf.erase(0, Start);
+    // A half-written trailing line at EOF is discarded: there is no peer
+    // left to answer and no newline to delimit a request.
+    if (C.Eof)
+      C.ReadBuf.clear();
+
+    if (!flushConn(C))
+      return;
+    maybeFinishConn(C);
+  }
+
+  /// Routes one request line: control ops inline (they stay responsive
+  /// under full load), analyses through admission control to the pool.
+  void processLine(Conn &C, const std::string &Line) {
+    std::string Err;
+    std::optional<JsonValue> Req = parseJson(Line, Err);
+    if (!Req) {
+      enqueue(C, errorReply("null", Err));
+      return;
+    }
+    std::string Id = renderId(Req->get("id"));
+    if (!Req->asObject()) {
+      enqueue(C, errorReply(Id, "request must be a JSON object"));
+      return;
+    }
+    if (const JsonValue *Op = Req->get("op")) {
+      const std::string *Name = Op->asString();
+      if (Name && *Name == "shutdown") {
+        C.ShutdownWanted = true;
+        C.ShutdownId = Id;
+        maybeAckShutdown(C);
+        return;
+      }
+      enqueue(C, controlReply(*Req, Id, Cache, Counters));
+      return;
+    }
+    if (MaxInflight && InFlight >= MaxInflight) {
+      ++Counters.Overloads;
+      enqueue(C, overloadReply(Id, InFlight));
+      return;
+    }
+    submitAnalysis(C, Line);
+  }
+
+  void submitAnalysis(Conn &C, const std::string &Line) {
+    uint64_t Seq = ++NextSeq;
+    auto DL = std::make_shared<Deadline>();
+    LiveDeadlines.emplace(Seq, DL);
+    ++InFlight;
+    ++C.Pending;
+    uint64_t ConnId = C.Id;
+    AnalysisCache *Ca = Cache;
+    const ServerCounters *Co = &Counters;
+    Pool.submit([this, Line, ConnId, Seq, DL, Ca, Co] {
+      std::string Reply = handleRequest(Line, Ca, *Co, DL.get());
+      Loop.post([this, ConnId, Seq, Reply = std::move(Reply)] {
+        deliver(Seq, ConnId, Reply);
+      });
+    });
+  }
+
+  /// Loop-thread continuation of a completed analysis.
+  void deliver(uint64_t Seq, uint64_t ConnId, const std::string &Reply) {
+    LiveDeadlines.erase(Seq);
+    --InFlight;
+    auto It = Conns.find(ConnId);
+    if (It == Conns.end()) {
+      // The peer vanished while we worked; the result is not lost (it sits
+      // in the cache for the retry) but this reply is.
+      ++Counters.DroppedReplies;
+      return;
+    }
+    Conn &C = *It->second;
+    --C.Pending;
+    enqueue(C, Reply);
+    maybeAckShutdown(C);
+    if (!flushConn(C))
+      return;
+    maybeFinishConn(C);
+  }
+
+  /// The shutdown op acks only after this connection's outstanding work is
+  /// delivered, then the whole server drains.
+  void maybeAckShutdown(Conn &C) {
+    if (!C.ShutdownWanted || C.ShutdownAcked || C.Pending != 0)
+      return;
+    C.ShutdownAcked = true;
+    C.CloseWhenFlushed = true;
+    enqueue(C, "{\"id\": " + C.ShutdownId + ", \"ok\": true, "
+                                            "\"shutdown\": true}");
+    startDrain("shutdown op");
+  }
+
+  void enqueue(Conn &C, const std::string &Reply) {
+    C.WriteBuf += Reply;
+    C.WriteBuf += '\n';
+  }
+
+  /// Flushes buffered replies. Retries EINTR, parks on EAGAIN (POLLOUT
+  /// re-arms), and treats only real peer errors as fatal — in which case
+  /// every undelivered reply is counted dropped. Returns false when the
+  /// connection was closed.
+  bool flushConn(Conn &C) {
+    while (C.WriteOff < C.WriteBuf.size()) {
+      ssize_t N = ::send(C.Fd, C.WriteBuf.data() + C.WriteOff,
+                         C.WriteBuf.size() - C.WriteOff, MSG_NOSIGNAL);
+      if (N > 0) {
+        C.WriteOff += static_cast<size_t>(N);
+        continue;
+      }
+      if (N < 0 && errno == EINTR)
+        continue;
+      if (N < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        Loop.setInterest(C.Fd, (C.Eof ? 0u : EventLoop::Read) |
+                                   EventLoop::Write);
+        return true;
+      }
+      closeConn(C, /*CountDrops=*/true);
+      return false;
+    }
+    if (C.WriteOff) {
+      C.WriteBuf.clear();
+      C.WriteOff = 0;
+    }
+    Loop.setInterest(C.Fd, C.Eof ? 0u : EventLoop::Read);
+    if (C.CloseWhenFlushed) {
+      closeConn(C, /*CountDrops=*/false);
+      return false;
+    }
+    return true;
+  }
+
+  void maybeFinishConn(Conn &C) {
+    if (C.Eof && C.Pending == 0 && C.unsent() == 0)
+      closeConn(C, /*CountDrops=*/false);
+  }
+
+  void closeConn(Conn &C, bool CountDrops) {
+    if (CountDrops) {
+      uint64_t Drops = 0;
+      for (size_t I = C.WriteOff; I < C.WriteBuf.size(); ++I)
+        Drops += C.WriteBuf[I] == '\n';
+      Counters.DroppedReplies += Drops;
+    }
+    Loop.remove(C.Fd);
+    ::close(C.Fd);
+    Conns.erase(C.Id); // invalidates C
+  }
+
+  unsigned MaxInflight;
+  unsigned DrainTimeoutMs;
+  AnalysisCache *Cache;
+  ServerCounters &Counters;
+
+  EventLoop Loop;
+  std::vector<int> ListenFds;
+  std::string UnixPath;
+  int SigPipe[2] = {-1, -1};
+
+  std::unordered_map<uint64_t, std::unique_ptr<Conn>> Conns;
+  std::unordered_map<uint64_t, std::shared_ptr<Deadline>> LiveDeadlines;
+  uint64_t NextConnId = 0, NextSeq = 0;
+  uint64_t InFlight = 0; ///< admitted analyses not yet delivered
+  bool Draining = false;
+  Deadline DrainDeadline;
+
+  // Declared last: destroyed first, so in-flight tasks may still post to
+  // the (stopped but alive) loop while the pool drains.
+  ThreadPool Pool;
+};
 
 } // namespace
 
 int main(int Argc, char **Argv) {
+  // A client disconnecting mid-reply must cost that client its reply, not
+  // the process (and every other client's in-flight work).
+  std::signal(SIGPIPE, SIG_IGN);
+
   unsigned Workers = 0;
+  unsigned MaxInflight = 256;
+  unsigned DrainTimeoutMs = 30000;
   const char *SocketPath = nullptr;
+  const char *TcpSpec = nullptr;
   const char *CacheDir = nullptr;
   for (int I = 1; I != Argc; ++I) {
     const char *Arg = Argv[I];
     if (!std::strcmp(Arg, "--workers")) {
       if (I + 1 == Argc || !parseCount(Arg, Argv[++I], Workers))
         return usage(Argv[0]);
+    } else if (!std::strcmp(Arg, "--max-inflight")) {
+      if (I + 1 == Argc || !parseCount(Arg, Argv[++I], MaxInflight))
+        return usage(Argv[0]);
+    } else if (!std::strcmp(Arg, "--drain-timeout-ms")) {
+      if (I + 1 == Argc || !parseCount(Arg, Argv[++I], DrainTimeoutMs))
+        return usage(Argv[0]);
     } else if (!std::strcmp(Arg, "--socket")) {
       if (I + 1 == Argc)
         return usage(Argv[0]);
       SocketPath = Argv[++I];
+    } else if (!std::strcmp(Arg, "--tcp")) {
+      if (I + 1 == Argc)
+        return usage(Argv[0]);
+      TcpSpec = Argv[++I];
     } else if (!std::strcmp(Arg, "--cache-dir")) {
       if (I + 1 == Argc)
         return usage(Argv[0]);
@@ -520,6 +1005,11 @@ int main(int Argc, char **Argv) {
     } else {
       return usage(Argv[0]);
     }
+  }
+  if (Workers == 0) {
+    Workers = std::thread::hardware_concurrency();
+    if (Workers == 0)
+      Workers = 1;
   }
 
   std::unique_ptr<AnalysisCache> Cache;
@@ -531,7 +1021,18 @@ int main(int Argc, char **Argv) {
                    CacheDir);
   }
 
-  if (SocketPath)
-    return serveSocket(SocketPath, Workers, Cache.get());
-  return serveStdin(Workers, Cache.get());
+  static ServerCounters Counters;
+  if (SocketPath || TcpSpec) {
+    Server S(Workers, MaxInflight, DrainTimeoutMs, Cache.get(), Counters);
+    if (!S.ok()) {
+      std::fprintf(stderr, "error: cannot set up the event loop\n");
+      return 2;
+    }
+    if (SocketPath && !S.listenUnix(SocketPath))
+      return 2;
+    if (TcpSpec && !S.listenTcp(TcpSpec))
+      return 2;
+    return S.run();
+  }
+  return serveStdin(Workers, Cache.get(), Counters);
 }
