@@ -27,7 +27,11 @@
 /// analyzes every app twice — raw and reduced — compares the verdicts
 /// (they must match; a mismatch is a soundness regression and fails the
 /// run), and writes BENCH_passes.json with per-app and suite-wide event,
-/// SSG-edge and SMT-query counts before/after reduction.
+/// SSG-edge and SMT-query counts before/after reduction. The reduced
+/// corpus is additionally analyzed a third time with the relational-domain
+/// prefilter disabled: the verdicts must again match byte for byte (the
+/// prefilter may only skip Z3 work, never change an answer), and the JSON
+/// gains the prefilter kill fraction, domain time and on/off wall clocks.
 ///
 /// `--serve-sim <file>` simulates the c4-serve cross-run cache instead of
 /// printing the table: every app is analyzed twice through one
@@ -138,6 +142,9 @@ struct PassRow {
   unsigned EdgesBefore, EdgesAfter;
   unsigned QueriesBefore, QueriesAfter;
   bool VerdictMatch;
+  unsigned QueriesPrefiltered; // reduced runs: queries the domain killed
+  unsigned QueriesNoPrefilter; // reduced runs with the prefilter disabled
+  bool PrefilterMatch;         // prefilter on/off verdicts agree
 };
 
 /// Per-app cold/warm measurements for the --serve-sim comparison.
@@ -893,6 +900,8 @@ int main(int Argc, char **Argv) {
   PassStats TotalPassStats;
   double RawSeconds = 0, ReducedSeconds = 0, PassSeconds = 0;
   unsigned VerdictMismatches = 0;
+  double PrefilterOffSeconds = 0, PrefilterDomainSeconds = 0;
+  unsigned PrefilterMismatches = 0;
 
   for (const BenchApp &App : benchApps()) {
     if (Quick && Projects >= 6)
@@ -975,10 +984,36 @@ int main(int Argc, char **Argv) {
           RawKeyU == verdictKey(RU) && RawKeyF == verdictKey(RF);
       if (!Match)
         ++VerdictMismatches;
+
+      // Prefilter A/B differential on the reduced history: rerun both
+      // variants with the relational domain disabled. The verdicts must
+      // match — the prefilter is only allowed to skip Z3 queries, never
+      // to change an answer.
+      AnalyzerOptions OffU;
+      OffU.UsePrefilter = false;
+      AnalyzerOptions OffF;
+      OffF.DisplayFilter = true;
+      OffF.UseAtomicSets = !P.AtomicSets.empty();
+      OffF.AtomicSets = P.AtomicSets;
+      OffF.UsePrefilter = false;
+      auto OffStart = std::chrono::steady_clock::now();
+      AnalysisResult OU = analyze(*P.History, OffU);
+      AnalysisResult OF = analyze(*P.History, OffF);
+      PrefilterOffSeconds += std::chrono::duration<double>(
+                                 std::chrono::steady_clock::now() - OffStart)
+                                 .count();
+      bool PMatch =
+          verdictKey(OU) == verdictKey(RU) && verdictKey(OF) == verdictKey(RF);
+      if (!PMatch)
+        ++PrefilterMismatches;
+      PrefilterDomainSeconds += RU.PrefilterSeconds + RF.PrefilterSeconds;
+
       PassRows.push_back({App.Name, RawEvents,
                           P.History->numStoreEvents(), RawEdges,
                           RU.SSGEdges + RF.SSGEdges, RawQueries,
-                          RU.SmtQueries + RF.SmtQueries, Match});
+                          RU.SmtQueries + RF.SmtQueries, Match,
+                          RU.SmtQueriesPrefiltered + RF.SmtQueriesPrefiltered,
+                          OU.SmtQueries + OF.SmtQueries, PMatch});
     }
 
     Counts CU = classifyAll(App, RU);
@@ -1104,7 +1139,7 @@ int main(int Argc, char **Argv) {
     std::printf("  %-18s %13s %13s %13s  %s\n", "Program", "events",
                 "ssg edges", "smt queries", "verdicts");
     unsigned SumEvB = 0, SumEvA = 0, SumEdB = 0, SumEdA = 0, SumQB = 0,
-             SumQA = 0;
+             SumQA = 0, SumQPre = 0, SumQOff = 0;
     for (const PassRow &Row : PassRows) {
       std::printf("  %-18s %5u -> %-5u %5u -> %-5u %5u -> %-5u  %s\n",
                   Row.Name, Row.EventsBefore, Row.EventsAfter,
@@ -1117,6 +1152,8 @@ int main(int Argc, char **Argv) {
       SumEdA += Row.EdgesAfter;
       SumQB += Row.QueriesBefore;
       SumQA += Row.QueriesAfter;
+      SumQPre += Row.QueriesPrefiltered;
+      SumQOff += Row.QueriesNoPrefilter;
     }
     std::printf("  %-18s %5u -> %-5u %5u -> %-5u %5u -> %-5u  %s\n",
                 "TOTAL", SumEvB, SumEvA, SumEdB, SumEdA, SumQB, SumQA,
@@ -1126,6 +1163,16 @@ int main(int Argc, char **Argv) {
                 TotalPassStats.DeadWrites, TotalPassStats.PrunedBranches,
                 TotalPassStats.ConstProps, TotalPassStats.FreshPromotions,
                 PassSeconds);
+    double KillFraction =
+        SumQA + SumQPre
+            ? static_cast<double>(SumQPre) / (SumQA + SumQPre)
+            : 0.0;
+    std::printf("  prefilter: killed %u of %u bounded queries (%.0f%%), "
+                "domain time %.2fs, reduced analysis %.1fs on vs %.1fs "
+                "off, verdicts %s\n",
+                SumQPre, SumQA + SumQPre, 100.0 * KillFraction,
+                PrefilterDomainSeconds, ReducedSeconds, PrefilterOffSeconds,
+                PrefilterMismatches ? "DIVERGE" : "identical");
 
     FILE *F = std::fopen(PassesPath, "w");
     if (!F) {
@@ -1142,6 +1189,15 @@ int main(int Argc, char **Argv) {
                  "  \"smt_queries_after\": %u,\n",
                  SumEvB, SumEvA, SumEdB, SumEdA, SumQB, SumQA);
     std::fprintf(F,
+                 "  \"smt_queries_prefiltered\": %u,\n"
+                 "  \"smt_queries_no_prefilter\": %u,\n"
+                 "  \"prefilter_kill_fraction\": %.4f,\n"
+                 "  \"prefilter_seconds\": %.3f,\n"
+                 "  \"prefilter_verdict_mismatches\": %u,\n"
+                 "  \"analysis_seconds_prefilter_off\": %.1f,\n",
+                 SumQPre, SumQOff, KillFraction, PrefilterDomainSeconds,
+                 PrefilterMismatches, PrefilterOffSeconds);
+    std::fprintf(F,
                  "  \"dead_writes\": %u,\n  \"pruned_branches\": %u,\n"
                  "  \"const_props\": %u,\n  \"fresh_promotions\": %u,\n",
                  TotalPassStats.DeadWrites, TotalPassStats.PrunedBranches,
@@ -1156,15 +1212,20 @@ int main(int Argc, char **Argv) {
       std::fprintf(F,
                    "    {\"name\": \"%s\", \"events\": [%u, %u], "
                    "\"ssg_edges\": [%u, %u], \"smt_queries\": [%u, %u], "
-                   "\"verdict_match\": %s}%s\n",
+                   "\"verdict_match\": %s, "
+                   "\"smt_queries_prefiltered\": %u, "
+                   "\"smt_queries_no_prefilter\": %u, "
+                   "\"prefilter_match\": %s}%s\n",
                    Row.Name, Row.EventsBefore, Row.EventsAfter,
                    Row.EdgesBefore, Row.EdgesAfter, Row.QueriesBefore,
                    Row.QueriesAfter, Row.VerdictMatch ? "true" : "false",
+                   Row.QueriesPrefiltered, Row.QueriesNoPrefilter,
+                   Row.PrefilterMatch ? "true" : "false",
                    I + 1 == PassRows.size() ? "" : ",");
     }
     std::fprintf(F, "  ]\n}\n");
     std::fclose(F);
     std::printf("  pass comparison written to %s\n", PassesPath);
   }
-  return Failures || VerdictMismatches ? 1 : 0;
+  return Failures || VerdictMismatches || PrefilterMismatches ? 1 : 0;
 }

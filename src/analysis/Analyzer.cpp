@@ -7,11 +7,15 @@
 #include "analysis/Analyzer.h"
 
 #include "abstract/Concretize.h"
+#include "domain/AbstractDomain.h"
+#include "domain/Prefilter.h"
+#include "smt/CondSmt.h"
 #include "spec/CommutativityCache.h"
 #include "support/Format.h"
 #include "support/ThreadPool.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <chrono>
 #include <cstdlib>
@@ -47,9 +51,9 @@ class Run {
 public:
   Run(const AbstractHistory &Hist, const AnalyzerOptions &Opts,
       std::vector<bool> EventMask, CommutativityOracle *CondOracle,
-      const Deadline *Dl)
+      const SatAssist *SatAsst, const Deadline *Dl)
       : A(Hist), O(Opts), Mask(std::move(EventMask)), Oracle(CondOracle),
-        DL(Dl) {}
+        Assist(SatAsst), DL(Dl) {}
 
   void execute(AnalysisResult &R);
 
@@ -68,10 +72,14 @@ private:
     bool Cancelled = false;   ///< deadline expired before the solve started
     bool CandTruncated = false;
     bool Flagged = false; ///< the instantiated SSG admitted candidates
+    bool Prefiltered = false; ///< every candidate killed by the domain; the
+                              ///< NoCycle verdict needed no Z3 query
+    bool PrefilterUnknown = false; ///< prefilter ran but left candidates
+    bool PrefilterDisagree = false; ///< --check-prefilter: Z3 contradicted
     UnfoldingResult Res;
     SolveTelemetry Tel;
     bool CEValid = false;
-    double SSGSec = 0, SmtSec = 0;
+    double SSGSec = 0, SmtSec = 0, PrefilterSec = 0;
   };
   UnfoldingOutcome solveOne(const Unfolding &U,
                             const std::vector<Violation> *Committed,
@@ -109,9 +117,13 @@ private:
     R.SSGSeconds += SSGSec;
     R.EnumSeconds += EnumSec;
     R.SmtSeconds += SmtSec;
+    R.PrefilterSeconds += PrefilterSec;
     R.LayoutsFiltered += LayoutsFilteredGen;
     R.SMTRetries += SmtRetriesGen;
     R.SmtQueries += SmtQueriesGen;
+    R.SmtQueriesPrefiltered += SmtQueriesPrefilteredGen;
+    R.PrefilterUnknowns += PrefilterUnknownsGen;
+    R.PrefilterDisagreements += PrefilterDisagreeGen;
     R.RlimitSpent += RlimitSpentGen;
     R.DfsBudgetExhausted += DfsExhaustions;
     R.DeadlineExpired = R.DeadlineExpired || DeadlineHit;
@@ -121,6 +133,7 @@ private:
   const AnalyzerOptions &O;
   std::vector<bool> Mask; // original events included in this run
   CommutativityOracle *Oracle; // shared memoization, may be null
+  const SatAssist *Assist;     // domain assist for sat queries, may be null
   const Deadline *DL;          // the run's analysis deadline (never null)
   // General-SSG pairwise edges over original transactions (self-pairs
   // describe two instances of the same transaction).
@@ -129,13 +142,16 @@ private:
   // execute(); see AnalysisResult for their meaning. LayoutsFilteredGen
   // counts viability-filtered layouts of the generalization check (whose
   // result object is const at filter time).
-  double SSGSec = 0, EnumSec = 0, SmtSec = 0;
+  double SSGSec = 0, EnumSec = 0, SmtSec = 0, PrefilterSec = 0;
   unsigned LayoutsFilteredGen = 0;
   // Governance accumulators outside the result object: the generalization
   // check sees a const result, and the viability filter runs under both
   // const and non-const result contexts. Folded in by finishStats.
   unsigned SmtRetriesGen = 0;
   unsigned SmtQueriesGen = 0;
+  unsigned SmtQueriesPrefilteredGen = 0;
+  unsigned PrefilterUnknownsGen = 0;
+  unsigned PrefilterDisagreeGen = 0;
   uint64_t RlimitSpentGen = 0;
   mutable unsigned DfsExhaustions = 0;
   bool DeadlineHit = false;
@@ -180,6 +196,7 @@ void Run::precomputeGeneralEdges() {
   StageTimer Timer(SSGSec);
   SSG G(A, O.Features);
   G.setOracle(Oracle);
+  G.setSatAssist(Assist);
   G.setEventMask(Mask);
   G.analyze();
   unsigned N = A.numTxns();
@@ -365,6 +382,7 @@ Run::UnfoldingOutcome Run::solveOne(const Unfolding &U,
   {
     StageTimer Timer(Out.SSGSec);
     G.setOracle(Oracle);
+    G.setSatAssist(Assist);
     G.setEventMask(maskForUnfolding(U));
     G.analyze();
     Cands = G.candidateCycles(O.MaxCandidateCycles, Out.CandTruncated);
@@ -372,6 +390,42 @@ Run::UnfoldingOutcome Run::solveOne(const Unfolding &U,
   if (Cands.empty())
     return Out;
   Out.Flagged = true;
+  if (O.UsePrefilter) {
+    // The domain prefilter: when every candidate is proven unrealizable,
+    // NoCycle holds without building a Z3 query. Partial kills fall through
+    // to the full solve (the counter-example text must stay byte-identical
+    // to a --no-prefilter run, so the SMT stage sees the original
+    // candidate list).
+    StageTimer Timer(Out.PrefilterSec);
+    PrefilterResult PR =
+        prefilterCandidates(U, G, Cands, O.Features, Oracle);
+    if (PR.allKilled())
+      Out.Prefiltered = true;
+    else
+      Out.PrefilterUnknown = true;
+  }
+  if (Out.Prefiltered) {
+    Out.Res.Status = UnfoldingResult::NoCycle;
+    if (!O.CheckPrefilter)
+      return Out;
+    // Debug cross-check: solve anyway. A cycle found by Z3 refutes the
+    // domain proof — count the disagreement and trust Z3 (an unknown does
+    // not contradict a proof; the domain verdict stands).
+    UnfoldingResult Check;
+    {
+      StageTimer Timer(Out.SmtSec);
+      SolverPolicy P{O.Budget, DL};
+      Check = solveUnfolding(U, G, Cands, O.Features, P, Oracle, Env,
+                             &Out.Tel);
+    }
+    if (Check.Status == UnfoldingResult::CycleFound) {
+      Out.PrefilterDisagree = true;
+      Out.Prefiltered = false;
+      Out.Res = std::move(Check);
+      Out.CEValid = validateCE(*Out.Res.CE);
+    }
+    return Out;
+  }
   {
     StageTimer Timer(Out.SmtSec);
     SolverPolicy P{O.Budget, DL};
@@ -397,7 +451,12 @@ void Run::commitOutcome(const Unfolding &U, UnfoldingOutcome &&Out,
   if (!Out.Flagged)
     return;
   ++R.SSGFlagged;
-  ++R.SmtQueries;
+  if (Out.Prefiltered)
+    ++R.SmtQueriesPrefiltered; // the NoCycle verdict cost no Z3 query
+  else
+    ++R.SmtQueries;
+  R.PrefilterUnknowns += Out.PrefilterUnknown;
+  R.PrefilterDisagreements += Out.PrefilterDisagree;
   // Governance accounting and the trace record happen at commit time, in
   // enumeration order, so both are deterministic across thread counts.
   // (RlimitSpent is telemetry — Z3's spent counter can jitter by a few
@@ -428,11 +487,12 @@ void Run::commitOutcome(const Unfolding &U, UnfoldingOutcome &&Out,
     Rec.Stage = "bounded";
     Rec.K = K;
     Rec.Unfolding = Index;
-    Rec.Attempts = std::max(1u, Out.Tel.Attempts);
+    Rec.Attempts = Out.Prefiltered ? 0 : std::max(1u, Out.Tel.Attempts);
     Rec.RlimitBudget = Out.Tel.RlimitBudget;
     Rec.RlimitSpent = Out.Tel.RlimitSpent;
     Rec.Outcome = Outcome;
-    Rec.WallMs = Out.SmtSec * 1000.0;
+    Rec.Prefiltered = Out.Prefiltered;
+    Rec.WallMs = (Out.SmtSec + Out.PrefilterSec) * 1000.0;
     O.Trace->append(Rec);
   }
   if (Out.Res.Status == UnfoldingResult::CycleFound) {
@@ -493,6 +553,7 @@ bool Run::checkBounded(unsigned K, AnalysisResult &R,
       UnfoldingOutcome Out = solveOne(U, nullptr, nullptr, &seqEnv());
       SSGSec += Out.SSGSec;
       SmtSec += Out.SmtSec;
+      PrefilterSec += Out.PrefilterSec;
       if (Out.Cancelled) {
         R.UnfoldingsDeferred += static_cast<unsigned>(Unfoldings.size() - I);
         R.DeadlineExpired = true;
@@ -535,6 +596,7 @@ bool Run::checkBounded(unsigned K, AnalysisResult &R,
     UnfoldingOutcome Out = Futures[I].get();
     SSGSec += Out.SSGSec;
     SmtSec += Out.SmtSec;
+    PrefilterSec += Out.PrefilterSec;
     if (Winding || Out.Cancelled || DL->expired()) {
       Winding = true;
       ++Deferred;
@@ -607,6 +669,7 @@ Run::buildMerges(const Unfolding &U,
       StageTimer Timer(SSGSec);
       SSG G(MU.H, O.Features, MU.SessionTags);
       G.setOracle(Oracle);
+      G.setSatAssist(Assist);
       G.setEventMask(maskForUnfolding(MU));
       G.analyze();
       Result.push_back({std::move(MapTxn), G.graph()});
@@ -708,6 +771,7 @@ bool Run::generalizes(unsigned K, const AnalysisResult &R,
     }
     SSG G(U.H, O.Features, U.SessionTags);
     G.setOracle(Oracle);
+    G.setSatAssist(Assist);
     G.setEventMask(maskForUnfolding(U));
     {
       StageTimer Timer(SSGSec);
@@ -781,27 +845,61 @@ bool Run::generalizes(unsigned K, const AnalysisResult &R,
                 std::min(Remaining.size(), Begin + 64));
         SolveTelemetry Tel;
         double ChunkSec = 0;
-        {
-          StageTimer ChunkTimer(ChunkSec);
-          Res = solveUnfolding(U, G, Chunk, O.Features, P, Oracle,
-                               &seqEnv(), &Tel);
+        // Domain prefilter per chunk, mirroring the bounded stage: when
+        // every segment of the chunk dies, the NoCycle verdict needs no Z3
+        // query (in check mode the solve still runs and Z3 is trusted).
+        bool Prefiltered = false;
+        if (O.UsePrefilter) {
+          double PfSec = 0;
+          {
+            StageTimer PfTimer(PfSec);
+            PrefilterResult PR =
+                prefilterCandidates(U, G, Chunk, O.Features, Oracle);
+            Prefiltered = PR.allKilled();
+          }
+          PrefilterSec += PfSec;
+          ChunkSec += PfSec;
+          if (!Prefiltered)
+            ++PrefilterUnknownsGen;
         }
-        ++SmtQueriesGen;
-        if (Tel.Attempts > 1)
-          SmtRetriesGen += Tel.Attempts - 1;
-        RlimitSpentGen += Tel.RlimitSpent;
+        if (Prefiltered && !O.CheckPrefilter) {
+          Res.Status = UnfoldingResult::NoCycle;
+          ++SmtQueriesPrefilteredGen;
+        } else {
+          {
+            StageTimer ChunkTimer(ChunkSec);
+            Res = solveUnfolding(U, G, Chunk, O.Features, P, Oracle,
+                                 &seqEnv(), &Tel);
+          }
+          if (Prefiltered) {
+            if (Res.Status == UnfoldingResult::CycleFound) {
+              ++PrefilterDisagreeGen; // Z3 refuted the domain proof
+              Prefiltered = false;
+              ++SmtQueriesGen;
+            } else {
+              Res.Status = UnfoldingResult::NoCycle;
+              ++SmtQueriesPrefilteredGen;
+            }
+          } else {
+            ++SmtQueriesGen;
+          }
+          if (Tel.Attempts > 1)
+            SmtRetriesGen += Tel.Attempts - 1;
+          RlimitSpentGen += Tel.RlimitSpent;
+        }
         if (O.Trace) {
           QueryRecord Rec;
           Rec.Stage = "generalize";
           Rec.K = K;
           Rec.Unfolding = GenIndex;
-          Rec.Attempts = std::max(1u, Tel.Attempts);
+          Rec.Attempts = Prefiltered ? 0 : std::max(1u, Tel.Attempts);
           Rec.RlimitBudget = Tel.RlimitBudget;
           Rec.RlimitSpent = Tel.RlimitSpent;
           Rec.Outcome = Res.Status == UnfoldingResult::NoCycle ? "no-cycle"
                         : Res.Status == UnfoldingResult::CycleFound
                             ? "cycle"
                             : (Tel.Error ? "error" : "unknown");
+          Rec.Prefiltered = Prefiltered;
           Rec.WallMs = ChunkSec * 1000.0;
           O.Trace->append(Rec);
         }
@@ -839,6 +937,7 @@ void Run::execute(AnalysisResult &R) {
     StageTimer Timer(SSGSec);
     SSG General(A, O.Features);
     General.setOracle(Oracle);
+    General.setSatAssist(Assist);
     General.setEventMask(Mask);
     General.analyze();
     R.SSGEdges +=
@@ -917,6 +1016,32 @@ AnalysisResult c4::analyze(const AbstractHistory &A,
       !O.UseOracle ? nullptr
                    : (O.ExternalOracle ? O.ExternalOracle : &Oracle);
 
+  // The domain assist strengthening the SSG stage's satisfiability tests
+  // (oracle call site of the prefilter). Thread-safe: domainDecide is pure
+  // and the check-mode counter is atomic. In check mode every domain proof
+  // is cross-checked against Z3; a contradiction is counted and the
+  // verdict degraded to Unknown so the congruence fallback (whose verdicts
+  // Z3 vouches for separately) stays authoritative.
+  std::atomic<unsigned> AssistDisagreements{0};
+  SatAssist Assist;
+  if (O.UsePrefilter) {
+    bool Check = O.CheckPrefilter;
+    Assist = [Check, &AssistDisagreements](
+                 const Cond &C, const EventFacts &Src,
+                 const EventFacts &Tgt) -> AssistVerdict {
+      DomainVerdict V = domainDecide(C, Src, Tgt);
+      if (V == DomainVerdict::Unknown)
+        return AssistVerdict::Unknown;
+      bool Sat = V == DomainVerdict::ProvenSat;
+      if (Check && z3CondSatisfiable(C, Src, Tgt) != Sat) {
+        AssistDisagreements.fetch_add(1, std::memory_order_relaxed);
+        return AssistVerdict::Unknown;
+      }
+      return Sat ? AssistVerdict::Sat : AssistVerdict::Unsat;
+    };
+  }
+  const SatAssist *AssistPtr = Assist ? &Assist : nullptr;
+
   // Base mask: the display-code filter.
   std::vector<bool> Base(A.numEvents(), true);
   if (O.DisplayFilter)
@@ -937,7 +1062,7 @@ AnalysisResult c4::analyze(const AbstractHistory &A,
         Mask[E] = Mask[E] && In;
       }
       AnalysisResult Sub;
-      Run(A, O, std::move(Mask), OraclePtr, &DL).execute(Sub);
+      Run(A, O, std::move(Mask), OraclePtr, AssistPtr, &DL).execute(Sub);
       for (Violation &V : Sub.Violations) {
         bool Dup = false;
         for (const Violation &Old : R.Violations)
@@ -955,6 +1080,9 @@ AnalysisResult c4::analyze(const AbstractHistory &A,
       R.LayoutsFiltered += Sub.LayoutsFiltered;
       R.SSGEdges += Sub.SSGEdges;
       R.SmtQueries += Sub.SmtQueries;
+      R.SmtQueriesPrefiltered += Sub.SmtQueriesPrefiltered;
+      R.PrefilterUnknowns += Sub.PrefilterUnknowns;
+      R.PrefilterDisagreements += Sub.PrefilterDisagreements;
       R.SSGFlagged += Sub.SSGFlagged;
       R.SMTRefuted += Sub.SMTRefuted;
       R.SMTUnknown += Sub.SMTUnknown;
@@ -967,18 +1095,22 @@ AnalysisResult c4::analyze(const AbstractHistory &A,
       R.SSGSeconds += Sub.SSGSeconds;
       R.EnumSeconds += Sub.EnumSeconds;
       R.SmtSeconds += Sub.SmtSeconds;
+      R.PrefilterSeconds += Sub.PrefilterSeconds;
     }
     R.Generalized = AllGeneralized;
     R.FastProvedSerializable = AllFast && R.Violations.empty();
   } else {
-    Run(A, O, std::move(Base), OraclePtr, &DL).execute(R);
+    Run(A, O, std::move(Base), OraclePtr, AssistPtr, &DL).execute(R);
   }
 
+  R.PrefilterDisagreements +=
+      AssistDisagreements.load(std::memory_order_relaxed);
   OracleStats OS = OraclePtr ? OraclePtr->stats() : OracleStats{};
   R.CondCacheHits = OS.CondHits;
   R.CondCacheMisses = OS.CondMisses;
   R.SatCacheHits = OS.SatHits;
   R.SatCacheMisses = OS.SatMisses;
+  R.SatAssistProven = OS.SatAssistProven;
   R.BackendSeconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - Start)
           .count();
@@ -1032,6 +1164,17 @@ std::string c4::reportStr(const AbstractHistory &A, const AnalysisResult &R) {
               R.UnfoldingsChecked, R.UnfoldingsSubsumed, R.LayoutsFiltered,
               R.SSGFlagged, R.SMTRefuted, R.SMTUnknown, R.SMTRetries,
               R.UnfoldingsDeferred, R.DfsBudgetExhausted, R.BackendSeconds);
+  Out += strf("prefilter: %u quer%s killed, %u fell through, "
+              "%u oracle-assisted verdict(s)%s; %.3fs\n",
+              R.SmtQueriesPrefiltered,
+              R.SmtQueriesPrefiltered == 1 ? "y" : "ies",
+              R.PrefilterUnknowns,
+              static_cast<unsigned>(R.SatAssistProven),
+              R.PrefilterDisagreements
+                  ? strf(", %u DISAGREEMENT(S)", R.PrefilterDisagreements)
+                        .c_str()
+                  : "",
+              R.PrefilterSeconds);
   Out += strf("cache: cond %llu hits / %llu misses, sat %llu hits / "
               "%llu misses; rlimit spent %llu; stages: ssg %.3fs, "
               "enum %.3fs, smt %.3fs\n",

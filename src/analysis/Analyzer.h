@@ -90,6 +90,16 @@ struct AnalyzerOptions {
   /// for a service answering many small requests). The caller guarantees
   /// no concurrent use; per-query name generations keep reuse sound.
   Z3Env *ReuseEnv = nullptr;
+  /// Runs the relational-domain prefilter in front of the SMT stage and
+  /// installs the domain assist on the satisfiability oracle. Verdicts are
+  /// identical either way (the domain only reports *proofs*; anything it
+  /// cannot decide falls through to SMT) — disabling is the
+  /// `--no-prefilter` escape hatch and the A/B measurement baseline.
+  bool UsePrefilter = true;
+  /// Debug mode: every domain-proven verdict is cross-checked against Z3
+  /// and disagreements are counted (PrefilterDisagreements) with Z3
+  /// trusted. Expensive; for CI sweeps and bug triage.
+  bool CheckPrefilter = false;
   /// §9.1 filters.
   bool DisplayFilter = false;
   bool UseAtomicSets = false;
@@ -135,6 +145,12 @@ struct AnalysisResult {
   unsigned SSGEdges = 0;    ///< edge count of the general SSG (stage 1);
                             ///< summed over atomic-set runs
   unsigned SmtQueries = 0;  ///< solver queries issued (bounded + generalize)
+  unsigned SmtQueriesPrefiltered = 0; ///< queries answered NoCycle by the
+                                      ///< domain prefilter (no Z3 built)
+  unsigned PrefilterUnknowns = 0; ///< prefilter runs that left candidates
+                                  ///< alive (query fell through to SMT)
+  unsigned PrefilterDisagreements = 0; ///< --check-prefilter only: domain
+                                       ///< proofs contradicted by Z3
   unsigned SSGFlagged = 0;  ///< unfoldings whose SSG admitted cycles
   unsigned SMTRefuted = 0;  ///< ... of which the SMT stage refuted
   unsigned SMTUnknown = 0;
@@ -156,10 +172,12 @@ struct AnalysisResult {
   // BackendSeconds (they measure work, not wall time).
   uint64_t CondCacheHits = 0, CondCacheMisses = 0;
   uint64_t SatCacheHits = 0, SatCacheMisses = 0;
+  uint64_t SatAssistProven = 0; ///< oracle sat misses decided by the domain
   double SSGSeconds = 0;  ///< SSG construction + Theorem 3 + cycle/segment
                           ///< enumeration on instantiated graphs
   double EnumSeconds = 0; ///< unfolding enumeration (incl. layout filter)
   double SmtSeconds = 0;  ///< ϕ_cyclic encoding + solving
+  double PrefilterSeconds = 0; ///< domain prefilter over candidate cycles
 
   bool serializable() const { return Violations.empty() && Generalized; }
 

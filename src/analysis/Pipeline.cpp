@@ -234,6 +234,17 @@ std::string c4::renderStatsJson(const StatsJsonFields &F,
                 R.SMTUnknown);
   Json += Buf;
   std::snprintf(Buf, sizeof(Buf),
+                "  \"smt_queries_prefiltered\": %u,\n"
+                "  \"prefilter_unknowns\": %u,\n"
+                "  \"prefilter_disagreements\": %u,\n"
+                "  \"sat_assist_proven\": %llu,\n"
+                "  \"prefilter_seconds\": %.6f,\n",
+                R.SmtQueriesPrefiltered, R.PrefilterUnknowns,
+                R.PrefilterDisagreements,
+                static_cast<unsigned long long>(R.SatAssistProven),
+                R.PrefilterSeconds);
+  Json += Buf;
+  std::snprintf(Buf, sizeof(Buf),
                 "  \"smt_retries\": %u,\n"
                 "  \"rlimit_spent\": %llu,\n"
                 "  \"deadline_expired\": %s,\n"

@@ -104,6 +104,11 @@ std::string c4::fingerprintAnalysis(const AbstractHistory &A,
   F.addU64(O.Budget.WallMs);
   F.addU64(O.DeadlineMs);
   F.addU64(O.LayoutDfsBudget);
+  // The prefilter never changes the verdict, but it changes the persisted
+  // statistics (query counts, prefilter counters), so A/B runs must not
+  // share cache entries.
+  F.addBool(O.UsePrefilter);
+  F.addBool(O.CheckPrefilter);
   F.addBool(O.DisplayFilter);
   F.addBool(O.UseAtomicSets);
   F.addU64(O.AtomicSets.size());
@@ -121,7 +126,7 @@ std::string c4::fingerprintAnalysis(const AbstractHistory &A,
 
 namespace {
 
-constexpr const char *BlobHeader = "c4-verdict 1";
+constexpr const char *BlobHeader = "c4-verdict 2";
 
 /// Newlines and backslashes are the only characters the line-based format
 /// cannot carry verbatim.
@@ -255,6 +260,11 @@ std::string c4::serializeResult(const AnalysisResult &R) {
   addField(Out, "layouts_filtered", std::to_string(R.LayoutsFiltered));
   addField(Out, "ssg_edges", std::to_string(R.SSGEdges));
   addField(Out, "smt_queries", std::to_string(R.SmtQueries));
+  addField(Out, "smt_queries_prefiltered",
+           std::to_string(R.SmtQueriesPrefiltered));
+  addField(Out, "prefilter_unknowns", std::to_string(R.PrefilterUnknowns));
+  addField(Out, "prefilter_disagreements",
+           std::to_string(R.PrefilterDisagreements));
   addField(Out, "ssg_flagged", std::to_string(R.SSGFlagged));
   addField(Out, "smt_refuted", std::to_string(R.SMTRefuted));
   addField(Out, "smt_unknown", std::to_string(R.SMTUnknown));
@@ -269,10 +279,12 @@ std::string c4::serializeResult(const AnalysisResult &R) {
   addField(Out, "cond_cache_misses", std::to_string(R.CondCacheMisses));
   addField(Out, "sat_cache_hits", std::to_string(R.SatCacheHits));
   addField(Out, "sat_cache_misses", std::to_string(R.SatCacheMisses));
+  addField(Out, "sat_assist_proven", std::to_string(R.SatAssistProven));
   addField(Out, "backend_seconds", hexFloat(R.BackendSeconds));
   addField(Out, "ssg_seconds", hexFloat(R.SSGSeconds));
   addField(Out, "enum_seconds", hexFloat(R.EnumSeconds));
   addField(Out, "smt_seconds", hexFloat(R.SmtSeconds));
+  addField(Out, "prefilter_seconds", hexFloat(R.PrefilterSeconds));
   addField(Out, "violations", std::to_string(R.Violations.size()));
   for (const Violation &V : R.Violations) {
     addField(Out, "v.flags", std::to_string(V.Inconclusive) + " " +
@@ -305,6 +317,9 @@ std::optional<AnalysisResult> c4::deserializeResult(const std::string &Blob) {
             Rd.u32("layouts_filtered", R.LayoutsFiltered) &&
             Rd.u32("ssg_edges", R.SSGEdges) &&
             Rd.u32("smt_queries", R.SmtQueries) &&
+            Rd.u32("smt_queries_prefiltered", R.SmtQueriesPrefiltered) &&
+            Rd.u32("prefilter_unknowns", R.PrefilterUnknowns) &&
+            Rd.u32("prefilter_disagreements", R.PrefilterDisagreements) &&
             Rd.u32("ssg_flagged", R.SSGFlagged) &&
             Rd.u32("smt_refuted", R.SMTRefuted) &&
             Rd.u32("smt_unknown", R.SMTUnknown) &&
@@ -318,10 +333,12 @@ std::optional<AnalysisResult> c4::deserializeResult(const std::string &Blob) {
             Rd.u64("cond_cache_misses", R.CondCacheMisses) &&
             Rd.u64("sat_cache_hits", R.SatCacheHits) &&
             Rd.u64("sat_cache_misses", R.SatCacheMisses) &&
+            Rd.u64("sat_assist_proven", R.SatAssistProven) &&
             Rd.dbl("backend_seconds", R.BackendSeconds) &&
             Rd.dbl("ssg_seconds", R.SSGSeconds) &&
             Rd.dbl("enum_seconds", R.EnumSeconds) &&
             Rd.dbl("smt_seconds", R.SmtSeconds) &&
+            Rd.dbl("prefilter_seconds", R.PrefilterSeconds) &&
             Rd.u32("violations", NumViolations) &&
             NumViolations <= 4096;
   if (!Ok)

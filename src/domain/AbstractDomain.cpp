@@ -1,0 +1,394 @@
+//===- domain/AbstractDomain.cpp ------------------------------------------===//
+//
+// Part of the C4 serializability analyzer. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "domain/AbstractDomain.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace c4;
+
+//===----------------------------------------------------------------------===//
+// DomainState
+//===----------------------------------------------------------------------===//
+
+DomainState::DomainState() : D(1, std::vector<int64_t>(1, 0)) {}
+
+unsigned DomainState::addVar() {
+  for (std::vector<int64_t> &Row : D)
+    Row.push_back(INF);
+  ++N;
+  D.emplace_back(N, INF);
+  D.back()[N - 1] = 0;
+  // A fresh variable cannot create a negative cycle; closure state over the
+  // old variables is preserved, and INF rows/columns keep it closed.
+  return static_cast<unsigned>(N) - 1;
+}
+
+void DomainState::addDiff(unsigned A, unsigned B, int64_t C) {
+  assert(A < N && B < N);
+  if (A == B) {
+    if (C < 0)
+      Bottom = true; // x - x <= C < 0
+    return;
+  }
+  if (C < -Huge) {
+    Overflow = true; // weakened: admits more states
+    C = -Huge;
+  } else if (C > Huge) {
+    Overflow = true; // tightened: bottom claims are withheld below
+    C = Huge;
+  }
+  if (C < D[A][B]) {
+    D[A][B] = C;
+    Closed = false;
+  }
+}
+
+void DomainState::addEq(unsigned A, unsigned B) {
+  addDiff(A, B, 0);
+  addDiff(B, A, 0);
+}
+
+void DomainState::addNe(unsigned A, unsigned B) {
+  if (A == B) {
+    Bottom = true;
+    return;
+  }
+  std::pair<unsigned, unsigned> P{std::min(A, B), std::max(A, B)};
+  if (std::find(Diseqs.begin(), Diseqs.end(), P) == Diseqs.end())
+    Diseqs.push_back(P);
+}
+
+void DomainState::addLt(unsigned A, unsigned B) { addDiff(A, B, -1); }
+void DomainState::addLe(unsigned A, unsigned B) { addDiff(A, B, 0); }
+
+void DomainState::addConst(unsigned A, int64_t K) {
+  addDiff(A, 0, K);
+  addLowerBound(A, K);
+}
+
+void DomainState::addLowerBound(unsigned A, int64_t K) {
+  if (K == INT64_MIN)
+    return; // vacuous, and -K would not be representable
+  addDiff(0, A, -K);
+}
+
+void DomainState::addUpperBound(unsigned A, int64_t K) { addDiff(A, 0, K); }
+
+void DomainState::addUnique(unsigned A, unsigned Id) {
+  addLowerBound(A, FreshValueMin);
+  auto [It, Inserted] = UniqueRep.try_emplace(Id, A);
+  if (!Inserted) {
+    addEq(A, It->second); // same identity: same value
+    return;
+  }
+  for (const auto &[OtherId, Rep] : UniqueRep)
+    if (OtherId != Id)
+      addNe(A, Rep); // distinct identities never coincide
+}
+
+void DomainState::close() {
+  if (Closed)
+    return;
+  for (size_t K = 0; K != N; ++K)
+    for (size_t I = 0; I != N; ++I) {
+      if (D[I][K] == INF)
+        continue;
+      for (size_t J = 0; J != N; ++J) {
+        if (D[K][J] == INF)
+          continue;
+        // Finite bounds are clamped to +/-Huge = 2^61, so the sum fits.
+        int64_t Cand = D[I][K] + D[K][J];
+        if (Cand < -Huge) {
+          Overflow = true;
+          Cand = -Huge;
+        }
+        if (Cand < D[I][J])
+          D[I][J] = Cand;
+      }
+    }
+  Closed = true;
+  for (size_t I = 0; I != N; ++I)
+    if (D[I][I] < 0)
+      Bottom = true;
+  if (!Bottom)
+    for (const auto &[A, B] : Diseqs)
+      if (D[A][B] != INF && D[A][B] <= 0 && D[B][A] != INF && D[B][A] <= 0)
+        Bottom = true; // bounds force x_A == x_B
+}
+
+bool DomainState::isBottom() {
+  close();
+  // An overflow may have *tightened* a bound, so emptiness found afterwards
+  // is not a proof; answer conservatively.
+  return Bottom && !Overflow;
+}
+
+void DomainState::meetWith(const DomainState &O) {
+  assert(N == O.N);
+  for (size_t I = 0; I != N; ++I)
+    for (size_t J = 0; J != N; ++J)
+      if (O.D[I][J] < D[I][J]) {
+        D[I][J] = O.D[I][J];
+        Closed = false;
+      }
+  for (const auto &[A, B] : O.Diseqs)
+    addNe(A, B);
+  // Re-wiring the witnesses keeps cross-state identities disequal.
+  for (const auto &[Id, Rep] : O.UniqueRep)
+    addUnique(Rep, Id);
+  Bottom = Bottom || O.Bottom;
+  Overflow = Overflow || O.Overflow;
+}
+
+void DomainState::joinWith(DomainState &O) {
+  assert(N == O.N);
+  close();
+  O.close();
+  if (O.isBottom())
+    return; // join with bottom is identity
+  if (isBottom()) {
+    *this = O;
+    return;
+  }
+  for (size_t I = 0; I != N; ++I)
+    for (size_t J = 0; J != N; ++J)
+      D[I][J] = std::max(D[I][J], O.D[I][J]);
+  // The pointwise max of two closed DBMs is closed.
+  std::vector<std::pair<unsigned, unsigned>> Kept;
+  for (const auto &P : Diseqs)
+    if (std::find(O.Diseqs.begin(), O.Diseqs.end(), P) != O.Diseqs.end())
+      Kept.push_back(P);
+  Diseqs = std::move(Kept);
+  for (auto It = UniqueRep.begin(); It != UniqueRep.end();) {
+    auto OIt = O.UniqueRep.find(It->first);
+    if (OIt == O.UniqueRep.end() || OIt->second != It->second)
+      It = UniqueRep.erase(It);
+    else
+      ++It;
+  }
+  Overflow = Overflow || O.Overflow;
+}
+
+bool DomainState::extractModel(std::vector<int64_t> &Vals) {
+  close();
+  if (Bottom || Overflow)
+    return false;
+  // Shortest-path potentials from a virtual source with per-node weights
+  // w_k: delta(i) = min_k (w_k + D[i][k]) satisfies every difference bound
+  // of the closed DBM (delta(a) <= delta(b) + D[a][b] by the triangle
+  // inequality). Spacing the weights makes otherwise-unconstrained
+  // variables take distinct values, which is what the disequality edges
+  // usually need; the caller re-verifies regardless.
+  constexpr __int128 Spacing = 1048573;
+  std::vector<__int128> Delta(N);
+  for (size_t I = 0; I != N; ++I) {
+    __int128 Best = static_cast<__int128>(I) * Spacing; // k == I, D[I][I] == 0
+    for (size_t K = 0; K != N; ++K) {
+      if (D[I][K] == INF)
+        continue;
+      __int128 Cand = static_cast<__int128>(K) * Spacing + D[I][K];
+      if (Cand < Best)
+        Best = Cand;
+    }
+    Delta[I] = Best;
+  }
+  Vals.assign(N, 0);
+  for (size_t I = 0; I != N; ++I) {
+    __int128 X = Delta[I] - Delta[0];
+    if (X < INT64_MIN || X > INT64_MAX)
+      return false;
+    Vals[I] = static_cast<int64_t>(X);
+  }
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// domainDecide
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Maps the Term universe of one (source, target, constants) condition onto
+/// domain variables, applying each slot's fact when it is first referenced.
+struct CondFrame {
+  CondFrame(const EventFacts &Src, const EventFacts &Tgt)
+      : SrcF(Src), TgtF(Tgt) {}
+
+  DomainState St;
+  const EventFacts &SrcF;
+  const EventFacts &TgtF;
+  std::vector<int> SrcVar, TgtVar; ///< slot -> var, -1 = unreferenced
+  std::map<int64_t, unsigned> ConstVar;
+  std::map<unsigned, unsigned> SymVar; ///< symbol -> first var seen
+
+  unsigned slotVar(bool IsSrc, unsigned I) {
+    std::vector<int> &Vec = IsSrc ? SrcVar : TgtVar;
+    if (I >= Vec.size())
+      Vec.resize(I + 1, -1);
+    if (Vec[I] >= 0)
+      return static_cast<unsigned>(Vec[I]);
+    unsigned V = St.addVar();
+    Vec[I] = static_cast<int>(V);
+    const EventFacts &Facts = IsSrc ? SrcF : TgtF;
+    if (I < Facts.size()) {
+      const ArgFact &F = Facts[I];
+      switch (F.Kind) {
+      case ArgFact::Free:
+        break;
+      case ArgFact::Constant:
+        St.addConst(V, F.Value);
+        break;
+      case ArgFact::Symbolic: {
+        auto [It, Inserted] = SymVar.try_emplace(F.Symbol, V);
+        if (!Inserted)
+          St.addEq(V, It->second);
+        break;
+      }
+      case ArgFact::Unique:
+        St.addUnique(V, F.Symbol);
+        break;
+      }
+    }
+    return V;
+  }
+
+  unsigned termVar(const Term &T) {
+    if (T.Kind == Term::Const) {
+      auto [It, Inserted] = ConstVar.try_emplace(T.Value, 0u);
+      if (Inserted) {
+        It->second = St.addVar();
+        St.addConst(It->second, T.Value);
+      }
+      return It->second;
+    }
+    return slotVar(T.Kind == Term::ArgSrc, T.Index);
+  }
+
+  void addLiteral(const Literal &L) {
+    unsigned A = termVar(L.A), B = termVar(L.B);
+    switch (L.Cmp) {
+    case CmpKind::Eq:
+      L.Negated ? St.addNe(A, B) : St.addEq(A, B);
+      break;
+    case CmpKind::Lt:
+      L.Negated ? St.addLe(B, A) : St.addLt(A, B);
+      break;
+    case CmpKind::Le:
+      L.Negated ? St.addLt(B, A) : St.addLe(A, B);
+      break;
+    }
+  }
+};
+
+bool literalHolds(const Literal &L, int64_t A, int64_t B) {
+  bool H = false;
+  switch (L.Cmp) {
+  case CmpKind::Eq:
+    H = A == B;
+    break;
+  case CmpKind::Lt:
+    H = A < B;
+    break;
+  case CmpKind::Le:
+    H = A <= B;
+    break;
+  }
+  return H != L.Negated;
+}
+
+/// Checks an extracted model against one side's fact semantics. SymVal and
+/// UniqVal accumulate across both sides (symbols and unique ids are global).
+bool factsHold(const EventFacts &Facts, const std::vector<int> &VarOf,
+               const std::vector<int64_t> &Vals,
+               std::map<unsigned, int64_t> &SymVal,
+               std::map<unsigned, int64_t> &UniqVal) {
+  for (size_t I = 0; I != VarOf.size() && I != Facts.size(); ++I) {
+    if (VarOf[I] < 0)
+      continue; // unreferenced slots never block satisfiability
+    int64_t X = Vals[static_cast<unsigned>(VarOf[I])];
+    const ArgFact &F = Facts[I];
+    switch (F.Kind) {
+    case ArgFact::Free:
+      break;
+    case ArgFact::Constant:
+      if (X != F.Value)
+        return false;
+      break;
+    case ArgFact::Symbolic: {
+      auto [It, Inserted] = SymVal.try_emplace(F.Symbol, X);
+      if (!Inserted && It->second != X)
+        return false;
+      break;
+    }
+    case ArgFact::Unique: {
+      if (X < FreshValueMin)
+        return false;
+      auto [It, Inserted] = UniqVal.try_emplace(F.Symbol, X);
+      if (!Inserted && It->second != X)
+        return false;
+      break;
+    }
+    }
+  }
+  return true;
+}
+
+/// Full model verification: every clause literal holds and both events'
+/// facts are respected, including pairwise distinctness of unique ids.
+bool verifiedModel(CondFrame &F, const std::vector<Literal> &Clause) {
+  std::vector<int64_t> Vals;
+  if (!F.St.extractModel(Vals))
+    return false;
+  auto TermVal = [&](const Term &T) -> int64_t {
+    if (T.Kind == Term::Const)
+      return T.Value;
+    const std::vector<int> &Vec = T.Kind == Term::ArgSrc ? F.SrcVar : F.TgtVar;
+    return Vals[static_cast<unsigned>(Vec[T.Index])];
+  };
+  for (const Literal &L : Clause)
+    if (!literalHolds(L, TermVal(L.A), TermVal(L.B)))
+      return false;
+  std::map<unsigned, int64_t> SymVal, UniqVal;
+  if (!factsHold(F.SrcF, F.SrcVar, Vals, SymVal, UniqVal) ||
+      !factsHold(F.TgtF, F.TgtVar, Vals, SymVal, UniqVal))
+    return false;
+  for (auto It = UniqVal.begin(); It != UniqVal.end(); ++It)
+    for (auto Jt = std::next(It); Jt != UniqVal.end(); ++Jt)
+      if (It->second == Jt->second)
+        return false; // distinct identities must take distinct values
+  return true;
+}
+
+} // namespace
+
+DomainVerdict c4::domainDecide(const Cond &C, const EventFacts &Src,
+                               const EventFacts &Tgt) {
+  bool Overflow = false;
+  std::vector<std::vector<Literal>> DNF = C.dnf(Overflow);
+  if (DNF.empty())
+    return DomainVerdict::ProvenUnsat; // literally false (overflow never
+                                       // produces an empty expansion)
+  if (Overflow)
+    return DomainVerdict::Unknown;
+  bool AllBottom = true;
+  unsigned ModelAttempts = 0;
+  for (const std::vector<Literal> &Clause : DNF) {
+    CondFrame F(Src, Tgt);
+    for (const Literal &L : Clause)
+      F.addLiteral(L);
+    if (F.St.isBottom())
+      continue;
+    AllBottom = false;
+    // A non-bottom clause is only *maybe* satisfiable (disequalities and
+    // uniqueness are checked lazily); claim SAT only on a verified model.
+    if (ModelAttempts++ < 8 && !F.St.overflowed() &&
+        verifiedModel(F, Clause))
+      return DomainVerdict::ProvenSat;
+  }
+  return AllBottom ? DomainVerdict::ProvenUnsat : DomainVerdict::Unknown;
+}

@@ -1,0 +1,126 @@
+//===- domain/AbstractDomain.h - Relational prefilter domain ----*- C++ -*-===//
+//
+// Part of the C4 serializability analyzer. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A sound relational abstract domain over integer-valued argument slots:
+/// difference bounds (a DBM with Floyd-Warshall closure) extended with
+/// disequality edges and fresh-unique-identity witnesses (paper §8). It
+/// generalizes the union-find congruence engine in spec/Cond.cpp: an equality
+/// is just a pair of zero-weight difference bounds, so congruence classes,
+/// ordering chains (x < y <= z < x), constant pinning and the FreshValueMin
+/// lower bound of unique identities all fall out of one transitive closure.
+///
+/// `domainDecide` is the three-valued entry the analyzer's prefilter layers
+/// use. Its answers are trustworthy by construction, not by review:
+///
+///  * Proven-UNSAT requires every DNF clause of the condition to close to
+///    bottom, with neither the DNF expansion nor any closure having
+///    overflowed;
+///  * Proven-SAT is only returned after an explicit integer model has been
+///    extracted from the closed DBM and re-verified literal by literal
+///    against the clause and the fact semantics (constants pinned, symbols
+///    congruent, unique identities pairwise distinct and >= FreshValueMin);
+///  * everything else is Unknown, and callers fall back to the existing
+///    congruence engine or the SMT stage, so verdicts never change.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef C4_DOMAIN_ABSTRACTDOMAIN_H
+#define C4_DOMAIN_ABSTRACTDOMAIN_H
+
+#include "spec/Cond.h"
+
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+namespace c4 {
+
+/// Three-valued answer of the abstract domain.
+enum class DomainVerdict : uint8_t {
+  ProvenSat,   ///< a concrete model was constructed and verified
+  ProvenUnsat, ///< every DNF clause closed to bottom (a real proof)
+  Unknown      ///< fall back to the congruence engine / SMT stage
+};
+
+/// One relational abstract state over a set of integer variables.
+///
+/// Variable 0 is the distinguished zero node; constraints against constants
+/// are difference bounds against it. Callers allocate further variables with
+/// addVar() and pour in constraints; isBottom() and extractModel() close the
+/// DBM on demand. All mutating operations are conjunctive (meet with one
+/// constraint); joinWith() is the convex-hull-style DBM join with
+/// intersection of the exact (disequality / witness) components.
+class DomainState {
+public:
+  DomainState();
+
+  /// Allocates a fresh unconstrained variable and returns its id.
+  unsigned addVar();
+  unsigned numVars() const { return static_cast<unsigned>(N) - 1; }
+
+  /// x_A - x_B <= C.
+  void addDiff(unsigned A, unsigned B, int64_t C);
+  void addEq(unsigned A, unsigned B);
+  void addNe(unsigned A, unsigned B);
+  void addLt(unsigned A, unsigned B); ///< x_A < x_B (integers: <= B-1)
+  void addLe(unsigned A, unsigned B);
+  void addConst(unsigned A, int64_t K);      ///< x_A == K
+  void addLowerBound(unsigned A, int64_t K); ///< x_A >= K
+  void addUpperBound(unsigned A, int64_t K); ///< x_A <= K
+  /// x_A equals the fresh unique identity \p Id (paper §8): >= FreshValueMin,
+  /// equal to every other variable carrying the same id, disequal from every
+  /// variable carrying a different id.
+  void addUnique(unsigned A, unsigned Id);
+
+  /// True when the state is *provably* empty: a negative cycle in the closed
+  /// DBM, or a disequality edge whose endpoints the bounds force equal.
+  /// Returns false when a closure overflowed (never claims bottom then).
+  bool isBottom();
+
+  /// True when some closure step left the representable range; bottom and
+  /// model answers are withheld in that case.
+  bool overflowed() const { return Overflow; }
+
+  /// Conjunction with another state over the same variables.
+  void meetWith(const DomainState &O);
+  /// Sound upper bound of two states over the same variables.
+  void joinWith(DomainState &O);
+
+  /// Extracts a concrete assignment (Vals[0] == 0) satisfying every
+  /// difference bound, from shortest-path potentials over the closed DBM
+  /// with spaced source weights (so unconstrained variables come out
+  /// distinct). Returns false on bottom or overflow. Disequalities are NOT
+  /// guaranteed satisfied — callers re-verify the model.
+  bool extractModel(std::vector<int64_t> &Vals);
+
+private:
+  void close();
+
+  static constexpr int64_t INF = INT64_MAX;
+  /// Finite bounds are clamped to +/-Huge (sums of two stay in int64);
+  /// crossing it sets Overflow.
+  static constexpr int64_t Huge = int64_t(1) << 61;
+
+  size_t N = 1;                        ///< nodes incl. the zero node
+  std::vector<std::vector<int64_t>> D; ///< D[i][j]: bound on x_i - x_j
+  std::vector<std::pair<unsigned, unsigned>> Diseqs; ///< normalized a < b
+  std::map<unsigned, unsigned> UniqueRep; ///< unique id -> representative var
+  bool Closed = true;
+  bool Bottom = false;
+  bool Overflow = false;
+};
+
+/// Decides satisfiability of \p C under per-slot facts for the source and
+/// target events — the same question as Cond::satisfiableUnder, but
+/// three-valued and complete for ordering atoms over constrained slots.
+DomainVerdict domainDecide(const Cond &C, const EventFacts &Src,
+                           const EventFacts &Tgt);
+
+} // namespace c4
+
+#endif // C4_DOMAIN_ABSTRACTDOMAIN_H

@@ -1,0 +1,411 @@
+//===- domain/Prefilter.cpp -----------------------------------------------===//
+//
+// Part of the C4 serializability analyzer. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "domain/Prefilter.h"
+
+#include "domain/AbstractDomain.h"
+#include "spec/DataType.h"
+
+#include <map>
+#include <utility>
+
+using namespace c4;
+
+namespace {
+
+/// Closure budget per candidate: each DomainState closure costs one unit;
+/// exhaustion leaves the candidate alive (the SMT stage stays
+/// authoritative), it never flips an answer.
+constexpr unsigned MaxStatesPerCandidate = 512;
+/// Cap on enumerated per-step label assignments per candidate.
+constexpr unsigned MaxAssignments = 256;
+/// Branch-guard chains are walked at most this far toward the entry.
+constexpr unsigned MaxGuardDepth = 16;
+
+/// One necessary conjunct: a condition over a (source, target) event pair,
+/// pre-expanded to DNF (conjuncts whose expansion overflowed are dropped —
+/// dropping a conjunct only ever weakens the conjunction, which is sound
+/// for refutation).
+struct CondInst {
+  unsigned SrcE;
+  unsigned TgtE;
+  std::vector<std::vector<Literal>> DNF;
+};
+
+/// One feasible event-pair alternative of a (step, label) choice, with all
+/// its necessary conjuncts (¬com plus the endpoints' guard chains).
+struct Alt {
+  std::vector<CondInst> Conds;
+};
+
+/// One way a step can contribute to a pick set: a single label, or — since
+/// the encoder allows a step to pick several labels at once — the
+/// anti-dependency and conflict labels together (the only multi-pick that
+/// can enable SC1 where no single pick does).
+struct StepOption {
+  unsigned AntiCount = 0;
+  unsigned ConfCount = 0;
+  std::vector<const std::vector<Alt> *> Dims;
+};
+
+/// A shared variable universe for one conjunction state: domain variables
+/// per (event, slot), per constant, with symbol congruence applied lazily.
+struct BuildState {
+  DomainState St;
+  std::map<std::pair<unsigned, unsigned>, unsigned> SlotVar;
+  std::map<int64_t, unsigned> ConstVar;
+  std::map<unsigned, unsigned> SymVar;
+};
+
+struct Ctx {
+  const AbstractHistory &H;
+  const std::vector<unsigned> &Tags;
+  const AnalysisFeatures &F;
+  const SSG &G;
+  CommutativityOracle *Oracle;
+  unsigned StatesLeft = MaxStatesPerCandidate;
+
+  std::map<unsigned, EventFacts> FactsCache;
+  std::map<unsigned, std::vector<CondInst>> GuardCache;
+  std::map<unsigned, bool> PresencePossible;
+
+  bool budget() {
+    if (StatesLeft == 0)
+      return false;
+    --StatesLeft;
+    return true;
+  }
+
+  /// The facts the encoder actually asserts for \p E: resolved per-session
+  /// facts under the constraints feature, with fresh-unique facts downgraded
+  /// to free unless the unique-values feature (which asserts the fresh
+  /// axioms in the encoding) is on.
+  const EventFacts &factsFor(unsigned E) {
+    auto It = FactsCache.find(E);
+    if (It != FactsCache.end())
+      return It->second;
+    EventFacts Facts;
+    if (F.Constraints) {
+      Facts = H.resolveFacts(E, Tags[H.event(E).Txn]);
+      if (!F.UniqueValues)
+        for (ArgFact &AF : Facts)
+          if (AF.Kind == ArgFact::Unique)
+            AF = ArgFact::free();
+    } else {
+      Facts = EventFacts(H.op(E).numVals());
+    }
+    return FactsCache.emplace(E, std::move(Facts)).first->second;
+  }
+
+  /// The chain of branch guards event \p E's presence forces: while an event
+  /// has exactly one incoming eo edge, presence implies the edge was taken,
+  /// hence its guard holds and its source is present too. Returns false when
+  /// \p E can never be present (a non-entry event with no incoming edge).
+  bool guards(unsigned E, std::vector<const CondInst *> &Out) {
+    auto PI = PresencePossible.find(E);
+    if (PI != PresencePossible.end()) {
+      if (!PI->second)
+        return false;
+      for (const CondInst &CI : GuardCache[E])
+        Out.push_back(&CI);
+      return true;
+    }
+    std::vector<CondInst> Chain;
+    bool Possible = true;
+    if (F.ControlFlow) {
+      unsigned T = H.event(E).Txn;
+      const AbstractTxn &Txn = H.txn(T);
+      unsigned Cur = E;
+      for (unsigned Depth = 0; Depth != MaxGuardDepth; ++Depth) {
+        if (Cur == H.entry(T))
+          break;
+        const AbstractConstraint *In = nullptr;
+        bool Multiple = false;
+        for (const AbstractConstraint &Eo : Txn.Eo)
+          if (Eo.Tgt == Cur) {
+            if (In) {
+              Multiple = true;
+              break;
+            }
+            In = &Eo;
+          }
+        if (Multiple)
+          break; // a join: presence no longer forces a unique guard
+        if (!In) {
+          Possible = false; // unreachable non-entry event
+          break;
+        }
+        if (!In->C.isTrue()) {
+          bool Overflow = false;
+          std::vector<std::vector<Literal>> DNF = In->C.dnf(Overflow);
+          if (!Overflow)
+            Chain.push_back({In->Src, In->Tgt, std::move(DNF)});
+        }
+        Cur = In->Src;
+      }
+    }
+    PresencePossible[E] = Possible;
+    GuardCache[E] = std::move(Chain);
+    if (!Possible)
+      return false;
+    for (const CondInst &CI : GuardCache[E])
+      Out.push_back(&CI);
+    return true;
+  }
+};
+
+unsigned slotVar(Ctx &C, BuildState &S, unsigned E, unsigned I) {
+  auto [It, Inserted] = S.SlotVar.try_emplace({E, I}, 0u);
+  if (!Inserted)
+    return It->second;
+  unsigned V = S.St.addVar();
+  It->second = V;
+  const EventFacts &Facts = C.factsFor(E);
+  if (I < Facts.size()) {
+    const ArgFact &F = Facts[I];
+    switch (F.Kind) {
+    case ArgFact::Free:
+      break;
+    case ArgFact::Constant:
+      S.St.addConst(V, F.Value);
+      break;
+    case ArgFact::Symbolic: {
+      auto [SIt, SNew] = S.SymVar.try_emplace(F.Symbol, V);
+      if (!SNew)
+        S.St.addEq(V, SIt->second);
+      break;
+    }
+    case ArgFact::Unique:
+      S.St.addUnique(V, F.Symbol);
+      break;
+    }
+  }
+  return V;
+}
+
+unsigned termVar(Ctx &C, BuildState &S, const CondInst &CI, const Term &T) {
+  if (T.Kind == Term::Const) {
+    auto [It, Inserted] = S.ConstVar.try_emplace(T.Value, 0u);
+    if (Inserted) {
+      It->second = S.St.addVar();
+      S.St.addConst(It->second, T.Value);
+    }
+    return It->second;
+  }
+  return slotVar(C, S, T.Kind == Term::ArgSrc ? CI.SrcE : CI.TgtE, T.Index);
+}
+
+void addClause(Ctx &C, BuildState &S, const CondInst &CI,
+               const std::vector<Literal> &Clause) {
+  for (const Literal &L : Clause) {
+    unsigned A = termVar(C, S, CI, L.A), B = termVar(C, S, CI, L.B);
+    switch (L.Cmp) {
+    case CmpKind::Eq:
+      L.Negated ? S.St.addNe(A, B) : S.St.addEq(A, B);
+      break;
+    case CmpKind::Lt:
+      L.Negated ? S.St.addLe(B, A) : S.St.addLt(A, B);
+      break;
+    case CmpKind::Le:
+      L.Negated ? S.St.addLt(B, A) : S.St.addLe(A, B);
+      break;
+    }
+  }
+}
+
+/// True iff every completion of \p Conj from index \p Idx on (one DNF
+/// clause per conjunct) closes to bottom. False on any possibly-satisfiable
+/// completion or on budget exhaustion — never an unsound "refuted".
+bool refuteConj(Ctx &C, const std::vector<const CondInst *> &Conj,
+                unsigned Idx, BuildState S) {
+  if (!C.budget())
+    return false;
+  if (S.St.isBottom())
+    return true; // every extension of a bottom state stays bottom
+  if (Idx == Conj.size())
+    return false;
+  for (const std::vector<Literal> &Clause : Conj[Idx]->DNF) {
+    BuildState S2 = S;
+    addClause(C, S2, *Conj[Idx], Clause);
+    if (!refuteConj(C, Conj, Idx + 1, std::move(S2)))
+      return false;
+  }
+  // An empty DNF (condition literally false) has no completions: refuted.
+  return true;
+}
+
+/// True iff every alternative combination drawn from \p Dims (one Alt per
+/// dimension), conjoined with \p Conj, is refuted.
+bool refuteAlts(Ctx &C, const std::vector<const std::vector<Alt> *> &Dims,
+                unsigned DimIdx, std::vector<const CondInst *> &Conj) {
+  if (DimIdx == Dims.size())
+    return refuteConj(C, Conj, 0, BuildState());
+  for (const Alt &A : *Dims[DimIdx]) {
+    size_t Mark = Conj.size();
+    for (const CondInst &CI : A.Conds)
+      Conj.push_back(&CI);
+    bool Refuted = refuteAlts(C, Dims, DimIdx + 1, Conj);
+    Conj.resize(Mark);
+    if (!Refuted)
+      return false;
+  }
+  return true;
+}
+
+/// Mirrors the encoder's soBefore: abstract sessions are chains in
+/// transaction order.
+bool soBefore(const Ctx &C, unsigned TS, unsigned TT) {
+  return TS != TT && C.Tags[TS] == C.Tags[TT] && TS < TT;
+}
+
+/// Computes the feasible alternatives for one (step, label) choice, each
+/// with its necessary conjuncts attached. Standalone-infeasible alternatives
+/// (their own conjuncts close to bottom) are dropped: the corresponding
+/// encoder disjunct is unsatisfiable, so no model realizes the step that
+/// way.
+std::vector<Alt> labelAlternatives(Ctx &C, unsigned From, unsigned To,
+                                   int Label) {
+  std::vector<Alt> Alts;
+  if (Label == DepSO) {
+    if (soBefore(C, From, To))
+      Alts.push_back({}); // presence-only: nothing for the domain to refute
+    return Alts;
+  }
+  for (const DepPairAlt &P :
+       depPairAlternatives(C.H, From, To, Label, C.F)) {
+    const AbstractEvent &AE = C.H.event(P.EU);
+    const AbstractEvent &BE = C.H.event(P.EQ);
+    if (AE.Container != BE.Container)
+      continue; // the encoder's ¬com is false across containers
+    Alt A;
+    std::vector<const CondInst *> Need;
+    if (!C.guards(P.EU, Need) || !C.guards(P.EQ, Need))
+      continue; // an endpoint can never be present
+    for (const CondInst *G : Need)
+      A.Conds.push_back(*G);
+    if (!C.F.Commutativity) {
+      // Ablation: ¬com is the boolean satisfiability verdict.
+      if (!C.G.mayInterfere(P.EU, P.EQ, P.Mode))
+        continue;
+    } else {
+      const DataTypeSpec &Type = *C.H.schema().container(AE.Container).Type;
+      Cond NotCom = C.Oracle
+                        ? C.Oracle->notCommutes(Type, AE.Op, BE.Op, P.Mode)
+                        : !commutesCond(Type, AE.Op, BE.Op, P.Mode);
+      if (NotCom.isFalse())
+        continue;
+      if (!NotCom.isTrue()) {
+        bool Overflow = false;
+        std::vector<std::vector<Literal>> DNF = NotCom.dnf(Overflow);
+        if (!Overflow)
+          A.Conds.push_back({P.EU, P.EQ, std::move(DNF)});
+      }
+    }
+    // Standalone feasibility of this alternative under facts and guards.
+    std::vector<const CondInst *> Conj;
+    for (const CondInst &CI : A.Conds)
+      Conj.push_back(&CI);
+    if (refuteConj(C, Conj, 0, BuildState()))
+      continue;
+    Alts.push_back(std::move(A));
+  }
+  return Alts;
+}
+
+/// True iff the candidate is proven unrealizable: every SC1-valid per-step
+/// pick assignment, over every alternative and DNF-clause choice, closes to
+/// bottom in the domain.
+bool candidateKilled(Ctx &C, const CandidateCycle &Cand) {
+  unsigned NumSteps = Cand.Closed
+                          ? static_cast<unsigned>(Cand.Txns.size())
+                          : static_cast<unsigned>(Cand.Txns.size()) - 1;
+  // Feasible alternatives per (step, label). Stored stably: StepOption
+  // dimensions point into this.
+  std::vector<std::map<int, std::vector<Alt>>> StepAlts(NumSteps);
+  std::vector<std::vector<StepOption>> Options(NumSteps);
+  for (unsigned Step = 0; Step != NumSteps; ++Step) {
+    unsigned From = Cand.Txns[Step];
+    unsigned To = Cand.Txns[(Step + 1) % Cand.Txns.size()];
+    for (int Label : Cand.StepLabels[Step]) {
+      if (StepAlts[Step].count(Label))
+        continue; // duplicate label on a multi-edge
+      StepAlts[Step][Label] = labelAlternatives(C, From, To, Label);
+    }
+    for (auto &[Label, Alts] : StepAlts[Step]) {
+      if (Alts.empty())
+        continue; // infeasible label: assignments over it are refuted
+      StepOption O;
+      O.AntiCount = Label == DepAntiDep;
+      O.ConfCount = Label == DepConflict;
+      O.Dims.push_back(&Alts);
+      Options[Step].push_back(std::move(O));
+    }
+    // The encoder lets one step pick several labels at once; the only
+    // multi-pick that can enable SC1 on its own is anti + conflict.
+    auto AntiIt = StepAlts[Step].find(DepAntiDep);
+    auto ConfIt = StepAlts[Step].find(DepConflict);
+    if (AntiIt != StepAlts[Step].end() && !AntiIt->second.empty() &&
+        ConfIt != StepAlts[Step].end() && !ConfIt->second.empty()) {
+      StepOption O;
+      O.AntiCount = O.ConfCount = 1;
+      O.Dims.push_back(&AntiIt->second);
+      O.Dims.push_back(&ConfIt->second);
+      Options[Step].push_back(std::move(O));
+    }
+    if (Options[Step].empty())
+      return true; // no step pick can be realized at all
+  }
+
+  // Enumerate per-step option assignments; only SC1-valid ones need
+  // refutation (the encoder conjoins SC1 onto every selected candidate).
+  uint64_t Product = 1;
+  for (unsigned Step = 0; Step != NumSteps; ++Step) {
+    Product *= Options[Step].size();
+    if (Product > MaxAssignments)
+      return false; // too many shapes: leave it to the SMT stage
+  }
+  std::vector<unsigned> Choice(NumSteps, 0);
+  for (uint64_t I = 0; I != Product; ++I) {
+    uint64_t Rest = I;
+    unsigned Anti = 0, Conf = 0;
+    for (unsigned Step = 0; Step != NumSteps; ++Step) {
+      Choice[Step] = static_cast<unsigned>(Rest % Options[Step].size());
+      Rest /= Options[Step].size();
+      Anti += Options[Step][Choice[Step]].AntiCount;
+      Conf += Options[Step][Choice[Step]].ConfCount;
+    }
+    bool SC1 = Cand.Closed ? (Anti >= 2 || (Anti >= 1 && Conf >= 1))
+                           : Anti >= 1;
+    if (!SC1)
+      continue; // the encoder already rules this pick set out
+    std::vector<const std::vector<Alt> *> Dims;
+    for (unsigned Step = 0; Step != NumSteps; ++Step)
+      for (const std::vector<Alt> *D : Options[Step][Choice[Step]].Dims)
+        Dims.push_back(D);
+    std::vector<const CondInst *> Conj;
+    if (!refuteAlts(C, Dims, 0, Conj))
+      return false;
+  }
+  return true;
+}
+
+} // namespace
+
+PrefilterResult c4::prefilterCandidates(
+    const Unfolding &U, const SSG &G, const std::vector<CandidateCycle> &Cands,
+    const AnalysisFeatures &F, CommutativityOracle *Oracle) {
+  PrefilterResult R;
+  R.Killed.assign(Cands.size(), false);
+  Ctx C{U.H, U.SessionTags, F, G, Oracle};
+  for (size_t I = 0; I != Cands.size(); ++I) {
+    C.StatesLeft = MaxStatesPerCandidate;
+    if (candidateKilled(C, Cands[I])) {
+      R.Killed[I] = true;
+      ++R.NumKilled;
+    }
+  }
+  return R;
+}

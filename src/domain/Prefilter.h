@@ -1,0 +1,58 @@
+//===- domain/Prefilter.h - Candidate-cycle domain prefilter ----*- C++ -*-===//
+//
+// Part of the C4 serializability analyzer. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The per-candidate-cycle prefilter in front of the SMT stage. For each
+/// candidate cycle (or §7.2 segment) of an instantiated SSG it collects a
+/// *necessary* fragment of the ϕ_cyclic encoding — for every SC1-valid way
+/// of picking one dependency label and one realizing event pair per step:
+/// the ¬com condition of each picked pair, the argument facts of the events
+/// involved, and (under the control-flow feature) the chain of branch guards
+/// an event's presence forces — closes the conjunction in the relational
+/// domain, and reports the candidate *killed* when every such conjunction is
+/// bottom. Killed candidates cannot be realized by any model of the full
+/// encoding (which only adds conjuncts: visibility, arbitration, escape
+/// clauses), so when a whole unfolding's candidates die the analyzer may
+/// report NoCycle without constructing a Z3 query. Anything the domain
+/// cannot refute — DNF overflow, work-cap overruns, plain satisfiable
+/// conjunctions — leaves the candidate alive and the SMT stage authoritative,
+/// keeping verdicts byte-identical either way.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef C4_DOMAIN_PREFILTER_H
+#define C4_DOMAIN_PREFILTER_H
+
+#include "ssg/SSG.h"
+#include "unfold/Unfolder.h"
+
+#include <vector>
+
+namespace c4 {
+
+/// Per-candidate outcome of one prefilter run.
+struct PrefilterResult {
+  /// Killed[i]: candidate i was proven unrealizable by the domain.
+  std::vector<bool> Killed;
+  unsigned NumKilled = 0;
+
+  bool allKilled() const {
+    return NumKilled == Killed.size() && NumKilled > 0;
+  }
+};
+
+/// Runs the domain prefilter over \p Cands (candidate cycles or segments of
+/// the instantiated SSG \p G built for unfolding \p U). \p Oracle, when
+/// non-null, supplies the memoized ¬com conditions (identical formulas are
+/// computed from the registry otherwise).
+PrefilterResult prefilterCandidates(const Unfolding &U, const SSG &G,
+                                    const std::vector<CandidateCycle> &Cands,
+                                    const AnalysisFeatures &F,
+                                    CommutativityOracle *Oracle);
+
+} // namespace c4
+
+#endif // C4_DOMAIN_PREFILTER_H

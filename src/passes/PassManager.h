@@ -43,6 +43,7 @@
 
 namespace c4 {
 
+class AbstractHistory;
 struct CompiledProgram;
 struct ProgramAST;
 
@@ -94,6 +95,7 @@ std::unique_ptr<ProgramAST> cloneAST(const ProgramAST &AST);
 /// creator event of the same transaction to AbsFact::FreshVar. Returns the
 /// number of promoted slots.
 unsigned promoteFreshFacts(CompiledProgram &P);
+unsigned promoteFreshFacts(AbstractHistory &H);
 
 } // namespace c4
 

@@ -1,0 +1,118 @@
+//===- smt/CondSmt.cpp ----------------------------------------------------===//
+//
+// Part of the C4 serializability analyzer. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "smt/CondSmt.h"
+
+#include <z3++.h>
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+using namespace c4;
+
+bool c4::z3CondSatisfiable(const Cond &C, const EventFacts &Src,
+                           const EventFacts &Tgt) {
+  z3::context Ctx;
+  z3::solver Solver(Ctx);
+
+  // One integer per referenced slot; shared symbol / fresh-identity
+  // variables on demand.
+  std::vector<z3::expr> SrcVars, TgtVars;
+  std::map<unsigned, z3::expr> Symbols;
+  std::map<unsigned, z3::expr> Uniques;
+  auto SlotVar = [&](bool IsSrc, unsigned I) {
+    std::vector<z3::expr> &Vars = IsSrc ? SrcVars : TgtVars;
+    while (Vars.size() <= I) {
+      std::string Name = (IsSrc ? "s" : "t") + std::to_string(Vars.size());
+      Vars.push_back(Ctx.int_const(Name.c_str()));
+    }
+    return Vars[I];
+  };
+  auto AddFacts = [&](const EventFacts &F, bool IsSrc) {
+    for (unsigned I = 0; I != F.size(); ++I) {
+      z3::expr V = SlotVar(IsSrc, I);
+      switch (F[I].Kind) {
+      case ArgFact::Free:
+        break;
+      case ArgFact::Constant:
+        Solver.add(V == Ctx.int_val(static_cast<int64_t>(F[I].Value)));
+        break;
+      case ArgFact::Symbolic: {
+        auto It = Symbols.find(F[I].Symbol);
+        if (It == Symbols.end()) {
+          std::string Name = "y" + std::to_string(F[I].Symbol);
+          It = Symbols.emplace(F[I].Symbol, Ctx.int_const(Name.c_str()))
+                   .first;
+        }
+        Solver.add(V == It->second);
+        break;
+      }
+      case ArgFact::Unique: {
+        auto It = Uniques.find(F[I].Symbol);
+        if (It == Uniques.end()) {
+          std::string Name = "u" + std::to_string(F[I].Symbol);
+          z3::expr U = Ctx.int_const(Name.c_str());
+          Solver.add(U >= Ctx.int_val(FreshValueMin));
+          for (const auto &[Id, Other] : Uniques)
+            Solver.add(U != Other);
+          It = Uniques.emplace(F[I].Symbol, U).first;
+        }
+        Solver.add(V == It->second);
+        break;
+      }
+      }
+    }
+  };
+  AddFacts(Src, /*IsSrc=*/true);
+  AddFacts(Tgt, /*IsSrc=*/false);
+
+  std::function<z3::expr(const Cond &)> Enc = [&](const Cond &K) {
+    switch (K.kind()) {
+    case Cond::NodeKind::True:
+      return Ctx.bool_val(true);
+    case Cond::NodeKind::False:
+      return Ctx.bool_val(false);
+    case Cond::NodeKind::Atom: {
+      auto TermOf = [&](const Term &T) {
+        if (T.Kind == Term::ArgSrc)
+          return SlotVar(/*IsSrc=*/true, T.Index);
+        if (T.Kind == Term::ArgTgt)
+          return SlotVar(/*IsSrc=*/false, T.Index);
+        return Ctx.int_val(static_cast<int64_t>(T.Value));
+      };
+      z3::expr L = TermOf(K.atomLHS()), R = TermOf(K.atomRHS());
+      switch (K.atomCmp()) {
+      case CmpKind::Eq:
+        return L == R;
+      case CmpKind::Lt:
+        return L < R;
+      case CmpKind::Le:
+        return L <= R;
+      }
+      return Ctx.bool_val(false);
+    }
+    case Cond::NodeKind::Not:
+      return !Enc(K.children()[0]);
+    case Cond::NodeKind::And: {
+      z3::expr E = Ctx.bool_val(true);
+      for (const Cond &Child : K.children())
+        E = E && Enc(Child);
+      return E;
+    }
+    case Cond::NodeKind::Or: {
+      z3::expr E = Ctx.bool_val(false);
+      for (const Cond &Child : K.children())
+        E = E || Enc(Child);
+      return E;
+    }
+    }
+    return Ctx.bool_val(false);
+  };
+  Solver.add(Enc(C));
+  return Solver.check() == z3::sat;
+}

@@ -1,0 +1,33 @@
+//===- smt/CondSmt.h - Z3 reference check for Cond sat ----------*- C++ -*-===//
+//
+// Part of the C4 serializability analyzer. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A Z3-backed reference decision procedure for `Cond` satisfiability under
+/// a pair of fact vectors — the ground truth the relational domain
+/// (domain/AbstractDomain.h) and the congruence-closure engine
+/// (Cond::satisfiableUnder) are measured against. Encodes the exact fact
+/// semantics both deciders assume: constants pin values, symbols alias
+/// slots, and Unique facts are fresh identities (>= FreshValueMin, equal
+/// iff the identity matches). Used by `--check-prefilter` and the
+/// differential fuzzers; too slow for the analysis hot path (a fresh Z3
+/// context per call).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef C4_SMT_CONDSMT_H
+#define C4_SMT_CONDSMT_H
+
+#include "spec/Cond.h"
+
+namespace c4 {
+
+/// Decides with Z3 whether \p C has a model under \p Src / \p Tgt.
+bool z3CondSatisfiable(const Cond &C, const EventFacts &Src,
+                       const EventFacts &Tgt);
+
+} // namespace c4
+
+#endif // C4_SMT_CONDSMT_H

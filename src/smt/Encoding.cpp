@@ -238,60 +238,32 @@ z3::expr UnfoldingEncoder::edgeFormula(unsigned TS, unsigned TT,
                                        int Label) const {
   Z3Env &ZM = const_cast<Z3Env &>(Z);
   z3::expr R = ZM.boolVal(false);
-  switch (Label) {
-  case DepSO:
+  if (Label == DepSO) {
     if (soBefore(TS, TT))
       R = TxnPresent[TS] && TxnPresent[TT];
     return R;
-  case DepDependency:
-    for (unsigned EUIdx : A.txn(TS).Events) {
-      if (A.event(EUIdx).isMarker() || !A.isUpdate(EUIdx))
-        continue;
-      for (unsigned EQIdx : A.txn(TT).Events) {
-        if (A.event(EQIdx).isMarker() || !A.isQuery(EQIdx))
-          continue;
-        z3::expr NotCom = notComZ3(EUIdx, EQIdx, CommuteMode::Far);
-        if (NotCom.is_false())
-          continue;
-        R = R || (EvPresent[EUIdx] && EvPresent[EQIdx] &&
-                  visTo(EUIdx, EQIdx) && NotCom && !escape(EUIdx, EQIdx));
-      }
+  }
+  // The event pairs that can realize the edge come from the shared
+  // enumeration the domain prefilter also uses (ssg/SSG.h), so the two
+  // stages agree on the disjuncts by construction.
+  for (const DepPairAlt &P : depPairAlternatives(A, TS, TT, Label, F)) {
+    z3::expr NotCom = notComZ3(P.EU, P.EQ, P.Mode);
+    if (NotCom.is_false())
+      continue;
+    switch (Label) {
+    case DepDependency:
+      R = R || (EvPresent[P.EU] && EvPresent[P.EQ] && visTo(P.EU, P.EQ) &&
+                NotCom && !escape(P.EU, P.EQ));
+      break;
+    case DepAntiDep:
+      R = R || (EvPresent[P.EU] && EvPresent[P.EQ] && !visTo(P.EU, P.EQ) &&
+                NotCom && !escape(P.EU, P.EQ));
+      break;
+    case DepConflict:
+      R = R || (EvPresent[P.EU] && EvPresent[P.EQ] && arLess(P.EU, P.EQ) &&
+                NotCom);
+      break;
     }
-    return R;
-  case DepAntiDep:
-    // ⊖ runs from the query's transaction TS to the update's TT.
-    for (unsigned EQIdx : A.txn(TS).Events) {
-      if (A.event(EQIdx).isMarker() || !A.isQuery(EQIdx))
-        continue;
-      for (unsigned EUIdx : A.txn(TT).Events) {
-        if (A.event(EUIdx).isMarker() || !A.isUpdate(EUIdx))
-          continue;
-        z3::expr NotCom =
-            notComZ3(EUIdx, EQIdx,
-                     F.AsymmetricAntiDeps ? CommuteMode::Asym
-                                          : CommuteMode::Far);
-        if (NotCom.is_false())
-          continue;
-        R = R || (EvPresent[EUIdx] && EvPresent[EQIdx] &&
-                  !visTo(EUIdx, EQIdx) && NotCom && !escape(EUIdx, EQIdx));
-      }
-    }
-    return R;
-  case DepConflict:
-    for (unsigned EUIdx : A.txn(TS).Events) {
-      if (A.event(EUIdx).isMarker() || !A.isUpdate(EUIdx))
-        continue;
-      for (unsigned EVIdx : A.txn(TT).Events) {
-        if (A.event(EVIdx).isMarker() || !A.isUpdate(EVIdx))
-          continue;
-        z3::expr NotCom = notComZ3(EUIdx, EVIdx, CommuteMode::Plain);
-        if (NotCom.is_false())
-          continue;
-        R = R || (EvPresent[EUIdx] && EvPresent[EVIdx] &&
-                  arLess(EUIdx, EVIdx) && NotCom);
-      }
-    }
-    return R;
   }
   return R;
 }

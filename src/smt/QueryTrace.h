@@ -44,6 +44,9 @@ struct QueryRecord {
   uint64_t RlimitSpent = 0;
   /// "cycle", "no-cycle", "unknown" or "error".
   const char *Outcome = "unknown";
+  /// The verdict came from the domain prefilter; no Z3 query was built
+  /// (Attempts is 0 for such records).
+  bool Prefiltered = false;
   /// Wall time across all attempts, milliseconds.
   double WallMs = 0;
 };

@@ -17,7 +17,7 @@ namespace {
 /// Snapshot blob header. The version is independent of the DiskCache entry
 /// format (which frames and checksums the blob); it covers the *textual*
 /// key encoding below.
-constexpr const char *SnapshotHeader = "c4-oracle-snapshot 1";
+constexpr const char *SnapshotHeader = "c4-oracle-snapshot 2";
 
 /// Renders one fact vector as `kind.value.symbol` triples joined by ','.
 void renderFacts(std::string &Out, const EventFacts &F) {
@@ -82,7 +82,7 @@ size_t CommutativityOracle::CondKeyHash::operator()(const CondKey &K) const {
 }
 
 bool CommutativityOracle::SatKey::operator==(const SatKey &O) const {
-  if (!(CK == O.CK) || Src.size() != O.Src.size() ||
+  if (!(CK == O.CK) || Assist != O.Assist || Src.size() != O.Src.size() ||
       Tgt.size() != O.Tgt.size())
     return false;
   auto FactsEq = [](const EventFacts &X, const EventFacts &Y) {
@@ -97,6 +97,7 @@ bool CommutativityOracle::SatKey::operator==(const SatKey &O) const {
 
 size_t CommutativityOracle::SatKeyHash::operator()(const SatKey &K) const {
   size_t H = CondKeyHash()(K.CK);
+  H = hashCombine(H, static_cast<size_t>(K.Assist));
   auto MixFacts = [&H](const EventFacts &F) {
     H = hashCombine(H, F.size());
     for (const ArgFact &A : F) {
@@ -181,8 +182,10 @@ const Cond &CommutativityOracle::notAbsorbs(const DataTypeSpec &Type,
 }
 
 bool CommutativityOracle::satisfiable(CondKey K, const EventFacts &Src,
-                                      const EventFacts &Tgt) {
-  SatKey SK{K, Src, Tgt};
+                                      const EventFacts &Tgt,
+                                      const SatAssist *Assist) {
+  bool HaveAssist = Assist && *Assist;
+  SatKey SK{K, Src, Tgt, HaveAssist};
   {
     std::shared_lock<std::shared_mutex> Lock(SatMu);
     auto It = Sats.find(SK);
@@ -192,24 +195,31 @@ bool CommutativityOracle::satisfiable(CondKey K, const EventFacts &Src,
     }
   }
   SatMisses.fetch_add(1, std::memory_order_relaxed);
-  bool Verdict = condFor(K).satisfiableUnder(Src, Tgt);
+  const Cond &C = condFor(K);
+  bool Verdict;
+  AssistVerdict AV =
+      HaveAssist ? (*Assist)(C, Src, Tgt) : AssistVerdict::Unknown;
+  if (AV != AssistVerdict::Unknown) {
+    SatAssistProven.fetch_add(1, std::memory_order_relaxed);
+    Verdict = AV == AssistVerdict::Sat;
+  } else {
+    Verdict = C.satisfiableUnder(Src, Tgt);
+  }
   std::unique_lock<std::shared_mutex> Lock(SatMu);
   return Sats.try_emplace(std::move(SK), Verdict).first->second;
 }
 
 bool CommutativityOracle::notCommutesSatisfiable(
     const DataTypeSpec &Type, unsigned A, unsigned B, CommuteMode Mode,
-    const EventFacts &Src, const EventFacts &Tgt) {
-  return satisfiable({&Type, A, B, notComSel(Mode)}, Src, Tgt);
+    const EventFacts &Src, const EventFacts &Tgt, const SatAssist *Assist) {
+  return satisfiable({&Type, A, B, notComSel(Mode)}, Src, Tgt, Assist);
 }
 
-bool CommutativityOracle::notAbsorbsSatisfiable(const DataTypeSpec &Type,
-                                                unsigned A, unsigned B,
-                                                bool Far,
-                                                const EventFacts &Src,
-                                                const EventFacts &Tgt) {
+bool CommutativityOracle::notAbsorbsSatisfiable(
+    const DataTypeSpec &Type, unsigned A, unsigned B, bool Far,
+    const EventFacts &Src, const EventFacts &Tgt, const SatAssist *Assist) {
   return satisfiable({&Type, A, B, Far ? CondSel::NotAbsFar : CondSel::NotAbsPlain},
-                     Src, Tgt);
+                     Src, Tgt, Assist);
 }
 
 void OracleSnapshot::merge(const OracleSnapshot &O) {
@@ -261,6 +271,8 @@ void CommutativityOracle::exportSats(OracleSnapshot &Out) const {
     Key += '|';
     Key += std::to_string(static_cast<unsigned>(K.CK.Sel));
     Key += '|';
+    Key += K.Assist ? '1' : '0';
+    Key += '|';
     renderFacts(Key, K.Src);
     Key += '|';
     renderFacts(Key, K.Tgt);
@@ -273,13 +285,14 @@ unsigned CommutativityOracle::importSats(const OracleSnapshot &S,
   unsigned Imported = 0;
   std::unique_lock<std::shared_mutex> Lock(SatMu);
   for (const auto &[Key, Verdict] : S.Entries) {
-    // Split `type|A|B|sel|srcfacts|tgtfacts`.
+    // Split `type|A|B|sel|assist|srcfacts|tgtfacts`.
     size_t P1 = Key.find('|');
     size_t P2 = P1 == std::string::npos ? P1 : Key.find('|', P1 + 1);
     size_t P3 = P2 == std::string::npos ? P2 : Key.find('|', P2 + 1);
     size_t P4 = P3 == std::string::npos ? P3 : Key.find('|', P3 + 1);
     size_t P5 = P4 == std::string::npos ? P4 : Key.find('|', P4 + 1);
-    if (P5 == std::string::npos)
+    size_t P6 = P5 == std::string::npos ? P5 : Key.find('|', P5 + 1);
+    if (P6 == std::string::npos)
       continue;
     const DataTypeSpec *Type = Reg.lookup(Key.substr(0, P1));
     if (!Type)
@@ -288,18 +301,21 @@ unsigned CommutativityOracle::importSats(const OracleSnapshot &S,
     std::string AS = Key.substr(P1 + 1, P2 - P1 - 1);
     std::string BS = Key.substr(P2 + 1, P3 - P2 - 1);
     std::string SelS = Key.substr(P3 + 1, P4 - P3 - 1);
+    std::string AssistS = Key.substr(P4 + 1, P5 - P4 - 1);
     unsigned long A = std::strtoul(AS.c_str(), &EA, 10);
     unsigned long B = std::strtoul(BS.c_str(), &EB, 10);
     unsigned long Sel = std::strtoul(SelS.c_str(), &ES, 10);
     if (!EA || *EA || !EB || *EB || !ES || *ES ||
         Sel > static_cast<unsigned long>(CondSel::NotAbsFar) ||
-        A >= Type->ops().size() || B >= Type->ops().size())
+        A >= Type->ops().size() || B >= Type->ops().size() ||
+        (AssistS != "0" && AssistS != "1"))
       continue;
     SatKey SK;
     SK.CK = {Type, static_cast<unsigned>(A), static_cast<unsigned>(B),
              static_cast<CondSel>(Sel)};
-    if (!parseFacts(Key.substr(P4 + 1, P5 - P4 - 1), SK.Src) ||
-        !parseFacts(Key.substr(P5 + 1), SK.Tgt))
+    SK.Assist = AssistS == "1";
+    if (!parseFacts(Key.substr(P5 + 1, P6 - P5 - 1), SK.Src) ||
+        !parseFacts(Key.substr(P6 + 1), SK.Tgt))
       continue;
     if (Sats.try_emplace(std::move(SK), Verdict).second)
       ++Imported;
@@ -313,5 +329,6 @@ OracleStats CommutativityOracle::stats() const {
   S.CondMisses = CondMisses.load(std::memory_order_relaxed);
   S.SatHits = SatHits.load(std::memory_order_relaxed);
   S.SatMisses = SatMisses.load(std::memory_order_relaxed);
+  S.SatAssistProven = SatAssistProven.load(std::memory_order_relaxed);
   return S;
 }

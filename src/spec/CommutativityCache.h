@@ -42,6 +42,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <optional>
 #include <shared_mutex>
@@ -56,7 +57,29 @@ struct OracleStats {
   uint64_t CondMisses = 0;
   uint64_t SatHits = 0;
   uint64_t SatMisses = 0;
+  /// Satisfiability misses decided by the assist callback (no congruence
+  /// fallback needed). Subset of SatMisses.
+  uint64_t SatAssistProven = 0;
 };
+
+/// Verdict of an external satisfiability assist (see SatAssist).
+enum class AssistVerdict : uint8_t { Sat, Unsat, Unknown };
+
+/// An optional decision procedure the analyzer may plug into the oracle's
+/// satisfiability path. On a cache miss the oracle first consults the
+/// assist; a definite Sat/Unsat verdict is cached as-is, Unknown falls back
+/// to the built-in DNF + congruence-closure check. A definite verdict must
+/// be a *proof* about the condition's concretizations under the given fact
+/// vectors (Unsat: none satisfies it; Sat: a witness exists) — typically
+/// the assist decides strictly more structure than congruence closure
+/// (ordering atoms, fresh-value bounds), so it may answer Unsat where the
+/// fallback conservatively answers sat. Verdicts are cached and persisted;
+/// the assist must be safe to call concurrently. Declared here as a
+/// std::function so the spec layer stays independent of whichever domain
+/// implements it.
+using SatAssist =
+    std::function<AssistVerdict(const Cond &, const EventFacts &,
+                                const EventFacts &)>;
 
 /// A portable image of an oracle's satisfiability table, the unit of
 /// cross-run cache persistence. In-memory oracle keys hold `DataTypeSpec`
@@ -116,14 +139,20 @@ public:
   /// Memoized `notCommutes(...).satisfiableUnder(Src, Tgt)`. The caller is
   /// expected to have short-circuited the constant-false case via
   /// notCommutes() (the verdict is still correct without, just slower).
+  /// \p Assist, when non-null and non-empty, is consulted first on a cache
+  /// miss (see SatAssist). Assisted and unassisted verdicts are cached under
+  /// distinct keys: the assist decides strictly more ordering structure, so
+  /// mixing them would make results depend on call order.
   bool notCommutesSatisfiable(const DataTypeSpec &Type, unsigned A,
                               unsigned B, CommuteMode Mode,
-                              const EventFacts &Src, const EventFacts &Tgt);
+                              const EventFacts &Src, const EventFacts &Tgt,
+                              const SatAssist *Assist = nullptr);
 
   /// Memoized `notAbsorbs(...).satisfiableUnder(Src, Tgt)`.
   bool notAbsorbsSatisfiable(const DataTypeSpec &Type, unsigned A, unsigned B,
                              bool Far, const EventFacts &Src,
-                             const EventFacts &Tgt);
+                             const EventFacts &Tgt,
+                             const SatAssist *Assist = nullptr);
 
   OracleStats stats() const;
 
@@ -168,6 +197,10 @@ private:
     CondKey CK;
     EventFacts Src;
     EventFacts Tgt;
+    /// Whether the verdict was produced with an assist installed. Assisted
+    /// runs can prove more conjunctions unsatisfiable, so the two verdict
+    /// families live under distinct keys (and snapshot entries).
+    bool Assist = false;
     bool operator==(const SatKey &O) const;
   };
   struct SatKeyHash {
@@ -176,7 +209,8 @@ private:
 
   static CondSel notComSel(CommuteMode Mode);
   const Cond &condFor(CondKey K);
-  bool satisfiable(CondKey K, const EventFacts &Src, const EventFacts &Tgt);
+  bool satisfiable(CondKey K, const EventFacts &Src, const EventFacts &Tgt,
+                   const SatAssist *Assist);
 
   mutable std::shared_mutex CondMu;
   std::unordered_map<CondKey, Cond, CondKeyHash> Conds;
@@ -185,6 +219,7 @@ private:
 
   std::atomic<uint64_t> CondHits{0}, CondMisses{0};
   std::atomic<uint64_t> SatHits{0}, SatMisses{0};
+  std::atomic<uint64_t> SatAssistProven{0};
 };
 
 } // namespace c4

@@ -245,8 +245,15 @@ struct DNFBuilder {
 } // namespace
 
 std::vector<std::vector<Literal>> Cond::dnf() const {
+  bool Overflow = false;
+  return dnf(Overflow);
+}
+
+std::vector<std::vector<Literal>> Cond::dnf(bool &Overflow) const {
   DNFBuilder Builder;
-  return Builder.build(*this, /*Negate=*/false);
+  std::vector<std::vector<Literal>> R = Builder.build(*this, /*Negate=*/false);
+  Overflow = Builder.Overflow;
+  return R;
 }
 
 namespace {
@@ -364,9 +371,12 @@ struct CCUniverse {
       break;
     }
     // Out-of-range slot: allocate a fresh free element. This only happens
-    // when facts vectors are shorter than the op's slot count.
+    // when facts vectors are shorter than the op's slot count. Both
+    // per-class side vectors must grow in lockstep or a later merge reads
+    // ClassUnique out of bounds.
     unsigned E = UF.add();
     ClassConst.push_back(std::nullopt);
+    ClassUnique.push_back(std::nullopt);
     return E;
   }
 };

@@ -140,6 +140,11 @@ public:
   /// clause (i.e. over-approximates by "true"), keeping clients sound.
   std::vector<std::vector<Literal>> dnf() const;
 
+  /// As above, but additionally reports whether the expansion overflowed
+  /// (and thus over-approximates by "true"). Clients proving *un*satisfiable
+  /// must treat an overflowed expansion as inconclusive.
+  std::vector<std::vector<Literal>> dnf(bool &Overflow) const;
+
   /// Returns true if the condition can be satisfied under the given facts
   /// about the two events' argument slots. The check is complete for
   /// equality literals (congruence closure over constants and symbols) and

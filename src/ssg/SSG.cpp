@@ -64,13 +64,20 @@ bool SSG::mayInterfere(unsigned E, unsigned F, CommuteMode Mode) const {
       return true;
     return Oracle->notCommutesSatisfiable(Type, AE.Op, AF.Op, Mode,
                                           factsFor(E, /*SourceSide=*/true),
-                                          factsFor(F, /*SourceSide=*/false));
+                                          factsFor(F, /*SourceSide=*/false),
+                                          Assist);
   }
   Cond NotCom = !commutesCond(Type, AE.Op, AF.Op, Mode);
   if (NotCom.isFalse())
     return false;
-  return NotCom.satisfiableUnder(factsFor(E, /*SourceSide=*/true),
-                                 factsFor(F, /*SourceSide=*/false));
+  EventFacts SrcF = factsFor(E, /*SourceSide=*/true);
+  EventFacts TgtF = factsFor(F, /*SourceSide=*/false);
+  if (Assist && *Assist) {
+    AssistVerdict AV = (*Assist)(NotCom, SrcF, TgtF);
+    if (AV != AssistVerdict::Unknown)
+      return AV == AssistVerdict::Sat;
+  }
+  return NotCom.satisfiableUnder(SrcF, TgtF);
 }
 
 bool SSG::mayNotAbsorb(unsigned U, unsigned V) const {
@@ -89,15 +96,72 @@ bool SSG::mayNotAbsorb(unsigned U, unsigned V) const {
       return true;
     return Oracle->notAbsorbsSatisfiable(Type, AU.Op, AV.Op, /*Far=*/true,
                                          factsFor(U, /*SourceSide=*/true),
-                                         factsFor(V, /*SourceSide=*/false));
+                                         factsFor(V, /*SourceSide=*/false),
+                                         Assist);
   }
   Cond NotAbs = !absorbsCond(Type, AU.Op, AV.Op, /*Far=*/true);
   if (NotAbs.isFalse())
     return false;
   if (NotAbs.isTrue())
     return true;
-  return NotAbs.satisfiableUnder(factsFor(U, /*SourceSide=*/true),
-                                 factsFor(V, /*SourceSide=*/false));
+  EventFacts SrcF = factsFor(U, /*SourceSide=*/true);
+  EventFacts TgtF = factsFor(V, /*SourceSide=*/false);
+  if (Assist && *Assist) {
+    AssistVerdict AV2 = (*Assist)(NotAbs, SrcF, TgtF);
+    if (AV2 != AssistVerdict::Unknown)
+      return AV2 == AssistVerdict::Sat;
+  }
+  return NotAbs.satisfiableUnder(SrcF, TgtF);
+}
+
+std::vector<DepPairAlt> c4::depPairAlternatives(const AbstractHistory &A,
+                                                unsigned TS, unsigned TT,
+                                                int Label,
+                                                const AnalysisFeatures &F) {
+  std::vector<DepPairAlt> R;
+  switch (Label) {
+  case DepSO:
+    break; // presence-only edge, no event pairs
+  case DepDependency:
+    // (D1) ⊕: an update of TS visible to a query of TT.
+    for (unsigned EU : A.txn(TS).Events) {
+      if (A.event(EU).isMarker() || !A.isUpdate(EU))
+        continue;
+      for (unsigned EQ : A.txn(TT).Events) {
+        if (A.event(EQ).isMarker() || !A.isQuery(EQ))
+          continue;
+        R.push_back({EU, EQ, CommuteMode::Far});
+      }
+    }
+    break;
+  case DepAntiDep:
+    // (D2) ⊖ runs from the query's transaction TS to the update's TT.
+    for (unsigned EQ : A.txn(TS).Events) {
+      if (A.event(EQ).isMarker() || !A.isQuery(EQ))
+        continue;
+      for (unsigned EU : A.txn(TT).Events) {
+        if (A.event(EU).isMarker() || !A.isUpdate(EU))
+          continue;
+        R.push_back({EU, EQ,
+                     F.AsymmetricAntiDeps ? CommuteMode::Asym
+                                          : CommuteMode::Far});
+      }
+    }
+    break;
+  case DepConflict:
+    // (D3) ⊗: two non-commuting updates, arbitration-ordered.
+    for (unsigned EU : A.txn(TS).Events) {
+      if (A.event(EU).isMarker() || !A.isUpdate(EU))
+        continue;
+      for (unsigned EV : A.txn(TT).Events) {
+        if (A.event(EV).isMarker() || !A.isUpdate(EV))
+          continue;
+        R.push_back({EU, EV, CommuteMode::Plain});
+      }
+    }
+    break;
+  }
+  return R;
 }
 
 void SSG::analyze() {

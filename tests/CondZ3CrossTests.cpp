@@ -13,6 +13,8 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "domain/AbstractDomain.h"
+#include "smt/CondSmt.h"
 #include "spec/Cond.h"
 #include "support/Rng.h"
 
@@ -172,4 +174,139 @@ TEST(CondZ3Cross, CompleteOnEqualityConditions) {
     Agreements += CCSays == Z3Says;
   }
   EXPECT_EQ(Agreements, 400u);
+}
+
+//===----------------------------------------------------------------------===//
+// Relational-domain differential fuzzing (src/domain vs Z3)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Term generator for the domain fuzzer: four slots per side, and constants
+/// straddling FreshValueMin so the unique-identity lower bound is exercised
+/// from both directions.
+Term randTermU(Rng &R) {
+  switch (R.below(4)) {
+  case 0:
+    return Term::argSrc(static_cast<unsigned>(R.below(4)));
+  case 1:
+    return Term::argTgt(static_cast<unsigned>(R.below(4)));
+  case 2:
+    return Term::constant(R.range(0, 2));
+  default:
+    return Term::constant(FreshValueMin + R.range(-2, 2));
+  }
+}
+
+Cond randCondU(Rng &R, unsigned Depth) {
+  if (Depth == 0 || R.chance(1, 3)) {
+    CmpKind K = CmpKind::Eq;
+    if (R.chance(1, 2))
+      K = R.chance(1, 2) ? CmpKind::Lt : CmpKind::Le;
+    return Cond::cmp(K, randTermU(R), randTermU(R));
+  }
+  switch (R.below(3)) {
+  case 0:
+    return randCondU(R, Depth - 1) && randCondU(R, Depth - 1);
+  case 1:
+    return randCondU(R, Depth - 1) || randCondU(R, Depth - 1);
+  default:
+    return !randCondU(R, Depth - 1);
+  }
+}
+
+/// Random facts including Unique identities (the fact kind the plain
+/// z3Satisfiable helper above does not model — these trials go through
+/// z3CondSatisfiable, which axiomatizes them).
+EventFacts randFactsU(Rng &R) {
+  EventFacts F(4);
+  for (ArgFact &A : F) {
+    switch (R.below(4)) {
+    case 0:
+      break;
+    case 1:
+      A = ArgFact::constant(R.range(0, 2));
+      break;
+    case 2:
+      A = ArgFact::symbol(static_cast<unsigned>(R.below(2)));
+      break;
+    default:
+      A = ArgFact::unique(static_cast<unsigned>(R.below(3)));
+      break;
+    }
+  }
+  return F;
+}
+
+} // namespace
+
+// The prefilter's soundness contract, fuzzed: a domain *proof* must never
+// disagree with Z3 under the full fact semantics (constants pinned,
+// symbols congruent, unique identities pairwise distinct and above
+// FreshValueMin). Unknown is always allowed; a disagreement on a proof is
+// a bug that would silently change analyzer verdicts, so this test is the
+// one that must never be weakened.
+TEST(DomainZ3Fuzz, ProofsNeverDisagreeWithZ3) {
+  Rng R(0xD0A0);
+  unsigned Sat = 0, Unsat = 0, Unknown = 0;
+  for (int Trial = 0; Trial != 4000; ++Trial) {
+    Cond C = randCondU(R, 1 + static_cast<unsigned>(R.below(4)));
+    EventFacts Src = randFactsU(R), Tgt = randFactsU(R);
+    DomainVerdict V = domainDecide(C, Src, Tgt);
+    if (V == DomainVerdict::Unknown) {
+      ++Unknown;
+      continue;
+    }
+    bool Z3Says = z3CondSatisfiable(C, Src, Tgt);
+    if (V == DomainVerdict::ProvenSat) {
+      ++Sat;
+      EXPECT_TRUE(Z3Says) << "domain proved sat, Z3 disagrees: " << C.str();
+    } else {
+      ++Unsat;
+      EXPECT_FALSE(Z3Says) << "domain proved unsat, Z3 disagrees: "
+                           << C.str();
+    }
+  }
+  // The domain must also actually decide things, or the test is vacuous.
+  EXPECT_GT(Sat, 500u);
+  EXPECT_GT(Unsat, 200u);
+  (void)Unknown;
+}
+
+// The congruence engine is the fallback behind every domain Unknown in the
+// oracle-assist path; with Unique facts in play (which the original tests
+// above never generate) its unsat claims must still be sound against the
+// same Z3 reference the domain is checked against.
+TEST(DomainZ3Fuzz, CongruenceSoundWithUniqueFacts) {
+  Rng R(0xD0A1);
+  unsigned CCUnsat = 0;
+  for (int Trial = 0; Trial != 1500; ++Trial) {
+    Cond C = randCondU(R, 3);
+    EventFacts Src = randFactsU(R), Tgt = randFactsU(R);
+    if (C.satisfiableUnder(Src, Tgt))
+      continue;
+    ++CCUnsat;
+    EXPECT_FALSE(z3CondSatisfiable(C, Src, Tgt))
+        << "CC-SAT unsound on " << C.str();
+  }
+  EXPECT_GT(CCUnsat, 100u);
+}
+
+// Equality-only conditions with unique facts: the domain decides them
+// (never Unknown) and agrees with Z3 exactly, mirroring the congruence
+// completeness test above at the domain layer.
+TEST(DomainZ3Fuzz, DecidesEqualityConditionsExactly) {
+  Rng R(0xD0A2);
+  unsigned Decided = 0;
+  for (int Trial = 0; Trial != 1000; ++Trial) {
+    Cond C = randCond(R, 3, /*EqOnly=*/true);
+    EventFacts Src = randFactsU(R), Tgt = randFactsU(R);
+    DomainVerdict V = domainDecide(C, Src, Tgt);
+    if (V == DomainVerdict::Unknown)
+      continue;
+    ++Decided;
+    EXPECT_EQ(V == DomainVerdict::ProvenSat, z3CondSatisfiable(C, Src, Tgt))
+        << C.str();
+  }
+  EXPECT_GT(Decided, 900u);
 }

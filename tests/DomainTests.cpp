@@ -1,0 +1,322 @@
+//===- tests/DomainTests.cpp - Relational prefilter domain tests ----------===//
+//
+// Part of the C4 serializability analyzer. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Unit tests for the relational abstract domain (src/domain): DBM closure
+/// and bottom detection, disequalities, unique-identity witnesses, join and
+/// meet, model extraction, the three-valued domainDecide entry, and the
+/// end-to-end guarantee that the analyzer prefilter never changes a
+/// verdict (A/B against --no-prefilter).
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Analyzer.h"
+#include "domain/AbstractDomain.h"
+#include "smt/CondSmt.h"
+
+#include <gtest/gtest.h>
+
+using namespace c4;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// DomainState
+//===----------------------------------------------------------------------===//
+
+TEST(DomainState, FreshStateIsNotBottom) {
+  DomainState S;
+  unsigned A = S.addVar();
+  (void)A;
+  EXPECT_FALSE(S.isBottom());
+}
+
+TEST(DomainState, EqualityContradictsDisequality) {
+  DomainState S;
+  unsigned A = S.addVar(), B = S.addVar();
+  S.addEq(A, B);
+  S.addNe(A, B);
+  EXPECT_TRUE(S.isBottom());
+}
+
+TEST(DomainState, OrderingCycleClosesToBottom) {
+  DomainState S;
+  unsigned A = S.addVar(), B = S.addVar(), C = S.addVar();
+  S.addLt(A, B);
+  S.addLe(B, C);
+  S.addLt(C, A);
+  EXPECT_TRUE(S.isBottom());
+}
+
+TEST(DomainState, OrderingChainStaysSatisfiable) {
+  DomainState S;
+  unsigned A = S.addVar(), B = S.addVar(), C = S.addVar();
+  S.addLt(A, B);
+  S.addLe(B, C);
+  EXPECT_FALSE(S.isBottom());
+  std::vector<int64_t> Vals;
+  ASSERT_TRUE(S.extractModel(Vals));
+  EXPECT_LT(Vals[A], Vals[B]);
+  EXPECT_LE(Vals[B], Vals[C]);
+}
+
+TEST(DomainState, ConstantConflict) {
+  DomainState S;
+  unsigned A = S.addVar(), B = S.addVar();
+  S.addConst(A, 5);
+  S.addConst(B, 7);
+  EXPECT_FALSE(S.isBottom());
+  S.addEq(A, B);
+  EXPECT_TRUE(S.isBottom());
+}
+
+TEST(DomainState, EmptyBoundInterval) {
+  DomainState S;
+  unsigned A = S.addVar();
+  S.addLowerBound(A, 10);
+  S.addUpperBound(A, 9);
+  EXPECT_TRUE(S.isBottom());
+}
+
+TEST(DomainState, UniqueIdentitySemantics) {
+  // Same id => equal: a disequality between the carriers is contradictory.
+  {
+    DomainState S;
+    unsigned A = S.addVar(), B = S.addVar();
+    S.addUnique(A, 1);
+    S.addUnique(B, 1);
+    S.addNe(A, B);
+    EXPECT_TRUE(S.isBottom());
+  }
+  // Distinct ids => disequal: forcing equality is contradictory.
+  {
+    DomainState S;
+    unsigned A = S.addVar(), B = S.addVar();
+    S.addUnique(A, 1);
+    S.addUnique(B, 2);
+    S.addEq(A, B);
+    EXPECT_TRUE(S.isBottom());
+  }
+  // Any id >= FreshValueMin: pinning one below is contradictory.
+  {
+    DomainState S;
+    unsigned A = S.addVar();
+    S.addUnique(A, 1);
+    S.addConst(A, FreshValueMin - 1);
+    EXPECT_TRUE(S.isBottom());
+  }
+}
+
+TEST(DomainState, MeetOfDisjointIntervals) {
+  DomainState S;
+  unsigned A = S.addVar();
+  DomainState T;
+  unsigned A2 = T.addVar();
+  ASSERT_EQ(A, A2);
+  S.addUpperBound(A, 3);
+  T.addLowerBound(A2, 4);
+  EXPECT_FALSE(S.isBottom());
+  EXPECT_FALSE(T.isBottom());
+  S.meetWith(T);
+  EXPECT_TRUE(S.isBottom());
+}
+
+TEST(DomainState, JoinIsAnUpperBound) {
+  // join({a == 1}, {a == 3}) admits both endpoints (and, as a DBM hull,
+  // the gap between them).
+  DomainState S;
+  unsigned A = S.addVar();
+  DomainState T;
+  (void)T.addVar();
+  S.addConst(A, 1);
+  T.addConst(A, 3);
+  S.joinWith(T);
+  EXPECT_FALSE(S.isBottom());
+  DomainState Probe = S;
+  Probe.addConst(A, 1);
+  EXPECT_FALSE(Probe.isBottom());
+  DomainState Probe2 = S;
+  Probe2.addConst(A, 3);
+  EXPECT_FALSE(Probe2.isBottom());
+  // The hull still excludes values outside [1, 3].
+  DomainState Probe3 = S;
+  Probe3.addConst(A, 7);
+  EXPECT_TRUE(Probe3.isBottom());
+}
+
+TEST(DomainState, OverflowNeverClaimsBottom) {
+  DomainState S;
+  unsigned A = S.addVar(), B = S.addVar();
+  // Push a bound past the clamp, then add a contradiction: the state must
+  // refuse to prove anything rather than report a clamped-away bottom.
+  S.addDiff(A, B, int64_t(1) << 62);
+  S.addEq(A, B);
+  S.addNe(A, B);
+  EXPECT_TRUE(S.overflowed());
+  EXPECT_FALSE(S.isBottom());
+}
+
+//===----------------------------------------------------------------------===//
+// domainDecide
+//===----------------------------------------------------------------------===//
+
+TEST(DomainDecide, OrderingContradiction) {
+  Cond C = Cond::lt(Term::argSrc(0), Term::argTgt(0)) &&
+           Cond::lt(Term::argTgt(0), Term::argSrc(0));
+  EXPECT_EQ(domainDecide(C, EventFacts(1), EventFacts(1)),
+            DomainVerdict::ProvenUnsat);
+}
+
+TEST(DomainDecide, FreeOrderingIsSatWithVerifiedModel) {
+  Cond C = Cond::lt(Term::argSrc(0), Term::argTgt(0));
+  EXPECT_EQ(domainDecide(C, EventFacts(1), EventFacts(1)),
+            DomainVerdict::ProvenSat);
+}
+
+TEST(DomainDecide, SharedSymbolStrictOrder) {
+  Cond C = Cond::lt(Term::argSrc(0), Term::argTgt(0));
+  EventFacts Src{ArgFact::symbol(0)}, Tgt{ArgFact::symbol(0)};
+  EXPECT_EQ(domainDecide(C, Src, Tgt), DomainVerdict::ProvenUnsat);
+}
+
+TEST(DomainDecide, UniqueBelowFreshValueMin) {
+  Cond C = Cond::lt(Term::argSrc(0), Term::constant(5));
+  EventFacts Src{ArgFact::unique(3)};
+  EXPECT_EQ(domainDecide(C, Src, EventFacts(1)),
+            DomainVerdict::ProvenUnsat);
+}
+
+TEST(DomainDecide, DistinctUniquesNeverEqual) {
+  Cond C = Cond::eq(Term::argSrc(0), Term::argTgt(0));
+  EventFacts Src{ArgFact::unique(1)}, Tgt{ArgFact::unique(2)};
+  EXPECT_EQ(domainDecide(C, Src, Tgt), DomainVerdict::ProvenUnsat);
+  EventFacts Tgt2{ArgFact::unique(1)};
+  EXPECT_EQ(domainDecide(C, Src, Tgt2), DomainVerdict::ProvenSat);
+}
+
+TEST(DomainDecide, DisjunctionNeedsEveryClauseBottom) {
+  Cond Bad = Cond::lt(Term::argSrc(0), Term::argSrc(0));
+  Cond Fine = Cond::eq(Term::argSrc(0), Term::argTgt(0));
+  EXPECT_EQ(domainDecide(Bad || Fine, EventFacts(1), EventFacts(1)),
+            DomainVerdict::ProvenSat);
+  EXPECT_EQ(domainDecide(Bad || Bad, EventFacts(1), EventFacts(1)),
+            DomainVerdict::ProvenUnsat);
+}
+
+//===----------------------------------------------------------------------===//
+// Facts shorter than the referenced slots (termElem regression)
+//===----------------------------------------------------------------------===//
+
+// The congruence universe and the domain both index facts by slot; slots
+// beyond the facts vector are free. A unique fact next to out-of-range
+// slot references used to misalign the parallel class tables — keep these
+// exact shapes as a regression.
+TEST(ShortFacts, OutOfRangeSlotsAreFree) {
+  Cond C = Cond::eq(Term::argSrc(0), Term::argTgt(2)) &&
+           Cond::eq(Term::argSrc(4), Term::argTgt(5));
+  EventFacts Src{ArgFact::unique(3)};
+  EventFacts Tgt;
+  EXPECT_TRUE(C.satisfiableUnder(Src, Tgt));
+  EXPECT_EQ(domainDecide(C, Src, Tgt), DomainVerdict::ProvenSat);
+  EXPECT_TRUE(z3CondSatisfiable(C, Src, Tgt));
+}
+
+TEST(ShortFacts, UniqueSemanticsSurviveShortVectors) {
+  // The unsat answer must come from the unique disequality, not from any
+  // accidental slot/class misalignment caused by the trailing free slots.
+  Cond C = Cond::eq(Term::argSrc(0), Term::argTgt(0)) &&
+           Cond::eq(Term::argSrc(3), Term::argSrc(3));
+  EventFacts Src{ArgFact::unique(1)};
+  EventFacts Tgt{ArgFact::unique(2)};
+  EXPECT_FALSE(C.satisfiableUnder(Src, Tgt));
+  EXPECT_EQ(domainDecide(C, Src, Tgt), DomainVerdict::ProvenUnsat);
+  EXPECT_FALSE(z3CondSatisfiable(C, Src, Tgt));
+}
+
+//===----------------------------------------------------------------------===//
+// Prefilter A/B: verdicts are identical with and without it
+//===----------------------------------------------------------------------===//
+
+class PrefilterABTest : public ::testing::Test {
+public:
+  PrefilterABTest() { M = Sch.addContainer("M", Reg.lookup("map")); }
+
+  unsigned op(const char *Name) {
+    const DataTypeSpec *T = Sch.container(M).Type;
+    return T->opIndex(*T->findOp(Name));
+  }
+
+  AbstractHistory buildPutGet(AbsFact PutKey, AbsFact GetKey,
+                              unsigned NumLocals = 0) {
+    AbstractHistory A(Sch);
+    for (unsigned I = 0; I != NumLocals; ++I)
+      A.addLocalVar();
+    unsigned P = A.addTransaction("P");
+    unsigned Put = A.addEvent(P, M, op("put"), {PutKey});
+    A.addEo(A.entry(P), Put);
+    unsigned G = A.addTransaction("G");
+    unsigned Get = A.addEvent(G, M, op("get"), {GetKey});
+    A.addEo(A.entry(G), Get);
+    A.setMaySo(P, G);
+    return A;
+  }
+
+  /// Runs the analysis twice (prefilter on/off) and asserts verdict
+  /// equality down to the rendered counter-example text.
+  void expectSameVerdict(const AbstractHistory &A) {
+    AnalyzerOptions On, Off;
+    On.UsePrefilter = true;
+    Off.UsePrefilter = false;
+    AnalysisResult ROn = analyze(A, On);
+    AnalysisResult ROff = analyze(A, Off);
+    EXPECT_EQ(ROn.serializable(), ROff.serializable());
+    EXPECT_EQ(ROn.Generalized, ROff.Generalized);
+    ASSERT_EQ(ROn.Violations.size(), ROff.Violations.size());
+    for (size_t I = 0; I != ROn.Violations.size(); ++I) {
+      const Violation &VOn = ROn.Violations[I];
+      const Violation &VOff = ROff.Violations[I];
+      EXPECT_EQ(VOn.TxnNames, VOff.TxnNames);
+      EXPECT_EQ(VOn.Inconclusive, VOff.Inconclusive);
+      EXPECT_EQ(VOn.Validated, VOff.Validated);
+      ASSERT_EQ(VOn.CE.has_value(), VOff.CE.has_value());
+      if (VOn.CE)
+        EXPECT_EQ(VOn.CE->Text, VOff.CE->Text);
+    }
+    // The refutation invariant must hold on both sides; the prefilter only
+    // moves queries out of the SMT column.
+    EXPECT_EQ(ROn.SMTRefuted, ROff.SMTRefuted);
+    EXPECT_EQ(ROn.SmtQueries + ROn.SmtQueriesPrefiltered,
+              ROff.SmtQueries + ROff.SmtQueriesPrefiltered);
+    EXPECT_EQ(ROff.SmtQueriesPrefiltered, 0u);
+    EXPECT_EQ(ROff.PrefilterUnknowns, 0u);
+    EXPECT_EQ(ROn.PrefilterDisagreements, 0u);
+  }
+
+  TypeRegistry Reg;
+  Schema Sch;
+  unsigned M = 0;
+};
+
+TEST_F(PrefilterABTest, ViolationUnchanged) {
+  expectSameVerdict(buildPutGet(AbsFact::free(), AbsFact::free()));
+}
+
+TEST_F(PrefilterABTest, SerializableUnchanged) {
+  expectSameVerdict(buildPutGet(AbsFact::localVar(0), AbsFact::localVar(0),
+                                /*NumLocals=*/1));
+}
+
+TEST_F(PrefilterABTest, CheckModeFindsNoDisagreements) {
+  AnalyzerOptions O;
+  O.UsePrefilter = true;
+  O.CheckPrefilter = true;
+  for (AbstractHistory A : {buildPutGet(AbsFact::free(), AbsFact::free())}) {
+    AnalysisResult R = analyze(A, O);
+    EXPECT_EQ(R.PrefilterDisagreements, 0u);
+  }
+}
+
+} // namespace

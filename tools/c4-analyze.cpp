@@ -21,6 +21,11 @@
 ///                          independent of the thread count)
 ///     --no-cache           disable the commutativity/absorption
 ///                          memoization oracle (A/B measurements)
+///     --no-prefilter       disable the relational-domain prefilter in
+///                          front of the SMT stage (escape hatch and A/B
+///                          baseline; verdicts are identical either way)
+///     --check-prefilter    cross-check every domain-proven verdict
+///                          against Z3 (slow; exit 4 on any disagreement)
 ///     --rlimit <n>         per-query solver budget in Z3 resource units —
 ///                          deterministic across machines, unlike wall time
 ///                          (0 = wall-clock backstop only)
@@ -60,7 +65,9 @@
 ///
 /// Exit codes: 0 clean, 1 serializability violation reported (takes
 /// precedence over --werror), 2 usage or compile error, 3 lint warnings
-/// present under --werror (and no violation).
+/// present under --werror (and no violation), 4 prefilter disagreement
+/// detected under --check-prefilter (takes precedence over everything —
+/// it indicates an analyzer bug, not a property of the input).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -84,7 +91,8 @@ static int usage(const char *Prog) {
   std::fprintf(stderr,
                "usage: %s [--no-filter] [--no-commutativity] "
                "[--no-absorption] [--no-constraints] [--no-control-flow] "
-               "[--no-asymmetric] [--no-unique] [--no-cache] [--max-k N] "
+               "[--no-asymmetric] [--no-unique] [--no-cache] "
+               "[--no-prefilter] [--check-prefilter] [--max-k N] "
                "[--threads N] [--rlimit N] [--rlimit-cap N] [--retries N] "
                "[--smt-timeout-ms N] [--deadline-ms N] [--dfs-budget N] "
                "[--trace FILE] [--cache-dir DIR] [--seed N] [--simulate N] "
@@ -146,6 +154,10 @@ int main(int Argc, char **Argv) {
       Options.Features.UniqueValues = false;
     } else if (!std::strcmp(Arg, "--no-cache")) {
       Options.UseOracle = false;
+    } else if (!std::strcmp(Arg, "--no-prefilter")) {
+      Options.UsePrefilter = false;
+    } else if (!std::strcmp(Arg, "--check-prefilter")) {
+      Options.CheckPrefilter = true;
     } else if (!std::strcmp(Arg, "--max-k")) {
       if (I + 1 == Argc || !parseCount(Arg, Argv[++I], Options.MaxK))
         return usage(Argv[0]);
@@ -350,6 +362,13 @@ int main(int Argc, char **Argv) {
     std::printf("simulation: %u of %u randomized executions exhibited a "
                 "DSG cycle dynamically (seed 0x%X)\n",
                 Detected, SimulateTrials, Seed);
+  }
+  if (R.PrefilterDisagreements > 0) {
+    std::fprintf(stderr,
+                 "error: %u prefilter disagreement(s) with Z3 — the "
+                 "relational domain is unsound on this input\n",
+                 R.PrefilterDisagreements);
+    return 4;
   }
   if (!R.Violations.empty())
     return 1;

@@ -47,7 +47,8 @@
 /// "retries", "smt_timeout_ms", "deadline_ms", "dfs_budget", and booleans
 /// "no_passes", "no_filter", "no_cache", "no_commutativity",
 /// "no_absorption", "no_constraints", "no_control_flow", "no_asymmetric",
-/// "no_unique". Unlike the CLI, "threads" defaults to 1: request-level
+/// "no_unique", "no_prefilter". Unlike the CLI, "threads" defaults to 1:
+/// request-level
 /// parallelism comes from --workers, and multiplying the two oversubscribes.
 ///
 /// Control requests: {"op": "ping"}, {"op": "stats"} (cache + serving
@@ -317,7 +318,7 @@ std::string handleRequest(const std::string &Line, AnalysisCache *Cache,
   Options.NumThreads = 1;
   bool NoFilter = false, NoPasses = false, NoCache = false;
   bool NoCom = false, NoAbs = false, NoCons = false, NoCf = false,
-       NoAsym = false, NoUnique = false;
+       NoAsym = false, NoUnique = false, NoPrefilter = false;
   unsigned Rlimit = 0, RlimitCap = 0;
   bool HaveRlimit = Req->get("rlimit") != nullptr;
   bool HaveRlimitCap = Req->get("rlimit_cap") != nullptr;
@@ -337,7 +338,8 @@ std::string handleRequest(const std::string &Line, AnalysisCache *Cache,
       !readFlag(*Req, "no_constraints", NoCons, Err) ||
       !readFlag(*Req, "no_control_flow", NoCf, Err) ||
       !readFlag(*Req, "no_asymmetric", NoAsym, Err) ||
-      !readFlag(*Req, "no_unique", NoUnique, Err))
+      !readFlag(*Req, "no_unique", NoUnique, Err) ||
+      !readFlag(*Req, "no_prefilter", NoPrefilter, Err))
     return errorReply(Id, Err);
   if (Options.MaxK < 1)
     return errorReply(Id, "max_k must be at least 1");
@@ -356,6 +358,7 @@ std::string handleRequest(const std::string &Line, AnalysisCache *Cache,
   Options.Features.ControlFlow = !NoCf;
   Options.Features.AsymmetricAntiDeps = !NoAsym;
   Options.Features.UniqueValues = !NoUnique;
+  Options.UsePrefilter = !NoPrefilter;
 
   // Per-request deadline: DeadlineMs still describes the budget (it is part
   // of the verdict fingerprint); the externally owned object lets the
