@@ -41,6 +41,20 @@
 /// warm miss fails the run). Writes the warm-vs-cold timing aggregate to
 /// the given file (BENCH_serve.json in CI).
 ///
+/// `--incremental <file>` measures the incremental re-analysis layers:
+/// every app is analyzed cold through an incremental AnalysisCache (a
+/// per-app subdirectory of a fresh temp directory — the warm cache must
+/// derive only from the same program, see runIncremental), then a
+/// scripted one-transaction edit (a rename, the
+/// invalidation-granularity litmus test) is applied to its source and the
+/// edited program is analyzed twice — once plain-cold as the reference and
+/// once warm through the populated cache. The warm-edit verdicts must be
+/// byte-identical to the cold reference (timing and cache-state counters
+/// normalized), and across the suite the warm-edit pass must reach Z3 at
+/// least 10x less often than cold (`smt_solves`). Writes the aggregate —
+/// wall times, solve counts, constraint-cache hit rate, fingerprint and
+/// pair-verdict reuse — to the given file (BENCH_incremental.json in CI).
+///
 /// `--fleet <file>` is the serving tier's load generator and soak harness:
 /// it spawns a real c4-serve process on a loopback TCP port and drives the
 /// corpus against it in three phases — per app, a stampede of identical
@@ -64,11 +78,13 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cctype>
 #include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -335,6 +351,349 @@ int runServeSim(const char *OutPath, bool Quick, bool NoPasses) {
   std::fclose(F);
   std::printf("  serve comparison written to %s\n", OutPath);
   return Failures || WarmMisses || Mismatches ? 1 : 0;
+}
+
+//===----------------------------------------------------------------------===//
+// --incremental: warm-edit re-analysis through the incremental layers.
+//===----------------------------------------------------------------------===//
+
+/// The scripted one-transaction edit: renames the last top-level
+/// transaction declaration in \p Source (appending "_edited" to its name).
+/// A rename is the invalidation-granularity litmus test — every
+/// transaction's *content* digest survives it, so the incremental layers
+/// must replay everything except queries whose outcome mentions the name
+/// (counter-examples). Returns the empty string when no declaration is
+/// found.
+std::string renameOneTxn(const std::string &Source) {
+  size_t Last = std::string::npos;
+  for (size_t P = 0; (P = Source.find("txn ", P)) != std::string::npos;
+       P += 4)
+    if (P == 0 || Source[P - 1] == '\n')
+      Last = P;
+  if (Last == std::string::npos)
+    return std::string();
+  size_t NameBegin = Last + 4;
+  while (NameBegin < Source.size() && Source[NameBegin] == ' ')
+    ++NameBegin;
+  size_t NameEnd = NameBegin;
+  while (NameEnd < Source.size() &&
+         (std::isalnum(static_cast<unsigned char>(Source[NameEnd])) ||
+          Source[NameEnd] == '_'))
+    ++NameEnd;
+  if (NameEnd == NameBegin)
+    return std::string();
+  return Source.substr(0, NameEnd) + "_edited" + Source.substr(NameEnd);
+}
+
+/// Strips the values of every field of a serialized AnalysisResult that
+/// legitimately differs between a warm (cache-assisted) and a cold run of
+/// the same program: wall times, solver resource accounting, every
+/// cache-state-dependent reuse/lookup counter (see
+/// AnalyzerOptions::UseIncremental — the layers are observability-only),
+/// and the counterexample witness text. Witness constants are
+/// model-chosen representatives: a Z3 context's history (how many chunks
+/// the run actually solved before this one) legally changes which of the
+/// many satisfying models it reports, the same way rlimit_spent jitters.
+/// The violation *structure* — count, flags, original transaction sets and
+/// names — is the verdict, and must match byte for byte, as must every
+/// logical counter (smt_queries, prefilter, unfolding and SSG counts).
+std::string stripIncrementalValues(const std::string &Blob) {
+  static const char *const Strip[] = {
+      "backend_seconds",     "ssg_seconds",
+      "enum_seconds",        "smt_seconds",
+      "prefilter_seconds",   "incremental_seconds",
+      "rlimit_spent",        "smt_retries",
+      "smt_solves",          "sat_cache_hits",
+      "sat_cache_misses",    "sat_assist_proven",
+      "cond_cache_hits",     "cond_cache_misses",
+      "txn_fingerprint_hits", "pair_verdicts_reused",
+      "constraint_cache_hits", "constraint_cache_misses",
+      "solver_ctx_reuses",   "v.ce",
+  };
+  std::string Out;
+  size_t Pos = 0;
+  while (Pos < Blob.size()) {
+    size_t End = Blob.find('\n', Pos);
+    if (End == std::string::npos)
+      End = Blob.size();
+    std::string Line = Blob.substr(Pos, End - Pos);
+    size_t Space = Line.find(' ');
+    std::string Key = Space == std::string::npos ? Line : Line.substr(0, Space);
+    bool Stripped = false;
+    for (const char *S : Strip)
+      if (Key == S) {
+        Out += Key;
+        Out += '\n';
+        Stripped = true;
+        break;
+      }
+    if (!Stripped) {
+      Out += Line;
+      Out += '\n';
+    }
+    Pos = End + 1;
+  }
+  return Out;
+}
+
+/// Per-app measurements for the --incremental comparison.
+struct IncrRow {
+  const char *Name;
+  double ColdSeconds, WarmSeconds;
+  unsigned ColdSolves, WarmSolves;
+  uint64_t TxnHits, PairReused, GreenHits, GreenMisses, CtxReuses;
+  bool Identical;
+};
+
+/// --incremental: cold-populate, edit one transaction, re-analyze warm.
+/// See the file comment. Returns the process exit code.
+int runIncremental(const char *OutPath, bool Quick, bool NoPasses) {
+  char DirTemplate[] = "/tmp/c4-incr-XXXXXX";
+  if (!::mkdtemp(DirTemplate)) {
+    std::fprintf(stderr, "error: cannot create temp cache directory\n");
+    return 1;
+  }
+  std::string CacheDir = DirTemplate;
+
+  std::printf("Incremental re-analysis: cold run, one-transaction edit, "
+              "warm re-analysis\n(cache dir %s, removed on exit)\n\n",
+              CacheDir.c_str());
+
+  // One request = compile + passes + analysis, unfiltered and filtered
+  // (the filtered variant exercises atomic-set sub-runs, which carry their
+  // own incremental context). Cache null = plain cold reference.
+  struct AppRun {
+    std::string BlobU, BlobF;
+    double Seconds = 0;
+    AnalysisResult RU, RF;
+    bool Ok = false;
+  };
+  auto RunApp = [&](const char *Name, const std::string &Source,
+                    AnalysisCache *Cache) {
+    AppRun Out;
+    CompileResult Compiled = compileC4L(Source);
+    if (!Compiled.ok()) {
+      std::fprintf(stderr, "%s: COMPILE ERROR: %s\n", Name,
+                   Compiled.Error.c_str());
+      return Out;
+    }
+    CompiledProgram &P = *Compiled.Program;
+    if (!NoPasses) {
+      PassOptions PassOpts;
+      PassOpts.Lint = false;
+      PassResult Passes = runPasses(P, PassOpts);
+      if (!Passes.Ok) {
+        std::fprintf(stderr, "%s: PASS ERROR: %s\n", Name,
+                     Passes.Error.c_str());
+        return Out;
+      }
+    }
+    AnalyzerOptions Unfiltered;
+    AnalyzerOptions Filtered;
+    Filtered.DisplayFilter = true;
+    Filtered.UseAtomicSets = !P.AtomicSets.empty();
+    Filtered.AtomicSets = P.AtomicSets;
+    auto Start = std::chrono::steady_clock::now();
+    PipelineResult RU =
+        analyzeCached(*P.History, Unfiltered, *P.Registry, Cache);
+    PipelineResult RF =
+        analyzeCached(*P.History, Filtered, *P.Registry, Cache);
+    Out.Seconds = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - Start)
+                      .count();
+    Out.BlobU = serializeResult(RU.R);
+    Out.BlobF = serializeResult(RF.R);
+    Out.RU = std::move(RU.R);
+    Out.RF = std::move(RF.R);
+    Out.Ok = true;
+    return Out;
+  };
+
+  unsigned Projects = 0, Failures = 0, Mismatches = 0, EditFailures = 0;
+  double ColdSeconds = 0, WarmSeconds = 0;
+  uint64_t ColdSolves = 0, WarmSolves = 0;
+  uint64_t TxnHits = 0, PairReused = 0, GreenHits = 0, GreenMisses = 0,
+           CtxReuses = 0;
+  std::vector<IncrRow> Rows;
+
+  // Each app gets its own cache subdirectory: incremental re-analysis is
+  // a per-program story (a developer edits one project and re-analyzes
+  // against that project's cache), and scoping the cache keeps each
+  // app's warm row a clean within-app measurement — a directory shared
+  // across the corpus would pre-seed the oracle and record store with 27
+  // other apps' entries and blur what the reuse columns mean.
+  auto AppCacheDir = [&](const char *Name) {
+    return CacheDir + "/" + Name;
+  };
+
+  // Phase 1: cold-populate each app's incremental cache with the unedited
+  // program.
+  const char *Only = ::getenv("C4_BENCH_INCR_ONLY"); // debug: one app
+  for (const BenchApp &App : benchApps()) {
+    if (Quick && Projects >= 6)
+      break;
+    AnalysisCache Cache(AppCacheDir(App.Name), /*Incremental=*/true);
+    if (!Cache.enabled()) {
+      std::fprintf(stderr, "error: cannot open cache directory %s\n",
+                   AppCacheDir(App.Name).c_str());
+      return 1;
+    }
+    ++Projects;
+    if (Only && std::string(App.Name) != Only)
+      continue;
+    AppRun R = RunApp(App.Name, App.Source, &Cache);
+    if (!R.Ok) {
+      ++Failures;
+      --Projects;
+    }
+  }
+
+  // Phase 2: edit one transaction per app; analyze the edited program
+  // plain-cold (the byte-identical reference) and warm through the app's
+  // populated cache directory.
+  {
+    unsigned Done = 0;
+    for (const BenchApp &App : benchApps()) {
+      if (Done == Projects)
+        break;
+      if (Only && std::string(App.Name) != Only) {
+        ++Done;
+        continue;
+      }
+      // Fresh cache object over the populated per-app directory
+      // (re-read from disk, as a restarted tool would).
+      AnalysisCache Cache(AppCacheDir(App.Name), /*Incremental=*/true);
+      std::string Edited = renameOneTxn(App.Source);
+      if (Edited.empty()) {
+        std::fprintf(stderr, "%s: EDIT FAILED: no txn declaration found\n",
+                     App.Name);
+        ++EditFailures;
+        ++Done;
+        continue;
+      }
+      AppRun Cold = RunApp(App.Name, Edited, nullptr);
+      AppRun Warm = RunApp(App.Name, Edited, &Cache);
+      ++Done;
+      if (!Cold.Ok || !Warm.Ok) {
+        ++EditFailures;
+        continue;
+      }
+      bool Identical =
+          stripIncrementalValues(Warm.BlobU) ==
+              stripIncrementalValues(Cold.BlobU) &&
+          stripIncrementalValues(Warm.BlobF) ==
+              stripIncrementalValues(Cold.BlobF);
+      if (!Identical) {
+        ++Mismatches;
+        // Debug aid: dump the normalized blobs for a diff. Pair with
+        // C4_BENCH_INCR_ONLY=<app> to bisect a single program.
+        if (::getenv("C4_BENCH_INCR_DUMP")) {
+          auto Put = [&](const char *Tag, const std::string &S) {
+            std::string Path = std::string("/tmp/c4dump_") + Tag + ".txt";
+            std::ofstream(Path) << S;
+          };
+          Put("cold_U", stripIncrementalValues(Cold.BlobU));
+          Put("warm_U", stripIncrementalValues(Warm.BlobU));
+          Put("cold_F", stripIncrementalValues(Cold.BlobF));
+          Put("warm_F", stripIncrementalValues(Warm.BlobF));
+        }
+      }
+      unsigned CS = Cold.RU.SmtSolves + Cold.RF.SmtSolves;
+      unsigned WS = Warm.RU.SmtSolves + Warm.RF.SmtSolves;
+      IncrRow Row{App.Name,
+                  Cold.Seconds,
+                  Warm.Seconds,
+                  CS,
+                  WS,
+                  Warm.RU.TxnFingerprintHits + Warm.RF.TxnFingerprintHits,
+                  Warm.RU.PairVerdictsReused + Warm.RF.PairVerdictsReused,
+                  Warm.RU.ConstraintCacheHits + Warm.RF.ConstraintCacheHits,
+                  Warm.RU.ConstraintCacheMisses +
+                      Warm.RF.ConstraintCacheMisses,
+                  Warm.RU.SolverCtxReuses + Warm.RF.SolverCtxReuses,
+                  Identical};
+      ColdSeconds += Cold.Seconds;
+      WarmSeconds += Warm.Seconds;
+      ColdSolves += CS;
+      WarmSolves += WS;
+      TxnHits += Row.TxnHits;
+      PairReused += Row.PairReused;
+      GreenHits += Row.GreenHits;
+      GreenMisses += Row.GreenMisses;
+      CtxReuses += Row.CtxReuses;
+      Rows.push_back(Row);
+    }
+  }
+  for (const BenchApp &App : benchApps())
+    removeCacheDir(AppCacheDir(App.Name));
+  ::rmdir(CacheDir.c_str());
+
+  std::printf("  %-18s %9s %9s %7s %7s %6s  %s\n", "Program", "cold [s]",
+              "warm [s]", "solves", "solves", "reuse", "verdict");
+  for (const IncrRow &Row : Rows)
+    std::printf("  %-18s %9.3f %9.3f %7u %7u %6llu  %s\n", Row.Name,
+                Row.ColdSeconds, Row.WarmSeconds, Row.ColdSolves,
+                Row.WarmSolves,
+                static_cast<unsigned long long>(Row.PairReused),
+                Row.Identical ? "identical" : "MISMATCH");
+  double QueryRatio =
+      WarmSolves ? static_cast<double>(ColdSolves) / WarmSolves : 0.0;
+  bool RatioOk = WarmSolves == 0 || QueryRatio >= 10.0;
+  std::printf("  %-18s %9.3f %9.3f %7llu %7llu         %s\n", "TOTAL",
+              ColdSeconds, WarmSeconds,
+              static_cast<unsigned long long>(ColdSolves),
+              static_cast<unsigned long long>(WarmSolves),
+              Mismatches || EditFailures ? "FAILURES" : "all identical");
+  std::printf("  warm-edit reached Z3 %.1fx less often than cold "
+              "(target >= 10x: %s)\n",
+              WarmSolves ? QueryRatio : 0.0, RatioOk ? "ok" : "MISSED");
+
+  FILE *F = std::fopen(OutPath, "w");
+  if (!F) {
+    std::fprintf(stderr, "error: cannot write %s\n", OutPath);
+    return 1;
+  }
+  double GreenRate = GreenHits + GreenMisses
+                         ? static_cast<double>(GreenHits) /
+                               static_cast<double>(GreenHits + GreenMisses)
+                         : 0.0;
+  std::fprintf(
+      F,
+      "{\n  \"projects\": %u,\n  \"cold_seconds\": %.3f,\n"
+      "  \"warm_edit_seconds\": %.3f,\n  \"cold_smt_solves\": %llu,\n"
+      "  \"warm_edit_smt_solves\": %llu,\n  \"query_ratio\": %.1f,\n"
+      "  \"txn_fingerprint_hits\": %llu,\n  \"pair_verdicts_reused\": %llu,\n"
+      "  \"constraint_cache_hits\": %llu,\n"
+      "  \"constraint_cache_misses\": %llu,\n"
+      "  \"constraint_cache_hit_rate\": %.3f,\n"
+      "  \"solver_ctx_reuses\": %llu,\n"
+      "  \"verdict_mismatches\": %u,\n  \"edit_failures\": %u,\n"
+      "  \"apps\": [\n",
+      Projects, ColdSeconds, WarmSeconds,
+      static_cast<unsigned long long>(ColdSolves),
+      static_cast<unsigned long long>(WarmSolves), QueryRatio,
+      static_cast<unsigned long long>(TxnHits),
+      static_cast<unsigned long long>(PairReused),
+      static_cast<unsigned long long>(GreenHits),
+      static_cast<unsigned long long>(GreenMisses), GreenRate,
+      static_cast<unsigned long long>(CtxReuses), Mismatches, EditFailures);
+  for (size_t I = 0; I != Rows.size(); ++I) {
+    const IncrRow &Row = Rows[I];
+    std::fprintf(F,
+                 "    {\"name\": \"%s\", \"cold_seconds\": %.3f, "
+                 "\"warm_edit_seconds\": %.3f, \"cold_smt_solves\": %u, "
+                 "\"warm_edit_smt_solves\": %u, \"pair_verdicts_reused\": "
+                 "%llu, \"verdict_identical\": %s}%s\n",
+                 Row.Name, Row.ColdSeconds, Row.WarmSeconds, Row.ColdSolves,
+                 Row.WarmSolves,
+                 static_cast<unsigned long long>(Row.PairReused),
+                 Row.Identical ? "true" : "false",
+                 I + 1 == Rows.size() ? "" : ",");
+  }
+  std::fprintf(F, "  ]\n}\n");
+  std::fclose(F);
+  std::printf("  incremental comparison written to %s\n", OutPath);
+  return Failures || Mismatches || EditFailures || !RatioOk ? 1 : 0;
 }
 
 //===----------------------------------------------------------------------===//
@@ -825,6 +1184,7 @@ int main(int Argc, char **Argv) {
   const char *GovernancePath = nullptr;
   const char *PassesPath = nullptr;
   const char *ServeSimPath = nullptr;
+  const char *IncrementalPath = nullptr;
   const char *FleetPath = nullptr;
   unsigned FleetClients = 1000, FleetRequests = 4;
   for (int I = 1; I != Argc; ++I) {
@@ -840,6 +1200,8 @@ int main(int Argc, char **Argv) {
       PassesPath = Argv[++I];
     else if (!std::strcmp(Argv[I], "--serve-sim") && I + 1 != Argc)
       ServeSimPath = Argv[++I];
+    else if (!std::strcmp(Argv[I], "--incremental") && I + 1 != Argc)
+      IncrementalPath = Argv[++I];
     else if (!std::strcmp(Argv[I], "--fleet") && I + 1 != Argc)
       FleetPath = Argv[++I];
     else if (!std::strcmp(Argv[I], "--fleet-clients") && I + 1 != Argc)
@@ -853,6 +1215,9 @@ int main(int Argc, char **Argv) {
 
   if (ServeSimPath)
     return runServeSim(ServeSimPath, Quick, NoPasses);
+
+  if (IncrementalPath)
+    return runIncremental(IncrementalPath, Quick, NoPasses);
 
   if (LintOnly) {
     // Lint every benchmark app (no analysis). Exits 1 on any unsuppressed

@@ -7,6 +7,7 @@
 #include "analysis/Analyzer.h"
 
 #include "abstract/Concretize.h"
+#include "analysis/Incremental.h"
 #include "domain/AbstractDomain.h"
 #include "domain/Prefilter.h"
 #include "smt/CondSmt.h"
@@ -53,7 +54,17 @@ public:
       std::vector<bool> EventMask, CommutativityOracle *CondOracle,
       const SatAssist *SatAsst, const Deadline *Dl)
       : A(Hist), O(Opts), Mask(std::move(EventMask)), Oracle(CondOracle),
-        Assist(SatAsst), DL(Dl) {}
+        Assist(SatAsst), DL(Dl) {
+    // The incremental layers are disabled in prefilter-check mode: check
+    // mode exists to actually run Z3 against domain proofs, and a replayed
+    // verdict would mask the disagreement it is hunting for.
+    IncrOn = O.UseIncremental && !O.CheckPrefilter &&
+             (O.Incremental || O.Green);
+    if (IncrOn && O.Incremental) {
+      StageTimer Timer(IncrSec);
+      IncrCtx = incrementalContextDigest(A, O, Mask);
+    }
+  }
 
   void execute(AnalysisResult &R);
 
@@ -76,10 +87,12 @@ private:
                               ///< NoCycle verdict needed no Z3 query
     bool PrefilterUnknown = false; ///< prefilter ran but left candidates
     bool PrefilterDisagree = false; ///< --check-prefilter: Z3 contradicted
+    bool Reused = false; ///< replayed from a persisted incremental record;
+                         ///< prefilter and solve were both skipped
     UnfoldingResult Res;
     SolveTelemetry Tel;
     bool CEValid = false;
-    double SSGSec = 0, SmtSec = 0, PrefilterSec = 0;
+    double SSGSec = 0, SmtSec = 0, PrefilterSec = 0, IncrSec = 0;
   };
   UnfoldingOutcome solveOne(const Unfolding &U,
                             const std::vector<Violation> *Committed,
@@ -125,6 +138,9 @@ private:
     R.PrefilterUnknowns += PrefilterUnknownsGen;
     R.PrefilterDisagreements += PrefilterDisagreeGen;
     R.RlimitSpent += RlimitSpentGen;
+    R.SmtSolves += SmtSolvesGen;
+    R.SolverCtxReuses += SolverCtxReusesGen;
+    R.IncrementalSeconds += IncrSec;
     R.DfsBudgetExhausted += DfsExhaustions;
     R.DeadlineExpired = R.DeadlineExpired || DeadlineHit;
   }
@@ -153,8 +169,20 @@ private:
   unsigned PrefilterUnknownsGen = 0;
   unsigned PrefilterDisagreeGen = 0;
   uint64_t RlimitSpentGen = 0;
+  unsigned SmtSolvesGen = 0;
+  uint64_t SolverCtxReusesGen = 0;
+  double IncrSec = 0; ///< digest/key computation + record lookups
   mutable unsigned DfsExhaustions = 0;
   bool DeadlineHit = false;
+  /// True when the incremental layers (record store / constraint cache)
+  /// participate in this run; see the constructor.
+  bool IncrOn = false;
+  /// The run-level context digest scoping every record key (empty when the
+  /// record store is off).
+  std::string IncrCtx;
+  /// The constraint cache to thread into the SMT stage (null when the
+  /// incremental layers are off for this run).
+  ConstraintCache *green() const { return IncrOn ? O.Green : nullptr; }
   std::vector<SSGViolation> Components; // Stage-1 suspicious components
 
   /// The Z3 environment reused by every main-thread SMT query of this run
@@ -390,6 +418,27 @@ Run::UnfoldingOutcome Run::solveOne(const Unfolding &U,
   if (Cands.empty())
     return Out;
   Out.Flagged = true;
+  // Incremental record lookup, ahead of the prefilter: a persisted NoCycle
+  // outcome replays the whole prefilter+solve tail of this unit, counters
+  // included, so a warm run's non-timing statistics match a cold run's.
+  // The key covers the unfolding's name-free content and the exact
+  // candidate set; the store only ever holds NoCycle outcomes (cycles are
+  // re-solved for their counter-example text, unknowns are never frozen).
+  std::string RecKey;
+  if (IncrOn && O.Incremental) {
+    StageTimer Timer(Out.IncrSec);
+    RecKey = unfoldingRecordKey(IncrCtx, U, Cands, "bounded");
+    if (const IncrRecord *Rec = O.Incremental->lookup(RecKey)) {
+      Out.Reused = true;
+      Out.Prefiltered = Rec->Prefiltered;
+      Out.PrefilterUnknown = Rec->PrefilterUnknown;
+      Out.Res.Status = UnfoldingResult::NoCycle;
+      Out.Tel.Attempts = Rec->Attempts;
+      Out.Tel.CtxReuses = Rec->CtxReuses;
+      Out.Tel.RlimitBudget = Rec->RlimitBudget;
+      return Out;
+    }
+  }
   if (O.UsePrefilter) {
     // The domain prefilter: when every candidate is proven unrealizable,
     // NoCycle holds without building a Z3 query. Partial kills fall through
@@ -406,8 +455,14 @@ Run::UnfoldingOutcome Run::solveOne(const Unfolding &U,
   }
   if (Out.Prefiltered) {
     Out.Res.Status = UnfoldingResult::NoCycle;
-    if (!O.CheckPrefilter)
+    if (!O.CheckPrefilter) {
+      if (!RecKey.empty())
+        O.Incremental->record(RecKey, {/*Prefiltered=*/true,
+                                       /*PrefilterUnknown=*/false,
+                                       /*Attempts=*/0, /*CtxReuses=*/0,
+                                       /*RlimitBudget=*/0});
       return Out;
+    }
     // Debug cross-check: solve anyway. A cycle found by Z3 refutes the
     // domain proof — count the disagreement and trust Z3 (an unknown does
     // not contradict a proof; the domain verdict stands).
@@ -430,10 +485,16 @@ Run::UnfoldingOutcome Run::solveOne(const Unfolding &U,
     StageTimer Timer(Out.SmtSec);
     SolverPolicy P{O.Budget, DL};
     Out.Res = solveUnfolding(U, G, Cands, O.Features, P, Oracle, Env,
-                             &Out.Tel);
+                             &Out.Tel, green());
   }
   if (Out.Res.Status == UnfoldingResult::CycleFound)
     Out.CEValid = validateCE(*Out.Res.CE);
+  else if (!RecKey.empty() &&
+           Out.Res.Status == UnfoldingResult::NoCycle && !Out.Tel.Error)
+    O.Incremental->record(RecKey,
+                          {/*Prefiltered=*/false, Out.PrefilterUnknown,
+                           Out.Tel.Attempts, Out.Tel.CtxReuses,
+                           Out.Tel.RlimitBudget});
   return Out;
 }
 
@@ -464,6 +525,11 @@ void Run::commitOutcome(const Unfolding &U, UnfoldingOutcome &&Out,
   if (Out.Tel.Attempts > 1)
     R.SMTRetries += Out.Tel.Attempts - 1;
   R.RlimitSpent += Out.Tel.RlimitSpent;
+  // Reused records replay the cold run's attempt/retry counters above, but
+  // only queries that actually reached Z3 this run count as solves.
+  if (!Out.Reused && Out.Tel.Attempts > 0)
+    ++R.SmtSolves;
+  R.SolverCtxReuses += Out.Tel.CtxReuses;
   const char *Outcome = "unknown";
   switch (Out.Res.Status) {
   case UnfoldingResult::NoCycle:
@@ -487,12 +553,18 @@ void Run::commitOutcome(const Unfolding &U, UnfoldingOutcome &&Out,
     Rec.Stage = "bounded";
     Rec.K = K;
     Rec.Unfolding = Index;
-    Rec.Attempts = Out.Prefiltered ? 0 : std::max(1u, Out.Tel.Attempts);
+    // Prefiltered, reused and constraint-cache-answered queries issued no
+    // solve attempt; for reused records the replayed count matches the
+    // cold run's trace line.
+    Rec.Attempts = Out.Prefiltered || Out.Reused || Out.Tel.GreenHit
+                       ? Out.Tel.Attempts
+                       : std::max(1u, Out.Tel.Attempts);
     Rec.RlimitBudget = Out.Tel.RlimitBudget;
     Rec.RlimitSpent = Out.Tel.RlimitSpent;
     Rec.Outcome = Outcome;
     Rec.Prefiltered = Out.Prefiltered;
-    Rec.WallMs = (Out.SmtSec + Out.PrefilterSec) * 1000.0;
+    Rec.Reused = Out.Reused || Out.Tel.GreenHit;
+    Rec.WallMs = (Out.SmtSec + Out.PrefilterSec + Out.IncrSec) * 1000.0;
     O.Trace->append(Rec);
   }
   if (Out.Res.Status == UnfoldingResult::CycleFound) {
@@ -554,6 +626,7 @@ bool Run::checkBounded(unsigned K, AnalysisResult &R,
       SSGSec += Out.SSGSec;
       SmtSec += Out.SmtSec;
       PrefilterSec += Out.PrefilterSec;
+      IncrSec += Out.IncrSec;
       if (Out.Cancelled) {
         R.UnfoldingsDeferred += static_cast<unsigned>(Unfoldings.size() - I);
         R.DeadlineExpired = true;
@@ -831,6 +904,12 @@ bool Run::generalizes(unsigned K, const AnalysisResult &R,
     {
       StageTimer Timer(SmtSec);
       SolverPolicy P{O.Budget, DL};
+      // One shared solver context per unfolding: the session layout's base
+      // encoding (orders, control flow, facts) is built once and chunks
+      // 2..n add only their cycle selectors under push/pop, instead of
+      // re-encoding everything per chunk. Lazily built — unfoldings whose
+      // chunks are all prefiltered or replayed never pay for an encoding.
+      std::optional<LayoutSolver> LS;
       for (size_t Begin = 0;
            Begin < Remaining.size() &&
            Res.Status == UnfoldingResult::NoCycle;
@@ -845,54 +924,105 @@ bool Run::generalizes(unsigned K, const AnalysisResult &R,
                 std::min(Remaining.size(), Begin + 64));
         SolveTelemetry Tel;
         double ChunkSec = 0;
-        // Domain prefilter per chunk, mirroring the bounded stage: when
-        // every segment of the chunk dies, the NoCycle verdict needs no Z3
-        // query (in check mode the solve still runs and Z3 is trusted).
         bool Prefiltered = false;
-        if (O.UsePrefilter) {
-          double PfSec = 0;
+        bool Reused = false;
+        // Incremental record lookup first (see solveOne): a persisted
+        // NoCycle outcome replays the chunk's prefilter+solve counters.
+        std::string RecKey;
+        if (IncrOn && O.Incremental) {
+          double IncrChunkSec = 0;
           {
-            StageTimer PfTimer(PfSec);
-            PrefilterResult PR =
-                prefilterCandidates(U, G, Chunk, O.Features, Oracle);
-            Prefiltered = PR.allKilled();
-          }
-          PrefilterSec += PfSec;
-          ChunkSec += PfSec;
-          if (!Prefiltered)
-            ++PrefilterUnknownsGen;
-        }
-        if (Prefiltered && !O.CheckPrefilter) {
-          Res.Status = UnfoldingResult::NoCycle;
-          ++SmtQueriesPrefilteredGen;
-        } else {
-          {
-            StageTimer ChunkTimer(ChunkSec);
-            Res = solveUnfolding(U, G, Chunk, O.Features, P, Oracle,
-                                 &seqEnv(), &Tel);
-          }
-          if (Prefiltered) {
-            if (Res.Status == UnfoldingResult::CycleFound) {
-              ++PrefilterDisagreeGen; // Z3 refuted the domain proof
-              Prefiltered = false;
-              ++SmtQueriesGen;
-            } else {
+            StageTimer IncrTimer(IncrChunkSec);
+            RecKey = unfoldingRecordKey(IncrCtx, U, Chunk, "generalize");
+            if (const IncrRecord *Rec = O.Incremental->lookup(RecKey)) {
+              Reused = true;
+              Prefiltered = Rec->Prefiltered;
               Res.Status = UnfoldingResult::NoCycle;
-              ++SmtQueriesPrefilteredGen;
+              Tel.Attempts = Rec->Attempts;
+              Tel.CtxReuses = Rec->CtxReuses;
+              Tel.RlimitBudget = Rec->RlimitBudget;
+              if (Prefiltered)
+                ++SmtQueriesPrefilteredGen;
+              else
+                ++SmtQueriesGen;
+              PrefilterUnknownsGen += Rec->PrefilterUnknown;
+              if (Tel.Attempts > 1)
+                SmtRetriesGen += Tel.Attempts - 1;
+              SolverCtxReusesGen += Tel.CtxReuses;
             }
-          } else {
-            ++SmtQueriesGen;
           }
-          if (Tel.Attempts > 1)
-            SmtRetriesGen += Tel.Attempts - 1;
-          RlimitSpentGen += Tel.RlimitSpent;
+          IncrSec += IncrChunkSec;
+          ChunkSec += IncrChunkSec;
+        }
+        bool PrefUnknown = false;
+        if (!Reused) {
+          // Domain prefilter per chunk, mirroring the bounded stage: when
+          // every segment of the chunk dies, the NoCycle verdict needs no
+          // Z3 query (in check mode the solve still runs, Z3 is trusted).
+          if (O.UsePrefilter) {
+            double PfSec = 0;
+            {
+              StageTimer PfTimer(PfSec);
+              PrefilterResult PR =
+                  prefilterCandidates(U, G, Chunk, O.Features, Oracle);
+              Prefiltered = PR.allKilled();
+            }
+            PrefilterSec += PfSec;
+            ChunkSec += PfSec;
+            if (!Prefiltered) {
+              ++PrefilterUnknownsGen;
+              PrefUnknown = true;
+            }
+          }
+          if (Prefiltered && !O.CheckPrefilter) {
+            Res.Status = UnfoldingResult::NoCycle;
+            ++SmtQueriesPrefilteredGen;
+            if (!RecKey.empty())
+              O.Incremental->record(RecKey, {/*Prefiltered=*/true,
+                                             /*PrefilterUnknown=*/false,
+                                             /*Attempts=*/0, /*CtxReuses=*/0,
+                                             /*RlimitBudget=*/0});
+          } else {
+            {
+              StageTimer ChunkTimer(ChunkSec);
+              if (!LS)
+                LS.emplace(U, G, O.Features, P, Oracle, &seqEnv(), green());
+              Res = LS->solve(Chunk, &Tel);
+            }
+            if (Prefiltered) {
+              if (Res.Status == UnfoldingResult::CycleFound) {
+                ++PrefilterDisagreeGen; // Z3 refuted the domain proof
+                Prefiltered = false;
+                ++SmtQueriesGen;
+              } else {
+                Res.Status = UnfoldingResult::NoCycle;
+                ++SmtQueriesPrefilteredGen;
+              }
+            } else {
+              ++SmtQueriesGen;
+            }
+            if (Tel.Attempts > 1)
+              SmtRetriesGen += Tel.Attempts - 1;
+            RlimitSpentGen += Tel.RlimitSpent;
+            SolverCtxReusesGen += Tel.CtxReuses;
+            if (Tel.Attempts > 0)
+              ++SmtSolvesGen;
+            if (!RecKey.empty() &&
+                Res.Status == UnfoldingResult::NoCycle && !Tel.Error)
+              O.Incremental->record(RecKey, {/*Prefiltered=*/false,
+                                             PrefUnknown, Tel.Attempts,
+                                             Tel.CtxReuses,
+                                             Tel.RlimitBudget});
+          }
         }
         if (O.Trace) {
           QueryRecord Rec;
           Rec.Stage = "generalize";
           Rec.K = K;
           Rec.Unfolding = GenIndex;
-          Rec.Attempts = Prefiltered ? 0 : std::max(1u, Tel.Attempts);
+          Rec.Attempts = Prefiltered || Reused || Tel.GreenHit
+                             ? Tel.Attempts
+                             : std::max(1u, Tel.Attempts);
           Rec.RlimitBudget = Tel.RlimitBudget;
           Rec.RlimitSpent = Tel.RlimitSpent;
           Rec.Outcome = Res.Status == UnfoldingResult::NoCycle ? "no-cycle"
@@ -900,6 +1030,7 @@ bool Run::generalizes(unsigned K, const AnalysisResult &R,
                             ? "cycle"
                             : (Tel.Error ? "error" : "unknown");
           Rec.Prefiltered = Prefiltered;
+          Rec.Reused = Reused || Tel.GreenHit;
           Rec.WallMs = ChunkSec * 1000.0;
           O.Trace->append(Rec);
         }
@@ -1049,6 +1180,20 @@ AnalysisResult c4::analyze(const AbstractHistory &A,
       if (A.event(E).Display)
         Base[E] = false;
 
+  // Transaction fingerprinting (once per analyze() call, not per atomic-set
+  // sub-run): note every transaction's content digest in the incremental
+  // store and count how many were already present in the persisted base —
+  // the `txn_fingerprint_hits` signal of how much of the program survived
+  // the edit unchanged.
+  if (O.UseIncremental && !O.CheckPrefilter && O.Incremental) {
+    StageTimer Timer(R.IncrementalSeconds);
+    for (unsigned T = 0; T != A.numTxns(); ++T) {
+      std::string D = txnContentDigest(A, T);
+      R.TxnFingerprintHits += O.Incremental->baseHasTxn(D);
+      O.Incremental->noteTxn(D);
+    }
+  }
+
   if (O.UseAtomicSets && !O.AtomicSets.empty()) {
     // Analyze each atomic set independently and merge.
     bool AllGeneralized = true, AllFast = true;
@@ -1087,6 +1232,8 @@ AnalysisResult c4::analyze(const AbstractHistory &A,
       R.SMTRefuted += Sub.SMTRefuted;
       R.SMTUnknown += Sub.SMTUnknown;
       R.SMTRetries += Sub.SMTRetries;
+      R.SmtSolves += Sub.SmtSolves;
+      R.SolverCtxReuses += Sub.SolverCtxReuses;
       R.RlimitSpent += Sub.RlimitSpent;
       R.UnfoldingsDeferred += Sub.UnfoldingsDeferred;
       R.DfsBudgetExhausted += Sub.DfsBudgetExhausted;
@@ -1096,6 +1243,7 @@ AnalysisResult c4::analyze(const AbstractHistory &A,
       R.EnumSeconds += Sub.EnumSeconds;
       R.SmtSeconds += Sub.SmtSeconds;
       R.PrefilterSeconds += Sub.PrefilterSeconds;
+      R.IncrementalSeconds += Sub.IncrementalSeconds;
     }
     R.Generalized = AllGeneralized;
     R.FastProvedSerializable = AllFast && R.Violations.empty();
@@ -1111,6 +1259,11 @@ AnalysisResult c4::analyze(const AbstractHistory &A,
   R.SatCacheHits = OS.SatHits;
   R.SatCacheMisses = OS.SatMisses;
   R.SatAssistProven = OS.SatAssistProven;
+  R.PairVerdictsReused = OS.ImportedHits;
+  if (O.Green && O.UseIncremental && !O.CheckPrefilter) {
+    R.ConstraintCacheHits = O.Green->hits();
+    R.ConstraintCacheMisses = O.Green->misses();
+  }
   R.BackendSeconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - Start)
           .count();
@@ -1184,6 +1337,19 @@ std::string c4::reportStr(const AbstractHistory &A, const AnalysisResult &R) {
               static_cast<unsigned long long>(R.SatCacheMisses),
               static_cast<unsigned long long>(R.RlimitSpent),
               R.SSGSeconds, R.EnumSeconds, R.SmtSeconds);
+  // The incremental layers only report when something was actually reused
+  // (or attempted): cold runs without a cache keep their baseline report.
+  if (R.TxnFingerprintHits || R.PairVerdictsReused || R.ConstraintCacheHits ||
+      R.ConstraintCacheMisses || R.SolverCtxReuses)
+    Out += strf("incremental: %llu txn fingerprint hit(s), %llu pair "
+                "verdict(s) reused, constraint cache %llu hits / %llu "
+                "misses, %llu solver ctx reuse(s); %.3fs\n",
+                static_cast<unsigned long long>(R.TxnFingerprintHits),
+                static_cast<unsigned long long>(R.PairVerdictsReused),
+                static_cast<unsigned long long>(R.ConstraintCacheHits),
+                static_cast<unsigned long long>(R.ConstraintCacheMisses),
+                static_cast<unsigned long long>(R.SolverCtxReuses),
+                R.IncrementalSeconds);
   (void)A;
   return Out;
 }

@@ -38,6 +38,7 @@ namespace c4 {
 
 class CommutativityOracle;
 class Deadline;
+class IncrementalStore;
 
 /// Tuning knobs and feature/filter configuration for one analysis run.
 struct AnalyzerOptions {
@@ -100,6 +101,24 @@ struct AnalyzerOptions {
   /// and disagreements are counted (PrefilterDisagreements) with Z3
   /// trusted. Expensive; for CI sweeps and bug triage.
   bool CheckPrefilter = false;
+  /// Master switch for the incremental layers below (`--no-incremental`).
+  /// Like NumThreads and UseOracle this is observability-only: the layers
+  /// replay verdicts the solver itself proved, so results are identical
+  /// either way, and the flag is absent from the verdict fingerprint. Their
+  /// reuse counters (like the oracle cache counters) vary with cache state
+  /// and are normalized by the differential tooling.
+  bool UseIncremental = true;
+  /// Optional incremental store of per-unfolding NoCycle records (see
+  /// analysis/Incremental.h). Lookups consult only the immutable base
+  /// loaded at run start; fresh records accumulate run-locally, so hits
+  /// and misses are deterministic across thread counts. Ignored when
+  /// UseIncremental is false or CheckPrefilter is on (check mode must
+  /// actually solve to detect disagreements).
+  IncrementalStore *Incremental = nullptr;
+  /// Optional Green-style canonicalized constraint cache shared with the
+  /// SMT stage (see smt/ConstraintCache.h). Same base/overlay determinism
+  /// contract and the same UseIncremental / CheckPrefilter gating.
+  ConstraintCache *Green = nullptr;
   /// §9.1 filters.
   bool DisplayFilter = false;
   bool UseAtomicSets = false;
@@ -155,6 +174,9 @@ struct AnalysisResult {
   unsigned SMTRefuted = 0;  ///< ... of which the SMT stage refuted
   unsigned SMTUnknown = 0;
   unsigned SMTRetries = 0; ///< escalated re-solves after an unknown
+  unsigned SmtSolves = 0; ///< queries that actually reached Z3 — SmtQueries
+                          ///< minus incremental-record and constraint-cache
+                          ///< reuse (the warm-run speedup metric)
   uint64_t RlimitSpent = 0; ///< solver resource units across all queries
   bool Truncated = false; ///< an enumeration cap was hit
   /// The --deadline-ms budget expired; the result is partial but sound
@@ -173,6 +195,19 @@ struct AnalysisResult {
   uint64_t CondCacheHits = 0, CondCacheMisses = 0;
   uint64_t SatCacheHits = 0, SatCacheMisses = 0;
   uint64_t SatAssistProven = 0; ///< oracle sat misses decided by the domain
+  // Incremental-layer observability (see analysis/Incremental.h). Like the
+  // oracle cache counters these depend on the persisted cache state, not
+  // on the program alone.
+  uint64_t TxnFingerprintHits = 0; ///< transactions whose content digest
+                                   ///< was already in the persisted store
+  uint64_t PairVerdictsReused = 0; ///< oracle sat verdicts answered from
+                                   ///< the imported snapshot (SSG edge and
+                                   ///< commutativity/absorption reuse)
+  uint64_t ConstraintCacheHits = 0, ConstraintCacheMisses = 0;
+  uint64_t SolverCtxReuses = 0; ///< solver contexts shared instead of
+                                ///< rebuilt (retry re-checks + generalize
+                                ///< chunk reuse)
+  double IncrementalSeconds = 0; ///< digest/key computation + lookups
   double SSGSeconds = 0;  ///< SSG construction + Theorem 3 + cycle/segment
                           ///< enumeration on instantiated graphs
   double EnumSeconds = 0; ///< unfolding enumeration (incl. layout filter)

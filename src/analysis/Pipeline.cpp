@@ -22,9 +22,14 @@ std::string verdictKey(const std::string &Fingerprint) {
   return "verdict-r" + std::to_string(kSpecRevision) + "-" + Fingerprint;
 }
 
+std::string incrKey() { return "incr-r" + std::to_string(kSpecRevision); }
+
+std::string greenKey() { return "green-r" + std::to_string(kSpecRevision); }
+
 } // namespace
 
-AnalysisCache::AnalysisCache(const std::string &Dir) : Disk(Dir) {
+AnalysisCache::AnalysisCache(const std::string &Dir, bool Incremental)
+    : Disk(Dir), Incr(Incremental) {
   if (!Disk.enabled())
     return;
   if (std::optional<std::string> Blob = Disk.get(oracleKey())) {
@@ -35,6 +40,23 @@ AnalysisCache::AnalysisCache(const std::string &Dir) : Disk(Dir) {
     // A blob that fails to parse is treated exactly like a missing one: the
     // snapshot starts empty and the next persist overwrites the slot.
   }
+  if (!Incr)
+    return;
+  if (std::optional<std::string> Blob = Disk.get(incrKey())) {
+    if (std::optional<IncrementalSnapshot> S =
+            IncrementalSnapshot::deserialize(*Blob)) {
+      IncrSnap = std::move(*S);
+      PersistedIncrRecords = IncrSnap.numRecords();
+      PersistedIncrTxns = IncrSnap.numTxns();
+    }
+  }
+  if (std::optional<std::string> Blob = Disk.get(greenKey())) {
+    if (std::optional<ConstraintSnapshot> S =
+            ConstraintSnapshot::deserialize(*Blob)) {
+      GreenSnap = std::move(*S);
+      PersistedGreenSize = GreenSnap.size();
+    }
+  }
 }
 
 size_t AnalysisCache::oracleEntries() {
@@ -42,11 +64,40 @@ size_t AnalysisCache::oracleEntries() {
   return Snapshot.size();
 }
 
+size_t AnalysisCache::incrRecords() {
+  std::lock_guard<std::mutex> Lock(SnapMu);
+  return IncrSnap.numRecords();
+}
+
+size_t AnalysisCache::incrTxns() {
+  std::lock_guard<std::mutex> Lock(SnapMu);
+  return IncrSnap.numTxns();
+}
+
+size_t AnalysisCache::greenProofs() {
+  std::lock_guard<std::mutex> Lock(SnapMu);
+  return GreenSnap.size();
+}
+
 void AnalysisCache::flush() {
   std::lock_guard<std::mutex> Lock(SnapMu);
-  if (Disk.enabled() && Snapshot.size() > PersistedSize) {
+  if (!Disk.enabled())
+    return;
+  if (Snapshot.size() > PersistedSize) {
     Disk.put(oracleKey(), Snapshot.serialize());
     PersistedSize = Snapshot.size();
+  }
+  if (!Incr)
+    return;
+  if (IncrSnap.numRecords() > PersistedIncrRecords ||
+      IncrSnap.numTxns() > PersistedIncrTxns) {
+    Disk.put(incrKey(), IncrSnap.serialize());
+    PersistedIncrRecords = IncrSnap.numRecords();
+    PersistedIncrTxns = IncrSnap.numTxns();
+  }
+  if (GreenSnap.size() > PersistedGreenSize) {
+    Disk.put(greenKey(), GreenSnap.serialize());
+    PersistedGreenSize = GreenSnap.size();
   }
 }
 
@@ -109,7 +160,7 @@ struct PipelineRunner {
         // Another request is computing this exact analysis right now; wait
         // for its blob instead of redoing the work.
         C.FlightWaits.fetch_add(1, std::memory_order_relaxed);
-        if (std::optional<std::string> Blob = SingleFlight::wait(F)) {
+        if (std::shared_ptr<const std::string> Blob = SingleFlight::wait(F)) {
           if (std::optional<AnalysisResult> R = deserializeResult(*Blob)) {
             PR.R = std::move(*R);
             PR.CacheHit = true;
@@ -138,6 +189,28 @@ struct PipelineRunner {
         }
         O2.ExternalOracle = &Oracle;
       }
+
+      // Incremental layers: freeze private copies of the shared snapshots
+      // for this run (lookups must see one immutable base — see the
+      // determinism contract in analysis/Incremental.h) and hand the
+      // analyzer a store/cache over them. Check-prefilter mode opts out:
+      // replayed verdicts would mask the disagreements it exists to find.
+      std::optional<IncrementalSnapshot> IncrBase;
+      std::optional<ConstraintSnapshot> GreenBase;
+      std::optional<IncrementalStore> Store;
+      std::optional<ConstraintCache> Green;
+      if (C.Incr && O.UseIncremental && !O.CheckPrefilter) {
+        {
+          std::lock_guard<std::mutex> Lock(C.SnapMu);
+          IncrBase = C.IncrSnap;
+          GreenBase = C.GreenSnap;
+        }
+        Store.emplace(&*IncrBase);
+        Green.emplace(&*GreenBase);
+        O2.Incremental = &*Store;
+        O2.Green = &*Green;
+      }
+
       PR.R = analyze(A, O2);
 
       // Fold new sat verdicts back and persist the snapshot when it grew.
@@ -147,6 +220,29 @@ struct PipelineRunner {
         if (C.Snapshot.size() > C.PersistedSize) {
           C.Disk.put(oracleKey(), C.Snapshot.serialize());
           C.PersistedSize = C.Snapshot.size();
+        }
+      }
+
+      // Fold the incremental layers back. Constraint-cache proofs are
+      // always kept (an unsat slice proof is sound regardless of how the
+      // run ended); per-unfolding records and txn digests are dropped on
+      // an expired deadline — a wound-down run records only a prefix of
+      // its queries, and its txn digests would claim "seen" for work that
+      // never completed.
+      if (Store) {
+        std::lock_guard<std::mutex> Lock(C.SnapMu);
+        Green->exportProofs(C.GreenSnap);
+        if (!PR.R.DeadlineExpired)
+          Store->exportInto(C.IncrSnap);
+        if (C.IncrSnap.numRecords() > C.PersistedIncrRecords ||
+            C.IncrSnap.numTxns() > C.PersistedIncrTxns) {
+          C.Disk.put(incrKey(), C.IncrSnap.serialize());
+          C.PersistedIncrRecords = C.IncrSnap.numRecords();
+          C.PersistedIncrTxns = C.IncrSnap.numTxns();
+        }
+        if (C.GreenSnap.size() > C.PersistedGreenSize) {
+          C.Disk.put(greenKey(), C.GreenSnap.serialize());
+          C.PersistedGreenSize = C.GreenSnap.size();
         }
       }
 
@@ -264,6 +360,22 @@ std::string c4::renderStatsJson(const StatsJsonFields &F,
                 static_cast<unsigned long long>(R.CondCacheMisses),
                 static_cast<unsigned long long>(R.SatCacheHits),
                 static_cast<unsigned long long>(R.SatCacheMisses));
+  Json += Buf;
+  std::snprintf(Buf, sizeof(Buf),
+                "  \"smt_solves\": %u,\n"
+                "  \"txn_fingerprint_hits\": %llu,\n"
+                "  \"pair_verdicts_reused\": %llu,\n"
+                "  \"constraint_cache_hits\": %llu,\n"
+                "  \"constraint_cache_misses\": %llu,\n"
+                "  \"solver_ctx_reuses\": %llu,\n"
+                "  \"incremental_seconds\": %.6f,\n",
+                R.SmtSolves,
+                static_cast<unsigned long long>(R.TxnFingerprintHits),
+                static_cast<unsigned long long>(R.PairVerdictsReused),
+                static_cast<unsigned long long>(R.ConstraintCacheHits),
+                static_cast<unsigned long long>(R.ConstraintCacheMisses),
+                static_cast<unsigned long long>(R.SolverCtxReuses),
+                R.IncrementalSeconds);
   Json += Buf;
   std::snprintf(Buf, sizeof(Buf),
                 "  \"ssg_seconds\": %.6f,\n  \"enum_seconds\": %.6f,\n"

@@ -24,7 +24,20 @@
 ///    `fingerprintAnalysis`. A hit skips the back end entirely and
 ///    rehydrates the cold run's result, statistics included, byte for byte.
 ///
-/// Both layers are advisory: any miss, corruption or disabled directory
+/// In *incremental* mode (`--incremental-cache`) two more layers ride on
+/// the same directory, for the case where the verdict layer misses because
+/// the program was edited:
+///
+///  * the *incremental layer* — per-unfolding NoCycle records keyed by
+///    transaction content digests (analysis/Incremental.h), replaying
+///    bounded-check and generalization queries whose transactions did not
+///    change;
+///
+///  * the *constraint layer* — a Green-style canonicalized constraint
+///    cache of unsat ϕ_cyclic slices (smt/ConstraintCache.h), valid across
+///    queries, runs and programs.
+///
+/// All layers are advisory: any miss, corruption or disabled directory
 /// falls back to the plain cold path with identical verdicts. Results whose
 /// deadline expired are *not* persisted — they are timing-dependent
 /// partial verdicts, and caching one would freeze a wall-clock accident
@@ -39,7 +52,9 @@
 #ifndef C4_ANALYSIS_PIPELINE_H
 #define C4_ANALYSIS_PIPELINE_H
 
+#include "analysis/Incremental.h"
 #include "analysis/VerdictCache.h"
+#include "smt/ConstraintCache.h"
 #include "spec/CommutativityCache.h"
 #include "support/DiskCache.h"
 #include "support/SingleFlight.h"
@@ -57,10 +72,13 @@ class AnalysisCache {
 public:
   /// Opens (creating if needed) the cache rooted at \p Dir and loads the
   /// persisted oracle snapshot. A directory that cannot be created leaves
-  /// the cache disabled (analyses still run, uncached).
-  explicit AnalysisCache(const std::string &Dir);
+  /// the cache disabled (analyses still run, uncached). With \p Incremental
+  /// the per-unfolding record and constraint snapshots are loaded too and
+  /// cold runs consult/extend them (`--incremental-cache`).
+  explicit AnalysisCache(const std::string &Dir, bool Incremental = false);
 
   bool enabled() const { return Disk.enabled(); }
+  bool incremental() const { return Incr; }
 
   DiskCacheStats diskStats() const { return Disk.stats(); }
   uint64_t verdictHits() const { return VerdictHits.load(); }
@@ -73,6 +91,10 @@ public:
   /// analysis instead of running their own.
   uint64_t flightWaits() const { return FlightWaits.load(); }
   size_t oracleEntries();
+  /// Incremental-layer sizes (0 when not in incremental mode).
+  size_t incrRecords();
+  size_t incrTxns();
+  size_t greenProofs();
 
   /// Persists any unwritten oracle snapshot growth. Writes are already
   /// eager on the cold path, so this is a cheap idempotent safety net the
@@ -82,9 +104,15 @@ public:
 private:
   friend struct PipelineRunner;
   DiskCache Disk;
+  bool Incr = false; ///< incremental layers enabled for this cache
   std::mutex SnapMu;
   OracleSnapshot Snapshot;  ///< accumulated across runs, guarded by SnapMu
   size_t PersistedSize = 0; ///< snapshot size at the last disk write
+  // Incremental-mode state, all guarded by SnapMu like the oracle snapshot.
+  IncrementalSnapshot IncrSnap; ///< per-unfolding records + txn digests
+  ConstraintSnapshot GreenSnap; ///< canonical unsat constraint keys
+  size_t PersistedIncrRecords = 0, PersistedIncrTxns = 0;
+  size_t PersistedGreenSize = 0;
   std::atomic<uint64_t> VerdictHits{0}, VerdictMisses{0};
   std::atomic<uint64_t> BackendRuns{0}, FlightWaits{0};
   SingleFlight Flights; ///< per-fingerprint stampede protection

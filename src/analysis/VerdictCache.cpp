@@ -87,7 +87,11 @@ std::string c4::fingerprintAnalysis(const AbstractHistory &A,
       F.addBool(A.maySo(X, Y));
 
   // Verdict-affecting options. NumThreads, UseOracle, ExternalOracle,
-  // ReuseEnv and Trace are observability-only and deliberately absent.
+  // ReuseEnv, Trace, UseIncremental and the incremental-layer pointers are
+  // observability-only and deliberately absent (the incremental layers
+  // replay solver-proved verdicts; their reuse counters vary with cache
+  // state, like the oracle cache counters, and differential tooling
+  // normalizes them).
   F.addBool(O.Features.Commutativity);
   F.addBool(O.Features.Absorption);
   F.addBool(O.Features.Constraints);
@@ -126,7 +130,7 @@ std::string c4::fingerprintAnalysis(const AbstractHistory &A,
 
 namespace {
 
-constexpr const char *BlobHeader = "c4-verdict 2";
+constexpr const char *BlobHeader = "c4-verdict 3";
 
 /// Newlines and backslashes are the only characters the line-based format
 /// cannot carry verbatim.
@@ -269,6 +273,7 @@ std::string c4::serializeResult(const AnalysisResult &R) {
   addField(Out, "smt_refuted", std::to_string(R.SMTRefuted));
   addField(Out, "smt_unknown", std::to_string(R.SMTUnknown));
   addField(Out, "smt_retries", std::to_string(R.SMTRetries));
+  addField(Out, "smt_solves", std::to_string(R.SmtSolves));
   addField(Out, "rlimit_spent", std::to_string(R.RlimitSpent));
   addField(Out, "truncated", std::to_string(R.Truncated));
   addField(Out, "deadline_expired", std::to_string(R.DeadlineExpired));
@@ -280,11 +285,19 @@ std::string c4::serializeResult(const AnalysisResult &R) {
   addField(Out, "sat_cache_hits", std::to_string(R.SatCacheHits));
   addField(Out, "sat_cache_misses", std::to_string(R.SatCacheMisses));
   addField(Out, "sat_assist_proven", std::to_string(R.SatAssistProven));
+  addField(Out, "txn_fingerprint_hits", std::to_string(R.TxnFingerprintHits));
+  addField(Out, "pair_verdicts_reused", std::to_string(R.PairVerdictsReused));
+  addField(Out, "constraint_cache_hits",
+           std::to_string(R.ConstraintCacheHits));
+  addField(Out, "constraint_cache_misses",
+           std::to_string(R.ConstraintCacheMisses));
+  addField(Out, "solver_ctx_reuses", std::to_string(R.SolverCtxReuses));
   addField(Out, "backend_seconds", hexFloat(R.BackendSeconds));
   addField(Out, "ssg_seconds", hexFloat(R.SSGSeconds));
   addField(Out, "enum_seconds", hexFloat(R.EnumSeconds));
   addField(Out, "smt_seconds", hexFloat(R.SmtSeconds));
   addField(Out, "prefilter_seconds", hexFloat(R.PrefilterSeconds));
+  addField(Out, "incremental_seconds", hexFloat(R.IncrementalSeconds));
   addField(Out, "violations", std::to_string(R.Violations.size()));
   for (const Violation &V : R.Violations) {
     addField(Out, "v.flags", std::to_string(V.Inconclusive) + " " +
@@ -324,6 +337,7 @@ std::optional<AnalysisResult> c4::deserializeResult(const std::string &Blob) {
             Rd.u32("smt_refuted", R.SMTRefuted) &&
             Rd.u32("smt_unknown", R.SMTUnknown) &&
             Rd.u32("smt_retries", R.SMTRetries) &&
+            Rd.u32("smt_solves", R.SmtSolves) &&
             Rd.u64("rlimit_spent", R.RlimitSpent) &&
             Rd.boolean("truncated", R.Truncated) &&
             Rd.boolean("deadline_expired", R.DeadlineExpired) &&
@@ -334,11 +348,17 @@ std::optional<AnalysisResult> c4::deserializeResult(const std::string &Blob) {
             Rd.u64("sat_cache_hits", R.SatCacheHits) &&
             Rd.u64("sat_cache_misses", R.SatCacheMisses) &&
             Rd.u64("sat_assist_proven", R.SatAssistProven) &&
+            Rd.u64("txn_fingerprint_hits", R.TxnFingerprintHits) &&
+            Rd.u64("pair_verdicts_reused", R.PairVerdictsReused) &&
+            Rd.u64("constraint_cache_hits", R.ConstraintCacheHits) &&
+            Rd.u64("constraint_cache_misses", R.ConstraintCacheMisses) &&
+            Rd.u64("solver_ctx_reuses", R.SolverCtxReuses) &&
             Rd.dbl("backend_seconds", R.BackendSeconds) &&
             Rd.dbl("ssg_seconds", R.SSGSeconds) &&
             Rd.dbl("enum_seconds", R.EnumSeconds) &&
             Rd.dbl("smt_seconds", R.SmtSeconds) &&
             Rd.dbl("prefilter_seconds", R.PrefilterSeconds) &&
+            Rd.dbl("incremental_seconds", R.IncrementalSeconds) &&
             Rd.u32("violations", NumViolations) &&
             NumViolations <= 4096;
   if (!Ok)

@@ -1,0 +1,217 @@
+//===- smt/ConstraintCache.cpp --------------------------------------------===//
+//
+// Part of the C4 serializability analyzer. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "smt/ConstraintCache.h"
+
+#include "support/Fingerprint.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <unordered_map>
+#include <vector>
+
+using namespace c4;
+
+namespace {
+
+constexpr const char *SnapshotHeader = "c4-green-snapshot 1";
+
+/// Characters that may continue an SMT-LIB simple symbol as our encoder
+/// emits them (letters, digits, '.', '_'). The decorated constant names
+/// ("q<gen>.<name>") use only these.
+bool isSymbolChar(char C) {
+  return (C >= 'a' && C <= 'z') || (C >= 'A' && C <= 'Z') ||
+         (C >= '0' && C <= '9') || C == '.' || C == '_';
+}
+
+/// One decorated-constant occurrence in an assertion text.
+struct Token {
+  size_t Pos;
+  size_t Len;
+  std::string Text;
+};
+
+/// Extracts the `q<gen>.`-decorated constant tokens of \p S, in order.
+std::vector<Token> extractTokens(const std::string &S) {
+  std::vector<Token> Out;
+  size_t I = 0, N = S.size();
+  while (I != N) {
+    if (S[I] != 'q' || (I && isSymbolChar(S[I - 1]))) {
+      ++I;
+      continue;
+    }
+    size_t J = I + 1;
+    while (J != N && S[J] >= '0' && S[J] <= '9')
+      ++J;
+    if (J == I + 1 || J == N || S[J] != '.') {
+      ++I;
+      continue;
+    }
+    // "q<digits>." confirmed; take the maximal symbol run.
+    while (J != N && isSymbolChar(S[J]))
+      ++J;
+    Out.push_back({I, J - I, S.substr(I, J - I)});
+    I = J;
+  }
+  return Out;
+}
+
+/// Rewrites \p S replacing each token (from \p Toks, positions into \p S)
+/// with its canonical name from \p Rename.
+std::string rewrite(const std::string &S, const std::vector<Token> &Toks,
+                    const std::unordered_map<std::string, std::string> &Rename) {
+  std::string Out;
+  Out.reserve(S.size());
+  size_t Prev = 0;
+  for (const Token &T : Toks) {
+    Out.append(S, Prev, T.Pos - Prev);
+    Out += Rename.at(T.Text);
+    Prev = T.Pos + T.Len;
+  }
+  Out.append(S, Prev, S.size() - Prev);
+  return Out;
+}
+
+struct UnionFind {
+  std::vector<unsigned> Parent;
+  explicit UnionFind(unsigned N) : Parent(N) {
+    for (unsigned I = 0; I != N; ++I)
+      Parent[I] = I;
+  }
+  unsigned find(unsigned X) {
+    while (Parent[X] != X) {
+      Parent[X] = Parent[Parent[X]];
+      X = Parent[X];
+    }
+    return X;
+  }
+  void unite(unsigned A, unsigned B) { Parent[find(A)] = find(B); }
+};
+
+} // namespace
+
+std::string c4::canonicalQueryKey(const std::vector<std::string> &Assertions,
+                                  const std::string &Context) {
+  unsigned N = static_cast<unsigned>(Assertions.size());
+  std::vector<std::vector<Token>> Toks(N);
+  for (unsigned I = 0; I != N; ++I)
+    Toks[I] = extractTokens(Assertions[I]);
+
+  // Slice: group assertions connected by shared symbols.
+  UnionFind UF(N);
+  std::unordered_map<std::string, unsigned> FirstUse;
+  for (unsigned I = 0; I != N; ++I)
+    for (const Token &T : Toks[I]) {
+      auto [It, Inserted] = FirstUse.emplace(T.Text, I);
+      if (!Inserted)
+        UF.unite(I, It->second);
+    }
+
+  // Canonicalize each group: rename symbols to c0, c1, ... in
+  // first-occurrence order within the group, then concatenate the group's
+  // assertions in their original (deterministic encode) order.
+  std::unordered_map<unsigned, std::vector<unsigned>> Groups;
+  for (unsigned I = 0; I != N; ++I)
+    Groups[UF.find(I)].push_back(I);
+  std::vector<std::string> GroupTexts;
+  GroupTexts.reserve(Groups.size());
+  for (auto &[Root, Members] : Groups) {
+    (void)Root;
+    std::unordered_map<std::string, std::string> Rename;
+    for (unsigned I : Members)
+      for (const Token &T : Toks[I]) {
+        std::string Canon = "c";
+        Canon += std::to_string(Rename.size());
+        Rename.emplace(T.Text, std::move(Canon));
+      }
+    std::string Text;
+    for (unsigned I : Members) {
+      Text += rewrite(Assertions[I], Toks[I], Rename);
+      Text += '\n';
+    }
+    GroupTexts.push_back(std::move(Text));
+  }
+
+  // Sorting the group texts makes the key independent of how the encoder
+  // interleaved unrelated conjuncts.
+  std::sort(GroupTexts.begin(), GroupTexts.end());
+  Fingerprint FP;
+  FP.addStr("c4-green-key-1");
+  FP.addStr(Context);
+  FP.addU64(GroupTexts.size());
+  for (const std::string &T : GroupTexts)
+    FP.addStr(T);
+  return FP.digest();
+}
+
+void ConstraintSnapshot::merge(const ConstraintSnapshot &O) {
+  Keys.insert(O.Keys.begin(), O.Keys.end());
+}
+
+std::string ConstraintSnapshot::serialize() const {
+  std::string Out = SnapshotHeader;
+  Out += '\n';
+  Out += std::to_string(Keys.size());
+  Out += '\n';
+  for (const std::string &K : Keys) {
+    Out += K;
+    Out += '\n';
+  }
+  return Out;
+}
+
+std::optional<ConstraintSnapshot>
+ConstraintSnapshot::deserialize(const std::string &Blob) {
+  size_t Pos = 0;
+  auto NextLine = [&]() -> std::optional<std::string> {
+    if (Pos >= Blob.size())
+      return std::nullopt;
+    size_t NL = Blob.find('\n', Pos);
+    if (NL == std::string::npos)
+      return std::nullopt;
+    std::string L = Blob.substr(Pos, NL - Pos);
+    Pos = NL + 1;
+    return L;
+  };
+  auto Header = NextLine();
+  if (!Header || *Header != SnapshotHeader)
+    return std::nullopt;
+  auto CountLine = NextLine();
+  if (!CountLine)
+    return std::nullopt;
+  char *End = nullptr;
+  unsigned long long Count = std::strtoull(CountLine->c_str(), &End, 10);
+  if (!End || *End || Count > 10000000ull)
+    return std::nullopt;
+  ConstraintSnapshot S;
+  for (unsigned long long I = 0; I != Count; ++I) {
+    auto K = NextLine();
+    if (!K || K->empty())
+      return std::nullopt;
+    S.Keys.insert(*K);
+  }
+  return S;
+}
+
+bool ConstraintCache::knownUnsat(const std::string &Key) {
+  if (Base && Base->contains(Key)) {
+    Hits.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  Misses.fetch_add(1, std::memory_order_relaxed);
+  return false;
+}
+
+void ConstraintCache::recordUnsat(const std::string &Key) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Fresh.insert(Key);
+}
+
+void ConstraintCache::exportProofs(ConstraintSnapshot &Out) const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  for (const std::string &K : Fresh)
+    Out.insert(K);
+}

@@ -1,0 +1,121 @@
+//===- smt/ConstraintCache.h - Canonicalized constraint cache ---*- C++ -*-===//
+//
+// Part of the C4 serializability analyzer. See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A Green-style constraint cache (Visser/Geldenhuys/Dwyer, FSE 2012:
+/// "Green: reducing, reusing and recycling constraints in program
+/// analysis") for the ϕ_cyclic queries of the SMT stage. Every query is
+/// *sliced* into independent conjunct groups (assertions connected by
+/// shared uninterpreted constants — since groups share no symbols, the
+/// query is unsatisfiable iff some group is), each group is
+/// *canonicalized* (the per-query `q<generation>.`-decorated constant
+/// names are renamed to `c0, c1, ...` in first-occurrence order, so two
+/// queries that differ only in naming, query generation or assertion
+/// grouping collapse to one key), and the sorted group texts are hashed
+/// into a stable fingerprint. The cache memoizes **unsat** verdicts only:
+/// an unsat proof is reusable as-is (NoCycle), while a sat verdict is
+/// useless without its model — the analyzer must re-solve to extract the
+/// counter-example witness anyway.
+///
+/// Determinism contract: lookups consult only the immutable *base* the
+/// cache was constructed with (the snapshot loaded from disk at run
+/// start); verdicts proved during the run are collected run-locally and
+/// only merged into the persistent snapshot after the run. Hit/miss
+/// counters are therefore pure functions of the base and the query
+/// stream — identical across thread counts and scheduling.
+///
+/// Keys are portable across queries, runs and programs: the canonical
+/// form contains no program names (all solver constants are decorated
+/// and renamed) and no generation numbers, so structurally identical
+/// unfolding queries from different programs share entries. The snapshot
+/// is persisted next to the oracle snapshot in the analysis DiskCache.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef C4_SMT_CONSTRAINTCACHE_H
+#define C4_SMT_CONSTRAINTCACHE_H
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace c4 {
+
+/// A portable set of canonical-query fingerprints proved unsatisfiable.
+/// The unit of cross-run persistence (analysis/Pipeline stores one blob
+/// per cache directory). Entries are kept sorted, so `serialize()` is
+/// deterministic: equal snapshots produce byte-equal blobs.
+class ConstraintSnapshot {
+public:
+  size_t size() const { return Keys.size(); }
+  bool empty() const { return Keys.empty(); }
+  bool contains(const std::string &Key) const { return Keys.count(Key) != 0; }
+  void insert(const std::string &Key) { Keys.insert(Key); }
+
+  /// Union with \p O.
+  void merge(const ConstraintSnapshot &O);
+
+  /// Versioned text serialization (one key per line, sorted).
+  std::string serialize() const;
+
+  /// Parses a blob produced by serialize(). Returns nullopt on a malformed
+  /// or version-mismatched blob — callers treat that as an empty cache.
+  static std::optional<ConstraintSnapshot> deserialize(const std::string &Blob);
+
+private:
+  std::set<std::string> Keys;
+};
+
+/// Slices and canonicalizes one rendered query. \p Assertions holds the
+/// SMT-LIB text of each solver assertion (`expr::to_string()`); the
+/// result is the stable cache key described in the file comment.
+/// \p Context is an opaque tag hashed into the key — the solver uses it
+/// to scope proofs to a deterministic budget (an unsat verdict at rlimit
+/// R must not answer a query running under a smaller budget that would
+/// itself have returned unknown). Exposed separately from the cache so
+/// tests can exercise canonicalization round-trips directly.
+std::string canonicalQueryKey(const std::vector<std::string> &Assertions,
+                              const std::string &Context = std::string());
+
+/// The run-facing cache: an immutable base consulted for lookups plus a
+/// run-local overlay of freshly proved keys. Thread-safe.
+class ConstraintCache {
+public:
+  /// \p BaseSnap may be null (empty base: every lookup misses). It must
+  /// outlive the cache.
+  explicit ConstraintCache(const ConstraintSnapshot *BaseSnap)
+      : Base(BaseSnap) {}
+  ConstraintCache(const ConstraintCache &) = delete;
+  ConstraintCache &operator=(const ConstraintCache &) = delete;
+
+  /// True when \p Key is a known-unsat query in the base. Counts a hit or
+  /// a miss.
+  bool knownUnsat(const std::string &Key);
+
+  /// Records a freshly proved unsat key into the run-local overlay (never
+  /// consulted by knownUnsat — see the determinism contract).
+  void recordUnsat(const std::string &Key);
+
+  /// Drains the run-local overlay into \p Out (merging).
+  void exportProofs(ConstraintSnapshot &Out) const;
+
+  uint64_t hits() const { return Hits.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return Misses.load(std::memory_order_relaxed); }
+
+private:
+  const ConstraintSnapshot *Base;
+  mutable std::mutex Mu;
+  std::set<std::string> Fresh;
+  std::atomic<uint64_t> Hits{0}, Misses{0};
+};
+
+} // namespace c4
+
+#endif // C4_SMT_CONSTRAINTCACHE_H

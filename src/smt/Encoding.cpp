@@ -11,6 +11,8 @@
 #include <algorithm>
 #include <cassert>
 #include <map>
+#include <memory>
+#include <optional>
 
 using namespace c4;
 
@@ -29,7 +31,20 @@ public:
       : U(Unf), A(Unf.H), G(Ssg), F(Feats), Z(Env), Oracle(CondOracle) {}
 
   void encode(const std::vector<CandidateCycle> &Candidates);
-  UnfoldingResult solve();
+  /// The chunk-independent part of the encoding: variables, orders,
+  /// control flow, facts, fresh values, query values. Called once per
+  /// solver context; successive candidate chunks are layered on top with
+  /// encodeCycles() under push/pop (see LayoutSolver).
+  void encodeBase();
+  /// Encodes the cycle-selection constraints for one candidate chunk.
+  /// Re-entrant across chunks: per-chunk selector state is reset, so the
+  /// encoder may be reused after the chunk's scope is popped.
+  void encodeCycles(const std::vector<CandidateCycle> &Candidates);
+  /// Solves the encoded query. With \p CanonicalWitness the realized
+  /// cycle of a sat result is minimized (see minimizeRealizedCycle);
+  /// the extra re-checks are charged to \p T as context reuses.
+  UnfoldingResult solve(bool CanonicalWitness = false,
+                        SolveTelemetry *T = nullptr);
 
 private:
   // --- variable construction -------------------------------------------
@@ -40,7 +55,6 @@ private:
   void encodeFacts();
   void encodeFreshValues();
   void encodeQueryValues();
-  void encodeCycles(const std::vector<CandidateCycle> &Candidates);
   // --- formula helpers --------------------------------------------------
   z3::expr argExpr(unsigned Event, unsigned Slot) const;
   z3::expr condZ3(const Cond &C, unsigned Src, unsigned Tgt) const;
@@ -54,6 +68,10 @@ private:
   bool soBefore(unsigned TS, unsigned TT) const;
 
   CounterExample extract(const z3::model &M) const;
+  unsigned realizedCycle(const z3::model &M) const;
+  z3::model minimizeRealizedCycle(z3::model M,
+                                  const z3::expr_vector &Assumptions,
+                                  SolveTelemetry *T);
 
   const Unfolding &U;
   const AbstractHistory &A;
@@ -493,6 +511,8 @@ void UnfoldingEncoder::encodeQueryValues() {
 void UnfoldingEncoder::encodeCycles(
     const std::vector<CandidateCycle> &Candidates) {
   Cands = &Candidates;
+  CycleSel.clear();
+  Picks.clear();
   z3::solver &S = Z.solver();
   z3::expr Any = Z.boolVal(false);
   for (unsigned CI = 0; CI != Candidates.size(); ++CI) {
@@ -542,14 +562,18 @@ void UnfoldingEncoder::encodeCycles(
   S.add(Any);
 }
 
-void UnfoldingEncoder::encode(
-    const std::vector<CandidateCycle> &Candidates) {
+void UnfoldingEncoder::encodeBase() {
   makeVariables();
   encodeOrders();
   encodeControlFlow();
   encodeFacts();
   encodeFreshValues();
   encodeQueryValues();
+}
+
+void UnfoldingEncoder::encode(
+    const std::vector<CandidateCycle> &Candidates) {
+  encodeBase();
   encodeCycles(Candidates);
 }
 
@@ -685,7 +709,53 @@ CounterExample UnfoldingEncoder::extract(const z3::model &M) const {
   return CE;
 }
 
-UnfoldingResult UnfoldingEncoder::solve() {
+/// The lowest-index candidate selector the model sets — the cycle
+/// extract() reports as the violation.
+unsigned UnfoldingEncoder::realizedCycle(const z3::model &M) const {
+  for (unsigned CI = 0; CI != CycleSel.size(); ++CI)
+    if (Z3Env::evalBool(M, CycleSel[CI]))
+      return CI;
+  return 0; // unreachable: encodeCycles asserts at least one selector
+}
+
+/// Deterministic violation representative. Z3's model choice over the
+/// candidate-cycle disjunction legally depends on the context's history
+/// (AST numbering from earlier queries in a reused context steers
+/// heuristic tie-breaks), so two runs that built different prior queries
+/// can realize different cycles for the identical formula — and the
+/// committed violation's transaction set drives subsumption, so every
+/// downstream counter shifts with it. Re-checking restricted to strictly
+/// earlier candidates until no earlier one is satisfiable pins the
+/// reported cycle to the minimal satisfiable index: a pure function of
+/// the query, stable across context histories (in particular across an
+/// incremental warm run, which replays most queries and re-solves only
+/// these). An unknown during minimization keeps the model already in
+/// hand — the witness is still genuine, only canonicality degrades.
+z3::model UnfoldingEncoder::minimizeRealizedCycle(
+    z3::model M, const z3::expr_vector &Assumptions, SolveTelemetry *T) {
+  unsigned CI = realizedCycle(M);
+  z3::solver &S = Z.solver();
+  while (CI != 0) {
+    S.push();
+    for (unsigned J = CI; J != CycleSel.size(); ++J)
+      S.add(!CycleSel[J]);
+    z3::check_result CR =
+        Assumptions.empty() ? S.check() : S.check(Assumptions);
+    if (T)
+      ++T->CtxReuses; // the re-check rode the existing encoding
+    if (CR != z3::sat) {
+      S.pop();
+      break; // no earlier candidate admits a cycle: CI is minimal
+    }
+    M = S.get_model();
+    S.pop();
+    CI = realizedCycle(M); // selectors >= old CI were forced off
+  }
+  return M;
+}
+
+UnfoldingResult UnfoldingEncoder::solve(bool CanonicalWitness,
+                                        SolveTelemetry *T) {
   UnfoldingResult R;
   // First try under the assumption that updates write non-initial values:
   // counter-examples then exhibit genuinely observable anomalies instead of
@@ -702,7 +772,10 @@ UnfoldingResult UnfoldingEncoder::solve() {
   }
   if (Z.solver().check(Assumptions) == z3::sat) {
     R.Status = UnfoldingResult::CycleFound;
-    R.CE = extract(Z.solver().get_model());
+    z3::model M = Z.solver().get_model();
+    if (CanonicalWitness)
+      M = minimizeRealizedCycle(std::move(M), Assumptions, T);
+    R.CE = extract(M);
     return R;
   }
   switch (Z.solver().check()) {
@@ -716,7 +789,12 @@ UnfoldingResult UnfoldingEncoder::solve() {
     break;
   }
   R.Status = UnfoldingResult::CycleFound;
-  R.CE = extract(Z.solver().get_model());
+  z3::model M = Z.solver().get_model();
+  if (CanonicalWitness) {
+    z3::expr_vector None(Z.ctx());
+    M = minimizeRealizedCycle(std::move(M), None, T);
+  }
+  R.CE = extract(M);
   return R;
 }
 
@@ -725,41 +803,36 @@ UnfoldingResult UnfoldingEncoder::solve() {
 
 namespace {
 
-/// One encode+solve attempt on \p Env (assumed freshly reset/configured).
-/// Records the resource spend delta into \p Telemetry.
-UnfoldingResult solveAttempt(const Unfolding &U, const SSG &G,
-                             const std::vector<CandidateCycle> &Cands,
-                             const AnalysisFeatures &F, Z3Env &Env,
-                             CommutativityOracle *Oracle,
-                             SolveTelemetry &Telemetry) {
-  uint64_t Before = Env.rlimitCount();
-  UnfoldingEncoder Enc(U, G, F, Env, Oracle);
-  Enc.encode(Cands);
-  UnfoldingResult R = Enc.solve();
-  uint64_t After = Env.rlimitCount();
-  if (After > Before)
-    Telemetry.RlimitSpent += After - Before;
-  return R;
+/// The constraint-cache context tag: green unsat proofs are only valid
+/// for runs whose deterministic solver budget would reprove them, so the
+/// budget (minus the wall backstop, which by design never decides first)
+/// is part of every key.
+std::string budgetTag(const SolverBudget &B) {
+  return "rl" + std::to_string(B.Rlimit) + ".e" +
+         std::to_string(B.Escalation) + ".r" + std::to_string(B.MaxRetries) +
+         ".c" + std::to_string(B.RlimitCap);
 }
 
-} // namespace
+/// Renders every assertion of the current solver as SMT-LIB text, the
+/// input to canonicalQueryKey().
+std::vector<std::string> assertionTexts(Z3Env &Env) {
+  std::vector<std::string> Out;
+  z3::expr_vector As = Env.solver().assertions();
+  Out.reserve(As.size());
+  for (unsigned I = 0; I != As.size(); ++I)
+    Out.push_back(As[static_cast<int>(I)].to_string());
+  return Out;
+}
 
-UnfoldingResult c4::solveUnfolding(const Unfolding &U, const SSG &G,
-                                   const std::vector<CandidateCycle> &Cands,
-                                   const AnalysisFeatures &F,
-                                   const SolverPolicy &P,
-                                   CommutativityOracle *Oracle, Z3Env *Reuse,
-                                   SolveTelemetry *Telemetry) {
-  SolveTelemetry Local;
-  SolveTelemetry &T = Telemetry ? *Telemetry : Local;
-  T = SolveTelemetry();
-  if (Cands.empty())
-    return {};
-
-  // Adaptive retry: escalate the rlimit geometrically on unknown until the
-  // cap; the final unknown is the caller's Violation::Inconclusive. Each
-  // attempt runs under min(per-check wall ceiling, remaining deadline) so a
-  // governed run cannot overshoot its deadline by more than one check.
+/// The escalating-rlimit retry loop against an *already encoded* solver:
+/// an unknown re-arms the same solver with a geometrically larger rlimit
+/// and re-checks (no re-encode). Each attempt runs under min(per-check
+/// wall ceiling, remaining deadline) so a governed run cannot overshoot
+/// its deadline by more than one check; the final unknown is the caller's
+/// Violation::Inconclusive.
+UnfoldingResult runAttempts(UnfoldingEncoder &Enc, Z3Env &Env,
+                            const SolverPolicy &P, SolveTelemetry &T,
+                            bool CanonicalWitness) {
   UnfoldingResult R;
   R.Status = UnfoldingResult::Unknown;
   for (unsigned Attempt = 0; Attempt <= P.Budget.MaxRetries; ++Attempt) {
@@ -773,24 +846,14 @@ UnfoldingResult c4::solveUnfolding(const Unfolding &U, const SSG &G,
       break;
     ++T.Attempts;
     T.RlimitBudget = Rlimit;
-    try {
-      if (Reuse) {
-        Reuse->reset(Rlimit, WallMs);
-        R = solveAttempt(U, G, Cands, F, *Reuse, Oracle, T);
-      } else {
-        SolverBudget B = P.Budget;
-        B.Rlimit = Rlimit;
-        B.WallMs = WallMs;
-        Z3Env Z(B);
-        R = solveAttempt(U, G, Cands, F, Z, Oracle, T);
-      }
-    } catch (const z3::exception &E) {
-      // Confine Z3 exceptions: treat failures as inconclusive.
-      T.Error = true;
-      R = UnfoldingResult();
-      R.Status = UnfoldingResult::Unknown;
-      return R;
-    }
+    Env.rearm(Rlimit, WallMs);
+    if (Attempt)
+      ++T.CtxReuses; // retry re-check on the shared encoding
+    uint64_t Before = Env.rlimitCount();
+    R = Enc.solve(CanonicalWitness, &T);
+    uint64_t After = Env.rlimitCount();
+    if (After > Before)
+      T.RlimitSpent += After - Before;
     if (R.Status != UnfoldingResult::Unknown)
       return R;
     if (!Rlimit || Rlimit >= P.Budget.RlimitCap)
@@ -799,4 +862,142 @@ UnfoldingResult c4::solveUnfolding(const Unfolding &U, const SSG &G,
   R = UnfoldingResult();
   R.Status = UnfoldingResult::Unknown;
   return R;
+}
+
+} // namespace
+
+UnfoldingResult c4::solveUnfolding(const Unfolding &U, const SSG &G,
+                                   const std::vector<CandidateCycle> &Cands,
+                                   const AnalysisFeatures &F,
+                                   const SolverPolicy &P,
+                                   CommutativityOracle *Oracle, Z3Env *Reuse,
+                                   SolveTelemetry *Telemetry,
+                                   ConstraintCache *Green) {
+  SolveTelemetry Local;
+  SolveTelemetry &T = Telemetry ? *Telemetry : Local;
+  T = SolveTelemetry();
+  if (Cands.empty())
+    return {};
+
+  try {
+    std::optional<Z3Env> Own;
+    Z3Env *Env;
+    if (Reuse) {
+      Reuse->reset(P.Budget.rlimitForAttempt(0), P.Budget.WallMs);
+      Env = Reuse;
+    } else {
+      Own.emplace(P.Budget);
+      Env = &*Own;
+    }
+    UnfoldingEncoder Enc(U, G, F, *Env, Oracle);
+    Enc.encode(Cands);
+    std::string Key;
+    if (Green) {
+      Key = canonicalQueryKey(assertionTexts(*Env), budgetTag(P.Budget));
+      if (Green->knownUnsat(Key)) {
+        T.GreenHit = true;
+        UnfoldingResult R;
+        R.Status = UnfoldingResult::NoCycle;
+        return R;
+      }
+    }
+    // Canonicalize the witness: the bounded stage commits the realized
+    // cycle as a violation, so it must not depend on the reused
+    // context's query history (see minimizeRealizedCycle).
+    UnfoldingResult R = runAttempts(Enc, *Env, P, T, /*CanonicalWitness=*/true);
+    if (Green && R.Status == UnfoldingResult::NoCycle)
+      Green->recordUnsat(Key);
+    return R;
+  } catch (const z3::exception &) {
+    // Confine Z3 exceptions: treat failures as inconclusive.
+    T.Error = true;
+    UnfoldingResult R;
+    R.Status = UnfoldingResult::Unknown;
+    return R;
+  }
+}
+
+struct LayoutSolver::Impl {
+  SolverPolicy P;
+  ConstraintCache *Green = nullptr;
+  std::optional<Z3Env> Own;
+  Z3Env *Env = nullptr;
+  std::optional<UnfoldingEncoder> Enc;
+  bool BaseEncoded = false;
+  bool Dead = false; ///< a z3::exception poisoned the context
+  unsigned Chunks = 0;
+};
+
+LayoutSolver::LayoutSolver(const Unfolding &U, const SSG &G,
+                           const AnalysisFeatures &F, const SolverPolicy &P,
+                           CommutativityOracle *Oracle, Z3Env *Reuse,
+                           ConstraintCache *Green)
+    : I(std::make_unique<Impl>()) {
+  I->P = P;
+  I->Green = Green;
+  try {
+    if (Reuse) {
+      Reuse->reset(P.Budget.rlimitForAttempt(0), P.Budget.WallMs);
+      I->Env = Reuse;
+    } else {
+      I->Own.emplace(P.Budget);
+      I->Env = &*I->Own;
+    }
+    I->Enc.emplace(U, G, F, *I->Env, Oracle);
+  } catch (const z3::exception &) {
+    I->Dead = true;
+  }
+}
+
+LayoutSolver::~LayoutSolver() = default;
+
+UnfoldingResult LayoutSolver::solve(const std::vector<CandidateCycle> &Cands,
+                                    SolveTelemetry *Telemetry) {
+  SolveTelemetry Local;
+  SolveTelemetry &T = Telemetry ? *Telemetry : Local;
+  T = SolveTelemetry();
+  if (Cands.empty())
+    return {};
+  UnfoldingResult Unk;
+  Unk.Status = UnfoldingResult::Unknown;
+  if (I->Dead) {
+    T.Error = true;
+    return Unk;
+  }
+  try {
+    if (!I->BaseEncoded) {
+      I->Enc->encodeBase();
+      I->BaseEncoded = true;
+    }
+    z3::solver &S = I->Env->solver();
+    S.push();
+    I->Enc->encodeCycles(Cands);
+    if (++I->Chunks > 1)
+      ++T.CtxReuses; // the chunk rode an existing base encoding
+    std::string Key;
+    if (I->Green) {
+      Key = canonicalQueryKey(assertionTexts(*I->Env), budgetTag(I->P.Budget));
+      if (I->Green->knownUnsat(Key)) {
+        T.GreenHit = true;
+        S.pop();
+        UnfoldingResult R;
+        R.Status = UnfoldingResult::NoCycle;
+        return R;
+      }
+    }
+    // No witness canonicalization here: a generalize-stage cycle only
+    // blocks the generalization (sat/unsat is already deterministic);
+    // its realized cycle is never committed as a violation.
+    UnfoldingResult R = runAttempts(*I->Enc, *I->Env, I->P, T,
+                                    /*CanonicalWitness=*/false);
+    if (I->Green && R.Status == UnfoldingResult::NoCycle)
+      I->Green->recordUnsat(Key);
+    S.pop();
+    return R;
+  } catch (const z3::exception &) {
+    // The scope stack is in an unknown state; retire the context.
+    I->Dead = true;
+    T.Error = true;
+    return Unk;
+  }
 }

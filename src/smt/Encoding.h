@@ -34,11 +34,13 @@
 
 #include "abstract/Features.h"
 #include "history/Schedule.h"
+#include "smt/ConstraintCache.h"
 #include "smt/Z3Env.h"
 #include "ssg/SSG.h"
 #include "support/Deadline.h"
 #include "unfold/Unfolder.h"
 
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -85,6 +87,14 @@ struct SolveTelemetry {
   uint64_t RlimitSpent = 0;
   /// True when a z3::exception was confined to an Unknown result.
   bool Error = false;
+  /// Times an already-encoded solver context answered instead of a fresh
+  /// encode: retry re-checks under an escalated budget (`Z3Env::rearm`)
+  /// plus, through \ref LayoutSolver, additional cycle chunks solved
+  /// against a shared base encoding.
+  unsigned CtxReuses = 0;
+  /// The query was answered NoCycle by the canonicalized constraint cache
+  /// without any Z3 check (Attempts stays 0).
+  bool GreenHit = false;
 };
 
 /// Builds and solves ϕ_cyclic for \p U. \p Candidates are the SC1-feasible
@@ -96,9 +106,14 @@ struct SolveTelemetry {
 /// the SSG stage; thread-safe). \p Reuse, when given, supplies the Z3
 /// environment: it is reset, encoded into and solved on, amortizing Z3
 /// context construction/destruction (~15ms each on small queries) across
-/// many calls; each retry resets it again, so retries re-encode on a fresh
-/// name generation. An env must not be shared between threads; each worker
-/// keeps its own. \p Telemetry, when given, receives the attempt/spend
+/// many calls. The query is encoded once; an unknown is retried by
+/// re-arming the *same* solver with an escalated rlimit
+/// (`Z3Env::rearm`) and re-checking — the re-encode per attempt is gone,
+/// and each such re-check counts into `SolveTelemetry::CtxReuses`. An env
+/// must not be shared between threads; each worker keeps its own.
+/// \p Green, when given, is consulted after encoding: a canonical-form
+/// hit proves NoCycle without any Z3 check, and a fresh unsat proof is
+/// recorded back. \p Telemetry, when given, receives the attempt/spend
 /// accounting.
 UnfoldingResult solveUnfolding(const Unfolding &U, const SSG &G,
                                const std::vector<CandidateCycle> &Candidates,
@@ -106,7 +121,38 @@ UnfoldingResult solveUnfolding(const Unfolding &U, const SSG &G,
                                const SolverPolicy &P = {},
                                CommutativityOracle *Oracle = nullptr,
                                Z3Env *Reuse = nullptr,
-                               SolveTelemetry *Telemetry = nullptr);
+                               SolveTelemetry *Telemetry = nullptr,
+                               ConstraintCache *Green = nullptr);
+
+/// A shared solver context for the many cycle/segment chunks of one
+/// session layout (the §7.2 generalization loop solves the same unfolding
+/// against successive candidate-segment chunks). The base encoding —
+/// orders, control flow, facts, fresh values, query values — is built
+/// exactly once; each \ref solve call pushes a scope, encodes only the
+/// chunk's cycle selectors, solves (with the same escalating-rlimit retry
+/// governance as \ref solveUnfolding), and pops. Every chunk after the
+/// first counts a context reuse. Not thread-safe; one instance per worker
+/// per unfolding.
+class LayoutSolver {
+public:
+  /// \p Reuse, when given, supplies the env (reset once here); otherwise a
+  /// private env is created. All referees must outlive the solver.
+  LayoutSolver(const Unfolding &U, const SSG &G, const AnalysisFeatures &F,
+               const SolverPolicy &P, CommutativityOracle *Oracle = nullptr,
+               Z3Env *Reuse = nullptr, ConstraintCache *Green = nullptr);
+  ~LayoutSolver();
+  LayoutSolver(const LayoutSolver &) = delete;
+  LayoutSolver &operator=(const LayoutSolver &) = delete;
+
+  /// Solves ϕ_cyclic restricted to \p Candidates on the shared base
+  /// encoding. Semantics and telemetry match \ref solveUnfolding.
+  UnfoldingResult solve(const std::vector<CandidateCycle> &Candidates,
+                        SolveTelemetry *Telemetry = nullptr);
+
+private:
+  struct Impl;
+  std::unique_ptr<Impl> I;
+};
 
 } // namespace c4
 

@@ -47,6 +47,10 @@ struct QueryRecord {
   /// The verdict came from the domain prefilter; no Z3 query was built
   /// (Attempts is 0 for such records).
   bool Prefiltered = false;
+  /// The verdict was reused from the incremental layers — a persisted
+  /// NoCycle record or a constraint-cache (green) hit — without reaching
+  /// Z3 (Attempts is 0 for such records).
+  bool Reused = false;
   /// Wall time across all attempts, milliseconds.
   double WallMs = 0;
 };

@@ -95,6 +95,13 @@ public:
     configure(Rlimit, WallMs);
   }
 
+  /// Re-installs a (typically escalated) budget on the *current* solver
+  /// without discarding its assertions or starting a new name generation.
+  /// Used by the retry loop: an unknown verdict is re-checked with a larger
+  /// rlimit against the already-encoded query, so the encode work is paid
+  /// once per query instead of once per attempt.
+  void rearm(uint64_t Rlimit, unsigned WallMs) { configure(Rlimit, WallMs); }
+
   /// Context-cumulative resource count ("rlimit count" solver statistic).
   /// Callers measure one query's cost as a delta of this counter; returns
   /// 0 if the statistic is unavailable.

@@ -191,7 +191,9 @@ bool CommutativityOracle::satisfiable(CondKey K, const EventFacts &Src,
     auto It = Sats.find(SK);
     if (It != Sats.end()) {
       SatHits.fetch_add(1, std::memory_order_relaxed);
-      return It->second;
+      if (It->second.Imported)
+        ImportedHits.fetch_add(1, std::memory_order_relaxed);
+      return It->second.Sat;
     }
   }
   SatMisses.fetch_add(1, std::memory_order_relaxed);
@@ -206,7 +208,8 @@ bool CommutativityOracle::satisfiable(CondKey K, const EventFacts &Src,
     Verdict = C.satisfiableUnder(Src, Tgt);
   }
   std::unique_lock<std::shared_mutex> Lock(SatMu);
-  return Sats.try_emplace(std::move(SK), Verdict).first->second;
+  return Sats.try_emplace(std::move(SK), SatVal{Verdict, /*Imported=*/false})
+      .first->second.Sat;
 }
 
 bool CommutativityOracle::notCommutesSatisfiable(
@@ -262,7 +265,7 @@ std::optional<OracleSnapshot> OracleSnapshot::deserialize(
 
 void CommutativityOracle::exportSats(OracleSnapshot &Out) const {
   std::shared_lock<std::shared_mutex> Lock(SatMu);
-  for (const auto &[K, Verdict] : Sats) {
+  for (const auto &[K, Val] : Sats) {
     std::string Key = K.CK.Type->name();
     Key += '|';
     Key += std::to_string(K.CK.A);
@@ -276,7 +279,7 @@ void CommutativityOracle::exportSats(OracleSnapshot &Out) const {
     renderFacts(Key, K.Src);
     Key += '|';
     renderFacts(Key, K.Tgt);
-    Out.Entries.emplace(std::move(Key), Verdict);
+    Out.Entries.emplace(std::move(Key), Val.Sat);
   }
 }
 
@@ -317,7 +320,8 @@ unsigned CommutativityOracle::importSats(const OracleSnapshot &S,
     if (!parseFacts(Key.substr(P5 + 1, P6 - P5 - 1), SK.Src) ||
         !parseFacts(Key.substr(P6 + 1), SK.Tgt))
       continue;
-    if (Sats.try_emplace(std::move(SK), Verdict).second)
+    if (Sats.try_emplace(std::move(SK), SatVal{Verdict, /*Imported=*/true})
+            .second)
       ++Imported;
   }
   return Imported;
@@ -330,5 +334,6 @@ OracleStats CommutativityOracle::stats() const {
   S.SatHits = SatHits.load(std::memory_order_relaxed);
   S.SatMisses = SatMisses.load(std::memory_order_relaxed);
   S.SatAssistProven = SatAssistProven.load(std::memory_order_relaxed);
+  S.ImportedHits = ImportedHits.load(std::memory_order_relaxed);
   return S;
 }

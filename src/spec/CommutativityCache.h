@@ -60,6 +60,11 @@ struct OracleStats {
   /// Satisfiability misses decided by the assist callback (no congruence
   /// fallback needed). Subset of SatMisses.
   uint64_t SatAssistProven = 0;
+  /// Hits whose entry came from an imported snapshot rather than being
+  /// computed this run — persisted pair verdicts (commutativity /
+  /// absorption satisfiability, the inputs of every SSG edge) actually
+  /// reused. Subset of SatHits.
+  uint64_t ImportedHits = 0;
 };
 
 /// Verdict of an external satisfiability assist (see SatAssist).
@@ -207,6 +212,13 @@ private:
     size_t operator()(const SatKey &K) const;
   };
 
+  /// A cached satisfiability verdict, tagged with whether it was imported
+  /// from a snapshot (for the ImportedHits / pair_verdicts_reused stat).
+  struct SatVal {
+    bool Sat;
+    bool Imported;
+  };
+
   static CondSel notComSel(CommuteMode Mode);
   const Cond &condFor(CondKey K);
   bool satisfiable(CondKey K, const EventFacts &Src, const EventFacts &Tgt,
@@ -215,11 +227,12 @@ private:
   mutable std::shared_mutex CondMu;
   std::unordered_map<CondKey, Cond, CondKeyHash> Conds;
   mutable std::shared_mutex SatMu;
-  std::unordered_map<SatKey, bool, SatKeyHash> Sats;
+  std::unordered_map<SatKey, SatVal, SatKeyHash> Sats;
 
   std::atomic<uint64_t> CondHits{0}, CondMisses{0};
   std::atomic<uint64_t> SatHits{0}, SatMisses{0};
   std::atomic<uint64_t> SatAssistProven{0};
+  std::atomic<uint64_t> ImportedHits{0};
 };
 
 } // namespace c4

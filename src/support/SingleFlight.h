@@ -48,7 +48,11 @@ public:
     std::condition_variable Cv;
     bool Done = false;   ///< leader finished (value may be unshared)
     bool Shared = false; ///< Value is valid and safe for followers to reuse
-    std::string Value;
+    /// The published blob, behind a shared_ptr so every follower aliases
+    /// the one buffer the leader serialized instead of copying it — with
+    /// many waiters on one large result the copies used to dominate the
+    /// wake-up.
+    std::shared_ptr<const std::string> Value;
   };
   using FlightPtr = std::shared_ptr<Flight>;
 
@@ -83,19 +87,21 @@ public:
     {
       std::lock_guard<std::mutex> Lock(F->Mu);
       F->Shared = Share;
-      F->Value = std::move(Value);
+      if (Share)
+        F->Value = std::make_shared<const std::string>(std::move(Value));
       F->Done = true;
     }
     F->Cv.notify_all();
   }
 
   /// Follower side: blocks until the leader completes. Returns the shared
-  /// value, or nullopt when the leader declined to share (retry yourself).
-  static std::optional<std::string> wait(const FlightPtr &F) {
+  /// value (all followers alias one buffer), or null when the leader
+  /// declined to share (retry yourself).
+  static std::shared_ptr<const std::string> wait(const FlightPtr &F) {
     std::unique_lock<std::mutex> Lock(F->Mu);
     F->Cv.wait(Lock, [&F] { return F->Done; });
     if (!F->Shared)
-      return std::nullopt;
+      return nullptr;
     return F->Value;
   }
 

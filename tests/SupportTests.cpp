@@ -202,7 +202,7 @@ TEST(SingleFlight, FollowersReceiveTheLeadersValue) {
   // Followers joining while the flight is open attach to it.
   constexpr int N = 4;
   std::vector<std::thread> Followers;
-  std::vector<std::optional<std::string>> Got(N);
+  std::vector<std::shared_ptr<const std::string>> Got(N);
   for (int I = 0; I != N; ++I) {
     bool FollowerLeads = true;
     SingleFlight::FlightPtr F = SF.join("k", FollowerLeads);
@@ -214,8 +214,11 @@ TEST(SingleFlight, FollowersReceiveTheLeadersValue) {
   for (std::thread &T : Followers)
     T.join();
   for (int I = 0; I != N; ++I) {
-    ASSERT_TRUE(Got[I].has_value());
+    ASSERT_TRUE(Got[I] != nullptr);
     EXPECT_EQ(*Got[I], "blob");
+    // The stampede fix: followers alias the leader's one serialized
+    // buffer instead of each copying it.
+    EXPECT_EQ(Got[I].get(), Got[0].get());
   }
 
   // The flight retired with completion: the next join leads a fresh one.
@@ -234,11 +237,12 @@ TEST(SingleFlight, DecliningWakesFollowersEmptyHanded) {
   bool FollowerLeads = true;
   SingleFlight::FlightPtr FF = SF.join("k", FollowerLeads);
   ASSERT_FALSE(FollowerLeads);
-  std::optional<std::string> Got = std::string("poison");
+  std::shared_ptr<const std::string> Got =
+      std::make_shared<const std::string>("poison");
   std::thread Follower([FF, &Got] { Got = SingleFlight::wait(FF); });
   SF.complete("k", F, /*Share=*/false);
   Follower.join();
-  EXPECT_FALSE(Got.has_value());
+  EXPECT_EQ(Got, nullptr);
 }
 
 TEST(SingleFlight, DistinctKeysFlyIndependently) {
@@ -274,7 +278,7 @@ TEST(SingleFlight, ManyThreadsOneKeyExactlyOneLeader) {
         std::this_thread::sleep_for(std::chrono::milliseconds(20));
         SF.complete("hot", F, true, "v");
       } else {
-        std::optional<std::string> V = SingleFlight::wait(F);
+        std::shared_ptr<const std::string> V = SingleFlight::wait(F);
         if (V && *V == "v")
           ++SharedSeen;
       }

@@ -46,6 +46,16 @@
 ///                          A warm hit replays the cold run's result and
 ///                          statistics byte-for-byte; any miss or corrupt
 ///                          entry silently falls back to a cold analysis
+///     --incremental-cache <dir>
+///                          like --cache-dir, plus the incremental layers:
+///                          per-unfolding NoCycle records keyed by
+///                          transaction content digests and a canonicalized
+///                          constraint cache, so after an edit only the
+///                          queries touching the edited transaction are
+///                          re-solved (verdicts are identical either way)
+///     --no-incremental     keep the verdict/oracle layers of
+///                          --incremental-cache but disable the incremental
+///                          record and constraint layers (A/B baseline)
 ///     --seed <n>           RNG seed for --simulate (default 0xC4C4)
 ///     --simulate <n>       additionally execute n randomized workloads on
 ///                          the causal-store simulator and report how often
@@ -95,7 +105,8 @@ static int usage(const char *Prog) {
                "[--no-prefilter] [--check-prefilter] [--max-k N] "
                "[--threads N] [--rlimit N] [--rlimit-cap N] [--retries N] "
                "[--smt-timeout-ms N] [--deadline-ms N] [--dfs-budget N] "
-               "[--trace FILE] [--cache-dir DIR] [--seed N] [--simulate N] "
+               "[--trace FILE] [--cache-dir DIR] [--incremental-cache DIR] "
+               "[--no-incremental] [--seed N] [--simulate N] "
                "[--stats-json] [--dot] [--no-passes] [--lint] [--lint-json] "
                "[--werror] <file.c4l>\n",
                Prog);
@@ -135,6 +146,7 @@ int main(int Argc, char **Argv) {
   const char *Path = nullptr;
   const char *TracePath = nullptr;
   const char *CacheDir = nullptr;
+  bool IncrementalCache = false;
   for (int I = 1; I != Argc; ++I) {
     const char *Arg = Argv[I];
     if (!std::strcmp(Arg, "--no-filter")) {
@@ -200,6 +212,13 @@ int main(int Argc, char **Argv) {
       if (I + 1 == Argc)
         return usage(Argv[0]);
       CacheDir = Argv[++I];
+    } else if (!std::strcmp(Arg, "--incremental-cache")) {
+      if (I + 1 == Argc)
+        return usage(Argv[0]);
+      CacheDir = Argv[++I];
+      IncrementalCache = true;
+    } else if (!std::strcmp(Arg, "--no-incremental")) {
+      Options.UseIncremental = false;
     } else if (!std::strcmp(Arg, "--seed")) {
       if (I + 1 == Argc || !parseCount(Arg, Argv[++I], Seed))
         return usage(Argv[0]);
@@ -291,7 +310,7 @@ int main(int Argc, char **Argv) {
   // directory that cannot be created degrades to a plain cold run.
   std::unique_ptr<AnalysisCache> Cache;
   if (CacheDir) {
-    Cache = std::make_unique<AnalysisCache>(CacheDir);
+    Cache = std::make_unique<AnalysisCache>(CacheDir, IncrementalCache);
     if (!Cache->enabled())
       std::fprintf(stderr,
                    "warning: cannot open cache directory %s; running cold\n",

@@ -32,6 +32,11 @@
 ///     --cache-dir <dir>      persistent cross-run cache shared by all
 ///                            workers (same layout and semantics as
 ///                            c4-analyze --cache-dir)
+///     --incremental-cache <dir>
+///                            like --cache-dir, plus the incremental
+///                            layers: per-unfolding NoCycle records and
+///                            the canonicalized constraint cache (same
+///                            semantics as c4-analyze --incremental-cache)
 ///
 /// The socket modes run a single poll(2) event-loop thread (one fd per
 /// connection, no thread-per-connection) in front of the worker pool, so
@@ -47,7 +52,8 @@
 /// "retries", "smt_timeout_ms", "deadline_ms", "dfs_budget", and booleans
 /// "no_passes", "no_filter", "no_cache", "no_commutativity",
 /// "no_absorption", "no_constraints", "no_control_flow", "no_asymmetric",
-/// "no_unique", "no_prefilter". Unlike the CLI, "threads" defaults to 1:
+/// "no_unique", "no_prefilter", "no_incremental". Unlike the CLI, "threads"
+/// defaults to 1:
 /// request-level
 /// parallelism comes from --workers, and multiplying the two oversubscribes.
 ///
@@ -115,7 +121,7 @@ int usage(const char *Prog) {
   std::fprintf(stderr,
                "usage: %s [--workers N] [--socket PATH] [--tcp HOST:PORT]\n"
                "          [--max-inflight N] [--drain-timeout-ms MS] "
-               "[--cache-dir DIR]\n",
+               "[--cache-dir DIR] [--incremental-cache DIR]\n",
                Prog);
   return 2;
 }
@@ -216,7 +222,8 @@ bool readFlag(const JsonValue &Req, const char *Key, bool &Out,
 std::string statsReply(const std::string &Id, AnalysisCache *Cache,
                        const ServerCounters &SC) {
   DiskCacheStats D = Cache ? Cache->diskStats() : DiskCacheStats{};
-  char Buf[768];
+  bool Incr = Cache && Cache->incremental();
+  char Buf[1024];
   std::snprintf(
       Buf, sizeof(Buf),
       "{\"id\": %s, \"ok\": true, \"cache_enabled\": %s, "
@@ -225,6 +232,8 @@ std::string statsReply(const std::string &Id, AnalysisCache *Cache,
       "\"disk_hits\": %llu, \"disk_misses\": %llu, "
       "\"disk_corrupt\": %llu, \"disk_stores\": %llu, "
       "\"oracle_entries\": %zu, "
+      "\"incremental_enabled\": %s, \"incremental_records\": %zu, "
+      "\"incremental_txns\": %zu, \"constraint_proofs\": %zu, "
       "\"connections\": %llu, \"replies_dropped\": %llu, "
       "\"overload_rejects\": %llu}",
       Id.c_str(), Cache && Cache->enabled() ? "true" : "false",
@@ -236,7 +245,10 @@ std::string statsReply(const std::string &Id, AnalysisCache *Cache,
       static_cast<unsigned long long>(D.Misses),
       static_cast<unsigned long long>(D.Corrupt),
       static_cast<unsigned long long>(D.Stores),
-      Cache ? Cache->oracleEntries() : size_t(0),
+      Cache ? Cache->oracleEntries() : size_t(0), Incr ? "true" : "false",
+      Incr ? Cache->incrRecords() : size_t(0),
+      Incr ? Cache->incrTxns() : size_t(0),
+      Incr ? Cache->greenProofs() : size_t(0),
       static_cast<unsigned long long>(SC.Connections.load()),
       static_cast<unsigned long long>(SC.DroppedReplies.load()),
       static_cast<unsigned long long>(SC.Overloads.load()));
@@ -318,7 +330,8 @@ std::string handleRequest(const std::string &Line, AnalysisCache *Cache,
   Options.NumThreads = 1;
   bool NoFilter = false, NoPasses = false, NoCache = false;
   bool NoCom = false, NoAbs = false, NoCons = false, NoCf = false,
-       NoAsym = false, NoUnique = false, NoPrefilter = false;
+       NoAsym = false, NoUnique = false, NoPrefilter = false,
+       NoIncremental = false;
   unsigned Rlimit = 0, RlimitCap = 0;
   bool HaveRlimit = Req->get("rlimit") != nullptr;
   bool HaveRlimitCap = Req->get("rlimit_cap") != nullptr;
@@ -339,7 +352,8 @@ std::string handleRequest(const std::string &Line, AnalysisCache *Cache,
       !readFlag(*Req, "no_control_flow", NoCf, Err) ||
       !readFlag(*Req, "no_asymmetric", NoAsym, Err) ||
       !readFlag(*Req, "no_unique", NoUnique, Err) ||
-      !readFlag(*Req, "no_prefilter", NoPrefilter, Err))
+      !readFlag(*Req, "no_prefilter", NoPrefilter, Err) ||
+      !readFlag(*Req, "no_incremental", NoIncremental, Err))
     return errorReply(Id, Err);
   if (Options.MaxK < 1)
     return errorReply(Id, "max_k must be at least 1");
@@ -359,6 +373,7 @@ std::string handleRequest(const std::string &Line, AnalysisCache *Cache,
   Options.Features.AsymmetricAntiDeps = !NoAsym;
   Options.Features.UniqueValues = !NoUnique;
   Options.UsePrefilter = !NoPrefilter;
+  Options.UseIncremental = !NoIncremental;
 
   // Per-request deadline: DeadlineMs still describes the budget (it is part
   // of the verdict fingerprint); the externally owned object lets the
@@ -982,6 +997,7 @@ int main(int Argc, char **Argv) {
   const char *SocketPath = nullptr;
   const char *TcpSpec = nullptr;
   const char *CacheDir = nullptr;
+  bool IncrementalCache = false;
   for (int I = 1; I != Argc; ++I) {
     const char *Arg = Argv[I];
     if (!std::strcmp(Arg, "--workers")) {
@@ -1005,6 +1021,11 @@ int main(int Argc, char **Argv) {
       if (I + 1 == Argc)
         return usage(Argv[0]);
       CacheDir = Argv[++I];
+    } else if (!std::strcmp(Arg, "--incremental-cache")) {
+      if (I + 1 == Argc)
+        return usage(Argv[0]);
+      CacheDir = Argv[++I];
+      IncrementalCache = true;
     } else {
       return usage(Argv[0]);
     }
@@ -1017,7 +1038,7 @@ int main(int Argc, char **Argv) {
 
   std::unique_ptr<AnalysisCache> Cache;
   if (CacheDir) {
-    Cache = std::make_unique<AnalysisCache>(CacheDir);
+    Cache = std::make_unique<AnalysisCache>(CacheDir, IncrementalCache);
     if (!Cache->enabled())
       std::fprintf(stderr,
                    "warning: cannot open cache directory %s; serving cold\n",
